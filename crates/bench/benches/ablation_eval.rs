@@ -1,0 +1,36 @@
+//! Ablation A3 — semi-naive versus naive end-semantics evaluation.
+//!
+//! The paper's prototype used naive evaluation ("evaluating all rules
+//! iteratively, terminating when no new tuples have been generated"); our
+//! engine is semi-naive (each round only joins against the frontier of
+//! newly derived delta tuples). Deep cascades (mas-20, five rounds) show
+//! the gap; shallow DC-style programs (mas-11, one round) show the
+//! overhead is negligible when there is nothing to save.
+
+use bench::{repairer_for, MasLab};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repair_core::end;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_eval_ablation(c: &mut Criterion) {
+    let lab = MasLab::at_scale(0.02);
+    let mut group = c.benchmark_group("ablation_eval");
+    group.sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_millis(1200));
+    for name in ["mas-11", "mas-18", "mas-20"] {
+        let w = lab.workloads.iter().find(|w| w.name == name).expect("workload");
+        let (db, repairer) = repairer_for(&lab.data.db, w);
+        group.bench_function(BenchmarkId::new("semi_naive", name), |b| {
+            b.iter(|| black_box(end::run(&db, repairer.evaluator()).deleted.len()))
+        });
+        group.bench_function(BenchmarkId::new("naive", name), |b| {
+            b.iter(|| black_box(end::run_naive(&db, repairer.evaluator()).deleted.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval_ablation);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Ablation A2 — the greedy Algorithm 2 against the exact exponential
+//! step-semantics search on instances small enough for the latter: the
+//! running example (Figure 1) and vertex-cover reduction graphs
+//! (Proposition 4.2's family, where greedy is provably approximate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use repair_core::{step, testkit, Repairer};
+use std::hint::black_box;
+use std::time::Duration;
+use storage::{AttrType, Instance, Schema, Value};
+
+fn vc_db(n: usize, edges: &[(i64, i64)]) -> Instance {
+    let mut s = Schema::new();
+    s.relation("E", &[("u", AttrType::Int), ("v", AttrType::Int)]);
+    s.relation("VC", &[("v", AttrType::Int)]);
+    let mut db = Instance::new(s);
+    for &(u, v) in edges {
+        db.insert_values("E", [Value::Int(u), Value::Int(v)]).unwrap();
+        db.insert_values("E", [Value::Int(v), Value::Int(u)]).unwrap();
+    }
+    for v in 0..n as i64 {
+        db.insert_values("VC", [Value::Int(v)]).unwrap();
+    }
+    db
+}
+
+fn bench_step_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_step");
+    group.sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_millis(1200));
+
+    // The running example.
+    let mut db = testkit::figure1_instance();
+    let repairer = Repairer::new(&mut db, testkit::figure2_program()).unwrap();
+    group.bench_function("figure1/greedy", |b| {
+        b.iter(|| black_box(step::run_greedy(&db, repairer.evaluator()).deleted.len()))
+    });
+    group.bench_function("figure1/exact", |b| {
+        b.iter(|| {
+            black_box(
+                step::optimal(&db, repairer.evaluator(), 1 << 20)
+                    .map(|s| s.len())
+                    .unwrap_or(usize::MAX),
+            )
+        })
+    });
+
+    // A two-triangles vertex-cover instance (VC = 4).
+    let mut vc = vc_db(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+    let vc_rep = Repairer::new(
+        &mut vc,
+        datalog::parse_program("delta VC(x) :- E(x, y), VC(x), VC(y).").unwrap(),
+    )
+    .unwrap();
+    group.bench_function("two_triangles/greedy", |b| {
+        b.iter(|| black_box(step::run_greedy(&vc, vc_rep.evaluator()).deleted.len()))
+    });
+    group.bench_function("two_triangles/exact", |b| {
+        b.iter(|| {
+            black_box(
+                step::optimal(&vc, vc_rep.evaluator(), 1 << 20)
+                    .map(|s| s.len())
+                    .unwrap_or(usize::MAX),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_step_ablation);
+criterion_main!(benches);

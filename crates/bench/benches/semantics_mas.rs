@@ -1,0 +1,34 @@
+//! Figure 7 — execution time of the four semantics on the MAS programs.
+//!
+//! One representative program per class keeps `cargo bench` tractable:
+//! mas-02 (DC-like), mas-08 (mixed), mas-11 (single-rule joins), mas-20
+//! (deep cascade). The `repro fig7` binary reports all twenty.
+
+use bench::{repairer_for, MasLab};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repair_core::Semantics;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_mas(c: &mut Criterion) {
+    let lab = MasLab::at_scale(0.02);
+    let mut group = c.benchmark_group("fig7_mas_semantics");
+    group.sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_millis(1200));
+    for name in ["mas-02", "mas-08", "mas-11", "mas-20"] {
+        let w = lab.workloads.iter().find(|w| w.name == name).expect("workload");
+        let (db, repairer) = repairer_for(&lab.data.db, w);
+        for sem in Semantics::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(sem.name(), name),
+                &sem,
+                |b, &sem| b.iter(|| black_box(repairer.run(&db, sem).size())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mas);
+criterion_main!(benches);

@@ -1,0 +1,205 @@
+//! Single-table binary denial constraints.
+//!
+//! The comparison experiment uses four DCs over
+//! `Author(aid, name, oid, organization)` — all of the form
+//! `¬(t1.A = t2.A ∧ t1.B ≠ t2.B)`. Detection groups rows by the equality
+//! columns and checks the inequality predicates within each group, so it is
+//! near-linear rather than quadratic.
+
+use crate::table::Table;
+use std::collections::HashMap;
+use storage::Value;
+
+/// Predicate operator between two tuples' cells.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DcOp {
+    /// `t1[left] = t2[right]`
+    Eq,
+    /// `t1[left] ≠ t2[right]`
+    Neq,
+}
+
+/// One predicate of a binary DC.
+#[derive(Clone, Copy, Debug)]
+pub struct DcPredicate {
+    /// Column of the first tuple.
+    pub left: usize,
+    /// Operator.
+    pub op: DcOp,
+    /// Column of the second tuple.
+    pub right: usize,
+}
+
+/// A binary denial constraint `¬(p1 ∧ p2 ∧ …)` over one table.
+#[derive(Clone, Debug)]
+pub struct DenialConstraint {
+    /// Display name (e.g. `DC1`).
+    pub name: String,
+    /// Conjunction of predicates over a tuple pair.
+    pub preds: Vec<DcPredicate>,
+}
+
+impl DenialConstraint {
+    /// Convenience constructor for the common `same A ⇒ same B` shape:
+    /// `¬(t1.key = t2.key ∧ t1.val ≠ t2.val)`.
+    pub fn key_determines(name: &str, key: usize, val: usize) -> DenialConstraint {
+        DenialConstraint {
+            name: name.to_owned(),
+            preds: vec![
+                DcPredicate {
+                    left: key,
+                    op: DcOp::Eq,
+                    right: key,
+                },
+                DcPredicate {
+                    left: val,
+                    op: DcOp::Neq,
+                    right: val,
+                },
+            ],
+        }
+    }
+
+    /// Columns appearing in equality predicates (the grouping key).
+    pub fn eq_columns(&self) -> Vec<(usize, usize)> {
+        self.preds
+            .iter()
+            .filter(|p| p.op == DcOp::Eq)
+            .map(|p| (p.left, p.right))
+            .collect()
+    }
+
+    /// Columns appearing in inequality predicates — the cells detection
+    /// flags as noisy.
+    pub fn neq_columns(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .preds
+            .iter()
+            .filter(|p| p.op == DcOp::Neq)
+            .flat_map(|p| [p.left, p.right])
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Do rows `(i, j)` of `table` jointly violate the constraint?
+    pub fn violates(&self, table: &Table, i: usize, j: usize) -> bool {
+        if i == j {
+            return false;
+        }
+        self.preds.iter().all(|p| {
+            let a = table.cell(i, p.left);
+            let b = table.cell(j, p.right);
+            match p.op {
+                DcOp::Eq => a == b,
+                DcOp::Neq => a != b,
+            }
+        })
+    }
+}
+
+/// All unordered violating pairs `(i, j)`, `i < j`, for one constraint.
+pub fn violating_pairs(table: &Table, dc: &DenialConstraint) -> Vec<(usize, usize)> {
+    let eq = dc.eq_columns();
+    let mut pairs = Vec::new();
+    if eq.is_empty() {
+        for i in 0..table.len() {
+            for j in (i + 1)..table.len() {
+                if dc.violates(table, i, j) || dc.violates(table, j, i) {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        return pairs;
+    }
+    // Group rows by the equality key of the *left* side; since all our DCs
+    // use symmetric keys (left == right), group membership is symmetric.
+    let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for i in 0..table.len() {
+        let key: Vec<Value> = eq.iter().map(|&(l, _)| *table.cell(i, l)).collect();
+        groups.entry(key).or_default().push(i);
+    }
+    for group in groups.values() {
+        for (a, &i) in group.iter().enumerate() {
+            for &j in &group[a + 1..] {
+                if dc.violates(table, i, j) || dc.violates(table, j, i) {
+                    pairs.push((i, j));
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// Number of distinct tuples participating in at least one violation of
+/// `dc` — the quantity reported per DC in Table 5 of the paper.
+pub fn count_violating_tuples(table: &Table, dc: &DenialConstraint) -> usize {
+    let mut rows: Vec<usize> = violating_pairs(table, dc)
+        .into_iter()
+        .flat_map(|(i, j)| [i, j])
+        .collect();
+    rows.sort_unstable();
+    rows.dedup();
+    rows.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn author_table() -> Table {
+        let mut t = Table::new(&["aid", "name", "oid", "org"]);
+        let mut push = |aid: i64, name: &str, oid: i64, org: &str| {
+            t.push_row(vec![
+                Value::Int(aid),
+                Value::str(name),
+                Value::Int(oid),
+                Value::str(org),
+            ]);
+        };
+        push(1, "Ann", 10, "MIT");
+        push(1, "Ann", 10, "MIT"); // duplicate, consistent
+        push(2, "Bob", 20, "CMU");
+        push(2, "Bob", 21, "CMU"); // violates aid→oid
+        push(3, "Cid", 30, "UW");
+        push(4, "Dan", 30, "U W"); // violates oid→org with row 4
+        t
+    }
+
+    #[test]
+    fn key_determines_finds_pairs() {
+        let t = author_table();
+        let dc1 = DenialConstraint::key_determines("DC1", 0, 2); // aid → oid
+        assert_eq!(violating_pairs(&t, &dc1), vec![(2, 3)]);
+        assert_eq!(count_violating_tuples(&t, &dc1), 2);
+    }
+
+    #[test]
+    fn consistent_duplicates_do_not_violate() {
+        let t = author_table();
+        let dc2 = DenialConstraint::key_determines("DC2", 0, 1); // aid → name
+        assert!(violating_pairs(&t, &dc2).is_empty());
+    }
+
+    #[test]
+    fn oid_determines_org() {
+        let t = author_table();
+        let dc4 = DenialConstraint::key_determines("DC4", 2, 3);
+        assert_eq!(violating_pairs(&t, &dc4), vec![(4, 5)]);
+    }
+
+    #[test]
+    fn neq_columns_flag_repairable_cells() {
+        let dc = DenialConstraint::key_determines("DC", 0, 2);
+        assert_eq!(dc.neq_columns(), vec![2]);
+        assert_eq!(dc.eq_columns(), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn violates_is_irreflexive() {
+        let t = author_table();
+        let dc = DenialConstraint::key_determines("DC", 0, 2);
+        assert!(!dc.violates(&t, 2, 2));
+    }
+}

@@ -1,0 +1,32 @@
+//! # cellrepair — a HoloClean-style probabilistic cell-repair system
+//!
+//! The paper's Section 6 compares the four deletion semantics against
+//! HoloClean [Rekatsinas et al., PVLDB 2017], which *relaxes* denial
+//! constraints and repairs **cells** (attribute values) instead of deleting
+//! tuples. HoloClean itself (Python + Torch) is not available offline, so
+//! this crate substitutes a compact reimplementation of its pipeline:
+//!
+//! 1. **detect** — find tuple pairs violating denial constraints; the cells
+//!    named by inequality predicates are marked noisy;
+//! 2. **domain** — candidate values for a noisy cell are values co-occurring
+//!    with the tuple's other attributes elsewhere in the table;
+//! 3. **featurize** — frequency, co-occurrence, minimality (is the current
+//!    value) and a DC-violation penalty per candidate;
+//! 4. **learn** — logistic weights trained by weak supervision on cells
+//!    *not* marked noisy (their current value is the positive example);
+//! 5. **infer** — repair a cell only when the best candidate's probability
+//!    beats the runner-up by a confidence margin.
+//!
+//! The confidence gate is what reproduces the paper's observation (Tables 4
+//! and 5): as errors grow, statistics get noisier, fewer repairs clear the
+//! bar, and the repaired table still contains DC violations — whereas all
+//! four deletion semantics always return a stable database.
+
+pub mod dc;
+pub mod model;
+pub mod repair;
+pub mod table;
+
+pub use dc::{count_violating_tuples, violating_pairs, DcOp, DcPredicate, DenialConstraint};
+pub use repair::{repair, CellRepairConfig, RepairReport};
+pub use table::Table;

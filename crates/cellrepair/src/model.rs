@@ -1,0 +1,252 @@
+//! Feature extraction and the weak-supervised logistic scorer.
+
+use crate::dc::DenialConstraint;
+use crate::table::Table;
+use std::collections::HashMap;
+use storage::Value;
+
+/// Number of features per candidate value.
+pub const N_FEATURES: usize = 4;
+
+/// Precomputed statistics for feature extraction.
+pub struct FeatureExtractor<'a> {
+    table: &'a Table,
+    /// `freq[c][v]` = number of rows with value `v` in column `c`.
+    freq: Vec<HashMap<Value, u32>>,
+    /// `cooc[(a, b)][(va, vb)]` = rows with `a = va ∧ b = vb`.
+    cooc: HashMap<(usize, usize), HashMap<(Value, Value), u32>>,
+    /// Per DC: rows grouped by the equality-column key.
+    dc_groups: Vec<HashMap<Vec<Value>, Vec<usize>>>,
+    dcs: &'a [DenialConstraint],
+}
+
+impl<'a> FeatureExtractor<'a> {
+    /// Scan the table once and build all statistics.
+    pub fn new(table: &'a Table, dcs: &'a [DenialConstraint]) -> FeatureExtractor<'a> {
+        let ncols = table.columns.len();
+        let mut freq = vec![HashMap::new(); ncols];
+        let mut cooc: HashMap<(usize, usize), HashMap<(Value, Value), u32>> = HashMap::new();
+        for row in &table.rows {
+            for (c, v) in row.iter().enumerate() {
+                *freq[c].entry(*v).or_insert(0) += 1;
+            }
+            for a in 0..ncols {
+                for b in 0..ncols {
+                    if a != b {
+                        *cooc
+                            .entry((a, b))
+                            .or_default()
+                            .entry((row[a], row[b]))
+                            .or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let dc_groups = dcs
+            .iter()
+            .map(|dc| {
+                let eq = dc.eq_columns();
+                let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                for (i, row) in table.rows.iter().enumerate() {
+                    let key: Vec<Value> = eq.iter().map(|&(l, _)| row[l]).collect();
+                    groups.entry(key).or_default().push(i);
+                }
+                groups
+            })
+            .collect();
+        FeatureExtractor {
+            table,
+            freq,
+            cooc,
+            dc_groups,
+            dcs,
+        }
+    }
+
+    /// How many rows would violate some DC against row `i` if cell
+    /// `(i, col)` were set to `v`?
+    fn hypothetical_violations(&self, i: usize, col: usize, v: Value) -> usize {
+        let mut hrow = self.table.rows[i].clone();
+        hrow[col] = v;
+        let mut total = 0;
+        for (dc, groups) in self.dcs.iter().zip(&self.dc_groups) {
+            let involved = dc.preds.iter().any(|p| p.left == col || p.right == col);
+            if !involved {
+                continue;
+            }
+            let eq = dc.eq_columns();
+            let key: Vec<Value> = eq.iter().map(|&(l, _)| hrow[l]).collect();
+            let Some(group) = groups.get(&key) else {
+                continue;
+            };
+            for &j in group {
+                if j == i {
+                    continue;
+                }
+                let other = &self.table.rows[j];
+                let viol = dc.preds.iter().all(|p| {
+                    let a = hrow[p.left];
+                    let b = other[p.right];
+                    match p.op {
+                        crate::dc::DcOp::Eq => a == b,
+                        crate::dc::DcOp::Neq => a != b,
+                    }
+                });
+                if viol {
+                    total += 1;
+                }
+            }
+        }
+        total
+    }
+
+    /// Feature vector for assigning `v` to cell `(row, col)`:
+    /// `[frequency, co-occurrence, minimality, dc-penalty]`, all in `[0,1]`.
+    pub fn features(&self, row: usize, col: usize, v: Value) -> [f64; N_FEATURES] {
+        let n = self.table.len() as f64;
+        let freq = *self.freq[col].get(&v).unwrap_or(&0) as f64 / n;
+        // Mean conditional probability of v given each other attribute.
+        let mut cooc_sum = 0.0;
+        let mut cooc_cnt = 0.0;
+        for other in 0..self.table.columns.len() {
+            if other == col {
+                continue;
+            }
+            let u = self.table.rows[row][other];
+            let denom = *self.freq[other].get(&u).unwrap_or(&0) as f64;
+            if denom > 0.0 {
+                let num = self
+                    .cooc
+                    .get(&(other, col))
+                    .and_then(|m| m.get(&(u, v)))
+                    .copied()
+                    .unwrap_or(0) as f64;
+                cooc_sum += num / denom;
+                cooc_cnt += 1.0;
+            }
+        }
+        let cooc = if cooc_cnt > 0.0 { cooc_sum / cooc_cnt } else { 0.0 };
+        let minimality = if self.table.rows[row][col] == v { 1.0 } else { 0.0 };
+        let viol = self.hypothetical_violations(row, col, v) as f64;
+        let dc_penalty = viol / (viol + 1.0);
+        [freq, cooc, minimality, dc_penalty]
+    }
+
+    /// [`FeatureExtractor::features`] with the minimality prior masked out.
+    ///
+    /// The initial value of a cell flagged by DC detection cannot be
+    /// trusted, so — as in HoloClean, where the minimality prior applies
+    /// only to clean cells — candidates for noisy cells are scored purely
+    /// on frequency, co-occurrence and DC violations. Training uses the
+    /// same masked vector so the learned weights match what inference sees
+    /// (otherwise the trivially separating "is the current value" indicator
+    /// absorbs all the signal and the model never repairs anything).
+    pub fn features_masked(&self, row: usize, col: usize, v: Value) -> [f64; N_FEATURES] {
+        let mut f = self.features(row, col, v);
+        f[2] = 0.0;
+        f
+    }
+}
+
+/// A logistic scorer over candidate features.
+#[derive(Clone, Debug)]
+pub struct Model {
+    /// `N_FEATURES` weights plus a bias term.
+    pub weights: [f64; N_FEATURES + 1],
+}
+
+impl Default for Model {
+    /// Sensible prior: frequency and co-occurrence help, DC violations hurt,
+    /// mild preference for the current value. Training adjusts from here.
+    fn default() -> Model {
+        Model {
+            weights: [1.0, 2.0, 0.5, -3.0, 0.0],
+        }
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl Model {
+    /// Probability that `v` is the correct value given its features.
+    pub fn predict(&self, f: &[f64; N_FEATURES]) -> f64 {
+        let mut z = self.weights[N_FEATURES];
+        for (w, x) in self.weights[..N_FEATURES].iter().zip(f) {
+            z += w * x;
+        }
+        sigmoid(z)
+    }
+
+    /// Plain SGD over `(features, label)` samples.
+    pub fn train(&mut self, samples: &[([f64; N_FEATURES], bool)], epochs: usize, lr: f64) {
+        for _ in 0..epochs {
+            for (f, label) in samples {
+                let p = self.predict(f);
+                let err = (*label as i8 as f64) - p;
+                for (w, x) in self.weights[..N_FEATURES].iter_mut().zip(f) {
+                    *w += lr * err * x;
+                }
+                self.weights[N_FEATURES] += lr * err;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::DenialConstraint;
+
+    fn table() -> Table {
+        let mut t = Table::new(&["aid", "oid"]);
+        for (aid, oid) in [(1, 10), (1, 10), (1, 99), (2, 20), (2, 20)] {
+            t.push_row(vec![Value::Int(aid), Value::Int(oid)]);
+        }
+        t
+    }
+
+    #[test]
+    fn features_prefer_the_consistent_value() {
+        let t = table();
+        let dcs = [DenialConstraint::key_determines("DC", 0, 1)];
+        let fx = FeatureExtractor::new(&t, &dcs);
+        // Row 2 has the outlier oid=99; candidate 10 co-occurs with aid=1
+        // twice and causes no violations, candidate 99 violates twice.
+        let f_good = fx.features(2, 1, Value::Int(10));
+        let f_bad = fx.features(2, 1, Value::Int(99));
+        assert!(f_good[1] > f_bad[1], "co-occurrence favors 10");
+        assert!(f_good[3] < f_bad[3], "dc penalty punishes 99");
+        assert_eq!(f_bad[2], 1.0, "99 is the current value");
+        let m = Model::default();
+        assert!(m.predict(&f_good) > m.predict(&f_bad));
+    }
+
+    #[test]
+    fn training_moves_probabilities_toward_labels() {
+        let mut m = Model {
+            weights: [0.0; N_FEATURES + 1],
+        };
+        let pos = [0.9, 0.9, 1.0, 0.0];
+        let neg = [0.1, 0.1, 0.0, 0.9];
+        let before_gap = m.predict(&pos) - m.predict(&neg);
+        m.train(&[(pos, true), (neg, false)], 200, 0.5);
+        let after_gap = m.predict(&pos) - m.predict(&neg);
+        assert!(after_gap > before_gap);
+        assert!(m.predict(&pos) > 0.8);
+        assert!(m.predict(&neg) < 0.2);
+    }
+
+    #[test]
+    fn hypothetical_violations_counted_via_groups() {
+        let t = table();
+        let dcs = [DenialConstraint::key_determines("DC", 0, 1)];
+        let fx = FeatureExtractor::new(&t, &dcs);
+        // Setting row 0's oid to 99 would clash with row 1 (10) but agree
+        // with row 2 (99).
+        assert_eq!(fx.hypothetical_violations(0, 1, Value::Int(99)), 1);
+        assert_eq!(fx.hypothetical_violations(0, 1, Value::Int(10)), 1); // row 2 still clashes
+        assert_eq!(fx.hypothetical_violations(3, 1, Value::Int(20)), 0);
+    }
+}

@@ -1,0 +1,281 @@
+//! The repair pipeline: detect → domain → featurize → learn → infer.
+
+use crate::dc::{violating_pairs, DenialConstraint};
+use crate::model::{FeatureExtractor, Model, N_FEATURES};
+use crate::table::Table;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+use storage::Value;
+
+/// Tuning knobs of the cell-repair system.
+#[derive(Clone, Debug)]
+pub struct CellRepairConfig {
+    /// Repair only when the winner beats the runner-up (and the current
+    /// value) by at least this probability margin. Higher = more cautious =
+    /// more under-repair.
+    pub confidence_margin: f64,
+    /// Candidate-domain size cap per noisy cell.
+    pub max_candidates: usize,
+    /// SGD epochs for the weak-supervised scorer.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Number of clean cells sampled as training data.
+    pub train_samples: usize,
+    /// RNG seed (sampling of training cells).
+    pub seed: u64,
+}
+
+impl Default for CellRepairConfig {
+    fn default() -> CellRepairConfig {
+        CellRepairConfig {
+            confidence_margin: 0.05,
+            max_candidates: 8,
+            epochs: 20,
+            learning_rate: 0.3,
+            train_samples: 400,
+            seed: 7,
+        }
+    }
+}
+
+/// One applied repair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Repair {
+    /// Row index.
+    pub row: usize,
+    /// Column index.
+    pub col: usize,
+    /// Previous value.
+    pub old: Value,
+    /// New value.
+    pub new: Value,
+}
+
+/// Outcome of [`repair`].
+#[derive(Clone, Debug)]
+pub struct RepairReport {
+    /// Number of cells flagged noisy by DC detection.
+    pub noisy_cells: usize,
+    /// Applied repairs (cells changed).
+    pub repairs: Vec<Repair>,
+    /// Noisy cells left untouched because no candidate cleared the
+    /// confidence margin — the source of the under-repair the paper reports.
+    pub skipped_low_confidence: usize,
+}
+
+/// Per-column inverted index `value → rows`, built once per repair run.
+type ColIndex = Vec<HashMap<Value, Vec<usize>>>;
+
+fn build_col_index(table: &Table) -> ColIndex {
+    let mut idx: ColIndex = vec![HashMap::new(); table.columns.len()];
+    for (r, row) in table.rows.iter().enumerate() {
+        for (c, v) in row.iter().enumerate() {
+            idx[c].entry(*v).or_default().push(r);
+        }
+    }
+    idx
+}
+
+/// Candidate values for a noisy cell: the current value plus values of the
+/// same column in rows agreeing on some other attribute, by co-occurrence
+/// count.
+fn candidates(table: &Table, idx: &ColIndex, row: usize, col: usize, cap: usize) -> Vec<Value> {
+    let mut counts: HashMap<Value, u32> = HashMap::new();
+    for other in 0..table.columns.len() {
+        if other == col {
+            continue;
+        }
+        let u = table.rows[row][other];
+        if let Some(rows) = idx[other].get(&u) {
+            for &r in rows {
+                *counts.entry(table.rows[r][col]).or_insert(0) += 1;
+            }
+        }
+    }
+    let current = table.rows[row][col];
+    let mut ranked: Vec<(Value, u32)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(format!("{}", a.0).cmp(&format!("{}", b.0))));
+    let mut out = vec![current];
+    for (v, _) in ranked {
+        if v != current && out.len() < cap {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Run the full pipeline on `table` in place.
+pub fn repair(
+    table: &mut Table,
+    dcs: &[DenialConstraint],
+    cfg: &CellRepairConfig,
+) -> RepairReport {
+    // 1. Detect: noisy cells named by the inequality predicates of
+    //    violating pairs.
+    let mut noisy: HashSet<(usize, usize)> = HashSet::new();
+    for dc in dcs {
+        let cols = dc.neq_columns();
+        for (i, j) in violating_pairs(table, dc) {
+            for &c in &cols {
+                noisy.insert((i, c));
+                noisy.insert((j, c));
+            }
+        }
+    }
+    let mut noisy: Vec<(usize, usize)> = noisy.into_iter().collect();
+    noisy.sort_unstable();
+
+    let fx = FeatureExtractor::new(table, dcs);
+    let col_index = build_col_index(table);
+
+    // 2–4. Weak supervision: sample clean cells from the columns that have
+    //      noisy cells; their current value is a positive example, other
+    //      candidates are negatives.
+    let noisy_set: HashSet<(usize, usize)> = noisy.iter().copied().collect();
+    let cols_with_noise: HashSet<usize> = noisy.iter().map(|&(_, c)| c).collect();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut clean_cells: Vec<(usize, usize)> = (0..table.len())
+        .flat_map(|r| cols_with_noise.iter().map(move |&c| (r, c)))
+        .filter(|cell| !noisy_set.contains(cell))
+        .collect();
+    clean_cells.shuffle(&mut rng);
+    clean_cells.truncate(cfg.train_samples);
+
+    let mut samples: Vec<([f64; N_FEATURES], bool)> = Vec::new();
+    for &(r, c) in &clean_cells {
+        let cands = candidates(table, &col_index, r, c, cfg.max_candidates);
+        let current = table.rows[r][c];
+        for v in cands {
+            samples.push((fx.features_masked(r, c, v), v == current));
+        }
+    }
+    let mut model = Model::default();
+    model.train(&samples, cfg.epochs, cfg.learning_rate);
+
+    // 5. Infer: argmax candidate per noisy cell, gated by the confidence
+    //    margin; repairs are applied in one batch afterwards so scoring sees
+    //    a consistent table.
+    let mut repairs: Vec<Repair> = Vec::new();
+    let mut skipped = 0usize;
+    for &(r, c) in &noisy {
+        let current = table.rows[r][c];
+        let mut scored: Vec<(Value, f64)> =
+            candidates(table, &col_index, r, c, cfg.max_candidates)
+            .into_iter()
+            .map(|v| (v, model.predict(&fx.features_masked(r, c, v))))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let (best, best_p) = scored[0];
+        if best == current {
+            continue; // keep as-is; not an under-repair, the model trusts it
+        }
+        let runner_up = scored
+            .iter()
+            .find(|(v, _)| *v != best)
+            .map(|&(_, p)| p)
+            .unwrap_or(0.0);
+        if best_p - runner_up >= cfg.confidence_margin {
+            repairs.push(Repair {
+                row: r,
+                col: c,
+                old: current,
+                new: best,
+            });
+        } else {
+            skipped += 1;
+        }
+    }
+    for rep in &repairs {
+        table.set(rep.row, rep.col, rep.new);
+    }
+    RepairReport {
+        noisy_cells: noisy.len(),
+        repairs,
+        skipped_low_confidence: skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::count_violating_tuples;
+
+    /// A small table with duplicate author records and two injected errors.
+    fn dirty_table() -> (Table, Vec<DenialConstraint>) {
+        let mut t = Table::new(&["aid", "name", "oid", "org"]);
+        let mut push = |aid: i64, name: &str, oid: i64, org: &str| {
+            t.push_row(vec![
+                Value::Int(aid),
+                Value::str(name),
+                Value::Int(oid),
+                Value::str(org),
+            ]);
+        };
+        // Three duplicated authors across two orgs; plenty of clean signal.
+        for _ in 0..3 {
+            push(1, "Ann", 10, "MIT");
+            push(2, "Bob", 10, "MIT");
+            push(3, "Cid", 20, "CMU");
+        }
+        // Errors: one wrong oid for Ann, one wrong org for Cid.
+        push(1, "Ann", 99, "MIT");
+        push(3, "Cid", 20, "CMx");
+        let dcs = vec![
+            DenialConstraint::key_determines("DC1", 0, 2), // aid → oid
+            DenialConstraint::key_determines("DC2", 0, 1), // aid → name
+            DenialConstraint::key_determines("DC3", 0, 3), // aid → org
+            DenialConstraint::key_determines("DC4", 2, 3), // oid → org
+        ];
+        (t, dcs)
+    }
+
+    #[test]
+    fn repairs_fix_clear_errors() {
+        let (mut t, dcs) = dirty_table();
+        let before: usize = dcs.iter().map(|d| count_violating_tuples(&t, d)).sum();
+        assert!(before > 0);
+        let report = repair(&mut t, &dcs, &CellRepairConfig::default());
+        assert!(!report.repairs.is_empty(), "should repair something");
+        let after: usize = dcs.iter().map(|d| count_violating_tuples(&t, d)).sum();
+        assert!(after < before, "violations must decrease ({before} → {after})");
+        // The wrong oid should be restored to 10.
+        let fixed = t.rows[9][2];
+        assert_eq!(fixed, Value::Int(10));
+    }
+
+    #[test]
+    fn high_margin_under_repairs() {
+        let (mut t, dcs) = dirty_table();
+        let cautious = CellRepairConfig {
+            confidence_margin: 0.99,
+            ..Default::default()
+        };
+        let report = repair(&mut t, &dcs, &cautious);
+        assert!(report.repairs.is_empty());
+        assert!(report.skipped_low_confidence > 0 || report.noisy_cells > 0);
+    }
+
+    #[test]
+    fn clean_table_is_untouched() {
+        let mut t = Table::new(&["aid", "oid"]);
+        t.push_row(vec![Value::Int(1), Value::Int(10)]);
+        t.push_row(vec![Value::Int(1), Value::Int(10)]);
+        let dcs = vec![DenialConstraint::key_determines("DC", 0, 1)];
+        let report = repair(&mut t, &dcs, &CellRepairConfig::default());
+        assert_eq!(report.noisy_cells, 0);
+        assert!(report.repairs.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (mut t1, dcs) = dirty_table();
+        let (mut t2, _) = dirty_table();
+        let cfg = CellRepairConfig::default();
+        let r1 = repair(&mut t1, &dcs, &cfg);
+        let r2 = repair(&mut t2, &dcs, &cfg);
+        assert_eq!(r1.repairs, r2.repairs);
+    }
+}

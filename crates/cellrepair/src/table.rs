@@ -1,0 +1,88 @@
+//! A single mutable table (cell repair modifies values in place, which the
+//! append-only [`storage::Instance`] deliberately does not support).
+
+use storage::Value;
+
+/// A named-column table with mutable cells.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Row-major cells.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Empty table with the given columns.
+    pub fn new(columns: &[&str]) -> Table {
+        Table {
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn push_row(&mut self, row: Vec<Value>) {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Column index by name.
+    pub fn col(&self, name: &str) -> usize {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("no column `{name}`"))
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cell accessor.
+    pub fn cell(&self, row: usize, col: usize) -> &Value {
+        &self.rows[row][col]
+    }
+
+    /// Overwrite one cell.
+    pub fn set(&mut self, row: usize, col: usize, v: Value) {
+        self.rows[row][col] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let mut t = Table::new(&["aid", "name"]);
+        t.push_row(vec![Value::Int(1), Value::str("Ann")]);
+        t.push_row(vec![Value::Int(2), Value::str("Bob")]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.col("name"), 1);
+        assert_eq!(t.cell(1, 1), &Value::str("Bob"));
+        t.set(1, 1, Value::str("Ben"));
+        assert_eq!(t.cell(1, 1), &Value::str("Ben"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.push_row(vec![Value::Int(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn unknown_column_panics() {
+        let t = Table::new(&["a"]);
+        t.col("zzz");
+    }
+}

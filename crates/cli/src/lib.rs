@@ -1,0 +1,373 @@
+//! Implementation of the `delta-repair` command-line tool.
+//!
+//! The binary wraps the library for shell use:
+//!
+//! ```text
+//! delta-repair --db data.tsv --program rules.dl [--semantics step] \
+//!              [--apply out.tsv] [--explain] [--triggers alphabetical]
+//! ```
+//!
+//! * `--db` — a self-describing TSV document (typed `# relation` headers,
+//!   see `storage::tsv::load_document`);
+//! * `--program` — delta rules in the paper's concrete syntax;
+//! * `--semantics` — `independent`, `step`, `stage`, `end`, or `all`
+//!   (default `all`: compare the four results side by side);
+//! * `--apply OUT` — write the database repaired under the chosen
+//!   semantics back to a typed TSV document;
+//! * `--explain` — list the deleted tuples, not just the counts;
+//! * `--triggers ORDER` — additionally simulate "after delete, delete" SQL
+//!   triggers with `alphabetical` (PostgreSQL) or `creation` (MySQL)
+//!   firing order.
+//!
+//! The module is a library so the parsing/reporting logic is unit-testable;
+//! `main.rs` is a thin shell.
+
+use repair_core::{RepairResult, Repairer, Semantics};
+use std::fmt::Write as _;
+use storage::{tsv, Instance, TupleId};
+use triggers::FiringOrder;
+
+/// Parsed command line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Options {
+    /// Path of the TSV database document.
+    pub db: String,
+    /// Path of the delta program.
+    pub program: String,
+    /// Semantics to run (`None` = all four).
+    pub semantics: Option<Semantics>,
+    /// Write the repaired database here.
+    pub apply: Option<String>,
+    /// Print deleted tuples.
+    pub explain: bool,
+    /// Also simulate triggers with this firing order.
+    pub triggers: Option<FiringOrder>,
+    /// Explain why this tuple (by display name, e.g. `Pub(6, x)`) is
+    /// deleted under end semantics.
+    pub why: Option<String>,
+    /// Emit the Figure-5 provenance graph as Graphviz DOT.
+    pub dot: bool,
+}
+
+/// Usage string printed on `--help` and argument errors.
+pub const USAGE: &str = "\
+delta-repair — declarative database repair under four semantics
+
+USAGE:
+    delta-repair --db DATA.tsv --program RULES.dl [OPTIONS]
+
+OPTIONS:
+    --db PATH          self-describing TSV document (typed headers)
+    --program PATH     delta rules (paper syntax; `delta R(x) :- R(x), ….`)
+    --semantics NAME   independent | step | stage | end | all   [default: all]
+    --apply PATH       write the repaired database (typed TSV) to PATH
+    --explain          list every deleted tuple
+    --triggers ORDER   also run SQL-trigger simulation: alphabetical | creation
+    --why TUPLE        print the derivation tree for a tuple, e.g. --why 'Pub(6, x)'
+    --dot              print the provenance graph in Graphviz DOT format
+    --help             this text
+";
+
+/// Parse `argv[1..]`-style arguments.
+pub fn parse_args<I, S>(args: I) -> Result<Options, String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut db = None;
+    let mut program = None;
+    let mut semantics = None;
+    let mut apply = None;
+    let mut explain = false;
+    let mut triggers = None;
+    let mut why = None;
+    let mut dot = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let arg = arg.as_ref();
+        let mut value_for = |name: &str| {
+            it.next()
+                .map(|v| v.as_ref().to_owned())
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg {
+            "--db" => db = Some(value_for("--db")?),
+            "--program" => program = Some(value_for("--program")?),
+            "--semantics" => {
+                semantics = match value_for("--semantics")?.as_str() {
+                    "independent" | "ind" => Some(Some(Semantics::Independent)),
+                    "step" => Some(Some(Semantics::Step)),
+                    "stage" => Some(Some(Semantics::Stage)),
+                    "end" => Some(Some(Semantics::End)),
+                    "all" => Some(None),
+                    other => return Err(format!("unknown semantics `{other}`")),
+                }
+            }
+            "--apply" => apply = Some(value_for("--apply")?),
+            "--explain" => explain = true,
+            "--why" => why = Some(value_for("--why")?),
+            "--dot" => dot = true,
+            "--triggers" => {
+                triggers = Some(match value_for("--triggers")?.as_str() {
+                    "alphabetical" | "postgres" | "postgresql" => FiringOrder::Alphabetical,
+                    "creation" | "mysql" => FiringOrder::CreationOrder,
+                    other => return Err(format!("unknown firing order `{other}`")),
+                })
+            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(Options {
+        db: db.ok_or("--db is required")?,
+        program: program.ok_or("--program is required")?,
+        semantics: semantics.unwrap_or(None),
+        apply,
+        explain,
+        triggers,
+        why,
+        dot,
+    })
+}
+
+/// Everything the run produced, ready for printing or inspection.
+pub struct RunOutput {
+    /// Per-semantics results, in the requested order.
+    pub results: Vec<RepairResult>,
+    /// The report text.
+    pub report: String,
+    /// The repaired document, when `--apply` was requested.
+    pub applied: Option<String>,
+}
+
+/// Load inputs, repair, and render the report. Pure with respect to the
+/// filesystem: callers hand in file *contents*.
+pub fn run(opts: &Options, db_text: &str, program_text: &str) -> Result<RunOutput, String> {
+    let mut db = tsv::load_document(db_text).map_err(|e| format!("--db: {e}"))?;
+    let program = datalog::parse_program(program_text).map_err(|e| format!("--program: {e}"))?;
+    let repairer =
+        Repairer::new(&mut db, program.clone()).map_err(|e| format!("--program: {e}"))?;
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "database: {} tuples in {} relations; program: {} rules",
+        db.total_rows(),
+        db.schema().len(),
+        program.len()
+    );
+    if repairer.is_stable(&db) {
+        let _ = writeln!(report, "database is already stable: nothing to repair");
+    }
+    let analysis = datalog::analyze(&program);
+    if !analysis.is_nonrecursive() {
+        let _ = writeln!(
+            report,
+            "note: program is recursive through Δ{} — all semantics terminate, \
+             but provenance size is data-dependent (see paper §8)",
+            analysis.recursive_relations.join(", Δ")
+        );
+    }
+
+    let wanted: Vec<Semantics> = match opts.semantics {
+        Some(s) => vec![s],
+        None => Semantics::ALL.to_vec(),
+    };
+    let mut results = Vec::with_capacity(wanted.len());
+    for sem in &wanted {
+        let r = repairer.run(&db, *sem);
+        let _ = writeln!(
+            report,
+            "{:<12} |S| = {:<6} eval {:>9.2?}  process {:>9.2?}  solve {:>9.2?}{}",
+            sem.to_string(),
+            r.size(),
+            r.breakdown.eval,
+            r.breakdown.process,
+            r.breakdown.solve,
+            if r.proven_optimal { "" } else { "  (heuristic)" },
+        );
+        if opts.explain {
+            for &t in &r.deleted {
+                let _ = writeln!(report, "    - {}", db.display_tuple(t));
+            }
+        }
+        results.push(r);
+    }
+
+    if let Some(order) = opts.triggers {
+        let trigs = triggers::triggers_from_program(&program);
+        let run = triggers::run_triggers(&db, repairer.evaluator(), &trigs, order);
+        let _ = writeln!(
+            report,
+            "triggers     |S| = {:<6} ({} activations, {:?} order, stable: {})",
+            run.deleted.len(),
+            run.activations,
+            order,
+            run.stable
+        );
+        if opts.explain {
+            for &t in &run.deleted {
+                let _ = writeln!(report, "    - {}", db.display_tuple(t));
+            }
+        }
+    }
+
+    if let Some(name) = &opts.why {
+        let target = db
+            .all_tuple_ids()
+            .find(|&t| db.display_tuple(t) == *name)
+            .ok_or_else(|| format!("--why: no tuple named `{name}` in the database"))?;
+        match repairer.explain(&db, target) {
+            Some(tree) => {
+                let _ = writeln!(report, "derivation of Δ {name}:");
+                report.push_str(&tree.render(&db));
+            }
+            None => {
+                let _ = writeln!(report, "{name} is never deleted under end semantics");
+            }
+        }
+    }
+    if opts.dot {
+        report.push_str(&repairer.provenance_dot(&db));
+    }
+
+    let applied = if opts.apply.is_some() {
+        let chosen = &results[0];
+        let _ = writeln!(
+            report,
+            "applying {} repair: {} of {} tuples remain",
+            chosen.semantics,
+            db.total_rows() - chosen.size(),
+            db.total_rows()
+        );
+        Some(tsv::to_tsv_typed(&apply_repair(&db, &chosen.deleted)))
+    } else {
+        None
+    };
+
+    Ok(RunOutput {
+        results,
+        report,
+        applied,
+    })
+}
+
+/// A new instance without the deleted tuples.
+pub fn apply_repair(db: &Instance, deleted: &[TupleId]) -> Instance {
+    let mut out = Instance::new(db.schema().clone());
+    for t in db.all_tuple_ids() {
+        if deleted.binary_search(&t).is_err() {
+            out.insert(t.rel, db.tuple(t).clone()).expect("same schema");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DB: &str = "\
+# relation Grant(gid: int, name: string)
+1\tNSF
+2\tERC
+# relation AuthGrant(aid: int, gid: int)
+2\t1
+4\t2
+5\t2
+";
+
+    const RULES: &str = "\
+delta Grant(g, n) :- Grant(g, n), n = 'ERC'.
+delta AuthGrant(a, g) :- AuthGrant(a, g), delta Grant(g, n).
+";
+
+    fn base_opts() -> Options {
+        Options {
+            db: "db.tsv".into(),
+            program: "rules.dl".into(),
+            semantics: None,
+            apply: None,
+            explain: false,
+            triggers: None,
+            why: None,
+            dot: false,
+        }
+    }
+
+    #[test]
+    fn parse_args_happy_path() {
+        let opts = parse_args([
+            "--db", "d.tsv", "--program", "p.dl", "--semantics", "step", "--explain",
+            "--apply", "out.tsv", "--triggers", "mysql",
+        ])
+        .unwrap();
+        assert_eq!(opts.semantics, Some(Semantics::Step));
+        assert!(opts.explain);
+        assert_eq!(opts.apply.as_deref(), Some("out.tsv"));
+        assert_eq!(opts.triggers, Some(FiringOrder::CreationOrder));
+    }
+
+    #[test]
+    fn parse_args_errors() {
+        assert!(parse_args(["--db", "x"]).is_err(), "missing --program");
+        assert!(parse_args(["--program", "x"]).is_err(), "missing --db");
+        assert!(parse_args(["--db"]).is_err(), "missing value");
+        assert!(parse_args(["--semantics", "vibes", "--db", "a", "--program", "b"]).is_err());
+        assert!(parse_args(["--frobnicate"]).is_err());
+        assert!(parse_args(["--help"]).is_err(), "help via Err(USAGE)");
+    }
+
+    #[test]
+    fn run_all_semantics() {
+        let out = run(&base_opts(), DB, RULES).unwrap();
+        assert_eq!(out.results.len(), 4);
+        // Pure cascade: all four agree on {g2, ag2, ag3}.
+        for r in &out.results {
+            assert_eq!(r.size(), 3, "{}", r.semantics);
+        }
+        assert!(out.report.contains("independent"));
+        assert!(out.report.contains("|S| = 3"));
+    }
+
+    #[test]
+    fn run_single_semantics_with_apply_and_explain() {
+        let mut opts = base_opts();
+        opts.semantics = Some(Semantics::End);
+        opts.apply = Some("out.tsv".into());
+        opts.explain = true;
+        let out = run(&opts, DB, RULES).unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert!(out.report.contains("- Grant(2, ERC)"));
+        let doc = out.applied.expect("apply requested");
+        assert!(doc.contains("1\tNSF"));
+        assert!(!doc.contains("2\tERC"));
+        // The applied document is itself loadable and stable.
+        let repaired = tsv::load_document(&doc).unwrap();
+        assert_eq!(repaired.total_rows(), 2);
+    }
+
+    #[test]
+    fn run_reports_stability() {
+        let stable_rules = "delta Grant(g, n) :- Grant(g, n), n = 'NIH'.";
+        let out = run(&base_opts(), DB, stable_rules).unwrap();
+        assert!(out.report.contains("already stable"));
+        assert!(out.results.iter().all(|r| r.size() == 0));
+    }
+
+    #[test]
+    fn run_with_triggers() {
+        let mut opts = base_opts();
+        opts.triggers = Some(FiringOrder::Alphabetical);
+        let out = run(&opts, DB, RULES).unwrap();
+        assert!(out.report.contains("triggers"));
+        assert!(out.report.contains("stable: true"));
+    }
+
+    #[test]
+    fn run_rejects_bad_inputs() {
+        assert!(run(&base_opts(), "not a document", RULES).is_err());
+        assert!(run(&base_opts(), DB, "delta Nope(x) :- Nope(x).").is_err());
+        assert!(run(&base_opts(), DB, "garbage !!").is_err());
+    }
+}

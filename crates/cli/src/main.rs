@@ -1,0 +1,46 @@
+//! `delta-repair` — shell entry point. All logic lives in the library
+//! (`cli`) so it can be unit-tested; this file only touches the filesystem
+//! and process exit codes.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = match cli::parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let db_text = match std::fs::read_to_string(&opts.db) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", opts.db);
+            return ExitCode::FAILURE;
+        }
+    };
+    let program_text = match std::fs::read_to_string(&opts.program) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", opts.program);
+            return ExitCode::FAILURE;
+        }
+    };
+    match cli::run(&opts, &db_text, &program_text) {
+        Ok(out) => {
+            print!("{}", out.report);
+            if let (Some(path), Some(doc)) = (&opts.apply, &out.applied) {
+                if let Err(e) = std::fs::write(path, doc) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote repaired database to {path}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Independent semantics (Definition 3.3) — Algorithm 1 plus an exact
+//! reference.
+//!
+//! The result is the smallest set `S` of tuples such that
+//! `(D \ S) ∪ Δ(S)` satisfies no rule. Algorithm 1:
+//!
+//! 1. **Eval** — enumerate every *possible* assignment (delta atoms range
+//!    over all of `D`, not just derivable deltas) and store each as a DNF
+//!    provenance clause;
+//! 2. **Process Prov** — negate the disjunction: a CNF over per-tuple
+//!    deletion variables;
+//! 3. **Solve** — Min-Ones SAT: a model with the fewest `True` (deleted)
+//!    variables is a minimum stabilizing set.
+
+use crate::result::PhaseBreakdown;
+use datalog::{Evaluator, Mode};
+use provenance::ProvFormula;
+use sat::{solve_min_ones, Cnf, Lit, MinOnesOptions, Outcome};
+use std::collections::HashMap;
+use std::time::Instant;
+use storage::{Instance, State, TupleId};
+
+/// Outcome of Algorithm 1.
+#[derive(Debug)]
+pub struct IndependentOutcome {
+    /// Final state after deleting the set.
+    pub state: State,
+    /// `Ind(P, D)`, sorted.
+    pub deleted: Vec<TupleId>,
+    /// Eval / Process Prov / Solve, Figure 8's categories for Algorithm 1.
+    pub breakdown: PhaseBreakdown,
+    /// Whether the SAT search proved minimality (no budget cut-off).
+    pub optimal: bool,
+    /// Number of CNF clauses after deduplication.
+    pub cnf_clauses: usize,
+    /// SAT statistics.
+    pub sat_stats: sat::Stats,
+}
+
+/// Run Algorithm 1 with the given solver options.
+pub fn run(db: &Instance, ev: &Evaluator, opts: &MinOnesOptions) -> IndependentOutcome {
+    // Phase 1: Eval — provenance of all possible delta tuples.
+    let t0 = Instant::now();
+    let state0 = db.initial_state();
+    let mut assignments = Vec::new();
+    ev.for_each_assignment(db, &state0, Mode::Hypothetical, &mut |a| {
+        assignments.push(a.clone());
+        true
+    });
+    let eval = t0.elapsed();
+
+    // Phase 2: Process Prov — negated formula as CNF over deletion vars.
+    let t1 = Instant::now();
+    let formula = ProvFormula::from_assignments(assignments.iter());
+    let universe = formula.tuple_universe();
+    let var_of: HashMap<TupleId, u32> = universe
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| (t, i as u32))
+        .collect();
+    let mut cnf = Cnf::new(universe.len());
+    let mut lits = Vec::new();
+    for clause in formula.clauses() {
+        lits.clear();
+        // ¬(pos present ∧ neg deleted) = ⋁ del(pos) ∨ ⋁ ¬del(neg).
+        lits.extend(clause.pos.iter().map(|t| Lit::pos(var_of[t])));
+        lits.extend(clause.neg.iter().map(|t| Lit::neg(var_of[t])));
+        cnf.add_clause(&lits);
+    }
+    let process = t1.elapsed();
+
+    // Phase 3: Solve — Min-Ones SAT.
+    let t2 = Instant::now();
+    let outcome = solve_min_ones(&cnf, opts);
+    let solve = t2.elapsed();
+
+    let solution = match outcome {
+        Outcome::Sat(s) => s,
+        // Proposition 3.18: a stabilizing set always exists (every clause
+        // has a positive literal via the head witness), so ¬F is always
+        // satisfiable.
+        Outcome::Unsat => unreachable!("delta-rule CNFs are always satisfiable"),
+    };
+    let mut deleted: Vec<TupleId> = universe
+        .iter()
+        .zip(&solution.values)
+        .filter(|(_, &del)| del)
+        .map(|(&t, _)| t)
+        .collect();
+    deleted.sort_unstable();
+    let mut state = db.initial_state();
+    for &t in &deleted {
+        state.delete(t);
+    }
+    IndependentOutcome {
+        state,
+        deleted,
+        breakdown: PhaseBreakdown {
+            eval,
+            process,
+            solve,
+        },
+        optimal: solution.optimal,
+        cnf_clauses: cnf.num_clauses(),
+        sat_stats: solution.stats,
+    }
+}
+
+/// Exact independent semantics by subset enumeration in increasing size over
+/// the tuples mentioned in the provenance formula. Exponential — test use
+/// only. Returns `None` if the universe exceeds `max_universe` tuples.
+pub fn optimal(db: &Instance, ev: &Evaluator, max_universe: usize) -> Option<Vec<TupleId>> {
+    let state0 = db.initial_state();
+    let mut assignments = Vec::new();
+    ev.for_each_assignment(db, &state0, Mode::Hypothetical, &mut |a| {
+        assignments.push(a.clone());
+        true
+    });
+    let formula = ProvFormula::from_assignments(assignments.iter());
+    let universe = formula.tuple_universe();
+    let n = universe.len();
+    if n > max_universe {
+        return None;
+    }
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    // Subsets in order of increasing popcount.
+    let mut masks: Vec<u64> = (0..(1u64 << n)).collect();
+    masks.sort_by_key(|m| m.count_ones());
+    for mask in masks {
+        let set: std::collections::HashSet<TupleId> = universe
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &t)| t)
+            .collect();
+        if formula.stable_under(&set) {
+            let mut v: Vec<TupleId> = set.into_iter().collect();
+            v.sort_unstable();
+            return Some(v);
+        }
+    }
+    unreachable!("the full universe is always stabilizing")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{figure1_instance, figure2_program, names_of, tiny_instance};
+    use datalog::{parse_program, Evaluator};
+
+    fn default_run(db: &Instance, ev: &Evaluator) -> IndependentOutcome {
+        run(db, ev, &MinOnesOptions::default())
+    }
+
+    #[test]
+    fn example_3_4_independent_result() {
+        // Ind(P, D) = {g2, ag2, ag3}: deleting the AuthGrant tuples voids
+        // rule (1) without any cascade.
+        let mut db = figure1_instance();
+        let ev = Evaluator::new(&mut db, figure2_program()).unwrap();
+        let out = default_run(&db, &ev);
+        assert_eq!(
+            names_of(&db, &out.deleted),
+            vec!["AuthGrant(4, 2)", "AuthGrant(5, 2)", "Grant(2, ERC)"]
+        );
+        assert!(out.optimal);
+        assert!(ev.is_stable(&db, &out.state));
+    }
+
+    #[test]
+    fn example_5_1_formula_shape() {
+        // After dedup (rules 2/3 share bodies) the negated formula has six
+        // clauses, exactly as printed in Example 5.1.
+        let mut db = figure1_instance();
+        let ev = Evaluator::new(&mut db, figure2_program()).unwrap();
+        let out = default_run(&db, &ev);
+        // One hypothetical rule-1 assignment goes through g1/ag1/a1 — it
+        // dedups with nothing, so 7 total: Example 5.1 writes only the 6
+        // clauses over the ERC side plus the unit; the g1 clause
+        // (¬a1 ∨ ¬ag1 ∨ g1) is trivially satisfiable and does not change
+        // the result.
+        assert_eq!(out.cnf_clauses, 7);
+    }
+
+    #[test]
+    fn matches_exact_search_on_running_example() {
+        let mut db = figure1_instance();
+        let ev = Evaluator::new(&mut db, figure2_program()).unwrap();
+        let alg1 = default_run(&db, &ev);
+        let exact = optimal(&db, &ev, 13).unwrap();
+        assert_eq!(alg1.deleted.len(), exact.len());
+    }
+
+    #[test]
+    fn prop_3_20_item_1_ind_can_beat_everything() {
+        // D = {R1(a1..a5), R2(b)}, rule ΔR1(x) :- R1(x), R2(y): independent
+        // deletes just R2(b); the others must delete all of R1.
+        let mut db = tiny_instance(&[1, 2, 3, 4, 5], &[9], &[]);
+        let program = parse_program("delta R1(x) :- R1(x), R2(y).").unwrap();
+        let ev = Evaluator::new(&mut db, program).unwrap();
+        let ind = default_run(&db, &ev);
+        assert_eq!(names_of(&db, &ind.deleted), vec!["R2(9)"]);
+        let end_out = crate::end::run(&db, &ev);
+        assert_eq!(end_out.deleted.len(), 5);
+    }
+
+    #[test]
+    fn unconstrained_stable_database() {
+        let mut db = tiny_instance(&[1], &[], &[]);
+        let program = parse_program("delta R1(x) :- R1(x), R2(y).").unwrap();
+        let ev = Evaluator::new(&mut db, program).unwrap();
+        let out = default_run(&db, &ev);
+        assert!(out.deleted.is_empty());
+        assert_eq!(out.cnf_clauses, 0);
+    }
+
+    #[test]
+    fn first_solution_mode_still_stabilizes() {
+        let mut db = figure1_instance();
+        let ev = Evaluator::new(&mut db, figure2_program()).unwrap();
+        let out = run(
+            &db,
+            &ev,
+            &MinOnesOptions {
+                first_solution_only: true,
+                ..Default::default()
+            },
+        );
+        assert!(ev.is_stable(&db, &out.state));
+    }
+
+    #[test]
+    fn exact_enumerator_budget() {
+        let mut db = figure1_instance();
+        let ev = Evaluator::new(&mut db, figure2_program()).unwrap();
+        assert!(optimal(&db, &ev, 2).is_none());
+    }
+}

@@ -1,0 +1,115 @@
+//! Containment and size relationships between semantics results
+//! (Proposition 3.20, Figure 3, Table 3).
+
+use crate::result::RepairResult;
+use storage::TupleId;
+
+/// Is sorted `a` a subset of sorted `b`?
+pub fn is_subset(a: &[TupleId], b: &[TupleId]) -> bool {
+    let mut j = 0;
+    for &x in a {
+        loop {
+            if j >= b.len() {
+                return false;
+            }
+            match b[j].cmp(&x) {
+                std::cmp::Ordering::Less => j += 1,
+                std::cmp::Ordering::Equal => {
+                    j += 1;
+                    break;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+    }
+    true
+}
+
+/// Set equality of sorted slices.
+pub fn set_eq(a: &[TupleId], b: &[TupleId]) -> bool {
+    a == b
+}
+
+/// One row of Table 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ContainmentRow {
+    /// `Step(P,D) = Stage(P,D)`?
+    pub step_eq_stage: bool,
+    /// `Ind(P,D) ⊆ Stage(P,D)`?
+    pub ind_sub_stage: bool,
+    /// `Ind(P,D) ⊆ Step(P,D)`?
+    pub ind_sub_step: bool,
+}
+
+/// Compute the Table 3 relationships from the four results.
+pub fn table3_row(
+    ind: &RepairResult,
+    step: &RepairResult,
+    stage: &RepairResult,
+) -> ContainmentRow {
+    ContainmentRow {
+        step_eq_stage: set_eq(&step.deleted, &stage.deleted),
+        ind_sub_stage: is_subset(&ind.deleted, &stage.deleted),
+        ind_sub_step: is_subset(&ind.deleted, &step.deleted),
+    }
+}
+
+/// The invariants of Figure 3 that must hold for **every** database and
+/// program: size of independent ≤ size of step and stage; stage ⊆ end;
+/// step ⊆ end. Returns a violation description, or `None` when all hold.
+pub fn check_figure3_invariants(
+    ind: &RepairResult,
+    step: &RepairResult,
+    stage: &RepairResult,
+    end: &RepairResult,
+) -> Option<String> {
+    if ind.deleted.len() > step.deleted.len() {
+        return Some(format!(
+            "|Ind| = {} > |Step| = {}",
+            ind.deleted.len(),
+            step.deleted.len()
+        ));
+    }
+    if ind.deleted.len() > stage.deleted.len() {
+        return Some(format!(
+            "|Ind| = {} > |Stage| = {}",
+            ind.deleted.len(),
+            stage.deleted.len()
+        ));
+    }
+    if !is_subset(&stage.deleted, &end.deleted) {
+        return Some("Stage ⊄ End".to_owned());
+    }
+    if !is_subset(&step.deleted, &end.deleted) {
+        return Some("Step ⊄ End".to_owned());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage::RelId;
+
+    fn t(r: u16, w: u32) -> TupleId {
+        TupleId::new(RelId(r), w)
+    }
+
+    #[test]
+    fn subset_on_sorted_slices() {
+        let a = vec![t(0, 1), t(1, 2)];
+        let b = vec![t(0, 0), t(0, 1), t(1, 2), t(2, 0)];
+        assert!(is_subset(&a, &b));
+        assert!(!is_subset(&b, &a));
+        assert!(is_subset(&[], &a));
+        assert!(is_subset(&a, &a));
+        assert!(!is_subset(&[t(3, 0)], &b));
+    }
+
+    #[test]
+    fn equality_is_exact() {
+        let a = vec![t(0, 1)];
+        assert!(set_eq(&a, &a.clone()));
+        assert!(!set_eq(&a, &[]));
+    }
+}

@@ -1,0 +1,211 @@
+//! The unified entry point: validate once, repair under any semantics.
+
+use crate::result::{PhaseBreakdown, RepairResult, Semantics};
+use crate::{end, independent, stability, stage, step};
+use datalog::{DatalogError, Evaluator, Program};
+use sat::MinOnesOptions;
+use std::time::Instant;
+use storage::{Instance, TupleId};
+
+/// A validated, planned delta program bound to a schema, ready to run any of
+/// the four semantics.
+pub struct Repairer {
+    ev: Evaluator,
+    minones: MinOnesOptions,
+}
+
+impl Repairer {
+    /// Default per-component decision budget for the Min-Ones search used by
+    /// independent semantics. The paper's observation that exact solvers are
+    /// "not polynomial [but] efficient in practice" holds here too: every
+    /// workload of Tables 1 and 2 except the widest DC-style joins proves
+    /// optimality well within this budget, and on the pathological instances
+    /// the greedy-first incumbent (reached within the first few thousand
+    /// nodes) is returned with [`RepairResult::proven_optimal`] = `false`
+    /// instead of searching forever. Use [`Repairer::with_options`] with
+    /// `node_budget: u64::MAX` for a provably exact answer.
+    pub const DEFAULT_NODE_BUDGET: u64 = 200_000;
+
+    /// Validate `program` against `db`'s schema and prepare join plans and
+    /// indexes.
+    pub fn new(db: &mut Instance, program: Program) -> Result<Repairer, DatalogError> {
+        Ok(Repairer {
+            ev: Evaluator::new(db, program)?,
+            minones: MinOnesOptions {
+                node_budget: Self::DEFAULT_NODE_BUDGET,
+                ..MinOnesOptions::default()
+            },
+        })
+    }
+
+    /// Like [`Repairer::new`] with explicit Min-Ones solver options
+    /// (ablation benches switch decomposition off or cap the node budget).
+    pub fn with_options(
+        db: &mut Instance,
+        program: Program,
+        minones: MinOnesOptions,
+    ) -> Result<Repairer, DatalogError> {
+        Ok(Repairer {
+            ev: Evaluator::new(db, program)?,
+            minones,
+        })
+    }
+
+    /// The underlying evaluator.
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.ev
+    }
+
+    /// Run one semantics and return its result with phase timings.
+    pub fn run(&self, db: &Instance, semantics: Semantics) -> RepairResult {
+        match semantics {
+            Semantics::End => {
+                let t0 = Instant::now();
+                let out = end::run(db, &self.ev);
+                RepairResult {
+                    semantics,
+                    deleted: out.deleted,
+                    breakdown: PhaseBreakdown {
+                        eval: t0.elapsed(),
+                        ..Default::default()
+                    },
+                    proven_optimal: true,
+                }
+            }
+            Semantics::Stage => {
+                let t0 = Instant::now();
+                let out = stage::run(db, &self.ev);
+                RepairResult {
+                    semantics,
+                    deleted: out.deleted,
+                    breakdown: PhaseBreakdown {
+                        eval: t0.elapsed(),
+                        ..Default::default()
+                    },
+                    proven_optimal: true,
+                }
+            }
+            Semantics::Step => {
+                let out = step::run_greedy(db, &self.ev);
+                RepairResult {
+                    semantics,
+                    deleted: out.deleted,
+                    breakdown: out.breakdown,
+                    proven_optimal: false,
+                }
+            }
+            Semantics::Independent => {
+                let out = independent::run(db, &self.ev, &self.minones);
+                RepairResult {
+                    semantics,
+                    deleted: out.deleted,
+                    breakdown: out.breakdown,
+                    proven_optimal: out.optimal,
+                }
+            }
+        }
+    }
+
+    /// Run all four semantics in the paper's order
+    /// (independent, step, stage, end).
+    pub fn run_all(&self, db: &Instance) -> [RepairResult; 4] {
+        Semantics::ALL.map(|s| self.run(db, s))
+    }
+
+    /// Is the database already stable?
+    pub fn is_stable(&self, db: &Instance) -> bool {
+        stability::initially_stable(db, &self.ev)
+    }
+
+    /// Does deleting `deleted` stabilize the database? Every
+    /// [`RepairResult`] must pass this (Proposition 3.18).
+    pub fn verify_stabilizing(&self, db: &Instance, deleted: &[TupleId]) -> bool {
+        stability::is_stabilizing(db, &self.ev, deleted)
+    }
+
+    /// Why-provenance: the derivation tree explaining why `tuple` is
+    /// deleted under end semantics, or `None` if it never is. Runs the
+    /// end-semantics evaluation to collect the assignment stream; for
+    /// repeated queries over a large instance build a
+    /// [`provenance::Explainer`] over [`end::run`]'s output once instead.
+    pub fn explain(&self, db: &Instance, tuple: TupleId) -> Option<provenance::DerivationTree> {
+        let out = end::run(db, &self.ev);
+        provenance::Explainer::new(&out.assignments, &out.layers).explain(tuple)
+    }
+
+    /// Graphviz DOT rendering of the full end-semantics provenance graph
+    /// (the paper's Figure 5).
+    pub fn provenance_dot(&self, db: &Instance) -> String {
+        let out = end::run(db, &self.ev);
+        provenance::to_dot(db, &out.assignments, &out.layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relationships;
+    use crate::testkit::{figure1_instance, figure2_program, names_of};
+
+    fn setup() -> (Instance, Repairer) {
+        let mut db = figure1_instance();
+        let r = Repairer::new(&mut db, figure2_program()).unwrap();
+        (db, r)
+    }
+
+    #[test]
+    fn example_1_3_all_four_semantics() {
+        // End = {g2,a2,a3,w1,w2,p1,p2,c}; Stage drops c; Step keeps only the
+        // Writes side; Ind = {g2, ag2, ag3}.
+        let (db, r) = setup();
+        let end = r.run(&db, Semantics::End);
+        let stage = r.run(&db, Semantics::Stage);
+        let step = r.run(&db, Semantics::Step);
+        let ind = r.run(&db, Semantics::Independent);
+        assert_eq!(end.size(), 8);
+        assert_eq!(stage.size(), 7);
+        assert_eq!(step.size(), 5);
+        assert_eq!(
+            names_of(&db, &ind.deleted),
+            vec!["AuthGrant(4, 2)", "AuthGrant(5, 2)", "Grant(2, ERC)"]
+        );
+        for res in [&end, &stage, &step, &ind] {
+            assert!(
+                r.verify_stabilizing(&db, &res.deleted),
+                "{} must stabilize",
+                res.semantics
+            );
+        }
+        assert!(
+            relationships::check_figure3_invariants(&ind, &step, &stage, &end).is_none()
+        );
+    }
+
+    #[test]
+    fn run_all_returns_paper_order() {
+        let (db, r) = setup();
+        let all = r.run_all(&db);
+        assert_eq!(all[0].semantics, Semantics::Independent);
+        assert_eq!(all[3].semantics, Semantics::End);
+    }
+
+    #[test]
+    fn running_example_table3_row() {
+        let (db, r) = setup();
+        let [ind, step, stage, _] = r.run_all(&db);
+        let row = relationships::table3_row(&ind, &step, &stage);
+        // Step ⊊ Stage here, and the AuthGrant tuples are not derivable, so
+        // Ind is not contained in either.
+        assert!(!row.step_eq_stage);
+        assert!(!row.ind_sub_stage);
+        assert!(!row.ind_sub_step);
+    }
+
+    #[test]
+    fn stability_entry_points() {
+        let (db, r) = setup();
+        assert!(!r.is_stable(&db));
+        let all: Vec<_> = db.all_tuple_ids().collect();
+        assert!(r.verify_stabilizing(&db, &all));
+    }
+}

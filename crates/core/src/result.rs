@@ -1,0 +1,153 @@
+//! Result and timing types shared by the four semantics.
+
+use std::fmt;
+use std::time::Duration;
+use storage::TupleId;
+
+/// The four semantics of the paper (Section 3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Semantics {
+    /// Definition 3.10 — standard datalog baseline.
+    End,
+    /// Definition 3.7 — staged deterministic cascades.
+    Stage,
+    /// Definition 3.5 — fine-grained rule-at-a-time (Algorithm 2 heuristic).
+    Step,
+    /// Definition 3.3 — global minimum stabilizing set (Algorithm 1).
+    Independent,
+}
+
+impl Semantics {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [Semantics; 4] = [
+        Semantics::Independent,
+        Semantics::Step,
+        Semantics::Stage,
+        Semantics::End,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Semantics::End => "end",
+            Semantics::Stage => "stage",
+            Semantics::Step => "step",
+            Semantics::Independent => "independent",
+        }
+    }
+}
+
+impl fmt::Display for Semantics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-phase runtime, following the categories of Figure 8:
+/// * **eval** — rule evaluation and provenance storage,
+/// * **process** — converting provenance into the Boolean formula
+///   (Algorithm 1) or the graph + benefits (Algorithm 2),
+/// * **solve** — the SAT search (Algorithm 1) or the greedy layer traversal
+///   (Algorithm 2).
+///
+/// End and stage semantics spend everything in `eval`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseBreakdown {
+    /// Evaluation + provenance storage.
+    pub eval: Duration,
+    /// Provenance processing ("Process Prov").
+    pub process: Duration,
+    /// SAT solving / graph traversal ("Solve" / "Traverse").
+    pub solve: Duration,
+}
+
+impl PhaseBreakdown {
+    /// Total across phases.
+    pub fn total(&self) -> Duration {
+        self.eval + self.process + self.solve
+    }
+
+    /// Fractions `(eval, process, solve)` of the total (0 when total is 0).
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total().as_secs_f64();
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.eval.as_secs_f64() / t,
+            self.process.as_secs_f64() / t,
+            self.solve.as_secs_f64() / t,
+        )
+    }
+}
+
+/// Outcome of running one semantics over one instance.
+#[derive(Clone, Debug)]
+pub struct RepairResult {
+    /// Which semantics produced this result.
+    pub semantics: Semantics,
+    /// The stabilizing set `S` (sorted, deduplicated tuple ids).
+    pub deleted: Vec<TupleId>,
+    /// Phase timings.
+    pub breakdown: PhaseBreakdown,
+    /// For the heuristic algorithms: was the answer proven optimal? End and
+    /// stage semantics are deterministic fixpoints, always `true`. Step's
+    /// greedy traversal is a heuristic, so `false` unless verified by the
+    /// exact search. Independent is `true` when the SAT search completed
+    /// within budget.
+    pub proven_optimal: bool,
+}
+
+impl RepairResult {
+    /// |S| — the headline number of Figures 6 and 9.
+    pub fn size(&self) -> usize {
+        self.deleted.len()
+    }
+
+    /// Membership test (ids are sorted).
+    pub fn contains(&self, t: TupleId) -> bool {
+        self.deleted.binary_search(&t).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage::RelId;
+
+    #[test]
+    fn breakdown_totals_and_fractions() {
+        let b = PhaseBreakdown {
+            eval: Duration::from_millis(60),
+            process: Duration::from_millis(30),
+            solve: Duration::from_millis(10),
+        };
+        assert_eq!(b.total(), Duration::from_millis(100));
+        let (e, p, s) = b.fractions();
+        assert!((e - 0.6).abs() < 1e-9);
+        assert!((p - 0.3).abs() < 1e-9);
+        assert!((s - 0.1).abs() < 1e-9);
+        let zero = PhaseBreakdown::default();
+        assert_eq!(zero.fractions(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn result_contains_uses_sorted_ids() {
+        let t = |r: u16, w: u32| TupleId::new(RelId(r), w);
+        let r = RepairResult {
+            semantics: Semantics::End,
+            deleted: vec![t(0, 1), t(0, 3), t(1, 0)],
+            breakdown: PhaseBreakdown::default(),
+            proven_optimal: true,
+        };
+        assert!(r.contains(t(0, 3)));
+        assert!(!r.contains(t(0, 2)));
+        assert_eq!(r.size(), 3);
+    }
+
+    #[test]
+    fn semantics_names() {
+        assert_eq!(Semantics::Independent.to_string(), "independent");
+        assert_eq!(Semantics::ALL.len(), 4);
+    }
+}

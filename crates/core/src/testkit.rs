@@ -1,0 +1,119 @@
+//! Shared fixtures: the paper's running example (Figures 1 and 2) and small
+//! helpers used by tests, examples and downstream crates.
+
+use datalog::{parse_program, Program};
+use storage::{AttrType, Instance, Schema, TupleId, Value};
+
+/// The academic database instance of **Figure 1**.
+///
+/// Tuple identifiers from the paper map to row order: `g1, g2` in `Grant`,
+/// `ag1..ag3` in `AuthGrant`, `a1..a3` in `Author`, `c` in `Cite`,
+/// `w1, w2` in `Writes`, `p1, p2` in `Pub`.
+pub fn figure1_instance() -> Instance {
+    let mut s = Schema::new();
+    s.relation("Grant", &[("gid", AttrType::Int), ("name", AttrType::Str)]);
+    s.relation("AuthGrant", &[("aid", AttrType::Int), ("gid", AttrType::Int)]);
+    s.relation("Author", &[("aid", AttrType::Int), ("name", AttrType::Str)]);
+    s.relation("Cite", &[("citing", AttrType::Int), ("cited", AttrType::Int)]);
+    s.relation("Writes", &[("aid", AttrType::Int), ("pid", AttrType::Int)]);
+    s.relation("Pub", &[("pid", AttrType::Int), ("title", AttrType::Str)]);
+    let mut db = Instance::new(s);
+    db.insert_values("Grant", [Value::Int(1), Value::str("NSF")]).unwrap();
+    db.insert_values("Grant", [Value::Int(2), Value::str("ERC")]).unwrap();
+    db.insert_values("AuthGrant", [Value::Int(2), Value::Int(1)]).unwrap();
+    db.insert_values("AuthGrant", [Value::Int(4), Value::Int(2)]).unwrap();
+    db.insert_values("AuthGrant", [Value::Int(5), Value::Int(2)]).unwrap();
+    db.insert_values("Author", [Value::Int(2), Value::str("Maggie")]).unwrap();
+    db.insert_values("Author", [Value::Int(4), Value::str("Marge")]).unwrap();
+    db.insert_values("Author", [Value::Int(5), Value::str("Homer")]).unwrap();
+    db.insert_values("Cite", [Value::Int(7), Value::Int(6)]).unwrap();
+    db.insert_values("Writes", [Value::Int(4), Value::Int(6)]).unwrap();
+    db.insert_values("Writes", [Value::Int(5), Value::Int(7)]).unwrap();
+    db.insert_values("Pub", [Value::Int(6), Value::str("x")]).unwrap();
+    db.insert_values("Pub", [Value::Int(7), Value::str("y")]).unwrap();
+    db
+}
+
+/// The delta program of **Figure 2** (rules 0–4).
+pub fn figure2_program() -> Program {
+    parse_program(
+        r#"
+        # (0) seed: the ERC grant was added to the U.S. database by mistake
+        delta Grant(g, n) :- Grant(g, n), n = 'ERC'.
+        # (1) delete winners of a deleted grant's foundation
+        delta Author(a, n) :- Author(a, n), AuthGrant(a, g), delta Grant(g, gn).
+        # (2) delete publications of deleted authors
+        delta Pub(p, t) :- Pub(p, t), Writes(a, p), delta Author(a, n).
+        # (3) delete authorship records of deleted authors
+        delta Writes(a, p) :- Pub(p, t), Writes(a, p), delta Author(a, n).
+        # (4) delete citations of deleted publications while authors remain
+        delta Cite(c, p) :- Cite(c, p), delta Pub(p, t), Writes(a1, c), Writes(a2, p).
+        "#,
+    )
+    .expect("figure 2 program parses")
+}
+
+/// Render tuple ids as `Rel(v, …)` strings, sorted — convenient for
+/// assertions that read like the paper.
+pub fn names_of(db: &Instance, tids: &[TupleId]) -> Vec<String> {
+    let mut v: Vec<String> = tids.iter().map(|&t| db.display_tuple(t)).collect();
+    v.sort();
+    v
+}
+
+/// Find the tuple id whose rendering equals `name` (panics when missing) —
+/// the inverse of [`names_of`] for single tuples.
+pub fn tid_of(db: &Instance, name: &str) -> TupleId {
+    db.all_tuple_ids()
+        .find(|&t| db.display_tuple(t) == name)
+        .unwrap_or_else(|| panic!("no tuple named {name}"))
+}
+
+/// Build a tiny instance with unary/binary integer relations for constructed
+/// counter-example tests (`R1`, `R2`, `R3` with arities 1, 1, 1 by default).
+pub fn tiny_instance(r1: &[i64], r2: &[i64], r3: &[i64]) -> Instance {
+    let mut s = Schema::new();
+    s.relation("R1", &[("x", AttrType::Int)]);
+    s.relation("R2", &[("x", AttrType::Int)]);
+    s.relation("R3", &[("x", AttrType::Int)]);
+    let mut db = Instance::new(s);
+    for &v in r1 {
+        db.insert_values("R1", [Value::Int(v)]).unwrap();
+    }
+    for &v in r2 {
+        db.insert_values("R2", [Value::Int(v)]).unwrap();
+    }
+    for &v in r3 {
+        db.insert_values("R3", [Value::Int(v)]).unwrap();
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_has_13_tuples() {
+        let db = figure1_instance();
+        assert_eq!(db.total_rows(), 13);
+    }
+
+    #[test]
+    fn figure2_has_5_rules() {
+        assert_eq!(figure2_program().len(), 5);
+    }
+
+    #[test]
+    fn tid_of_round_trips() {
+        let db = figure1_instance();
+        let t = tid_of(&db, "Grant(2, ERC)");
+        assert_eq!(db.display_tuple(t), "Grant(2, ERC)");
+    }
+
+    #[test]
+    fn tiny_instance_shapes() {
+        let db = tiny_instance(&[1], &[2, 3], &[]);
+        assert_eq!(db.total_rows(), 3);
+    }
+}

@@ -1,0 +1,184 @@
+//! The HoloClean-comparison table and seeded error injection.
+//!
+//! The paper's Tables 4/5 and Figure 10 use an `Author(aid, name, oid,
+//! organization)` table of 5000 rows with an increasing number of injected
+//! cell errors, checked against DC1–DC4 (aid determines oid/name/org, oid
+//! determines org). For those DCs to have teeth, author records must be
+//! duplicated — this generator emits ~2 rows per author, with the
+//! organization name functionally determined by `oid`.
+
+use cellrepair::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use storage::Value;
+
+/// A duplicated-authors table: columns `aid, name, oid, org`.
+pub fn author_table(rows: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Table::new(&["aid", "name", "oid", "org"]);
+    let n_authors = (rows / 2).max(1);
+    let n_orgs = (n_authors / 8).max(1);
+    let mut r = 0;
+    let mut aid = 0i64;
+    while r < rows {
+        let oid = rng.random_range(0..n_orgs as i64);
+        let name = format!("Author-{aid}");
+        let org = format!("Org-{oid}");
+        // 1–3 duplicate records per author, on average 2.
+        let copies = (1 + rng.random_range(0..3)).min(rows - r);
+        for _ in 0..copies {
+            t.push_row(vec![
+                Value::Int(aid),
+                Value::str(&name),
+                Value::Int(oid),
+                Value::str(&org),
+            ]);
+            r += 1;
+        }
+        aid += 1;
+    }
+    t
+}
+
+/// One injected error with its ground truth.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InjectedError {
+    /// Row of the perturbed cell.
+    pub row: usize,
+    /// Column of the perturbed cell.
+    pub col: usize,
+    /// The original (correct) value.
+    pub correct: Value,
+    /// The injected (wrong) value.
+    pub wrong: Value,
+}
+
+/// Perturb `n` distinct cells among the repairable columns
+/// (`name`, `oid`, `org`), drawing replacement values from the same
+/// column's domain. Only rows whose `aid` appears more than once are
+/// perturbed, so every injected error creates at least one DC violation.
+pub fn inject_errors(table: &mut Table, n: usize, seed: u64) -> Vec<InjectedError> {
+    use std::collections::{HashMap, HashSet};
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Rows with a duplicate aid.
+    let mut by_aid: HashMap<Value, Vec<usize>> = HashMap::new();
+    for (i, row) in table.rows.iter().enumerate() {
+        by_aid.entry(row[0]).or_default().push(i);
+    }
+    let mut eligible: Vec<usize> = by_aid
+        .values()
+        .filter(|v| v.len() > 1)
+        .flatten()
+        .copied()
+        .collect();
+    eligible.sort_unstable(); // HashMap order is nondeterministic
+    // Cap at the number of eligible cells so small tables with large error
+    // budgets degrade gracefully (the Figure 10b sweep requests 700 errors
+    // even for its smallest table).
+    let n = n.min(eligible.len() * 2);
+    // Column domains for replacements.
+    let cols = [1usize, 2, 3];
+    let domains: Vec<Vec<Value>> = cols
+        .iter()
+        .map(|&c| {
+            let mut vals: Vec<Value> = table.rows.iter().map(|r| r[c]).collect();
+            vals.sort_by_key(|v| format!("{v}"));
+            vals.dedup();
+            vals
+        })
+        .collect();
+    let mut used: HashSet<(usize, usize)> = HashSet::new();
+    let mut errors = Vec::with_capacity(n);
+    while errors.len() < n {
+        let row = eligible[rng.random_range(0..eligible.len())];
+        let ci = rng.random_range(0..cols.len());
+        let col = cols[ci];
+        if !used.insert((row, col)) {
+            continue;
+        }
+        let correct = table.rows[row][col];
+        let domain = &domains[ci];
+        if domain.len() < 2 {
+            continue;
+        }
+        let wrong = loop {
+            let v = domain[rng.random_range(0..domain.len())];
+            if v != correct {
+                break v;
+            }
+        };
+        table.set(row, col, wrong);
+        errors.push(InjectedError {
+            row,
+            col,
+            correct,
+            wrong,
+        });
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellrepair::{count_violating_tuples, DenialConstraint};
+
+    /// DC1–DC4 of the paper over the `aid, name, oid, org` columns.
+    pub fn paper_dcs() -> Vec<DenialConstraint> {
+        vec![
+            DenialConstraint::key_determines("DC1", 0, 2),
+            DenialConstraint::key_determines("DC2", 0, 1),
+            DenialConstraint::key_determines("DC3", 0, 3),
+            DenialConstraint::key_determines("DC4", 2, 3),
+        ]
+    }
+
+    #[test]
+    fn clean_table_has_no_violations() {
+        let t = author_table(500, 3);
+        for dc in paper_dcs() {
+            assert_eq!(count_violating_tuples(&t, &dc), 0, "{}", dc.name);
+        }
+    }
+
+    #[test]
+    fn errors_create_violations() {
+        let mut t = author_table(500, 3);
+        let errs = inject_errors(&mut t, 40, 9);
+        assert_eq!(errs.len(), 40);
+        let total: usize = paper_dcs()
+            .iter()
+            .map(|dc| count_violating_tuples(&t, dc))
+            .sum();
+        assert!(total >= 40, "each error should violate something: {total}");
+    }
+
+    #[test]
+    fn ground_truth_restores_cleanliness() {
+        let mut t = author_table(400, 11);
+        let errs = inject_errors(&mut t, 25, 13);
+        for e in &errs {
+            t.set(e.row, e.col, e.correct);
+        }
+        let total: usize = paper_dcs()
+            .iter()
+            .map(|dc| count_violating_tuples(&t, dc))
+            .sum();
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let mut t1 = author_table(300, 1);
+        let mut t2 = author_table(300, 1);
+        let e1 = inject_errors(&mut t1, 10, 2);
+        let e2 = inject_errors(&mut t2, 10, 2);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn row_count_is_exact() {
+        assert_eq!(author_table(5000, 1).len(), 5000);
+        assert_eq!(author_table(1, 1).len(), 1);
+    }
+}

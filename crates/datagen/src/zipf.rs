@@ -1,0 +1,84 @@
+//! A small Zipf-like sampler over `0..n`.
+
+use rand::Rng;
+
+/// Samples index `i ∈ 0..n` with probability proportional to
+/// `1 / (i + 1)^s`, via a precomputed cumulative table and binary search.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `0..n` with skew `s` (0 = uniform, 1 ≈ classic
+    /// Zipf).
+    pub fn new(n: usize, s: f64) -> ZipfSampler {
+        assert!(n > 0, "empty domain");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Draw one index.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x: f64 = rng.random_range(0.0..total);
+        self.cumulative.partition_point(|&c| c < x)
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Never empty (constructor asserts), provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn skewed_sampling_prefers_small_indexes() {
+        let z = ZipfSampler::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[50] * 4);
+    }
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let z = ZipfSampler::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.2, "roughly uniform: {counts:?}");
+    }
+
+    #[test]
+    fn all_indexes_in_range() {
+        let z = ZipfSampler::new(5, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+        assert_eq!(z.len(), 5);
+    }
+}

@@ -1,0 +1,259 @@
+//! Static analysis of delta programs: the delta-dependency graph,
+//! recursion detection, and per-program statistics.
+//!
+//! The paper restricts its algorithms to programs "equivalent to a
+//! non-recursive program" (*bounded*, Section 2) and notes that all four
+//! semantics still apply to recursive programs while Algorithms 1 and 2
+//! "rely on the size of the provenance", which "may be super-polynomial"
+//! under inherent recursion (Section 8). This module gives callers the
+//! facts to act on that:
+//!
+//! * the **delta-dependency graph** has an edge `Δi → Δj` when some rule
+//!   derives `Δj` from a body mentioning `Δi`;
+//! * a **cycle** in it makes the program syntactically recursive — every
+//!   semantics still terminates (delta relations grow monotonically inside
+//!   a finite universe), but derivation depth is then data-dependent
+//!   rather than bounded by the program;
+//! * [`Analysis::max_cascade_depth`] bounds the number of evaluation
+//!   rounds for acyclic programs.
+
+use crate::ast::Program;
+use std::collections::HashMap;
+
+/// What the analysis found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Analysis {
+    /// Relation names with a delta derived somewhere in the program.
+    pub delta_relations: Vec<String>,
+    /// Edges `Δfrom → Δto` of the delta-dependency graph (deduplicated,
+    /// sorted).
+    pub edges: Vec<(String, String)>,
+    /// Relations on a delta-dependency cycle (empty iff the program is
+    /// non-recursive).
+    pub recursive_relations: Vec<String>,
+    /// Rules with no delta body atom (the starting points of evaluation:
+    /// seeds and DC-style constraints).
+    pub seed_rules: Vec<usize>,
+    /// Longest path (in edges) through the acyclic part of the dependency
+    /// graph; `None` when the program is recursive. Evaluation reaches its
+    /// fixpoint after at most `max_cascade_depth + 2` rounds on any
+    /// database.
+    pub max_cascade_depth: Option<usize>,
+}
+
+impl Analysis {
+    /// Is the program free of delta-dependency cycles (the paper's
+    /// "not inherently recursive" precondition for Algorithms 1 and 2)?
+    pub fn is_nonrecursive(&self) -> bool {
+        self.recursive_relations.is_empty()
+    }
+}
+
+/// Analyze a parsed program (no schema needed — this is purely syntactic).
+pub fn analyze(program: &Program) -> Analysis {
+    // Collect delta relations and edges.
+    fn intern(n: &str, names: &mut Vec<String>, index: &mut HashMap<String, usize>) -> usize {
+        if let Some(&i) = index.get(n) {
+            return i;
+        }
+        names.push(n.to_owned());
+        index.insert(n.to_owned(), names.len() - 1);
+        names.len() - 1
+    }
+    let mut names: Vec<String> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut seed_rules = Vec::new();
+    for (ri, rule) in program.rules.iter().enumerate() {
+        let head = intern(&rule.head.relation, &mut names, &mut index);
+        let mut has_delta_body = false;
+        for atom in &rule.body {
+            if atom.is_delta {
+                has_delta_body = true;
+                let from = intern(&atom.relation, &mut names, &mut index);
+                edges.push((from, head));
+            }
+        }
+        if !has_delta_body {
+            seed_rules.push(ri);
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+
+    // Cycle detection + longest path by iterative DFS colouring.
+    let n = names.len();
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in &edges {
+        adj[a].push(b);
+    }
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut colour = vec![WHITE; n];
+    let mut on_cycle = vec![false; n];
+    // Depth[v] = longest path starting at v (valid only when acyclic).
+    let mut depth = vec![0usize; n];
+    let mut cyclic = false;
+    for start in 0..n {
+        if colour[start] != WHITE {
+            continue;
+        }
+        // (node, next child index) stack.
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        colour[start] = GRAY;
+        while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+            if *ci < adj[v].len() {
+                let w = adj[v][*ci];
+                *ci += 1;
+                match colour[w] {
+                    WHITE => {
+                        colour[w] = GRAY;
+                        stack.push((w, 0));
+                    }
+                    GRAY => {
+                        cyclic = true;
+                        on_cycle[w] = true;
+                        on_cycle[v] = true;
+                        // Mark the whole gray segment of the stack from w.
+                        for &(u, _) in stack.iter().rev() {
+                            on_cycle[u] = true;
+                            if u == w {
+                                break;
+                            }
+                        }
+                    }
+                    _ => {
+                        depth[v] = depth[v].max(1 + depth[w]);
+                    }
+                }
+            } else {
+                colour[v] = BLACK;
+                stack.pop();
+                if let Some(&mut (p, _)) = stack.last_mut() {
+                    depth[p] = depth[p].max(1 + depth[v]);
+                }
+            }
+        }
+    }
+
+    let recursive_relations: Vec<String> = (0..n)
+        .filter(|&i| on_cycle[i])
+        .map(|i| names[i].clone())
+        .collect();
+    let max_cascade_depth = if cyclic {
+        None
+    } else {
+        Some(depth.iter().copied().max().unwrap_or(0))
+    };
+
+    let mut delta_relations: Vec<String> = program
+        .rules
+        .iter()
+        .map(|r| r.head.relation.clone())
+        .collect();
+    delta_relations.sort_unstable();
+    delta_relations.dedup();
+    let mut named_edges: Vec<(String, String)> = edges
+        .into_iter()
+        .map(|(a, b)| (names[a].clone(), names[b].clone()))
+        .collect();
+    named_edges.sort_unstable();
+
+    Analysis {
+        delta_relations,
+        edges: named_edges,
+        recursive_relations,
+        seed_rules,
+        max_cascade_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn figure2_is_nonrecursive_with_depth_3() {
+        let p = parse_program(
+            "delta Grant(g, n) :- Grant(g, n), n = 'ERC'.
+             delta Author(a, n) :- Author(a, n), AuthGrant(a, g), delta Grant(g, gn).
+             delta Pub(p, t) :- Pub(p, t), Writes(a, p), delta Author(a, n).
+             delta Writes(a, p) :- Pub(p, t), Writes(a, p), delta Author(a, n).
+             delta Cite(c, p) :- Cite(c, p), delta Pub(p, t), Writes(a1, c), Writes(a2, p).",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        assert!(a.is_nonrecursive());
+        assert_eq!(a.seed_rules, vec![0]);
+        // Grant → Author → Pub → Cite is the longest chain: 3 edges.
+        assert_eq!(a.max_cascade_depth, Some(3));
+        assert_eq!(a.delta_relations.len(), 5);
+        assert!(a.edges.contains(&("Grant".into(), "Author".into())));
+        assert!(a.edges.contains(&("Pub".into(), "Cite".into())));
+    }
+
+    #[test]
+    fn self_loop_is_recursive() {
+        let p = parse_program("delta R(x) :- R(x), delta R(y), x != y.").unwrap();
+        let a = analyze(&p);
+        assert!(!a.is_nonrecursive());
+        assert_eq!(a.recursive_relations, vec!["R".to_string()]);
+        assert_eq!(a.max_cascade_depth, None);
+        assert!(a.seed_rules.is_empty());
+    }
+
+    #[test]
+    fn two_relation_cycle_is_recursive() {
+        let p = parse_program(
+            "delta R(x) :- R(x), delta S(x, y).
+             delta S(x, y) :- S(x, y), delta R(x).",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        assert!(!a.is_nonrecursive());
+        let mut rec = a.recursive_relations.clone();
+        rec.sort();
+        assert_eq!(rec, vec!["R".to_string(), "S".to_string()]);
+    }
+
+    #[test]
+    fn dc_style_program_has_depth_zero() {
+        let p = parse_program(
+            "delta A(x, y) :- A(x, y), A(x, z), y != z.
+             delta B(x) :- B(x), A(x, y).",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        assert!(a.is_nonrecursive());
+        assert_eq!(a.max_cascade_depth, Some(0), "no delta body atoms at all");
+        assert_eq!(a.seed_rules, vec![0, 1]);
+    }
+
+    #[test]
+    fn diamond_counts_longest_path() {
+        // A → B → D and A → C → D plus D → E: longest 3.
+        let p = parse_program(
+            "delta A(x) :- A(x).
+             delta B(x) :- B(x), delta A(x).
+             delta C(x) :- C(x), delta A(x).
+             delta D(x) :- D(x), delta B(x).
+             delta D(x) :- D(x), delta C(x).
+             delta E(x) :- E(x), delta D(x).",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        assert!(a.is_nonrecursive());
+        assert_eq!(a.max_cascade_depth, Some(3));
+    }
+
+    #[test]
+    fn empty_program() {
+        let a = analyze(&Program::default());
+        assert!(a.is_nonrecursive());
+        assert_eq!(a.max_cascade_depth, Some(0));
+        assert!(a.delta_relations.is_empty());
+    }
+}

@@ -1,0 +1,290 @@
+//! Compilation of validated rules into positional evaluation plans.
+//!
+//! Variables are renumbered to dense indexes, atoms become
+//! [`CompiledAtom`]s over [`Slot`]s, and for every possible *focus* (the
+//! delta atom forced to range over the semi-naive frontier) a greedy join
+//! order is precomputed along with the earliest step at which each
+//! comparison can be checked.
+
+use crate::ast::{CmpOp, Rule, Term};
+use crate::validate::head_witness;
+use storage::{RelId, Schema, Sym, Value};
+use std::collections::HashMap;
+
+/// A positional term: variable index or constant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Slot {
+    /// Rule-local variable index.
+    Var(u32),
+    /// Constant value.
+    Const(Value),
+}
+
+/// A compiled atom.
+#[derive(Clone, Debug)]
+pub struct CompiledAtom {
+    /// Resolved relation.
+    pub rel: RelId,
+    /// Delta atom?
+    pub is_delta: bool,
+    /// One slot per column.
+    pub slots: Vec<Slot>,
+}
+
+/// A compiled comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct CompiledCmp {
+    /// Left slot.
+    pub lhs: Slot,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right slot.
+    pub rhs: Slot,
+}
+
+/// A join order for one rule, possibly specialized to a frontier focus.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// Permutation of body-atom indexes, in evaluation order.
+    pub order: Vec<usize>,
+    /// `cmps_after[k]` lists comparison indexes checkable right after the
+    /// `k`-th atom of `order` binds.
+    pub cmps_after: Vec<Vec<usize>>,
+}
+
+/// A fully compiled rule.
+#[derive(Clone, Debug)]
+pub struct CompiledRule {
+    /// Number of distinct variables.
+    pub n_vars: usize,
+    /// Body atoms in source order.
+    pub atoms: Vec<CompiledAtom>,
+    /// Comparisons in source order.
+    pub cmps: Vec<CompiledCmp>,
+    /// Body index of the head witness atom (Def. 3.1).
+    pub head_witness: usize,
+    /// Source-order indexes of delta atoms.
+    pub delta_positions: Vec<usize>,
+    /// General plan (no frontier focus).
+    pub general: Plan,
+    /// `focused[i]` is the plan whose first atom is `delta_positions[i]`.
+    pub focused: Vec<Plan>,
+    /// True when a constant-only comparison is false: the rule can never
+    /// fire.
+    pub never_fires: bool,
+}
+
+struct VarMap {
+    map: HashMap<Sym, u32>,
+}
+
+impl VarMap {
+    fn slot(&mut self, t: &Term) -> Slot {
+        match t {
+            Term::Const(v) => Slot::Const(*v),
+            Term::Var(s) => {
+                let next = self.map.len() as u32;
+                Slot::Var(*self.map.entry(*s).or_insert(next))
+            }
+        }
+    }
+}
+
+fn atom_score(atom: &CompiledAtom, bound: &[bool]) -> i32 {
+    let mut score = 0;
+    for s in &atom.slots {
+        match s {
+            Slot::Const(_) => score += 4,
+            Slot::Var(v) => {
+                if bound[*v as usize] {
+                    score += 4;
+                }
+            }
+        }
+    }
+    // Delta relations are usually small; prefer them as generators.
+    if atom.is_delta {
+        score += 1;
+    }
+    score
+}
+
+fn bind_atom(atom: &CompiledAtom, bound: &mut [bool]) {
+    for s in &atom.slots {
+        if let Slot::Var(v) = s {
+            bound[*v as usize] = true;
+        }
+    }
+}
+
+fn cmp_ready(c: &CompiledCmp, bound: &[bool]) -> bool {
+    let ok = |s: &Slot| match s {
+        Slot::Const(_) => true,
+        Slot::Var(v) => bound[*v as usize],
+    };
+    ok(&c.lhs) && ok(&c.rhs)
+}
+
+fn make_plan(
+    atoms: &[CompiledAtom],
+    cmps: &[CompiledCmp],
+    n_vars: usize,
+    first: Option<usize>,
+) -> Plan {
+    let n = atoms.len();
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    let mut bound = vec![false; n_vars];
+    if let Some(f) = first {
+        order.push(f);
+        used[f] = true;
+        bind_atom(&atoms[f], &mut bound);
+    }
+    while order.len() < n {
+        let best = (0..n)
+            .filter(|&i| !used[i])
+            .max_by_key(|&i| (atom_score(&atoms[i], &bound), std::cmp::Reverse(i)))
+            .expect("atom available");
+        order.push(best);
+        used[best] = true;
+        bind_atom(&atoms[best], &mut bound);
+    }
+    // Schedule comparisons at the earliest step where both sides are bound.
+    let mut cmps_after = vec![Vec::new(); n.max(1)];
+    let mut assigned = vec![false; cmps.len()];
+    let mut bound = vec![false; n_vars];
+    for (k, &ai) in order.iter().enumerate() {
+        bind_atom(&atoms[ai], &mut bound);
+        for (ci, c) in cmps.iter().enumerate() {
+            if !assigned[ci] && cmp_ready(c, &bound) {
+                assigned[ci] = true;
+                cmps_after[k].push(ci);
+            }
+        }
+    }
+    Plan { order, cmps_after }
+}
+
+/// Compile a validated rule against `schema`.
+pub fn compile_rule(schema: &Schema, rule: &Rule) -> CompiledRule {
+    let mut vm = VarMap {
+        map: HashMap::new(),
+    };
+    let atoms: Vec<CompiledAtom> = rule
+        .body
+        .iter()
+        .map(|a| CompiledAtom {
+            rel: schema.rel_id(&a.relation).expect("validated"),
+            is_delta: a.is_delta,
+            slots: a.terms.iter().map(|t| vm.slot(t)).collect(),
+        })
+        .collect();
+    let cmps: Vec<CompiledCmp> = rule
+        .comparisons
+        .iter()
+        .map(|c| CompiledCmp {
+            lhs: vm.slot(&c.lhs),
+            op: c.op,
+            rhs: vm.slot(&c.rhs),
+        })
+        .collect();
+    let n_vars = vm.map.len();
+    let never_fires = cmps.iter().any(|c| match (&c.lhs, &c.rhs) {
+        (Slot::Const(a), Slot::Const(b)) => !c.op.eval(a, b),
+        _ => false,
+    });
+    let delta_positions: Vec<usize> = atoms
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.is_delta)
+        .map(|(i, _)| i)
+        .collect();
+    let general = make_plan(&atoms, &cmps, n_vars, None);
+    let focused = delta_positions
+        .iter()
+        .map(|&j| make_plan(&atoms, &cmps, n_vars, Some(j)))
+        .collect();
+    CompiledRule {
+        n_vars,
+        head_witness: head_witness(rule).expect("validated"),
+        atoms,
+        cmps,
+        delta_positions,
+        general,
+        focused,
+        never_fires,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use storage::AttrType;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.relation("A", &[("x", AttrType::Int)]);
+        s.relation("B", &[("x", AttrType::Int), ("y", AttrType::Int)]);
+        s.relation("C", &[("y", AttrType::Int)]);
+        s
+    }
+
+    fn compile(src: &str) -> CompiledRule {
+        let p = parse_program(src).unwrap();
+        compile_rule(&schema(), &p.rules[0])
+    }
+
+    #[test]
+    fn variables_are_shared_across_atoms() {
+        let r = compile("delta A(x) :- A(x), B(x, y), C(y).");
+        assert_eq!(r.n_vars, 2);
+        assert_eq!(r.atoms[0].slots, vec![Slot::Var(0)]);
+        assert_eq!(r.atoms[1].slots, vec![Slot::Var(0), Slot::Var(1)]);
+        assert_eq!(r.head_witness, 0);
+    }
+
+    #[test]
+    fn focused_plan_starts_with_focus() {
+        let r = compile("delta A(x) :- A(x), delta B(x, y), C(y).");
+        assert_eq!(r.delta_positions, vec![1]);
+        assert_eq!(r.focused[0].order[0], 1);
+    }
+
+    #[test]
+    fn plan_covers_all_atoms_once() {
+        let r = compile("delta A(x) :- A(x), B(x, y), C(y), delta C(z).");
+        let mut o = r.general.order.clone();
+        o.sort_unstable();
+        assert_eq!(o, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn comparisons_scheduled_when_bound() {
+        let r = compile("delta A(x) :- A(x), B(x, y), x < 5, y > 1.");
+        let scheduled: usize = r.general.cmps_after.iter().map(Vec::len).sum();
+        assert_eq!(scheduled, 2);
+        // x < 5 must be checkable as soon as an atom binding x is placed.
+        let first_with_cmp = r
+            .general
+            .cmps_after
+            .iter()
+            .position(|v| !v.is_empty())
+            .unwrap();
+        assert_eq!(first_with_cmp, 0);
+    }
+
+    #[test]
+    fn constant_contradiction_detected() {
+        let r = compile("delta A(x) :- A(x), 1 = 2.");
+        assert!(r.never_fires);
+        let r2 = compile("delta A(x) :- A(x), 1 < 2.");
+        assert!(!r2.never_fires);
+    }
+
+    #[test]
+    fn constants_in_atoms_become_const_slots() {
+        let r = compile("delta A(x) :- A(x), B(3, y).");
+        assert_eq!(r.atoms[1].slots[0], Slot::Const(Value::Int(3)));
+    }
+}

@@ -1,0 +1,182 @@
+//! Denial constraints and their translation to delta rules — the
+//! expressiveness argument of Section 3.6.
+//!
+//! A denial constraint (DC) is a first-order statement
+//!
+//! ```text
+//! ∀x̄ ¬( R1(x̄1) ∧ … ∧ Rm(x̄m) ∧ φ(x̄) )
+//! ```
+//!
+//! where `φ` is a conjunction of comparisons. The paper shows delta rules
+//! capture DCs: pick any atom `Ri(x̄i)` as the head and write
+//!
+//! ```text
+//! ΔRi(x̄i) :- R1(x̄1), …, Rm(x̄m), φ
+//! ```
+//!
+//! * under **independent semantics** a single rule (any head) yields the
+//!   minimum repair: at least one tuple of every violating set is deleted;
+//! * under **step semantics** one rule *per atom* lets the fine-grained
+//!   executor choose which member of each violating set to delete
+//!   ([`DenialConstraint::to_program_per_atom`]).
+//!
+//! [`DenialConstraint::parse`] accepts the natural headless syntax
+//! `:- Author(a1, n1), Author(a2, n2), a1 = a2, n1 != n2.`
+
+use crate::ast::{Atom, Comparison, Program, Rule};
+use crate::error::DatalogError;
+use crate::parser::parse_body;
+use std::fmt;
+
+/// A denial constraint: a conjunction of positive atoms and comparisons
+/// that must never be jointly satisfiable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DenialConstraint {
+    /// The relational atoms `R1(x̄1), …, Rm(x̄m)` (never delta atoms).
+    pub atoms: Vec<Atom>,
+    /// The comparison conjunction `φ`.
+    pub comparisons: Vec<Comparison>,
+}
+
+impl DenialConstraint {
+    /// Build from parts. Errors when `atoms` is empty or contains a delta
+    /// atom (DC bodies range over the *current* database only).
+    pub fn new(atoms: Vec<Atom>, comparisons: Vec<Comparison>) -> Result<Self, DatalogError> {
+        if atoms.is_empty() {
+            return Err(DatalogError::InvalidConstraint(
+                "a denial constraint needs at least one relational atom".into(),
+            ));
+        }
+        if let Some(a) = atoms.iter().find(|a| a.is_delta) {
+            return Err(DatalogError::InvalidConstraint(format!(
+                "denial constraints cannot mention delta atoms (found `{a}`)"
+            )));
+        }
+        Ok(DenialConstraint { atoms, comparisons })
+    }
+
+    /// Parse the headless syntax, e.g.
+    /// `:- Pub(p1, t, c1), Pub(p2, t, c2), c1 != c2.`
+    pub fn parse(src: &str) -> Result<Self, DatalogError> {
+        let (atoms, comparisons) = parse_body(src)?;
+        DenialConstraint::new(atoms, comparisons)
+    }
+
+    /// The delta rule with `atoms[target]` as head (Section 3.6's
+    /// translation). Panics if `target` is out of range.
+    pub fn to_delta_rule(&self, target: usize) -> Rule {
+        let mut head = self.atoms[target].clone();
+        head.is_delta = true;
+        Rule::new(head, self.atoms.clone(), self.comparisons.clone())
+    }
+
+    /// A one-rule program with the given head atom — the translation used
+    /// for independent semantics, where the choice of head does not matter.
+    pub fn to_program_single(&self, target: usize) -> Program {
+        Program::new(vec![self.to_delta_rule(target)])
+    }
+
+    /// One rule per atom — the translation that lets *step semantics*
+    /// delete any tuple of each violating set ("we will have m rules and
+    /// each will have as a head one of the atoms participating in the DC").
+    pub fn to_program_per_atom(&self) -> Program {
+        Program::new((0..self.atoms.len()).map(|i| self.to_delta_rule(i)).collect())
+    }
+
+    /// Compile several DCs into one program, one rule per atom per DC.
+    pub fn compile_all(dcs: &[DenialConstraint]) -> Program {
+        Program::new(
+            dcs.iter()
+                .flat_map(|dc| (0..dc.atoms.len()).map(|i| dc.to_delta_rule(i)))
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for DenialConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ":- ")?;
+        let mut first = true;
+        for a in &self.atoms {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+            first = false;
+        }
+        for c in &self.comparisons {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        write!(f, ".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dc1() -> DenialConstraint {
+        DenialConstraint::parse(
+            ":- Author(a1, n1, o1), Author(a2, n2, o2), a1 = a2, o1 != o2.",
+        )
+        .expect("DC parses")
+    }
+
+    #[test]
+    fn parse_accepts_headless_bodies_with_and_without_turnstile() {
+        let a = dc1();
+        let b = DenialConstraint::parse(
+            "Author(a1, n1, o1), Author(a2, n2, o2), a1 = a2, o1 != o2",
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.atoms.len(), 2);
+        assert_eq!(a.comparisons.len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_empty_and_delta_bodies() {
+        assert!(DenialConstraint::parse(":- a1 = a2.").is_err());
+        assert!(DenialConstraint::parse(":- R(x), delta S(x).").is_err());
+        assert!(DenialConstraint::parse(":- R(x), S(x) extra").is_err());
+    }
+
+    #[test]
+    fn to_delta_rule_heads_the_chosen_atom() {
+        let dc = dc1();
+        let r0 = dc.to_delta_rule(0);
+        assert!(r0.head.is_delta);
+        assert_eq!(r0.head.relation, "Author");
+        assert_eq!(r0.head.terms, dc.atoms[0].terms);
+        assert_eq!(r0.body.len(), 2);
+        assert_eq!(r0.comparisons.len(), 2);
+        let r1 = dc.to_delta_rule(1);
+        assert_eq!(r1.head.terms, dc.atoms[1].terms);
+    }
+
+    #[test]
+    fn per_atom_program_has_one_rule_per_atom() {
+        let p = dc1().to_program_per_atom();
+        assert_eq!(p.len(), 2);
+        assert_ne!(p.rules[0].head.terms, p.rules[1].head.terms);
+    }
+
+    #[test]
+    fn compile_all_concatenates() {
+        let other = DenialConstraint::parse(":- Org(o, n1), Org(o, n2), n1 != n2.").unwrap();
+        let p = DenialConstraint::compile_all(&[dc1(), other]);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let dc = dc1();
+        let printed = dc.to_string();
+        let re = DenialConstraint::parse(&printed).unwrap();
+        assert_eq!(dc, re);
+    }
+}

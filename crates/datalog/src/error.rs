@@ -1,0 +1,63 @@
+//! Errors for parsing, validation and planning.
+
+use std::fmt;
+
+/// Errors raised by the datalog layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatalogError {
+    /// Lexical or grammatical error with 1-based line/column.
+    Syntax { line: usize, col: usize, msg: String },
+    /// A rule referenced a relation missing from the schema.
+    UnknownRelation(String),
+    /// Atom arity does not match the schema.
+    Arity {
+        relation: String,
+        expected: usize,
+        got: usize,
+    },
+    /// Head of a rule must be a delta atom.
+    HeadNotDelta(String),
+    /// Definition 3.1: the body must contain the base atom `Ri(X)` with the
+    /// head's exact argument vector.
+    MissingHeadWitness(String),
+    /// A head or comparison variable does not occur in any body atom.
+    UnsafeVariable { rule: String, var: String },
+    /// Constant has the wrong type for its column.
+    TypeMismatch { relation: String, column: usize },
+    /// A denial constraint was structurally invalid.
+    InvalidConstraint(String),
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::Syntax { line, col, msg } => {
+                write!(f, "syntax error at {line}:{col}: {msg}")
+            }
+            DatalogError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            DatalogError::Arity {
+                relation,
+                expected,
+                got,
+            } => write!(f, "atom `{relation}` expects {expected} terms, got {got}"),
+            DatalogError::HeadNotDelta(r) => {
+                write!(f, "rule head `{r}` must be a delta atom (Def. 3.1)")
+            }
+            DatalogError::MissingHeadWitness(r) => write!(
+                f,
+                "rule for `Δ{r}` must repeat the head arguments in a positive `{r}` body atom (Def. 3.1)"
+            ),
+            DatalogError::UnsafeVariable { rule, var } => {
+                write!(f, "variable `{var}` in rule `{rule}` is not bound by any body atom")
+            }
+            DatalogError::TypeMismatch { relation, column } => {
+                write!(f, "constant in `{relation}` column {column} has the wrong type")
+            }
+            DatalogError::InvalidConstraint(msg) => {
+                write!(f, "invalid denial constraint: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}

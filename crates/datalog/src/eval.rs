@@ -1,0 +1,745 @@
+//! Assignment enumeration over instance + state.
+//!
+//! An *assignment* (Section 2 of the paper) maps every body atom of a rule to
+//! a tuple of the database, consistently on variables and constants, with all
+//! comparisons satisfied. All four repair semantics, both repair algorithms
+//! and the stability check reduce to enumerating assignments under one of
+//! three views:
+//!
+//! * [`Mode::Current`] — base atoms range over tuples *present* in `R_i`,
+//!   delta atoms over the current `Δ_i` (stage/step evaluation, stability).
+//! * [`Mode::FrozenBase`] — base atoms range over the *original* `R_i`
+//!   regardless of deletions, delta atoms over the current `Δ_i` (end
+//!   semantics, Def. 3.10, where `R_i^t ← R_i^0` during evaluation).
+//! * [`Mode::Hypothetical`] — base *and* delta atoms range over all of `D`
+//!   (Algorithm 1 generates provenance "for each possible delta tuple, not
+//!   only ones that can be derived").
+
+use crate::ast::Program;
+use crate::compile::{compile_rule, CompiledAtom, CompiledRule, Plan, Slot};
+use crate::error::DatalogError;
+use crate::validate::validate_program;
+use storage::{BitSet, Instance, RelId, State, TupleId, Value};
+
+/// Which tuples the body atoms may bind to. See module docs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Live view: present base tuples, current deltas.
+    Current,
+    /// End-semantics view: original base tuples, current deltas.
+    FrozenBase,
+    /// Algorithm-1 view: every tuple is both present and hypothetically
+    /// deleted.
+    Hypothetical,
+}
+
+/// Restriction applied to one delta atom during semi-naive enumeration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum DeltaClass {
+    /// Deltas known before the current round (Δ \ frontier).
+    Old,
+    /// Deltas derived in the previous round (the frontier).
+    New,
+    /// All current deltas.
+    All,
+}
+
+/// The set of delta tuples derived in the previous round, used to drive
+/// semi-naive evaluation of end semantics.
+#[derive(Clone, Debug)]
+pub struct DeltaFrontier {
+    sets: Vec<BitSet>,
+}
+
+impl DeltaFrontier {
+    /// Empty frontier shaped like `db`.
+    pub fn empty(db: &Instance) -> DeltaFrontier {
+        DeltaFrontier {
+            sets: db
+                .schema()
+                .iter()
+                .map(|(rid, _)| BitSet::zeros(db.rows(rid)))
+                .collect(),
+        }
+    }
+
+    /// Add a tuple to the frontier.
+    pub fn insert(&mut self, tid: TupleId) {
+        self.sets[tid.rel.idx()].set(tid.row_idx());
+    }
+
+    /// Frontier membership.
+    #[inline]
+    pub fn contains(&self, tid: TupleId) -> bool {
+        self.sets[tid.rel.idx()].get(tid.row_idx())
+    }
+
+    /// True when no tuple is in the frontier.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(BitSet::none)
+    }
+
+    /// Iterate frontier tuples of one relation.
+    pub fn rows(&self, rel: RelId) -> impl Iterator<Item = TupleId> + '_ {
+        self.sets[rel.idx()]
+            .iter_ones()
+            .map(move |row| TupleId::new(rel, row as u32))
+    }
+}
+
+/// One body-atom binding of an assignment.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BodyBind {
+    /// The tuple the atom was mapped to.
+    pub tid: TupleId,
+    /// Was the atom a delta atom (so `tid` refers to `Δ(t)` rather than `t`)?
+    pub is_delta: bool,
+}
+
+/// A satisfying assignment `α : body(r) → D` for rule `rule` (index into the
+/// program), together with the derived head tuple `α(head(r))`.
+///
+/// Because of the head-witness requirement (Def. 3.1), the head tuple always
+/// equals the binding of the witness atom, so `head` is a [`TupleId`] of an
+/// existing tuple — never a fresh tuple.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Assignment {
+    /// Rule index within the program.
+    pub rule: usize,
+    /// The derived delta tuple (`Δ(head)`).
+    pub head: TupleId,
+    /// Body bindings in source order.
+    pub body: Vec<BodyBind>,
+}
+
+/// A validated, compiled, index-prepared delta program ready for repeated
+/// evaluation.
+pub struct Evaluator {
+    program: Program,
+    compiled: Vec<CompiledRule>,
+}
+
+impl Evaluator {
+    /// Validate `program` against the schema of `db`, compile join plans and
+    /// build every hash index the plans may probe.
+    pub fn new(db: &mut Instance, program: Program) -> Result<Evaluator, DatalogError> {
+        validate_program(db.schema(), &program)?;
+        let compiled: Vec<CompiledRule> = program
+            .rules
+            .iter()
+            .map(|r| compile_rule(db.schema(), r))
+            .collect();
+        for cr in &compiled {
+            for a in &cr.atoms {
+                for col in 0..a.slots.len() {
+                    db.ensure_index(a.rel, col);
+                }
+            }
+        }
+        Ok(Evaluator { program, compiled })
+    }
+
+    /// The program being evaluated.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Number of rules.
+    pub fn num_rules(&self) -> usize {
+        self.compiled.len()
+    }
+
+    /// Enumerate every assignment of every rule under `mode`. The callback
+    /// returns `true` to continue; the function returns `false` iff the
+    /// callback aborted.
+    pub fn for_each_assignment(
+        &self,
+        db: &Instance,
+        state: &State,
+        mode: Mode,
+        f: &mut dyn FnMut(&Assignment) -> bool,
+    ) -> bool {
+        for idx in 0..self.compiled.len() {
+            if !self.for_each_rule_assignment(idx, db, state, mode, f) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Enumerate assignments of one rule under `mode`.
+    pub fn for_each_rule_assignment(
+        &self,
+        rule_idx: usize,
+        db: &Instance,
+        state: &State,
+        mode: Mode,
+        f: &mut dyn FnMut(&Assignment) -> bool,
+    ) -> bool {
+        let cr = &self.compiled[rule_idx];
+        if cr.never_fires {
+            return true;
+        }
+        let classes = vec![DeltaClass::All; cr.atoms.len()];
+        run_plan(db, state, mode, rule_idx, cr, &cr.general, &classes, None, f)
+    }
+
+    /// Enumerate, for rules **without** delta atoms in the body, every
+    /// assignment under `mode`. This is round 1 of semi-naive evaluation.
+    pub fn for_each_base_rule_assignment(
+        &self,
+        db: &Instance,
+        state: &State,
+        mode: Mode,
+        f: &mut dyn FnMut(&Assignment) -> bool,
+    ) -> bool {
+        for (idx, cr) in self.compiled.iter().enumerate() {
+            if cr.delta_positions.is_empty()
+                && !self.for_each_rule_assignment(idx, db, state, mode, f)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Semi-naive round: enumerate every assignment that uses at least one
+    /// delta tuple from `frontier`.
+    ///
+    /// `state`'s delta sets must already include the frontier. Assignments
+    /// are partitioned by the *first* body position holding a frontier tuple
+    /// (earlier delta atoms range over old deltas, later ones over all), so
+    /// each assignment is produced exactly once across all rounds.
+    pub fn for_each_frontier_assignment(
+        &self,
+        db: &Instance,
+        state: &State,
+        mode: Mode,
+        frontier: &DeltaFrontier,
+        f: &mut dyn FnMut(&Assignment) -> bool,
+    ) -> bool {
+        for idx in 0..self.compiled.len() {
+            if !self.for_each_rule_frontier_assignment(idx, db, state, mode, frontier, f) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Semi-naive round restricted to one rule: every assignment of
+    /// `rule_idx` using at least one frontier tuple. Used by the trigger
+    /// engine, where a single "after delete" trigger reacts to one deleted
+    /// row.
+    pub fn for_each_rule_frontier_assignment(
+        &self,
+        rule_idx: usize,
+        db: &Instance,
+        state: &State,
+        mode: Mode,
+        frontier: &DeltaFrontier,
+        f: &mut dyn FnMut(&Assignment) -> bool,
+    ) -> bool {
+        let cr = &self.compiled[rule_idx];
+        if cr.never_fires {
+            return true;
+        }
+        for (fi, &focus) in cr.delta_positions.iter().enumerate() {
+            let classes: Vec<DeltaClass> = cr
+                .atoms
+                .iter()
+                .enumerate()
+                .map(|(ai, a)| {
+                    if !a.is_delta {
+                        DeltaClass::All
+                    } else if ai < focus {
+                        DeltaClass::Old
+                    } else if ai == focus {
+                        DeltaClass::New
+                    } else {
+                        DeltaClass::All
+                    }
+                })
+                .collect();
+            if !run_plan(
+                db,
+                state,
+                mode,
+                rule_idx,
+                cr,
+                &cr.focused[fi],
+                &classes,
+                Some(frontier),
+                f,
+            ) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Does the rule's body contain a delta atom over `rel`? (Trigger
+    /// registration: the rule reacts to deletions from that relation.)
+    pub fn rule_listens_to(&self, rule_idx: usize, rel: storage::RelId) -> bool {
+        let cr = &self.compiled[rule_idx];
+        cr.delta_positions
+            .iter()
+            .any(|&p| cr.atoms[p].rel == rel)
+    }
+
+    /// Does the rule's body contain any delta atom?
+    pub fn rule_has_delta_body(&self, rule_idx: usize) -> bool {
+        !self.compiled[rule_idx].delta_positions.is_empty()
+    }
+
+    /// Find one satisfying assignment in the live view, if any — i.e. decide
+    /// whether the database is *unstable* (Def. 3.12) and produce a witness.
+    pub fn find_violation(&self, db: &Instance, state: &State) -> Option<Assignment> {
+        let mut found = None;
+        self.for_each_assignment(db, state, Mode::Current, &mut |a| {
+            found = Some(a.clone());
+            false
+        });
+        found
+    }
+
+    /// Is `(R, Δ)` stable w.r.t. the program (Def. 3.12)?
+    pub fn is_stable(&self, db: &Instance, state: &State) -> bool {
+        self.find_violation(db, state).is_none()
+    }
+}
+
+#[inline]
+fn admitted(
+    state: &State,
+    mode: Mode,
+    frontier: Option<&DeltaFrontier>,
+    atom: &CompiledAtom,
+    class: DeltaClass,
+    tid: TupleId,
+) -> bool {
+    if atom.is_delta {
+        match mode {
+            Mode::Hypothetical => true,
+            Mode::Current | Mode::FrozenBase => match class {
+                DeltaClass::All => state.in_delta(tid),
+                DeltaClass::New => frontier.is_some_and(|fr| fr.contains(tid)),
+                DeltaClass::Old => {
+                    state.in_delta(tid) && !frontier.is_some_and(|fr| fr.contains(tid))
+                }
+            },
+        }
+    } else {
+        match mode {
+            Mode::Current => state.is_present(tid),
+            Mode::FrozenBase | Mode::Hypothetical => true,
+        }
+    }
+}
+
+/// Depth-first join over `plan.order`. Returns `false` iff the callback
+/// aborted the enumeration.
+#[allow(clippy::too_many_arguments)]
+fn run_plan(
+    db: &Instance,
+    state: &State,
+    mode: Mode,
+    rule_idx: usize,
+    cr: &CompiledRule,
+    plan: &Plan,
+    classes: &[DeltaClass],
+    frontier: Option<&DeltaFrontier>,
+    f: &mut dyn FnMut(&Assignment) -> bool,
+) -> bool {
+    let mut bind: Vec<Option<Value>> = vec![None; cr.n_vars];
+    let mut chosen: Vec<Option<TupleId>> = vec![None; cr.atoms.len()];
+    step(
+        db, state, mode, rule_idx, cr, plan, classes, frontier, 0, &mut bind, &mut chosen, f,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn step(
+    db: &Instance,
+    state: &State,
+    mode: Mode,
+    rule_idx: usize,
+    cr: &CompiledRule,
+    plan: &Plan,
+    classes: &[DeltaClass],
+    frontier: Option<&DeltaFrontier>,
+    k: usize,
+    bind: &mut [Option<Value>],
+    chosen: &mut [Option<TupleId>],
+    f: &mut dyn FnMut(&Assignment) -> bool,
+) -> bool {
+    if k == plan.order.len() {
+        let head = chosen[cr.head_witness].expect("witness bound");
+        let body: Vec<BodyBind> = cr
+            .atoms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| BodyBind {
+                tid: chosen[i].expect("all atoms bound"),
+                is_delta: a.is_delta,
+            })
+            .collect();
+        return f(&Assignment {
+            rule: rule_idx,
+            head,
+            body,
+        });
+    }
+    let ai = plan.order[k];
+    let atom = &cr.atoms[ai];
+    let class = classes[ai];
+    let rel = db.relation(atom.rel);
+
+    // A bound column usable for an index probe, if any.
+    let probe: Option<(usize, Value)> = atom.slots.iter().enumerate().find_map(|(col, s)| {
+        let v = match s {
+            Slot::Const(v) => Some(*v),
+            Slot::Var(x) => bind[*x as usize],
+        }?;
+        rel.has_index(col).then_some((col, v))
+    });
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_row(
+        db: &Instance,
+        state: &State,
+        mode: Mode,
+        rule_idx: usize,
+        cr: &CompiledRule,
+        plan: &Plan,
+        classes: &[DeltaClass],
+        frontier: Option<&DeltaFrontier>,
+        k: usize,
+        ai: usize,
+        row: u32,
+        bind: &mut [Option<Value>],
+        chosen: &mut [Option<TupleId>],
+        f: &mut dyn FnMut(&Assignment) -> bool,
+    ) -> bool {
+        let atom = &cr.atoms[ai];
+        let class = classes[ai];
+        let tid = TupleId::new(atom.rel, row);
+        if !admitted(state, mode, frontier, atom, class, tid) {
+            return true;
+        }
+        let tuple = db.relation(atom.rel).tuple(row);
+        // Match slots, binding fresh variables; record them for undo.
+        let mut trail: Vec<u32> = Vec::new();
+        let mut ok = true;
+        for (col, slot) in atom.slots.iter().enumerate() {
+            let val = tuple.get(col);
+            match slot {
+                Slot::Const(c) => {
+                    if c != val {
+                        ok = false;
+                        break;
+                    }
+                }
+                Slot::Var(x) => match bind[*x as usize] {
+                    Some(b) => {
+                        if &b != val {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        bind[*x as usize] = Some(*val);
+                        trail.push(*x);
+                    }
+                },
+            }
+        }
+        let mut keep_going = true;
+        if ok {
+            // Comparisons that became checkable at this step.
+            let cmps_ok = plan.cmps_after[k].iter().all(|&ci| {
+                let c = &cr.cmps[ci];
+                let get = |s: &Slot| -> Value {
+                    match s {
+                        Slot::Const(v) => *v,
+                        Slot::Var(x) => bind[*x as usize].expect("scheduled after binding"),
+                    }
+                };
+                c.op.eval(&get(&c.lhs), &get(&c.rhs))
+            });
+            if cmps_ok {
+                chosen[ai] = Some(tid);
+                keep_going = step(
+                    db, state, mode, rule_idx, cr, plan, classes, frontier, k + 1, bind, chosen, f,
+                );
+                chosen[ai] = None;
+            }
+        }
+        for x in trail {
+            bind[x as usize] = None;
+        }
+        keep_going
+    }
+
+    macro_rules! visit {
+        ($row:expr) => {
+            if !try_row(
+                db, state, mode, rule_idx, cr, plan, classes, frontier, k, ai, $row, bind, chosen,
+                f,
+            ) {
+                return false;
+            }
+        };
+    }
+
+    if atom.is_delta && mode != Mode::Hypothetical {
+        // Delta sets are usually small: iterate them directly.
+        match class {
+            DeltaClass::New => {
+                if let Some(fr) = frontier {
+                    for tid in fr.rows(atom.rel) {
+                        visit!(tid.row);
+                    }
+                }
+            }
+            _ => {
+                for tid in state.delta_rows(atom.rel) {
+                    visit!(tid.row);
+                }
+            }
+        }
+    } else if let Some((col, v)) = probe {
+        if let Some(rows) = rel.lookup(col, &v) {
+            for &row in rows {
+                visit!(row);
+            }
+        }
+    } else if mode == Mode::Current && !atom.is_delta {
+        for tid in state.present_rows(atom.rel) {
+            visit!(tid.row);
+        }
+    } else {
+        for row in 0..rel.num_rows() as u32 {
+            visit!(row);
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use storage::{AttrType, Schema};
+
+    /// Figure 1 of the paper: the academic database instance.
+    pub fn figure1_instance() -> Instance {
+        let mut s = Schema::new();
+        s.relation("Grant", &[("gid", AttrType::Int), ("name", AttrType::Str)]);
+        s.relation("AuthGrant", &[("aid", AttrType::Int), ("gid", AttrType::Int)]);
+        s.relation("Author", &[("aid", AttrType::Int), ("name", AttrType::Str)]);
+        s.relation("Cite", &[("citing", AttrType::Int), ("cited", AttrType::Int)]);
+        s.relation("Writes", &[("aid", AttrType::Int), ("pid", AttrType::Int)]);
+        s.relation("Pub", &[("pid", AttrType::Int), ("title", AttrType::Str)]);
+        let mut db = Instance::new(s);
+        db.insert_values("Grant", [Value::Int(1), Value::str("NSF")]).unwrap(); // g1
+        db.insert_values("Grant", [Value::Int(2), Value::str("ERC")]).unwrap(); // g2
+        db.insert_values("AuthGrant", [Value::Int(2), Value::Int(1)]).unwrap(); // ag1
+        db.insert_values("AuthGrant", [Value::Int(4), Value::Int(2)]).unwrap(); // ag2
+        db.insert_values("AuthGrant", [Value::Int(5), Value::Int(2)]).unwrap(); // ag3
+        db.insert_values("Author", [Value::Int(2), Value::str("Maggie")]).unwrap(); // a1
+        db.insert_values("Author", [Value::Int(4), Value::str("Marge")]).unwrap(); // a2
+        db.insert_values("Author", [Value::Int(5), Value::str("Homer")]).unwrap(); // a3
+        db.insert_values("Cite", [Value::Int(7), Value::Int(6)]).unwrap(); // c
+        db.insert_values("Writes", [Value::Int(4), Value::Int(6)]).unwrap(); // w1
+        db.insert_values("Writes", [Value::Int(5), Value::Int(7)]).unwrap(); // w2
+        db.insert_values("Pub", [Value::Int(6), Value::str("x")]).unwrap(); // p1
+        db.insert_values("Pub", [Value::Int(7), Value::str("y")]).unwrap(); // p2
+        db
+    }
+
+    /// Figure 2 of the paper: the delta program.
+    pub fn figure2_program() -> Program {
+        parse_program(
+            r#"
+            delta Grant(g, n) :- Grant(g, n), n = 'ERC'.
+            delta Author(a, n) :- Author(a, n), AuthGrant(a, g), delta Grant(g, gn).
+            delta Pub(p, t) :- Pub(p, t), Writes(a, p), delta Author(a, n).
+            delta Writes(a, p) :- Pub(p, t), Writes(a, p), delta Author(a, n).
+            delta Cite(c, p) :- Cite(c, p), delta Pub(p, t), Writes(a1, c), Writes(a2, p).
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn count_all(ev: &Evaluator, db: &Instance, state: &State, mode: Mode) -> usize {
+        let mut n = 0;
+        ev.for_each_assignment(db, state, mode, &mut |_| {
+            n += 1;
+            true
+        });
+        n
+    }
+
+    #[test]
+    fn initial_state_only_rule0_fires() {
+        let mut db = figure1_instance();
+        let ev = Evaluator::new(&mut db, figure2_program()).unwrap();
+        let state = db.initial_state();
+        assert_eq!(count_all(&ev, &db, &state, Mode::Current), 1);
+        let v = ev.find_violation(&db, &state).unwrap();
+        assert_eq!(v.rule, 0);
+        assert_eq!(db.display_tuple(v.head), "Grant(2, ERC)");
+        assert!(!ev.is_stable(&db, &state));
+    }
+
+    #[test]
+    fn deleting_g2_enables_rule1() {
+        let mut db = figure1_instance();
+        let ev = Evaluator::new(&mut db, figure2_program()).unwrap();
+        let mut state = db.initial_state();
+        let grant = db.schema().rel_id("Grant").unwrap();
+        state.delete(TupleId::new(grant, 1)); // g2
+        // Rule 0 no longer fires (g2 gone from R); rule 1 fires twice.
+        let mut per_rule = [0usize; 5];
+        ev.for_each_assignment(&db, &state, Mode::Current, &mut |a| {
+            per_rule[a.rule] += 1;
+            true
+        });
+        assert_eq!(per_rule, [0, 2, 0, 0, 0]);
+    }
+
+    #[test]
+    fn hypothetical_mode_counts_all_potential_assignments() {
+        // Example 5.1's formula has clauses for: rule0 (1), rule1 (2 with
+        // Δ(g2)… but hypothetically also ag1 with g1 → 3), rules 2/3 (2
+        // each), rule 4 (1). Hypothetical mode ranges delta atoms over ALL
+        // tuples, hence rule1 yields 3 assignments here.
+        let mut db = figure1_instance();
+        let ev = Evaluator::new(&mut db, figure2_program()).unwrap();
+        let state = db.initial_state();
+        let mut per_rule = [0usize; 5];
+        ev.for_each_assignment(&db, &state, Mode::Hypothetical, &mut |a| {
+            per_rule[a.rule] += 1;
+            true
+        });
+        assert_eq!(per_rule, [1, 3, 2, 2, 1]);
+    }
+
+    #[test]
+    fn frozen_base_keeps_deleted_tuples_visible_to_base_atoms() {
+        let mut db = figure1_instance();
+        let ev = Evaluator::new(&mut db, figure2_program()).unwrap();
+        let mut state = db.initial_state();
+        let grant = db.schema().rel_id("Grant").unwrap();
+        state.mark_delta(TupleId::new(grant, 1)); // Δ(g2), R unchanged
+        let mut per_rule = [0usize; 5];
+        ev.for_each_assignment(&db, &state, Mode::FrozenBase, &mut |a| {
+            per_rule[a.rule] += 1;
+            true
+        });
+        // Rule 0 still fires (g2 still in R under FrozenBase); rule 1 fires
+        // twice via Δ(g2).
+        assert_eq!(per_rule, [1, 2, 0, 0, 0]);
+    }
+
+    #[test]
+    fn frontier_partition_produces_each_assignment_once() {
+        let mut db = figure1_instance();
+        let ev = Evaluator::new(&mut db, figure2_program()).unwrap();
+        let mut state = db.initial_state();
+        let grant = db.schema().rel_id("Grant").unwrap();
+        let author = db.schema().rel_id("Author").unwrap();
+        let g2 = TupleId::new(grant, 1);
+        let a2 = TupleId::new(author, 1);
+        let a3 = TupleId::new(author, 2);
+        // Round 1 already derived Δ(g2); round 2 derives Δ(a2), Δ(a3).
+        state.mark_delta(g2);
+        state.mark_delta(a2);
+        state.mark_delta(a3);
+        let mut frontier = DeltaFrontier::empty(&db);
+        frontier.insert(a2);
+        frontier.insert(a3);
+        let mut seen = Vec::new();
+        ev.for_each_frontier_assignment(&db, &state, Mode::FrozenBase, &frontier, &mut |a| {
+            seen.push(a.clone());
+            true
+        });
+        // Rules 2 and 3 each have two assignments through the new deltas;
+        // rule 1 has none (its delta atom Δ(Grant) is not in the frontier).
+        assert_eq!(seen.len(), 4);
+        assert!(seen.iter().all(|a| a.rule == 2 || a.rule == 3));
+        let unique: std::collections::HashSet<_> = seen.iter().cloned().collect();
+        assert_eq!(unique.len(), 4, "no duplicates");
+    }
+
+    #[test]
+    fn assignment_body_order_matches_source() {
+        let mut db = figure1_instance();
+        let ev = Evaluator::new(&mut db, figure2_program()).unwrap();
+        let mut state = db.initial_state();
+        let grant = db.schema().rel_id("Grant").unwrap();
+        state.delete(TupleId::new(grant, 1));
+        let mut got = None;
+        ev.for_each_rule_assignment(1, &db, &state, Mode::Current, &mut |a| {
+            got = Some(a.clone());
+            false
+        });
+        let a = got.unwrap();
+        // Body of rule 1: Author(a, n), AuthGrant(a, g), ΔGrant(g, gn).
+        assert_eq!(a.body.len(), 3);
+        assert!(!a.body[0].is_delta);
+        assert!(!a.body[1].is_delta);
+        assert!(a.body[2].is_delta);
+        assert_eq!(a.head, a.body[0].tid, "witness is the Author atom");
+    }
+
+    #[test]
+    fn early_exit_stops_enumeration() {
+        let mut db = figure1_instance();
+        let ev = Evaluator::new(&mut db, figure2_program()).unwrap();
+        let state = db.initial_state();
+        let mut calls = 0;
+        let complete = ev.for_each_assignment(&db, &state, Mode::Hypothetical, &mut |_| {
+            calls += 1;
+            false
+        });
+        assert!(!complete);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn repeated_variable_in_atom_requires_equality() {
+        let mut s = Schema::new();
+        s.relation("E", &[("a", AttrType::Int), ("b", AttrType::Int)]);
+        let mut db = Instance::new(s);
+        db.insert_values("E", [Value::Int(1), Value::Int(1)]).unwrap();
+        db.insert_values("E", [Value::Int(1), Value::Int(2)]).unwrap();
+        let p = parse_program("delta E(x, x) :- E(x, x).").unwrap();
+        let ev = Evaluator::new(&mut db, p).unwrap();
+        let state = db.initial_state();
+        assert_eq!(count_all(&ev, &db, &state, Mode::Current), 1);
+    }
+
+    #[test]
+    fn constant_in_atom_filters() {
+        let mut s = Schema::new();
+        s.relation("R", &[("a", AttrType::Int)]);
+        let mut db = Instance::new(s);
+        for i in 0..10 {
+            db.insert_values("R", [Value::Int(i)]).unwrap();
+        }
+        let p = parse_program("delta R(x) :- R(x), R(3), x < 2.").unwrap();
+        let ev = Evaluator::new(&mut db, p).unwrap();
+        let state = db.initial_state();
+        assert_eq!(count_all(&ev, &db, &state, Mode::Current), 2);
+    }
+
+    #[test]
+    fn never_firing_rule_is_skipped() {
+        let mut db = figure1_instance();
+        let p = parse_program("delta Grant(g, n) :- Grant(g, n), 1 = 2.").unwrap();
+        let ev = Evaluator::new(&mut db, p).unwrap();
+        let state = db.initial_state();
+        assert!(ev.is_stable(&db, &state));
+    }
+}

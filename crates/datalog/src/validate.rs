@@ -1,0 +1,173 @@
+//! Well-formedness of delta programs (Definition 3.1 + range restriction).
+
+use crate::ast::{Program, Rule, Term};
+use crate::error::DatalogError;
+use storage::{Schema, Sym};
+use std::collections::HashSet;
+
+/// Check one rule against `schema`.
+///
+/// Enforced properties:
+///
+/// 1. the head is a delta atom over a known relation with correct arity;
+/// 2. **head witness** (Def. 3.1): the body contains a positive atom
+///    `Ri(X)` whose relation and argument vector equal the head's — this is
+///    what guarantees only existing tuples are deleted;
+/// 3. every body atom references a known relation with correct arity and
+///    type-correct constants;
+/// 4. safety: every variable used in the head or in a comparison occurs in
+///    some body atom.
+pub fn validate_rule(schema: &Schema, rule: &Rule) -> Result<(), DatalogError> {
+    if !rule.head.is_delta {
+        return Err(DatalogError::HeadNotDelta(rule.head.relation.clone()));
+    }
+    // Head + body atoms resolve against the schema.
+    for atom in std::iter::once(&rule.head).chain(rule.body.iter()) {
+        let rel = schema
+            .rel_id(&atom.relation)
+            .ok_or_else(|| DatalogError::UnknownRelation(atom.relation.clone()))?;
+        let rs = schema.rel(rel);
+        if atom.terms.len() != rs.arity() {
+            return Err(DatalogError::Arity {
+                relation: atom.relation.clone(),
+                expected: rs.arity(),
+                got: atom.terms.len(),
+            });
+        }
+        for (col, term) in atom.terms.iter().enumerate() {
+            if let Term::Const(v) = term {
+                if !rs.attrs[col].ty.admits(v) {
+                    return Err(DatalogError::TypeMismatch {
+                        relation: atom.relation.clone(),
+                        column: col,
+                    });
+                }
+            }
+        }
+    }
+    // Head witness.
+    if head_witness(rule).is_none() {
+        return Err(DatalogError::MissingHeadWitness(rule.head.relation.clone()));
+    }
+    // Safety.
+    let mut bound: HashSet<Sym> = HashSet::new();
+    for atom in &rule.body {
+        for t in &atom.terms {
+            if let Term::Var(v) = t {
+                bound.insert(*v);
+            }
+        }
+    }
+    let check = |t: &Term| -> Result<(), DatalogError> {
+        if let Term::Var(v) = t {
+            if !bound.contains(v) {
+                return Err(DatalogError::UnsafeVariable {
+                    rule: rule.to_string(),
+                    var: v.to_string(),
+                });
+            }
+        }
+        Ok(())
+    };
+    for t in &rule.head.terms {
+        check(t)?;
+    }
+    for c in &rule.comparisons {
+        check(&c.lhs)?;
+        check(&c.rhs)?;
+    }
+    Ok(())
+}
+
+/// Index of the body atom serving as the head witness `Ri(X)` — positive,
+/// same relation, identical argument vector.
+pub fn head_witness(rule: &Rule) -> Option<usize> {
+    rule.body.iter().position(|a| {
+        !a.is_delta && a.relation == rule.head.relation && a.terms == rule.head.terms
+    })
+}
+
+/// Validate every rule of `program`.
+pub fn validate_program(schema: &Schema, program: &Program) -> Result<(), DatalogError> {
+    for rule in &program.rules {
+        validate_rule(schema, rule)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use storage::AttrType;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.relation("Grant", &[("gid", AttrType::Int), ("name", AttrType::Str)]);
+        s.relation("Author", &[("aid", AttrType::Int), ("name", AttrType::Str)]);
+        s.relation("AuthGrant", &[("aid", AttrType::Int), ("gid", AttrType::Int)]);
+        s
+    }
+
+    fn validate(src: &str) -> Result<(), DatalogError> {
+        validate_program(&schema(), &parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn figure2_rule_is_valid() {
+        validate(
+            "delta Author(a, n) :- Author(a, n), AuthGrant(a, g), delta Grant(g, gn).",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn head_must_be_delta() {
+        let err = validate("Author(a, n) :- Author(a, n).").unwrap_err();
+        assert!(matches!(err, DatalogError::HeadNotDelta(_)));
+    }
+
+    #[test]
+    fn head_witness_required() {
+        // Body has Author(a, m) but the head vector is (a, n): not a witness.
+        let err = validate("delta Author(a, n) :- Author(a, m), AuthGrant(a, g).").unwrap_err();
+        assert!(matches!(err, DatalogError::MissingHeadWitness(_)));
+    }
+
+    #[test]
+    fn delta_atom_is_not_a_witness() {
+        let err =
+            validate("delta Author(a, n) :- delta Author(a, n), AuthGrant(a, g).").unwrap_err();
+        assert!(matches!(err, DatalogError::MissingHeadWitness(_)));
+    }
+
+    #[test]
+    fn unknown_relation() {
+        let err = validate("delta Nope(a) :- Nope(a).").unwrap_err();
+        assert!(matches!(err, DatalogError::UnknownRelation(_)));
+    }
+
+    #[test]
+    fn arity_mismatch() {
+        let err = validate("delta Grant(g) :- Grant(g).").unwrap_err();
+        assert!(matches!(err, DatalogError::Arity { .. }));
+    }
+
+    #[test]
+    fn constant_type_checked() {
+        let err = validate("delta Grant(g, n) :- Grant(g, n), AuthGrant(5, 'x').").unwrap_err();
+        assert!(matches!(err, DatalogError::TypeMismatch { .. }));
+        validate("delta Grant(g, n) :- Grant(g, n), AuthGrant(5, 7).").unwrap();
+    }
+
+    #[test]
+    fn comparison_vars_must_be_bound() {
+        let err = validate("delta Grant(g, n) :- Grant(g, n), z < 5.").unwrap_err();
+        assert!(matches!(err, DatalogError::UnsafeVariable { .. }));
+    }
+
+    #[test]
+    fn constants_in_head_are_fine_with_witness() {
+        validate("delta Grant(g, 'ERC') :- Grant(g, 'ERC').").unwrap();
+    }
+}

@@ -1,0 +1,319 @@
+//! Why-provenance: derivation trees for deleted tuples, and Graphviz
+//! export of the full provenance graph (Figure 5 of the paper).
+//!
+//! The paper's Algorithm 2 consumes provenance as a graph; users of a
+//! repair system want the inverse view — "*why* was this tuple deleted?".
+//! [`explain`] reconstructs a minimal derivation tree for any delta tuple
+//! from the end-semantics assignment stream: the earliest-round assignment
+//! deriving it, with delta premises expanded recursively (rounds strictly
+//! decrease toward the seeds, so the recursion always terminates).
+
+use datalog::Assignment;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use storage::{Instance, TupleId};
+
+/// One premise of a derivation step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Premise {
+    /// A base tuple present in the database.
+    Base(TupleId),
+    /// A previously derived deletion, with its own derivation.
+    Delta(Box<DerivationTree>),
+}
+
+/// A derivation tree for `Δ(root)`: the rule applied and the premises of
+/// the chosen assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DerivationTree {
+    /// The deleted tuple being explained.
+    pub root: TupleId,
+    /// Rule index within the program.
+    pub rule: usize,
+    /// End-semantics round in which `root` was first derived.
+    pub layer: u32,
+    /// Premises in body order.
+    pub premises: Vec<Premise>,
+}
+
+impl DerivationTree {
+    /// Number of nodes (derivation steps) in the tree.
+    pub fn steps(&self) -> usize {
+        1 + self
+            .premises
+            .iter()
+            .map(|p| match p {
+                Premise::Base(_) => 0,
+                Premise::Delta(t) => t.steps(),
+            })
+            .sum::<usize>()
+    }
+
+    /// Depth of the tree (a seed derivation has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .premises
+            .iter()
+            .map(|p| match p {
+                Premise::Base(_) => 0,
+                Premise::Delta(t) => t.depth(),
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Render as an indented tree using the instance for tuple names.
+    pub fn render(&self, db: &Instance) -> String {
+        let mut out = String::new();
+        self.render_into(db, 0, &mut out);
+        out
+    }
+
+    fn render_into(&self, db: &Instance, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        let _ = writeln!(
+            out,
+            "{pad}Δ {}   [rule {}, round {}]",
+            db.display_tuple(self.root),
+            self.rule,
+            self.layer
+        );
+        for p in &self.premises {
+            match p {
+                Premise::Base(t) => {
+                    let _ = writeln!(out, "{pad}  • {}", db.display_tuple(*t));
+                }
+                Premise::Delta(tree) => tree.render_into(db, indent + 1, out),
+            }
+        }
+    }
+}
+
+/// Index assignments by head for repeated explanations.
+pub struct Explainer<'a> {
+    by_head: HashMap<TupleId, Vec<&'a Assignment>>,
+    layer_of: &'a HashMap<TupleId, u32>,
+}
+
+impl<'a> Explainer<'a> {
+    /// Build from the end-semantics provenance stream and layers
+    /// (`end::run` returns both).
+    pub fn new(
+        assignments: &'a [Assignment],
+        layer_of: &'a HashMap<TupleId, u32>,
+    ) -> Explainer<'a> {
+        let mut by_head: HashMap<TupleId, Vec<&Assignment>> = HashMap::new();
+        for a in assignments {
+            by_head.entry(a.head).or_default().push(a);
+        }
+        Explainer { by_head, layer_of }
+    }
+
+    /// The derivation tree rooted at `Δ(target)`, or `None` when the tuple
+    /// was never derived. Chooses, at every node, the assignment whose
+    /// delta premises have the smallest maximum round — the "earliest"
+    /// explanation, which is also minimal in depth — breaking ties toward
+    /// fewer delta premises (smaller trees).
+    pub fn explain(&self, target: TupleId) -> Option<DerivationTree> {
+        let candidates = self.by_head.get(&target)?;
+        // Earliest assignment: minimize the maximum layer among delta
+        // premises (0 when none — a seed or DC-style derivation), then the
+        // number of delta premises.
+        let best = candidates.iter().min_by_key(|a| {
+            let max_layer = a
+                .body
+                .iter()
+                .filter(|b| b.is_delta)
+                .map(|b| self.layer_of.get(&b.tid).copied().unwrap_or(u32::MAX))
+                .max()
+                .unwrap_or(0);
+            let delta_count = a.body.iter().filter(|b| b.is_delta).count();
+            (max_layer, delta_count)
+        })?;
+        let premises = best
+            .body
+            .iter()
+            .map(|b| {
+                if b.is_delta {
+                    // Layers strictly decrease: the premise was derived in
+                    // an earlier round, so recursion terminates.
+                    Premise::Delta(Box::new(
+                        self.explain(b.tid)
+                            .expect("delta premises of recorded assignments are derived"),
+                    ))
+                } else {
+                    Premise::Base(b.tid)
+                }
+            })
+            .collect();
+        Some(DerivationTree {
+            root: target,
+            rule: best.rule,
+            layer: *self.layer_of.get(&target).unwrap_or(&0),
+            premises,
+        })
+    }
+}
+
+/// Graphviz DOT rendering of the full provenance graph: base tuples as
+/// boxes, delta tuples as ellipses grouped by layer (Figure 5's layout),
+/// one edge per (premise, head) pair.
+pub fn to_dot(
+    db: &Instance,
+    assignments: &[Assignment],
+    layer_of: &HashMap<TupleId, u32>,
+) -> String {
+    let mut out = String::from("digraph provenance {\n  rankdir=BT;\n");
+    let mut max_layer = 0;
+    for (&t, &l) in layer_of {
+        let _ = writeln!(
+            out,
+            "  \"d{}_{}\" [label=\"Δ {}\", shape=ellipse];",
+            t.rel.idx(),
+            t.row,
+            db.display_tuple(t)
+        );
+        max_layer = max_layer.max(l);
+    }
+    // Rank delta nodes by layer.
+    for l in 1..=max_layer {
+        let nodes: Vec<String> = layer_of
+            .iter()
+            .filter(|&(_, &nl)| nl == l)
+            .map(|(&t, _)| format!("\"d{}_{}\"", t.rel.idx(), t.row))
+            .collect();
+        if !nodes.is_empty() {
+            let _ = writeln!(out, "  {{ rank=same; {} }}", nodes.join("; "));
+        }
+    }
+    let mut seen_base: Vec<TupleId> = Vec::new();
+    let mut edges: Vec<String> = Vec::new();
+    for a in assignments {
+        for b in &a.body {
+            let from = if b.is_delta {
+                format!("d{}_{}", b.tid.rel.idx(), b.tid.row)
+            } else {
+                if !seen_base.contains(&b.tid) {
+                    seen_base.push(b.tid);
+                }
+                format!("b{}_{}", b.tid.rel.idx(), b.tid.row)
+            };
+            edges.push(format!(
+                "  \"{from}\" -> \"d{}_{}\";",
+                a.head.rel.idx(),
+                a.head.row
+            ));
+        }
+    }
+    for t in seen_base {
+        let _ = writeln!(
+            out,
+            "  \"b{}_{}\" [label=\"{}\", shape=box];",
+            t.rel.idx(),
+            t.row,
+            db.display_tuple(t)
+        );
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    for e in edges {
+        let _ = writeln!(out, "{e}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog::eval::BodyBind;
+    use storage::{AttrType, Instance, RelId, Schema, Value};
+
+    fn tid(rel: u16, row: u32) -> TupleId {
+        TupleId::new(RelId(rel), row)
+    }
+
+    fn assignment(rule: usize, head: TupleId, body: &[(TupleId, bool)]) -> Assignment {
+        Assignment {
+            rule,
+            head,
+            body: body
+                .iter()
+                .map(|&(tid, is_delta)| BodyBind { tid, is_delta })
+                .collect(),
+        }
+    }
+
+    fn demo_db() -> Instance {
+        let mut s = Schema::new();
+        s.relation("R", &[("x", AttrType::Int)]);
+        s.relation("S", &[("x", AttrType::Int)]);
+        let mut db = Instance::new(s);
+        db.insert_values("R", [Value::Int(1)]).unwrap();
+        db.insert_values("S", [Value::Int(1)]).unwrap();
+        db.insert_values("S", [Value::Int(2)]).unwrap();
+        db
+    }
+
+    #[test]
+    fn explain_follows_earliest_derivation() {
+        // Round 1: Δr0 (seed). Round 2: Δs0 from Δr0 + s1.
+        let (r0, s0, s1) = (tid(0, 0), tid(1, 0), tid(1, 1));
+        let assignments = vec![
+            assignment(0, r0, &[(r0, false)]),
+            assignment(1, s0, &[(s0, false), (r0, true), (s1, false)]),
+        ];
+        let layers: HashMap<TupleId, u32> = [(r0, 1), (s0, 2)].into();
+        let ex = Explainer::new(&assignments, &layers);
+        let tree = ex.explain(s0).expect("derived");
+        assert_eq!(tree.rule, 1);
+        assert_eq!(tree.layer, 2);
+        assert_eq!(tree.steps(), 2);
+        assert_eq!(tree.depth(), 2);
+        // Premises: base s0, delta r0 (expanded), base s1.
+        assert!(matches!(tree.premises[0], Premise::Base(t) if t == s0));
+        assert!(matches!(&tree.premises[1], Premise::Delta(t) if t.root == r0 && t.steps() == 1));
+        assert!(ex.explain(s1).is_none(), "never derived");
+    }
+
+    #[test]
+    fn explain_prefers_shallower_alternative() {
+        // Δs0 has two derivations: via Δr0 (round 1) or via Δs1 (round 2);
+        // the earliest explanation uses Δr0.
+        let (r0, s0, s1) = (tid(0, 0), tid(1, 0), tid(1, 1));
+        let assignments = vec![
+            assignment(0, r0, &[(r0, false)]),
+            assignment(0, s1, &[(s1, false)]),
+            assignment(1, s0, &[(s0, false), (s1, true), (r0, true)]),
+            assignment(2, s0, &[(s0, false), (r0, true)]),
+        ];
+        let layers: HashMap<TupleId, u32> = [(r0, 1), (s1, 1), (s0, 2)].into();
+        let ex = Explainer::new(&assignments, &layers);
+        let tree = ex.explain(s0).unwrap();
+        assert_eq!(tree.rule, 2, "equal max round, fewer delta premises wins");
+        assert_eq!(tree.depth(), 2);
+    }
+
+    #[test]
+    fn render_and_dot_name_tuples() {
+        let db = demo_db();
+        let (r0, s0) = (tid(0, 0), tid(1, 0));
+        let assignments = vec![
+            assignment(0, r0, &[(r0, false)]),
+            assignment(1, s0, &[(s0, false), (r0, true)]),
+        ];
+        let layers: HashMap<TupleId, u32> = [(r0, 1), (s0, 2)].into();
+        let ex = Explainer::new(&assignments, &layers);
+        let rendered = ex.explain(s0).unwrap().render(&db);
+        assert!(rendered.contains("Δ S(1)"));
+        assert!(rendered.contains("rule 1, round 2"));
+        assert!(rendered.contains("Δ R(1)"));
+
+        let dot = to_dot(&db, &assignments, &layers);
+        assert!(dot.starts_with("digraph provenance {"));
+        assert!(dot.contains("Δ R(1)"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("rank=same"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Boolean provenance formulas (Algorithm 1, lines 1–4).
+//!
+//! Every assignment found under the hypothetical view becomes one
+//! [`ProvClause`]: the conjunction *"all base-bound tuples present AND all
+//! delta-bound tuples deleted"*. The full provenance `F` is the disjunction
+//! of all clauses; a database state is **stable** iff `¬F` holds. `¬F` is a
+//! CNF over deletion variables directly (no Tseitin transformation needed):
+//! negating one clause yields `⋁ deleted(p) ∨ ⋁ ¬deleted(n)`.
+
+use datalog::Assignment;
+use storage::{Instance, TupleId};
+use std::collections::HashSet;
+
+/// One assignment's provenance: satisfied iff every tuple in `pos` is
+/// present and every tuple in `neg` is deleted.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ProvClause {
+    /// Tuples bound by base atoms (must be present).
+    pub pos: Vec<TupleId>,
+    /// Tuples bound by delta atoms (must be deleted).
+    pub neg: Vec<TupleId>,
+}
+
+impl ProvClause {
+    /// Build from an assignment, sorting and deduplicating each side.
+    pub fn from_assignment(a: &Assignment) -> ProvClause {
+        let mut pos: Vec<TupleId> = a
+            .body
+            .iter()
+            .filter(|b| !b.is_delta)
+            .map(|b| b.tid)
+            .collect();
+        let mut neg: Vec<TupleId> = a
+            .body
+            .iter()
+            .filter(|b| b.is_delta)
+            .map(|b| b.tid)
+            .collect();
+        pos.sort_unstable();
+        pos.dedup();
+        neg.sort_unstable();
+        neg.dedup();
+        ProvClause { pos, neg }
+    }
+
+    /// A clause requiring `t` both present and deleted can never be
+    /// satisfied; its negation is a tautology and can be dropped.
+    pub fn is_contradiction(&self) -> bool {
+        // Both sides are sorted: merge-scan for a common element.
+        let (mut i, mut j) = (0, 0);
+        while i < self.pos.len() && j < self.neg.len() {
+            match self.pos[i].cmp(&self.neg[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Is the clause satisfied by deletion set membership `deleted`?
+    pub fn satisfied_by(&self, deleted: impl Fn(TupleId) -> bool) -> bool {
+        self.pos.iter().all(|&t| !deleted(t)) && self.neg.iter().all(|&t| deleted(t))
+    }
+}
+
+/// The provenance of all possible delta tuples: `F = ⋁ clauses`.
+#[derive(Clone, Debug, Default)]
+pub struct ProvFormula {
+    clauses: Vec<ProvClause>,
+}
+
+impl ProvFormula {
+    /// Collect a formula from assignments, deduplicating identical clauses
+    /// (e.g. two rules sharing a body, like rules (2) and (3) of Figure 2)
+    /// and dropping contradictions.
+    pub fn from_assignments<'a>(assignments: impl IntoIterator<Item = &'a Assignment>) -> Self {
+        let mut seen: HashSet<ProvClause> = HashSet::new();
+        let mut clauses = Vec::new();
+        for a in assignments {
+            let c = ProvClause::from_assignment(a);
+            if c.is_contradiction() {
+                continue;
+            }
+            if seen.insert(c.clone()) {
+                clauses.push(c);
+            }
+        }
+        ProvFormula { clauses }
+    }
+
+    /// The clauses of `F`.
+    pub fn clauses(&self) -> &[ProvClause] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// True when `F` is empty (the database is vacuously stable).
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Every distinct tuple mentioned anywhere in the formula, sorted.
+    /// These become the SAT variables; unmentioned tuples never need
+    /// deletion.
+    pub fn tuple_universe(&self) -> Vec<TupleId> {
+        let mut all: Vec<TupleId> = self
+            .clauses
+            .iter()
+            .flat_map(|c| c.pos.iter().chain(c.neg.iter()).copied())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    /// Does a deletion set stabilize the database according to the formula?
+    /// (`¬F` holds: no clause satisfied.) Used by tests to cross-check the
+    /// evaluator's stability decision.
+    pub fn stable_under(&self, deleted: &HashSet<TupleId>) -> bool {
+        !self
+            .clauses
+            .iter()
+            .any(|c| c.satisfied_by(|t| deleted.contains(&t)))
+    }
+
+    /// Render the negated formula `¬F` the way Example 5.1 prints it, with
+    /// tuples shown as `Rel(v, …)`; deleted literals are shown negated.
+    pub fn render_negation(&self, db: &Instance) -> String {
+        let mut out = String::new();
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" ∧ ");
+            }
+            out.push('(');
+            let mut first = true;
+            for &t in &c.pos {
+                if !first {
+                    out.push_str(" ∨ ");
+                }
+                first = false;
+                out.push('¬');
+                out.push_str(&db.display_tuple(t));
+            }
+            for &t in &c.neg {
+                if !first {
+                    out.push_str(" ∨ ");
+                }
+                first = false;
+                out.push_str(&db.display_tuple(t));
+            }
+            out.push(')');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog::eval::BodyBind;
+    use storage::RelId;
+
+    fn tid(rel: u16, row: u32) -> TupleId {
+        TupleId::new(RelId(rel), row)
+    }
+
+    fn assignment(rule: usize, body: &[(u16, u32, bool)]) -> Assignment {
+        Assignment {
+            rule,
+            head: tid(body[0].0, body[0].1),
+            body: body
+                .iter()
+                .map(|&(r, w, d)| BodyBind {
+                    tid: tid(r, w),
+                    is_delta: d,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn clause_splits_pos_and_neg() {
+        let a = assignment(0, &[(0, 1, false), (1, 2, true), (0, 3, false)]);
+        let c = ProvClause::from_assignment(&a);
+        assert_eq!(c.pos, vec![tid(0, 1), tid(0, 3)]);
+        assert_eq!(c.neg, vec![tid(1, 2)]);
+        assert!(!c.is_contradiction());
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        let a = assignment(0, &[(0, 1, false), (0, 1, true)]);
+        let c = ProvClause::from_assignment(&a);
+        assert!(c.is_contradiction());
+    }
+
+    #[test]
+    fn formula_dedups_identical_bodies() {
+        // Two rules with the same body produce the same clause (the paper's
+        // rules (2)/(3) of Figure 2 collapse in Example 5.1's formula).
+        let a1 = assignment(2, &[(0, 1, false), (1, 2, true)]);
+        let a2 = assignment(3, &[(0, 1, false), (1, 2, true)]);
+        let f = ProvFormula::from_assignments([&a1, &a2]);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn universe_is_sorted_unique() {
+        let a1 = assignment(0, &[(0, 5, false), (1, 0, true)]);
+        let a2 = assignment(1, &[(0, 5, false), (0, 1, false)]);
+        let f = ProvFormula::from_assignments([&a1, &a2]);
+        assert_eq!(f.tuple_universe(), vec![tid(0, 1), tid(0, 5), tid(1, 0)]);
+    }
+
+    #[test]
+    fn stability_semantics() {
+        // Clause: pos {A}, neg {B}: satisfied iff A kept and B deleted.
+        let a = assignment(0, &[(0, 0, false), (0, 1, true)]);
+        let f = ProvFormula::from_assignments([&a]);
+        let none: HashSet<TupleId> = HashSet::new();
+        assert!(f.stable_under(&none), "B not deleted: clause unsatisfied");
+        let b_only: HashSet<TupleId> = [tid(0, 1)].into_iter().collect();
+        assert!(!f.stable_under(&b_only), "A present, B deleted: violated");
+        let both: HashSet<TupleId> = [tid(0, 0), tid(0, 1)].into_iter().collect();
+        assert!(f.stable_under(&both), "deleting A voids the assignment");
+    }
+}

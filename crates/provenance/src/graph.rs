@@ -1,0 +1,369 @@
+//! The layered provenance graph of Algorithm 2 (step semantics).
+//!
+//! Nodes are the delta tuples derivable under end semantics; each assignment
+//! deriving `Δ(t)` contributes edges from the tuples it uses to `Δ(t)`
+//! (Figure 5 of the paper). The graph supports:
+//!
+//! * the **layer** structure — a delta tuple's layer is the end-semantics
+//!   round in which it is first derived;
+//! * the **benefit** `b_t` of a base tuple — the number of assignments `t`
+//!   participates in minus the number of assignments `Δ(t)` participates in;
+//! * the greedy loop's cascading **prune**: selecting `t` for deletion voids
+//!   every assignment that uses `t` as a base tuple (except derivations of
+//!   `Δ(t)` itself); a delta node with all derivations voided is removed,
+//!   which in turn voids the assignments using it as a delta-body tuple, and
+//!   so on to a fixpoint.
+
+use datalog::Assignment;
+use storage::{Instance, TupleId};
+use std::collections::HashMap;
+
+#[derive(Debug)]
+struct DeltaNode {
+    tid: TupleId,
+    layer: u32,
+    /// Assignments deriving this node.
+    derivations: Vec<u32>,
+    /// Assignments whose body uses this node (as a delta atom).
+    used_in: Vec<u32>,
+    voided_derivations: u32,
+    alive: bool,
+    selected: bool,
+}
+
+#[derive(Debug)]
+struct ProvAssign {
+    head: u32,
+    voided: bool,
+}
+
+/// The provenance graph of `End(P, D)`.
+#[derive(Debug)]
+pub struct ProvGraph {
+    nodes: Vec<DeltaNode>,
+    node_of: HashMap<TupleId, u32>,
+    assigns: Vec<ProvAssign>,
+    uses_base: HashMap<TupleId, Vec<u32>>,
+    /// `layer_nodes[l]` = node indexes in layer `l+1`.
+    layer_nodes: Vec<Vec<u32>>,
+}
+
+impl ProvGraph {
+    /// Build from end-semantics provenance: all recorded `assignments` and
+    /// the 1-based `layer` (derivation round) of each derived delta tuple.
+    ///
+    /// Every head and every delta-body tuple must appear in `layer_of`
+    /// (under end semantics a delta tuple can only be used after being
+    /// derived).
+    pub fn build(assignments: &[Assignment], layer_of: &HashMap<TupleId, u32>) -> ProvGraph {
+        let mut nodes: Vec<DeltaNode> = Vec::new();
+        let mut node_of: HashMap<TupleId, u32> = HashMap::new();
+        let mut intern = |tid: TupleId, nodes: &mut Vec<DeltaNode>| -> u32 {
+            *node_of.entry(tid).or_insert_with(|| {
+                let layer = *layer_of
+                    .get(&tid)
+                    .expect("delta tuple must have an end-semantics layer");
+                nodes.push(DeltaNode {
+                    tid,
+                    layer,
+                    derivations: Vec::new(),
+                    used_in: Vec::new(),
+                    voided_derivations: 0,
+                    alive: true,
+                    selected: false,
+                });
+                (nodes.len() - 1) as u32
+            })
+        };
+
+        let mut assigns: Vec<ProvAssign> = Vec::with_capacity(assignments.len());
+        let mut uses_base: HashMap<TupleId, Vec<u32>> = HashMap::new();
+        for a in assignments {
+            let ai = assigns.len() as u32;
+            let head = intern(a.head, &mut nodes);
+            let mut base: Vec<TupleId> = a
+                .body
+                .iter()
+                .filter(|b| !b.is_delta)
+                .map(|b| b.tid)
+                .collect();
+            base.sort_unstable();
+            base.dedup();
+            let mut deltas: Vec<u32> = a
+                .body
+                .iter()
+                .filter(|b| b.is_delta)
+                .map(|b| intern(b.tid, &mut nodes))
+                .collect();
+            deltas.sort_unstable();
+            deltas.dedup();
+            nodes[head as usize].derivations.push(ai);
+            for &t in &base {
+                uses_base.entry(t).or_default().push(ai);
+            }
+            for &d in &deltas {
+                nodes[d as usize].used_in.push(ai);
+            }
+            assigns.push(ProvAssign {
+                head,
+                voided: false,
+            });
+        }
+
+        let max_layer = nodes.iter().map(|n| n.layer).max().unwrap_or(0);
+        let mut layer_nodes = vec![Vec::new(); max_layer as usize];
+        for (i, n) in nodes.iter().enumerate() {
+            layer_nodes[(n.layer - 1) as usize].push(i as u32);
+        }
+        ProvGraph {
+            nodes,
+            node_of,
+            assigns,
+            uses_base,
+            layer_nodes,
+        }
+    }
+
+    /// Number of layers (the deepest derivation round).
+    pub fn num_layers(&self) -> usize {
+        self.layer_nodes.len()
+    }
+
+    /// Number of delta nodes.
+    pub fn num_delta_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of assignments (edges groups).
+    pub fn num_assignments(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// The benefit `b_t` of base tuple `t`: assignments `t` participates in
+    /// minus assignments `Δ(t)` participates in. Defined for any tuple that
+    /// occurs in the graph; tuples not in the graph have benefit 0.
+    pub fn benefit(&self, t: TupleId) -> i64 {
+        let plus = self.uses_base.get(&t).map_or(0, Vec::len) as i64;
+        let minus = self
+            .node_of
+            .get(&t)
+            .map_or(0, |&n| self.nodes[n as usize].used_in.len()) as i64;
+        plus - minus
+    }
+
+    /// Is `Δ(t)` still derivable (node present and not pruned)?
+    pub fn is_alive(&self, t: TupleId) -> bool {
+        self.node_of
+            .get(&t)
+            .is_some_and(|&n| self.nodes[n as usize].alive)
+    }
+
+    /// Delta tuples of 1-based `layer` that are alive and not yet selected.
+    pub fn alive_unselected_in_layer(&self, layer: usize) -> Vec<TupleId> {
+        self.layer_nodes[layer - 1]
+            .iter()
+            .filter_map(|&n| {
+                let node = &self.nodes[n as usize];
+                (node.alive && !node.selected).then_some(node.tid)
+            })
+            .collect()
+    }
+
+    /// Select base tuple `t` for deletion (add it to the stabilizing set)
+    /// and prune: every assignment using `t` as a base tuple is voided —
+    /// except derivations of `Δ(t)` itself — and delta nodes left with no
+    /// live derivation are removed, cascading through delta-body uses.
+    ///
+    /// Selected nodes are exempt from removal (the paper keeps `Δ(tk)` and
+    /// what is reachable from it in the graph).
+    pub fn select(&mut self, t: TupleId) {
+        let own = self.node_of.get(&t).copied();
+        if let Some(n) = own {
+            self.nodes[n as usize].selected = true;
+        }
+        let mut queue: Vec<u32> = Vec::new(); // assignments to void
+        if let Some(uses) = self.uses_base.get(&t) {
+            for &ai in uses {
+                if Some(self.assigns[ai as usize].head) != own {
+                    queue.push(ai);
+                }
+            }
+        }
+        while let Some(ai) = queue.pop() {
+            let a = &mut self.assigns[ai as usize];
+            if a.voided {
+                continue;
+            }
+            a.voided = true;
+            let head = a.head;
+            let node = &mut self.nodes[head as usize];
+            node.voided_derivations += 1;
+            if node.alive
+                && !node.selected
+                && node.voided_derivations as usize == node.derivations.len()
+            {
+                node.alive = false;
+                // Anything that needed Δ(node.tid) can no longer fire.
+                queue.extend(node.used_in.iter().copied());
+            }
+        }
+    }
+
+    /// Tuples whose delta node is alive, for debugging and tests.
+    pub fn alive_tuples(&self) -> Vec<TupleId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| n.tid)
+            .collect()
+    }
+
+    /// Human-readable dump in layer order (Figure 5 style).
+    pub fn render(&self, db: &Instance) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for layer in 1..=self.num_layers() {
+            let _ = write!(out, "layer {layer}:");
+            for &n in &self.layer_nodes[layer - 1] {
+                let node = &self.nodes[n as usize];
+                let status = if node.selected {
+                    "*"
+                } else if node.alive {
+                    ""
+                } else {
+                    "✗"
+                };
+                let _ = write!(out, " Δ{}{}", db.display_tuple(node.tid), status);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog::eval::BodyBind;
+    use storage::RelId;
+
+    fn tid(rel: u16, row: u32) -> TupleId {
+        TupleId::new(RelId(rel), row)
+    }
+
+    fn assignment(head: TupleId, body: &[(TupleId, bool)]) -> Assignment {
+        Assignment {
+            rule: 0,
+            head,
+            body: body
+                .iter()
+                .map(|&(t, is_delta)| BodyBind { tid: t, is_delta })
+                .collect(),
+        }
+    }
+
+    /// A small chain mimicking Figure 5's shape:
+    /// Δ(g) seeded; Δ(a) :- a, ag, Δ(g); Δ(w) and Δ(p) each :- p, w, Δ(a).
+    fn chain() -> (ProvGraph, [TupleId; 5]) {
+        let g = tid(0, 0);
+        let ag = tid(1, 0);
+        let a = tid(2, 0);
+        let w = tid(3, 0);
+        let p = tid(4, 0);
+        let assigns = vec![
+            assignment(g, &[(g, false)]),
+            assignment(a, &[(a, false), (ag, false), (g, true)]),
+            assignment(w, &[(p, false), (w, false), (a, true)]),
+            assignment(p, &[(p, false), (w, false), (a, true)]),
+        ];
+        let layers: HashMap<TupleId, u32> =
+            [(g, 1), (a, 2), (w, 3), (p, 3)].into_iter().collect();
+        (ProvGraph::build(&assigns, &layers), [g, ag, a, w, p])
+    }
+
+    #[test]
+    fn build_counts() {
+        let (graph, _) = chain();
+        assert_eq!(graph.num_delta_nodes(), 4);
+        assert_eq!(graph.num_assignments(), 4);
+        assert_eq!(graph.num_layers(), 3);
+    }
+
+    #[test]
+    fn benefits_match_figure5_logic() {
+        let (graph, [g, ag, a, w, p]) = chain();
+        // g: 2 assignments use g as base? only its own seed (1) plus none;
+        // Δ(g) used in 1 → b_g = 1 - 1 = 0 for this shape.
+        assert_eq!(graph.benefit(g), 0);
+        assert_eq!(graph.benefit(ag), 1); // used once, Δ(ag) never derived
+        // a participates once (its own derivation); Δ(a) used twice.
+        assert_eq!(graph.benefit(a), -1);
+        // w and p each appear as base in both layer-3 assignments.
+        assert_eq!(graph.benefit(w), 2);
+        assert_eq!(graph.benefit(p), 2);
+    }
+
+    #[test]
+    fn select_prunes_dependents() {
+        let (mut graph, [g, _, a, w, p]) = chain();
+        graph.select(g);
+        graph.select(a);
+        assert!(graph.is_alive(w) && graph.is_alive(p));
+        // Selecting w voids the derivation of Δ(p) (it uses base w), and
+        // Δ(p) has no other derivation → pruned.
+        graph.select(w);
+        assert!(!graph.is_alive(p));
+        assert!(graph.is_alive(w), "selected nodes stay in the graph");
+        assert!(graph.alive_unselected_in_layer(3).is_empty());
+    }
+
+    #[test]
+    fn own_derivation_not_voided_by_selecting_self() {
+        let (mut graph, [g, ..]) = chain();
+        // Δ(g)'s only derivation uses g itself; selecting g must not prune
+        // Δ(g).
+        graph.select(g);
+        assert!(graph.is_alive(g));
+    }
+
+    #[test]
+    fn cascade_through_delta_uses() {
+        // Δ(x) :- x, b ;  Δ(y) :- y, Δ(x) ;  Δ(z) :- z, Δ(y).
+        let x = tid(0, 0);
+        let b = tid(0, 1);
+        let y = tid(1, 0);
+        let z = tid(2, 0);
+        let assigns = vec![
+            assignment(x, &[(x, false), (b, false)]),
+            assignment(y, &[(y, false), (x, true)]),
+            assignment(z, &[(z, false), (y, true)]),
+        ];
+        let layers: HashMap<TupleId, u32> = [(x, 1), (y, 2), (z, 3)].into_iter().collect();
+        let mut graph = ProvGraph::build(&assigns, &layers);
+        // Deleting b voids Δ(x)'s only derivation; the removal cascades to
+        // Δ(y) and Δ(z).
+        graph.select(b);
+        assert!(!graph.is_alive(x));
+        assert!(!graph.is_alive(y));
+        assert!(!graph.is_alive(z));
+        assert_eq!(graph.alive_tuples(), Vec::<TupleId>::new());
+    }
+
+    #[test]
+    fn multi_derivation_node_survives_partial_voiding() {
+        // Δ(y) has two derivations, via b1 and via b2.
+        let y = tid(0, 0);
+        let b1 = tid(1, 0);
+        let b2 = tid(1, 1);
+        let assigns = vec![
+            assignment(y, &[(y, false), (b1, false)]),
+            assignment(y, &[(y, false), (b2, false)]),
+        ];
+        let layers: HashMap<TupleId, u32> = [(y, 1)].into_iter().collect();
+        let mut graph = ProvGraph::build(&assigns, &layers);
+        graph.select(b1);
+        assert!(graph.is_alive(y), "second derivation still live");
+        graph.select(b2);
+        assert!(!graph.is_alive(y));
+    }
+}

@@ -1,0 +1,493 @@
+//! Min-Ones orchestration: simplification, component decomposition,
+//! per-component branch & bound, and recombination.
+
+use crate::cnf::{Cnf, Lit, Var};
+use crate::solver::BnB;
+
+/// Solver options. The defaults are the full algorithm; switching features
+/// off is how the ablation benchmarks isolate their contribution.
+#[derive(Clone, Copy, Debug)]
+pub struct MinOnesOptions {
+    /// Split the residual formula into connected components and add up their
+    /// independent minima.
+    pub decompose: bool,
+    /// Maximum decision nodes per component before giving up on optimality
+    /// and returning the incumbent.
+    pub node_budget: u64,
+    /// Stop each component at its first (`False`-first descent) solution —
+    /// a fast approximation instead of the exact minimum.
+    pub first_solution_only: bool,
+}
+
+impl Default for MinOnesOptions {
+    fn default() -> Self {
+        MinOnesOptions {
+            decompose: true,
+            node_budget: u64::MAX,
+            first_solution_only: false,
+        }
+    }
+}
+
+/// Aggregate statistics of one solve.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Decision nodes across components.
+    pub decisions: u64,
+    /// Unit/pure assignments made by top-level simplification.
+    pub simplified: usize,
+    /// Number of connected components solved.
+    pub components: usize,
+    /// Size of the largest component (variables).
+    pub largest_component: usize,
+}
+
+/// A satisfying assignment minimizing the number of `True` variables.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Value per variable. Variables not occurring in any clause are
+    /// `false`.
+    pub values: Vec<bool>,
+    /// Number of `True` variables.
+    pub ones: usize,
+    /// Whether the count is proven minimal (no budget/approximation cut-off
+    /// fired).
+    pub optimal: bool,
+    /// Solve statistics.
+    pub stats: Stats,
+}
+
+/// Outcome of [`solve_min_ones`].
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// The formula is satisfiable; the best assignment found.
+    Sat(Solution),
+    /// The formula is unsatisfiable.
+    Unsat,
+}
+
+impl Outcome {
+    /// The solution, if satisfiable.
+    pub fn solution(self) -> Option<Solution> {
+        match self {
+            Outcome::Sat(s) => Some(s),
+            Outcome::Unsat => None,
+        }
+    }
+}
+
+const UNSET: i8 = -1;
+
+/// Top-level simplification to fixpoint: unit propagation plus the
+/// positive-purity rule (a variable with no positive occurrence in any
+/// not-yet-satisfied clause can always be `False` — `False` costs nothing
+/// and only satisfies clauses). Returns `false` on UNSAT.
+fn simplify(cnf: &Cnf, fixed: &mut [i8], simplified: &mut usize) -> bool {
+    loop {
+        let mut changed = false;
+        // Unit propagation over the current partial assignment.
+        for c in cnf.clauses() {
+            let mut satisfied = false;
+            let mut unassigned: Option<Lit> = None;
+            let mut n_unassigned = 0;
+            for &l in c.iter() {
+                match fixed[l.var() as usize] {
+                    UNSET => {
+                        n_unassigned += 1;
+                        unassigned = Some(l);
+                    }
+                    v => {
+                        if (v == 1) == l.satisfying_value() {
+                            satisfied = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match n_unassigned {
+                0 => return false,
+                1 => {
+                    let l = unassigned.expect("counted");
+                    fixed[l.var() as usize] = l.satisfying_value() as i8;
+                    *simplified += 1;
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        // Positive purity.
+        let mut pos_occ = vec![false; cnf.num_vars()];
+        for c in cnf.clauses() {
+            let satisfied = c.iter().any(|l| {
+                let f = fixed[l.var() as usize];
+                f != UNSET && (f == 1) == l.satisfying_value()
+            });
+            if satisfied {
+                continue;
+            }
+            for &l in c.iter() {
+                if !l.is_neg() && fixed[l.var() as usize] == UNSET {
+                    pos_occ[l.var() as usize] = true;
+                }
+            }
+        }
+        // Only variables that still occur somewhere unsatisfied matter; a
+        // variable with no positive occurrence there is safely False.
+        let mut occurs = vec![false; cnf.num_vars()];
+        for c in cnf.clauses() {
+            let satisfied = c.iter().any(|l| {
+                let f = fixed[l.var() as usize];
+                f != UNSET && (f == 1) == l.satisfying_value()
+            });
+            if satisfied {
+                continue;
+            }
+            for &l in c.iter() {
+                if fixed[l.var() as usize] == UNSET {
+                    occurs[l.var() as usize] = true;
+                }
+            }
+        }
+        for v in 0..cnf.num_vars() {
+            if fixed[v] == UNSET && occurs[v] && !pos_occ[v] {
+                fixed[v] = 0;
+                *simplified += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+}
+
+struct DisjointSet {
+    parent: Vec<u32>,
+}
+
+impl DisjointSet {
+    fn new(n: usize) -> DisjointSet {
+        DisjointSet {
+            parent: (0..n as u32).collect(),
+        }
+    }
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra as usize] = rb;
+        }
+    }
+}
+
+/// Solve Min-Ones SAT for `cnf` under `opts`.
+pub fn solve_min_ones(cnf: &Cnf, opts: &MinOnesOptions) -> Outcome {
+    if cnf.trivially_unsat() {
+        return Outcome::Unsat;
+    }
+    let n = cnf.num_vars();
+    let mut stats = Stats::default();
+    let mut fixed = vec![UNSET; n];
+    if !simplify(cnf, &mut fixed, &mut stats.simplified) {
+        return Outcome::Unsat;
+    }
+
+    // Residual clauses: not satisfied by `fixed`, restricted to unset vars.
+    let mut residual: Vec<Vec<Lit>> = Vec::new();
+    for c in cnf.clauses() {
+        let satisfied = c.iter().any(|l| {
+            let f = fixed[l.var() as usize];
+            f != UNSET && (f == 1) == l.satisfying_value()
+        });
+        if satisfied {
+            continue;
+        }
+        let rest: Vec<Lit> = c
+            .iter()
+            .copied()
+            .filter(|l| fixed[l.var() as usize] == UNSET)
+            .collect();
+        debug_assert!(rest.len() >= 2, "units handled by simplification");
+        residual.push(rest);
+    }
+
+    let mut values: Vec<bool> = fixed.iter().map(|&f| f == 1).collect();
+    let mut optimal = true;
+
+    if !residual.is_empty() {
+        // Group residual clauses into variable components.
+        let mut dsu = DisjointSet::new(n);
+        for c in &residual {
+            for w in c.windows(2) {
+                dsu.union(w[0].var(), w[1].var());
+            }
+        }
+        use std::collections::HashMap;
+        let mut groups: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (ci, c) in residual.iter().enumerate() {
+            let root = dsu.find(c[0].var());
+            groups.entry(root).or_default().push(ci);
+        }
+        let mut components: Vec<Vec<usize>> = if opts.decompose {
+            groups.into_values().collect()
+        } else {
+            vec![(0..residual.len()).collect()]
+        };
+        // Deterministic order (HashMap order is not).
+        components.sort_by_key(|cs| residual[cs[0]][0].var());
+        stats.components = components.len();
+
+        for clause_ids in components {
+            // Local numbering.
+            let mut local_of: HashMap<Var, Var> = HashMap::new();
+            let mut global_of: Vec<Var> = Vec::new();
+            let mut local_clauses: Vec<Box<[Lit]>> = Vec::with_capacity(clause_ids.len());
+            for &ci in &clause_ids {
+                let lc: Vec<Lit> = residual[ci]
+                    .iter()
+                    .map(|&l| {
+                        let lv = *local_of.entry(l.var()).or_insert_with(|| {
+                            global_of.push(l.var());
+                            (global_of.len() - 1) as Var
+                        });
+                        if l.is_neg() {
+                            Lit::neg(lv)
+                        } else {
+                            Lit::pos(lv)
+                        }
+                    })
+                    .collect();
+                local_clauses.push(lc.into_boxed_slice());
+            }
+            stats.largest_component = stats.largest_component.max(global_of.len());
+            let result = BnB::new(
+                global_of.len(),
+                local_clauses.clone(),
+                opts.node_budget,
+                opts.first_solution_only,
+            )
+            .solve();
+            stats.decisions += result.stats.decisions;
+            let result = if result.best.is_none() && !result.complete {
+                // The budget expired before the first incumbent. That says
+                // nothing about satisfiability, so fall back to a pure
+                // greedy descent (first solution, no budget) — it stops at
+                // its first leaf and only completes exhaustively when the
+                // component is genuinely unsatisfiable.
+                let retry = BnB::new(global_of.len(), local_clauses, u64::MAX, true).solve();
+                stats.decisions += retry.stats.decisions;
+                retry
+            } else {
+                result
+            };
+            let Some((assignment, _)) = result.best else {
+                return Outcome::Unsat;
+            };
+            if !result.complete {
+                optimal = false;
+            }
+            for (lv, &gv) in global_of.iter().enumerate() {
+                values[gv as usize] = assignment[lv];
+            }
+        }
+    }
+
+    debug_assert!(cnf.eval(&values), "solver returned a non-model");
+    let ones = values.iter().filter(|&&b| b).count();
+    Outcome::Sat(Solution {
+        values,
+        ones,
+        optimal,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cnf(n: usize, clauses: &[&[Lit]]) -> Cnf {
+        let mut f = Cnf::new(n);
+        for c in clauses {
+            f.add_clause(c);
+        }
+        f
+    }
+
+    fn ones_of(n: usize, clauses: &[&[Lit]]) -> Option<usize> {
+        solve_min_ones(&cnf(n, clauses), &MinOnesOptions::default())
+            .solution()
+            .map(|s| s.ones)
+    }
+
+    #[test]
+    fn empty_formula_is_all_false() {
+        assert_eq!(ones_of(4, &[]), Some(0));
+    }
+
+    #[test]
+    fn triangle_plus_triangle_decomposes() {
+        let l = |v| Lit::pos(v);
+        let clauses: Vec<Vec<Lit>> = vec![
+            vec![l(0), l(1)],
+            vec![l(1), l(2)],
+            vec![l(2), l(0)],
+            vec![l(3), l(4)],
+            vec![l(4), l(5)],
+            vec![l(5), l(3)],
+        ];
+        let refs: Vec<&[Lit]> = clauses.iter().map(Vec::as_slice).collect();
+        let f = cnf(6, &refs);
+        let sol = solve_min_ones(&f, &MinOnesOptions::default())
+            .solution()
+            .unwrap();
+        assert_eq!(sol.ones, 4);
+        assert_eq!(sol.stats.components, 2);
+        assert!(sol.optimal);
+
+        // Same answer without decomposition.
+        let sol2 = solve_min_ones(
+            &f,
+            &MinOnesOptions {
+                decompose: false,
+                ..Default::default()
+            },
+        )
+        .solution()
+        .unwrap();
+        assert_eq!(sol2.ones, 4);
+        assert_eq!(sol2.stats.components, 1);
+    }
+
+    #[test]
+    fn forced_deletions_via_units() {
+        // del(g2) forced; (del(a) ∨ del(ag) ∨ ¬del(g2)) then needs one more.
+        let g2: Var = 0;
+        let a: Var = 1;
+        let ag: Var = 2;
+        let sol = solve_min_ones(
+            &cnf(
+                3,
+                &[
+                    &[Lit::pos(g2)],
+                    &[Lit::pos(a), Lit::pos(ag), Lit::neg(g2)],
+                ],
+            ),
+            &MinOnesOptions::default(),
+        )
+        .solution()
+        .unwrap();
+        assert_eq!(sol.ones, 2);
+        assert!(sol.values[g2 as usize]);
+    }
+
+    #[test]
+    fn unsat_detected() {
+        assert_eq!(ones_of(1, &[&[Lit::pos(0)], &[Lit::neg(0)]]), None);
+    }
+
+    #[test]
+    fn pure_negative_vars_cost_nothing() {
+        // (¬a ∨ ¬b) with nothing forcing them: 0 ones.
+        assert_eq!(ones_of(2, &[&[Lit::neg(0), Lit::neg(1)]]), Some(0));
+    }
+
+    #[test]
+    fn first_solution_only_is_marked_non_optimal_when_search_is_cut() {
+        let l = |v| Lit::pos(v);
+        let clauses: Vec<Vec<Lit>> = vec![vec![l(0), l(1)], vec![l(1), l(2)], vec![l(2), l(0)]];
+        let refs: Vec<&[Lit]> = clauses.iter().map(Vec::as_slice).collect();
+        let sol = solve_min_ones(
+            &cnf(3, &refs),
+            &MinOnesOptions {
+                first_solution_only: true,
+                ..Default::default()
+            },
+        )
+        .solution()
+        .unwrap();
+        // Still a model, possibly not minimal.
+        assert!(sol.ones >= 2);
+        assert!(!sol.optimal);
+    }
+
+    #[test]
+    fn unconstrained_variables_default_false() {
+        let sol = solve_min_ones(&cnf(10, &[&[Lit::pos(3)]]), &MinOnesOptions::default())
+            .solution()
+            .unwrap();
+        assert_eq!(sol.ones, 1);
+        assert!(sol.values[3]);
+        assert!(sol.values.iter().enumerate().all(|(i, &v)| v == (i == 3)));
+    }
+
+    /// Brute-force reference: minimum ones over all 2^n assignments.
+    fn brute_min_ones(f: &Cnf) -> Option<usize> {
+        let n = f.num_vars();
+        let mut best: Option<usize> = None;
+        for bits in 0u32..(1 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            if f.eval(&assignment) {
+                let ones = assignment.iter().filter(|&&b| b).count();
+                best = Some(best.map_or(ones, |b: usize| b.min(ones)));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_formulas() {
+        // Deterministic pseudo-random 3-CNF instances.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _case in 0..60 {
+            let n = 3 + (next() % 6) as usize; // 3..8 vars
+            let m = 2 + (next() % 10) as usize; // 2..11 clauses
+            let mut f = Cnf::new(n);
+            for _ in 0..m {
+                let len = 1 + (next() % 3) as usize;
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| {
+                        let v = (next() % n as u64) as Var;
+                        if next() % 2 == 0 {
+                            Lit::pos(v)
+                        } else {
+                            Lit::neg(v)
+                        }
+                    })
+                    .collect();
+                f.add_clause(&lits);
+            }
+            let expected = brute_min_ones(&f);
+            let got = solve_min_ones(&f, &MinOnesOptions::default());
+            match (expected, got) {
+                (None, Outcome::Unsat) => {}
+                (Some(e), Outcome::Sat(s)) => {
+                    assert_eq!(s.ones, e, "formula: {f:?}");
+                    assert!(f.eval(&s.values));
+                }
+                (e, g) => panic!("mismatch: brute={e:?} solver={g:?} formula={f:?}"),
+            }
+        }
+    }
+}

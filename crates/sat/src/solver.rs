@@ -1,0 +1,520 @@
+//! Branch & bound DPLL core over one (sub)problem.
+//!
+//! Works on a *local* variable numbering — [`crate::minones`] maps each
+//! connected component down to a dense range before calling in here.
+//!
+//! The search exploits the structure of Min-Ones: `False` costs nothing, so
+//! the only clauses that can ever force a `True` are the **critical**
+//! clauses — open clauses whose free literals are all positive. Everything
+//! else can be satisfied for free by assigning the variable under one of its
+//! negative literals `False`:
+//!
+//! * when no critical clause is open, assigning every remaining variable
+//!   `False` is an optimal completion of the current node — the solver
+//!   records it and backtracks, never branching further;
+//! * **branching** picks the variable that occurs positively in the most
+//!   critical clauses (maintained incrementally), trying `True` first, so
+//!   the first leaf is the greedy hitting set of the critical core — a
+//!   strong incumbent that makes the `ones` pruning bite immediately;
+//! * the **lower bound** counts a variable-disjoint set of critical
+//!   clauses, each forcing at least one distinct `True`.
+
+use crate::cnf::{Lit, Var};
+
+const UNASSIGNED: i8 = -1;
+
+/// Search statistics for one subproblem.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchStats {
+    /// Decision nodes explored.
+    pub decisions: u64,
+    /// Literals assigned by unit propagation.
+    pub propagations: u64,
+}
+
+/// Result of a subproblem search.
+pub struct SearchResult {
+    /// Best assignment found, if the subproblem is satisfiable.
+    pub best: Option<(Vec<bool>, u32)>,
+    /// False when the node budget expired before the search finished.
+    pub complete: bool,
+    /// Statistics.
+    pub stats: SearchStats,
+}
+
+/// Counter-based DPLL with a trail, critical-clause branching and pruning on
+/// the number of `True` assignments.
+pub struct BnB {
+    clauses: Vec<Box<[Lit]>>,
+    occ_pos: Vec<Vec<u32>>,
+    occ_neg: Vec<Vec<u32>>,
+    assign: Vec<i8>,
+    sat_count: Vec<u32>,
+    /// Literals not yet falsified, per clause (0 with `sat_count` 0 is a
+    /// conflict).
+    unassigned_count: Vec<u32>,
+    /// Negative literals not yet falsified, per clause. A clause with
+    /// `sat_count == 0 && neg_free == 0` is *critical*: it can only be
+    /// satisfied by setting one of its positive variables `True`.
+    neg_free: Vec<u32>,
+    /// Per variable: number of critical clauses in which it occurs
+    /// positively. The branching score.
+    crit_score: Vec<u32>,
+    trail: Vec<Var>,
+    ones: u32,
+    lb_stamp: Vec<u32>,
+    stamp: u32,
+    best_ones: u32,
+    best: Option<Vec<bool>>,
+    nodes: u64,
+    budget: u64,
+    aborted: bool,
+    first_solution_only: bool,
+    stats: SearchStats,
+}
+
+impl BnB {
+    /// Build a solver for `n_vars` local variables and `clauses` (each
+    /// clause tautology-free with unique variables, as produced by
+    /// [`crate::Cnf::add_clause`]).
+    pub fn new(
+        n_vars: usize,
+        clauses: Vec<Box<[Lit]>>,
+        budget: u64,
+        first_solution_only: bool,
+    ) -> BnB {
+        let mut occ_pos = vec![Vec::new(); n_vars];
+        let mut occ_neg = vec![Vec::new(); n_vars];
+        let mut neg_free = vec![0u32; clauses.len()];
+        let mut crit_score = vec![0u32; n_vars];
+        for (ci, c) in clauses.iter().enumerate() {
+            for &l in c.iter() {
+                if l.is_neg() {
+                    occ_neg[l.var() as usize].push(ci as u32);
+                    neg_free[ci] += 1;
+                } else {
+                    occ_pos[l.var() as usize].push(ci as u32);
+                }
+            }
+        }
+        for (ci, c) in clauses.iter().enumerate() {
+            if neg_free[ci] == 0 {
+                for &l in c.iter() {
+                    crit_score[l.var() as usize] += 1;
+                }
+            }
+        }
+        let unassigned_count = clauses.iter().map(|c| c.len() as u32).collect();
+        BnB {
+            sat_count: vec![0; clauses.len()],
+            unassigned_count,
+            neg_free,
+            crit_score,
+            clauses,
+            occ_pos,
+            occ_neg,
+            assign: vec![UNASSIGNED; n_vars],
+            trail: Vec::new(),
+            ones: 0,
+            lb_stamp: vec![0; n_vars],
+            stamp: 0,
+            best_ones: u32::MAX,
+            best: None,
+            nodes: 0,
+            budget,
+            aborted: false,
+            first_solution_only,
+            stats: SearchStats::default(),
+        }
+    }
+
+    /// Run the search and return the minimum-ones solution.
+    pub fn solve(mut self) -> SearchResult {
+        // Seed with the initial unit clauses; a root conflict means UNSAT.
+        let mut ok = true;
+        for ci in 0..self.clauses.len() {
+            if self.clauses[ci].len() == 1 && self.sat_count[ci] == 0 {
+                let l = self.clauses[ci][0];
+                if !self.propagate(l.var(), l.satisfying_value()) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            self.search();
+        }
+        SearchResult {
+            best: self.best.take().map(|b| (b, self.best_ones)),
+            complete: !self.aborted,
+            stats: self.stats,
+        }
+    }
+
+    #[inline]
+    fn is_critical(&self, ci: usize) -> bool {
+        self.sat_count[ci] == 0 && self.neg_free[ci] == 0
+    }
+
+    /// Clause `ci` flipped criticality; shift the scores of its positive
+    /// variables by `delta`.
+    #[inline]
+    fn shift_crit(&mut self, ci: usize, delta: i32) {
+        for k in 0..self.clauses[ci].len() {
+            let l = self.clauses[ci][k];
+            if !l.is_neg() {
+                let s = &mut self.crit_score[l.var() as usize];
+                *s = (*s as i32 + delta) as u32;
+            }
+        }
+    }
+
+    /// Assign `var := val` and propagate; returns `false` on conflict.
+    fn propagate(&mut self, var: Var, val: bool) -> bool {
+        let mut queue: Vec<(Var, bool)> = vec![(var, val)];
+        while let Some((v, val)) = queue.pop() {
+            match self.assign[v as usize] {
+                UNASSIGNED => {}
+                cur => {
+                    if (cur == 1) == val {
+                        continue;
+                    }
+                    return false;
+                }
+            }
+            self.assign[v as usize] = val as i8;
+            self.trail.push(v);
+            if val {
+                self.ones += 1;
+            }
+            self.stats.propagations += 1;
+            // Clauses satisfied by this literal.
+            let sat_len = if val {
+                self.occ_pos[v as usize].len()
+            } else {
+                self.occ_neg[v as usize].len()
+            };
+            for i in 0..sat_len {
+                let ci = if val {
+                    self.occ_pos[v as usize][i]
+                } else {
+                    self.occ_neg[v as usize][i]
+                } as usize;
+                if self.is_critical(ci) {
+                    self.shift_crit(ci, -1);
+                }
+                self.sat_count[ci] += 1;
+            }
+            // Clauses losing a falsified literal. On conflict the loop
+            // still runs to completion so every counter reflects this
+            // assignment — `undo_to` reverses whole trail entries and must
+            // never see a half-applied one.
+            let mut conflict = false;
+            let false_len = if val {
+                self.occ_neg[v as usize].len()
+            } else {
+                self.occ_pos[v as usize].len()
+            };
+            for i in 0..false_len {
+                let ci = if val {
+                    self.occ_neg[v as usize][i]
+                } else {
+                    self.occ_pos[v as usize][i]
+                } as usize;
+                self.unassigned_count[ci] -= 1;
+                if val {
+                    // A negative literal was falsified.
+                    self.neg_free[ci] -= 1;
+                    if self.is_critical(ci) {
+                        self.shift_crit(ci, 1);
+                    }
+                }
+                if self.sat_count[ci] == 0 && !conflict {
+                    match self.unassigned_count[ci] {
+                        0 => conflict = true,
+                        1 => {
+                            let l = self.clauses[ci]
+                                .iter()
+                                .copied()
+                                .find(|l| self.assign[l.var() as usize] == UNASSIGNED)
+                                .expect("one unassigned literal remains");
+                            queue.push((l.var(), l.satisfying_value()));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if conflict {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let v = self.trail.pop().expect("trail nonempty");
+            let val = self.assign[v as usize] == 1;
+            self.assign[v as usize] = UNASSIGNED;
+            if val {
+                self.ones -= 1;
+            }
+            // Un-satisfy.
+            let sat_len = if val {
+                self.occ_pos[v as usize].len()
+            } else {
+                self.occ_neg[v as usize].len()
+            };
+            for i in 0..sat_len {
+                let ci = if val {
+                    self.occ_pos[v as usize][i]
+                } else {
+                    self.occ_neg[v as usize][i]
+                } as usize;
+                self.sat_count[ci] -= 1;
+                if self.is_critical(ci) {
+                    self.shift_crit(ci, 1);
+                }
+            }
+            // Restore falsified literals.
+            let false_len = if val {
+                self.occ_neg[v as usize].len()
+            } else {
+                self.occ_pos[v as usize].len()
+            };
+            for i in 0..false_len {
+                let ci = if val {
+                    self.occ_neg[v as usize][i]
+                } else {
+                    self.occ_pos[v as usize][i]
+                } as usize;
+                if val {
+                    // A negative literal comes back.
+                    if self.is_critical(ci) {
+                        self.shift_crit(ci, -1);
+                    }
+                    self.neg_free[ci] += 1;
+                }
+                self.unassigned_count[ci] += 1;
+            }
+        }
+    }
+
+    /// Greedy lower bound: critical clauses each force at least one `True`;
+    /// count a variable-disjoint set of them.
+    fn lower_bound(&mut self) -> u32 {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let mut lb = 0;
+        'clause: for ci in 0..self.clauses.len() {
+            if !self.is_critical(ci) {
+                continue;
+            }
+            for &l in self.clauses[ci].iter() {
+                if self.assign[l.var() as usize] == UNASSIGNED
+                    && self.lb_stamp[l.var() as usize] == stamp
+                {
+                    continue 'clause;
+                }
+            }
+            for &l in self.clauses[ci].iter() {
+                if self.assign[l.var() as usize] == UNASSIGNED {
+                    self.lb_stamp[l.var() as usize] = stamp;
+                }
+            }
+            lb += 1;
+        }
+        lb
+    }
+
+    /// Unassigned variable covering the most critical clauses; `None` when
+    /// no critical clause is open.
+    fn pick_var(&self) -> Option<Var> {
+        let mut best: Option<(Var, u32)> = None;
+        for v in 0..self.assign.len() {
+            if self.assign[v] != UNASSIGNED || self.crit_score[v] == 0 {
+                continue;
+            }
+            let s = self.crit_score[v];
+            match best {
+                Some((_, bs)) if bs >= s => {}
+                _ => best = Some((v as Var, s)),
+            }
+        }
+        best.map(|(v, _)| v)
+    }
+
+    fn search(&mut self) {
+        if self.aborted {
+            return;
+        }
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            self.aborted = true;
+            return;
+        }
+        if self.ones >= self.best_ones {
+            return;
+        }
+        if self.ones + self.lower_bound() >= self.best_ones {
+            return;
+        }
+        let Some(v) = self.pick_var() else {
+            // No critical clause is open: every remaining clause still has a
+            // free negative literal, so all-`False` satisfies them at zero
+            // cost — an optimal completion of this node.
+            self.best_ones = self.ones;
+            self.best = Some(self.assign.iter().map(|&a| a == 1).collect());
+            if self.first_solution_only {
+                self.aborted = true;
+            }
+            return;
+        };
+        self.stats.decisions += 1;
+        let mark = self.trail.len();
+        // Greedy descent: cover the most critical clauses first.
+        if self.ones + 1 < self.best_ones && self.propagate(v, true) {
+            self.search();
+        }
+        self.undo_to(mark);
+        if self.aborted {
+            return;
+        }
+        if self.propagate(v, false) {
+            self.search();
+        }
+        self.undo_to(mark);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(n: usize, clauses: &[&[Lit]]) -> Option<(Vec<bool>, u32)> {
+        let cs = clauses.iter().map(|c| c.to_vec().into_boxed_slice()).collect();
+        BnB::new(n, cs, u64::MAX, false).solve().best
+    }
+
+    #[test]
+    fn triangle_vertex_cover_needs_two() {
+        // (a∨b)(b∨c)(c∨a): minimum ones = 2.
+        let (a, b, c) = (Lit::pos(0), Lit::pos(1), Lit::pos(2));
+        let (_, ones) = solve(3, &[&[a, b], &[b, c], &[c, a]]).unwrap();
+        assert_eq!(ones, 2);
+    }
+
+    #[test]
+    fn star_cover_needs_one() {
+        let center = Lit::pos(0);
+        let clauses: Vec<Vec<Lit>> = (1..6).map(|i| vec![center, Lit::pos(i)]).collect();
+        let refs: Vec<&[Lit]> = clauses.iter().map(Vec::as_slice).collect();
+        let (vals, ones) = solve(6, &refs).unwrap();
+        assert_eq!(ones, 1);
+        assert!(vals[0]);
+    }
+
+    #[test]
+    fn unit_conflict_is_unsat() {
+        assert!(solve(1, &[&[Lit::pos(0)], &[Lit::neg(0)]]).is_none());
+    }
+
+    #[test]
+    fn negative_literals_allow_zero_ones() {
+        // (¬a ∨ ¬b): all-false works.
+        let (_, ones) = solve(2, &[&[Lit::neg(0), Lit::neg(1)]]).unwrap();
+        assert_eq!(ones, 0);
+    }
+
+    #[test]
+    fn forced_chain_counts_ones() {
+        // a; ¬a∨b; ¬b∨c  → all three true.
+        let (vals, ones) = solve(
+            3,
+            &[
+                &[Lit::pos(0)],
+                &[Lit::neg(0), Lit::pos(1)],
+                &[Lit::neg(1), Lit::pos(2)],
+            ],
+        )
+        .unwrap();
+        assert_eq!(ones, 3);
+        assert_eq!(vals, vec![true, true, true]);
+    }
+
+    #[test]
+    fn budget_abort_reported() {
+        // A formula needing some search, with budget 1.
+        let (a, b, c) = (Lit::pos(0), Lit::pos(1), Lit::pos(2));
+        let cs: Vec<Box<[Lit]>> = vec![
+            vec![a, b].into_boxed_slice(),
+            vec![b, c].into_boxed_slice(),
+            vec![c, a].into_boxed_slice(),
+        ];
+        let res = BnB::new(3, cs, 1, false).solve();
+        assert!(!res.complete);
+    }
+
+    #[test]
+    fn greedy_first_leaf_is_cover() {
+        // Star + pendant: the greedy descent must pick the hub immediately.
+        // Clauses (h∨x1)…(h∨x5), (x5∨y): min ones = 2 (h and one of x5/y).
+        let h = Lit::pos(0);
+        let mut clauses: Vec<Vec<Lit>> = (1..6).map(|i| vec![h, Lit::pos(i)]).collect();
+        clauses.push(vec![Lit::pos(5), Lit::pos(6)]);
+        let refs: Vec<&[Lit]> = clauses.iter().map(Vec::as_slice).collect();
+        let (vals, ones) = solve(7, &refs).unwrap();
+        assert_eq!(ones, 2);
+        assert!(vals[0]);
+    }
+
+    #[test]
+    fn cascade_cost_steers_away_from_hub() {
+        // (h∨a)(h∨b) are coverable by h, but h=true forces c,d,e through
+        // (¬h∨c)(¬h∨d)(¬h∨e): cost 4 with the hub vs 2 without.
+        let (h, a, b, c, d, e) =
+            (Lit::pos(0), Lit::pos(1), Lit::pos(2), Lit::pos(3), Lit::pos(4), Lit::pos(5));
+        let nh = Lit::neg(0);
+        let (vals, ones) =
+            solve(6, &[&[h, a], &[h, b], &[nh, c], &[nh, d], &[nh, e]]).unwrap();
+        assert_eq!(ones, 2);
+        assert!(!vals[0] && vals[1] && vals[2]);
+    }
+
+    #[test]
+    fn bipartite_cover_prefers_small_side() {
+        // K_{2,8}: covering the 2-side costs 2, the 8-side costs 8.
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        for l in 0..2 {
+            for r in 0..8 {
+                clauses.push(vec![Lit::pos(l), Lit::pos(2 + r)]);
+            }
+        }
+        let refs: Vec<&[Lit]> = clauses.iter().map(Vec::as_slice).collect();
+        let (vals, ones) = solve(10, &refs).unwrap();
+        assert_eq!(ones, 2);
+        assert!(vals[0] && vals[1]);
+    }
+
+    #[test]
+    fn non_critical_clauses_complete_for_free() {
+        // Every clause has a negative literal: optimum is all-False, found
+        // without any branching.
+        let clauses: Vec<Vec<Lit>> = (0..8)
+            .map(|i| vec![Lit::neg(i), Lit::pos((i + 1) % 8)])
+            .collect();
+        let refs: Vec<&[Lit]> = clauses.iter().map(Vec::as_slice).collect();
+        let (vals, ones) = solve(8, &refs).unwrap();
+        assert_eq!(ones, 0);
+        assert!(vals.iter().all(|&v| !v));
+    }
+
+    #[test]
+    fn mixed_hitting_set_with_implication_chain() {
+        // Critical core (a∨b)(b∨c) plus chain ¬b∨d: choosing b (greedy)
+        // costs 2 (b, d); choosing a and c also costs 2. Minimum is 2.
+        let (a, b, c, d) = (Lit::pos(0), Lit::pos(1), Lit::pos(2), Lit::pos(3));
+        let (_, ones) = solve(4, &[&[a, b], &[b, c], &[Lit::neg(1), d]]).unwrap();
+        assert_eq!(ones, 2);
+    }
+}

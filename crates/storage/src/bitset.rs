@@ -1,0 +1,201 @@
+//! A compact growable bitset.
+//!
+//! [`crate::State`] keeps two of these per relation (presence and delta
+//! membership); semantics clone states freely, so the representation is a
+//! plain `Vec<u64>` with no indirection.
+
+/// Fixed-capacity-free bitset over `usize` indices.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    /// Number of bits the set was sized for (indices >= len read as 0).
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty bitset sized for `len` bits, all zero.
+    pub fn zeros(len: usize) -> BitSet {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// A bitset sized for `len` bits, all one.
+    pub fn ones(len: usize) -> BitSet {
+        let mut b = BitSet {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        b.trim_tail();
+        b
+    }
+
+    fn trim_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of bits this set was sized for.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when sized for zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Grow to cover at least `len` bits (new bits are zero).
+    pub fn grow(&mut self, len: usize) {
+        if len > self.len {
+            self.len = len;
+            self.words.resize(len.div_ceil(64), 0);
+        }
+    }
+
+    /// Read bit `i` (bits past `len` read as unset).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        match self.words.get(i / 64) {
+            Some(w) => (w >> (i % 64)) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// Set bit `i` to one, growing if needed. Returns the previous value.
+    #[inline]
+    pub fn set(&mut self, i: usize) -> bool {
+        if i >= self.len {
+            self.grow(i + 1);
+        }
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let old = *w & mask != 0;
+        *w |= mask;
+        old
+    }
+
+    /// Set bit `i` to zero. Returns the previous value.
+    #[inline]
+    pub fn clear(&mut self, i: usize) -> bool {
+        match self.words.get_mut(i / 64) {
+            Some(w) => {
+                let mask = 1u64 << (i % 64);
+                let old = *w & mask != 0;
+                *w &= !mask;
+                old
+            }
+            None => false,
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `self := self & !other` (remove every bit set in `other`).
+    pub fn difference_with(&mut self, other: &BitSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+    }
+
+    /// `self := self | other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        if other.words.len() > self.words.len() {
+            self.grow(other.len);
+        }
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// True when no bit is set.
+    pub fn none(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Iterate over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitSet::zeros(100);
+        assert_eq!(z.count_ones(), 0);
+        let o = BitSet::ones(100);
+        assert_eq!(o.count_ones(), 100);
+        assert!(!o.get(100)); // tail trimmed
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = BitSet::zeros(10);
+        assert!(!b.set(3));
+        assert!(b.get(3));
+        assert!(b.set(3));
+        assert!(b.clear(3));
+        assert!(!b.get(3));
+        assert!(!b.clear(3));
+    }
+
+    #[test]
+    fn grows_on_demand() {
+        let mut b = BitSet::zeros(0);
+        b.set(1000);
+        assert!(b.get(1000));
+        assert!(!b.get(999));
+        assert_eq!(b.len(), 1001);
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let mut b = BitSet::zeros(200);
+        for i in [0usize, 63, 64, 65, 127, 128, 199] {
+            b.set(i);
+        }
+        let got: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(got, vec![0, 63, 64, 65, 127, 128, 199]);
+    }
+
+    #[test]
+    fn difference_and_union() {
+        let mut a = BitSet::ones(70);
+        let mut b = BitSet::zeros(70);
+        b.set(0);
+        b.set(69);
+        a.difference_with(&b);
+        assert_eq!(a.count_ones(), 68);
+        a.union_with(&b);
+        assert_eq!(a.count_ones(), 70);
+    }
+
+    #[test]
+    fn ones_count_at_word_boundaries() {
+        for n in [0usize, 1, 63, 64, 65, 128] {
+            assert_eq!(BitSet::ones(n).count_ones(), n, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type shared by the storage layer.
+
+use std::fmt;
+
+/// Errors raised while building schemas or loading data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A relation name was declared twice in one schema.
+    DuplicateRelation(String),
+    /// A relation name was referenced but never declared.
+    UnknownRelation(String),
+    /// An attribute name was referenced but does not exist on the relation.
+    UnknownAttribute { relation: String, attribute: String },
+    /// A tuple had the wrong number of values for its relation.
+    ArityMismatch {
+        relation: String,
+        expected: usize,
+        got: usize,
+    },
+    /// A value did not match the declared attribute type.
+    TypeMismatch {
+        relation: String,
+        attribute: String,
+        expected: &'static str,
+        got: &'static str,
+    },
+    /// Malformed TSV input.
+    Parse(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` declared more than once")
+            }
+            StorageError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            StorageError::UnknownAttribute {
+                relation,
+                attribute,
+            } => write!(f, "relation `{relation}` has no attribute `{attribute}`"),
+            StorageError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "relation `{relation}` expects {expected} values, got {got}"
+            ),
+            StorageError::TypeMismatch {
+                relation,
+                attribute,
+                expected,
+                got,
+            } => write!(
+                f,
+                "attribute `{relation}.{attribute}` expects {expected}, got {got}"
+            ),
+            StorageError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

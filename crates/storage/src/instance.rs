@@ -1,0 +1,184 @@
+//! The extensional database instance.
+
+use crate::error::StorageError;
+use crate::relation::Relation;
+use crate::schema::{RelId, Schema};
+use crate::state::State;
+use crate::tuple::{Tuple, TupleId};
+use crate::value::Value;
+
+/// A database instance: a [`Schema`] plus one [`Relation`] store per declared
+/// relation.
+///
+/// An `Instance` is the immutable substrate of every repair computation; the
+/// mutable part (presence bits and delta membership) lives in [`State`]. This
+/// split lets the four semantics of the paper evaluate over the same data
+/// without copying tuples.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    schema: Schema,
+    relations: Vec<Relation>,
+}
+
+impl Instance {
+    /// Fresh instance for `schema`.
+    pub fn new(schema: Schema) -> Instance {
+        let relations = schema
+            .iter()
+            .map(|(_, rs)| Relation::new(rs.arity()))
+            .collect();
+        Instance { schema, relations }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Storage of relation `rel`.
+    pub fn relation(&self, rel: RelId) -> &Relation {
+        &self.relations[rel.idx()]
+    }
+
+    /// Insert a tuple (validated against the schema); returns its id.
+    pub fn insert(&mut self, rel: RelId, t: Tuple) -> Result<TupleId, StorageError> {
+        let rs = self.schema.rel(rel);
+        let (row, _) = self.relations[rel.idx()].insert_checked(rs, t)?;
+        Ok(TupleId::new(rel, row))
+    }
+
+    /// Insert by relation name with `Into<Value>` items.
+    pub fn insert_values<V: Into<Value>>(
+        &mut self,
+        rel_name: &str,
+        values: impl IntoIterator<Item = V>,
+    ) -> Result<TupleId, StorageError> {
+        let rel = self.schema.require(rel_name)?;
+        let t = Tuple::new(values.into_iter().map(Into::into).collect::<Vec<_>>());
+        self.insert(rel, t)
+    }
+
+    /// The tuple behind `tid`.
+    pub fn tuple(&self, tid: TupleId) -> &Tuple {
+        self.relations[tid.rel.idx()].tuple(tid.row)
+    }
+
+    /// Find the id of `t` in `rel` (whether or not any state deleted it).
+    pub fn find(&self, rel: RelId, t: &Tuple) -> Option<TupleId> {
+        self.relations[rel.idx()]
+            .find(t)
+            .map(|row| TupleId::new(rel, row))
+    }
+
+    /// Build the per-column hash index for `rel.col`.
+    pub fn ensure_index(&mut self, rel: RelId, col: usize) {
+        self.relations[rel.idx()].ensure_index(col);
+    }
+
+    /// Build every index on every column (used by benches and tests; the
+    /// evaluator requests only the indexes its plans need).
+    pub fn index_all(&mut self) {
+        for r in &mut self.relations {
+            let arity = r
+                .iter()
+                .next()
+                .map(|(_, t)| t.arity())
+                .unwrap_or(0);
+            for c in 0..arity {
+                r.ensure_index(c);
+            }
+        }
+    }
+
+    /// Total number of rows ever inserted across relations.
+    pub fn total_rows(&self) -> usize {
+        self.relations.iter().map(Relation::num_rows).sum()
+    }
+
+    /// Rows ever inserted into `rel`.
+    pub fn rows(&self, rel: RelId) -> usize {
+        self.relations[rel.idx()].num_rows()
+    }
+
+    /// A fresh [`State`] in which every inserted tuple is present and all
+    /// delta relations are empty (stage/step/end time `t = 0`).
+    pub fn initial_state(&self) -> State {
+        State::initial(self)
+    }
+
+    /// Iterate every tuple id of `rel`.
+    pub fn tuple_ids(&self, rel: RelId) -> impl Iterator<Item = TupleId> + '_ {
+        (0..self.relations[rel.idx()].num_rows() as u32).map(move |row| TupleId::new(rel, row))
+    }
+
+    /// Iterate every tuple id in the instance.
+    pub fn all_tuple_ids(&self) -> impl Iterator<Item = TupleId> + '_ {
+        self.schema
+            .iter()
+            .map(|(rid, _)| rid)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flat_map(move |rid| self.tuple_ids(rid))
+    }
+
+    /// Render `tid` as `Relation(v1, …, vn)` for messages and examples.
+    pub fn display_tuple(&self, tid: TupleId) -> String {
+        format!("{}{}", self.schema.rel(tid.rel).name, self.tuple(tid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrType;
+
+    fn grant_instance() -> Instance {
+        let mut s = Schema::new();
+        s.relation("Grant", &[("gid", AttrType::Int), ("name", AttrType::Str)]);
+        let mut db = Instance::new(s);
+        db.insert_values("Grant", [Value::Int(1), Value::str("NSF")])
+            .unwrap();
+        db.insert_values("Grant", [Value::Int(2), Value::str("ERC")])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn insert_and_fetch() {
+        let db = grant_instance();
+        let rel = db.schema().rel_id("Grant").unwrap();
+        assert_eq!(db.rows(rel), 2);
+        let tid = TupleId::new(rel, 1);
+        assert_eq!(db.tuple(tid).get(1), &Value::str("ERC"));
+        assert_eq!(db.display_tuple(tid), "Grant(2, ERC)");
+    }
+
+    #[test]
+    fn unknown_relation_is_an_error() {
+        let mut db = grant_instance();
+        assert!(db.insert_values("Nope", [Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn find_round_trips() {
+        let db = grant_instance();
+        let rel = db.schema().rel_id("Grant").unwrap();
+        let t = Tuple::new(vec![Value::Int(2), Value::str("ERC")]);
+        assert_eq!(db.find(rel, &t), Some(TupleId::new(rel, 1)));
+    }
+
+    #[test]
+    fn all_tuple_ids_covers_everything() {
+        let db = grant_instance();
+        assert_eq!(db.all_tuple_ids().count(), db.total_rows());
+    }
+
+    #[test]
+    fn initial_state_sees_all_tuples() {
+        let db = grant_instance();
+        let st = db.initial_state();
+        let rel = db.schema().rel_id("Grant").unwrap();
+        assert_eq!(st.present_count(rel), 2);
+        assert_eq!(st.delta_count(rel), 0);
+    }
+}

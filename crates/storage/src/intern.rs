@@ -1,0 +1,116 @@
+//! Process-wide string interning.
+//!
+//! All string values in the engine are interned once and referred to by a
+//! 4-byte [`Sym`]. Interning makes tuple equality, hashing and join probes on
+//! string columns as cheap as on integer columns, which matters because the
+//! MAS workload joins on author/organization names.
+//!
+//! The table leaks the interned strings (via `Box::leak`) so `Sym::as_str`
+//! can hand out `&'static str` without holding any lock. The leak is bounded
+//! by the number of *distinct* strings ever interned — for the workloads in
+//! this repository that is a few hundred thousand short names.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string. Cheap to copy, compare and hash.
+///
+/// Ordering of `Sym` values is *interning order*, not lexicographic; use
+/// [`Sym::as_str`] when lexicographic comparison is needed (the engine's
+/// [`crate::value::Value`] ordering does this).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+struct Table {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn table() -> &'static Mutex<Table> {
+    static TABLE: OnceLock<Mutex<Table>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        Mutex::new(Table {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Sym {
+    /// Intern `s`, returning its symbol. Idempotent.
+    pub fn new(s: &str) -> Sym {
+        let mut t = table().lock().expect("interner poisoned");
+        if let Some(&id) = t.map.get(s) {
+            return Sym(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(t.strings.len()).expect("interner overflow");
+        t.strings.push(leaked);
+        t.map.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        let t = table().lock().expect("interner poisoned");
+        t.strings[self.0 as usize]
+    }
+
+    /// The raw symbol id (stable within one process run).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Sym::new("hello");
+        let b = Sym::new("hello");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "hello");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = Sym::new("alpha-x");
+        let b = Sym::new("beta-x");
+        assert_ne!(a, b);
+        assert_eq!(a.as_str(), "alpha-x");
+        assert_eq!(b.as_str(), "beta-x");
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let s = Sym::new("ERC");
+        assert_eq!(s.to_string(), "ERC");
+    }
+
+    #[test]
+    fn empty_string_interns() {
+        let s = Sym::new("");
+        assert_eq!(s.as_str(), "");
+    }
+}

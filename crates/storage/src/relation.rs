@@ -1,0 +1,183 @@
+//! Append-only, deduplicated tuple storage with per-column hash indexes.
+
+use crate::error::StorageError;
+use crate::schema::RelationSchema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Storage for one relation.
+///
+/// Tuples are appended once and never moved; *presence* is tracked outside
+/// this type by [`crate::State`] bitsets. The store deduplicates (relations
+/// are sets, per Section 2 of the paper) and maintains optional per-column
+/// hash indexes used by the join evaluator.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    tuples: Vec<Tuple>,
+    dedup: HashMap<Tuple, u32>,
+    /// `indexes[col]` maps a value to the rows holding it in column `col`.
+    indexes: Vec<Option<HashMap<Value, Vec<u32>>>>,
+}
+
+impl Relation {
+    /// Empty storage for a relation of the given arity.
+    pub fn new(arity: usize) -> Relation {
+        Relation {
+            tuples: Vec::new(),
+            dedup: HashMap::new(),
+            indexes: vec![None; arity],
+        }
+    }
+
+    /// Number of rows ever inserted (including ones later deleted by states).
+    pub fn num_rows(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// The tuple stored at `row`.
+    #[inline]
+    pub fn tuple(&self, row: u32) -> &Tuple {
+        &self.tuples[row as usize]
+    }
+
+    /// Insert `t`, returning its row and whether it was new.
+    ///
+    /// Re-inserting an existing tuple returns the original row (set
+    /// semantics).
+    pub fn insert(&mut self, t: Tuple) -> (u32, bool) {
+        if let Some(&row) = self.dedup.get(&t) {
+            return (row, false);
+        }
+        let row = u32::try_from(self.tuples.len()).expect("relation too large");
+        for (col, idx) in self.indexes.iter_mut().enumerate() {
+            if let Some(map) = idx {
+                map.entry(*t.get(col)).or_default().push(row);
+            }
+        }
+        self.dedup.insert(t.clone(), row);
+        self.tuples.push(t);
+        (row, true)
+    }
+
+    /// Validate `t` against `schema` and insert it.
+    pub fn insert_checked(
+        &mut self,
+        schema: &RelationSchema,
+        t: Tuple,
+    ) -> Result<(u32, bool), StorageError> {
+        if t.arity() != schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: schema.name.clone(),
+                expected: schema.arity(),
+                got: t.arity(),
+            });
+        }
+        for (attr, v) in schema.attrs.iter().zip(t.values()) {
+            if !attr.ty.admits(v) {
+                return Err(StorageError::TypeMismatch {
+                    relation: schema.name.clone(),
+                    attribute: attr.name.clone(),
+                    expected: attr.ty.name(),
+                    got: v.type_name(),
+                });
+            }
+        }
+        Ok(self.insert(t))
+    }
+
+    /// Row of `t`, if stored.
+    pub fn find(&self, t: &Tuple) -> Option<u32> {
+        self.dedup.get(t).copied()
+    }
+
+    /// Build the hash index for `col` if absent.
+    pub fn ensure_index(&mut self, col: usize) {
+        if self.indexes[col].is_some() {
+            return;
+        }
+        let mut map: HashMap<Value, Vec<u32>> = HashMap::new();
+        for (row, t) in self.tuples.iter().enumerate() {
+            map.entry(*t.get(col)).or_default().push(row as u32);
+        }
+        self.indexes[col] = Some(map);
+    }
+
+    /// Is the index for `col` built?
+    pub fn has_index(&self, col: usize) -> bool {
+        self.indexes[col].is_some()
+    }
+
+    /// Rows whose column `col` equals `v`, via the index.
+    ///
+    /// Returns `None` when the index has not been built — callers fall back
+    /// to a scan (the evaluator builds indexes up front, so this is rare).
+    pub fn lookup(&self, col: usize, v: &Value) -> Option<&[u32]> {
+        self.indexes[col]
+            .as_ref()
+            .map(|m| m.get(v).map(Vec::as_slice).unwrap_or(&[]))
+    }
+
+    /// Iterate all rows `(row, tuple)` ever inserted.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Tuple)> {
+        self.tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as u32, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, RelationSchema};
+
+    fn t(vals: &[i64]) -> Tuple {
+        Tuple::new(vals.iter().map(|&v| Value::Int(v)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut r = Relation::new(2);
+        let (a, fresh_a) = r.insert(t(&[1, 2]));
+        let (b, fresh_b) = r.insert(t(&[1, 2]));
+        assert_eq!(a, b);
+        assert!(fresh_a);
+        assert!(!fresh_b);
+        assert_eq!(r.num_rows(), 1);
+    }
+
+    #[test]
+    fn index_before_and_after_insert() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1, 10]));
+        r.ensure_index(0);
+        r.insert(t(&[1, 20]));
+        r.insert(t(&[2, 30]));
+        assert_eq!(r.lookup(0, &Value::Int(1)).unwrap(), &[0, 1]);
+        assert_eq!(r.lookup(0, &Value::Int(2)).unwrap(), &[2]);
+        assert_eq!(r.lookup(0, &Value::Int(9)).unwrap(), &[] as &[u32]);
+        assert!(r.lookup(1, &Value::Int(10)).is_none()); // not built
+    }
+
+    #[test]
+    fn insert_checked_validates() {
+        let schema = RelationSchema::new("R", &[("a", AttrType::Int), ("b", AttrType::Str)]);
+        let mut r = Relation::new(2);
+        assert!(r
+            .insert_checked(&schema, Tuple::new(vec![Value::Int(1), Value::str("x")]))
+            .is_ok());
+        let arity_err = r.insert_checked(&schema, t(&[1])).unwrap_err();
+        assert!(matches!(arity_err, StorageError::ArityMismatch { .. }));
+        let type_err = r.insert_checked(&schema, t(&[1, 2])).unwrap_err();
+        assert!(matches!(type_err, StorageError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn find_locates_rows() {
+        let mut r = Relation::new(1);
+        r.insert(t(&[5]));
+        assert_eq!(r.find(&t(&[5])), Some(0));
+        assert_eq!(r.find(&t(&[6])), None);
+    }
+}

@@ -1,0 +1,228 @@
+//! Relational schemas.
+
+use crate::error::StorageError;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Attribute type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AttrType {
+    /// 64-bit integer.
+    Int,
+    /// Interned string.
+    Str,
+}
+
+impl AttrType {
+    /// Human-readable name for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttrType::Int => "int",
+            AttrType::Str => "string",
+        }
+    }
+
+    /// Does `v` inhabit this type?
+    pub fn admits(self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (AttrType::Int, Value::Int(_)) | (AttrType::Str, Value::Str(_))
+        )
+    }
+}
+
+/// A named, typed attribute.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attr {
+    /// Attribute name (unique within its relation).
+    pub name: String,
+    /// Attribute type.
+    pub ty: AttrType,
+}
+
+impl Attr {
+    /// Shorthand constructor.
+    pub fn new(name: &str, ty: AttrType) -> Attr {
+        Attr {
+            name: name.to_owned(),
+            ty,
+        }
+    }
+}
+
+/// Index of a relation within its [`Schema`].
+///
+/// `RelId` doubles as the index of the corresponding delta relation `Δ_i`:
+/// the paper's delta relations share their base relation's attributes
+/// (Section 3.1), so they need no schema entry of their own.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RelId(pub u16);
+
+impl RelId {
+    /// Widen to `usize` for indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Schema of one relation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationSchema {
+    /// Relation name, e.g. `Author`.
+    pub name: String,
+    /// Ordered attributes.
+    pub attrs: Vec<Attr>,
+}
+
+impl RelationSchema {
+    /// Build a schema from `(name, type)` pairs.
+    pub fn new(name: &str, attrs: &[(&str, AttrType)]) -> RelationSchema {
+        RelationSchema {
+            name: name.to_owned(),
+            attrs: attrs.iter().map(|(n, t)| Attr::new(n, *t)).collect(),
+        }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Position of attribute `name`.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+}
+
+/// A database schema: an ordered collection of relation schemas with
+/// name-based lookup.
+#[derive(Clone, Debug, Default)]
+pub struct Schema {
+    relations: Vec<RelationSchema>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl Schema {
+    /// Empty schema.
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    /// Declare a relation; errors if the name is taken.
+    pub fn add_relation(&mut self, rel: RelationSchema) -> Result<RelId, StorageError> {
+        if self.by_name.contains_key(&rel.name) {
+            return Err(StorageError::DuplicateRelation(rel.name));
+        }
+        let id = RelId(u16::try_from(self.relations.len()).expect("too many relations"));
+        self.by_name.insert(rel.name.clone(), id);
+        self.relations.push(rel);
+        Ok(id)
+    }
+
+    /// Convenience: declare from `(name, type)` pairs.
+    pub fn relation(&mut self, name: &str, attrs: &[(&str, AttrType)]) -> RelId {
+        self.add_relation(RelationSchema::new(name, attrs))
+            .expect("duplicate relation")
+    }
+
+    /// Look a relation up by name.
+    pub fn rel_id(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Like [`Schema::rel_id`] but returns an error.
+    pub fn require(&self, name: &str) -> Result<RelId, StorageError> {
+        self.rel_id(name)
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_owned()))
+    }
+
+    /// Schema of relation `id`.
+    pub fn rel(&self, id: RelId) -> &RelationSchema {
+        &self.relations[id.idx()]
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True when no relation is declared.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Iterate `(RelId, schema)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &RelationSchema)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId(i as u16), r))
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.ty.name())?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_rel_schema() -> Schema {
+        let mut s = Schema::new();
+        s.relation("Grant", &[("gid", AttrType::Int), ("name", AttrType::Str)]);
+        s.relation("Author", &[("aid", AttrType::Int), ("name", AttrType::Str)]);
+        s
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = two_rel_schema();
+        assert_eq!(s.rel_id("Grant"), Some(RelId(0)));
+        assert_eq!(s.rel_id("Author"), Some(RelId(1)));
+        assert_eq!(s.rel_id("Missing"), None);
+        assert!(s.require("Missing").is_err());
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut s = two_rel_schema();
+        let err = s
+            .add_relation(RelationSchema::new("Grant", &[("x", AttrType::Int)]))
+            .unwrap_err();
+        assert_eq!(err, StorageError::DuplicateRelation("Grant".into()));
+    }
+
+    #[test]
+    fn attr_index_and_arity() {
+        let s = two_rel_schema();
+        let g = s.rel(RelId(0));
+        assert_eq!(g.arity(), 2);
+        assert_eq!(g.attr_index("name"), Some(1));
+        assert_eq!(g.attr_index("nope"), None);
+    }
+
+    #[test]
+    fn admits_checks_types() {
+        assert!(AttrType::Int.admits(&Value::Int(1)));
+        assert!(!AttrType::Int.admits(&Value::str("x")));
+        assert!(AttrType::Str.admits(&Value::str("x")));
+    }
+
+    #[test]
+    fn display_formats_schema() {
+        let s = two_rel_schema();
+        assert_eq!(s.rel(RelId(0)).to_string(), "Grant(gid: int, name: string)");
+    }
+}

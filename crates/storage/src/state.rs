@@ -1,0 +1,187 @@
+//! Evaluation state: presence and delta-membership bits.
+
+use crate::bitset::BitSet;
+use crate::instance::Instance;
+use crate::schema::RelId;
+use crate::tuple::TupleId;
+
+/// The mutable part of a database during repair evaluation.
+///
+/// For every relation `R_i` of an [`Instance`] the state tracks
+///
+/// * `present[i]` — is the tuple still a member of `R_i`, and
+/// * `delta[i]`   — is the tuple a member of `Δ_i`.
+///
+/// The two are independent on purpose: *end semantics* (Def. 3.10) grows the
+/// delta relations while `R` stays at its original content until the final
+/// update, whereas *stage* and *step* semantics (Defs. 3.7 / 3.5) remove a
+/// tuple from `R_i` the moment it enters `Δ_i`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct State {
+    present: Vec<BitSet>,
+    delta: Vec<BitSet>,
+}
+
+impl State {
+    /// State at time 0: all tuples present, all deltas empty.
+    pub fn initial(db: &Instance) -> State {
+        let present = db
+            .schema()
+            .iter()
+            .map(|(rid, _)| BitSet::ones(db.rows(rid)))
+            .collect();
+        let delta = db
+            .schema()
+            .iter()
+            .map(|(rid, _)| BitSet::zeros(db.rows(rid)))
+            .collect();
+        State { present, delta }
+    }
+
+    /// Is `tid` currently a member of its base relation?
+    #[inline]
+    pub fn is_present(&self, tid: TupleId) -> bool {
+        self.present[tid.rel.idx()].get(tid.row_idx())
+    }
+
+    /// Is `tid` a member of its delta relation?
+    #[inline]
+    pub fn in_delta(&self, tid: TupleId) -> bool {
+        self.delta[tid.rel.idx()].get(tid.row_idx())
+    }
+
+    /// Remove `tid` from `R` and add it to `Δ` (stage/step-style deletion).
+    /// Returns whether the delta membership was new.
+    pub fn delete(&mut self, tid: TupleId) -> bool {
+        self.present[tid.rel.idx()].clear(tid.row_idx());
+        !self.delta[tid.rel.idx()].set(tid.row_idx())
+    }
+
+    /// Add `tid` to `Δ` *without* removing it from `R` (end-style
+    /// derivation). Returns whether the delta membership was new.
+    pub fn mark_delta(&mut self, tid: TupleId) -> bool {
+        !self.delta[tid.rel.idx()].set(tid.row_idx())
+    }
+
+    /// Apply `R_i := R_i \ Δ_i` for every relation (the final update of end
+    /// semantics).
+    pub fn apply_deltas(&mut self) {
+        for (p, d) in self.present.iter_mut().zip(&self.delta) {
+            p.difference_with(d);
+        }
+    }
+
+    /// Number of tuples present in `rel`.
+    pub fn present_count(&self, rel: RelId) -> usize {
+        self.present[rel.idx()].count_ones()
+    }
+
+    /// Number of tuples in `Δ_rel`.
+    pub fn delta_count(&self, rel: RelId) -> usize {
+        self.delta[rel.idx()].count_ones()
+    }
+
+    /// Total delta membership across relations.
+    pub fn total_delta(&self) -> usize {
+        self.delta.iter().map(BitSet::count_ones).sum()
+    }
+
+    /// Iterate the ids of tuples currently present in `rel`.
+    pub fn present_rows(&self, rel: RelId) -> impl Iterator<Item = TupleId> + '_ {
+        self.present[rel.idx()]
+            .iter_ones()
+            .map(move |row| TupleId::new(rel, row as u32))
+    }
+
+    /// Iterate the ids of tuples in `Δ_rel`.
+    pub fn delta_rows(&self, rel: RelId) -> impl Iterator<Item = TupleId> + '_ {
+        self.delta[rel.idx()]
+            .iter_ones()
+            .map(move |row| TupleId::new(rel, row as u32))
+    }
+
+    /// All delta tuple ids, ascending.
+    pub fn all_delta_rows(&self) -> Vec<TupleId> {
+        let mut out = Vec::new();
+        for (i, d) in self.delta.iter().enumerate() {
+            let rel = RelId(i as u16);
+            out.extend(d.iter_ones().map(|row| TupleId::new(rel, row as u32)));
+        }
+        out
+    }
+
+    /// Do the two states have identical presence and delta bits?
+    pub fn same_as(&self, other: &State) -> bool {
+        self == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, Schema};
+    use crate::value::Value;
+
+    fn db() -> Instance {
+        let mut s = Schema::new();
+        s.relation("R", &[("a", AttrType::Int)]);
+        let mut db = Instance::new(s);
+        for i in 0..5 {
+            db.insert_values("R", [Value::Int(i)]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn delete_moves_tuple_to_delta() {
+        let db = db();
+        let rel = db.schema().rel_id("R").unwrap();
+        let mut st = db.initial_state();
+        let tid = TupleId::new(rel, 2);
+        assert!(st.is_present(tid));
+        assert!(st.delete(tid));
+        assert!(!st.is_present(tid));
+        assert!(st.in_delta(tid));
+        assert!(!st.delete(tid)); // idempotent
+        assert_eq!(st.present_count(rel), 4);
+        assert_eq!(st.delta_count(rel), 1);
+    }
+
+    #[test]
+    fn mark_delta_keeps_tuple_present_until_apply() {
+        let db = db();
+        let rel = db.schema().rel_id("R").unwrap();
+        let mut st = db.initial_state();
+        let tid = TupleId::new(rel, 0);
+        st.mark_delta(tid);
+        assert!(st.is_present(tid), "end semantics: R unchanged during eval");
+        st.apply_deltas();
+        assert!(!st.is_present(tid));
+        assert_eq!(st.present_count(rel), 4);
+    }
+
+    #[test]
+    fn iterators_agree_with_counts() {
+        let db = db();
+        let rel = db.schema().rel_id("R").unwrap();
+        let mut st = db.initial_state();
+        st.delete(TupleId::new(rel, 1));
+        st.delete(TupleId::new(rel, 3));
+        let present: Vec<u32> = st.present_rows(rel).map(|t| t.row).collect();
+        assert_eq!(present, vec![0, 2, 4]);
+        let deltas: Vec<u32> = st.delta_rows(rel).map(|t| t.row).collect();
+        assert_eq!(deltas, vec![1, 3]);
+        assert_eq!(st.all_delta_rows().len(), 2);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let db = db();
+        let rel = db.schema().rel_id("R").unwrap();
+        let st = db.initial_state();
+        let mut st2 = st.clone();
+        st2.delete(TupleId::new(rel, 0));
+        assert!(st.is_present(TupleId::new(rel, 0)));
+        assert!(!st.same_as(&st2));
+    }
+}

@@ -1,0 +1,129 @@
+//! Attribute values.
+
+use crate::intern::Sym;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single attribute value.
+///
+/// The engine is deliberately minimal: the paper's workloads only require
+/// integers (keys, years, quantities — TPC-H decimals are scaled to integer
+/// cents by the generator) and strings (names, titles). Strings are interned,
+/// so `Value` is `Copy`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Interned string.
+    Str(Sym),
+}
+
+impl Value {
+    /// Build a string value, interning `s`.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Sym::new(s))
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&'static str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s.as_str()),
+        }
+    }
+
+    /// Human-readable type name, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Str(_) => "string",
+        }
+    }
+}
+
+/// Total order: integers before strings; integers numerically; strings
+/// lexicographically. Comparison predicates in rule bodies (`<`, `≤`, …)
+/// use this ordering.
+impl Ord for Value {
+    fn cmp(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.as_str().cmp(b.as_str()),
+            (Value::Int(_), Value::Str(_)) => Ordering::Less,
+            (Value::Str(_), Value::Int(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Value) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ordering_is_numeric() {
+        assert!(Value::Int(2) < Value::Int(10));
+        assert!(Value::Int(-5) < Value::Int(0));
+    }
+
+    #[test]
+    fn string_ordering_is_lexicographic_not_interning_order() {
+        // Intern in reverse lexicographic order on purpose.
+        let z = Value::str("zzz-order-test");
+        let a = Value::str("aaa-order-test");
+        assert!(a < z);
+    }
+
+    #[test]
+    fn cross_type_ordering_is_stable() {
+        assert!(Value::Int(i64::MAX) < Value::str("a"));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_str(), None);
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::str("NSF").to_string(), "NSF");
+    }
+}

@@ -1,0 +1,124 @@
+//! The four denial constraints of the HoloClean comparison (Section 6),
+//! in both forms the paper uses them:
+//!
+//! * as [`cellrepair`] constraints over `Author(aid, name, oid,
+//!   organization)` (cell repair), and
+//! * as delta rules (tuple deletion under our four semantics).
+
+use cellrepair::{DenialConstraint, Table};
+use datalog::{parse_program, Program};
+use storage::{AttrType, Instance, Schema, Value};
+
+/// DC1–DC4 for the cell-repair system: `aid → oid`, `aid → name`,
+/// `aid → organization`, `oid → organization`.
+pub fn paper_dcs() -> Vec<DenialConstraint> {
+    vec![
+        DenialConstraint::key_determines("DC1", 0, 2),
+        DenialConstraint::key_determines("DC2", 0, 1),
+        DenialConstraint::key_determines("DC3", 0, 3),
+        DenialConstraint::key_determines("DC4", 2, 3),
+    ]
+}
+
+/// The same DCs as delta rules (Section 6 prints exactly these):
+///
+/// ```text
+/// ΔA(a1,n1,o1,on1) :- A(a1,n1,o1,on1), A(a2,n2,o2,on2), a1 = a2, o1 ≠ o2
+/// …
+/// ```
+pub fn dc_delta_program() -> Program {
+    parse_program(
+        "delta Author(a1, n1, o1, on1) :- Author(a1, n1, o1, on1), Author(a2, n2, o2, on2), a1 = a2, o1 != o2.
+         delta Author(a1, n1, o1, on1) :- Author(a1, n1, o1, on1), Author(a2, n2, o2, on2), a1 = a2, n1 != n2.
+         delta Author(a1, n1, o1, on1) :- Author(a1, n1, o1, on1), Author(a2, n2, o2, on2), a1 = a2, on1 != on2.
+         delta Author(a1, n1, o1, on1) :- Author(a1, n1, o1, on1), Author(a2, n2, o2, on2), o1 = o2, on1 != on2.",
+    )
+    .expect("DC program parses")
+}
+
+/// Load a (possibly dirty) author [`Table`] into a one-relation [`Instance`]
+/// so the deletion semantics can run on the same data as the cell-repair
+/// system.
+///
+/// Duplicate rows collapse (relations are sets); the returned instance may
+/// therefore have slightly fewer tuples than the table has rows.
+pub fn author_instance_from_table(table: &Table) -> Instance {
+    let mut s = Schema::new();
+    s.relation(
+        "Author",
+        &[
+            ("aid", AttrType::Int),
+            ("name", AttrType::Str),
+            ("oid", AttrType::Int),
+            ("organization", AttrType::Str),
+        ],
+    );
+    let mut db = Instance::new(s);
+    for row in &table.rows {
+        db.insert_values("Author", row.iter().copied().collect::<Vec<Value>>())
+            .expect("schema ok");
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{author_table, inject_errors};
+    use repair_core::{Repairer, Semantics};
+
+    #[test]
+    fn dc_program_validates_against_author_schema() {
+        let table = author_table(120, 3);
+        let mut db = author_instance_from_table(&table);
+        Repairer::new(&mut db, dc_delta_program()).unwrap();
+    }
+
+    #[test]
+    fn clean_table_is_stable_dirty_table_is_not() {
+        let mut table = author_table(200, 3);
+        let mut db = author_instance_from_table(&table);
+        let r = Repairer::new(&mut db, dc_delta_program()).unwrap();
+        assert!(r.is_stable(&db));
+
+        inject_errors(&mut table, 10, 5);
+        let mut dirty = author_instance_from_table(&table);
+        let r2 = Repairer::new(&mut dirty, dc_delta_program()).unwrap();
+        assert!(!r2.is_stable(&dirty));
+    }
+
+    #[test]
+    fn independent_semantics_deletes_about_one_tuple_per_error() {
+        // Table 4's headline: Algorithm 1 deletes as many tuples as there
+        // are errors (each error sits in one tuple; deleting that tuple
+        // resolves all its violations).
+        let mut table = author_table(200, 3);
+        let n_errors = 8;
+        inject_errors(&mut table, n_errors, 5);
+        let mut db = author_instance_from_table(&table);
+        let r = Repairer::new(&mut db, dc_delta_program()).unwrap();
+        let ind = r.run(&db, Semantics::Independent);
+        assert!(r.verify_stabilizing(&db, &ind.deleted));
+        // Duplicate rows can collapse or an error can hit a pair, so allow
+        // slack — but it must be close to n_errors, not to the table size.
+        assert!(
+            ind.size() <= n_errors + 2,
+            "independent over-deleted: {} for {} errors",
+            ind.size(),
+            n_errors
+        );
+    }
+
+    #[test]
+    fn end_semantics_over_deletes_on_dcs() {
+        // End deletes every tuple in any violating pair — strictly more
+        // than independent.
+        let mut table = author_table(200, 3);
+        inject_errors(&mut table, 8, 5);
+        let mut db = author_instance_from_table(&table);
+        let r = Repairer::new(&mut db, dc_delta_program()).unwrap();
+        let ind = r.run(&db, Semantics::Independent);
+        let end = r.run(&db, Semantics::End);
+        assert!(end.size() > ind.size());
+    }
+}

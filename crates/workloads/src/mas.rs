@@ -1,0 +1,228 @@
+//! Table 1: the twenty MAS programs.
+//!
+//! Relation abbreviations in the paper map to the generator's schema as
+//! `O = Organization(oid, name)`, `A = Author(aid, name, oid)`,
+//! `W = Writes(aid, pid)`, `P = Publication(pid, title, year)`,
+//! `C = Cite(citing, cited)`.
+
+use crate::{ProgramClass, Workload};
+use datagen::MasData;
+
+/// Constants extracted from the generated data, mirroring how the paper
+/// picked its `C` constants from the real MAS fragment.
+#[derive(Clone, Copy, Debug)]
+struct Consts<'a> {
+    /// A heavily shared author name (`C1` of programs 1, 5, 6, 9).
+    name: &'a str,
+    /// The busiest author (`C2` of program 1; `C` of 2, 3, 8).
+    author: i64,
+    /// The busiest organization (`C` of programs 4, 10, 16–20).
+    org: i64,
+    /// The most cited publication (`C` of program 7).
+    pub_id: i64,
+    /// Publication-id threshold (`C` of program 9 rule 4).
+    pub_cut: i64,
+}
+
+/// Build all twenty workloads for a generated MAS database.
+pub fn mas_programs(data: &MasData) -> Vec<Workload> {
+    let pubs = data
+        .db
+        .rows(data.db.schema().rel_id("Publication").expect("schema"));
+    let c = Consts {
+        name: &data.common_name,
+        author: data.busiest_author,
+        org: data.busiest_org,
+        pub_id: data.top_pub,
+        pub_cut: (pubs / 2) as i64,
+    };
+    let mut v = Vec::with_capacity(20);
+
+    // ---- DC-like programs 1–4 -------------------------------------------
+    v.push(Workload::new(
+        "mas-01",
+        ProgramClass::DcLike,
+        &format!(
+            "delta Author(aid, n, oid) :- Author(aid, n, oid), n = '{}'.
+             delta Writes(aid, pid) :- Writes(aid, pid), aid = {}.",
+            c.name, c.author
+        ),
+    ));
+    v.push(Workload::new(
+        "mas-02",
+        ProgramClass::DcLike,
+        &format!(
+            "delta Writes(aid, pid) :- Writes(aid, pid), Author(aid, n, oid), aid = {}.",
+            c.author
+        ),
+    ));
+    v.push(Workload::new(
+        "mas-03",
+        ProgramClass::DcLike,
+        &format!(
+            "delta Author(aid, n, oid) :- Writes(aid, pid), Author(aid, n, oid), aid = {a}.
+             delta Writes(aid, pid) :- Writes(aid, pid), Author(aid, n, oid), aid = {a}.",
+            a = c.author
+        ),
+    ));
+    v.push(Workload::new(
+        "mas-04",
+        ProgramClass::DcLike,
+        &format!(
+            "delta Author(aid, n, oid) :- Organization(oid, n2), Author(aid, n, oid), oid = {o}.
+             delta Organization(oid, n2) :- Organization(oid, n2), Author(aid, n, oid), oid = {o}.",
+            o = c.org
+        ),
+    ));
+
+    // ---- cascade programs 5–10 ------------------------------------------
+    v.push(Workload::new(
+        "mas-05",
+        ProgramClass::Cascade,
+        &format!(
+            "delta Author(aid, n, oid) :- Author(aid, n, oid), n = '{}'.
+             delta Writes(aid, pid) :- Writes(aid, pid), delta Author(aid, n, oid).",
+            c.name
+        ),
+    ));
+    v.push(Workload::new(
+        "mas-06",
+        ProgramClass::Mixed,
+        &format!(
+            "delta Author(aid, n, oid) :- Author(aid, n, oid), n = '{}'.
+             delta Writes(aid, pid) :- Writes(aid, pid), delta Author(aid, n, oid).
+             delta Publication(pid, t, y) :- Publication(pid, t, y), delta Writes(aid, pid), Author(aid, n, oid).",
+            c.name
+        ),
+    ));
+    v.push(Workload::new(
+        "mas-07",
+        ProgramClass::Cascade,
+        &format!(
+            "delta Publication(pid, t, y) :- Publication(pid, t, y), pid = {}.
+             delta Cite(pid, cited) :- Cite(pid, cited), delta Publication(pid, t, y).
+             delta Cite(citing, pid) :- Cite(citing, pid), delta Publication(pid, t, y).",
+            c.pub_id
+        ),
+    ));
+    v.push(Workload::new(
+        "mas-08",
+        ProgramClass::Mixed,
+        &format!(
+            "delta Author(aid, n, oid) :- Writes(aid, pid), Author(aid, n, oid), aid = {a}.
+             delta Writes(aid, pid) :- Writes(aid, pid), Author(aid, n, oid), aid = {a}.
+             delta Publication(pid, t, y) :- Publication(pid, t, y), delta Writes(aid, pid), Author(aid, n, oid).
+             delta Publication(pid, t, y) :- Publication(pid, t, y), Writes(aid, pid), delta Author(aid, n, oid).",
+            a = c.author
+        ),
+    ));
+    v.push(Workload::new(
+        "mas-09",
+        ProgramClass::Cascade,
+        &format!(
+            "delta Author(aid, n, oid) :- Author(aid, n, oid), n = '{}'.
+             delta Writes(aid, pid) :- Writes(aid, pid), delta Author(aid, n, oid).
+             delta Publication(pid, t, y) :- Publication(pid, t, y), delta Writes(aid, pid).
+             delta Cite(pid, cited) :- Cite(pid, cited), delta Publication(pid, t, y), pid < {}.",
+            c.name, c.pub_cut
+        ),
+    ));
+    v.push(Workload::new(
+        "mas-10",
+        ProgramClass::Cascade,
+        &format!(
+            "delta Organization(oid, n2) :- Organization(oid, n2), oid = {}.
+             delta Author(aid, n, oid) :- Author(aid, n, oid), delta Organization(oid, n2).
+             delta Writes(aid, pid) :- Writes(aid, pid), delta Author(aid, n, oid).
+             delta Publication(pid, t, y) :- Publication(pid, t, y), delta Writes(aid, pid).",
+            c.org
+        ),
+    ));
+
+    // ---- single-rule join chain 11–15 (DC-like) --------------------------
+    let chain = [
+        "delta Cite(pid, c2) :- Cite(pid, c2).",
+        "delta Cite(pid, c2) :- Cite(pid, c2), Publication(pid, t, y).",
+        "delta Cite(pid, c2) :- Cite(pid, c2), Publication(pid, t, y), Writes(aid, pid).",
+        "delta Cite(pid, c2) :- Cite(pid, c2), Publication(pid, t, y), Writes(aid, pid), Author(aid, n, oid).",
+        "delta Cite(pid, c2) :- Cite(pid, c2), Publication(pid, t, y), Writes(aid, pid), Author(aid, n, oid), Organization(oid, n2).",
+    ];
+    for (i, src) in chain.iter().enumerate() {
+        v.push(Workload::new(
+            &format!("mas-{:02}", 11 + i),
+            ProgramClass::DcLike,
+            src,
+        ));
+    }
+
+    // ---- growing cascade 16–20 -------------------------------------------
+    let cascade_rules = [
+        format!(
+            "delta Organization(oid, n2) :- Organization(oid, n2), oid = {}.",
+            c.org
+        ),
+        "delta Author(aid, n, oid) :- Author(aid, n, oid), delta Organization(oid, n2).".to_owned(),
+        "delta Writes(aid, pid) :- Writes(aid, pid), delta Author(aid, n, oid).".to_owned(),
+        "delta Publication(pid, t, y) :- Publication(pid, t, y), delta Writes(aid, pid).".to_owned(),
+        "delta Cite(citing, pid) :- Cite(citing, pid), delta Publication(pid, t, y).".to_owned(),
+    ];
+    for n in 1..=5usize {
+        let src = cascade_rules[..n].join("\n");
+        v.push(Workload::new(
+            &format!("mas-{:02}", 15 + n),
+            ProgramClass::Cascade,
+            &src,
+        ));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{mas, MasConfig};
+    use repair_core::Repairer;
+
+    fn data() -> MasData {
+        mas::generate(&MasConfig {
+            organizations: 25,
+            authors: 250,
+            publications: 300,
+            writes: 520,
+            cites: 200,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn all_twenty_programs_build_and_validate() {
+        let d = data();
+        let workloads = mas_programs(&d);
+        assert_eq!(workloads.len(), 20);
+        for w in &workloads {
+            let mut db = d.db.clone();
+            Repairer::new(&mut db, w.program.clone())
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", w.name));
+        }
+    }
+
+    #[test]
+    fn rule_counts_match_table_1() {
+        let d = data();
+        let w = mas_programs(&d);
+        let counts: Vec<usize> = w.iter().map(|w| w.program.len()).collect();
+        assert_eq!(
+            counts,
+            vec![2, 1, 2, 2, 2, 3, 3, 4, 4, 4, 1, 1, 1, 1, 1, 1, 2, 3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn program_names_are_ordered() {
+        let d = data();
+        let w = mas_programs(&d);
+        assert_eq!(w[0].name, "mas-01");
+        assert_eq!(w[10].name, "mas-11");
+        assert_eq!(w[19].name, "mas-20");
+    }
+}

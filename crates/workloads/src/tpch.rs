@@ -1,0 +1,122 @@
+//! Table 2: the six TPC-H programs.
+//!
+//! Abbreviations map to the TPC-H-lite schema as `PS = PartSupp(sk, pk,
+//! qty, cost)`, `LI = Lineitem(ok, sk, pk, qty, price)`, `S = Supplier(sk,
+//! nk, name, bal)`, `C = Customer(ck, nk, name, bal)`, `O = Orders(ok, ck,
+//! status, total)`, `N = Nation(nk, rk, name)`, `P = Part(pk, name,
+//! price)`. The paper's `X`, `Y`, `Z` attribute vectors become explicit
+//! variables.
+
+use crate::{ProgramClass, Workload};
+use datagen::TpchData;
+
+/// Build the six workloads for a generated TPC-H database. Constants
+/// follow the paper's pattern of selecting a slice of suppliers / orders /
+/// customers and one nation.
+pub fn tpch_programs(data: &TpchData) -> Vec<Workload> {
+    let s = data.db.schema();
+    let suppliers = data.db.rows(s.rel_id("Supplier").expect("schema")) as i64;
+    let orders = data.db.rows(s.rel_id("Orders").expect("schema")) as i64;
+    // ~5% of suppliers, ~1% of orders, the UNITED STATES nation key.
+    let sk_cut = (suppliers / 20).max(1);
+    let ok_cut = (orders / 100).max(1);
+    let nation = 24i64;
+
+    vec![
+        Workload::new(
+            "tpch-1",
+            ProgramClass::Cascade,
+            &format!(
+                "delta PartSupp(sk, pk, q, c) :- PartSupp(sk, pk, q, c), Supplier(sk, nk, n, b), sk < {sk_cut}.
+                 delta Lineitem(ok, sk, pk, q, p) :- Lineitem(ok, sk, pk, q, p), delta PartSupp(sk, pk2, q2, c2)."
+            ),
+        ),
+        Workload::new(
+            "tpch-2",
+            ProgramClass::Cascade,
+            &format!(
+                "delta PartSupp(sk, pk, q, c) :- PartSupp(sk, pk, q, c), sk < {sk_cut}.
+                 delta Lineitem(ok, sk, pk, q, p) :- Lineitem(ok, sk, pk, q, p), delta PartSupp(sk, pk2, q2, c2)."
+            ),
+        ),
+        Workload::new(
+            "tpch-3",
+            ProgramClass::Cascade,
+            &format!(
+                "delta PartSupp(sk, pk, q, c) :- PartSupp(sk, pk, q, c), Supplier(sk, nk, n, b), Part(pk, pn, pp), sk < {sk_cut}.
+                 delta Lineitem(ok, sk, pk, q, p) :- Lineitem(ok, sk, pk, q, p), delta PartSupp(sk, pk2, q2, c2)."
+            ),
+        ),
+        Workload::new(
+            "tpch-4",
+            ProgramClass::Mixed,
+            &format!(
+                "delta Lineitem(ok, sk, pk, q, p) :- Lineitem(ok, sk, pk, q, p), ok < {ok_cut}.
+                 delta Supplier(sk, nk, n, b) :- Supplier(sk, nk, n, b), delta Lineitem(ok, sk, pk, q, p).
+                 delta Customer(ck, nk, n, b) :- Customer(ck, nk, n, b), Orders(ok, ck, st, tot), delta Lineitem(ok, sk, pk, q, p)."
+            ),
+        ),
+        Workload::new(
+            "tpch-5",
+            ProgramClass::Mixed,
+            &format!(
+                // Rule (3)'s head witness fixed to the Customer atom (paper
+                // typo, see DESIGN.md).
+                "delta Nation(nk, rk, n) :- Nation(nk, rk, n), nk = {nation}.
+                 delta Supplier(sk, nk, n, b) :- Supplier(sk, nk, n, b), delta Nation(nk, rk, n2), Customer(ck, nk, cn, cb).
+                 delta Customer(ck, nk, cn, cb) :- Supplier(sk, nk, n, b), delta Nation(nk, rk, n2), Customer(ck, nk, cn, cb)."
+            ),
+        ),
+        Workload::new(
+            "tpch-6",
+            ProgramClass::Mixed,
+            &format!(
+                "delta Orders(ok, ck, st, t) :- Orders(ok, ck, st, t), Customer(ck, nk, n, b), ck < {sk_cut}.
+                 delta PartSupp(sk, pk, q, c) :- PartSupp(sk, pk, q, c), Supplier(sk, nk, n, b), sk < {sk_cut}.
+                 delta Lineitem(ok, sk, pk, q, p) :- Lineitem(ok, sk, pk, q, p), delta Orders(ok, ck, st, t).
+                 delta Lineitem(ok, sk, pk, q, p) :- Lineitem(ok, sk, pk, q, p), delta PartSupp(sk, pk2, q2, c2)."
+            ),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{tpch, TpchConfig};
+    use repair_core::Repairer;
+
+    fn data() -> TpchData {
+        tpch::generate(&TpchConfig {
+            suppliers: 40,
+            customers: 80,
+            parts: 100,
+            suppliers_per_part: 2,
+            orders: 150,
+            lineitems_per_order: 3,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn all_six_programs_build_and_validate() {
+        let d = data();
+        let workloads = tpch_programs(&d);
+        assert_eq!(workloads.len(), 6);
+        for w in &workloads {
+            let mut db = d.db.clone();
+            Repairer::new(&mut db, w.program.clone())
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", w.name));
+        }
+    }
+
+    #[test]
+    fn rule_counts_match_table_2() {
+        let d = data();
+        let counts: Vec<usize> = tpch_programs(&d)
+            .iter()
+            .map(|w| w.program.len())
+            .collect();
+        assert_eq!(counts, vec![2, 2, 2, 3, 3, 4]);
+    }
+}

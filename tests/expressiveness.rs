@@ -1,0 +1,138 @@
+//! Section 3.6's expressiveness claims, executed: denial constraints and
+//! interventions compile to delta programs with the promised behaviour
+//! under each semantics.
+
+use delta_repairs::{
+    testkit, with_interventions, AttrType, DenialConstraint, Instance, Program, Repairer,
+    Schema, Semantics, Value,
+};
+
+fn pub_db() -> Instance {
+    let mut s = Schema::new();
+    s.relation(
+        "Pub",
+        &[("pid", AttrType::Int), ("title", AttrType::Str), ("conf", AttrType::Str)],
+    );
+    let mut db = Instance::new(s);
+    // Two violating pairs sharing a middle element: (1,2), (2,3) both have
+    // title X; 4 is clean.
+    db.insert_values("Pub", [Value::Int(1), Value::str("X"), Value::str("A")]).unwrap();
+    db.insert_values("Pub", [Value::Int(2), Value::str("X"), Value::str("B")]).unwrap();
+    db.insert_values("Pub", [Value::Int(3), Value::str("X"), Value::str("C")]).unwrap();
+    db.insert_values("Pub", [Value::Int(4), Value::str("Y"), Value::str("A")]).unwrap();
+    db
+}
+
+fn title_dc() -> DenialConstraint {
+    DenialConstraint::parse(
+        ":- Pub(p1, t, c1), Pub(p2, t, c2), c1 != c2.",
+    )
+    .expect("DC parses")
+}
+
+/// Independent semantics + the single-rule translation = the classic
+/// minimum DC repair: delete the fewest tuples so no violating pair
+/// remains (here: any 2 of the 3 X-titled pubs).
+#[test]
+fn independent_gives_minimum_dc_repair() {
+    let mut db = pub_db();
+    let repairer = Repairer::new(&mut db, title_dc().to_program_single(0)).unwrap();
+    let ind = repairer.run(&db, Semantics::Independent);
+    assert_eq!(ind.size(), 2, "three mutually-violating pubs need two deletions");
+    assert!(repairer.verify_stabilizing(&db, &ind.deleted));
+    // The clean publication is never touched.
+    let clean = testkit::tid_of(&db, "Pub(4, Y, A)");
+    assert!(!ind.contains(clean));
+}
+
+/// The per-atom translation gives step semantics the same freedom — and
+/// the same minimum here.
+#[test]
+fn per_atom_translation_lets_step_match_independent() {
+    let mut db = pub_db();
+    let repairer = Repairer::new(&mut db, title_dc().to_program_per_atom()).unwrap();
+    let step = repairer.run(&db, Semantics::Step);
+    let ind = repairer.run(&db, Semantics::Independent);
+    assert_eq!(step.size(), 2);
+    assert_eq!(ind.size(), 2);
+    assert!(repairer.verify_stabilizing(&db, &step.deleted));
+}
+
+/// End semantics over the same translation deletes every violating tuple —
+/// the over-deletion the paper contrasts against.
+#[test]
+fn end_deletes_every_violating_tuple() {
+    let mut db = pub_db();
+    let repairer = Repairer::new(&mut db, title_dc().to_program_per_atom()).unwrap();
+    let end = repairer.run(&db, Semantics::End);
+    assert_eq!(end.size(), 3, "all three X-titled pubs violate pairwise");
+}
+
+/// compile_all combines several DCs into one program and repairs still
+/// stabilize.
+#[test]
+fn multiple_dcs_compile_together() {
+    let dup_pid = DenialConstraint::parse(
+        ":- Pub(p, t1, c1), Pub(p, t2, c2), t1 != t2.",
+    )
+    .unwrap();
+    let program = DenialConstraint::compile_all(&[title_dc(), dup_pid]);
+    assert_eq!(program.len(), 4);
+    let mut db = pub_db();
+    db.insert_values("Pub", [Value::Int(1), Value::str("Z"), Value::str("A")]).unwrap();
+    let repairer = Repairer::new(&mut db, program).unwrap();
+    for sem in Semantics::ALL {
+        let r = repairer.run(&db, sem);
+        assert!(repairer.verify_stabilizing(&db, &r.deleted), "{sem}");
+    }
+}
+
+/// Interventions: a stable database, a cascade program, and a user-chosen
+/// deletion — the Figure 2 rule-(0) pattern built programmatically.
+#[test]
+fn interventions_seed_the_cascade() {
+    let mut db = testkit::figure1_instance();
+    // Figure 2 without rule (0): stable on its own.
+    let cascade: Program = delta_repairs::parse_program(
+        "delta Author(a, n) :- Author(a, n), AuthGrant(a, g), delta Grant(g, gn).
+         delta Pub(p, t) :- Pub(p, t), Writes(a, p), delta Author(a, n).
+         delta Writes(a, p) :- Pub(p, t), Writes(a, p), delta Author(a, n).
+         delta Cite(c, p) :- Cite(c, p), delta Pub(p, t), Writes(a1, c), Writes(a2, p).",
+    )
+    .unwrap();
+    {
+        let repairer = Repairer::new(&mut db, cascade.clone()).unwrap();
+        assert!(repairer.is_stable(&db), "no seed, no deletions");
+    }
+    // Intervene on the ERC grant: identical to the full Figure 2 program.
+    let erc = testkit::tid_of(&db, "Grant(2, ERC)");
+    let seeded = with_interventions(&cascade, &db, &[erc]);
+    let repairer = Repairer::new(&mut db, seeded).unwrap();
+    let end = repairer.run(&db, Semantics::End);
+    assert_eq!(end.size(), 8, "matches the Figure 2 end result");
+
+    let full = Repairer::new(&mut db, testkit::figure2_program()).unwrap();
+    let reference = full.run(&db, Semantics::End);
+    assert!(delta_repairs::relationships::set_eq(&end.deleted, &reference.deleted));
+}
+
+/// Intervening on several tuples at once.
+#[test]
+fn multi_tuple_intervention() {
+    let mut db = testkit::figure1_instance();
+    let cascade = delta_repairs::parse_program(
+        "delta Writes(a, p) :- Writes(a, p), delta Author(a, n), Pub(p, t).",
+    )
+    .unwrap();
+    let targets = vec![
+        testkit::tid_of(&db, "Author(4, Marge)"),
+        testkit::tid_of(&db, "Author(5, Homer)"),
+    ];
+    let seeded = with_interventions(&cascade, &db, &targets);
+    let repairer = Repairer::new(&mut db, seeded).unwrap();
+    let end = repairer.run(&db, Semantics::End);
+    assert_eq!(
+        testkit::names_of(&db, &end.deleted),
+        ["Author(4, Marge)", "Author(5, Homer)", "Writes(4, 6)", "Writes(5, 7)"]
+    );
+}

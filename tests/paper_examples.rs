@@ -1,0 +1,208 @@
+//! The paper's running example, end to end — Figures 1–5 and Examples
+//! 1.1–5.2 as executable assertions.
+
+use delta_repairs::{testkit, Repairer, Semantics};
+
+fn names(db: &delta_repairs::Instance, r: &delta_repairs::RepairResult) -> Vec<String> {
+    testkit::names_of(db, &r.deleted)
+}
+
+fn setup() -> (delta_repairs::Instance, Repairer) {
+    let mut db = testkit::figure1_instance();
+    let repairer = Repairer::new(&mut db, testkit::figure2_program()).expect("figure 2 program");
+    (db, repairer)
+}
+
+/// Example 1.3 / Figure 4: `End(P, D) = {g2, a2, a3, w1, w2, p1, p2, c}`
+/// (gray + green + pink + orange tuples).
+#[test]
+fn end_semantics_deletes_eight_tuples() {
+    let (db, repairer) = setup();
+    let end = repairer.run(&db, Semantics::End);
+    assert_eq!(
+        names(&db, &end),
+        [
+            "Author(4, Marge)",
+            "Author(5, Homer)",
+            "Cite(7, 6)",
+            "Grant(2, ERC)",
+            "Pub(6, x)",
+            "Pub(7, y)",
+            "Writes(4, 6)",
+            "Writes(5, 7)",
+        ]
+    );
+}
+
+/// Example 1.3 / Example 3.8: `Stage(P, D)` = End minus the Cite tuple —
+/// rule (4) never fires because `Pub` and `Writes` empty out in the same
+/// stage that derives `ΔPub`.
+#[test]
+fn stage_semantics_deletes_seven_tuples() {
+    let (db, repairer) = setup();
+    let stage = repairer.run(&db, Semantics::Stage);
+    assert_eq!(
+        names(&db, &stage),
+        [
+            "Author(4, Marge)",
+            "Author(5, Homer)",
+            "Grant(2, ERC)",
+            "Pub(6, x)",
+            "Pub(7, y)",
+            "Writes(4, 6)",
+            "Writes(5, 7)",
+        ]
+    );
+}
+
+/// Example 1.3 / Examples 3.6 and 5.2: the minimum firing sequence deletes
+/// the grant, both authors and both Writes tuples — deleting `Writes` first
+/// starves rules (2) and (4).
+#[test]
+fn step_semantics_deletes_five_tuples() {
+    let (db, repairer) = setup();
+    let step = repairer.run(&db, Semantics::Step);
+    assert_eq!(
+        names(&db, &step),
+        [
+            "Author(4, Marge)",
+            "Author(5, Homer)",
+            "Grant(2, ERC)",
+            "Writes(4, 6)",
+            "Writes(5, 7)",
+        ]
+    );
+}
+
+/// Examples 3.4 and 5.1: the global minimum severs the `AuthGrant` links
+/// instead of cascading — three deletions.
+#[test]
+fn independent_semantics_deletes_three_tuples() {
+    let (db, repairer) = setup();
+    let ind = repairer.run(&db, Semantics::Independent);
+    assert_eq!(
+        names(&db, &ind),
+        ["AuthGrant(4, 2)", "AuthGrant(5, 2)", "Grant(2, ERC)"]
+    );
+    assert!(ind.proven_optimal, "tiny instance must be solved exactly");
+}
+
+/// Proposition 3.18: every semantics returns a stabilizing set, and the
+/// whole database is trivially stabilizing.
+#[test]
+fn all_results_and_full_db_are_stabilizing() {
+    let (db, repairer) = setup();
+    for sem in Semantics::ALL {
+        let r = repairer.run(&db, sem);
+        assert!(
+            repairer.verify_stabilizing(&db, &r.deleted),
+            "{sem} result must stabilize"
+        );
+    }
+    let everything: Vec<_> = db.all_tuple_ids().collect();
+    assert!(repairer.verify_stabilizing(&db, &everything));
+}
+
+/// Example 1.2's four hand-listed stabilizing sets all check out (each set
+/// implicitly includes the seed tuple g2 deleted by rule 0).
+#[test]
+fn example_1_2_stabilizing_sets() {
+    let (db, repairer) = setup();
+    let sets: [&[&str]; 4] = [
+        &["Author(4, Marge)", "Author(5, Homer)", "Writes(4, 6)", "Writes(5, 7)",
+          "Pub(6, x)", "Pub(7, y)", "Cite(7, 6)"],
+        &["Author(4, Marge)", "Author(5, Homer)", "Writes(4, 6)", "Writes(5, 7)",
+          "Pub(6, x)", "Pub(7, y)"],
+        &["Author(4, Marge)", "Author(5, Homer)", "Writes(4, 6)", "Writes(5, 7)"],
+        &["AuthGrant(4, 2)", "AuthGrant(5, 2)"],
+    ];
+    for set in sets {
+        let mut tids: Vec<_> = set.iter().map(|n| testkit::tid_of(&db, n)).collect();
+        tids.push(testkit::tid_of(&db, "Grant(2, ERC)"));
+        tids.sort_unstable();
+        assert!(
+            repairer.verify_stabilizing(&db, &tids),
+            "Example 1.2 set {set:?} must stabilize"
+        );
+    }
+}
+
+/// A proper subset of a minimal stabilizing set must NOT stabilize.
+#[test]
+fn partial_deletions_do_not_stabilize() {
+    let (db, repairer) = setup();
+    // Only the seed: rules (1)+ still fire.
+    let seed = vec![testkit::tid_of(&db, "Grant(2, ERC)")];
+    assert!(!repairer.verify_stabilizing(&db, &seed));
+    // The empty set: rule (0) fires.
+    assert!(!repairer.verify_stabilizing(&db, &[]));
+    // One of the two AuthGrant links is not enough.
+    let partial = vec![
+        testkit::tid_of(&db, "Grant(2, ERC)"),
+        testkit::tid_of(&db, "AuthGrant(4, 2)"),
+    ];
+    assert!(!repairer.verify_stabilizing(&db, &partial));
+}
+
+/// Figure 3: sizes and containments among the four results.
+#[test]
+fn figure3_relationships_hold_on_the_running_example() {
+    let (db, repairer) = setup();
+    let [ind, step, stage, end] = repairer.run_all(&db);
+    assert!(ind.size() <= step.size());
+    assert!(ind.size() <= stage.size());
+    assert!(delta_repairs::relationships::is_subset(&step.deleted, &end.deleted));
+    assert!(delta_repairs::relationships::is_subset(&stage.deleted, &end.deleted));
+    assert!(
+        delta_repairs::relationships::check_figure3_invariants(&ind, &step, &stage, &end)
+            .is_none()
+    );
+}
+
+/// Example 3.17: a DC-style delta rule (two publications with the same
+/// title in different venues) makes the database unstable without any seed
+/// rule, and repair deletes exactly one of the pair.
+#[test]
+fn example_3_17_dc_violation_starts_deletion() {
+    use delta_repairs::{AttrType, Instance, Schema, Value};
+    let mut s = Schema::new();
+    s.relation(
+        "Pub",
+        &[("pid", AttrType::Int), ("title", AttrType::Str), ("conf", AttrType::Str)],
+    );
+    let mut db = Instance::new(s);
+    db.insert_values("Pub", [Value::Int(1), Value::str("X"), Value::str("C1")]).unwrap();
+    db.insert_values("Pub", [Value::Int(2), Value::str("X"), Value::str("C2")]).unwrap();
+    db.insert_values("Pub", [Value::Int(3), Value::str("Y"), Value::str("C1")]).unwrap();
+    let program = delta_repairs::parse_program(
+        "delta Pub(p1, t1, c1) :- Pub(p1, t1, c1), Pub(p2, t2, c2), t1 = t2, c1 != c2.",
+    )
+    .unwrap();
+    let repairer = Repairer::new(&mut db, program).unwrap();
+    assert!(!repairer.is_stable(&db), "duplicate title ⇒ unstable");
+    let ind = repairer.run(&db, Semantics::Independent);
+    assert_eq!(ind.size(), 1, "deleting either of the pair suffices");
+    let end = repairer.run(&db, Semantics::End);
+    assert_eq!(end.size(), 2, "end semantics deletes both");
+    // The untouched publication Y survives everywhere.
+    let y = testkit::tid_of(&db, "Pub(3, Y, C1)");
+    assert!(!ind.contains(y) && !end.contains(y));
+}
+
+/// Example 2.1: the end-semantics fixpoint derives exactly the eight delta
+/// tuples listed in the paper, layer by layer.
+#[test]
+fn example_2_1_derivation_layers() {
+    let (db, repairer) = setup();
+    let out = delta_repairs::end::run(&db, repairer.evaluator());
+    // Layers: ΔGrant at round 1; ΔAuthor at 2; ΔWrites/ΔPub at 3; ΔCite at 4.
+    let layer = |name: &str| out.layers[&testkit::tid_of(&db, name)];
+    assert_eq!(layer("Grant(2, ERC)"), 1);
+    assert_eq!(layer("Author(4, Marge)"), 2);
+    assert_eq!(layer("Author(5, Homer)"), 2);
+    assert_eq!(layer("Writes(4, 6)"), 3);
+    assert_eq!(layer("Pub(6, x)"), 3);
+    assert_eq!(layer("Pub(7, y)"), 3);
+    assert_eq!(layer("Cite(7, 6)"), 4);
+    assert_eq!(out.deleted.len(), 8);
+}

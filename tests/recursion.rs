@@ -1,0 +1,120 @@
+//! Recursive delta programs (the paper's Section 8): all definitions and
+//! all four semantics apply — delta relations grow monotonically inside a
+//! finite universe, so every fixpoint terminates. Only the provenance
+//! *size* guarantees weaken, which `datalog::analyze` reports.
+
+use delta_repairs::{analyze, parse_program, AttrType, Instance, Repairer, Schema, Semantics, Value};
+
+/// Transitive deletion over a graph: deleting a node deletes its
+/// out-neighbours, recursively — `ΔNode` depends on itself.
+fn reachability_setup(chain: usize) -> (Instance, delta_repairs::Program) {
+    let mut s = Schema::new();
+    s.relation("Node", &[("v", AttrType::Int)]);
+    s.relation("Edge", &[("u", AttrType::Int), ("v", AttrType::Int)]);
+    let mut db = Instance::new(s);
+    for v in 0..chain as i64 {
+        db.insert_values("Node", [Value::Int(v)]).unwrap();
+    }
+    for v in 0..chain as i64 - 1 {
+        db.insert_values("Edge", [Value::Int(v), Value::Int(v + 1)]).unwrap();
+    }
+    let program = parse_program(
+        "delta Node(v) :- Node(v), v = 0.
+         delta Node(v) :- Node(v), Edge(u, v), delta Node(u).",
+    )
+    .unwrap();
+    (db, program)
+}
+
+#[test]
+fn analysis_flags_the_recursion() {
+    let (_, program) = reachability_setup(3);
+    let a = analyze(&program);
+    assert!(!a.is_nonrecursive());
+    assert_eq!(a.recursive_relations, vec!["Node".to_string()]);
+    assert_eq!(a.max_cascade_depth, None);
+    assert_eq!(a.seed_rules, vec![0]);
+}
+
+#[test]
+fn all_semantics_terminate_on_the_recursive_chain() {
+    let n = 12;
+    let (mut db, program) = reachability_setup(n);
+    let repairer = Repairer::new(&mut db, program).unwrap();
+    for sem in Semantics::ALL {
+        let r = repairer.run(&db, sem);
+        match sem {
+            // The operational semantics must follow the cascade: every
+            // node reachable from the seed is derived and deleted.
+            Semantics::Step | Semantics::Stage | Semantics::End => {
+                assert_eq!(r.size(), n, "{sem} must delete every node")
+            }
+            // The global minimum is *not* the cascade: deleting the seed
+            // node and severing the first edge stabilizes at size 2 —
+            // independent semantics may delete non-derivable tuples.
+            Semantics::Independent => {
+                assert_eq!(r.size(), 2, "independent cuts the chain instead")
+            }
+        }
+        assert!(repairer.verify_stabilizing(&db, &r.deleted), "{sem}");
+    }
+}
+
+#[test]
+fn recursion_depth_is_data_dependent() {
+    // The end-semantics round count grows with the chain length — the
+    // data-dependent depth that `max_cascade_depth: None` warns about.
+    for n in [3usize, 6, 9] {
+        let (mut db, program) = reachability_setup(n);
+        let repairer = Repairer::new(&mut db, program).unwrap();
+        let out = delta_repairs::end::run(&db, repairer.evaluator());
+        assert_eq!(out.deleted.len(), n);
+        assert!(
+            out.rounds as usize >= n,
+            "chain of {n} needs at least {n} rounds, got {}",
+            out.rounds
+        );
+    }
+}
+
+#[test]
+fn disconnected_nodes_survive_the_recursive_cascade() {
+    let (mut db, program) = reachability_setup(5);
+    // An island: node 100 with no incoming edge.
+    db.insert_values("Node", [Value::Int(100)]).unwrap();
+    let repairer = Repairer::new(&mut db, program).unwrap();
+    let island = db.all_tuple_ids().find(|&t| db.display_tuple(t) == "Node(100)").unwrap();
+    for sem in Semantics::ALL {
+        let r = repairer.run(&db, sem);
+        assert!(!r.contains(island), "{sem} must spare the island");
+        assert!(repairer.verify_stabilizing(&db, &r.deleted), "{sem}");
+    }
+}
+
+/// Mutual recursion between two relations terminates too.
+#[test]
+fn mutual_recursion_terminates() {
+    let mut s = Schema::new();
+    s.relation("A", &[("x", AttrType::Int)]);
+    s.relation("B", &[("x", AttrType::Int)]);
+    let mut db = Instance::new(s);
+    for x in 0..6i64 {
+        db.insert_values("A", [Value::Int(x)]).unwrap();
+        db.insert_values("B", [Value::Int(x)]).unwrap();
+    }
+    let program = parse_program(
+        "delta A(x) :- A(x), x = 0.
+         delta B(x) :- B(x), delta A(x).
+         delta A(x) :- A(x), delta B(x).",
+    )
+    .unwrap();
+    let a = analyze(&program);
+    assert!(!a.is_nonrecursive());
+    let repairer = Repairer::new(&mut db, program).unwrap();
+    for sem in Semantics::ALL {
+        let r = repairer.run(&db, sem);
+        // Only x = 0 is reachable: ΔA(0) → ΔB(0) → ΔA(0) (already there).
+        assert_eq!(r.size(), 2, "{sem}");
+        assert!(repairer.verify_stabilizing(&db, &r.deleted));
+    }
+}

@@ -1,0 +1,152 @@
+//! Round-trip properties across substrate boundaries: TSV persistence,
+//! program parsing/printing, and instance/state bookkeeping.
+
+use delta_repairs::storage::tsv;
+use delta_repairs::{parse_program, AttrType, Instance, Schema, Value};
+use proptest::prelude::*;
+
+fn two_rel_schema() -> Schema {
+    let mut s = Schema::new();
+    s.relation("Person", &[("id", AttrType::Int), ("name", AttrType::Str)]);
+    s.relation("Knows", &[("a", AttrType::Int), ("b", AttrType::Int)]);
+    s
+}
+
+/// Names must survive TSV round trips, so the generator avoids tabs and
+/// newlines (the format's only reserved characters).
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9 _.'-]{0,12}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// to_tsv → from_tsv reproduces exactly the same relation contents.
+    #[test]
+    fn tsv_round_trip(
+        people in prop::collection::btree_map(0i64..50, arb_name(), 0..20),
+        knows in prop::collection::btree_set((0i64..50, 0i64..50), 0..20),
+    ) {
+        let mut db = Instance::new(two_rel_schema());
+        for (&id, name) in &people {
+            db.insert_values("Person", [Value::Int(id), Value::str(name)]).unwrap();
+        }
+        for &(a, b) in &knows {
+            db.insert_values("Knows", [Value::Int(a), Value::Int(b)]).unwrap();
+        }
+        let text = tsv::to_tsv(&db);
+        let mut reloaded = Instance::new(two_rel_schema());
+        let n = tsv::from_tsv(&mut reloaded, &text).expect("own output must parse");
+        prop_assert_eq!(n, db.total_rows());
+        prop_assert_eq!(reloaded.total_rows(), db.total_rows());
+        // Contents match tuple-for-tuple.
+        for t in db.all_tuple_ids() {
+            prop_assert!(
+                reloaded.find(t.rel, db.tuple(t)).is_some(),
+                "missing tuple {}",
+                db.display_tuple(t)
+            );
+        }
+        // And the round trip is a fixpoint.
+        prop_assert_eq!(tsv::to_tsv(&reloaded), text);
+    }
+
+    /// Inserting the same tuple twice is a no-op (set semantics), and ids
+    /// are stable.
+    #[test]
+    fn insertion_is_idempotent(
+        rows in prop::collection::vec((0i64..10, arb_name()), 1..30),
+    ) {
+        let mut db = Instance::new(two_rel_schema());
+        let mut first_ids = Vec::new();
+        for (id, name) in &rows {
+            first_ids.push(
+                db.insert_values("Person", [Value::Int(*id), Value::str(name)]).unwrap(),
+            );
+        }
+        let before = db.total_rows();
+        for ((id, name), &tid) in rows.iter().zip(&first_ids) {
+            let again =
+                db.insert_values("Person", [Value::Int(*id), Value::str(name)]).unwrap();
+            prop_assert_eq!(again, tid, "duplicate insert must return the original id");
+        }
+        prop_assert_eq!(db.total_rows(), before);
+    }
+}
+
+/// parse → Display → parse is the identity on programs covering every
+/// syntactic feature: constants (int and string), comparisons, delta body
+/// atoms, multiple rules and comments.
+#[test]
+fn program_print_parse_round_trip() {
+    let sources = [
+        "delta R(x) :- R(x), x = 1.",
+        "delta R(x) :- R(x), S(x, y), y != 'abc'.",
+        "delta S(x, y) :- S(x, y), delta R(x), T(y).",
+        "delta R(x) :- R(x), S(x, y), x < 5, y >= 2.",
+        "delta T(y) :- T(y), S(x, y), delta S(x, y).
+         delta R(x) :- R(x), x <= -3.",
+        "delta Pub(p, t, c) :- Pub(p, t, c), Pub(q, t, d), c != d.",
+    ];
+    for src in sources {
+        let p1 = parse_program(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        let printed = p1.to_string();
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("re-parse of {printed:?}: {e}"));
+        assert_eq!(p1, p2, "round trip changed the program: {printed}");
+    }
+}
+
+/// Ill-formed delta rules are rejected: syntax errors at parse time,
+/// Definition 3.1 / safety violations when the program is validated
+/// against a schema (`Repairer::new`).
+#[test]
+fn parser_and_validator_reject_bad_programs() {
+    // Purely syntactic failures.
+    for src in ["delta R(x) :- .", "delta R(x) :-", "delta :- R(x).", "delta R(x)"] {
+        assert!(parse_program(src).is_err(), "{src:?} should fail to parse");
+    }
+
+    // Well-formed syntax, ill-formed delta rules: rejected at validation.
+    let mut s = Schema::new();
+    s.relation("R", &[("x", AttrType::Int)]);
+    s.relation("S", &[("a", AttrType::Int), ("b", AttrType::Int)]);
+    let bad = [
+        // Head relation missing from the body (violates Def. 3.1).
+        "delta R(x) :- S(x, y).",
+        // Head vector must reappear in the body R-atom.
+        "delta R(x) :- R(y).",
+        // Unsafe comparison variable.
+        "delta R(x) :- R(x), z = 1.",
+        // Non-delta head.
+        "R(x) :- R(x).",
+        // Unknown relation.
+        "delta Q(x) :- Q(x).",
+        // Arity mismatch against the schema.
+        "delta R(x, y) :- R(x, y).",
+        // Delta atom of a relation outside the schema.
+        "delta R(x) :- R(x), delta W(x).",
+    ];
+    for src in bad {
+        let program = parse_program(src).unwrap_or_else(|e| panic!("{src:?}: {e}"));
+        let mut db = Instance::new(s.clone());
+        assert!(
+            delta_repairs::Repairer::new(&mut db, program).is_err(),
+            "{src:?} should be rejected by validation"
+        );
+    }
+}
+
+/// Malformed TSV inputs are rejected with errors, not panics.
+#[test]
+fn tsv_rejects_malformed_documents() {
+    let mut db = Instance::new(two_rel_schema());
+    // Unknown relation.
+    assert!(tsv::from_tsv(&mut db, "# relation Nope\n1\tx\n").is_err());
+    // Arity mismatch.
+    assert!(tsv::from_tsv(&mut db, "# relation Person\n1\tx\t9\n").is_err());
+    // Type mismatch.
+    assert!(tsv::from_tsv(&mut db, "# relation Knows\n1\tnotanint\n").is_err());
+    // Data before any header.
+    assert!(tsv::from_tsv(&mut db, "1\tx\n").is_err());
+}

@@ -1,0 +1,202 @@
+//! Property-based tests: random databases × random delta programs, checking
+//! the paper's invariants hold universally, not just on the constructed
+//! examples.
+//!
+//! * Proposition 3.18 — every semantics returns a stabilizing set;
+//! * Figure 3 / Proposition 3.20 — size and containment relations;
+//! * Proposition 3.9 — stage determinism;
+//! * the heuristic algorithms never beat the exact references, and the
+//!   exact references never beat independent semantics.
+
+use delta_repairs::{parse_program, AttrType, Instance, Program, Repairer, Schema, Semantics, Value};
+use proptest::prelude::*;
+
+/// A pool of well-formed delta rules over the schema
+/// `R(x)`, `S(x, y)`, `T(y)`. Subsets of this pool form the programs under
+/// test; together they cover seeds, DC-style joins, comparisons and
+/// Δ-cascades in every direction.
+const RULE_POOL: [&str; 10] = [
+    "delta R(x) :- R(x), x = 0.",
+    "delta R(x) :- R(x), S(x, y), T(y).",
+    "delta R(x) :- R(x), S(x, x).",
+    "delta R(x) :- R(x), delta T(y), S(x, y).",
+    "delta S(x, y) :- S(x, y), delta R(x).",
+    "delta S(x, y) :- S(x, y), R(x), T(y).",
+    "delta S(x, y) :- S(x, y), T(y), x != y.",
+    "delta T(y) :- T(y), S(x, y), delta R(x).",
+    "delta T(y) :- T(y), delta S(x, y).",
+    "delta T(y) :- T(y), S(x, y), R(x).",
+];
+
+fn schema() -> Schema {
+    let mut s = Schema::new();
+    s.relation("R", &[("x", AttrType::Int)]);
+    s.relation("S", &[("x", AttrType::Int), ("y", AttrType::Int)]);
+    s.relation("T", &[("y", AttrType::Int)]);
+    s
+}
+
+fn build_db(r: &[i64], s: &[(i64, i64)], t: &[i64]) -> Instance {
+    let mut db = Instance::new(schema());
+    for &v in r {
+        db.insert_values("R", [Value::Int(v)]).unwrap();
+    }
+    for &(a, b) in s {
+        db.insert_values("S", [Value::Int(a), Value::Int(b)]).unwrap();
+    }
+    for &v in t {
+        db.insert_values("T", [Value::Int(v)]).unwrap();
+    }
+    db
+}
+
+fn build_program(mask: u16) -> Program {
+    let src: String = RULE_POOL
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| mask & (1 << i) != 0)
+        .map(|(_, r)| format!("{r}\n"))
+        .collect();
+    parse_program(&src).expect("pool rules are well-formed")
+}
+
+prop_compose! {
+    /// A random database: up to 5 R values, 8 S pairs, 5 T values over a
+    /// domain of 6 constants (dense enough to join).
+    fn arb_db()(
+        r in prop::collection::btree_set(0i64..6, 0..5),
+        s in prop::collection::btree_set((0i64..6, 0i64..6), 0..8),
+        t in prop::collection::btree_set(0i64..6, 0..5),
+    ) -> Instance {
+        build_db(
+            &r.into_iter().collect::<Vec<_>>(),
+            &s.into_iter().collect::<Vec<_>>(),
+            &t.into_iter().collect::<Vec<_>>(),
+        )
+    }
+}
+
+prop_compose! {
+    /// A random nonempty subset of the rule pool.
+    fn arb_program()(mask in 1u16..(1 << RULE_POOL.len())) -> Program {
+        build_program(mask)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Prop. 3.18 + Fig. 3 on arbitrary instances and programs.
+    #[test]
+    fn every_semantics_stabilizes_and_figure3_holds(
+        mut db in arb_db(),
+        program in arb_program(),
+    ) {
+        let repairer = Repairer::new(&mut db, program).expect("valid");
+        let [ind, step, stage, end] = repairer.run_all(&db);
+        for r in [&ind, &step, &stage, &end] {
+            prop_assert!(
+                repairer.verify_stabilizing(&db, &r.deleted),
+                "{} returned a non-stabilizing set {:?}",
+                r.semantics,
+                r.deleted
+            );
+        }
+        prop_assert!(
+            delta_repairs::relationships::check_figure3_invariants(&ind, &step, &stage, &end)
+                .is_none(),
+            "figure-3 invariant violated: ind={} step={} stage={} end={}",
+            ind.size(), step.size(), stage.size(), end.size()
+        );
+    }
+
+    /// Prop. 3.9: stage (and end) are deterministic fixpoints — same result
+    /// on repeated and rule-permuted runs.
+    #[test]
+    fn stage_and_end_are_deterministic(
+        mut db in arb_db(),
+        program in arb_program(),
+    ) {
+        let mut reversed = program.clone();
+        reversed.rules.reverse();
+        let a = Repairer::new(&mut db, program).expect("valid");
+        let b = Repairer::new(&mut db, reversed).expect("valid");
+        for sem in [Semantics::Stage, Semantics::End] {
+            let r1 = a.run(&db, sem);
+            let r2 = a.run(&db, sem);
+            let r3 = b.run(&db, sem);
+            prop_assert!(delta_repairs::relationships::set_eq(&r1.deleted, &r2.deleted));
+            prop_assert!(delta_repairs::relationships::set_eq(&r1.deleted, &r3.deleted), "{sem} depends on rule order");
+        }
+    }
+
+    /// Algorithm 1 with the default budget is exact on these small
+    /// instances: it matches the subset-enumeration reference.
+    #[test]
+    fn independent_matches_exact_reference(
+        mut db in arb_db(),
+        program in arb_program(),
+    ) {
+        let repairer = Repairer::new(&mut db, program).expect("valid");
+        let ind = repairer.run(&db, Semantics::Independent);
+        if let Some(exact) =
+            delta_repairs::independent::optimal(&db, repairer.evaluator(), 14)
+        {
+            prop_assert_eq!(
+                ind.size(),
+                exact.len(),
+                "Algorithm 1 must be exact on small instances"
+            );
+        }
+    }
+
+    /// The greedy Algorithm 2 never beats the exact step search, and the
+    /// exact step search never beats independent semantics.
+    #[test]
+    fn step_greedy_exact_and_independent_are_ordered(
+        mut db in arb_db(),
+        program in arb_program(),
+    ) {
+        let repairer = Repairer::new(&mut db, program).expect("valid");
+        let greedy = repairer.run(&db, Semantics::Step);
+        let ind = repairer.run(&db, Semantics::Independent);
+        if let Some(exact) = delta_repairs::step::optimal(&db, repairer.evaluator(), 200_000) {
+            prop_assert!(
+                greedy.size() >= exact.len(),
+                "greedy ({}) below the exact step minimum ({})",
+                greedy.size(), exact.len()
+            );
+            prop_assert!(
+                exact.len() >= ind.size(),
+                "step minimum ({}) below independent ({})",
+                exact.len(), ind.size()
+            );
+            prop_assert!(repairer.verify_stabilizing(&db, &exact));
+        }
+    }
+
+    /// Deleting the result of any semantics and repairing again is a no-op
+    /// (repairs are idempotent on the repaired database).
+    #[test]
+    fn repairs_are_idempotent(
+        mut db in arb_db(),
+        program in arb_program(),
+    ) {
+        let repairer = Repairer::new(&mut db, program.clone()).expect("valid");
+        let end = repairer.run(&db, Semantics::End);
+        // Rebuild the database without the deleted tuples *and without the
+        // delta record*: the delta relations start empty again, so only
+        // rules whose bodies are delta-free can fire.
+        let mut survivor = Instance::new(db.schema().clone());
+        for t in db.all_tuple_ids() {
+            if !end.contains(t) {
+                survivor.insert(t.rel, db.tuple(t).clone()).unwrap();
+            }
+        }
+        let rep2 = Repairer::new(&mut survivor, program).expect("valid");
+        let again = rep2.run(&survivor, Semantics::End);
+        // Any further deletions could only come from delta-free rules that
+        // the first pass already exhausted, so the result must be empty.
+        prop_assert_eq!(again.size(), 0, "end repair must be idempotent");
+    }
+}

@@ -1,0 +1,139 @@
+//! The trigger engine against the four semantics — Section 6's
+//! "Comparison with Triggers", mechanized on the running example and the
+//! order-sensitivity scenarios of programs 3/4/8.
+
+use delta_repairs::triggers::{run_triggers, triggers_from_program, FiringOrder, Trigger};
+use delta_repairs::{parse_program, testkit, Repairer, Semantics};
+
+/// Program 5-style pure cascade: triggers and all four semantics agree
+/// (the paper: "Both PostgreSQL and MySQL triggers have led to the same
+/// result as the four semantics for program 5").
+#[test]
+fn cascade_triggers_agree_with_semantics() {
+    let mut db = testkit::figure1_instance();
+    let program = parse_program(
+        "delta Grant(g, n) :- Grant(g, n), n = 'ERC'.
+         delta AuthGrant(a, g) :- AuthGrant(a, g), delta Grant(g, n).",
+    )
+    .unwrap();
+    let repairer = Repairer::new(&mut db, program.clone()).unwrap();
+    let triggers = triggers_from_program(&program);
+    for order in [FiringOrder::Alphabetical, FiringOrder::CreationOrder] {
+        let run = run_triggers(&db, repairer.evaluator(), &triggers, order);
+        assert!(run.stable, "cascade triggers stabilize");
+        for sem in Semantics::ALL {
+            let r = repairer.run(&db, sem);
+            assert_eq!(
+                testkit::names_of(&db, &run.deleted),
+                testkit::names_of(&db, &r.deleted),
+                "{order:?} vs {sem}"
+            );
+        }
+    }
+}
+
+/// Two triggers on the same event with the same body (the paper's program
+/// 3/4 scenario): PostgreSQL's alphabetical policy decides by *name*,
+/// MySQL's by creation order, and the choices produce different deletion
+/// sets; step semantics deletes strictly fewer tuples than the unlucky
+/// ordering.
+#[test]
+fn same_event_triggers_depend_on_ordering() {
+    let mut db = testkit::figure1_instance();
+    // Delete either the Author or her AuthGrant link when both exist for
+    // grant 2.
+    let program = parse_program(
+        "delta Author(a, n) :- Author(a, n), AuthGrant(a, g), g = 2.
+         delta AuthGrant(a, g) :- Author(a, n), AuthGrant(a, g), g = 2.",
+    )
+    .unwrap();
+    let repairer = Repairer::new(&mut db, program.clone()).unwrap();
+    let ev = repairer.evaluator();
+
+    // PostgreSQL: `a_…` fires before `b_…` regardless of intent.
+    let author_first = vec![
+        Trigger { name: "a_authors".into(), rule: 0 },
+        Trigger { name: "b_links".into(), rule: 1 },
+    ];
+    let link_first = vec![
+        Trigger { name: "a_links".into(), rule: 1 },
+        Trigger { name: "b_authors".into(), rule: 0 },
+    ];
+    let pg1 = run_triggers(&db, ev, &author_first, FiringOrder::Alphabetical);
+    let pg2 = run_triggers(&db, ev, &link_first, FiringOrder::Alphabetical);
+    assert!(pg1.stable && pg2.stable);
+    // Whichever rule fires first consumes the joint bodies; the result
+    // differs by *relation*, not size.
+    let names1 = testkit::names_of(&db, &pg1.deleted);
+    let names2 = testkit::names_of(&db, &pg2.deleted);
+    assert_ne!(names1, names2, "naming decided the outcome");
+    assert!(names1.iter().all(|n| n.starts_with("Author")));
+    assert!(names2.iter().all(|n| n.starts_with("AuthGrant")));
+
+    // MySQL: same triggers, creation order decides instead of names.
+    let my1 = run_triggers(&db, ev, &author_first, FiringOrder::CreationOrder);
+    assert_eq!(testkit::names_of(&db, &my1.deleted), names1);
+
+    // All four semantics are order-insensitive; step/independent pick 2
+    // tuples (one per violating pair), matching the smaller trigger run.
+    let step = repairer.run(&db, Semantics::Step);
+    assert_eq!(step.size(), 2);
+    assert!(step.size() <= pg1.deleted.len());
+    assert!(step.size() <= pg2.deleted.len());
+}
+
+/// Program 8's scenario: with a mix of immediate and Δ-triggered rules the
+/// trigger cascade over-deletes relative to step semantics but remains a
+/// stabilizing set.
+#[test]
+fn trigger_cascades_stabilize_but_over_delete() {
+    let mut db = testkit::figure1_instance();
+    let program = testkit::figure2_program();
+    let repairer = Repairer::new(&mut db, program.clone()).unwrap();
+    let triggers = triggers_from_program(&program);
+    let run = run_triggers(&db, repairer.evaluator(), &triggers, FiringOrder::CreationOrder);
+    assert!(run.stable);
+    assert!(repairer.verify_stabilizing(&db, &run.deleted));
+    let step = repairer.run(&db, Semantics::Step);
+    assert!(
+        step.size() <= run.deleted.len(),
+        "step ({}) must not exceed the trigger cascade ({})",
+        step.size(),
+        run.deleted.len()
+    );
+}
+
+/// Triggers on a stable database do nothing.
+#[test]
+fn triggers_are_noops_on_stable_databases() {
+    let mut db = testkit::figure1_instance();
+    let program = parse_program(
+        "delta Grant(g, n) :- Grant(g, n), n = 'SNSF'.", // no such grant
+    )
+    .unwrap();
+    let repairer = Repairer::new(&mut db, program.clone()).unwrap();
+    let triggers = triggers_from_program(&program);
+    let run = run_triggers(&db, repairer.evaluator(), &triggers, FiringOrder::Alphabetical);
+    assert!(run.deleted.is_empty());
+    assert_eq!(run.activations, 0);
+    assert!(run.stable);
+}
+
+/// Activations count statement-level firings: the Figure 2 cascade fires
+/// once per seed and once per reactive deletion batch.
+#[test]
+fn activation_counting() {
+    let mut db = testkit::figure1_instance();
+    let program = parse_program(
+        "delta Grant(g, n) :- Grant(g, n), n = 'ERC'.
+         delta AuthGrant(a, g) :- AuthGrant(a, g), delta Grant(g, n).",
+    )
+    .unwrap();
+    let repairer = Repairer::new(&mut db, program.clone()).unwrap();
+    let triggers = triggers_from_program(&program);
+    let run = run_triggers(&db, repairer.evaluator(), &triggers, FiringOrder::CreationOrder);
+    // Seed statement (1 activation) + reactive trigger on the deleted grant
+    // (1 activation deleting both AuthGrant rows at once).
+    assert_eq!(run.activations, 2);
+    assert_eq!(run.deleted.len(), 3); // g2, ag2, ag3
+}
