@@ -16,11 +16,16 @@ use std::time::Duration;
 fn bench_eval_ablation(c: &mut Criterion) {
     let lab = MasLab::at_scale(0.02);
     let mut group = c.benchmark_group("ablation_eval");
-    group.sample_size(10)
+    group
+        .sample_size(10)
         .warm_up_time(Duration::from_millis(400))
         .measurement_time(Duration::from_millis(1200));
     for name in ["mas-11", "mas-18", "mas-20"] {
-        let w = lab.workloads.iter().find(|w| w.name == name).expect("workload");
+        let w = lab
+            .workloads
+            .iter()
+            .find(|w| w.name == name)
+            .expect("workload");
         let (db, repairer) = repairer_for(&lab.data.db, w);
         group.bench_function(BenchmarkId::new("semi_naive", name), |b| {
             b.iter(|| black_box(end::run(&db, repairer.evaluator()).deleted.len()))

@@ -21,7 +21,11 @@ use storage::TupleId;
 
 /// Reproduce phases 1–2 of Algorithm 1: the CNF for a workload.
 fn cnf_for(lab: &MasLab, name: &str) -> Cnf {
-    let w = lab.workloads.iter().find(|w| w.name == name).expect("workload");
+    let w = lab
+        .workloads
+        .iter()
+        .find(|w| w.name == name)
+        .expect("workload");
     let (db, repairer) = repairer_for(&lab.data.db, w);
     let state = db.initial_state();
     let mut assignments = Vec::new();
@@ -52,7 +56,8 @@ fn cnf_for(lab: &MasLab, name: &str) -> Cnf {
 fn bench_sat_ablation(c: &mut Criterion) {
     let lab = MasLab::at_scale(0.02);
     let mut group = c.benchmark_group("ablation_sat");
-    group.sample_size(10)
+    group
+        .sample_size(10)
         .warm_up_time(Duration::from_millis(400))
         .measurement_time(Duration::from_millis(1200));
     for name in ["mas-12", "mas-08"] {
@@ -61,7 +66,13 @@ fn bench_sat_ablation(c: &mut Criterion) {
         // pathological branch & bound cannot stall the benchmark run.
         let budget = repair_core::Repairer::DEFAULT_NODE_BUDGET;
         let configs: [(&str, MinOnesOptions); 3] = [
-            ("full", MinOnesOptions { node_budget: budget, ..MinOnesOptions::default() }),
+            (
+                "full",
+                MinOnesOptions {
+                    node_budget: budget,
+                    ..MinOnesOptions::default()
+                },
+            ),
             (
                 "no_decomposition",
                 MinOnesOptions {

@@ -15,8 +15,10 @@ fn vc_db(n: usize, edges: &[(i64, i64)]) -> Instance {
     s.relation("VC", &[("v", AttrType::Int)]);
     let mut db = Instance::new(s);
     for &(u, v) in edges {
-        db.insert_values("E", [Value::Int(u), Value::Int(v)]).unwrap();
-        db.insert_values("E", [Value::Int(v), Value::Int(u)]).unwrap();
+        db.insert_values("E", [Value::Int(u), Value::Int(v)])
+            .unwrap();
+        db.insert_values("E", [Value::Int(v), Value::Int(u)])
+            .unwrap();
     }
     for v in 0..n as i64 {
         db.insert_values("VC", [Value::Int(v)]).unwrap();
@@ -26,7 +28,8 @@ fn vc_db(n: usize, edges: &[(i64, i64)]) -> Instance {
 
 fn bench_step_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_step");
-    group.sample_size(10)
+    group
+        .sample_size(10)
         .warm_up_time(Duration::from_millis(400))
         .measurement_time(Duration::from_millis(1200));
 

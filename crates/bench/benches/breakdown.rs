@@ -23,11 +23,16 @@ use std::time::Duration;
 fn bench_breakdown(c: &mut Criterion) {
     let lab = MasLab::at_scale(0.02);
     let mut group = c.benchmark_group("fig8_breakdown");
-    group.sample_size(10)
+    group
+        .sample_size(10)
         .warm_up_time(Duration::from_millis(400))
         .measurement_time(Duration::from_millis(1200));
     for name in ["mas-08", "mas-20"] {
-        let w = lab.workloads.iter().find(|w| w.name == name).expect("workload");
+        let w = lab
+            .workloads
+            .iter()
+            .find(|w| w.name == name)
+            .expect("workload");
         let (db, repairer) = repairer_for(&lab.data.db, w);
         let ev = repairer.evaluator();
 
@@ -55,7 +60,13 @@ fn bench_breakdown(c: &mut Criterion) {
             })
         });
         group.bench_function(BenchmarkId::new("alg1_full", name), |b| {
-            b.iter(|| black_box(independent::run(&db, ev, &MinOnesOptions::default()).deleted.len()))
+            b.iter(|| {
+                black_box(
+                    independent::run(&db, ev, &MinOnesOptions::default())
+                        .deleted
+                        .len(),
+                )
+            })
         });
 
         // Algorithm 2 phase prefixes.

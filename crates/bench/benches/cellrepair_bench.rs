@@ -18,7 +18,8 @@ fn scenario(rows: usize, errors: usize) -> cellrepair::Table {
 
 fn bench_vs_errors(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10a_vs_errors");
-    group.sample_size(10)
+    group
+        .sample_size(10)
         .warm_up_time(Duration::from_millis(400))
         .measurement_time(Duration::from_millis(1200));
     let rows = 1500;
@@ -28,19 +29,23 @@ fn bench_vs_errors(c: &mut Criterion) {
         let mut db = author_instance_from_table(&table);
         let repairer = Repairer::new(&mut db, dc_delta_program()).expect("DC program");
         for sem in [Semantics::Independent, Semantics::End] {
-            group.bench_with_input(
-                BenchmarkId::new(sem.name(), errors),
-                &sem,
-                |b, &sem| b.iter(|| black_box(repairer.run(&db, sem).size())),
-            );
+            group.bench_with_input(BenchmarkId::new(sem.name(), errors), &sem, |b, &sem| {
+                b.iter(|| black_box(repairer.run(&db, sem).size()))
+            });
         }
         // The probabilistic cell repairer.
         group.bench_with_input(BenchmarkId::new("holoclean_sub", errors), &table, |b, t| {
             b.iter(|| {
                 let mut work = t.clone();
-                black_box(repair(&mut work, &workloads::paper_dcs(), &CellRepairConfig::default())
+                black_box(
+                    repair(
+                        &mut work,
+                        &workloads::paper_dcs(),
+                        &CellRepairConfig::default(),
+                    )
                     .repairs
-                    .len())
+                    .len(),
+                )
             })
         });
     }
@@ -49,7 +54,8 @@ fn bench_vs_errors(c: &mut Criterion) {
 
 fn bench_vs_rows(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10b_vs_rows");
-    group.sample_size(10)
+    group
+        .sample_size(10)
         .warm_up_time(Duration::from_millis(400))
         .measurement_time(Duration::from_millis(1200));
     let errors = 100;
@@ -58,18 +64,22 @@ fn bench_vs_rows(c: &mut Criterion) {
         let mut db = author_instance_from_table(&table);
         let repairer = Repairer::new(&mut db, dc_delta_program()).expect("DC program");
         for sem in [Semantics::Independent, Semantics::End] {
-            group.bench_with_input(
-                BenchmarkId::new(sem.name(), rows),
-                &sem,
-                |b, &sem| b.iter(|| black_box(repairer.run(&db, sem).size())),
-            );
+            group.bench_with_input(BenchmarkId::new(sem.name(), rows), &sem, |b, &sem| {
+                b.iter(|| black_box(repairer.run(&db, sem).size()))
+            });
         }
         group.bench_with_input(BenchmarkId::new("holoclean_sub", rows), &table, |b, t| {
             b.iter(|| {
                 let mut work = t.clone();
-                black_box(repair(&mut work, &workloads::paper_dcs(), &CellRepairConfig::default())
+                black_box(
+                    repair(
+                        &mut work,
+                        &workloads::paper_dcs(),
+                        &CellRepairConfig::default(),
+                    )
                     .repairs
-                    .len())
+                    .len(),
+                )
             })
         });
     }

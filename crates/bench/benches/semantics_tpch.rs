@@ -12,18 +12,21 @@ use std::time::Duration;
 fn bench_tpch(c: &mut Criterion) {
     let lab = TpchLab::at_scale(0.01);
     let mut group = c.benchmark_group("fig9b_tpch_semantics");
-    group.sample_size(10)
+    group
+        .sample_size(10)
         .warm_up_time(Duration::from_millis(400))
         .measurement_time(Duration::from_millis(1200));
     for name in ["tpch-2", "tpch-4", "tpch-5"] {
-        let w = lab.workloads.iter().find(|w| w.name == name).expect("workload");
+        let w = lab
+            .workloads
+            .iter()
+            .find(|w| w.name == name)
+            .expect("workload");
         let (db, repairer) = repairer_for(&lab.data.db, w);
         for sem in Semantics::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(sem.name(), name),
-                &sem,
-                |b, &sem| b.iter(|| black_box(repairer.run(&db, sem).size())),
-            );
+            group.bench_with_input(BenchmarkId::new(sem.name(), name), &sem, |b, &sem| {
+                b.iter(|| black_box(repairer.run(&db, sem).size()))
+            });
         }
     }
     group.finish();

@@ -13,12 +13,17 @@ use triggers::{run_triggers, triggers_from_program, FiringOrder};
 
 fn bench_triggers(c: &mut Criterion) {
     let lab = MasLab::at_scale(0.02);
-    let w = lab.workloads.iter().find(|w| w.name == "mas-20").expect("workload");
+    let w = lab
+        .workloads
+        .iter()
+        .find(|w| w.name == "mas-20")
+        .expect("workload");
     let (db, repairer) = repairer_for(&lab.data.db, w);
     let trigs = triggers_from_program(&w.program);
 
     let mut group = c.benchmark_group("triggers_vs_semantics");
-    group.sample_size(10)
+    group
+        .sample_size(10)
         .warm_up_time(Duration::from_millis(400))
         .measurement_time(Duration::from_millis(1200));
     group.bench_function("postgresql_alphabetical", |b| {
@@ -33,9 +38,14 @@ fn bench_triggers(c: &mut Criterion) {
     group.bench_function("mysql_creation_order", |b| {
         b.iter(|| {
             black_box(
-                run_triggers(&db, repairer.evaluator(), &trigs, FiringOrder::CreationOrder)
-                    .deleted
-                    .len(),
+                run_triggers(
+                    &db,
+                    repairer.evaluator(),
+                    &trigs,
+                    FiringOrder::CreationOrder,
+                )
+                .deleted
+                .len(),
             )
         })
     });

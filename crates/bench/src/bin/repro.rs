@@ -20,8 +20,7 @@
 //! (see the `bench` crate docs). Run with `--release`.
 
 use bench::{
-    check, env_usize, fmt_duration, mas_scale, repairer_for, run_four, tpch_scale, MasLab,
-    TpchLab,
+    check, env_usize, fmt_duration, mas_scale, repairer_for, run_four, tpch_scale, MasLab, TpchLab,
 };
 use cellrepair::{count_violating_tuples, repair as hc_repair, CellRepairConfig};
 use datagen::{author_table, inject_errors};
@@ -68,7 +67,10 @@ fn table3() {
         mas_scale(),
         tpch_scale()
     ));
-    println!("{:<10} {:>12} {:>12} {:>12}", "program", "Step=Stage", "Ind⊆Stage", "Ind⊆Step");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "program", "Step=Stage", "Ind⊆Stage", "Ind⊆Step"
+    );
     let mas = MasLab::from_env();
     let tpch = TpchLab::from_env();
     let all = mas
@@ -80,8 +82,7 @@ fn table3() {
         let (db, repairer) = repairer_for(base, w);
         let [ind, step, stage, end] = run_four(&db, &repairer);
         let row = relationships::table3_row(&ind, &step, &stage);
-        if let Some(violation) =
-            relationships::check_figure3_invariants(&ind, &step, &stage, &end)
+        if let Some(violation) = relationships::check_figure3_invariants(&ind, &step, &stage, &end)
         {
             println!("{:<10} FIGURE-3 INVARIANT VIOLATED: {violation}", w.name);
             continue;
@@ -98,7 +99,10 @@ fn table3() {
 
 /// Figure 6: result sizes for the MAS programs, in the paper's three groups.
 fn fig6() {
-    banner(&format!("Figure 6 — result sizes, MAS programs (scale {})", mas_scale()));
+    banner(&format!(
+        "Figure 6 — result sizes, MAS programs (scale {})",
+        mas_scale()
+    ));
     let lab = MasLab::from_env();
     println!(
         "{:<10} {:>12} {:>8} {:>8} {:>8}",
@@ -123,7 +127,10 @@ fn fig6() {
 
 /// Figure 7: execution times for the MAS programs.
 fn fig7() {
-    banner(&format!("Figure 7 — execution time, MAS programs (scale {})", mas_scale()));
+    banner(&format!(
+        "Figure 7 — execution time, MAS programs (scale {})",
+        mas_scale()
+    ));
     let lab = MasLab::from_env();
     println!(
         "{:<10} {:>12} {:>10} {:>10} {:>10}",
@@ -195,7 +202,10 @@ fn fig8() {
 
 /// Figure 9: result sizes and runtimes for the TPC-H programs.
 fn fig9() {
-    banner(&format!("Figure 9 — TPC-H result sizes and runtimes (scale {})", tpch_scale()));
+    banner(&format!(
+        "Figure 9 — TPC-H result sizes and runtimes (scale {})",
+        tpch_scale()
+    ));
     let lab = TpchLab::from_env();
     println!(
         "{:<8} {:>12} {:>8} {:>8} {:>8} | {:>12} {:>10} {:>10} {:>10}",
@@ -246,7 +256,12 @@ fn trigger_comparison() {
             })
             .collect();
         let pg = run_triggers(&db, repairer.evaluator(), &named, FiringOrder::Alphabetical);
-        let my = run_triggers(&db, repairer.evaluator(), &named, FiringOrder::CreationOrder);
+        let my = run_triggers(
+            &db,
+            repairer.evaluator(),
+            &named,
+            FiringOrder::CreationOrder,
+        );
         let step = repairer.run(&db, Semantics::Step);
         let stage = repairer.run(&db, Semantics::Stage);
         println!(
@@ -269,13 +284,17 @@ const ERROR_STEPS: [usize; 6] = [100, 200, 300, 500, 700, 1000];
 fn table4_and_5(violations_view: bool) {
     let rows = env_usize("REPRO_ROWS", 5000);
     if violations_view {
-        banner(&format!("Table 5 — DC violations after/before repair ({rows} rows)"));
+        banner(&format!(
+            "Table 5 — DC violations after/before repair ({rows} rows)"
+        ));
         println!(
             "{:<8} {:>12} {:>12} {:>12} {:>12} {:>14} {:>12}",
             "errors", "DC1", "DC2", "DC3", "DC4", "HC total", "sem. total"
         );
     } else {
-        banner(&format!("Table 4 — over-deletions vs HoloClean-substitute ({rows} rows)"));
+        banner(&format!(
+            "Table 4 — over-deletions vs HoloClean-substitute ({rows} rows)"
+        ));
         println!(
             "{:<8} {:>8} {:>8} {:>8} {:>8} {:>12}",
             "errors", "Ind", "Step", "Stage", "End", "HoloClean"
@@ -287,8 +306,8 @@ fn table4_and_5(violations_view: bool) {
         let injected = inject_errors(&mut table, errors, 99).len();
         // Deletion semantics.
         let mut db = author_instance_from_table(&table);
-        let repairer = repair_core::Repairer::new(&mut db, dc_delta_program())
-            .expect("DC program valid");
+        let repairer =
+            repair_core::Repairer::new(&mut db, dc_delta_program()).expect("DC program valid");
         let results = repairer.run_all(&db);
         for r in &results {
             assert!(
@@ -311,10 +330,14 @@ fn table4_and_5(violations_view: bool) {
             println!(
                 "{:<8} {:>5}/{:<6} {:>5}/{:<6} {:>5}/{:<6} {:>5}/{:<6} {:>6}/{:<7} {:>5}/{:<6}",
                 injected,
-                after[0], before[0],
-                after[1], before[1],
-                after[2], before[2],
-                after[3], before[3],
+                after[0],
+                before[0],
+                after[1],
+                before[1],
+                after[2],
+                before[2],
+                after[3],
+                before[3],
                 after.iter().sum::<usize>(),
                 before.iter().sum::<usize>(),
                 0,

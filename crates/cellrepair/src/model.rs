@@ -125,8 +125,16 @@ impl<'a> FeatureExtractor<'a> {
                 cooc_cnt += 1.0;
             }
         }
-        let cooc = if cooc_cnt > 0.0 { cooc_sum / cooc_cnt } else { 0.0 };
-        let minimality = if self.table.rows[row][col] == v { 1.0 } else { 0.0 };
+        let cooc = if cooc_cnt > 0.0 {
+            cooc_sum / cooc_cnt
+        } else {
+            0.0
+        };
+        let minimality = if self.table.rows[row][col] == v {
+            1.0
+        } else {
+            0.0
+        };
         let viol = self.hypothetical_violations(row, col, v) as f64;
         let dc_penalty = viol / (viol + 1.0);
         [freq, cooc, minimality, dc_penalty]

@@ -84,12 +84,12 @@ fn build_col_index(table: &Table) -> ColIndex {
 /// count.
 fn candidates(table: &Table, idx: &ColIndex, row: usize, col: usize, cap: usize) -> Vec<Value> {
     let mut counts: HashMap<Value, u32> = HashMap::new();
-    for other in 0..table.columns.len() {
+    for (other, col_idx) in idx.iter().enumerate() {
         if other == col {
             continue;
         }
         let u = table.rows[row][other];
-        if let Some(rows) = idx[other].get(&u) {
+        if let Some(rows) = col_idx.get(&u) {
             for &r in rows {
                 *counts.entry(table.rows[r][col]).or_insert(0) += 1;
             }
@@ -97,7 +97,10 @@ fn candidates(table: &Table, idx: &ColIndex, row: usize, col: usize, cap: usize)
     }
     let current = table.rows[row][col];
     let mut ranked: Vec<(Value, u32)> = counts.into_iter().collect();
-    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(format!("{}", a.0).cmp(&format!("{}", b.0))));
+    ranked.sort_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then(format!("{}", a.0).cmp(&format!("{}", b.0)))
+    });
     let mut out = vec![current];
     for (v, _) in ranked {
         if v != current && out.len() < cap {
@@ -108,11 +111,7 @@ fn candidates(table: &Table, idx: &ColIndex, row: usize, col: usize, cap: usize)
 }
 
 /// Run the full pipeline on `table` in place.
-pub fn repair(
-    table: &mut Table,
-    dcs: &[DenialConstraint],
-    cfg: &CellRepairConfig,
-) -> RepairReport {
+pub fn repair(table: &mut Table, dcs: &[DenialConstraint], cfg: &CellRepairConfig) -> RepairReport {
     // 1. Detect: noisy cells named by the inequality predicates of
     //    violating pairs.
     let mut noisy: HashSet<(usize, usize)> = HashSet::new();
@@ -162,8 +161,7 @@ pub fn repair(
     let mut skipped = 0usize;
     for &(r, c) in &noisy {
         let current = table.rows[r][c];
-        let mut scored: Vec<(Value, f64)> =
-            candidates(table, &col_index, r, c, cfg.max_candidates)
+        let mut scored: Vec<(Value, f64)> = candidates(table, &col_index, r, c, cfg.max_candidates)
             .into_iter()
             .map(|v| (v, model.predict(&fx.features_masked(r, c, v))))
             .collect();
@@ -240,7 +238,10 @@ mod tests {
         let report = repair(&mut t, &dcs, &CellRepairConfig::default());
         assert!(!report.repairs.is_empty(), "should repair something");
         let after: usize = dcs.iter().map(|d| count_violating_tuples(&t, d)).sum();
-        assert!(after < before, "violations must decrease ({before} → {after})");
+        assert!(
+            after < before,
+            "violations must decrease ({before} → {after})"
+        );
         // The wrong oid should be restored to 10.
         let fixed = t.rows[9][2];
         assert_eq!(fixed, Value::Int(10));

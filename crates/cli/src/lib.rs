@@ -184,7 +184,11 @@ pub fn run(opts: &Options, db_text: &str, program_text: &str) -> Result<RunOutpu
             r.breakdown.eval,
             r.breakdown.process,
             r.breakdown.solve,
-            if r.proven_optimal { "" } else { "  (heuristic)" },
+            if r.proven_optimal {
+                ""
+            } else {
+                "  (heuristic)"
+            },
         );
         if opts.explain {
             for &t in &r.deleted {
@@ -298,8 +302,17 @@ delta AuthGrant(a, g) :- AuthGrant(a, g), delta Grant(g, n).
     #[test]
     fn parse_args_happy_path() {
         let opts = parse_args([
-            "--db", "d.tsv", "--program", "p.dl", "--semantics", "step", "--explain",
-            "--apply", "out.tsv", "--triggers", "mysql",
+            "--db",
+            "d.tsv",
+            "--program",
+            "p.dl",
+            "--semantics",
+            "step",
+            "--explain",
+            "--apply",
+            "out.tsv",
+            "--triggers",
+            "mysql",
         ])
         .unwrap();
         assert_eq!(opts.semantics, Some(Semantics::Step));

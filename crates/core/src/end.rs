@@ -9,7 +9,8 @@
 //! derivation round (its **layer**), is exactly the provenance Algorithm 2
 //! consumes.
 
-use datalog::{Assignment, DeltaFrontier, Evaluator, Mode};
+use crate::engine::{DeltaPolicy, FixpointDriver, FixpointOutcome};
+use datalog::{Assignment, Evaluator};
 use std::collections::HashMap;
 use storage::{Instance, State, TupleId};
 
@@ -29,52 +30,24 @@ pub struct EndOutcome {
     pub rounds: u32,
 }
 
-/// Run end semantics.
+impl From<FixpointOutcome> for EndOutcome {
+    fn from(out: FixpointOutcome) -> EndOutcome {
+        EndOutcome {
+            state: out.state,
+            deleted: out.deleted,
+            assignments: out.assignments,
+            layers: out.layers,
+            rounds: out.rounds,
+        }
+    }
+}
+
+/// Run end semantics: the engine's semi-naive [`DeltaPolicy::AtEnd`]
+/// fixpoint, recording the assignment stream Algorithm 2 consumes.
 pub fn run(db: &Instance, ev: &Evaluator) -> EndOutcome {
-    let mut state = db.initial_state();
-    let mut assignments: Vec<Assignment> = Vec::new();
-    let mut layers: HashMap<TupleId, u32> = HashMap::new();
-
-    // Round 1: rules whose bodies have no delta atoms.
-    let mut new_heads: Vec<TupleId> = Vec::new();
-    ev.for_each_base_rule_assignment(db, &state, Mode::FrozenBase, &mut |a| {
-        if !state.in_delta(a.head) && !new_heads.contains(&a.head) {
-            new_heads.push(a.head);
-        }
-        assignments.push(a.clone());
-        true
-    });
-
-    let mut round = 1u32;
-    while !new_heads.is_empty() {
-        let mut frontier = DeltaFrontier::empty(db);
-        for &t in &new_heads {
-            if state.mark_delta(t) {
-                layers.insert(t, round);
-                frontier.insert(t);
-            }
-        }
-        round += 1;
-        let mut next: Vec<TupleId> = Vec::new();
-        ev.for_each_frontier_assignment(db, &state, Mode::FrozenBase, &frontier, &mut |a| {
-            if !state.in_delta(a.head) && !next.contains(&a.head) {
-                next.push(a.head);
-            }
-            assignments.push(a.clone());
-            true
-        });
-        new_heads = next;
-    }
-
-    state.apply_deltas();
-    let deleted = state.all_delta_rows();
-    EndOutcome {
-        state,
-        deleted,
-        assignments,
-        layers,
-        rounds: round,
-    }
+    FixpointDriver::new(ev, DeltaPolicy::AtEnd { naive: false })
+        .run(db)
+        .into()
 }
 
 /// Naive end semantics: every round re-enumerates *all* assignments against
@@ -84,38 +57,9 @@ pub fn run(db: &Instance, ev: &Evaluator) -> EndOutcome {
 /// been generated"). Produces the same fixpoint as [`run`]; kept as the
 /// baseline for the semi-naive ablation bench.
 pub fn run_naive(db: &Instance, ev: &Evaluator) -> EndOutcome {
-    let mut state = db.initial_state();
-    let mut layers: HashMap<TupleId, u32> = HashMap::new();
-    let mut round = 0u32;
-    let mut assignments: Vec<Assignment> = Vec::new();
-    loop {
-        round += 1;
-        let mut new_heads: Vec<TupleId> = Vec::new();
-        assignments.clear(); // naive re-derives everything each round
-        ev.for_each_assignment(db, &state, Mode::FrozenBase, &mut |a| {
-            if !state.in_delta(a.head) && !new_heads.contains(&a.head) {
-                new_heads.push(a.head);
-            }
-            assignments.push(a.clone());
-            true
-        });
-        if new_heads.is_empty() {
-            break;
-        }
-        for t in new_heads {
-            state.mark_delta(t);
-            layers.insert(t, round);
-        }
-    }
-    state.apply_deltas();
-    let deleted = state.all_delta_rows();
-    EndOutcome {
-        state,
-        deleted,
-        assignments,
-        layers,
-        rounds: round,
-    }
+    FixpointDriver::new(ev, DeltaPolicy::AtEnd { naive: true })
+        .run(db)
+        .into()
 }
 
 #[cfg(test)]
@@ -177,7 +121,10 @@ mod tests {
         assert_eq!(layer("Writes(4, 6)"), 3);
         assert_eq!(layer("Pub(6, x)"), 3);
         assert_eq!(layer("Cite(7, 6)"), 4);
-        assert_eq!(out.rounds, 5, "four productive rounds + empty fixpoint round");
+        assert_eq!(
+            out.rounds, 5,
+            "four productive rounds + empty fixpoint round"
+        );
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! The unified fixpoint engine behind end, stage and stability.
+//!
+//! Definitions 3.7, 3.10 and 3.12 of the paper share one computational
+//! skeleton: repeatedly enumerate the satisfying assignments of the delta
+//! program against a database view, derive the head tuples, and fold them
+//! into the state — the three semantics differ only in *which view* the
+//! body atoms range over ([`Mode`]) and *when* deletions are applied.
+//! [`FixpointDriver`] factors that skeleton out; the policy axis is
+//! [`DeltaPolicy`]:
+//!
+//! | policy | view | deletions applied | used by |
+//! |--------|------|-------------------|---------|
+//! | [`DeltaPolicy::AtEnd`] | frozen base relations (`R ← R⁰`) | once, at the fixpoint | end semantics (Def. 3.10) |
+//! | [`DeltaPolicy::PerStage`] | live view (`D^{t-1}`) | between rounds, in one batch | stage semantics (Def. 3.7) |
+//! | [`DeltaPolicy::Never`] | live view | never — one round, stop at the first assignment | stability checks (Def. 3.12/3.14) |
+//!
+//! `AtEnd` evaluation is **semi-naive** (each round enumerates only
+//! assignments that use at least one frontier tuple, so every assignment is
+//! produced exactly once — the provenance stream Algorithm 2 consumes);
+//! `AtEnd { naive: true }` keeps the paper prototype's naive re-enumeration
+//! as the ablation baseline. `PerStage` must re-enumerate in full each
+//! round anyway, because applied deletions change which assignments exist.
+//!
+//! With the `parallel` feature enabled (and more than one thread allowed by
+//! `DELTA_REPAIRS_THREADS`), each round's rules are enumerated on separate
+//! OS threads and the per-rule streams are merged in `(rule, head, body)`
+//! enumeration order, so results — including the assignment stream, layer
+//! numbers and round counts — are bit-for-bit identical to serial runs.
+
+use datalog::{Assignment, DeltaFrontier, Evaluator, Mode};
+use std::collections::HashMap;
+use storage::{Instance, State, TupleId};
+
+/// When (and whether) derived deletions are folded into the running state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeltaPolicy {
+    /// Def. 3.10: grow `Δ` against frozen base relations; apply all
+    /// deletions once at the fixpoint. `naive: true` re-enumerates every
+    /// assignment each round instead of using the semi-naive frontier.
+    AtEnd {
+        /// Use naive re-enumeration instead of the semi-naive frontier.
+        naive: bool,
+    },
+    /// Def. 3.7: derive a whole round against the previous state, then
+    /// delete the derived tuples in one batch.
+    PerStage,
+    /// Def. 3.12: never apply anything — enumerate one round over the live
+    /// view and stop at the first satisfying assignment (the instability
+    /// witness).
+    Never,
+}
+
+impl DeltaPolicy {
+    /// The evaluation view this policy ranges body atoms over.
+    pub fn mode(self) -> Mode {
+        match self {
+            DeltaPolicy::AtEnd { .. } => Mode::FrozenBase,
+            DeltaPolicy::PerStage | DeltaPolicy::Never => Mode::Current,
+        }
+    }
+}
+
+/// Everything a fixpoint run can report. Fields a policy does not produce
+/// are left empty (e.g. `assignments` unless recording is on, `violation`
+/// except under [`DeltaPolicy::Never`]).
+#[derive(Debug)]
+pub struct FixpointOutcome {
+    /// Final state (deltas applied for `AtEnd`, applied per round for
+    /// `PerStage`, untouched for `Never`).
+    pub state: State,
+    /// All delta tuples, ascending — the semantics' deleted set (empty
+    /// under [`DeltaPolicy::Never`], which only decides stability).
+    pub deleted: Vec<TupleId>,
+    /// The recorded assignment stream, in derivation order (semi-naive:
+    /// each assignment exactly once; naive: the final round's full
+    /// enumeration — the seed prototype's behaviour).
+    pub assignments: Vec<Assignment>,
+    /// 1-based derivation round of each delta tuple (its provenance
+    /// *layer*).
+    pub layers: HashMap<TupleId, u32>,
+    /// Total enumeration rounds, including the final unproductive one.
+    pub rounds: u32,
+    /// Rounds that derived at least one new tuple (stage counts these).
+    pub productive_rounds: u32,
+    /// Under [`DeltaPolicy::Never`]: the first satisfying assignment, i.e.
+    /// the witness that the state is unstable.
+    pub violation: Option<Assignment>,
+}
+
+/// A configured fixpoint run: an evaluator, a [`DeltaPolicy`], and whether
+/// the assignment stream is recorded.
+pub struct FixpointDriver<'e> {
+    ev: &'e Evaluator,
+    policy: DeltaPolicy,
+    record: bool,
+}
+
+impl<'e> FixpointDriver<'e> {
+    /// Driver with the policy's default recording: `AtEnd` records the
+    /// assignment stream (it *is* the provenance input of Algorithm 2),
+    /// the others don't.
+    pub fn new(ev: &'e Evaluator, policy: DeltaPolicy) -> FixpointDriver<'e> {
+        FixpointDriver {
+            ev,
+            policy,
+            record: matches!(policy, DeltaPolicy::AtEnd { .. }),
+        }
+    }
+
+    /// Override assignment-stream recording.
+    pub fn record_assignments(mut self, on: bool) -> FixpointDriver<'e> {
+        self.record = on;
+        self
+    }
+
+    /// Run from the instance's initial state.
+    pub fn run(&self, db: &Instance) -> FixpointOutcome {
+        self.run_from(db, db.initial_state())
+    }
+
+    /// Run from an explicit state (stability checks seed the state with a
+    /// candidate deletion set first).
+    pub fn run_from(&self, db: &Instance, state: State) -> FixpointOutcome {
+        match self.policy {
+            DeltaPolicy::Never => self.run_one_round(db, state),
+            DeltaPolicy::AtEnd { naive: false } => self.run_semi_naive(db, state),
+            DeltaPolicy::AtEnd { naive: true } | DeltaPolicy::PerStage => {
+                self.run_round_based(db, state)
+            }
+        }
+    }
+
+    /// Semi-naive delta-fixpoint (Def. 3.10): round 1 enumerates the rules
+    /// without delta atoms; every later round enumerates exactly the
+    /// assignments using at least one tuple derived in the previous round.
+    fn run_semi_naive(&self, db: &Instance, mut state: State) -> FixpointOutcome {
+        let mut assignments: Vec<Assignment> = Vec::new();
+        let mut layers: HashMap<TupleId, u32> = HashMap::new();
+
+        let mut new_heads: Vec<TupleId> = Vec::new();
+        self.enumerate(db, &state, Round::Base, |a| {
+            if !state.in_delta(a.head) && !new_heads.contains(&a.head) {
+                new_heads.push(a.head);
+            }
+            if self.record {
+                assignments.push(a.clone());
+            }
+        });
+
+        let mut rounds = 1u32;
+        let mut productive = 0u32;
+        while !new_heads.is_empty() {
+            productive += 1;
+            let mut frontier = DeltaFrontier::empty(db);
+            for &t in &new_heads {
+                if state.mark_delta(t) {
+                    layers.insert(t, rounds);
+                    frontier.insert(t);
+                }
+            }
+            rounds += 1;
+            let mut next: Vec<TupleId> = Vec::new();
+            self.enumerate(db, &state, Round::Frontier(&frontier), |a| {
+                if !state.in_delta(a.head) && !next.contains(&a.head) {
+                    next.push(a.head);
+                }
+                if self.record {
+                    assignments.push(a.clone());
+                }
+            });
+            new_heads = next;
+        }
+
+        state.apply_deltas();
+        let deleted = state.all_delta_rows();
+        FixpointOutcome {
+            state,
+            deleted,
+            assignments,
+            layers,
+            rounds,
+            productive_rounds: productive,
+            violation: None,
+        }
+    }
+
+    /// Full re-enumeration each round: the naive end baseline and stage
+    /// semantics. Per round, *all* satisfying assignments against the
+    /// current state derive heads; then the batch is folded in — marked
+    /// (`AtEnd`) or deleted (`PerStage`).
+    fn run_round_based(&self, db: &Instance, mut state: State) -> FixpointOutcome {
+        let per_stage = self.policy == DeltaPolicy::PerStage;
+        let mut assignments: Vec<Assignment> = Vec::new();
+        let mut layers: HashMap<TupleId, u32> = HashMap::new();
+        let mut rounds = 0u32;
+        let mut productive = 0u32;
+        loop {
+            rounds += 1;
+            if self.record {
+                // Naive evaluation re-derives everything each round; only
+                // the final (complete) enumeration is kept.
+                assignments.clear();
+            }
+            let mut new_heads: Vec<TupleId> = Vec::new();
+            self.enumerate(db, &state, Round::Full, |a| {
+                let fresh = if per_stage {
+                    state.is_present(a.head)
+                } else {
+                    !state.in_delta(a.head)
+                };
+                if fresh && !new_heads.contains(&a.head) {
+                    new_heads.push(a.head);
+                }
+                if self.record {
+                    assignments.push(a.clone());
+                }
+            });
+            if new_heads.is_empty() {
+                break;
+            }
+            productive += 1;
+            for t in new_heads {
+                if per_stage {
+                    state.delete(t);
+                } else {
+                    state.mark_delta(t);
+                }
+                layers.insert(t, rounds);
+            }
+        }
+        if !per_stage {
+            state.apply_deltas();
+        }
+        let deleted = state.all_delta_rows();
+        FixpointOutcome {
+            state,
+            deleted,
+            assignments,
+            layers,
+            rounds,
+            productive_rounds: productive,
+            violation: None,
+        }
+    }
+
+    /// One round over the live view, aborting at the first assignment —
+    /// the stability decision procedure (Def. 3.12). Only `violation` is
+    /// meaningful; `deleted` is left empty rather than re-scanning the
+    /// caller-provided delta bits.
+    fn run_one_round(&self, db: &Instance, state: State) -> FixpointOutcome {
+        let mut violation: Option<Assignment> = None;
+        self.ev
+            .for_each_assignment(db, &state, Mode::Current, &mut |a| {
+                violation = Some(a.clone());
+                false
+            });
+        FixpointOutcome {
+            state,
+            deleted: Vec::new(),
+            assignments: Vec::new(),
+            layers: HashMap::new(),
+            rounds: 1,
+            productive_rounds: 0,
+            violation,
+        }
+    }
+
+    /// Enumerate one round, serially or in parallel, feeding assignments to
+    /// `f` in deterministic `(rule, head, body)` order either way.
+    fn enumerate(
+        &self,
+        db: &Instance,
+        state: &State,
+        round: Round<'_>,
+        mut f: impl FnMut(&Assignment),
+    ) {
+        let mode = self.policy.mode();
+        #[cfg(feature = "parallel")]
+        {
+            if datalog::eval_threads() > 1 && self.ev.num_rules() > 1 {
+                let scope = match round {
+                    Round::Full => datalog::ParScope::All,
+                    Round::Base => datalog::ParScope::BaseRules,
+                    Round::Frontier(fr) => datalog::ParScope::Frontier(fr),
+                };
+                for a in self.ev.par_collect(db, state, mode, scope) {
+                    f(&a);
+                }
+                return;
+            }
+        }
+        let mut cb = |a: &Assignment| {
+            f(a);
+            true
+        };
+        match round {
+            Round::Full => self.ev.for_each_assignment(db, state, mode, &mut cb),
+            Round::Base => self
+                .ev
+                .for_each_base_rule_assignment(db, state, mode, &mut cb),
+            Round::Frontier(fr) => self
+                .ev
+                .for_each_frontier_assignment(db, state, mode, fr, &mut cb),
+        };
+    }
+}
+
+/// Which enumeration a round performs.
+enum Round<'f> {
+    /// All rules, all assignments.
+    Full,
+    /// Rules without delta atoms (semi-naive round 1).
+    Base,
+    /// Frontier-restricted semi-naive round.
+    Frontier(&'f DeltaFrontier),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{figure1_instance, figure2_program, names_of, tid_of};
+    use datalog::Evaluator;
+
+    fn fixture() -> (Instance, Evaluator) {
+        let mut db = figure1_instance();
+        let ev = Evaluator::new(&mut db, figure2_program()).unwrap();
+        (db, ev)
+    }
+
+    #[test]
+    fn at_end_semi_naive_and_naive_agree() {
+        let (db, ev) = fixture();
+        let fast = FixpointDriver::new(&ev, DeltaPolicy::AtEnd { naive: false }).run(&db);
+        let slow = FixpointDriver::new(&ev, DeltaPolicy::AtEnd { naive: true }).run(&db);
+        assert_eq!(fast.deleted, slow.deleted);
+        assert_eq!(fast.layers, slow.layers);
+        assert_eq!(fast.rounds, slow.rounds, "both count total rounds");
+        assert_eq!(fast.deleted.len(), 8);
+    }
+
+    #[test]
+    fn per_stage_counts_productive_rounds() {
+        let (db, ev) = fixture();
+        let out = FixpointDriver::new(&ev, DeltaPolicy::PerStage).run(&db);
+        assert_eq!(out.productive_rounds, 3, "Example 3.8 runs in three stages");
+        assert_eq!(out.rounds, 4, "plus the final unproductive round");
+        assert_eq!(out.deleted.len(), 7, "stage drops the Cite tuple");
+    }
+
+    #[test]
+    fn never_policy_finds_the_witness() {
+        let (db, ev) = fixture();
+        let driver = FixpointDriver::new(&ev, DeltaPolicy::Never);
+        let unstable = driver.run(&db);
+        let witness = unstable.violation.expect("figure 1 is unstable");
+        assert_eq!(witness.rule, 0);
+        assert_eq!(db.display_tuple(witness.head), "Grant(2, ERC)");
+
+        // Seeding the state with the End deletion set stabilizes it.
+        let end = FixpointDriver::new(&ev, DeltaPolicy::AtEnd { naive: false }).run(&db);
+        let mut state = db.initial_state();
+        for &t in &end.deleted {
+            state.delete(t);
+        }
+        assert!(driver.run_from(&db, state).violation.is_none());
+    }
+
+    #[test]
+    fn recording_can_be_disabled() {
+        let (db, ev) = fixture();
+        let out = FixpointDriver::new(&ev, DeltaPolicy::AtEnd { naive: false })
+            .record_assignments(false)
+            .run(&db);
+        assert!(out.assignments.is_empty());
+        assert_eq!(out.deleted.len(), 8, "deleted set unaffected by recording");
+    }
+
+    #[test]
+    fn policies_see_the_figure1_sets() {
+        let (db, ev) = fixture();
+        let end = FixpointDriver::new(&ev, DeltaPolicy::AtEnd { naive: false }).run(&db);
+        let stage = FixpointDriver::new(&ev, DeltaPolicy::PerStage).run(&db);
+        assert!(names_of(&db, &end.deleted).contains(&"Cite(7, 6)".to_owned()));
+        assert!(!names_of(&db, &stage.deleted).contains(&"Cite(7, 6)".to_owned()));
+        let cite = tid_of(&db, "Cite(7, 6)");
+        assert_eq!(end.layers[&cite], 4);
+    }
+}

@@ -42,11 +42,7 @@ pub struct ContainmentRow {
 }
 
 /// Compute the Table 3 relationships from the four results.
-pub fn table3_row(
-    ind: &RepairResult,
-    step: &RepairResult,
-    stage: &RepairResult,
-) -> ContainmentRow {
+pub fn table3_row(ind: &RepairResult, step: &RepairResult, stage: &RepairResult) -> ContainmentRow {
     ContainmentRow {
         step_eq_stage: set_eq(&step.deleted, &stage.deleted),
         ind_sub_stage: is_subset(&ind.deleted, &stage.deleted),

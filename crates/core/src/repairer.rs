@@ -176,9 +176,7 @@ mod tests {
                 res.semantics
             );
         }
-        assert!(
-            relationships::check_figure3_invariants(&ind, &step, &stage, &end).is_none()
-        );
+        assert!(relationships::check_figure3_invariants(&ind, &step, &stage, &end).is_none());
     }
 
     #[test]

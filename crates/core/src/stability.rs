@@ -1,6 +1,11 @@
 //! Stable databases and stabilizing sets (Definitions 3.12 and 3.14).
+//!
+//! Stability is the degenerate fixpoint: one [`engine::DeltaPolicy::Never`]
+//! round over the live view, stopping at the first satisfying assignment
+//! (the instability witness).
 
-use datalog::Evaluator;
+use crate::engine::{DeltaPolicy, FixpointDriver};
+use datalog::{Assignment, Evaluator};
 use storage::{Instance, State, TupleId};
 
 /// Build the state `(D \ S) ∪ Δ(S)` from a deletion set.
@@ -12,15 +17,23 @@ pub fn state_from_deleted(db: &Instance, deleted: &[TupleId]) -> State {
     state
 }
 
+/// Is `state` stable w.r.t. the program (Def. 3.12)? Returns the witness
+/// assignment when it is not.
+pub fn violation_in(db: &Instance, ev: &Evaluator, state: State) -> Option<Assignment> {
+    FixpointDriver::new(ev, DeltaPolicy::Never)
+        .run_from(db, state)
+        .violation
+}
+
 /// Is `deleted` a stabilizing set for `db` under `ev`'s program
 /// (Def. 3.14)?
 pub fn is_stabilizing(db: &Instance, ev: &Evaluator, deleted: &[TupleId]) -> bool {
-    ev.is_stable(db, &state_from_deleted(db, deleted))
+    violation_in(db, ev, state_from_deleted(db, deleted)).is_none()
 }
 
 /// Is the original database already stable (Def. 3.12)?
 pub fn initially_stable(db: &Instance, ev: &Evaluator) -> bool {
-    ev.is_stable(db, &db.initial_state())
+    violation_in(db, ev, db.initial_state()).is_none()
 }
 
 #[cfg(test)]

@@ -6,7 +6,8 @@
 //! with deletions applied between rounds. Rule order does not matter, the
 //! fixpoint is unique (Proposition 3.9).
 
-use datalog::{Evaluator, Mode};
+use crate::engine::{DeltaPolicy, FixpointDriver};
+use datalog::Evaluator;
 use storage::{Instance, State, TupleId};
 
 /// Outcome of stage semantics.
@@ -21,33 +22,14 @@ pub struct StageOutcome {
     pub stages: u32,
 }
 
-/// Run stage semantics.
+/// Run stage semantics: the engine's [`DeltaPolicy::PerStage`] fixpoint —
+/// derive a whole round against `D^{t-1}`, then delete in one batch.
 pub fn run(db: &Instance, ev: &Evaluator) -> StageOutcome {
-    let mut state = db.initial_state();
-    let mut stages = 0u32;
-    loop {
-        // Derive everything against D^{t-1} …
-        let mut new_heads: Vec<TupleId> = Vec::new();
-        ev.for_each_assignment(db, &state, Mode::Current, &mut |a| {
-            if state.is_present(a.head) && !new_heads.contains(&a.head) {
-                new_heads.push(a.head);
-            }
-            true
-        });
-        if new_heads.is_empty() {
-            break;
-        }
-        // … then update the database in one batch.
-        for t in new_heads {
-            state.delete(t);
-        }
-        stages += 1;
-    }
-    let deleted = state.all_delta_rows();
+    let out = FixpointDriver::new(ev, DeltaPolicy::PerStage).run(db);
     StageOutcome {
-        state,
-        deleted,
-        stages,
+        state: out.state,
+        deleted: out.deleted,
+        stages: out.productive_rounds,
     }
 }
 

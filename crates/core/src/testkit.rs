@@ -12,25 +12,44 @@ use storage::{AttrType, Instance, Schema, TupleId, Value};
 pub fn figure1_instance() -> Instance {
     let mut s = Schema::new();
     s.relation("Grant", &[("gid", AttrType::Int), ("name", AttrType::Str)]);
-    s.relation("AuthGrant", &[("aid", AttrType::Int), ("gid", AttrType::Int)]);
+    s.relation(
+        "AuthGrant",
+        &[("aid", AttrType::Int), ("gid", AttrType::Int)],
+    );
     s.relation("Author", &[("aid", AttrType::Int), ("name", AttrType::Str)]);
-    s.relation("Cite", &[("citing", AttrType::Int), ("cited", AttrType::Int)]);
+    s.relation(
+        "Cite",
+        &[("citing", AttrType::Int), ("cited", AttrType::Int)],
+    );
     s.relation("Writes", &[("aid", AttrType::Int), ("pid", AttrType::Int)]);
     s.relation("Pub", &[("pid", AttrType::Int), ("title", AttrType::Str)]);
     let mut db = Instance::new(s);
-    db.insert_values("Grant", [Value::Int(1), Value::str("NSF")]).unwrap();
-    db.insert_values("Grant", [Value::Int(2), Value::str("ERC")]).unwrap();
-    db.insert_values("AuthGrant", [Value::Int(2), Value::Int(1)]).unwrap();
-    db.insert_values("AuthGrant", [Value::Int(4), Value::Int(2)]).unwrap();
-    db.insert_values("AuthGrant", [Value::Int(5), Value::Int(2)]).unwrap();
-    db.insert_values("Author", [Value::Int(2), Value::str("Maggie")]).unwrap();
-    db.insert_values("Author", [Value::Int(4), Value::str("Marge")]).unwrap();
-    db.insert_values("Author", [Value::Int(5), Value::str("Homer")]).unwrap();
-    db.insert_values("Cite", [Value::Int(7), Value::Int(6)]).unwrap();
-    db.insert_values("Writes", [Value::Int(4), Value::Int(6)]).unwrap();
-    db.insert_values("Writes", [Value::Int(5), Value::Int(7)]).unwrap();
-    db.insert_values("Pub", [Value::Int(6), Value::str("x")]).unwrap();
-    db.insert_values("Pub", [Value::Int(7), Value::str("y")]).unwrap();
+    db.insert_values("Grant", [Value::Int(1), Value::str("NSF")])
+        .unwrap();
+    db.insert_values("Grant", [Value::Int(2), Value::str("ERC")])
+        .unwrap();
+    db.insert_values("AuthGrant", [Value::Int(2), Value::Int(1)])
+        .unwrap();
+    db.insert_values("AuthGrant", [Value::Int(4), Value::Int(2)])
+        .unwrap();
+    db.insert_values("AuthGrant", [Value::Int(5), Value::Int(2)])
+        .unwrap();
+    db.insert_values("Author", [Value::Int(2), Value::str("Maggie")])
+        .unwrap();
+    db.insert_values("Author", [Value::Int(4), Value::str("Marge")])
+        .unwrap();
+    db.insert_values("Author", [Value::Int(5), Value::str("Homer")])
+        .unwrap();
+    db.insert_values("Cite", [Value::Int(7), Value::Int(6)])
+        .unwrap();
+    db.insert_values("Writes", [Value::Int(4), Value::Int(6)])
+        .unwrap();
+    db.insert_values("Writes", [Value::Int(5), Value::Int(7)])
+        .unwrap();
+    db.insert_values("Pub", [Value::Int(6), Value::str("x")])
+        .unwrap();
+    db.insert_values("Pub", [Value::Int(7), Value::str("y")])
+        .unwrap();
     db
 }
 

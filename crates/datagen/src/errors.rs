@@ -25,7 +25,7 @@ pub fn author_table(rows: usize, seed: u64) -> Table {
         let name = format!("Author-{aid}");
         let org = format!("Org-{oid}");
         // 1–3 duplicate records per author, on average 2.
-        let copies = (1 + rng.random_range(0..3)).min(rows - r);
+        let copies = (1 + rng.random_range(0..3usize)).min(rows - r);
         for _ in 0..copies {
             t.push_row(vec![
                 Value::Int(aid),
@@ -71,7 +71,8 @@ pub fn inject_errors(table: &mut Table, n: usize, seed: u64) -> Vec<InjectedErro
         .flatten()
         .copied()
         .collect();
-    eligible.sort_unstable(); // HashMap order is nondeterministic
+    // HashMap order is nondeterministic.
+    eligible.sort_unstable();
     // Cap at the number of eligible cells so small tables with large error
     // budgets degrade gracefully (the Figure 10b sweep requests 700 errors
     // even for its smallest table).

@@ -16,18 +16,79 @@ use rand::{Rng, SeedableRng};
 use storage::{AttrType, Instance, Schema, Value};
 
 const FIRST_NAMES: [&str; 40] = [
-    "Ada", "Alan", "Barbara", "Claude", "Donald", "Edgar", "Edsger", "Frances", "Grace",
-    "Hedy", "John", "Kathleen", "Ken", "Leslie", "Margaret", "Niklaus", "Radia", "Tim",
-    "Tony", "Vint", "Anita", "Butler", "Charles", "Dana", "Erna", "Fernando", "Gerald",
-    "Ivan", "Juris", "Kristen", "Manuel", "Ole", "Peter", "Richard", "Robin", "Stephen",
-    "Shafi", "Silvio", "Whitfield", "Martin",
+    "Ada",
+    "Alan",
+    "Barbara",
+    "Claude",
+    "Donald",
+    "Edgar",
+    "Edsger",
+    "Frances",
+    "Grace",
+    "Hedy",
+    "John",
+    "Kathleen",
+    "Ken",
+    "Leslie",
+    "Margaret",
+    "Niklaus",
+    "Radia",
+    "Tim",
+    "Tony",
+    "Vint",
+    "Anita",
+    "Butler",
+    "Charles",
+    "Dana",
+    "Erna",
+    "Fernando",
+    "Gerald",
+    "Ivan",
+    "Juris",
+    "Kristen",
+    "Manuel",
+    "Ole",
+    "Peter",
+    "Richard",
+    "Robin",
+    "Stephen",
+    "Shafi",
+    "Silvio",
+    "Whitfield",
+    "Martin",
 ];
 
 const LAST_NAMES: [&str; 30] = [
-    "Lovelace", "Turing", "Liskov", "Shannon", "Knuth", "Codd", "Dijkstra", "Allen",
-    "Hopper", "Lamarr", "Backus", "Booth", "Thompson", "Lamport", "Hamilton", "Wirth",
-    "Perlman", "Lee", "Hoare", "Cerf", "Borg", "Lampson", "Bachman", "Scott",
-    "Hoover", "Corbato", "Sussman", "Sutherland", "Hartmanis", "Nygaard",
+    "Lovelace",
+    "Turing",
+    "Liskov",
+    "Shannon",
+    "Knuth",
+    "Codd",
+    "Dijkstra",
+    "Allen",
+    "Hopper",
+    "Lamarr",
+    "Backus",
+    "Booth",
+    "Thompson",
+    "Lamport",
+    "Hamilton",
+    "Wirth",
+    "Perlman",
+    "Lee",
+    "Hoare",
+    "Cerf",
+    "Borg",
+    "Lampson",
+    "Bachman",
+    "Scott",
+    "Hoover",
+    "Corbato",
+    "Sussman",
+    "Sutherland",
+    "Hartmanis",
+    "Nygaard",
 ];
 
 /// Generator configuration.
@@ -96,17 +157,31 @@ pub struct MasData {
 /// The MAS schema.
 pub fn mas_schema() -> Schema {
     let mut s = Schema::new();
-    s.relation("Organization", &[("oid", AttrType::Int), ("name", AttrType::Str)]);
+    s.relation(
+        "Organization",
+        &[("oid", AttrType::Int), ("name", AttrType::Str)],
+    );
     s.relation(
         "Author",
-        &[("aid", AttrType::Int), ("name", AttrType::Str), ("oid", AttrType::Int)],
+        &[
+            ("aid", AttrType::Int),
+            ("name", AttrType::Str),
+            ("oid", AttrType::Int),
+        ],
     );
     s.relation("Writes", &[("aid", AttrType::Int), ("pid", AttrType::Int)]);
     s.relation(
         "Publication",
-        &[("pid", AttrType::Int), ("title", AttrType::Str), ("year", AttrType::Int)],
+        &[
+            ("pid", AttrType::Int),
+            ("title", AttrType::Str),
+            ("year", AttrType::Int),
+        ],
     );
-    s.relation("Cite", &[("citing", AttrType::Int), ("cited", AttrType::Int)]);
+    s.relation(
+        "Cite",
+        &[("citing", AttrType::Int), ("cited", AttrType::Int)],
+    );
     s
 }
 
@@ -116,8 +191,11 @@ pub fn generate(cfg: &MasConfig) -> MasData {
     let mut db = Instance::new(mas_schema());
 
     for oid in 0..cfg.organizations as i64 {
-        db.insert_values("Organization", [Value::Int(oid), Value::str(&format!("Org{oid}"))])
-            .expect("schema ok");
+        db.insert_values(
+            "Organization",
+            [Value::Int(oid), Value::str(&format!("Org{oid}"))],
+        )
+        .expect("schema ok");
     }
 
     // Authors: Zipf-skewed organization assignment; names from a small pool
@@ -140,10 +218,14 @@ pub fn generate(cfg: &MasConfig) -> MasData {
     }
 
     for pid in 0..cfg.publications as i64 {
-        let year = 1990 + rng.random_range(0..35);
+        let year = 1990 + rng.random_range(0..35i64);
         db.insert_values(
             "Publication",
-            [Value::Int(pid), Value::str(&format!("Title-{pid}")), Value::Int(year)],
+            [
+                Value::Int(pid),
+                Value::str(&format!("Title-{pid}")),
+                Value::Int(year),
+            ],
         )
         .expect("schema ok");
     }
@@ -152,10 +234,7 @@ pub fn generate(cfg: &MasConfig) -> MasData {
     // budget adds co-authors.
     let author_sampler = ZipfSampler::new(cfg.authors, 0.8);
     let mut author_pubs = vec![0usize; cfg.authors];
-    let add_edge = |db: &mut Instance,
-                        rng: &mut StdRng,
-                        author_pubs: &mut Vec<usize>,
-                        pid: i64| {
+    let add_edge = |db: &mut Instance, rng: &mut StdRng, author_pubs: &mut Vec<usize>, pid: i64| {
         let aid = author_sampler.sample(rng);
         author_pubs[aid] += 1;
         db.insert_values("Writes", [Value::Int(aid as i64), Value::Int(pid)])
@@ -180,8 +259,11 @@ pub fn generate(cfg: &MasConfig) -> MasData {
             continue;
         }
         cite_counts[cited] += 1;
-        db.insert_values("Cite", [Value::Int(citing as i64), Value::Int(cited as i64)])
-            .expect("schema ok");
+        db.insert_values(
+            "Cite",
+            [Value::Int(citing as i64), Value::Int(cited as i64)],
+        )
+        .expect("schema ok");
         inserted += 1;
     }
 
@@ -208,7 +290,9 @@ pub fn generate(cfg: &MasConfig) -> MasData {
     let mut name_counts: HashMap<&str, usize> = HashMap::new();
     let author_rel = db.schema().rel_id("Author").expect("schema");
     for (_, t) in db.relation(author_rel).iter() {
-        *name_counts.entry(t.get(1).as_str().expect("string")).or_insert(0) += 1;
+        *name_counts
+            .entry(t.get(1).as_str().expect("string"))
+            .or_insert(0) += 1;
     }
     // Ties on count are broken lexicographically so the constant wired into
     // the workloads is identical across runs (HashMap iteration order is
@@ -310,8 +394,7 @@ mod tests {
     #[test]
     fn default_config_is_paper_scale() {
         let cfg = MasConfig::default();
-        let total =
-            cfg.organizations + cfg.authors + cfg.publications + cfg.writes + cfg.cites;
+        let total = cfg.organizations + cfg.authors + cfg.publications + cfg.writes + cfg.cites;
         assert_eq!(total, 124_000);
     }
 }

@@ -18,10 +18,31 @@ use storage::{AttrType, Instance, Schema, Value};
 
 const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 const NATIONS: [&str; 25] = [
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO",
-    "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA",
-    "UNITED KINGDOM", "UNITED STATES",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
+    "UNITED STATES",
 ];
 
 /// Generator configuration.
@@ -88,31 +109,65 @@ pub fn tpch_schema() -> Schema {
     s.relation("Region", &[("rk", AttrType::Int), ("name", AttrType::Str)]);
     s.relation(
         "Nation",
-        &[("nk", AttrType::Int), ("rk", AttrType::Int), ("name", AttrType::Str)],
+        &[
+            ("nk", AttrType::Int),
+            ("rk", AttrType::Int),
+            ("name", AttrType::Str),
+        ],
     );
     s.relation(
         "Supplier",
-        &[("sk", AttrType::Int), ("nk", AttrType::Int), ("name", AttrType::Str), ("bal", AttrType::Int)],
+        &[
+            ("sk", AttrType::Int),
+            ("nk", AttrType::Int),
+            ("name", AttrType::Str),
+            ("bal", AttrType::Int),
+        ],
     );
     s.relation(
         "Customer",
-        &[("ck", AttrType::Int), ("nk", AttrType::Int), ("name", AttrType::Str), ("bal", AttrType::Int)],
+        &[
+            ("ck", AttrType::Int),
+            ("nk", AttrType::Int),
+            ("name", AttrType::Str),
+            ("bal", AttrType::Int),
+        ],
     );
     s.relation(
         "Part",
-        &[("pk", AttrType::Int), ("name", AttrType::Str), ("price", AttrType::Int)],
+        &[
+            ("pk", AttrType::Int),
+            ("name", AttrType::Str),
+            ("price", AttrType::Int),
+        ],
     );
     s.relation(
         "PartSupp",
-        &[("sk", AttrType::Int), ("pk", AttrType::Int), ("qty", AttrType::Int), ("cost", AttrType::Int)],
+        &[
+            ("sk", AttrType::Int),
+            ("pk", AttrType::Int),
+            ("qty", AttrType::Int),
+            ("cost", AttrType::Int),
+        ],
     );
     s.relation(
         "Orders",
-        &[("ok", AttrType::Int), ("ck", AttrType::Int), ("status", AttrType::Str), ("total", AttrType::Int)],
+        &[
+            ("ok", AttrType::Int),
+            ("ck", AttrType::Int),
+            ("status", AttrType::Str),
+            ("total", AttrType::Int),
+        ],
     );
     s.relation(
         "Lineitem",
-        &[("ok", AttrType::Int), ("sk", AttrType::Int), ("pk", AttrType::Int), ("qty", AttrType::Int), ("price", AttrType::Int)],
+        &[
+            ("ok", AttrType::Int),
+            ("sk", AttrType::Int),
+            ("pk", AttrType::Int),
+            ("qty", AttrType::Int),
+            ("price", AttrType::Int),
+        ],
     );
     s
 }
@@ -130,7 +185,11 @@ pub fn generate(cfg: &TpchConfig) -> TpchData {
         let rk = nk % REGIONS.len();
         db.insert_values(
             "Nation",
-            [Value::Int(nk as i64), Value::Int(rk as i64), Value::str(name)],
+            [
+                Value::Int(nk as i64),
+                Value::Int(rk as i64),
+                Value::str(name),
+            ],
         )
         .expect("schema ok");
     }
@@ -139,7 +198,12 @@ pub fn generate(cfg: &TpchConfig) -> TpchData {
         let bal = rng.random_range(-99_999..999_999);
         db.insert_values(
             "Supplier",
-            [Value::Int(sk), Value::Int(nk), Value::str(&format!("Supplier#{sk:06}")), Value::Int(bal)],
+            [
+                Value::Int(sk),
+                Value::Int(nk),
+                Value::str(&format!("Supplier#{sk:06}")),
+                Value::Int(bal),
+            ],
         )
         .expect("schema ok");
     }
@@ -148,7 +212,12 @@ pub fn generate(cfg: &TpchConfig) -> TpchData {
         let bal = rng.random_range(-99_999..999_999);
         db.insert_values(
             "Customer",
-            [Value::Int(ck), Value::Int(nk), Value::str(&format!("Customer#{ck:06}")), Value::Int(bal)],
+            [
+                Value::Int(ck),
+                Value::Int(nk),
+                Value::str(&format!("Customer#{ck:06}")),
+                Value::Int(bal),
+            ],
         )
         .expect("schema ok");
     }
@@ -156,7 +225,11 @@ pub fn generate(cfg: &TpchConfig) -> TpchData {
         let price = 90_000 + (pk % 200_000);
         db.insert_values(
             "Part",
-            [Value::Int(pk), Value::str(&format!("Part#{pk:06}")), Value::Int(price)],
+            [
+                Value::Int(pk),
+                Value::str(&format!("Part#{pk:06}")),
+                Value::Int(price),
+            ],
         )
         .expect("schema ok");
     }
@@ -167,7 +240,12 @@ pub fn generate(cfg: &TpchConfig) -> TpchData {
             let cost = rng.random_range(100..100_000);
             db.insert_values(
                 "PartSupp",
-                [Value::Int(sk), Value::Int(pk), Value::Int(qty), Value::Int(cost)],
+                [
+                    Value::Int(sk),
+                    Value::Int(pk),
+                    Value::Int(qty),
+                    Value::Int(cost),
+                ],
             )
             .expect("schema ok");
         }
@@ -175,11 +253,16 @@ pub fn generate(cfg: &TpchConfig) -> TpchData {
     let mut order_keys = Vec::with_capacity(cfg.orders);
     for ok in 0..cfg.orders as i64 {
         let ck = rng.random_range(0..cfg.customers as i64);
-        let status = ["O", "F", "P"][rng.random_range(0..3)];
+        let status = ["O", "F", "P"][rng.random_range(0..3usize)];
         let total = rng.random_range(1_000..500_000);
         db.insert_values(
             "Orders",
-            [Value::Int(ok), Value::Int(ck), Value::str(status), Value::Int(total)],
+            [
+                Value::Int(ok),
+                Value::Int(ck),
+                Value::str(status),
+                Value::Int(total),
+            ],
         )
         .expect("schema ok");
         order_keys.push(ok);
@@ -193,7 +276,13 @@ pub fn generate(cfg: &TpchConfig) -> TpchData {
             let price = rng.random_range(100..100_000);
             db.insert_values(
                 "Lineitem",
-                [Value::Int(ok), Value::Int(sk), Value::Int(pk), Value::Int(qty), Value::Int(price)],
+                [
+                    Value::Int(ok),
+                    Value::Int(sk),
+                    Value::Int(pk),
+                    Value::Int(qty),
+                    Value::Int(price),
+                ],
             )
             .expect("schema ok");
         }

@@ -367,19 +367,39 @@ mod tests {
     fn recursion_detection() {
         // ΔA :- A, ΔB and ΔB :- B, ΔA  → recursive.
         let p = Program::new(vec![
-            rule("A", vec![Atom::base("A", vec![Term::var("x")]),
-                           Atom::delta("B", vec![Term::var("x")])]),
-            rule("B", vec![Atom::base("B", vec![Term::var("x")]),
-                           Atom::delta("A", vec![Term::var("x")])]),
+            rule(
+                "A",
+                vec![
+                    Atom::base("A", vec![Term::var("x")]),
+                    Atom::delta("B", vec![Term::var("x")]),
+                ],
+            ),
+            rule(
+                "B",
+                vec![
+                    Atom::base("B", vec![Term::var("x")]),
+                    Atom::delta("A", vec![Term::var("x")]),
+                ],
+            ),
         ]);
         assert!(p.is_recursive());
 
         // Linear chain is not recursive.
         let p2 = Program::new(vec![
-            rule("B", vec![Atom::base("B", vec![Term::var("x")]),
-                           Atom::delta("A", vec![Term::var("x")])]),
-            rule("C", vec![Atom::base("C", vec![Term::var("x")]),
-                           Atom::delta("B", vec![Term::var("x")])]),
+            rule(
+                "B",
+                vec![
+                    Atom::base("B", vec![Term::var("x")]),
+                    Atom::delta("A", vec![Term::var("x")]),
+                ],
+            ),
+            rule(
+                "C",
+                vec![
+                    Atom::base("C", vec![Term::var("x")]),
+                    Atom::delta("B", vec![Term::var("x")]),
+                ],
+            ),
         ]);
         assert!(!p2.is_recursive());
 

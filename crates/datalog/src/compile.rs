@@ -8,8 +8,8 @@
 
 use crate::ast::{CmpOp, Rule, Term};
 use crate::validate::head_witness;
-use storage::{RelId, Schema, Sym, Value};
 use std::collections::HashMap;
+use storage::{RelId, Schema, Sym, Value};
 
 /// A positional term: variable index or constant.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

@@ -80,7 +80,11 @@ impl DenialConstraint {
     /// delete any tuple of each violating set ("we will have m rules and
     /// each will have as a head one of the atoms participating in the DC").
     pub fn to_program_per_atom(&self) -> Program {
-        Program::new((0..self.atoms.len()).map(|i| self.to_delta_rule(i)).collect())
+        Program::new(
+            (0..self.atoms.len())
+                .map(|i| self.to_delta_rule(i))
+                .collect(),
+        )
     }
 
     /// Compile several DCs into one program, one rule per atom per DC.
@@ -120,19 +124,16 @@ mod tests {
     use super::*;
 
     fn dc1() -> DenialConstraint {
-        DenialConstraint::parse(
-            ":- Author(a1, n1, o1), Author(a2, n2, o2), a1 = a2, o1 != o2.",
-        )
-        .expect("DC parses")
+        DenialConstraint::parse(":- Author(a1, n1, o1), Author(a2, n2, o2), a1 = a2, o1 != o2.")
+            .expect("DC parses")
     }
 
     #[test]
     fn parse_accepts_headless_bodies_with_and_without_turnstile() {
         let a = dc1();
-        let b = DenialConstraint::parse(
-            "Author(a1, n1, o1), Author(a2, n2, o2), a1 = a2, o1 != o2",
-        )
-        .unwrap();
+        let b =
+            DenialConstraint::parse("Author(a1, n1, o1), Author(a2, n2, o2), a1 = a2, o1 != o2")
+                .unwrap();
         assert_eq!(a, b);
         assert_eq!(a.atoms.len(), 2);
         assert_eq!(a.comparisons.len(), 2);

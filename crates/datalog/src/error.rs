@@ -6,7 +6,11 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DatalogError {
     /// Lexical or grammatical error with 1-based line/column.
-    Syntax { line: usize, col: usize, msg: String },
+    Syntax {
+        line: usize,
+        col: usize,
+        msg: String,
+    },
     /// A rule referenced a relation missing from the schema.
     UnknownRelation(String),
     /// Atom arity does not match the schema.

@@ -181,7 +181,17 @@ impl Evaluator {
             return true;
         }
         let classes = vec![DeltaClass::All; cr.atoms.len()];
-        run_plan(db, state, mode, rule_idx, cr, &cr.general, &classes, None, f)
+        run_plan(
+            db,
+            state,
+            mode,
+            rule_idx,
+            cr,
+            &cr.general,
+            &classes,
+            None,
+            f,
+        )
     }
 
     /// Enumerate, for rules **without** delta atoms in the body, every
@@ -281,9 +291,7 @@ impl Evaluator {
     /// registration: the rule reacts to deletions from that relation.)
     pub fn rule_listens_to(&self, rule_idx: usize, rel: storage::RelId) -> bool {
         let cr = &self.compiled[rule_idx];
-        cr.delta_positions
-            .iter()
-            .any(|&p| cr.atoms[p].rel == rel)
+        cr.delta_positions.iter().any(|&p| cr.atoms[p].rel == rel)
     }
 
     /// Does the rule's body contain any delta atom?
@@ -307,6 +315,135 @@ impl Evaluator {
         self.find_violation(db, state).is_none()
     }
 }
+
+/// Parallel per-rule enumeration (the `parallel` feature).
+///
+/// Rules are independent during one evaluation round — they read the same
+/// immutable `(Instance, State)` view — so each rule's assignments can be
+/// enumerated on its own OS thread. Results are merged **by rule index**,
+/// and enumeration within one rule is single-threaded depth-first, so the
+/// merged stream is bit-for-bit identical to the serial
+/// `for_each_assignment` order: all semantics stay deterministic.
+///
+/// Implemented with `std::thread::scope` rather than rayon (the build
+/// environment is offline); the shape is the same work-stealing-free
+/// "one task per rule, atomic cursor" loop rayon's `par_iter` would give
+/// for a handful of coarse tasks.
+#[cfg(feature = "parallel")]
+mod par {
+    use super::{Assignment, DeltaFrontier, Evaluator, Mode};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    use storage::{Instance, State};
+
+    /// Which enumeration a parallel round performs.
+    #[derive(Clone, Copy)]
+    pub enum Scope<'f> {
+        /// Every rule, every assignment.
+        All,
+        /// Only rules without delta atoms (round 1 of semi-naive).
+        BaseRules,
+        /// Semi-naive frontier round.
+        Frontier(&'f DeltaFrontier),
+    }
+
+    /// Worker threads the parallel paths use: `DELTA_REPAIRS_THREADS` when
+    /// set to a positive value, otherwise the machine's logical CPUs.
+    /// `DELTA_REPAIRS_THREADS=1` disables parallelism at runtime, which is
+    /// how benches compare serial vs parallel inside one binary.
+    pub fn eval_threads() -> usize {
+        match std::env::var("DELTA_REPAIRS_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(n) if n > 0 => n,
+            _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+
+    impl Evaluator {
+        /// Enumerate under `scope` with one task per rule, merging the
+        /// per-rule result vectors in rule order.
+        pub fn par_collect(
+            &self,
+            db: &Instance,
+            state: &State,
+            mode: Mode,
+            scope: Scope<'_>,
+        ) -> Vec<Assignment> {
+            let n_rules = self.num_rules();
+            let threads = eval_threads().min(n_rules);
+            if threads <= 1 {
+                return self.serial_collect(db, state, mode, scope);
+            }
+            let cursor = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Vec<Assignment>>> =
+                (0..n_rules).map(|_| Mutex::new(Vec::new())).collect();
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    s.spawn(|| loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n_rules {
+                            break;
+                        }
+                        let mut out = Vec::new();
+                        self.rule_collect(idx, db, state, mode, scope, &mut out);
+                        *slots[idx].lock().expect("no panics hold this lock") = out;
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .flat_map(|m| m.into_inner().expect("workers joined"))
+                .collect()
+        }
+
+        fn rule_collect(
+            &self,
+            idx: usize,
+            db: &Instance,
+            state: &State,
+            mode: Mode,
+            scope: Scope<'_>,
+            out: &mut Vec<Assignment>,
+        ) {
+            let mut push = |a: &Assignment| {
+                out.push(a.clone());
+                true
+            };
+            match scope {
+                Scope::All => {
+                    self.for_each_rule_assignment(idx, db, state, mode, &mut push);
+                }
+                Scope::BaseRules => {
+                    if !self.rule_has_delta_body(idx) {
+                        self.for_each_rule_assignment(idx, db, state, mode, &mut push);
+                    }
+                }
+                Scope::Frontier(fr) => {
+                    self.for_each_rule_frontier_assignment(idx, db, state, mode, fr, &mut push);
+                }
+            }
+        }
+
+        fn serial_collect(
+            &self,
+            db: &Instance,
+            state: &State,
+            mode: Mode,
+            scope: Scope<'_>,
+        ) -> Vec<Assignment> {
+            let mut out = Vec::new();
+            for idx in 0..self.num_rules() {
+                self.rule_collect(idx, db, state, mode, scope, &mut out);
+            }
+            out
+        }
+    }
+}
+
+#[cfg(feature = "parallel")]
+pub use par::{eval_threads, Scope as ParScope};
 
 #[inline]
 fn admitted(
@@ -353,7 +490,18 @@ fn run_plan(
     let mut bind: Vec<Option<Value>> = vec![None; cr.n_vars];
     let mut chosen: Vec<Option<TupleId>> = vec![None; cr.atoms.len()];
     step(
-        db, state, mode, rule_idx, cr, plan, classes, frontier, 0, &mut bind, &mut chosen, f,
+        db,
+        state,
+        mode,
+        rule_idx,
+        cr,
+        plan,
+        classes,
+        frontier,
+        0,
+        &mut bind,
+        &mut chosen,
+        f,
     )
 }
 
@@ -469,7 +617,18 @@ fn step(
             if cmps_ok {
                 chosen[ai] = Some(tid);
                 keep_going = step(
-                    db, state, mode, rule_idx, cr, plan, classes, frontier, k + 1, bind, chosen, f,
+                    db,
+                    state,
+                    mode,
+                    rule_idx,
+                    cr,
+                    plan,
+                    classes,
+                    frontier,
+                    k + 1,
+                    bind,
+                    chosen,
+                    f,
                 );
                 chosen[ai] = None;
             }
@@ -535,25 +694,44 @@ mod tests {
     pub fn figure1_instance() -> Instance {
         let mut s = Schema::new();
         s.relation("Grant", &[("gid", AttrType::Int), ("name", AttrType::Str)]);
-        s.relation("AuthGrant", &[("aid", AttrType::Int), ("gid", AttrType::Int)]);
+        s.relation(
+            "AuthGrant",
+            &[("aid", AttrType::Int), ("gid", AttrType::Int)],
+        );
         s.relation("Author", &[("aid", AttrType::Int), ("name", AttrType::Str)]);
-        s.relation("Cite", &[("citing", AttrType::Int), ("cited", AttrType::Int)]);
+        s.relation(
+            "Cite",
+            &[("citing", AttrType::Int), ("cited", AttrType::Int)],
+        );
         s.relation("Writes", &[("aid", AttrType::Int), ("pid", AttrType::Int)]);
         s.relation("Pub", &[("pid", AttrType::Int), ("title", AttrType::Str)]);
         let mut db = Instance::new(s);
-        db.insert_values("Grant", [Value::Int(1), Value::str("NSF")]).unwrap(); // g1
-        db.insert_values("Grant", [Value::Int(2), Value::str("ERC")]).unwrap(); // g2
-        db.insert_values("AuthGrant", [Value::Int(2), Value::Int(1)]).unwrap(); // ag1
-        db.insert_values("AuthGrant", [Value::Int(4), Value::Int(2)]).unwrap(); // ag2
-        db.insert_values("AuthGrant", [Value::Int(5), Value::Int(2)]).unwrap(); // ag3
-        db.insert_values("Author", [Value::Int(2), Value::str("Maggie")]).unwrap(); // a1
-        db.insert_values("Author", [Value::Int(4), Value::str("Marge")]).unwrap(); // a2
-        db.insert_values("Author", [Value::Int(5), Value::str("Homer")]).unwrap(); // a3
-        db.insert_values("Cite", [Value::Int(7), Value::Int(6)]).unwrap(); // c
-        db.insert_values("Writes", [Value::Int(4), Value::Int(6)]).unwrap(); // w1
-        db.insert_values("Writes", [Value::Int(5), Value::Int(7)]).unwrap(); // w2
-        db.insert_values("Pub", [Value::Int(6), Value::str("x")]).unwrap(); // p1
-        db.insert_values("Pub", [Value::Int(7), Value::str("y")]).unwrap(); // p2
+        db.insert_values("Grant", [Value::Int(1), Value::str("NSF")])
+            .unwrap(); // g1
+        db.insert_values("Grant", [Value::Int(2), Value::str("ERC")])
+            .unwrap(); // g2
+        db.insert_values("AuthGrant", [Value::Int(2), Value::Int(1)])
+            .unwrap(); // ag1
+        db.insert_values("AuthGrant", [Value::Int(4), Value::Int(2)])
+            .unwrap(); // ag2
+        db.insert_values("AuthGrant", [Value::Int(5), Value::Int(2)])
+            .unwrap(); // ag3
+        db.insert_values("Author", [Value::Int(2), Value::str("Maggie")])
+            .unwrap(); // a1
+        db.insert_values("Author", [Value::Int(4), Value::str("Marge")])
+            .unwrap(); // a2
+        db.insert_values("Author", [Value::Int(5), Value::str("Homer")])
+            .unwrap(); // a3
+        db.insert_values("Cite", [Value::Int(7), Value::Int(6)])
+            .unwrap(); // c
+        db.insert_values("Writes", [Value::Int(4), Value::Int(6)])
+            .unwrap(); // w1
+        db.insert_values("Writes", [Value::Int(5), Value::Int(7)])
+            .unwrap(); // w2
+        db.insert_values("Pub", [Value::Int(6), Value::str("x")])
+            .unwrap(); // p1
+        db.insert_values("Pub", [Value::Int(7), Value::str("y")])
+            .unwrap(); // p2
         db
     }
 
@@ -599,6 +777,7 @@ mod tests {
         let mut state = db.initial_state();
         let grant = db.schema().rel_id("Grant").unwrap();
         state.delete(TupleId::new(grant, 1)); // g2
+
         // Rule 0 no longer fires (g2 gone from R); rule 1 fires twice.
         let mut per_rule = [0usize; 5];
         ev.for_each_assignment(&db, &state, Mode::Current, &mut |a| {
@@ -712,8 +891,10 @@ mod tests {
         let mut s = Schema::new();
         s.relation("E", &[("a", AttrType::Int), ("b", AttrType::Int)]);
         let mut db = Instance::new(s);
-        db.insert_values("E", [Value::Int(1), Value::Int(1)]).unwrap();
-        db.insert_values("E", [Value::Int(1), Value::Int(2)]).unwrap();
+        db.insert_values("E", [Value::Int(1), Value::Int(1)])
+            .unwrap();
+        db.insert_values("E", [Value::Int(1), Value::Int(2)])
+            .unwrap();
         let p = parse_program("delta E(x, x) :- E(x, x).").unwrap();
         let ev = Evaluator::new(&mut db, p).unwrap();
         let state = db.initial_state();

@@ -38,6 +38,8 @@ pub use analysis::{analyze, Analysis};
 pub use ast::{Atom, CmpOp, Comparison, Program, Rule, Term};
 pub use dc::DenialConstraint;
 pub use error::DatalogError;
+#[cfg(feature = "parallel")]
+pub use eval::{eval_threads, ParScope};
 pub use eval::{Assignment, DeltaFrontier, Evaluator, Mode};
 pub use parser::{parse_body, parse_program};
 pub use seed::{seed_rule, with_interventions};

@@ -226,9 +226,7 @@ impl<'a> Lexer<'a> {
                     }
                     Tok::Ident(s)
                 }
-                other => {
-                    return Err(self.err(format!("unexpected character `{}`", other as char)))
-                }
+                other => return Err(self.err(format!("unexpected character `{}`", other as char))),
             };
             out.push(Spanned { tok, line, col });
         }
@@ -466,10 +464,9 @@ mod tests {
 
     #[test]
     fn tilde_sigil_and_operators() {
-        let p = parse_program(
-            "~A(x) :- A(x), B(x, y), x < 5, y >= 2, x != y, y <> x, x <= 9, y > 0.",
-        )
-        .unwrap();
+        let p =
+            parse_program("~A(x) :- A(x), B(x, y), x < 5, y >= 2, x != y, y <> x, x <= 9, y > 0.")
+                .unwrap();
         assert_eq!(p.rules[0].comparisons.len(), 6);
         assert_eq!(p.rules[0].comparisons[0].op, CmpOp::Lt);
         assert_eq!(p.rules[0].comparisons[3].op, CmpOp::Ne);
@@ -491,10 +488,7 @@ mod tests {
     #[test]
     fn negative_integers() {
         let p = parse_program("delta A(x) :- A(x), x > -10.").unwrap();
-        assert_eq!(
-            p.rules[0].comparisons[0].rhs,
-            Term::Const(Value::Int(-10))
-        );
+        assert_eq!(p.rules[0].comparisons[0].rhs, Term::Const(Value::Int(-10)));
     }
 
     #[test]
@@ -511,10 +505,7 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        let p = parse_program(
-            "// c1\n% c2\n# c3\ndelta A(x) :- A(x). # trailing\n",
-        )
-        .unwrap();
+        let p = parse_program("// c1\n% c2\n# c3\ndelta A(x) :- A(x). # trailing\n").unwrap();
         assert_eq!(p.len(), 1);
     }
 

@@ -29,11 +29,7 @@ pub fn seed_rule(db: &Instance, tuple: TupleId) -> Rule {
 
 /// `program` plus one seed rule per tuple in `interventions`, in order.
 /// Duplicate tuples produce a single rule.
-pub fn with_interventions(
-    program: &Program,
-    db: &Instance,
-    interventions: &[TupleId],
-) -> Program {
+pub fn with_interventions(program: &Program, db: &Instance, interventions: &[TupleId]) -> Program {
     let mut out = program.clone();
     let mut seen: Vec<TupleId> = Vec::with_capacity(interventions.len());
     for &t in interventions {
@@ -55,8 +51,10 @@ mod tests {
         let mut s = Schema::new();
         s.relation("R", &[("x", AttrType::Int), ("n", AttrType::Str)]);
         let mut db = Instance::new(s);
-        db.insert_values("R", [Value::Int(1), Value::str("a")]).unwrap();
-        db.insert_values("R", [Value::Int(2), Value::str("b")]).unwrap();
+        db.insert_values("R", [Value::Int(1), Value::str("a")])
+            .unwrap();
+        db.insert_values("R", [Value::Int(2), Value::str("b")])
+            .unwrap();
         db
     }
 
@@ -90,6 +88,9 @@ mod tests {
         let mut db2 = db.clone();
         let ev = crate::Evaluator::new(&mut db2, p).expect("seed rules are valid");
         let state = db2.initial_state();
-        assert!(!ev.is_stable(&db2, &state), "the seed makes the database unstable");
+        assert!(
+            !ev.is_stable(&db2, &state),
+            "the seed makes the database unstable"
+        );
     }
 }

@@ -2,8 +2,8 @@
 
 use crate::ast::{Program, Rule, Term};
 use crate::error::DatalogError;
-use storage::{Schema, Sym};
 use std::collections::HashSet;
+use storage::{Schema, Sym};
 
 /// Check one rule against `schema`.
 ///
@@ -82,9 +82,9 @@ pub fn validate_rule(schema: &Schema, rule: &Rule) -> Result<(), DatalogError> {
 /// Index of the body atom serving as the head witness `Ri(X)` — positive,
 /// same relation, identical argument vector.
 pub fn head_witness(rule: &Rule) -> Option<usize> {
-    rule.body.iter().position(|a| {
-        !a.is_delta && a.relation == rule.head.relation && a.terms == rule.head.terms
-    })
+    rule.body
+        .iter()
+        .position(|a| !a.is_delta && a.relation == rule.head.relation && a.terms == rule.head.terms)
 }
 
 /// Validate every rule of `program`.
@@ -105,7 +105,10 @@ mod tests {
         let mut s = Schema::new();
         s.relation("Grant", &[("gid", AttrType::Int), ("name", AttrType::Str)]);
         s.relation("Author", &[("aid", AttrType::Int), ("name", AttrType::Str)]);
-        s.relation("AuthGrant", &[("aid", AttrType::Int), ("gid", AttrType::Int)]);
+        s.relation(
+            "AuthGrant",
+            &[("aid", AttrType::Int), ("gid", AttrType::Int)],
+        );
         s
     }
 
@@ -115,10 +118,8 @@ mod tests {
 
     #[test]
     fn figure2_rule_is_valid() {
-        validate(
-            "delta Author(a, n) :- Author(a, n), AuthGrant(a, g), delta Grant(g, gn).",
-        )
-        .unwrap();
+        validate("delta Author(a, n) :- Author(a, n), AuthGrant(a, g), delta Grant(g, gn).")
+            .unwrap();
     }
 
     #[test]

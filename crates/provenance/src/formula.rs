@@ -8,8 +8,8 @@
 //! negating one clause yields `⋁ deleted(p) ∨ ⋁ ¬deleted(n)`.
 
 use datalog::Assignment;
-use storage::{Instance, TupleId};
 use std::collections::HashSet;
+use storage::{Instance, TupleId};
 
 /// One assignment's provenance: satisfied iff every tuple in `pos` is
 /// present and every tuple in `neg` is deleted.

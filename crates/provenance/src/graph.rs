@@ -15,8 +15,8 @@
 //!   so on to a fixpoint.
 
 use datalog::Assignment;
-use storage::{Instance, TupleId};
 use std::collections::HashMap;
+use storage::{Instance, TupleId};
 
 #[derive(Debug)]
 struct DeltaNode {
@@ -276,8 +276,7 @@ mod tests {
             assignment(w, &[(p, false), (w, false), (a, true)]),
             assignment(p, &[(p, false), (w, false), (a, true)]),
         ];
-        let layers: HashMap<TupleId, u32> =
-            [(g, 1), (a, 2), (w, 3), (p, 3)].into_iter().collect();
+        let layers: HashMap<TupleId, u32> = [(g, 1), (a, 2), (w, 3), (p, 3)].into_iter().collect();
         (ProvGraph::build(&assigns, &layers), [g, ag, a, w, p])
     }
 
@@ -295,7 +294,8 @@ mod tests {
         // g: 2 assignments use g as base? only its own seed (1) plus none;
         // Δ(g) used in 1 → b_g = 1 - 1 = 0 for this shape.
         assert_eq!(graph.benefit(g), 0);
-        assert_eq!(graph.benefit(ag), 1); // used once, Δ(ag) never derived
+        // ag: used once, Δ(ag) never derived.
+        assert_eq!(graph.benefit(ag), 1);
         // a participates once (its own derivation); Δ(a) used twice.
         assert_eq!(graph.benefit(a), -1);
         // w and p each appear as base in both layer-3 assignments.

@@ -383,10 +383,7 @@ mod tests {
         let sol = solve_min_ones(
             &cnf(
                 3,
-                &[
-                    &[Lit::pos(g2)],
-                    &[Lit::pos(a), Lit::pos(ag), Lit::neg(g2)],
-                ],
+                &[&[Lit::pos(g2)], &[Lit::pos(a), Lit::pos(ag), Lit::neg(g2)]],
             ),
             &MinOnesOptions::default(),
         )

@@ -392,7 +392,10 @@ mod tests {
     use super::*;
 
     fn solve(n: usize, clauses: &[&[Lit]]) -> Option<(Vec<bool>, u32)> {
-        let cs = clauses.iter().map(|c| c.to_vec().into_boxed_slice()).collect();
+        let cs = clauses
+            .iter()
+            .map(|c| c.to_vec().into_boxed_slice())
+            .collect();
         BnB::new(n, cs, u64::MAX, false).solve().best
     }
 
@@ -472,11 +475,16 @@ mod tests {
     fn cascade_cost_steers_away_from_hub() {
         // (h∨a)(h∨b) are coverable by h, but h=true forces c,d,e through
         // (¬h∨c)(¬h∨d)(¬h∨e): cost 4 with the hub vs 2 without.
-        let (h, a, b, c, d, e) =
-            (Lit::pos(0), Lit::pos(1), Lit::pos(2), Lit::pos(3), Lit::pos(4), Lit::pos(5));
+        let (h, a, b, c, d, e) = (
+            Lit::pos(0),
+            Lit::pos(1),
+            Lit::pos(2),
+            Lit::pos(3),
+            Lit::pos(4),
+            Lit::pos(5),
+        );
         let nh = Lit::neg(0);
-        let (vals, ones) =
-            solve(6, &[&[h, a], &[h, b], &[nh, c], &[nh, d], &[nh, e]]).unwrap();
+        let (vals, ones) = solve(6, &[&[h, a], &[h, b], &[nh, c], &[nh, d], &[nh, e]]).unwrap();
         assert_eq!(ones, 2);
         assert!(!vals[0] && vals[1] && vals[2]);
     }

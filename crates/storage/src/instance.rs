@@ -79,11 +79,7 @@ impl Instance {
     /// evaluator requests only the indexes its plans need).
     pub fn index_all(&mut self) {
         for r in &mut self.relations {
-            let arity = r
-                .iter()
-                .next()
-                .map(|(_, t)| t.arity())
-                .unwrap_or(0);
+            let arity = r.iter().next().map(|(_, t)| t.arity()).unwrap_or(0);
             for c in 0..arity {
                 r.ensure_index(c);
             }

@@ -120,10 +120,7 @@ impl Relation {
 
     /// Iterate all rows `(row, tuple)` ever inserted.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &Tuple)> {
-        self.tuples
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (i as u32, t))
+        self.tuples.iter().enumerate().map(|(i, t)| (i as u32, t))
     }
 }
 

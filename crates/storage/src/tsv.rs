@@ -51,10 +51,15 @@ pub fn to_tsv_typed(db: &Instance) -> String {
 }
 
 /// Parse a typed relation header `Name(col: type, …)` into schema parts.
-fn parse_typed_header(rest: &str, lineno: usize) -> Result<(String, Vec<(String, AttrType)>), StorageError> {
+fn parse_typed_header(
+    rest: &str,
+    lineno: usize,
+) -> Result<(String, Vec<(String, AttrType)>), StorageError> {
     let rest = rest.trim();
     let open = rest.find('(').ok_or_else(|| {
-        StorageError::Parse(format!("line {lineno}: typed header needs `(col: type, …)`"))
+        StorageError::Parse(format!(
+            "line {lineno}: typed header needs `(col: type, …)`"
+        ))
     })?;
     if !rest.ends_with(')') {
         return Err(StorageError::Parse(format!(
@@ -63,13 +68,17 @@ fn parse_typed_header(rest: &str, lineno: usize) -> Result<(String, Vec<(String,
     }
     let name = rest[..open].trim();
     if name.is_empty() {
-        return Err(StorageError::Parse(format!("line {lineno}: empty relation name")));
+        return Err(StorageError::Parse(format!(
+            "line {lineno}: empty relation name"
+        )));
     }
     let inner = &rest[open + 1..rest.len() - 1];
     let mut cols = Vec::new();
     for part in inner.split(',') {
         let (col, ty) = part.split_once(':').ok_or_else(|| {
-            StorageError::Parse(format!("line {lineno}: column needs `name: type`, got `{part}`"))
+            StorageError::Parse(format!(
+                "line {lineno}: column needs `name: type`, got `{part}`"
+            ))
         })?;
         let ty = match ty.trim() {
             "int" | "Int" | "INT" => AttrType::Int,
@@ -101,8 +110,7 @@ pub fn load_document(text: &str) -> Result<Instance, StorageError> {
         let line = line.trim_end_matches('\r');
         if let Some(rest) = line.strip_prefix("# relation ") {
             let (name, cols) = parse_typed_header(rest, lineno + 1)?;
-            let refs: Vec<(&str, AttrType)> =
-                cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+            let refs: Vec<(&str, AttrType)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
             schema.add_relation(RelationSchema::new(&name, &refs))?;
         }
     }
@@ -143,7 +151,10 @@ pub fn from_tsv(db: &mut Instance, text: &str) -> Result<usize, StorageError> {
             continue;
         }
         let rel = current.ok_or_else(|| {
-            StorageError::Parse(format!("line {}: data before any relation header", lineno + 1))
+            StorageError::Parse(format!(
+                "line {}: data before any relation header",
+                lineno + 1
+            ))
         })?;
         let rs = db.schema().rel(rel).clone();
         let fields: Vec<&str> = line.split('\t').collect();
@@ -185,7 +196,10 @@ mod tests {
     fn schema() -> Schema {
         let mut s = Schema::new();
         s.relation("Grant", &[("gid", AttrType::Int), ("name", AttrType::Str)]);
-        s.relation("AuthGrant", &[("aid", AttrType::Int), ("gid", AttrType::Int)]);
+        s.relation(
+            "AuthGrant",
+            &[("aid", AttrType::Int), ("gid", AttrType::Int)],
+        );
         s
     }
 
@@ -227,8 +241,10 @@ mod tests {
     #[test]
     fn typed_document_round_trip() {
         let mut db = Instance::new(schema());
-        db.insert_values("Grant", [Value::Int(1), Value::str("NSF")]).unwrap();
-        db.insert_values("AuthGrant", [Value::Int(2), Value::Int(1)]).unwrap();
+        db.insert_values("Grant", [Value::Int(1), Value::str("NSF")])
+            .unwrap();
+        db.insert_values("AuthGrant", [Value::Int(2), Value::Int(1)])
+            .unwrap();
         let text = to_tsv_typed(&db);
         assert!(text.contains("# relation Grant(gid: int, name: string)"));
         let loaded = load_document(&text).unwrap();
@@ -236,7 +252,9 @@ mod tests {
         assert_eq!(to_tsv_typed(&loaded), text);
         // The rebuilt schema matches attribute-for-attribute.
         for (rid, rs) in db.schema().iter() {
-            let lrs = loaded.schema().rel(loaded.schema().rel_id(&rs.name).unwrap());
+            let lrs = loaded
+                .schema()
+                .rel(loaded.schema().rel_id(&rs.name).unwrap());
             assert_eq!(lrs.attrs.len(), rs.attrs.len());
             let _ = rid;
         }
@@ -244,10 +262,22 @@ mod tests {
 
     #[test]
     fn load_document_rejects_bad_headers() {
-        assert!(load_document("# relation Grant\n1\tNSF\n").is_err(), "untyped header");
-        assert!(load_document("# relation Grant(gid int)\n").is_err(), "missing colon");
-        assert!(load_document("# relation Grant(gid: float)\n").is_err(), "unknown type");
-        assert!(load_document("# relation (gid: int)\n").is_err(), "empty name");
+        assert!(
+            load_document("# relation Grant\n1\tNSF\n").is_err(),
+            "untyped header"
+        );
+        assert!(
+            load_document("# relation Grant(gid int)\n").is_err(),
+            "missing colon"
+        );
+        assert!(
+            load_document("# relation Grant(gid: float)\n").is_err(),
+            "unknown type"
+        );
+        assert!(
+            load_document("# relation (gid: int)\n").is_err(),
+            "empty name"
+        );
         assert!(load_document("# relation Grant()\n").is_err(), "no columns");
         assert!(load_document("").is_err(), "empty document");
         assert!(

@@ -225,9 +225,18 @@ mod tests {
         let ev = Evaluator::new(&mut db, program).unwrap();
         // Name them so that alphabetical order REVERSES creation order.
         let trigs = vec![
-            Trigger { name: "z_seed".into(), rule: 0 },
-            Trigger { name: "b_author".into(), rule: 1 },
-            Trigger { name: "a_authgrant".into(), rule: 2 },
+            Trigger {
+                name: "z_seed".into(),
+                rule: 0,
+            },
+            Trigger {
+                name: "b_author".into(),
+                rule: 1,
+            },
+            Trigger {
+                name: "a_authgrant".into(),
+                rule: 2,
+            },
         ];
         let pg = run_triggers(&db, &ev, &trigs, FiringOrder::Alphabetical);
         let my = run_triggers(&db, &ev, &trigs, FiringOrder::CreationOrder);
@@ -265,8 +274,7 @@ mod tests {
     #[test]
     fn stable_database_triggers_do_nothing() {
         let mut db = figure1_instance();
-        let program =
-            parse_program("delta Grant(g, n) :- Grant(g, n), n = 'NOPE'.").unwrap();
+        let program = parse_program("delta Grant(g, n) :- Grant(g, n), n = 'NOPE'.").unwrap();
         let ev = Evaluator::new(&mut db, program).unwrap();
         let trigs = triggers_from_program(ev.program());
         let run = run_triggers(&db, &ev, &trigs, FiringOrder::Alphabetical);

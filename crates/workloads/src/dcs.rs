@@ -7,7 +7,7 @@
 
 use cellrepair::{DenialConstraint, Table};
 use datalog::{parse_program, Program};
-use storage::{AttrType, Instance, Schema, Value};
+use storage::{AttrType, Instance, Schema};
 
 /// DC1–DC4 for the cell-repair system: `aid → oid`, `aid → name`,
 /// `aid → organization`, `oid → organization`.
@@ -55,8 +55,7 @@ pub fn author_instance_from_table(table: &Table) -> Instance {
     );
     let mut db = Instance::new(s);
     for row in &table.rows {
-        db.insert_values("Author", row.iter().copied().collect::<Vec<Value>>())
-            .expect("schema ok");
+        db.insert_values("Author", row.to_vec()).expect("schema ok");
     }
     db
 }

@@ -163,7 +163,8 @@ pub fn mas_programs(data: &MasData) -> Vec<Workload> {
         ),
         "delta Author(aid, n, oid) :- Author(aid, n, oid), delta Organization(oid, n2).".to_owned(),
         "delta Writes(aid, pid) :- Writes(aid, pid), delta Author(aid, n, oid).".to_owned(),
-        "delta Publication(pid, t, y) :- Publication(pid, t, y), delta Writes(aid, pid).".to_owned(),
+        "delta Publication(pid, t, y) :- Publication(pid, t, y), delta Writes(aid, pid)."
+            .to_owned(),
         "delta Cite(citing, pid) :- Cite(citing, pid), delta Publication(pid, t, y).".to_owned(),
     ];
     for n in 1..=5usize {

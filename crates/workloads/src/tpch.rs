@@ -113,10 +113,7 @@ mod tests {
     #[test]
     fn rule_counts_match_table_2() {
         let d = data();
-        let counts: Vec<usize> = tpch_programs(&d)
-            .iter()
-            .map(|w| w.program.len())
-            .collect();
+        let counts: Vec<usize> = tpch_programs(&d).iter().map(|w| w.program.len()).collect();
         assert_eq!(counts, vec![2, 2, 2, 3, 3, 4]);
     }
 }

@@ -67,13 +67,18 @@ fn main() {
         sizes.windows(2).all(|w| w[0] == w[1]),
         "cascade programs must produce identical results under all semantics"
     );
-    println!("\nAll four semantics agree on the cascade ({} tuples) — use End or Stage.", sizes[0]);
+    println!(
+        "\nAll four semantics agree on the cascade ({} tuples) — use End or Stage.",
+        sizes[0]
+    );
 
     // Show the per-relation composition of the repair.
     let result = repairer.run(&db, Semantics::End);
     let mut per_rel: std::collections::BTreeMap<&str, usize> = Default::default();
     for &t in &result.deleted {
-        *per_rel.entry(db.schema().rel(t.rel).name.as_str()).or_default() += 1;
+        *per_rel
+            .entry(db.schema().rel(t.rel).name.as_str())
+            .or_default() += 1;
     }
     println!("Cascade composition:");
     for (rel, n) in per_rel {

@@ -21,23 +21,41 @@ use delta_repairs::workloads::{author_instance_from_table, dc_delta_program, pap
 use delta_repairs::{Repairer, Semantics};
 
 fn main() {
-    let rows: usize = std::env::var("ROWS").ok().and_then(|v| v.parse().ok()).unwrap_or(2000);
-    let errors: usize = std::env::var("ERRORS").ok().and_then(|v| v.parse().ok()).unwrap_or(200);
+    let rows: usize = std::env::var("ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000);
+    let errors: usize = std::env::var("ERRORS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
 
     // A clean Author table, then `errors` injected violations (duplicated
     // aids with perturbed attributes — exactly what DC1–DC4 forbid).
     let mut table = author_table(rows, 7);
     let injected = inject_errors(&mut table, errors, 11);
-    println!("{} rows, {} injected errors", table.rows.len(), injected.len());
+    println!(
+        "{} rows, {} injected errors",
+        table.rows.len(),
+        injected.len()
+    );
 
     let dcs = paper_dcs();
-    let before: usize = dcs.iter().map(|dc| count_violating_tuples(&table, dc)).sum();
+    let before: usize = dcs
+        .iter()
+        .map(|dc| count_violating_tuples(&table, dc))
+        .sum();
     println!("violating tuples before repair (summed over DC1–DC4): {before}\n");
 
     // --- Tuple-deletion repairs under the four semantics ------------------
     let mut db = author_instance_from_table(&table);
     let repairer = Repairer::new(&mut db, dc_delta_program()).expect("DC program");
-    for sem in [Semantics::Independent, Semantics::Step, Semantics::Stage, Semantics::End] {
+    for sem in [
+        Semantics::Independent,
+        Semantics::Step,
+        Semantics::Stage,
+        Semantics::End,
+    ] {
         let result = repairer.run(&db, sem);
         let over = result.size() as i64 - injected.len() as i64;
         // Fewer deletions than injected errors is possible: duplicated rows
@@ -56,7 +74,10 @@ fn main() {
     // --- HoloClean-style cell repair ---------------------------------------
     let mut repaired = table.clone();
     let report = repair(&mut repaired, &dcs, &CellRepairConfig::default());
-    let after: usize = dcs.iter().map(|dc| count_violating_tuples(&repaired, dc)).sum();
+    let after: usize = dcs
+        .iter()
+        .map(|dc| count_violating_tuples(&repaired, dc))
+        .sum();
     let rows_touched: std::collections::HashSet<usize> =
         report.repairs.iter().map(|r| r.row).collect();
     println!(

@@ -16,14 +16,24 @@ use delta_repairs::{AttrType, Instance, Repairer, Schema, Semantics, Value};
 fn main() {
     // 1. Declare the schema.
     let mut schema = Schema::new();
-    schema.relation("Supplier", &[("sk", AttrType::Int), ("name", AttrType::Str)]);
+    schema.relation(
+        "Supplier",
+        &[("sk", AttrType::Int), ("name", AttrType::Str)],
+    );
     schema.relation("PartSupp", &[("sk", AttrType::Int), ("pk", AttrType::Int)]);
     schema.relation(
         "LineItem",
-        &[("ok", AttrType::Int), ("sk", AttrType::Int), ("pk", AttrType::Int)],
+        &[
+            ("ok", AttrType::Int),
+            ("sk", AttrType::Int),
+            ("pk", AttrType::Int),
+        ],
     );
     schema.relation("Orders", &[("ok", AttrType::Int), ("ck", AttrType::Int)]);
-    schema.relation("Customer", &[("ck", AttrType::Int), ("name", AttrType::Str)]);
+    schema.relation(
+        "Customer",
+        &[("ck", AttrType::Int), ("name", AttrType::Str)],
+    );
     let mut db = Instance::new(schema);
 
     // 2. Load data — here from inline TSV, the same format `datagen` dumps.
@@ -78,7 +88,12 @@ fn main() {
     for sem in Semantics::ALL {
         let r = repairer.run(&db, sem);
         let names: Vec<String> = r.deleted.iter().map(|&t| db.display_tuple(t)).collect();
-        println!("{:<12} {:>5}  {}", sem.to_string(), r.size(), names.join(", "));
+        println!(
+            "{:<12} {:>5}  {}",
+            sem.to_string(),
+            r.size(),
+            names.join(", ")
+        );
     }
 
     // 6. Apply the policy you want: rebuild a clean instance from the
@@ -88,7 +103,9 @@ fn main() {
     let mut repaired = Instance::new(db.schema().clone());
     for tid in db.all_tuple_ids() {
         if !chosen.contains(tid) {
-            repaired.insert(tid.rel, db.tuple(tid).clone()).expect("re-insert");
+            repaired
+                .insert(tid.rel, db.tuple(tid).clone())
+                .expect("re-insert");
         }
     }
     println!(

@@ -47,6 +47,9 @@ fn main() {
     assert!(ind.size() <= step.size());
     assert!(ind.size() <= stage.size());
     assert!(step.deleted.iter().all(|t| end.contains(*t)), "Step ⊆ End");
-    assert!(stage.deleted.iter().all(|t| end.contains(*t)), "Stage ⊆ End");
+    assert!(
+        stage.deleted.iter().all(|t| end.contains(*t)),
+        "Stage ⊆ End"
+    );
     println!("\nFigure 3 invariants hold: |Ind| ≤ |Step|,|Stage| and Step,Stage ⊆ End.");
 }

@@ -39,8 +39,14 @@ fn main() {
 
     // PostgreSQL: the DBA named the author trigger so it sorts first.
     let pg_triggers = vec![
-        Trigger { name: "a_delete_authors".into(), rule: 0 },
-        Trigger { name: "b_delete_org".into(), rule: 1 },
+        Trigger {
+            name: "a_delete_authors".into(),
+            rule: 0,
+        },
+        Trigger {
+            name: "b_delete_org".into(),
+            rule: 1,
+        },
     ];
     let pg = run_triggers(&db, ev, &pg_triggers, FiringOrder::Alphabetical);
     println!(
@@ -53,8 +59,14 @@ fn main() {
     let my1 = run_triggers(&db, ev, &pg_triggers, FiringOrder::CreationOrder);
     // …and the same schema with the org-trigger created first.
     let my_triggers_rev = vec![
-        Trigger { name: "a_delete_authors".into(), rule: 1 },
-        Trigger { name: "b_delete_org".into(), rule: 0 },
+        Trigger {
+            name: "a_delete_authors".into(),
+            rule: 1,
+        },
+        Trigger {
+            name: "b_delete_org".into(),
+            rule: 0,
+        },
     ];
     let my2 = run_triggers(&db, ev, &my_triggers_rev, FiringOrder::CreationOrder);
     println!(
@@ -72,13 +84,20 @@ fn main() {
         step.size()
     );
     println!("independent semantics:     {} deletion(s)", ind.size());
-    println!("end semantics:             {} deletions (every derivable delta)", end.size());
+    println!(
+        "end semantics:             {} deletions (every derivable delta)",
+        end.size()
+    );
 
     assert!(step.size() <= pg.deleted.len());
     assert!(step.size() <= my1.deleted.len().max(my2.deleted.len()));
     println!(
         "\nTrigger results depend on names/creation order; step semantics deletes \
          {}x fewer tuples than the unlucky trigger ordering.",
-        pg.deleted.len().max(my1.deleted.len()).max(my2.deleted.len()) / step.size().max(1)
+        pg.deleted
+            .len()
+            .max(my1.deleted.len())
+            .max(my2.deleted.len())
+            / step.size().max(1)
     );
 }

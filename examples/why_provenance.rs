@@ -17,7 +17,10 @@ fn main() {
 
     // Every tuple deleted by end semantics has a derivation tree.
     let end = repairer.run(&db, Semantics::End);
-    println!("end semantics deletes {} tuples; explanations:\n", end.size());
+    println!(
+        "end semantics deletes {} tuples; explanations:\n",
+        end.size()
+    );
     for &t in &end.deleted {
         let tree = repairer
             .explain(&db, t)

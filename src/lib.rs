@@ -69,7 +69,7 @@
 //! paper-vs-measured record of every table and figure.
 
 pub use repair_core::{
-    end, independent, relationships, repairer, result, stability, stage, step, testkit,
+    end, engine, independent, relationships, repairer, result, stability, stage, step, testkit,
     PhaseBreakdown, RepairResult, Repairer, Semantics,
 };
 
@@ -79,8 +79,8 @@ pub use datalog::{
 };
 
 pub use storage::{
-    Attr, AttrType, Instance, RelId, RelationSchema, Schema, State, StorageError, Tuple,
-    TupleId, Value,
+    Attr, AttrType, Instance, RelId, RelationSchema, Schema, State, StorageError, Tuple, TupleId,
+    Value,
 };
 
 /// The full storage substrate (also re-exported piecemeal at the root).

@@ -8,24 +8,36 @@ use delta_repairs::{testkit, Repairer, Semantics};
 
 fn degraded_options() -> Vec<(&'static str, MinOnesOptions)> {
     vec![
-        ("first_solution_only", MinOnesOptions {
-            first_solution_only: true,
-            ..MinOnesOptions::default()
-        }),
-        ("tiny_budget", MinOnesOptions {
-            node_budget: 1,
-            ..MinOnesOptions::default()
-        }),
-        ("no_decomposition", MinOnesOptions {
-            decompose: false,
-            node_budget: 100_000,
-            ..MinOnesOptions::default()
-        }),
-        ("everything_off", MinOnesOptions {
-            decompose: false,
-            node_budget: 1,
-            first_solution_only: true,
-        }),
+        (
+            "first_solution_only",
+            MinOnesOptions {
+                first_solution_only: true,
+                ..MinOnesOptions::default()
+            },
+        ),
+        (
+            "tiny_budget",
+            MinOnesOptions {
+                node_budget: 1,
+                ..MinOnesOptions::default()
+            },
+        ),
+        (
+            "no_decomposition",
+            MinOnesOptions {
+                decompose: false,
+                node_budget: 100_000,
+                ..MinOnesOptions::default()
+            },
+        ),
+        (
+            "everything_off",
+            MinOnesOptions {
+                decompose: false,
+                node_budget: 1,
+                first_solution_only: true,
+            },
+        ),
     ]
 }
 
@@ -35,14 +47,16 @@ fn degraded_options() -> Vec<(&'static str, MinOnesOptions)> {
 fn independent_stabilizes_under_all_solver_options() {
     for (label, opts) in degraded_options() {
         let mut db = testkit::figure1_instance();
-        let repairer =
-            Repairer::with_options(&mut db, testkit::figure2_program(), opts).unwrap();
+        let repairer = Repairer::with_options(&mut db, testkit::figure2_program(), opts).unwrap();
         let r = repairer.run(&db, Semantics::Independent);
         assert!(
             repairer.verify_stabilizing(&db, &r.deleted),
             "{label}: result must stabilize"
         );
-        assert!(r.size() >= 3, "{label}: below the true minimum is impossible");
+        assert!(
+            r.size() >= 3,
+            "{label}: below the true minimum is impossible"
+        );
         assert!(
             r.size() <= db.total_rows(),
             "{label}: the whole database bounds any repair"
@@ -72,7 +86,10 @@ fn tiny_budget_reports_non_optimal_when_cut() {
     let repairer = Repairer::with_options(
         &mut db,
         testkit::figure2_program(),
-        MinOnesOptions { node_budget: 1, ..MinOnesOptions::default() },
+        MinOnesOptions {
+            node_budget: 1,
+            ..MinOnesOptions::default()
+        },
     )
     .unwrap();
     let r = repairer.run(&db, Semantics::Independent);
@@ -121,6 +138,11 @@ fn run_all_order_is_stable() {
     let order: Vec<_> = results.iter().map(|r| r.semantics).collect();
     assert_eq!(
         order,
-        vec![Semantics::Independent, Semantics::Step, Semantics::Stage, Semantics::End]
+        vec![
+            Semantics::Independent,
+            Semantics::Step,
+            Semantics::Stage,
+            Semantics::End
+        ]
     );
 }

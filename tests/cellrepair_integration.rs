@@ -7,7 +7,10 @@ use delta_repairs::workloads::{author_instance_from_table, dc_delta_program, pap
 use delta_repairs::Repairer;
 
 fn total_violations(table: &Table) -> usize {
-    paper_dcs().iter().map(|dc| count_violating_tuples(table, dc)).sum()
+    paper_dcs()
+        .iter()
+        .map(|dc| count_violating_tuples(table, dc))
+        .sum()
 }
 
 /// A clean generated table has no DC violations; injection creates them in
@@ -19,7 +22,10 @@ fn injection_creates_detectable_violations() {
     let injected = inject_errors(&mut table, 80, 43);
     assert_eq!(injected.len(), 80);
     let v = total_violations(&table);
-    assert!(v >= 80, "each injected duplicate violates at least one DC, got {v}");
+    assert!(
+        v >= 80,
+        "each injected duplicate violates at least one DC, got {v}"
+    );
 }
 
 /// Error injection is deterministic in the seed.
@@ -65,7 +71,10 @@ fn cell_repair_reduces_but_may_not_eliminate_violations() {
     let before = total_violations(&table);
     let report = repair(&mut table, &paper_dcs(), &CellRepairConfig::default());
     let after = total_violations(&table);
-    assert!(report.repairs.len() > 50, "the repairer must actually repair");
+    assert!(
+        report.repairs.len() > 50,
+        "the repairer must actually repair"
+    );
     assert!(
         after < before / 2,
         "repairs must reduce violations substantially ({before} -> {after})"
@@ -85,7 +94,10 @@ fn confidence_margin_controls_under_repair() {
     let cautious_report = repair(
         &mut cautious,
         &dcs,
-        &CellRepairConfig { confidence_margin: 0.9, ..CellRepairConfig::default() },
+        &CellRepairConfig {
+            confidence_margin: 0.9,
+            ..CellRepairConfig::default()
+        },
     );
     assert!(cautious_report.repairs.len() <= default_report.repairs.len());
     assert!(cautious_report.skipped_low_confidence >= default_report.skipped_low_confidence);

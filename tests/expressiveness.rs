@@ -3,31 +3,36 @@
 //! under each semantics.
 
 use delta_repairs::{
-    testkit, with_interventions, AttrType, DenialConstraint, Instance, Program, Repairer,
-    Schema, Semantics, Value,
+    testkit, with_interventions, AttrType, DenialConstraint, Instance, Program, Repairer, Schema,
+    Semantics, Value,
 };
 
 fn pub_db() -> Instance {
     let mut s = Schema::new();
     s.relation(
         "Pub",
-        &[("pid", AttrType::Int), ("title", AttrType::Str), ("conf", AttrType::Str)],
+        &[
+            ("pid", AttrType::Int),
+            ("title", AttrType::Str),
+            ("conf", AttrType::Str),
+        ],
     );
     let mut db = Instance::new(s);
     // Two violating pairs sharing a middle element: (1,2), (2,3) both have
     // title X; 4 is clean.
-    db.insert_values("Pub", [Value::Int(1), Value::str("X"), Value::str("A")]).unwrap();
-    db.insert_values("Pub", [Value::Int(2), Value::str("X"), Value::str("B")]).unwrap();
-    db.insert_values("Pub", [Value::Int(3), Value::str("X"), Value::str("C")]).unwrap();
-    db.insert_values("Pub", [Value::Int(4), Value::str("Y"), Value::str("A")]).unwrap();
+    db.insert_values("Pub", [Value::Int(1), Value::str("X"), Value::str("A")])
+        .unwrap();
+    db.insert_values("Pub", [Value::Int(2), Value::str("X"), Value::str("B")])
+        .unwrap();
+    db.insert_values("Pub", [Value::Int(3), Value::str("X"), Value::str("C")])
+        .unwrap();
+    db.insert_values("Pub", [Value::Int(4), Value::str("Y"), Value::str("A")])
+        .unwrap();
     db
 }
 
 fn title_dc() -> DenialConstraint {
-    DenialConstraint::parse(
-        ":- Pub(p1, t, c1), Pub(p2, t, c2), c1 != c2.",
-    )
-    .expect("DC parses")
+    DenialConstraint::parse(":- Pub(p1, t, c1), Pub(p2, t, c2), c1 != c2.").expect("DC parses")
 }
 
 /// Independent semantics + the single-rule translation = the classic
@@ -38,7 +43,11 @@ fn independent_gives_minimum_dc_repair() {
     let mut db = pub_db();
     let repairer = Repairer::new(&mut db, title_dc().to_program_single(0)).unwrap();
     let ind = repairer.run(&db, Semantics::Independent);
-    assert_eq!(ind.size(), 2, "three mutually-violating pubs need two deletions");
+    assert_eq!(
+        ind.size(),
+        2,
+        "three mutually-violating pubs need two deletions"
+    );
     assert!(repairer.verify_stabilizing(&db, &ind.deleted));
     // The clean publication is never touched.
     let clean = testkit::tid_of(&db, "Pub(4, Y, A)");
@@ -72,14 +81,12 @@ fn end_deletes_every_violating_tuple() {
 /// stabilize.
 #[test]
 fn multiple_dcs_compile_together() {
-    let dup_pid = DenialConstraint::parse(
-        ":- Pub(p, t1, c1), Pub(p, t2, c2), t1 != t2.",
-    )
-    .unwrap();
+    let dup_pid = DenialConstraint::parse(":- Pub(p, t1, c1), Pub(p, t2, c2), t1 != t2.").unwrap();
     let program = DenialConstraint::compile_all(&[title_dc(), dup_pid]);
     assert_eq!(program.len(), 4);
     let mut db = pub_db();
-    db.insert_values("Pub", [Value::Int(1), Value::str("Z"), Value::str("A")]).unwrap();
+    db.insert_values("Pub", [Value::Int(1), Value::str("Z"), Value::str("A")])
+        .unwrap();
     let repairer = Repairer::new(&mut db, program).unwrap();
     for sem in Semantics::ALL {
         let r = repairer.run(&db, sem);
@@ -113,7 +120,10 @@ fn interventions_seed_the_cascade() {
 
     let full = Repairer::new(&mut db, testkit::figure2_program()).unwrap();
     let reference = full.run(&db, Semantics::End);
-    assert!(delta_repairs::relationships::set_eq(&end.deleted, &reference.deleted));
+    assert!(delta_repairs::relationships::set_eq(
+        &end.deleted,
+        &reference.deleted
+    ));
 }
 
 /// Intervening on several tuples at once.
@@ -133,6 +143,11 @@ fn multi_tuple_intervention() {
     let end = repairer.run(&db, Semantics::End);
     assert_eq!(
         testkit::names_of(&db, &end.deleted),
-        ["Author(4, Marge)", "Author(5, Homer)", "Writes(4, 6)", "Writes(5, 7)"]
+        [
+            "Author(4, Marge)",
+            "Author(5, Homer)",
+            "Writes(4, 6)",
+            "Writes(5, 7)"
+        ]
     );
 }

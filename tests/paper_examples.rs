@@ -109,11 +109,29 @@ fn all_results_and_full_db_are_stabilizing() {
 fn example_1_2_stabilizing_sets() {
     let (db, repairer) = setup();
     let sets: [&[&str]; 4] = [
-        &["Author(4, Marge)", "Author(5, Homer)", "Writes(4, 6)", "Writes(5, 7)",
-          "Pub(6, x)", "Pub(7, y)", "Cite(7, 6)"],
-        &["Author(4, Marge)", "Author(5, Homer)", "Writes(4, 6)", "Writes(5, 7)",
-          "Pub(6, x)", "Pub(7, y)"],
-        &["Author(4, Marge)", "Author(5, Homer)", "Writes(4, 6)", "Writes(5, 7)"],
+        &[
+            "Author(4, Marge)",
+            "Author(5, Homer)",
+            "Writes(4, 6)",
+            "Writes(5, 7)",
+            "Pub(6, x)",
+            "Pub(7, y)",
+            "Cite(7, 6)",
+        ],
+        &[
+            "Author(4, Marge)",
+            "Author(5, Homer)",
+            "Writes(4, 6)",
+            "Writes(5, 7)",
+            "Pub(6, x)",
+            "Pub(7, y)",
+        ],
+        &[
+            "Author(4, Marge)",
+            "Author(5, Homer)",
+            "Writes(4, 6)",
+            "Writes(5, 7)",
+        ],
         &["AuthGrant(4, 2)", "AuthGrant(5, 2)"],
     ];
     for set in sets {
@@ -151,11 +169,16 @@ fn figure3_relationships_hold_on_the_running_example() {
     let [ind, step, stage, end] = repairer.run_all(&db);
     assert!(ind.size() <= step.size());
     assert!(ind.size() <= stage.size());
-    assert!(delta_repairs::relationships::is_subset(&step.deleted, &end.deleted));
-    assert!(delta_repairs::relationships::is_subset(&stage.deleted, &end.deleted));
+    assert!(delta_repairs::relationships::is_subset(
+        &step.deleted,
+        &end.deleted
+    ));
+    assert!(delta_repairs::relationships::is_subset(
+        &stage.deleted,
+        &end.deleted
+    ));
     assert!(
-        delta_repairs::relationships::check_figure3_invariants(&ind, &step, &stage, &end)
-            .is_none()
+        delta_repairs::relationships::check_figure3_invariants(&ind, &step, &stage, &end).is_none()
     );
 }
 
@@ -168,12 +191,19 @@ fn example_3_17_dc_violation_starts_deletion() {
     let mut s = Schema::new();
     s.relation(
         "Pub",
-        &[("pid", AttrType::Int), ("title", AttrType::Str), ("conf", AttrType::Str)],
+        &[
+            ("pid", AttrType::Int),
+            ("title", AttrType::Str),
+            ("conf", AttrType::Str),
+        ],
     );
     let mut db = Instance::new(s);
-    db.insert_values("Pub", [Value::Int(1), Value::str("X"), Value::str("C1")]).unwrap();
-    db.insert_values("Pub", [Value::Int(2), Value::str("X"), Value::str("C2")]).unwrap();
-    db.insert_values("Pub", [Value::Int(3), Value::str("Y"), Value::str("C1")]).unwrap();
+    db.insert_values("Pub", [Value::Int(1), Value::str("X"), Value::str("C1")])
+        .unwrap();
+    db.insert_values("Pub", [Value::Int(2), Value::str("X"), Value::str("C2")])
+        .unwrap();
+    db.insert_values("Pub", [Value::Int(3), Value::str("Y"), Value::str("C1")])
+        .unwrap();
     let program = delta_repairs::parse_program(
         "delta Pub(p1, t1, c1) :- Pub(p1, t1, c1), Pub(p2, t2, c2), t1 = t2, c1 != c2.",
     )

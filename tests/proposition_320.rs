@@ -18,7 +18,12 @@ fn prop_320_item1_independent_strictly_smaller() {
     assert_eq!(ind.size(), 1);
     assert_eq!(testkit::names_of(&db, &ind.deleted), ["R2(100)"]);
     for r in [&step, &stage, &end] {
-        assert_eq!(r.size(), n as usize, "{} must delete every R1 tuple", r.semantics);
+        assert_eq!(
+            r.size(),
+            n as usize,
+            "{} must delete every R1 tuple",
+            r.semantics
+        );
     }
     assert!(ind.size() < step.size() && ind.size() < stage.size());
 }
@@ -134,8 +139,12 @@ fn prop_39_stage_is_rule_order_independent() {
     let mut perm = base.clone();
     perm.rules.reverse();
     let mut db = testkit::figure1_instance();
-    let a = Repairer::new(&mut db, base).unwrap().run(&db, Semantics::Stage);
-    let b = Repairer::new(&mut db, perm).unwrap().run(&db, Semantics::Stage);
+    let a = Repairer::new(&mut db, base)
+        .unwrap()
+        .run(&db, Semantics::Stage);
+    let b = Repairer::new(&mut db, perm)
+        .unwrap()
+        .run(&db, Semantics::Stage);
     assert!(set_eq(&a.deleted, &b.deleted));
 }
 
@@ -146,8 +155,12 @@ fn end_is_rule_order_independent() {
     let mut perm = base.clone();
     perm.rules.rotate_left(2);
     let mut db = testkit::figure1_instance();
-    let a = Repairer::new(&mut db, base).unwrap().run(&db, Semantics::End);
-    let b = Repairer::new(&mut db, perm).unwrap().run(&db, Semantics::End);
+    let a = Repairer::new(&mut db, base)
+        .unwrap()
+        .run(&db, Semantics::End);
+    let b = Repairer::new(&mut db, perm)
+        .unwrap()
+        .run(&db, Semantics::End);
     assert!(set_eq(&a.deleted, &b.deleted));
 }
 
@@ -173,6 +186,11 @@ fn single_tuple_unique_stabilizing_set() {
     let repairer = Repairer::new(&mut db, program).unwrap();
     let results = repairer.run_all(&db);
     for r in &results {
-        assert_eq!(testkit::names_of(&db, &r.deleted), ["R1(7)"], "{}", r.semantics);
+        assert_eq!(
+            testkit::names_of(&db, &r.deleted),
+            ["R1(7)"],
+            "{}",
+            r.semantics
+        );
     }
 }

@@ -3,7 +3,9 @@
 //! finite universe, so every fixpoint terminates. Only the provenance
 //! *size* guarantees weaken, which `datalog::analyze` reports.
 
-use delta_repairs::{analyze, parse_program, AttrType, Instance, Repairer, Schema, Semantics, Value};
+use delta_repairs::{
+    analyze, parse_program, AttrType, Instance, Repairer, Schema, Semantics, Value,
+};
 
 /// Transitive deletion over a graph: deleting a node deletes its
 /// out-neighbours, recursively — `ΔNode` depends on itself.
@@ -16,7 +18,8 @@ fn reachability_setup(chain: usize) -> (Instance, delta_repairs::Program) {
         db.insert_values("Node", [Value::Int(v)]).unwrap();
     }
     for v in 0..chain as i64 - 1 {
-        db.insert_values("Edge", [Value::Int(v), Value::Int(v + 1)]).unwrap();
+        db.insert_values("Edge", [Value::Int(v), Value::Int(v + 1)])
+            .unwrap();
     }
     let program = parse_program(
         "delta Node(v) :- Node(v), v = 0.
@@ -83,7 +86,10 @@ fn disconnected_nodes_survive_the_recursive_cascade() {
     // An island: node 100 with no incoming edge.
     db.insert_values("Node", [Value::Int(100)]).unwrap();
     let repairer = Repairer::new(&mut db, program).unwrap();
-    let island = db.all_tuple_ids().find(|&t| db.display_tuple(t) == "Node(100)").unwrap();
+    let island = db
+        .all_tuple_ids()
+        .find(|&t| db.display_tuple(t) == "Node(100)")
+        .unwrap();
     for sem in Semantics::ALL {
         let r = repairer.run(&db, sem);
         assert!(!r.contains(island), "{sem} must spare the island");

@@ -91,8 +91,7 @@ fn program_print_parse_round_trip() {
     for src in sources {
         let p1 = parse_program(src).unwrap_or_else(|e| panic!("{src}: {e}"));
         let printed = p1.to_string();
-        let p2 = parse_program(&printed)
-            .unwrap_or_else(|e| panic!("re-parse of {printed:?}: {e}"));
+        let p2 = parse_program(&printed).unwrap_or_else(|e| panic!("re-parse of {printed:?}: {e}"));
         assert_eq!(p1, p2, "round trip changed the program: {printed}");
     }
 }
@@ -103,7 +102,12 @@ fn program_print_parse_round_trip() {
 #[test]
 fn parser_and_validator_reject_bad_programs() {
     // Purely syntactic failures.
-    for src in ["delta R(x) :- .", "delta R(x) :-", "delta :- R(x).", "delta R(x)"] {
+    for src in [
+        "delta R(x) :- .",
+        "delta R(x) :-",
+        "delta :- R(x).",
+        "delta R(x)",
+    ] {
         assert!(parse_program(src).is_err(), "{src:?} should fail to parse");
     }
 

@@ -133,7 +133,10 @@ fn greedy_incumbent_quality_on_hitting_sets() {
         .expect("all-true satisfies");
     let fast = solve_min_ones(
         &cnf,
-        &MinOnesOptions { first_solution_only: true, ..MinOnesOptions::default() },
+        &MinOnesOptions {
+            first_solution_only: true,
+            ..MinOnesOptions::default()
+        },
     )
     .solution()
     .expect("satisfiable");

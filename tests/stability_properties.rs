@@ -8,7 +8,9 @@
 //! * the heuristic algorithms never beat the exact references, and the
 //!   exact references never beat independent semantics.
 
-use delta_repairs::{parse_program, AttrType, Instance, Program, Repairer, Schema, Semantics, Value};
+use delta_repairs::{
+    parse_program, AttrType, Instance, Program, Repairer, Schema, Semantics, Value,
+};
 use proptest::prelude::*;
 
 /// A pool of well-formed delta rules over the schema
@@ -42,7 +44,8 @@ fn build_db(r: &[i64], s: &[(i64, i64)], t: &[i64]) -> Instance {
         db.insert_values("R", [Value::Int(v)]).unwrap();
     }
     for &(a, b) in s {
-        db.insert_values("S", [Value::Int(a), Value::Int(b)]).unwrap();
+        db.insert_values("S", [Value::Int(a), Value::Int(b)])
+            .unwrap();
     }
     for &v in t {
         db.insert_values("T", [Value::Int(v)]).unwrap();

@@ -52,12 +52,24 @@ fn same_event_triggers_depend_on_ordering() {
 
     // PostgreSQL: `a_…` fires before `b_…` regardless of intent.
     let author_first = vec![
-        Trigger { name: "a_authors".into(), rule: 0 },
-        Trigger { name: "b_links".into(), rule: 1 },
+        Trigger {
+            name: "a_authors".into(),
+            rule: 0,
+        },
+        Trigger {
+            name: "b_links".into(),
+            rule: 1,
+        },
     ];
     let link_first = vec![
-        Trigger { name: "a_links".into(), rule: 1 },
-        Trigger { name: "b_authors".into(), rule: 0 },
+        Trigger {
+            name: "a_links".into(),
+            rule: 1,
+        },
+        Trigger {
+            name: "b_authors".into(),
+            rule: 0,
+        },
     ];
     let pg1 = run_triggers(&db, ev, &author_first, FiringOrder::Alphabetical);
     let pg2 = run_triggers(&db, ev, &link_first, FiringOrder::Alphabetical);
@@ -91,7 +103,12 @@ fn trigger_cascades_stabilize_but_over_delete() {
     let program = testkit::figure2_program();
     let repairer = Repairer::new(&mut db, program.clone()).unwrap();
     let triggers = triggers_from_program(&program);
-    let run = run_triggers(&db, repairer.evaluator(), &triggers, FiringOrder::CreationOrder);
+    let run = run_triggers(
+        &db,
+        repairer.evaluator(),
+        &triggers,
+        FiringOrder::CreationOrder,
+    );
     assert!(run.stable);
     assert!(repairer.verify_stabilizing(&db, &run.deleted));
     let step = repairer.run(&db, Semantics::Step);
@@ -113,7 +130,12 @@ fn triggers_are_noops_on_stable_databases() {
     .unwrap();
     let repairer = Repairer::new(&mut db, program.clone()).unwrap();
     let triggers = triggers_from_program(&program);
-    let run = run_triggers(&db, repairer.evaluator(), &triggers, FiringOrder::Alphabetical);
+    let run = run_triggers(
+        &db,
+        repairer.evaluator(),
+        &triggers,
+        FiringOrder::Alphabetical,
+    );
     assert!(run.deleted.is_empty());
     assert_eq!(run.activations, 0);
     assert!(run.stable);
@@ -131,7 +153,12 @@ fn activation_counting() {
     .unwrap();
     let repairer = Repairer::new(&mut db, program.clone()).unwrap();
     let triggers = triggers_from_program(&program);
-    let run = run_triggers(&db, repairer.evaluator(), &triggers, FiringOrder::CreationOrder);
+    let run = run_triggers(
+        &db,
+        repairer.evaluator(),
+        &triggers,
+        FiringOrder::CreationOrder,
+    );
     // Seed statement (1 activation) + reactive trigger on the deleted grant
     // (1 activation deleting both AuthGrant rows at once).
     assert_eq!(run.activations, 2);

@@ -12,8 +12,10 @@ fn reduction_db(n: usize, edges: &[(i64, i64)]) -> Instance {
     s.relation("VC", &[("v", AttrType::Int)]);
     let mut db = Instance::new(s);
     for &(u, v) in edges {
-        db.insert_values("E", [Value::Int(u), Value::Int(v)]).unwrap();
-        db.insert_values("E", [Value::Int(v), Value::Int(u)]).unwrap();
+        db.insert_values("E", [Value::Int(u), Value::Int(v)])
+            .unwrap();
+        db.insert_values("E", [Value::Int(v), Value::Int(u)])
+            .unwrap();
     }
     for v in 0..n as i64 {
         db.insert_values("VC", [Value::Int(v)]).unwrap();
@@ -25,8 +27,11 @@ fn reduction_db(n: usize, edges: &[(i64, i64)]) -> Instance {
 fn min_vertex_cover(n: usize, edges: &[(i64, i64)]) -> usize {
     (0..=n)
         .find(|&k| {
-            subsets_of_size(n, k)
-                .any(|mask| edges.iter().all(|&(u, v)| mask & (1 << u) != 0 || mask & (1 << v) != 0))
+            subsets_of_size(n, k).any(|mask| {
+                edges
+                    .iter()
+                    .all(|&(u, v)| mask & (1 << u) != 0 || mask & (1 << v) != 0)
+            })
         })
         .expect("the full vertex set is always a cover")
 }

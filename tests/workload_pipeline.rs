@@ -8,7 +8,10 @@ use delta_repairs::relationships::{check_figure3_invariants, is_subset, set_eq};
 use delta_repairs::workloads::{mas_programs, tpch_programs, ProgramClass, Workload};
 use delta_repairs::{Instance, Repairer};
 
-fn run_workload(base: &Instance, w: &Workload) -> (Instance, Repairer, [delta_repairs::RepairResult; 4]) {
+fn run_workload(
+    base: &Instance,
+    w: &Workload,
+) -> (Instance, Repairer, [delta_repairs::RepairResult; 4]) {
     let mut db = base.clone();
     let repairer = Repairer::new(&mut db, w.program.clone())
         .unwrap_or_else(|e| panic!("workload {}: {e}", w.name));
@@ -54,7 +57,11 @@ fn all_tpch_workloads_stabilize_and_satisfy_figure3() {
                 r.semantics
             );
         }
-        assert!(check_figure3_invariants(&ind, &step, &stage, &end).is_none(), "{}", w.name);
+        assert!(
+            check_figure3_invariants(&ind, &step, &stage, &end).is_none(),
+            "{}",
+            w.name
+        );
     }
 }
 
@@ -69,14 +76,26 @@ fn table3_structural_rows() {
     // tuple, so Ind ⊄ Stage and Ind ⊄ Step (the paper's ✗ ✗ row).
     let (_, _, [ind, step, stage, _]) = run_workload(&data.db, by_name("mas-02"));
     assert_eq!(ind.size(), 1);
-    assert!(!is_subset(&ind.deleted, &stage.deleted), "mas-02: Ind ⊄ Stage");
-    assert!(!is_subset(&ind.deleted, &step.deleted), "mas-02: Ind ⊄ Step");
+    assert!(
+        !is_subset(&ind.deleted, &stage.deleted),
+        "mas-02: Ind ⊄ Stage"
+    );
+    assert!(
+        !is_subset(&ind.deleted, &step.deleted),
+        "mas-02: Ind ⊄ Step"
+    );
 
     // Programs 3: two rules share a body; stage deletes both relations,
     // step deletes one tuple — Step ≠ Stage but Ind ⊆ Step (✗ ✓ ✓ row).
     let (_, _, [ind3, step3, stage3, _]) = run_workload(&data.db, by_name("mas-03"));
-    assert!(!set_eq(&step3.deleted, &stage3.deleted), "mas-03: Step ≠ Stage");
-    assert!(is_subset(&ind3.deleted, &step3.deleted), "mas-03: Ind ⊆ Step");
+    assert!(
+        !set_eq(&step3.deleted, &stage3.deleted),
+        "mas-03: Step ≠ Stage"
+    );
+    assert!(
+        is_subset(&ind3.deleted, &step3.deleted),
+        "mas-03: Ind ⊆ Step"
+    );
     assert_eq!(ind3.size(), 1);
     assert_eq!(step3.size(), 1);
 
@@ -84,8 +103,14 @@ fn table3_structural_rows() {
     // three containments hold (the ✓ ✓ ✓ rows) and all four sizes agree.
     for name in ["mas-16", "mas-17", "mas-18", "mas-19", "mas-20"] {
         let (_, _, [ind, step, stage, end]) = run_workload(&data.db, by_name(name));
-        assert!(set_eq(&step.deleted, &stage.deleted), "{name}: Step = Stage");
-        assert!(is_subset(&ind.deleted, &stage.deleted), "{name}: Ind ⊆ Stage");
+        assert!(
+            set_eq(&step.deleted, &stage.deleted),
+            "{name}: Step = Stage"
+        );
+        assert!(
+            is_subset(&ind.deleted, &stage.deleted),
+            "{name}: Ind ⊆ Stage"
+        );
         assert!(is_subset(&ind.deleted, &step.deleted), "{name}: Ind ⊆ Step");
         assert_eq!(ind.size(), end.size(), "{name}: cascades leave no choice");
     }
@@ -115,7 +140,11 @@ fn workload_classes_cover_all_three() {
     let data = mas::generate(&MasConfig::scaled(0.02));
     let workloads = mas_programs(&data);
     assert_eq!(workloads.len(), 20);
-    for class in [ProgramClass::DcLike, ProgramClass::Cascade, ProgramClass::Mixed] {
+    for class in [
+        ProgramClass::DcLike,
+        ProgramClass::Cascade,
+        ProgramClass::Mixed,
+    ] {
         assert!(
             workloads.iter().any(|w| w.class == class),
             "missing class {class:?}"
