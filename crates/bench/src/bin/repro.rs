@@ -14,6 +14,11 @@
 //!   table5    residual DC violations after repair (Table 5)
 //!   fig10     runtime scaling vs #errors and #rows (Figure 10a/10b)
 //!   all       everything above
+//!
+//!   bench-json  emit this repository's BENCH_*.json perf record to stdout
+//!               (not part of `all`). Env: BENCH_JSON_MODE names the run
+//!               key (default "serial"); BENCH_JSON_QUICK=1 shortens the
+//!               measurement for CI smoke — never commit quick numbers.
 //! ```
 //!
 //! Scales via `REPRO_MAS_SCALE` / `REPRO_TPCH_SCALE` / `REPRO_ROWS`
@@ -49,9 +54,29 @@ fn main() {
             "table4" => table4_and_5(false),
             "table5" => table4_and_5(true),
             "fig10" => fig10(),
+            "bench-json" => bench_json(),
             other => eprintln!("unknown experiment `{other}` (see --help text in source)"),
         }
     }
+}
+
+/// Emit the `BENCH_*.json` perf record for this build to stdout. Progress
+/// goes to stderr so the JSON can be redirected to a file directly.
+fn bench_json() {
+    let mode = std::env::var("BENCH_JSON_MODE").unwrap_or_else(|_| "serial".to_owned());
+    let quick = std::env::var("BENCH_JSON_QUICK").is_ok_and(|v| v == "1");
+    eprintln!(
+        "bench-json: mode `{mode}`{} — fig7 MAS (0.02) + fig9b TPC-H (0.01)",
+        if quick { " (quick)" } else { "" }
+    );
+    let records = bench::bench_json_records(quick);
+    for r in &records {
+        eprintln!(
+            "  {:<55} {:>14.1} ns ({} iters)",
+            r.bench, r.mean_ns, r.iterations
+        );
+    }
+    print!("{}", bench::render_bench_json(&mode, &records));
 }
 
 fn banner(title: &str) {

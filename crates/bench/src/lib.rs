@@ -132,6 +132,123 @@ pub const SEM_ORDER: [Semantics; 4] = [
     Semantics::End,
 ];
 
+// ---------------------------------------------------------------------------
+// BENCH_*.json emission (`repro bench-json`).
+// ---------------------------------------------------------------------------
+
+/// One measured benchmark in the `BENCH_*.json` schema.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Full bench id, e.g. `fig7_mas_semantics/independent/mas-08`.
+    pub bench: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations measured.
+    pub iterations: u64,
+}
+
+/// The criterion shim's measurement loop, re-exported so `BENCH_*.json`
+/// records are timed exactly like the criterion benches.
+pub use criterion::measure_mean_ns;
+
+/// Run the repository's perf-tracking bench set — the same workloads and
+/// groups as the `semantics_mas` (MAS scale 0.02) and `semantics_tpch`
+/// (TPC-H scale 0.01) criterion benches — and return the records.
+/// `quick` shortens warm-up/measurement for CI smoke runs; committed
+/// `BENCH_*.json` files must use `quick = false`.
+pub fn bench_json_records(quick: bool) -> Vec<BenchRecord> {
+    use std::time::Duration;
+    let (warm, meas, iters) = if quick {
+        (Duration::from_millis(30), Duration::from_millis(100), 3)
+    } else {
+        (Duration::from_millis(400), Duration::from_millis(1200), 10)
+    };
+    let mut records = Vec::new();
+    let mut run_group = |group: &str, db: &Instance, workloads: &[Workload], names: &[&str]| {
+        for name in names {
+            let w = workloads
+                .iter()
+                .find(|w| w.name == *name)
+                .expect("workload present");
+            let (db, repairer) = repairer_for(db, w);
+            for sem in SEM_ORDER {
+                let (mean_ns, iterations) = measure_mean_ns(warm, meas, iters, || {
+                    std::hint::black_box(repairer.run(&db, sem).size());
+                });
+                records.push(BenchRecord {
+                    bench: format!("{group}/{}/{name}", sem.name()),
+                    mean_ns,
+                    iterations,
+                });
+            }
+        }
+    };
+    let mas = MasLab::at_scale(0.02);
+    run_group(
+        "fig7_mas_semantics",
+        &mas.data.db,
+        &mas.workloads,
+        &["mas-02", "mas-08", "mas-11", "mas-20"],
+    );
+    let tpch = TpchLab::at_scale(0.01);
+    run_group(
+        "fig9b_tpch_semantics",
+        &tpch.data.db,
+        &tpch.workloads,
+        &["tpch-2", "tpch-4", "tpch-5"],
+    );
+    records
+}
+
+/// `(year, month, day)` of a Unix timestamp (civil-from-days, UTC).
+fn civil_date(secs: u64) -> (i64, u32, u32) {
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Render one mode's records in the committed `BENCH_*.json` layout. Files
+/// with several modes (serial + parallel builds) are produced by one
+/// invocation per mode and merging the `runs` objects; see EXPERIMENTS.md.
+pub fn render_bench_json(mode: &str, records: &[BenchRecord]) -> String {
+    use std::fmt::Write as _;
+    let (y, m, d) = civil_date(
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+    );
+    let hardware = std::env::var("BENCH_JSON_HARDWARE").unwrap_or_else(|_| {
+        "CI container, 1 vCPU (parallel speedup not observable here; see EXPERIMENTS.md)".to_owned()
+    });
+    let mut out = String::new();
+    out.push_str("{\n \"meta\": {\n");
+    let _ = writeln!(out, "  \"date\": \"{y:04}-{m:02}-{d:02}\",");
+    let _ = writeln!(out, "  \"hardware\": \"{hardware}\",");
+    out.push_str(
+        "  \"benches\": [\n   \"semantics_mas (fig7, scale 0.02)\",\n   \"semantics_tpch (fig9, scale 0.01)\"\n  ],\n");
+    out.push_str("  \"unit\": \"mean_ns per repairer.run()\"\n },\n \"runs\": {\n");
+    let _ = writeln!(out, "  \"{mode}\": [");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "   {{\n    \"bench\": \"{}\",\n    \"mean_ns\": {:.1},\n    \"iterations\": {}\n   }}{comma}",
+            r.bench, r.mean_ns, r.iterations
+        );
+    }
+    out.push_str("  ]\n }\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +278,49 @@ mod tests {
     fn env_parsing_defaults() {
         assert_eq!(env_f64("REPRO_NO_SUCH_VAR_XYZ", 0.25), 0.25);
         assert_eq!(env_usize("REPRO_NO_SUCH_VAR_XYZ", 7), 7);
+    }
+
+    #[test]
+    fn civil_date_known_values() {
+        assert_eq!(civil_date(0), (1970, 1, 1));
+        assert_eq!(civil_date(86_400), (1970, 1, 2));
+        // 2026-07-30 00:00:00 UTC.
+        assert_eq!(civil_date(1_785_369_600), (2026, 7, 30));
+    }
+
+    #[test]
+    fn bench_json_renders_parseable_schema() {
+        let records = vec![
+            BenchRecord {
+                bench: "fig7_mas_semantics/end/mas-02".into(),
+                mean_ns: 1234.5,
+                iterations: 100,
+            },
+            BenchRecord {
+                bench: "fig9b_tpch_semantics/step/tpch-5".into(),
+                mean_ns: 9.0,
+                iterations: 3,
+            },
+        ];
+        let out = render_bench_json("serial", &records);
+        // Structural spot-checks (no JSON parser in the offline build).
+        assert!(out.contains("\"runs\""));
+        assert!(out.contains("\"serial\": ["));
+        assert!(out.contains("\"bench\": \"fig7_mas_semantics/end/mas-02\""));
+        assert!(out.contains("\"mean_ns\": 1234.5"));
+        assert!(out.contains("\"iterations\": 3"));
+        assert_eq!(out.matches("\"bench\"").count(), 2);
+    }
+
+    #[test]
+    fn measure_mean_ns_runs_at_least_min_iters() {
+        use std::time::Duration;
+        let mut n = 0u64;
+        let (mean, iters) =
+            measure_mean_ns(Duration::ZERO, Duration::ZERO, 5, || n = n.wrapping_add(1));
+        assert!(iters >= 5);
+        assert!(mean >= 0.0);
+        assert!(n >= 5);
     }
 
     #[test]

@@ -27,9 +27,9 @@
 //! enumeration order, so results — including the assignment stream, layer
 //! numbers and round counts — are bit-for-bit identical to serial runs.
 
-use datalog::{Assignment, DeltaFrontier, Evaluator, Mode};
+use datalog::{Assignment, DeltaFrontier, EvalScratch, Evaluator, Mode};
 use std::collections::HashMap;
-use storage::{Instance, State, TupleId};
+use storage::{FxHashSet, Instance, State, TupleId};
 
 /// When (and whether) derived deletions are folded into the running state.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -136,10 +136,14 @@ impl<'e> FixpointDriver<'e> {
     fn run_semi_naive(&self, db: &Instance, mut state: State) -> FixpointOutcome {
         let mut assignments: Vec<Assignment> = Vec::new();
         let mut layers: HashMap<TupleId, u32> = HashMap::new();
+        // One scratch serves every enumeration round of this run; `queued`
+        // dedups heads in O(1) instead of a linear scan per assignment.
+        let mut scratch = EvalScratch::new();
+        let mut queued: FxHashSet<TupleId> = FxHashSet::default();
 
         let mut new_heads: Vec<TupleId> = Vec::new();
-        self.enumerate(db, &state, Round::Base, |a| {
-            if !state.in_delta(a.head) && !new_heads.contains(&a.head) {
+        self.enumerate(db, &state, Round::Base, &mut scratch, |a| {
+            if !state.in_delta(a.head) && queued.insert(a.head) {
                 new_heads.push(a.head);
             }
             if self.record {
@@ -159,9 +163,10 @@ impl<'e> FixpointDriver<'e> {
                 }
             }
             rounds += 1;
+            queued.clear();
             let mut next: Vec<TupleId> = Vec::new();
-            self.enumerate(db, &state, Round::Frontier(&frontier), |a| {
-                if !state.in_delta(a.head) && !next.contains(&a.head) {
+            self.enumerate(db, &state, Round::Frontier(&frontier), &mut scratch, |a| {
+                if !state.in_delta(a.head) && queued.insert(a.head) {
                     next.push(a.head);
                 }
                 if self.record {
@@ -194,6 +199,8 @@ impl<'e> FixpointDriver<'e> {
         let mut layers: HashMap<TupleId, u32> = HashMap::new();
         let mut rounds = 0u32;
         let mut productive = 0u32;
+        let mut scratch = EvalScratch::new();
+        let mut queued: FxHashSet<TupleId> = FxHashSet::default();
         loop {
             rounds += 1;
             if self.record {
@@ -201,14 +208,15 @@ impl<'e> FixpointDriver<'e> {
                 // the final (complete) enumeration is kept.
                 assignments.clear();
             }
+            queued.clear();
             let mut new_heads: Vec<TupleId> = Vec::new();
-            self.enumerate(db, &state, Round::Full, |a| {
+            self.enumerate(db, &state, Round::Full, &mut scratch, |a| {
                 let fresh = if per_stage {
                     state.is_present(a.head)
                 } else {
                     !state.in_delta(a.head)
                 };
-                if fresh && !new_heads.contains(&a.head) {
+                if fresh && queued.insert(a.head) {
                     new_heads.push(a.head);
                 }
                 if self.record {
@@ -272,6 +280,7 @@ impl<'e> FixpointDriver<'e> {
         db: &Instance,
         state: &State,
         round: Round<'_>,
+        scratch: &mut EvalScratch,
         mut f: impl FnMut(&Assignment),
     ) {
         let mode = self.policy.mode();
@@ -294,13 +303,15 @@ impl<'e> FixpointDriver<'e> {
             true
         };
         match round {
-            Round::Full => self.ev.for_each_assignment(db, state, mode, &mut cb),
+            Round::Full => self
+                .ev
+                .for_each_assignment_with(db, state, mode, scratch, &mut cb),
             Round::Base => self
                 .ev
-                .for_each_base_rule_assignment(db, state, mode, &mut cb),
+                .for_each_base_rule_assignment_with(db, state, mode, scratch, &mut cb),
             Round::Frontier(fr) => self
                 .ev
-                .for_each_frontier_assignment(db, state, mode, fr, &mut cb),
+                .for_each_frontier_assignment_with(db, state, mode, fr, scratch, &mut cb),
         };
     }
 }

@@ -14,11 +14,10 @@
 
 use crate::result::PhaseBreakdown;
 use datalog::{Evaluator, Mode};
-use provenance::ProvFormula;
+use provenance::{ProvFormula, ProvFormulaBuilder};
 use sat::{solve_min_ones, Cnf, Lit, MinOnesOptions, Outcome};
-use std::collections::HashMap;
 use std::time::Instant;
-use storage::{Instance, State, TupleId};
+use storage::{FxHashMap, Instance, State, TupleId};
 
 /// Outcome of Algorithm 1.
 #[derive(Debug)]
@@ -39,21 +38,22 @@ pub struct IndependentOutcome {
 
 /// Run Algorithm 1 with the given solver options.
 pub fn run(db: &Instance, ev: &Evaluator, opts: &MinOnesOptions) -> IndependentOutcome {
-    // Phase 1: Eval — provenance of all possible delta tuples.
+    // Phase 1: Eval — provenance of all possible delta tuples, folded into
+    // clauses as they stream out of the evaluator (no assignment vector).
     let t0 = Instant::now();
     let state0 = db.initial_state();
-    let mut assignments = Vec::new();
+    let mut builder = ProvFormulaBuilder::new();
     ev.for_each_assignment(db, &state0, Mode::Hypothetical, &mut |a| {
-        assignments.push(a.clone());
+        builder.add(a);
         true
     });
     let eval = t0.elapsed();
 
     // Phase 2: Process Prov — negated formula as CNF over deletion vars.
     let t1 = Instant::now();
-    let formula = ProvFormula::from_assignments(assignments.iter());
+    let formula = builder.finish();
     let universe = formula.tuple_universe();
-    let var_of: HashMap<TupleId, u32> = universe
+    let var_of: FxHashMap<TupleId, u32> = universe
         .iter()
         .enumerate()
         .map(|(i, &t)| (t, i as u32))
@@ -63,9 +63,35 @@ pub fn run(db: &Instance, ev: &Evaluator, opts: &MinOnesOptions) -> IndependentO
     for clause in formula.clauses() {
         lits.clear();
         // ¬(pos present ∧ neg deleted) = ⋁ del(pos) ∨ ⋁ ¬del(neg).
-        lits.extend(clause.pos.iter().map(|t| Lit::pos(var_of[t])));
-        lits.extend(clause.neg.iter().map(|t| Lit::neg(var_of[t])));
-        cnf.add_clause(&lits);
+        // Both sides are tuple-sorted and `var_of` is monotone in tuple
+        // order, so merging the two ascending literal runs yields a sorted,
+        // duplicate-free, tautology-free clause (contradictions were
+        // dropped by the formula builder) — no per-clause sort needed.
+        let mut pos = clause.pos.iter().map(|t| Lit::pos(var_of[t])).peekable();
+        let mut neg = clause.neg.iter().map(|t| Lit::neg(var_of[t])).peekable();
+        loop {
+            match (pos.peek(), neg.peek()) {
+                (Some(&p), Some(&n)) => {
+                    if p < n {
+                        lits.push(p);
+                        pos.next();
+                    } else {
+                        lits.push(n);
+                        neg.next();
+                    }
+                }
+                (Some(_), None) => {
+                    lits.extend(pos.by_ref());
+                    break;
+                }
+                (None, Some(_)) => {
+                    lits.extend(neg.by_ref());
+                    break;
+                }
+                (None, None) => break,
+            }
+        }
+        cnf.add_clause_presorted(&lits);
     }
     let process = t1.elapsed();
 

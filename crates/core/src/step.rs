@@ -45,18 +45,18 @@ pub fn run_greedy(db: &Instance, ev: &Evaluator) -> StepOutcome {
     let t2 = Instant::now();
     let mut selected: Vec<TupleId> = Vec::new();
     for layer in 1..=graph.num_layers() {
-        loop {
-            let candidates = graph.alive_unselected_in_layer(layer);
-            // The loop ends when every remaining delta node of the layer
-            // belongs to an already-selected tuple.
-            let Some(tm) = candidates
-                .into_iter()
-                .max_by_key(|&t| (graph.benefit(t), std::cmp::Reverse(t)))
-            else {
-                break;
-            };
-            selected.push(tm);
-            graph.select(tm);
+        // Benefits never change during selection (they read the static
+        // edge lists), so "repeatedly take the max-benefit live candidate"
+        // equals one descending sort of the layer followed by a single
+        // sweep that skips nodes pruned by earlier selections — identical
+        // selection order at a fraction of the rescans.
+        let mut candidates = graph.alive_unselected_in_layer(layer);
+        candidates.sort_by_cached_key(|&t| (std::cmp::Reverse(graph.benefit(t)), t));
+        for t in candidates {
+            if graph.is_alive(t) {
+                selected.push(t);
+                graph.select(t);
+            }
         }
     }
     let solve = t2.elapsed();

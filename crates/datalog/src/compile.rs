@@ -5,11 +5,19 @@
 //! delta atom forced to range over the semi-naive frontier) a greedy join
 //! order is precomputed along with the earliest step at which each
 //! comparison can be checked.
+//!
+//! Beyond the join *order*, each plan step carries a [`ProbeSpec`]: the
+//! complete static analysis of what is bound when the step runs. Which
+//! columns hold already-known values (and therefore form a composite index
+//! key), which columns bind fresh variables, and which columns repeat a
+//! variable first seen earlier *in the same atom*. The evaluator executes
+//! these precompiled probes directly — it never rediscovers bound columns,
+//! never consults a runtime binding trail, and filters candidate rows by a
+//! multi-column index instead of one column plus tuple-by-tuple checks.
 
 use crate::ast::{CmpOp, Rule, Term};
 use crate::validate::head_witness;
-use std::collections::HashMap;
-use storage::{RelId, Schema, Sym, Value};
+use storage::{FxHashMap, IndexId, RelId, Schema, Sym, Value};
 
 /// A positional term: variable index or constant.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -42,6 +50,50 @@ pub struct CompiledCmp {
     pub rhs: Slot,
 }
 
+/// Restriction applied to one delta atom during semi-naive enumeration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeltaClass {
+    /// Deltas known before the current round (Δ \ frontier).
+    Old,
+    /// Deltas derived in the previous round (the frontier).
+    New,
+    /// All current deltas.
+    All,
+}
+
+/// The static probe analysis of one plan step: given everything bound by
+/// the preceding steps, how the step's atom is matched against storage.
+#[derive(Clone, Debug)]
+pub struct ProbeSpec {
+    /// Columns whose value is known when the step runs (constants or
+    /// variables bound earlier), strictly ascending. Together they are the
+    /// composite-index key; empty means the step is a full generator.
+    pub key_cols: Vec<usize>,
+    /// How to produce each key column's value, parallel to `key_cols`.
+    /// `Slot::Var` here always refers to an already-bound variable.
+    pub key_slots: Vec<Slot>,
+    /// `(column, variable)` pairs bound fresh by this step — the first
+    /// occurrence of each new variable, in column order. Because boundness
+    /// is static, the evaluator needs no undo trail: the next candidate row
+    /// simply overwrites these slots.
+    pub bind_cols: Vec<(usize, u32)>,
+    /// `(column, earlier column)` pairs where a variable first bound at
+    /// this step's `earlier column` repeats: the two tuple positions must
+    /// be equal.
+    pub same_cols: Vec<(usize, usize)>,
+    /// Composite index over `key_cols` in the atom's relation; resolved by
+    /// [`crate::eval::Evaluator::new`] (compilation sees only the schema).
+    /// Unused when `key_cols` is empty.
+    pub index: IndexId,
+}
+
+impl ProbeSpec {
+    /// Does the spec probe an index (vs. scan)?
+    pub fn is_probe(&self) -> bool {
+        !self.key_cols.is_empty()
+    }
+}
+
 /// A join order for one rule, possibly specialized to a frontier focus.
 #[derive(Clone, Debug)]
 pub struct Plan {
@@ -50,6 +102,8 @@ pub struct Plan {
     /// `cmps_after[k]` lists comparison indexes checkable right after the
     /// `k`-th atom of `order` binds.
     pub cmps_after: Vec<Vec<usize>>,
+    /// `probes[k]` is the static probe analysis of the `k`-th step.
+    pub probes: Vec<ProbeSpec>,
 }
 
 /// A fully compiled rule.
@@ -69,13 +123,20 @@ pub struct CompiledRule {
     pub general: Plan,
     /// `focused[i]` is the plan whose first atom is `delta_positions[i]`.
     pub focused: Vec<Plan>,
+    /// Per-atom delta classes of the general plan: everything `All`.
+    pub general_classes: Vec<DeltaClass>,
+    /// `focused_classes[i]` are the per-atom delta classes when
+    /// `delta_positions[i]` is the frontier focus (earlier delta atoms
+    /// range over old deltas, the focus over the frontier, later ones over
+    /// all — the partition that makes each assignment appear exactly once).
+    pub focused_classes: Vec<Vec<DeltaClass>>,
     /// True when a constant-only comparison is false: the rule can never
     /// fire.
     pub never_fires: bool,
 }
 
 struct VarMap {
-    map: HashMap<Sym, u32>,
+    map: FxHashMap<Sym, u32>,
 }
 
 impl VarMap {
@@ -125,6 +186,42 @@ fn cmp_ready(c: &CompiledCmp, bound: &[bool]) -> bool {
     ok(&c.lhs) && ok(&c.rhs)
 }
 
+/// Static probe analysis for `atom`, given the variables bound before the
+/// step (`bound`). Classifies every column exactly once: known value →
+/// index key; fresh variable → binding column; repeat of a variable first
+/// bound at an earlier column of *this* atom → intra-atom equality.
+fn probe_spec(atom: &CompiledAtom, bound: &[bool]) -> ProbeSpec {
+    let mut spec = ProbeSpec {
+        key_cols: Vec::new(),
+        key_slots: Vec::new(),
+        bind_cols: Vec::new(),
+        same_cols: Vec::new(),
+        index: 0,
+    };
+    // Variable → column of its first occurrence within this atom.
+    let mut first_col: FxHashMap<u32, usize> = FxHashMap::default();
+    for (col, slot) in atom.slots.iter().enumerate() {
+        match slot {
+            Slot::Const(_) => {
+                spec.key_cols.push(col);
+                spec.key_slots.push(*slot);
+            }
+            Slot::Var(x) => {
+                if bound[*x as usize] {
+                    spec.key_cols.push(col);
+                    spec.key_slots.push(*slot);
+                } else if let Some(&earlier) = first_col.get(x) {
+                    spec.same_cols.push((col, earlier));
+                } else {
+                    first_col.insert(*x, col);
+                    spec.bind_cols.push((col, *x));
+                }
+            }
+        }
+    }
+    spec
+}
+
 fn make_plan(
     atoms: &[CompiledAtom],
     cmps: &[CompiledCmp],
@@ -149,11 +246,14 @@ fn make_plan(
         used[best] = true;
         bind_atom(&atoms[best], &mut bound);
     }
-    // Schedule comparisons at the earliest step where both sides are bound.
+    // Schedule comparisons at the earliest step where both sides are bound,
+    // and compute each step's probe spec from the variables bound before it.
     let mut cmps_after = vec![Vec::new(); n.max(1)];
+    let mut probes = Vec::with_capacity(n);
     let mut assigned = vec![false; cmps.len()];
     let mut bound = vec![false; n_vars];
     for (k, &ai) in order.iter().enumerate() {
+        probes.push(probe_spec(&atoms[ai], &bound));
         bind_atom(&atoms[ai], &mut bound);
         for (ci, c) in cmps.iter().enumerate() {
             if !assigned[ci] && cmp_ready(c, &bound) {
@@ -162,13 +262,17 @@ fn make_plan(
             }
         }
     }
-    Plan { order, cmps_after }
+    Plan {
+        order,
+        cmps_after,
+        probes,
+    }
 }
 
 /// Compile a validated rule against `schema`.
 pub fn compile_rule(schema: &Schema, rule: &Rule) -> CompiledRule {
     let mut vm = VarMap {
-        map: HashMap::new(),
+        map: FxHashMap::default(),
     };
     let atoms: Vec<CompiledAtom> = rule
         .body
@@ -200,9 +304,30 @@ pub fn compile_rule(schema: &Schema, rule: &Rule) -> CompiledRule {
         .map(|(i, _)| i)
         .collect();
     let general = make_plan(&atoms, &cmps, n_vars, None);
-    let focused = delta_positions
+    let focused: Vec<Plan> = delta_positions
         .iter()
         .map(|&j| make_plan(&atoms, &cmps, n_vars, Some(j)))
+        .collect();
+    let general_classes = vec![DeltaClass::All; atoms.len()];
+    let focused_classes: Vec<Vec<DeltaClass>> = delta_positions
+        .iter()
+        .map(|&focus| {
+            atoms
+                .iter()
+                .enumerate()
+                .map(|(ai, a)| {
+                    if !a.is_delta {
+                        DeltaClass::All
+                    } else if ai < focus {
+                        DeltaClass::Old
+                    } else if ai == focus {
+                        DeltaClass::New
+                    } else {
+                        DeltaClass::All
+                    }
+                })
+                .collect()
+        })
         .collect();
     CompiledRule {
         n_vars,
@@ -212,6 +337,8 @@ pub fn compile_rule(schema: &Schema, rule: &Rule) -> CompiledRule {
         delta_positions,
         general,
         focused,
+        general_classes,
+        focused_classes,
         never_fires,
     }
 }
@@ -249,6 +376,7 @@ mod tests {
         let r = compile("delta A(x) :- A(x), delta B(x, y), C(y).");
         assert_eq!(r.delta_positions, vec![1]);
         assert_eq!(r.focused[0].order[0], 1);
+        assert_eq!(r.focused_classes[0][1], DeltaClass::New);
     }
 
     #[test]
@@ -286,5 +414,84 @@ mod tests {
     fn constants_in_atoms_become_const_slots() {
         let r = compile("delta A(x) :- A(x), B(3, y).");
         assert_eq!(r.atoms[1].slots[0], Slot::Const(Value::Int(3)));
+    }
+
+    #[test]
+    fn probe_specs_track_boundness_along_the_plan() {
+        let r = compile("delta A(x) :- A(x), B(x, y), C(y).");
+        // Every atom appears once; whatever the greedy order, the first
+        // step binds fresh variables only (no key), and every later step
+        // over an atom sharing a variable must probe on it.
+        let p = &r.general;
+        assert!(!p.probes[0].is_probe());
+        assert!(!p.probes[0].bind_cols.is_empty());
+        for k in 1..p.order.len() {
+            let ai = p.order[k];
+            let spec = &p.probes[k];
+            // In this rule every later atom shares ≥1 variable with the
+            // prefix, so the step must be an index probe.
+            assert!(spec.is_probe(), "step {k} (atom {ai}) should probe");
+            assert!(spec.key_cols.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(spec.key_cols.len(), spec.key_slots.len());
+        }
+        // Across key/bind/same, each column of the atom appears exactly once.
+        for (k, &ai) in p.order.iter().enumerate() {
+            let spec = &p.probes[k];
+            let mut cols: Vec<usize> = spec
+                .key_cols
+                .iter()
+                .copied()
+                .chain(spec.bind_cols.iter().map(|&(c, _)| c))
+                .chain(spec.same_cols.iter().map(|&(c, _)| c))
+                .collect();
+            cols.sort_unstable();
+            assert_eq!(cols, (0..r.atoms[ai].slots.len()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn constants_join_the_probe_key() {
+        let r = compile("delta A(x) :- A(x), B(3, y).");
+        // The B atom (wherever it lands in the order) has col 0 = const 3
+        // in its key.
+        let p = &r.general;
+        let k = p.order.iter().position(|&ai| ai == 1).unwrap();
+        let spec = &p.probes[k];
+        assert!(spec.key_cols.contains(&0));
+        let pos = spec.key_cols.iter().position(|&c| c == 0).unwrap();
+        assert_eq!(spec.key_slots[pos], Slot::Const(Value::Int(3)));
+    }
+
+    #[test]
+    fn repeated_fresh_variable_becomes_intra_atom_equality() {
+        let r = compile("delta B(x, x) :- B(x, x).");
+        let spec = &r.general.probes[0];
+        assert_eq!(spec.bind_cols, vec![(0, 0)]);
+        assert_eq!(spec.same_cols, vec![(1, 0)]);
+        assert!(spec.key_cols.is_empty());
+    }
+
+    #[test]
+    fn repeated_bound_variable_uses_both_key_columns() {
+        // After A(x) binds x, B(x, x) probes on both columns.
+        let r = compile("delta A(x) :- A(x), B(x, x).");
+        let p = &r.general;
+        let k = p.order.iter().position(|&ai| ai == 1).unwrap();
+        if k > 0 {
+            let spec = &p.probes[k];
+            assert_eq!(spec.key_cols, vec![0, 1]);
+            assert!(spec.same_cols.is_empty());
+        }
+    }
+
+    #[test]
+    fn general_classes_are_all() {
+        let r = compile("delta A(x) :- A(x), delta B(x, y), delta C(y).");
+        assert!(r.general_classes.iter().all(|&c| c == DeltaClass::All));
+        // Second focus: first delta atom is Old, focus is New.
+        assert_eq!(
+            r.focused_classes[1],
+            vec![DeltaClass::All, DeltaClass::Old, DeltaClass::New]
+        );
     }
 }

@@ -14,9 +14,17 @@
 //! * [`Mode::Hypothetical`] — base *and* delta atoms range over all of `D`
 //!   (Algorithm 1 generates provenance "for each possible delta tuple, not
 //!   only ones that can be derived").
+//!
+//! The join core executes the probe plans precompiled by
+//! [`crate::compile`]: each step of a plan knows statically which columns
+//! are bound (and probes a composite index keyed on *all* of them), which
+//! columns bind fresh variables, and which comparisons become checkable.
+//! The inner loop performs **no heap allocation per visited row or emitted
+//! assignment** — variable bindings, chosen tuples, probe keys and the
+//! emission buffer live in an [`EvalScratch`] reused across rounds.
 
 use crate::ast::Program;
-use crate::compile::{compile_rule, CompiledAtom, CompiledRule, Plan, Slot};
+use crate::compile::{compile_rule, CompiledAtom, CompiledRule, DeltaClass, Plan, Slot};
 use crate::error::DatalogError;
 use crate::validate::validate_program;
 use storage::{BitSet, Instance, RelId, State, TupleId, Value};
@@ -31,17 +39,6 @@ pub enum Mode {
     /// Algorithm-1 view: every tuple is both present and hypothetically
     /// deleted.
     Hypothetical,
-}
-
-/// Restriction applied to one delta atom during semi-naive enumeration.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum DeltaClass {
-    /// Deltas known before the current round (Δ \ frontier).
-    Old,
-    /// Deltas derived in the previous round (the frontier).
-    New,
-    /// All current deltas.
-    All,
 }
 
 /// The set of delta tuples derived in the previous round, used to drive
@@ -112,6 +109,50 @@ pub struct Assignment {
     pub body: Vec<BodyBind>,
 }
 
+const DUMMY_TID: TupleId = TupleId {
+    rel: RelId(0),
+    row: 0,
+};
+
+/// Reusable buffers for the join core: variable bindings, per-atom chosen
+/// tuples, the probe-key stack and the emission buffer. One scratch serves
+/// any number of rules and rounds; the fixpoint driver allocates it once
+/// per run and the enumeration allocates nothing per row or assignment.
+#[derive(Debug)]
+pub struct EvalScratch {
+    /// Value of each rule-local variable. Statically bound-before-use, so
+    /// no `Option` and no undo trail is needed.
+    bind: Vec<Value>,
+    /// Tuple chosen for each body atom (source order).
+    chosen: Vec<TupleId>,
+    /// Probe keys, stack-disciplined across recursion depths.
+    key: Vec<Value>,
+    /// The assignment handed to callbacks; its body vector is reused.
+    asg: Assignment,
+}
+
+impl Default for EvalScratch {
+    fn default() -> EvalScratch {
+        EvalScratch::new()
+    }
+}
+
+impl EvalScratch {
+    /// Fresh scratch; buffers grow on first use and are then reused.
+    pub fn new() -> EvalScratch {
+        EvalScratch {
+            bind: Vec::new(),
+            chosen: Vec::new(),
+            key: Vec::new(),
+            asg: Assignment {
+                rule: 0,
+                head: DUMMY_TID,
+                body: Vec::new(),
+            },
+        }
+    }
+}
+
 /// A validated, compiled, index-prepared delta program ready for repeated
 /// evaluation.
 pub struct Evaluator {
@@ -121,19 +162,35 @@ pub struct Evaluator {
 
 impl Evaluator {
     /// Validate `program` against the schema of `db`, compile join plans and
-    /// build every hash index the plans may probe.
+    /// build every composite hash index the plans will probe.
     pub fn new(db: &mut Instance, program: Program) -> Result<Evaluator, DatalogError> {
         validate_program(db.schema(), &program)?;
-        let compiled: Vec<CompiledRule> = program
+        let mut compiled: Vec<CompiledRule> = program
             .rules
             .iter()
             .map(|r| compile_rule(db.schema(), r))
             .collect();
-        for cr in &compiled {
-            for a in &cr.atoms {
-                for col in 0..a.slots.len() {
-                    db.ensure_index(a.rel, col);
+        // Resolve each probing plan step to a concrete composite index,
+        // building it if absent (compilation itself sees only the schema).
+        fn resolve(db: &mut Instance, atoms: &[CompiledAtom], plan: &mut Plan) {
+            for k in 0..plan.order.len() {
+                let rel = atoms[plan.order[k]].rel;
+                let spec = &mut plan.probes[k];
+                if spec.is_probe() {
+                    spec.index = db.ensure_composite_index(rel, &spec.key_cols);
                 }
+            }
+        }
+        for cr in &mut compiled {
+            let CompiledRule {
+                atoms,
+                general,
+                focused,
+                ..
+            } = cr;
+            resolve(db, atoms, general);
+            for plan in focused {
+                resolve(db, atoms, plan);
             }
         }
         Ok(Evaluator { program, compiled })
@@ -159,8 +216,20 @@ impl Evaluator {
         mode: Mode,
         f: &mut dyn FnMut(&Assignment) -> bool,
     ) -> bool {
+        self.for_each_assignment_with(db, state, mode, &mut EvalScratch::new(), f)
+    }
+
+    /// [`Evaluator::for_each_assignment`] with caller-provided scratch.
+    pub fn for_each_assignment_with(
+        &self,
+        db: &Instance,
+        state: &State,
+        mode: Mode,
+        scratch: &mut EvalScratch,
+        f: &mut dyn FnMut(&Assignment) -> bool,
+    ) -> bool {
         for idx in 0..self.compiled.len() {
-            if !self.for_each_rule_assignment(idx, db, state, mode, f) {
+            if !self.for_each_rule_assignment_with(idx, db, state, mode, scratch, f) {
                 return false;
             }
         }
@@ -176,11 +245,23 @@ impl Evaluator {
         mode: Mode,
         f: &mut dyn FnMut(&Assignment) -> bool,
     ) -> bool {
+        self.for_each_rule_assignment_with(rule_idx, db, state, mode, &mut EvalScratch::new(), f)
+    }
+
+    /// [`Evaluator::for_each_rule_assignment`] with caller-provided scratch.
+    pub fn for_each_rule_assignment_with(
+        &self,
+        rule_idx: usize,
+        db: &Instance,
+        state: &State,
+        mode: Mode,
+        scratch: &mut EvalScratch,
+        f: &mut dyn FnMut(&Assignment) -> bool,
+    ) -> bool {
         let cr = &self.compiled[rule_idx];
         if cr.never_fires {
             return true;
         }
-        let classes = vec![DeltaClass::All; cr.atoms.len()];
         run_plan(
             db,
             state,
@@ -188,8 +269,9 @@ impl Evaluator {
             rule_idx,
             cr,
             &cr.general,
-            &classes,
+            &cr.general_classes,
             None,
+            scratch,
             f,
         )
     }
@@ -203,9 +285,21 @@ impl Evaluator {
         mode: Mode,
         f: &mut dyn FnMut(&Assignment) -> bool,
     ) -> bool {
+        self.for_each_base_rule_assignment_with(db, state, mode, &mut EvalScratch::new(), f)
+    }
+
+    /// [`Evaluator::for_each_base_rule_assignment`] with caller scratch.
+    pub fn for_each_base_rule_assignment_with(
+        &self,
+        db: &Instance,
+        state: &State,
+        mode: Mode,
+        scratch: &mut EvalScratch,
+        f: &mut dyn FnMut(&Assignment) -> bool,
+    ) -> bool {
         for (idx, cr) in self.compiled.iter().enumerate() {
             if cr.delta_positions.is_empty()
-                && !self.for_each_rule_assignment(idx, db, state, mode, f)
+                && !self.for_each_rule_assignment_with(idx, db, state, mode, scratch, f)
             {
                 return false;
             }
@@ -228,8 +322,30 @@ impl Evaluator {
         frontier: &DeltaFrontier,
         f: &mut dyn FnMut(&Assignment) -> bool,
     ) -> bool {
+        self.for_each_frontier_assignment_with(
+            db,
+            state,
+            mode,
+            frontier,
+            &mut EvalScratch::new(),
+            f,
+        )
+    }
+
+    /// [`Evaluator::for_each_frontier_assignment`] with caller scratch.
+    pub fn for_each_frontier_assignment_with(
+        &self,
+        db: &Instance,
+        state: &State,
+        mode: Mode,
+        frontier: &DeltaFrontier,
+        scratch: &mut EvalScratch,
+        f: &mut dyn FnMut(&Assignment) -> bool,
+    ) -> bool {
         for idx in 0..self.compiled.len() {
-            if !self.for_each_rule_frontier_assignment(idx, db, state, mode, frontier, f) {
+            if !self
+                .for_each_rule_frontier_assignment_with(idx, db, state, mode, frontier, scratch, f)
+            {
                 return false;
             }
         }
@@ -249,27 +365,34 @@ impl Evaluator {
         frontier: &DeltaFrontier,
         f: &mut dyn FnMut(&Assignment) -> bool,
     ) -> bool {
+        self.for_each_rule_frontier_assignment_with(
+            rule_idx,
+            db,
+            state,
+            mode,
+            frontier,
+            &mut EvalScratch::new(),
+            f,
+        )
+    }
+
+    /// [`Evaluator::for_each_rule_frontier_assignment`] with caller scratch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn for_each_rule_frontier_assignment_with(
+        &self,
+        rule_idx: usize,
+        db: &Instance,
+        state: &State,
+        mode: Mode,
+        frontier: &DeltaFrontier,
+        scratch: &mut EvalScratch,
+        f: &mut dyn FnMut(&Assignment) -> bool,
+    ) -> bool {
         let cr = &self.compiled[rule_idx];
         if cr.never_fires {
             return true;
         }
-        for (fi, &focus) in cr.delta_positions.iter().enumerate() {
-            let classes: Vec<DeltaClass> = cr
-                .atoms
-                .iter()
-                .enumerate()
-                .map(|(ai, a)| {
-                    if !a.is_delta {
-                        DeltaClass::All
-                    } else if ai < focus {
-                        DeltaClass::Old
-                    } else if ai == focus {
-                        DeltaClass::New
-                    } else {
-                        DeltaClass::All
-                    }
-                })
-                .collect();
+        for fi in 0..cr.delta_positions.len() {
             if !run_plan(
                 db,
                 state,
@@ -277,8 +400,9 @@ impl Evaluator {
                 rule_idx,
                 cr,
                 &cr.focused[fi],
-                &classes,
+                &cr.focused_classes[fi],
                 Some(frontier),
+                scratch,
                 f,
             ) {
                 return false;
@@ -331,7 +455,7 @@ impl Evaluator {
 /// for a handful of coarse tasks.
 #[cfg(feature = "parallel")]
 mod par {
-    use super::{Assignment, DeltaFrontier, Evaluator, Mode};
+    use super::{Assignment, DeltaFrontier, EvalScratch, Evaluator, Mode};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
     use storage::{Instance, State};
@@ -363,7 +487,8 @@ mod par {
 
     impl Evaluator {
         /// Enumerate under `scope` with one task per rule, merging the
-        /// per-rule result vectors in rule order.
+        /// per-rule result vectors in rule order. Each worker thread owns
+        /// one [`EvalScratch`], reused across the rules it picks up.
         pub fn par_collect(
             &self,
             db: &Instance,
@@ -381,14 +506,17 @@ mod par {
                 (0..n_rules).map(|_| Mutex::new(Vec::new())).collect();
             std::thread::scope(|s| {
                 for _ in 0..threads {
-                    s.spawn(|| loop {
-                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                        if idx >= n_rules {
-                            break;
+                    s.spawn(|| {
+                        let mut scratch = EvalScratch::new();
+                        loop {
+                            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                            if idx >= n_rules {
+                                break;
+                            }
+                            let mut out = Vec::new();
+                            self.rule_collect(idx, db, state, mode, scope, &mut scratch, &mut out);
+                            *slots[idx].lock().expect("no panics hold this lock") = out;
                         }
-                        let mut out = Vec::new();
-                        self.rule_collect(idx, db, state, mode, scope, &mut out);
-                        *slots[idx].lock().expect("no panics hold this lock") = out;
                     });
                 }
             });
@@ -398,6 +526,7 @@ mod par {
                 .collect()
         }
 
+        #[allow(clippy::too_many_arguments)]
         fn rule_collect(
             &self,
             idx: usize,
@@ -405,6 +534,7 @@ mod par {
             state: &State,
             mode: Mode,
             scope: Scope<'_>,
+            scratch: &mut EvalScratch,
             out: &mut Vec<Assignment>,
         ) {
             let mut push = |a: &Assignment| {
@@ -413,15 +543,19 @@ mod par {
             };
             match scope {
                 Scope::All => {
-                    self.for_each_rule_assignment(idx, db, state, mode, &mut push);
+                    self.for_each_rule_assignment_with(idx, db, state, mode, scratch, &mut push);
                 }
                 Scope::BaseRules => {
                     if !self.rule_has_delta_body(idx) {
-                        self.for_each_rule_assignment(idx, db, state, mode, &mut push);
+                        self.for_each_rule_assignment_with(
+                            idx, db, state, mode, scratch, &mut push,
+                        );
                     }
                 }
                 Scope::Frontier(fr) => {
-                    self.for_each_rule_frontier_assignment(idx, db, state, mode, fr, &mut push);
+                    self.for_each_rule_frontier_assignment_with(
+                        idx, db, state, mode, fr, scratch, &mut push,
+                    );
                 }
             }
         }
@@ -434,8 +568,9 @@ mod par {
             scope: Scope<'_>,
         ) -> Vec<Assignment> {
             let mut out = Vec::new();
+            let mut scratch = EvalScratch::new();
             for idx in 0..self.num_rules() {
-                self.rule_collect(idx, db, state, mode, scope, &mut out);
+                self.rule_collect(idx, db, state, mode, scope, &mut scratch, &mut out);
             }
             out
         }
@@ -485,10 +620,80 @@ fn run_plan(
     plan: &Plan,
     classes: &[DeltaClass],
     frontier: Option<&DeltaFrontier>,
+    scratch: &mut EvalScratch,
     f: &mut dyn FnMut(&Assignment) -> bool,
 ) -> bool {
-    let mut bind: Vec<Option<Value>> = vec![None; cr.n_vars];
-    let mut chosen: Vec<Option<TupleId>> = vec![None; cr.atoms.len()];
+    scratch.bind.clear();
+    scratch.bind.resize(cr.n_vars, Value::Int(0));
+    scratch.chosen.clear();
+    scratch.chosen.resize(cr.atoms.len(), DUMMY_TID);
+    scratch.key.clear();
+    step(
+        db, state, mode, rule_idx, cr, plan, classes, frontier, 0, scratch, f,
+    )
+}
+
+/// Match `row` against step `k`'s precompiled spec and recurse on success.
+/// Returns `false` iff the callback aborted. `check_key` is `false` on the
+/// index-probe path (the index guarantees the key columns match) and `true`
+/// on the scan/delta paths, where the key becomes a per-row filter.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn try_row(
+    db: &Instance,
+    state: &State,
+    mode: Mode,
+    rule_idx: usize,
+    cr: &CompiledRule,
+    plan: &Plan,
+    classes: &[DeltaClass],
+    frontier: Option<&DeltaFrontier>,
+    k: usize,
+    row: u32,
+    key_start: usize,
+    check_key: bool,
+    scratch: &mut EvalScratch,
+    f: &mut dyn FnMut(&Assignment) -> bool,
+) -> bool {
+    let ai = plan.order[k];
+    let atom = &cr.atoms[ai];
+    let tid = TupleId::new(atom.rel, row);
+    if !admitted(state, mode, frontier, atom, classes[ai], tid) {
+        return true;
+    }
+    let tuple = db.relation(atom.rel).tuple(row);
+    let spec = &plan.probes[k];
+    if check_key {
+        for (i, &col) in spec.key_cols.iter().enumerate() {
+            if *tuple.get(col) != scratch.key[key_start + i] {
+                return true;
+            }
+        }
+    }
+    for &(col, earlier) in &spec.same_cols {
+        if tuple.get(col) != tuple.get(earlier) {
+            return true;
+        }
+    }
+    // Fresh variables: statically bound-before-use, so failed candidates
+    // need no undo — the next row simply overwrites.
+    for &(col, var) in &spec.bind_cols {
+        scratch.bind[var as usize] = *tuple.get(col);
+    }
+    // Comparisons that became checkable at this step.
+    for &ci in &plan.cmps_after[k] {
+        let c = &cr.cmps[ci];
+        let get = |s: &Slot| -> Value {
+            match s {
+                Slot::Const(v) => *v,
+                Slot::Var(x) => scratch.bind[*x as usize],
+            }
+        };
+        if !c.op.eval(&get(&c.lhs), &get(&c.rhs)) {
+            return true;
+        }
+    }
+    scratch.chosen[ai] = tid;
     step(
         db,
         state,
@@ -498,13 +703,14 @@ fn run_plan(
         plan,
         classes,
         frontier,
-        0,
-        &mut bind,
-        &mut chosen,
+        k + 1,
+        scratch,
         f,
     )
 }
 
+/// One step of the depth-first join: execute the precompiled probe for
+/// `plan.order[k]` and recurse. Returns `false` iff the callback aborted.
 #[allow(clippy::too_many_arguments)]
 fn step(
     db: &Instance,
@@ -516,171 +722,85 @@ fn step(
     classes: &[DeltaClass],
     frontier: Option<&DeltaFrontier>,
     k: usize,
-    bind: &mut [Option<Value>],
-    chosen: &mut [Option<TupleId>],
+    scratch: &mut EvalScratch,
     f: &mut dyn FnMut(&Assignment) -> bool,
 ) -> bool {
     if k == plan.order.len() {
-        let head = chosen[cr.head_witness].expect("witness bound");
-        let body: Vec<BodyBind> = cr
-            .atoms
-            .iter()
-            .enumerate()
-            .map(|(i, a)| BodyBind {
-                tid: chosen[i].expect("all atoms bound"),
+        // Emit through the reusable buffer: no allocation once the body
+        // vector has grown to the program's widest rule.
+        scratch.asg.rule = rule_idx;
+        scratch.asg.head = scratch.chosen[cr.head_witness];
+        scratch.asg.body.clear();
+        for (i, a) in cr.atoms.iter().enumerate() {
+            scratch.asg.body.push(BodyBind {
+                tid: scratch.chosen[i],
                 is_delta: a.is_delta,
-            })
-            .collect();
-        return f(&Assignment {
-            rule: rule_idx,
-            head,
-            body,
-        });
+            });
+        }
+        return f(&scratch.asg);
     }
     let ai = plan.order[k];
     let atom = &cr.atoms[ai];
     let class = classes[ai];
+    let spec = &plan.probes[k];
     let rel = db.relation(atom.rel);
 
-    // A bound column usable for an index probe, if any.
-    let probe: Option<(usize, Value)> = atom.slots.iter().enumerate().find_map(|(col, s)| {
+    // Evaluate this step's probe key once; every slot is a constant or an
+    // already-bound variable by construction.
+    let key_start = scratch.key.len();
+    for s in &spec.key_slots {
         let v = match s {
-            Slot::Const(v) => Some(*v),
-            Slot::Var(x) => bind[*x as usize],
-        }?;
-        rel.has_index(col).then_some((col, v))
-    });
-
-    #[allow(clippy::too_many_arguments)]
-    fn try_row(
-        db: &Instance,
-        state: &State,
-        mode: Mode,
-        rule_idx: usize,
-        cr: &CompiledRule,
-        plan: &Plan,
-        classes: &[DeltaClass],
-        frontier: Option<&DeltaFrontier>,
-        k: usize,
-        ai: usize,
-        row: u32,
-        bind: &mut [Option<Value>],
-        chosen: &mut [Option<TupleId>],
-        f: &mut dyn FnMut(&Assignment) -> bool,
-    ) -> bool {
-        let atom = &cr.atoms[ai];
-        let class = classes[ai];
-        let tid = TupleId::new(atom.rel, row);
-        if !admitted(state, mode, frontier, atom, class, tid) {
-            return true;
-        }
-        let tuple = db.relation(atom.rel).tuple(row);
-        // Match slots, binding fresh variables; record them for undo.
-        let mut trail: Vec<u32> = Vec::new();
-        let mut ok = true;
-        for (col, slot) in atom.slots.iter().enumerate() {
-            let val = tuple.get(col);
-            match slot {
-                Slot::Const(c) => {
-                    if c != val {
-                        ok = false;
-                        break;
-                    }
-                }
-                Slot::Var(x) => match bind[*x as usize] {
-                    Some(b) => {
-                        if &b != val {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    None => {
-                        bind[*x as usize] = Some(*val);
-                        trail.push(*x);
-                    }
-                },
-            }
-        }
-        let mut keep_going = true;
-        if ok {
-            // Comparisons that became checkable at this step.
-            let cmps_ok = plan.cmps_after[k].iter().all(|&ci| {
-                let c = &cr.cmps[ci];
-                let get = |s: &Slot| -> Value {
-                    match s {
-                        Slot::Const(v) => *v,
-                        Slot::Var(x) => bind[*x as usize].expect("scheduled after binding"),
-                    }
-                };
-                c.op.eval(&get(&c.lhs), &get(&c.rhs))
-            });
-            if cmps_ok {
-                chosen[ai] = Some(tid);
-                keep_going = step(
-                    db,
-                    state,
-                    mode,
-                    rule_idx,
-                    cr,
-                    plan,
-                    classes,
-                    frontier,
-                    k + 1,
-                    bind,
-                    chosen,
-                    f,
-                );
-                chosen[ai] = None;
-            }
-        }
-        for x in trail {
-            bind[x as usize] = None;
-        }
-        keep_going
+            Slot::Const(v) => *v,
+            Slot::Var(x) => scratch.bind[*x as usize],
+        };
+        scratch.key.push(v);
     }
 
     macro_rules! visit {
-        ($row:expr) => {
+        ($row:expr, $check_key:expr) => {
             if !try_row(
-                db, state, mode, rule_idx, cr, plan, classes, frontier, k, ai, $row, bind, chosen,
-                f,
+                db, state, mode, rule_idx, cr, plan, classes, frontier, k, $row, key_start,
+                $check_key, scratch, f,
             ) {
+                scratch.key.truncate(key_start);
                 return false;
             }
         };
     }
 
     if atom.is_delta && mode != Mode::Hypothetical {
-        // Delta sets are usually small: iterate them directly.
+        // Delta sets are usually small: iterate them directly, using the
+        // key as a per-row filter.
         match class {
             DeltaClass::New => {
                 if let Some(fr) = frontier {
                     for tid in fr.rows(atom.rel) {
-                        visit!(tid.row);
+                        visit!(tid.row, true);
                     }
                 }
             }
             _ => {
                 for tid in state.delta_rows(atom.rel) {
-                    visit!(tid.row);
+                    visit!(tid.row, true);
                 }
             }
         }
-    } else if let Some((col, v)) = probe {
-        if let Some(rows) = rel.lookup(col, &v) {
-            for &row in rows {
-                visit!(row);
-            }
+    } else if spec.is_probe() {
+        // Composite-index probe on every bound column: candidates already
+        // match the key, no residual filtering.
+        for &row in rel.probe(spec.index, &scratch.key[key_start..]) {
+            visit!(row, false);
         }
     } else if mode == Mode::Current && !atom.is_delta {
         for tid in state.present_rows(atom.rel) {
-            visit!(tid.row);
+            visit!(tid.row, false);
         }
     } else {
         for row in 0..rel.num_rows() as u32 {
-            visit!(row);
+            visit!(row, false);
         }
     }
+    scratch.key.truncate(key_start);
     true
 }
 
@@ -922,5 +1042,46 @@ mod tests {
         let ev = Evaluator::new(&mut db, p).unwrap();
         let state = db.initial_state();
         assert!(ev.is_stable(&db, &state));
+    }
+
+    #[test]
+    fn shared_scratch_is_reusable_across_rules_and_modes() {
+        let mut db = figure1_instance();
+        let ev = Evaluator::new(&mut db, figure2_program()).unwrap();
+        let state = db.initial_state();
+        let mut scratch = EvalScratch::new();
+        for mode in [Mode::Current, Mode::FrozenBase, Mode::Hypothetical] {
+            let mut with_scratch = 0;
+            ev.for_each_assignment_with(&db, &state, mode, &mut scratch, &mut |_| {
+                with_scratch += 1;
+                true
+            });
+            assert_eq!(with_scratch, count_all(&ev, &db, &state, mode));
+        }
+    }
+
+    #[test]
+    fn delta_iteration_respects_probe_key_filter() {
+        // A bound variable over a delta atom must filter delta rows by
+        // value (the key acts as the residual filter on the delta path).
+        let mut s = Schema::new();
+        s.relation("R", &[("a", AttrType::Int)]);
+        s.relation("S", &[("a", AttrType::Int)]);
+        let mut db = Instance::new(s);
+        for i in 0..4 {
+            db.insert_values("R", [Value::Int(i)]).unwrap();
+            db.insert_values("S", [Value::Int(i)]).unwrap();
+        }
+        let p = parse_program("delta R(x) :- R(x), delta S(x).").unwrap();
+        let ev = Evaluator::new(&mut db, p).unwrap();
+        let mut state = db.initial_state();
+        let s_rel = db.schema().rel_id("S").unwrap();
+        state.mark_delta(TupleId::new(s_rel, 2));
+        let mut heads = Vec::new();
+        ev.for_each_assignment(&db, &state, Mode::Current, &mut |a| {
+            heads.push(db.display_tuple(a.head));
+            true
+        });
+        assert_eq!(heads, vec!["R(2)"]);
     }
 }

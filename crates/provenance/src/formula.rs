@@ -21,41 +21,52 @@ pub struct ProvClause {
     pub neg: Vec<TupleId>,
 }
 
+/// Split an assignment's body into sorted, deduplicated base (`pos`) and
+/// delta (`neg`) sides, reusing the caller's buffers. The single source of
+/// clause normalization — [`ProvClause::from_assignment`] and the
+/// allocation-free [`ProvFormulaBuilder`] both go through here.
+fn split_sides(a: &Assignment, pos: &mut Vec<TupleId>, neg: &mut Vec<TupleId>) {
+    pos.clear();
+    neg.clear();
+    for b in &a.body {
+        if b.is_delta {
+            neg.push(b.tid);
+        } else {
+            pos.push(b.tid);
+        }
+    }
+    pos.sort_unstable();
+    pos.dedup();
+    neg.sort_unstable();
+    neg.dedup();
+}
+
+/// Do two sorted sides share a tuple? (Merge-scan.)
+fn sides_share_tuple(pos: &[TupleId], neg: &[TupleId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < pos.len() && j < neg.len() {
+        match pos[i].cmp(&neg[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
 impl ProvClause {
     /// Build from an assignment, sorting and deduplicating each side.
     pub fn from_assignment(a: &Assignment) -> ProvClause {
-        let mut pos: Vec<TupleId> = a
-            .body
-            .iter()
-            .filter(|b| !b.is_delta)
-            .map(|b| b.tid)
-            .collect();
-        let mut neg: Vec<TupleId> = a
-            .body
-            .iter()
-            .filter(|b| b.is_delta)
-            .map(|b| b.tid)
-            .collect();
-        pos.sort_unstable();
-        pos.dedup();
-        neg.sort_unstable();
-        neg.dedup();
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        split_sides(a, &mut pos, &mut neg);
         ProvClause { pos, neg }
     }
 
     /// A clause requiring `t` both present and deleted can never be
     /// satisfied; its negation is a tautology and can be dropped.
     pub fn is_contradiction(&self) -> bool {
-        // Both sides are sorted: merge-scan for a common element.
-        let (mut i, mut j) = (0, 0);
-        while i < self.pos.len() && j < self.neg.len() {
-            match self.pos[i].cmp(&self.neg[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => return true,
-            }
-        }
-        false
+        sides_share_tuple(&self.pos, &self.neg)
     }
 
     /// Is the clause satisfied by deletion set membership `deleted`?
@@ -70,23 +81,131 @@ pub struct ProvFormula {
     clauses: Vec<ProvClause>,
 }
 
-impl ProvFormula {
-    /// Collect a formula from assignments, deduplicating identical clauses
-    /// (e.g. two rules sharing a body, like rules (2) and (3) of Figure 2)
-    /// and dropping contradictions.
-    pub fn from_assignments<'a>(assignments: impl IntoIterator<Item = &'a Assignment>) -> Self {
-        let mut seen: HashSet<ProvClause> = HashSet::new();
-        let mut clauses = Vec::new();
-        for a in assignments {
-            let c = ProvClause::from_assignment(a);
-            if c.is_contradiction() {
-                continue;
-            }
-            if seen.insert(c.clone()) {
-                clauses.push(c);
+/// Incremental [`ProvFormula`] construction, deduplicating identical
+/// clauses (e.g. two rules sharing a body, like rules (2) and (3) of
+/// Figure 2) and dropping contradictions.
+///
+/// Algorithm 1's Eval phase streams assignments out of the evaluator;
+/// feeding them straight into a builder avoids materializing (and cloning)
+/// the whole assignment vector when only the formula is needed. The
+/// builder allocates only for clauses it has not seen before: candidate
+/// sides are assembled in reusable scratch buffers, hashed once, and
+/// compared against stored clauses through an index table (the classic
+/// interner layout), so the duplicate-heavy streams DC-style programs
+/// produce cost no allocation per assignment.
+#[derive(Debug)]
+pub struct ProvFormulaBuilder {
+    clauses: Vec<ProvClause>,
+    /// Open-addressed table of indexes into `clauses`; `EMPTY` marks a
+    /// free slot. Always a power of two, at most half full.
+    table: Vec<u32>,
+    /// Scratch for the candidate clause's sides.
+    pos: Vec<TupleId>,
+    neg: Vec<TupleId>,
+}
+
+const EMPTY: u32 = u32::MAX;
+
+fn side_hash(h: &mut storage::FxHasher, side: &[TupleId]) {
+    use std::hash::Hash;
+    // Hash like `Vec<TupleId>` does: length prefix then elements, so equal
+    // sides hash equal regardless of how they were assembled.
+    side.len().hash(h);
+    for t in side {
+        t.hash(h);
+    }
+}
+
+impl Default for ProvFormulaBuilder {
+    fn default() -> ProvFormulaBuilder {
+        ProvFormulaBuilder::new()
+    }
+}
+
+impl ProvFormulaBuilder {
+    /// Empty builder.
+    pub fn new() -> ProvFormulaBuilder {
+        ProvFormulaBuilder {
+            clauses: Vec::new(),
+            table: vec![EMPTY; 64],
+            pos: Vec::new(),
+            neg: Vec::new(),
+        }
+    }
+
+    /// Fold one assignment's clause into the formula.
+    pub fn add(&mut self, a: &Assignment) {
+        split_sides(a, &mut self.pos, &mut self.neg);
+        // Contradiction (tuple required both present and deleted): the
+        // negated clause is a tautology — drop it.
+        if sides_share_tuple(&self.pos, &self.neg) {
+            return;
+        }
+
+        use std::hash::Hasher;
+        let mut h = storage::FxHasher::default();
+        side_hash(&mut h, &self.pos);
+        side_hash(&mut h, &self.neg);
+        let hash = h.finish();
+        let mask = self.table.len() - 1;
+        let mut slot = hash as usize & mask;
+        loop {
+            match self.table[slot] {
+                EMPTY => break,
+                idx => {
+                    let c = &self.clauses[idx as usize];
+                    if c.pos == self.pos && c.neg == self.neg {
+                        return; // duplicate
+                    }
+                    slot = (slot + 1) & mask;
+                }
             }
         }
-        ProvFormula { clauses }
+        let idx = u32::try_from(self.clauses.len()).expect("formula too large");
+        self.table[slot] = idx;
+        self.clauses.push(ProvClause {
+            pos: self.pos.clone(),
+            neg: self.neg.clone(),
+        });
+        if self.clauses.len() * 2 > self.table.len() {
+            self.grow();
+        }
+    }
+
+    fn grow(&mut self) {
+        use std::hash::Hasher;
+        let new_len = self.table.len() * 2;
+        let mask = new_len - 1;
+        let mut table = vec![EMPTY; new_len];
+        for (idx, c) in self.clauses.iter().enumerate() {
+            let mut h = storage::FxHasher::default();
+            side_hash(&mut h, &c.pos);
+            side_hash(&mut h, &c.neg);
+            let mut slot = h.finish() as usize & mask;
+            while table[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            table[slot] = idx as u32;
+        }
+        self.table = table;
+    }
+
+    /// The formula, clauses in first-seen order.
+    pub fn finish(self) -> ProvFormula {
+        ProvFormula {
+            clauses: self.clauses,
+        }
+    }
+}
+
+impl ProvFormula {
+    /// Collect a formula from assignments via [`ProvFormulaBuilder`].
+    pub fn from_assignments<'a>(assignments: impl IntoIterator<Item = &'a Assignment>) -> Self {
+        let mut b = ProvFormulaBuilder::new();
+        for a in assignments {
+            b.add(a);
+        }
+        b.finish()
     }
 
     /// The clauses of `F`.

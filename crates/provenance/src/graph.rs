@@ -16,7 +16,7 @@
 
 use datalog::Assignment;
 use std::collections::HashMap;
-use storage::{Instance, TupleId};
+use storage::{FxHashMap, Instance, TupleId};
 
 #[derive(Debug)]
 struct DeltaNode {
@@ -41,9 +41,9 @@ struct ProvAssign {
 #[derive(Debug)]
 pub struct ProvGraph {
     nodes: Vec<DeltaNode>,
-    node_of: HashMap<TupleId, u32>,
+    node_of: FxHashMap<TupleId, u32>,
     assigns: Vec<ProvAssign>,
-    uses_base: HashMap<TupleId, Vec<u32>>,
+    uses_base: FxHashMap<TupleId, Vec<u32>>,
     /// `layer_nodes[l]` = node indexes in layer `l+1`.
     layer_nodes: Vec<Vec<u32>>,
 }
@@ -57,7 +57,7 @@ impl ProvGraph {
     /// derived).
     pub fn build(assignments: &[Assignment], layer_of: &HashMap<TupleId, u32>) -> ProvGraph {
         let mut nodes: Vec<DeltaNode> = Vec::new();
-        let mut node_of: HashMap<TupleId, u32> = HashMap::new();
+        let mut node_of: FxHashMap<TupleId, u32> = FxHashMap::default();
         let mut intern = |tid: TupleId, nodes: &mut Vec<DeltaNode>| -> u32 {
             *node_of.entry(tid).or_insert_with(|| {
                 let layer = *layer_of
@@ -77,7 +77,7 @@ impl ProvGraph {
         };
 
         let mut assigns: Vec<ProvAssign> = Vec::with_capacity(assignments.len());
-        let mut uses_base: HashMap<TupleId, Vec<u32>> = HashMap::new();
+        let mut uses_base: FxHashMap<TupleId, Vec<u32>> = FxHashMap::default();
         for a in assignments {
             let ai = assigns.len() as u32;
             let head = intern(a.head, &mut nodes);

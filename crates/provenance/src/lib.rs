@@ -21,5 +21,5 @@ pub mod formula;
 pub mod graph;
 
 pub use explain::{to_dot, DerivationTree, Explainer, Premise};
-pub use formula::{ProvClause, ProvFormula};
+pub use formula::{ProvClause, ProvFormula, ProvFormulaBuilder};
 pub use graph::ProvGraph;

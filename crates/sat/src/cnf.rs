@@ -56,11 +56,24 @@ impl fmt::Debug for Lit {
 }
 
 /// A CNF formula builder.
-#[derive(Clone, Debug, Default)]
+///
+/// Clauses are stored in one flat literal array plus an offset table (CSR
+/// layout): clause `i` is `lits[offsets[i]..offsets[i+1]]`. One growing
+/// allocation instead of one box per clause, and sequential passes (the
+/// Min-Ones simplifier makes several per solve) walk contiguous memory.
+#[derive(Clone, Debug)]
 pub struct Cnf {
     n_vars: usize,
-    clauses: Vec<Box<[Lit]>>,
+    offsets: Vec<u32>,
+    lits: Vec<Lit>,
     has_empty_clause: bool,
+    scratch: Vec<Lit>,
+}
+
+impl Default for Cnf {
+    fn default() -> Cnf {
+        Cnf::new(0)
+    }
 }
 
 impl Cnf {
@@ -68,8 +81,10 @@ impl Cnf {
     pub fn new(n_vars: usize) -> Cnf {
         Cnf {
             n_vars,
-            clauses: Vec::new(),
+            offsets: vec![0],
+            lits: Vec::new(),
             has_empty_clause: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -87,12 +102,20 @@ impl Cnf {
 
     /// Number of stored clauses.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.len()
+        self.offsets.len() - 1
     }
 
-    /// The clauses.
-    pub fn clauses(&self) -> &[Box<[Lit]>] {
-        &self.clauses
+    /// Clause `i` as a literal slice.
+    #[inline]
+    pub fn clause(&self, i: usize) -> &[Lit] {
+        &self.lits[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Iterate the clauses as literal slices.
+    pub fn clauses(&self) -> impl Iterator<Item = &[Lit]> + '_ {
+        self.offsets
+            .windows(2)
+            .map(|w| &self.lits[w[0] as usize..w[1] as usize])
     }
 
     /// Did an empty clause get added (formula trivially unsatisfiable)?
@@ -105,27 +128,43 @@ impl Cnf {
     ///
     /// An empty clause marks the formula unsatisfiable.
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
-        let mut c: Vec<Lit> = lits.to_vec();
+        let mut c = std::mem::take(&mut self.scratch);
+        c.clear();
+        c.extend_from_slice(lits);
         c.sort_unstable();
         c.dedup();
         // Sorted order puts `v` right before `¬v`: adjacent check suffices.
-        if c.windows(2).any(|w| w[0].var() == w[1].var()) {
-            return false;
+        let tautology = c.windows(2).any(|w| w[0].var() == w[1].var());
+        if !tautology {
+            self.add_clause_presorted(&c);
         }
-        if c.is_empty() {
+        self.scratch = c;
+        !tautology
+    }
+
+    /// Add a clause already in strictly ascending literal order with
+    /// distinct variables (so: no duplicates, no tautology). The CNF built
+    /// from a provenance formula satisfies this by construction —
+    /// [`Cnf::add_clause`]'s sort and checks would be pure overhead there.
+    pub fn add_clause_presorted(&mut self, lits: &[Lit]) {
+        debug_assert!(lits.windows(2).all(|w| w[0] < w[1]), "lits not sorted");
+        debug_assert!(
+            lits.windows(2).all(|w| w[0].var() != w[1].var()),
+            "tautology or duplicate"
+        );
+        debug_assert!(lits.iter().all(|l| (l.var() as usize) < self.n_vars));
+        if lits.is_empty() {
             self.has_empty_clause = true;
         }
-        for &l in &c {
-            debug_assert!((l.var() as usize) < self.n_vars, "literal out of range");
-        }
-        self.clauses.push(c.into_boxed_slice());
-        true
+        self.lits.extend_from_slice(lits);
+        self.offsets
+            .push(u32::try_from(self.lits.len()).expect("formula too large"));
     }
 
     /// Evaluate under a complete assignment (for tests/verification).
     pub fn eval(&self, assignment: &[bool]) -> bool {
         !self.has_empty_clause
-            && self.clauses.iter().all(|c| {
+            && self.clauses().all(|c| {
                 c.iter()
                     .any(|l| assignment[l.var() as usize] == l.satisfying_value())
             })
@@ -160,7 +199,7 @@ mod tests {
     fn duplicates_removed() {
         let mut f = Cnf::new(2);
         assert!(f.add_clause(&[Lit::pos(0), Lit::pos(0), Lit::neg(1)]));
-        assert_eq!(f.clauses()[0].len(), 2);
+        assert_eq!(f.clause(0).len(), 2);
     }
 
     #[test]

@@ -82,7 +82,14 @@ const UNSET: i8 = -1;
 /// positive-purity rule (a variable with no positive occurrence in any
 /// not-yet-satisfied clause can always be `False` — `False` costs nothing
 /// and only satisfies clauses). Returns `false` on UNSAT.
+///
+/// Deep cascades drive this to fixpoint over many iterations (each unit
+/// chain link enables the next), so the loop body is one unit pass plus
+/// one merged purity/occurrence pass, over buffers allocated once.
 fn simplify(cnf: &Cnf, fixed: &mut [i8], simplified: &mut usize) -> bool {
+    let n = cnf.num_vars();
+    let mut pos_occ = vec![false; n];
+    let mut occurs = vec![false; n];
     loop {
         let mut changed = false;
         // Unit propagation over the current partial assignment.
@@ -118,25 +125,11 @@ fn simplify(cnf: &Cnf, fixed: &mut [i8], simplified: &mut usize) -> bool {
                 _ => {}
             }
         }
-        // Positive purity.
-        let mut pos_occ = vec![false; cnf.num_vars()];
-        for c in cnf.clauses() {
-            let satisfied = c.iter().any(|l| {
-                let f = fixed[l.var() as usize];
-                f != UNSET && (f == 1) == l.satisfying_value()
-            });
-            if satisfied {
-                continue;
-            }
-            for &l in c.iter() {
-                if !l.is_neg() && fixed[l.var() as usize] == UNSET {
-                    pos_occ[l.var() as usize] = true;
-                }
-            }
-        }
-        // Only variables that still occur somewhere unsatisfied matter; a
-        // variable with no positive occurrence there is safely False.
-        let mut occurs = vec![false; cnf.num_vars()];
+        // Positive purity: a variable that occurs in some unsatisfied
+        // clause but never positively there is safely `False`. One pass
+        // computes both occurrence sets.
+        pos_occ.iter_mut().for_each(|b| *b = false);
+        occurs.iter_mut().for_each(|b| *b = false);
         for c in cnf.clauses() {
             let satisfied = c.iter().any(|l| {
                 let f = fixed[l.var() as usize];
@@ -148,10 +141,13 @@ fn simplify(cnf: &Cnf, fixed: &mut [i8], simplified: &mut usize) -> bool {
             for &l in c.iter() {
                 if fixed[l.var() as usize] == UNSET {
                     occurs[l.var() as usize] = true;
+                    if !l.is_neg() {
+                        pos_occ[l.var() as usize] = true;
+                    }
                 }
             }
         }
-        for v in 0..cnf.num_vars() {
+        for v in 0..n {
             if fixed[v] == UNSET && occurs[v] && !pos_occ[v] {
                 fixed[v] = 0;
                 *simplified += 1;
@@ -208,7 +204,10 @@ pub fn solve_min_ones(cnf: &Cnf, opts: &MinOnesOptions) -> Outcome {
     }
 
     // Residual clauses: not satisfied by `fixed`, restricted to unset vars.
-    let mut residual: Vec<Vec<Lit>> = Vec::new();
+    // CSR layout (flat literals + offsets): clause `i` of the residual is
+    // `res_lits[res_off[i]..res_off[i+1]]` — no per-clause allocation.
+    let mut res_off: Vec<u32> = vec![0];
+    let mut res_lits: Vec<Lit> = Vec::new();
     for c in cnf.clauses() {
         let satisfied = c.iter().any(|l| {
             let f = fixed[l.var() as usize];
@@ -217,67 +216,83 @@ pub fn solve_min_ones(cnf: &Cnf, opts: &MinOnesOptions) -> Outcome {
         if satisfied {
             continue;
         }
-        let rest: Vec<Lit> = c
-            .iter()
-            .copied()
-            .filter(|l| fixed[l.var() as usize] == UNSET)
-            .collect();
-        debug_assert!(rest.len() >= 2, "units handled by simplification");
-        residual.push(rest);
+        let start = res_lits.len();
+        res_lits.extend(
+            c.iter()
+                .copied()
+                .filter(|l| fixed[l.var() as usize] == UNSET),
+        );
+        debug_assert!(
+            res_lits.len() - start >= 2,
+            "units handled by simplification"
+        );
+        res_off.push(res_lits.len() as u32);
     }
+    let n_residual = res_off.len() - 1;
+    let res_clause = |i: usize| &res_lits[res_off[i] as usize..res_off[i + 1] as usize];
 
     let mut values: Vec<bool> = fixed.iter().map(|&f| f == 1).collect();
     let mut optimal = true;
 
-    if !residual.is_empty() {
+    if n_residual > 0 {
         // Group residual clauses into variable components.
         let mut dsu = DisjointSet::new(n);
-        for c in &residual {
-            for w in c.windows(2) {
+        for ci in 0..n_residual {
+            for w in res_clause(ci).windows(2) {
                 dsu.union(w[0].var(), w[1].var());
             }
         }
-        use std::collections::HashMap;
-        let mut groups: HashMap<u32, Vec<usize>> = HashMap::new();
-        for (ci, c) in residual.iter().enumerate() {
-            let root = dsu.find(c[0].var());
+        use storage::FxHashMap;
+        let mut groups: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
+        for ci in 0..n_residual {
+            let root = dsu.find(res_clause(ci)[0].var());
             groups.entry(root).or_default().push(ci);
         }
         let mut components: Vec<Vec<usize>> = if opts.decompose {
             groups.into_values().collect()
         } else {
-            vec![(0..residual.len()).collect()]
+            vec![(0..n_residual).collect()]
         };
         // Deterministic order (HashMap order is not).
-        components.sort_by_key(|cs| residual[cs[0]][0].var());
+        components.sort_by_key(|cs| res_clause(cs[0])[0].var());
         stats.components = components.len();
+        // Local numbering buffers, reused across components. `local_of`
+        // uses a generation stamp instead of clearing between components.
+        let mut local_of: Vec<Var> = vec![0; n];
+        let mut local_gen: Vec<u32> = vec![0; n];
+        let mut generation = 0u32;
+        let mut global_of: Vec<Var> = Vec::new();
+        let mut local_off: Vec<u32> = Vec::new();
+        let mut local_lits: Vec<Lit> = Vec::new();
 
         for clause_ids in components {
-            // Local numbering.
-            let mut local_of: HashMap<Var, Var> = HashMap::new();
-            let mut global_of: Vec<Var> = Vec::new();
-            let mut local_clauses: Vec<Box<[Lit]>> = Vec::with_capacity(clause_ids.len());
+            generation += 1;
+            global_of.clear();
+            local_off.clear();
+            local_off.push(0);
+            local_lits.clear();
             for &ci in &clause_ids {
-                let lc: Vec<Lit> = residual[ci]
-                    .iter()
-                    .map(|&l| {
-                        let lv = *local_of.entry(l.var()).or_insert_with(|| {
-                            global_of.push(l.var());
-                            (global_of.len() - 1) as Var
-                        });
-                        if l.is_neg() {
-                            Lit::neg(lv)
-                        } else {
-                            Lit::pos(lv)
-                        }
-                    })
-                    .collect();
-                local_clauses.push(lc.into_boxed_slice());
+                for &l in res_clause(ci) {
+                    let v = l.var() as usize;
+                    if local_gen[v] != generation {
+                        local_gen[v] = generation;
+                        local_of[v] = global_of.len() as Var;
+                        global_of.push(l.var());
+                    }
+                    let lv = local_of[v];
+                    local_lits.push(if l.is_neg() {
+                        Lit::neg(lv)
+                    } else {
+                        Lit::pos(lv)
+                    });
+                }
+                local_off.push(local_lits.len() as u32);
             }
             stats.largest_component = stats.largest_component.max(global_of.len());
             let result = BnB::new(
                 global_of.len(),
-                local_clauses.clone(),
+                &local_off,
+                &local_lits,
                 opts.node_budget,
                 opts.first_solution_only,
             )
@@ -289,7 +304,8 @@ pub fn solve_min_ones(cnf: &Cnf, opts: &MinOnesOptions) -> Outcome {
                 // greedy descent (first solution, no budget) — it stops at
                 // its first leaf and only completes exhaustively when the
                 // component is genuinely unsatisfiable.
-                let retry = BnB::new(global_of.len(), local_clauses, u64::MAX, true).solve();
+                let retry =
+                    BnB::new(global_of.len(), &local_off, &local_lits, u64::MAX, true).solve();
                 stats.decisions += retry.stats.decisions;
                 retry
             } else {

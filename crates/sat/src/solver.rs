@@ -23,6 +23,25 @@ use crate::cnf::{Lit, Var};
 
 const UNASSIGNED: i8 = -1;
 
+/// Borrowed CSR clause database used during construction.
+#[derive(Clone, Copy)]
+struct ClauseView<'c> {
+    off: &'c [u32],
+    lits: &'c [Lit],
+}
+
+impl<'c> ClauseView<'c> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.off.len() - 1
+    }
+
+    #[inline]
+    fn get(&self, ci: usize) -> &'c [Lit] {
+        &self.lits[self.off[ci] as usize..self.off[ci + 1] as usize]
+    }
+}
+
 /// Search statistics for one subproblem.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SearchStats {
@@ -44,10 +63,19 @@ pub struct SearchResult {
 
 /// Counter-based DPLL with a trail, critical-clause branching and pruning on
 /// the number of `True` assignments.
-pub struct BnB {
-    clauses: Vec<Box<[Lit]>>,
-    occ_pos: Vec<Vec<u32>>,
-    occ_neg: Vec<Vec<u32>>,
+pub struct BnB<'c> {
+    /// Clause database in CSR form: clause `i` is
+    /// `clause_lits[clause_off[i]..clause_off[i+1]]`.
+    clause_off: &'c [u32],
+    clause_lits: &'c [Lit],
+    /// CSR occurrence lists: clause ids of positive occurrences of `v` are
+    /// `occ_pos_dat[occ_pos_off[v]..occ_pos_off[v+1]]` (ascending clause
+    /// order), likewise for negative. Flat arrays instead of one `Vec` per
+    /// variable: no per-variable allocation, sequential memory traffic.
+    occ_pos_off: Vec<u32>,
+    occ_pos_dat: Vec<u32>,
+    occ_neg_off: Vec<u32>,
+    occ_neg_dat: Vec<u32>,
     assign: Vec<i8>,
     sat_count: Vec<u32>,
     /// Literals not yet falsified, per clause (0 with `sat_count` 0 is a
@@ -57,9 +85,18 @@ pub struct BnB {
     /// `sat_count == 0 && neg_free == 0` is *critical*: it can only be
     /// satisfied by setting one of its positive variables `True`.
     neg_free: Vec<u32>,
+    /// Bitmask of critical clauses, maintained at the same flip points as
+    /// `crit_score`. Lets the lower bound visit only critical clauses — in
+    /// ascending clause order, i.e. exactly the order the previous
+    /// full-scan implementation used, so search behaviour is unchanged.
+    crit_bits: Vec<u64>,
     /// Per variable: number of critical clauses in which it occurs
     /// positively. The branching score.
     crit_score: Vec<u32>,
+    /// Bitmask of variables with `crit_score > 0` — the only branching
+    /// candidates. Ascending-bit iteration matches the previous full
+    /// variable scan's order, so the same variable is always picked.
+    cand_bits: Vec<u64>,
     trail: Vec<Var>,
     ones: u32,
     lb_stamp: Vec<u32>,
@@ -73,46 +110,85 @@ pub struct BnB {
     stats: SearchStats,
 }
 
-impl BnB {
-    /// Build a solver for `n_vars` local variables and `clauses` (each
-    /// clause tautology-free with unique variables, as produced by
-    /// [`crate::Cnf::add_clause`]).
+impl<'c> BnB<'c> {
+    /// Build a solver for `n_vars` local variables over a borrowed CSR
+    /// clause database (each clause tautology-free with unique variables,
+    /// as produced by [`crate::Cnf::add_clause`]). Borrowing lets the
+    /// caller retry a budget-expired component without copying anything.
     pub fn new(
         n_vars: usize,
-        clauses: Vec<Box<[Lit]>>,
+        clause_off: &'c [u32],
+        clause_lits: &'c [Lit],
         budget: u64,
         first_solution_only: bool,
-    ) -> BnB {
-        let mut occ_pos = vec![Vec::new(); n_vars];
-        let mut occ_neg = vec![Vec::new(); n_vars];
+    ) -> BnB<'c> {
+        let clauses = ClauseView {
+            off: clause_off,
+            lits: clause_lits,
+        };
+        // Occurrence lists in CSR form: count, prefix-sum, fill. Filling in
+        // clause order keeps each variable's clause ids ascending.
+        let mut pos_cnt = vec![0u32; n_vars + 1];
+        let mut neg_cnt = vec![0u32; n_vars + 1];
         let mut neg_free = vec![0u32; clauses.len()];
-        let mut crit_score = vec![0u32; n_vars];
-        for (ci, c) in clauses.iter().enumerate() {
-            for &l in c.iter() {
+        for (ci, free) in neg_free.iter_mut().enumerate() {
+            for &l in clauses.get(ci) {
                 if l.is_neg() {
-                    occ_neg[l.var() as usize].push(ci as u32);
-                    neg_free[ci] += 1;
+                    neg_cnt[l.var() as usize + 1] += 1;
+                    *free += 1;
                 } else {
-                    occ_pos[l.var() as usize].push(ci as u32);
+                    pos_cnt[l.var() as usize + 1] += 1;
                 }
             }
         }
-        for (ci, c) in clauses.iter().enumerate() {
+        for v in 0..n_vars {
+            pos_cnt[v + 1] += pos_cnt[v];
+            neg_cnt[v + 1] += neg_cnt[v];
+        }
+        let (occ_pos_off, occ_neg_off) = (pos_cnt, neg_cnt);
+        let mut occ_pos_dat = vec![0u32; *occ_pos_off.last().expect("n+1 offsets") as usize];
+        let mut occ_neg_dat = vec![0u32; *occ_neg_off.last().expect("n+1 offsets") as usize];
+        let mut pos_fill = occ_pos_off.clone();
+        let mut neg_fill = occ_neg_off.clone();
+        let mut crit_score = vec![0u32; n_vars];
+        let mut crit_bits = vec![0u64; clauses.len().div_ceil(64)];
+        let mut cand_bits = vec![0u64; n_vars.div_ceil(64)];
+        for ci in 0..clauses.len() {
+            for &l in clauses.get(ci) {
+                let v = l.var() as usize;
+                if l.is_neg() {
+                    occ_neg_dat[neg_fill[v] as usize] = ci as u32;
+                    neg_fill[v] += 1;
+                } else {
+                    occ_pos_dat[pos_fill[v] as usize] = ci as u32;
+                    pos_fill[v] += 1;
+                }
+            }
             if neg_free[ci] == 0 {
-                for &l in c.iter() {
-                    crit_score[l.var() as usize] += 1;
+                crit_bits[ci / 64] |= 1u64 << (ci % 64);
+                for &l in clauses.get(ci) {
+                    let v = l.var() as usize;
+                    crit_score[v] += 1;
+                    cand_bits[v / 64] |= 1u64 << (v % 64);
                 }
             }
         }
-        let unassigned_count = clauses.iter().map(|c| c.len() as u32).collect();
+        let unassigned_count = (0..clauses.len())
+            .map(|ci| clauses.get(ci).len() as u32)
+            .collect();
         BnB {
             sat_count: vec![0; clauses.len()],
             unassigned_count,
             neg_free,
+            crit_bits,
             crit_score,
-            clauses,
-            occ_pos,
-            occ_neg,
+            cand_bits,
+            clause_off,
+            clause_lits,
+            occ_pos_off,
+            occ_pos_dat,
+            occ_neg_off,
+            occ_neg_dat,
             assign: vec![UNASSIGNED; n_vars],
             trail: Vec::new(),
             ones: 0,
@@ -128,13 +204,38 @@ impl BnB {
         }
     }
 
+    /// Clause `ci` as a literal slice. Returns the `'c` borrow (not tied
+    /// to `&self`), so callers can keep it across `&mut self` updates.
+    #[inline]
+    fn clause(&self, ci: usize) -> &'c [Lit] {
+        &self.clause_lits[self.clause_off[ci] as usize..self.clause_off[ci + 1] as usize]
+    }
+
+    /// Number of clauses.
+    #[inline]
+    fn n_clauses(&self) -> usize {
+        self.clause_off.len() - 1
+    }
+
+    /// Positive-occurrence clause ids of `v`, ascending.
+    #[inline]
+    fn occ_pos(&self, v: usize) -> &[u32] {
+        &self.occ_pos_dat[self.occ_pos_off[v] as usize..self.occ_pos_off[v + 1] as usize]
+    }
+
+    /// Negative-occurrence clause ids of `v`, ascending.
+    #[inline]
+    fn occ_neg(&self, v: usize) -> &[u32] {
+        &self.occ_neg_dat[self.occ_neg_off[v] as usize..self.occ_neg_off[v + 1] as usize]
+    }
+
     /// Run the search and return the minimum-ones solution.
     pub fn solve(mut self) -> SearchResult {
         // Seed with the initial unit clauses; a root conflict means UNSAT.
         let mut ok = true;
-        for ci in 0..self.clauses.len() {
-            if self.clauses[ci].len() == 1 && self.sat_count[ci] == 0 {
-                let l = self.clauses[ci][0];
+        for ci in 0..self.n_clauses() {
+            if self.clause(ci).len() == 1 && self.sat_count[ci] == 0 {
+                let l = self.clause(ci)[0];
                 if !self.propagate(l.var(), l.satisfying_value()) {
                     ok = false;
                     break;
@@ -157,14 +258,25 @@ impl BnB {
     }
 
     /// Clause `ci` flipped criticality; shift the scores of its positive
-    /// variables by `delta`.
+    /// variables by `delta` and keep the critical bitmask in sync.
     #[inline]
     fn shift_crit(&mut self, ci: usize, delta: i32) {
-        for k in 0..self.clauses[ci].len() {
-            let l = self.clauses[ci][k];
+        if delta > 0 {
+            self.crit_bits[ci / 64] |= 1u64 << (ci % 64);
+        } else {
+            self.crit_bits[ci / 64] &= !(1u64 << (ci % 64));
+        }
+        for k in 0..self.clause(ci).len() {
+            let l = self.clause(ci)[k];
             if !l.is_neg() {
-                let s = &mut self.crit_score[l.var() as usize];
+                let v = l.var() as usize;
+                let s = &mut self.crit_score[v];
                 *s = (*s as i32 + delta) as u32;
+                if *s == 0 {
+                    self.cand_bits[v / 64] &= !(1u64 << (v % 64));
+                } else {
+                    self.cand_bits[v / 64] |= 1u64 << (v % 64);
+                }
             }
         }
     }
@@ -190,15 +302,15 @@ impl BnB {
             self.stats.propagations += 1;
             // Clauses satisfied by this literal.
             let sat_len = if val {
-                self.occ_pos[v as usize].len()
+                self.occ_pos(v as usize).len()
             } else {
-                self.occ_neg[v as usize].len()
+                self.occ_neg(v as usize).len()
             };
             for i in 0..sat_len {
                 let ci = if val {
-                    self.occ_pos[v as usize][i]
+                    self.occ_pos(v as usize)[i]
                 } else {
-                    self.occ_neg[v as usize][i]
+                    self.occ_neg(v as usize)[i]
                 } as usize;
                 if self.is_critical(ci) {
                     self.shift_crit(ci, -1);
@@ -211,15 +323,15 @@ impl BnB {
             // never see a half-applied one.
             let mut conflict = false;
             let false_len = if val {
-                self.occ_neg[v as usize].len()
+                self.occ_neg(v as usize).len()
             } else {
-                self.occ_pos[v as usize].len()
+                self.occ_pos(v as usize).len()
             };
             for i in 0..false_len {
                 let ci = if val {
-                    self.occ_neg[v as usize][i]
+                    self.occ_neg(v as usize)[i]
                 } else {
-                    self.occ_pos[v as usize][i]
+                    self.occ_pos(v as usize)[i]
                 } as usize;
                 self.unassigned_count[ci] -= 1;
                 if val {
@@ -233,7 +345,8 @@ impl BnB {
                     match self.unassigned_count[ci] {
                         0 => conflict = true,
                         1 => {
-                            let l = self.clauses[ci]
+                            let l = self
+                                .clause(ci)
                                 .iter()
                                 .copied()
                                 .find(|l| self.assign[l.var() as usize] == UNASSIGNED)
@@ -261,15 +374,15 @@ impl BnB {
             }
             // Un-satisfy.
             let sat_len = if val {
-                self.occ_pos[v as usize].len()
+                self.occ_pos(v as usize).len()
             } else {
-                self.occ_neg[v as usize].len()
+                self.occ_neg(v as usize).len()
             };
             for i in 0..sat_len {
                 let ci = if val {
-                    self.occ_pos[v as usize][i]
+                    self.occ_pos(v as usize)[i]
                 } else {
-                    self.occ_neg[v as usize][i]
+                    self.occ_neg(v as usize)[i]
                 } as usize;
                 self.sat_count[ci] -= 1;
                 if self.is_critical(ci) {
@@ -278,15 +391,15 @@ impl BnB {
             }
             // Restore falsified literals.
             let false_len = if val {
-                self.occ_neg[v as usize].len()
+                self.occ_neg(v as usize).len()
             } else {
-                self.occ_pos[v as usize].len()
+                self.occ_pos(v as usize).len()
             };
             for i in 0..false_len {
                 let ci = if val {
-                    self.occ_neg[v as usize][i]
+                    self.occ_neg(v as usize)[i]
                 } else {
-                    self.occ_pos[v as usize][i]
+                    self.occ_pos(v as usize)[i]
                 } as usize;
                 if val {
                     // A negative literal comes back.
@@ -301,23 +414,24 @@ impl BnB {
     }
 
     /// Greedy lower bound: critical clauses each force at least one `True`;
-    /// count a variable-disjoint set of them.
+    /// count a variable-disjoint set of them. Visits only the clauses in
+    /// the critical bitmask, in ascending clause order — the same greedy
+    /// traversal (hence the same bound) as a full scan, without touching
+    /// the non-critical majority.
     fn lower_bound(&mut self) -> u32 {
         self.stamp += 1;
         let stamp = self.stamp;
         let mut lb = 0;
-        'clause: for ci in 0..self.clauses.len() {
-            if !self.is_critical(ci) {
-                continue;
-            }
-            for &l in self.clauses[ci].iter() {
+        'clause: for ci in CritIter::new(&self.crit_bits) {
+            debug_assert!(self.is_critical(ci));
+            for &l in self.clause(ci) {
                 if self.assign[l.var() as usize] == UNASSIGNED
                     && self.lb_stamp[l.var() as usize] == stamp
                 {
                     continue 'clause;
                 }
             }
-            for &l in self.clauses[ci].iter() {
+            for &l in self.clause(ci) {
                 if self.assign[l.var() as usize] == UNASSIGNED {
                     self.lb_stamp[l.var() as usize] = stamp;
                 }
@@ -328,14 +442,17 @@ impl BnB {
     }
 
     /// Unassigned variable covering the most critical clauses; `None` when
-    /// no critical clause is open.
+    /// no critical clause is open. Scans only the candidate bitmask
+    /// (variables with positive score), in ascending order — the same
+    /// first-max tie-break as a full variable scan.
     fn pick_var(&self) -> Option<Var> {
         let mut best: Option<(Var, u32)> = None;
-        for v in 0..self.assign.len() {
-            if self.assign[v] != UNASSIGNED || self.crit_score[v] == 0 {
+        for v in CritIter::new(&self.cand_bits) {
+            if self.assign[v] != UNASSIGNED {
                 continue;
             }
             let s = self.crit_score[v];
+            debug_assert!(s > 0);
             match best {
                 Some((_, bs)) if bs >= s => {}
                 _ => best = Some((v as Var, s)),
@@ -387,16 +504,58 @@ impl BnB {
     }
 }
 
+/// Iterator over set bits of the critical-clause mask, ascending.
+struct CritIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl<'a> CritIter<'a> {
+    fn new(words: &'a [u64]) -> CritIter<'a> {
+        CritIter {
+            words,
+            word_idx: 0,
+            current: words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl Iterator for CritIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * 64 + bit)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn csr(clauses: &[&[Lit]]) -> (Vec<u32>, Vec<Lit>) {
+        let mut off = vec![0u32];
+        let mut lits = Vec::new();
+        for c in clauses {
+            lits.extend_from_slice(c);
+            off.push(lits.len() as u32);
+        }
+        (off, lits)
+    }
+
     fn solve(n: usize, clauses: &[&[Lit]]) -> Option<(Vec<bool>, u32)> {
-        let cs = clauses
-            .iter()
-            .map(|c| c.to_vec().into_boxed_slice())
-            .collect();
-        BnB::new(n, cs, u64::MAX, false).solve().best
+        let (off, lits) = csr(clauses);
+        BnB::new(n, &off, &lits, u64::MAX, false).solve().best
     }
 
     #[test]
@@ -449,12 +608,8 @@ mod tests {
     fn budget_abort_reported() {
         // A formula needing some search, with budget 1.
         let (a, b, c) = (Lit::pos(0), Lit::pos(1), Lit::pos(2));
-        let cs: Vec<Box<[Lit]>> = vec![
-            vec![a, b].into_boxed_slice(),
-            vec![b, c].into_boxed_slice(),
-            vec![c, a].into_boxed_slice(),
-        ];
-        let res = BnB::new(3, cs, 1, false).solve();
+        let (off, lits) = csr(&[&[a, b], &[b, c], &[c, a]]);
+        let res = BnB::new(3, &off, &lits, 1, false).solve();
         assert!(!res.complete);
     }
 

@@ -13,6 +13,36 @@ use std::fs::OpenOptions;
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 
+/// The shim's measurement policy as a reusable function: warm up for
+/// `warm_up`, then time iterations until `measurement` has elapsed *and*
+/// at least `min_iters` iterations ran; returns `(mean_ns, iterations)`.
+/// [`Bencher::iter`] and the `repro bench-json` emitter both call this, so
+/// committed `BENCH_*.json` records always use criterion-identical timing.
+pub fn measure_mean_ns(
+    warm_up: Duration,
+    measurement: Duration,
+    min_iters: u64,
+    mut f: impl FnMut(),
+) -> (f64, u64) {
+    let t0 = Instant::now();
+    loop {
+        f();
+        if t0.elapsed() >= warm_up {
+            break;
+        }
+    }
+    let mut iters: u64 = 0;
+    let start = Instant::now();
+    loop {
+        f();
+        iters += 1;
+        if start.elapsed() >= measurement && iters >= min_iters {
+            break;
+        }
+    }
+    (start.elapsed().as_nanos() as f64 / iters as f64, iters)
+}
+
 /// Benchmark identifier: `function_id/parameter`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BenchmarkId {
@@ -59,26 +89,15 @@ pub struct Bencher {
 impl Bencher {
     /// Run `f` repeatedly and record the mean wall-clock time.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        // Warm-up: at least one call, up to the configured duration.
-        let t0 = Instant::now();
-        loop {
-            std::hint::black_box(f());
-            if t0.elapsed() >= self.warm_up {
-                break;
-            }
-        }
-        // Measurement.
-        let mut iters: u64 = 0;
-        let start = Instant::now();
-        loop {
-            std::hint::black_box(f());
-            iters += 1;
-            if start.elapsed() >= self.measurement && iters >= self.sample_size as u64 {
-                break;
-            }
-        }
-        let total = start.elapsed();
-        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        let (mean_ns, iters) = measure_mean_ns(
+            self.warm_up,
+            self.measurement,
+            self.sample_size as u64,
+            || {
+                std::hint::black_box(f());
+            },
+        );
+        self.mean_ns = mean_ns;
         self.iters = iters;
     }
 }

@@ -75,6 +75,12 @@ impl Instance {
         self.relations[rel.idx()].ensure_index(col);
     }
 
+    /// Build (or fetch) the composite index of `rel` over `cols` (strictly
+    /// ascending); returns the id to pass to [`Relation::probe`].
+    pub fn ensure_composite_index(&mut self, rel: RelId, cols: &[usize]) -> crate::IndexId {
+        self.relations[rel.idx()].ensure_composite_index(cols)
+    }
+
     /// Build every index on every column (used by benches and tests; the
     /// evaluator requests only the indexes its plans need).
     pub fn index_all(&mut self) {
@@ -107,14 +113,13 @@ impl Instance {
         (0..self.relations[rel.idx()].num_rows() as u32).map(move |row| TupleId::new(rel, row))
     }
 
-    /// Iterate every tuple id in the instance.
+    /// Iterate every tuple id in the instance. Allocation-free: callers
+    /// like the stability check hit this once per round.
     pub fn all_tuple_ids(&self) -> impl Iterator<Item = TupleId> + '_ {
-        self.schema
-            .iter()
-            .map(|(rid, _)| rid)
-            .collect::<Vec<_>>()
-            .into_iter()
-            .flat_map(move |rid| self.tuple_ids(rid))
+        self.relations.iter().enumerate().flat_map(|(i, r)| {
+            let rel = RelId(i as u16);
+            (0..r.num_rows() as u32).map(move |row| TupleId::new(rel, row))
+        })
     }
 
     /// Render `tid` as `Relation(v1, …, vn)` for messages and examples.

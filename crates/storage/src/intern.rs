@@ -6,12 +6,24 @@
 //! MAS workload joins on author/organization names.
 //!
 //! The table leaks the interned strings (via `Box::leak`) so `Sym::as_str`
-//! can hand out `&'static str` without holding any lock. The leak is bounded
-//! by the number of *distinct* strings ever interned — for the workloads in
-//! this repository that is a few hundred thousand short names.
+//! can hand out `&'static str`. The leak is bounded by the number of
+//! *distinct* strings ever interned — for the workloads in this repository
+//! that is a few hundred thousand short names.
+//!
+//! **Read path.** `Sym::as_str` sits under [`crate::value::Value`]'s
+//! lexicographic ordering, so comparison-heavy denial constraints call it
+//! once per comparison; taking the intern mutex there serializes otherwise
+//! independent evaluation threads. Reads therefore go through a lock-free
+//! append-only table: a spine of doubling buckets (bucket `b` holds
+//! `64 << b` entries, so 27 buckets cover the full `u32` id space without
+//! ever moving an entry), each entry an `AtomicPtr` to a leaked
+//! `&'static str` cell. Writers (interning, rare) still serialize on the
+//! mutex and publish each entry with `Release` before the `Sym` escapes;
+//! readers do two dependent `Acquire` loads and never block.
 
-use std::collections::HashMap;
+use crate::hash::FxHashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// An interned string. Cheap to copy, compare and hash.
@@ -22,39 +34,108 @@ use std::sync::{Mutex, OnceLock};
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Sym(u32);
 
-struct Table {
-    map: HashMap<&'static str, u32>,
-    strings: Vec<&'static str>,
+/// Capacity of bucket 0; bucket `b` holds `FIRST_BUCKET << b` entries.
+const FIRST_BUCKET: usize = 64;
+/// `64 * (2^27 - 1) > u32::MAX`: 27 buckets cover every possible id.
+const NUM_BUCKETS: usize = 27;
+
+/// Bucket spine of the lock-free read table. A bucket, once allocated, is a
+/// leaked slice of `AtomicPtr<&'static str>` cells and never moves.
+struct ReadTable {
+    buckets: [AtomicPtr<AtomicPtr<&'static str>>; NUM_BUCKETS],
 }
 
-fn table() -> &'static Mutex<Table> {
-    static TABLE: OnceLock<Mutex<Table>> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        Mutex::new(Table {
-            map: HashMap::new(),
-            strings: Vec::new(),
-        })
+/// `(bucket, offset, bucket_len)` of entry `id`.
+#[inline]
+fn locate(id: u32) -> (usize, usize, usize) {
+    let v = id as usize / FIRST_BUCKET + 1;
+    let b = (usize::BITS - 1 - v.leading_zeros()) as usize;
+    let start = FIRST_BUCKET * ((1 << b) - 1);
+    (b, id as usize - start, FIRST_BUCKET << b)
+}
+
+impl ReadTable {
+    fn new() -> ReadTable {
+        ReadTable {
+            buckets: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+        }
+    }
+
+    /// Publish `s` as entry `id`. Called only under the intern mutex (one
+    /// writer at a time), *before* the `Sym` is returned to any caller.
+    fn publish(&self, id: u32, s: &'static str) {
+        let (b, off, len) = locate(id);
+        let mut bucket = self.buckets[b].load(Ordering::Acquire);
+        if bucket.is_null() {
+            let fresh: Box<[AtomicPtr<&'static str>]> = (0..len)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect();
+            bucket = Box::leak(fresh).as_mut_ptr();
+            self.buckets[b].store(bucket, Ordering::Release);
+        }
+        let cell_value = Box::into_raw(Box::new(s));
+        // SAFETY: `off < len` by `locate`, and the bucket is a live leaked
+        // slice of `len` cells.
+        unsafe { (*bucket.add(off)).store(cell_value, Ordering::Release) };
+    }
+
+    /// Read entry `id`. Sound only for ids previously returned by
+    /// [`Sym::new`]: the `Release` stores in `publish` happen-before the
+    /// `Sym` ever escapes the interner.
+    #[inline]
+    fn read(&self, id: u32) -> &'static str {
+        let (b, off, _) = locate(id);
+        let bucket = self.buckets[b].load(Ordering::Acquire);
+        debug_assert!(!bucket.is_null(), "read of unpublished Sym");
+        // SAFETY: the bucket and the cell were published with `Release`
+        // before this id existed as a `Sym`; the cell pointer is non-null
+        // and points at a leaked `&'static str`.
+        unsafe { *(*bucket.add(off)).load(Ordering::Acquire) }
+    }
+}
+
+struct Table {
+    map: FxHashMap<&'static str, u32>,
+    len: u32,
+}
+
+struct Interner {
+    writer: Mutex<Table>,
+    reader: ReadTable,
+}
+
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(|| Interner {
+        writer: Mutex::new(Table {
+            map: FxHashMap::default(),
+            len: 0,
+        }),
+        reader: ReadTable::new(),
     })
 }
 
 impl Sym {
     /// Intern `s`, returning its symbol. Idempotent.
     pub fn new(s: &str) -> Sym {
-        let mut t = table().lock().expect("interner poisoned");
+        let it = interner();
+        let mut t = it.writer.lock().expect("interner poisoned");
         if let Some(&id) = t.map.get(s) {
             return Sym(id);
         }
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-        let id = u32::try_from(t.strings.len()).expect("interner overflow");
-        t.strings.push(leaked);
+        let id = t.len;
+        t.len = id.checked_add(1).expect("interner overflow");
+        it.reader.publish(id, leaked);
         t.map.insert(leaked, id);
         Sym(id)
     }
 
-    /// The interned string.
+    /// The interned string. Lock-free: a `Sym` only exists after its entry
+    /// was published, so this never observes a missing slot.
+    #[inline]
     pub fn as_str(self) -> &'static str {
-        let t = table().lock().expect("interner poisoned");
-        t.strings[self.0 as usize]
+        interner().reader.read(self.0)
     }
 
     /// The raw symbol id (stable within one process run).
@@ -112,5 +193,51 @@ mod tests {
     fn empty_string_interns() {
         let s = Sym::new("");
         assert_eq!(s.as_str(), "");
+    }
+
+    #[test]
+    fn locate_covers_bucket_boundaries() {
+        assert_eq!(locate(0), (0, 0, 64));
+        assert_eq!(locate(63), (0, 63, 64));
+        assert_eq!(locate(64), (1, 0, 128));
+        assert_eq!(locate(191), (1, 127, 128));
+        assert_eq!(locate(192), (2, 0, 256));
+        let (b, off, len) = locate(u32::MAX);
+        assert!(b < NUM_BUCKETS);
+        assert!(off < len);
+    }
+
+    #[test]
+    fn reads_cross_bucket_boundaries() {
+        // Intern enough distinct strings to spill into later buckets; every
+        // id must read back its own string.
+        let syms: Vec<(Sym, String)> = (0..500)
+            .map(|i| {
+                let s = format!("bucket-spill-{i}");
+                (Sym::new(&s), s)
+            })
+            .collect();
+        for (sym, s) in &syms {
+            assert_eq!(sym.as_str(), s);
+        }
+    }
+
+    #[test]
+    fn concurrent_reads_and_interns() {
+        let base: Vec<Sym> = (0..64).map(|i| Sym::new(&format!("conc-{i}"))).collect();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let base = &base;
+                scope.spawn(move || {
+                    for round in 0..200 {
+                        for (i, s) in base.iter().enumerate() {
+                            assert_eq!(s.as_str(), format!("conc-{i}"));
+                        }
+                        let fresh = Sym::new(&format!("conc-new-{t}-{round}"));
+                        assert_eq!(fresh.as_str(), format!("conc-new-{t}-{round}"));
+                    }
+                });
+            }
+        });
     }
 }

@@ -23,6 +23,7 @@
 
 pub mod bitset;
 pub mod error;
+pub mod hash;
 pub mod instance;
 pub mod intern;
 pub mod relation;
@@ -34,9 +35,10 @@ pub mod value;
 
 pub use bitset::BitSet;
 pub use error::StorageError;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use instance::Instance;
 pub use intern::Sym;
-pub use relation::Relation;
+pub use relation::{IndexId, Relation};
 pub use schema::{Attr, AttrType, RelId, RelationSchema, Schema};
 pub use state::State;
 pub use tuple::{Tuple, TupleId};

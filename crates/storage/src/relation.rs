@@ -1,33 +1,61 @@
-//! Append-only, deduplicated tuple storage with per-column hash indexes.
+//! Append-only, deduplicated tuple storage with composite hash indexes.
 
 use crate::error::StorageError;
+use crate::hash::FxHashMap;
 use crate::schema::RelationSchema;
 use crate::tuple::Tuple;
 use crate::value::Value;
-use std::collections::HashMap;
+
+/// A hash index over one set of columns.
+///
+/// Keys are the tuple's values at `cols` (ascending column order); the entry
+/// lists every row holding that key, in insertion (= ascending row) order —
+/// the property the evaluator's deterministic enumeration relies on.
+#[derive(Clone, Debug)]
+struct CompositeIndex {
+    /// Indexed columns, strictly ascending.
+    cols: Box<[usize]>,
+    /// Key (values at `cols`) → rows, ascending.
+    map: FxHashMap<Box<[Value]>, Vec<u32>>,
+}
+
+impl CompositeIndex {
+    fn key_of(&self, t: &Tuple) -> Box<[Value]> {
+        self.cols.iter().map(|&c| *t.get(c)).collect()
+    }
+
+    fn add(&mut self, row: u32, t: &Tuple) {
+        self.map.entry(self.key_of(t)).or_default().push(row);
+    }
+}
+
+/// Identifier of a composite index within one [`Relation`], as returned by
+/// [`Relation::ensure_composite_index`]. Probe plans store these so lookups
+/// skip the columns→index resolution entirely.
+pub type IndexId = u32;
 
 /// Storage for one relation.
 ///
 /// Tuples are appended once and never moved; *presence* is tracked outside
 /// this type by [`crate::State`] bitsets. The store deduplicates (relations
-/// are sets, per Section 2 of the paper) and maintains optional per-column
-/// hash indexes used by the join evaluator.
-#[derive(Clone, Debug)]
+/// are sets, per Section 2 of the paper) and maintains composite hash
+/// indexes — requested by the evaluator's probe plans, one per distinct set
+/// of bound columns — incrementally on insert.
+#[derive(Clone, Debug, Default)]
 pub struct Relation {
     tuples: Vec<Tuple>,
-    dedup: HashMap<Tuple, u32>,
-    /// `indexes[col]` maps a value to the rows holding it in column `col`.
-    indexes: Vec<Option<HashMap<Value, Vec<u32>>>>,
+    dedup: FxHashMap<Tuple, u32>,
+    indexes: Vec<CompositeIndex>,
+    /// Columns signature → position in `indexes`.
+    by_cols: FxHashMap<Box<[usize]>, IndexId>,
 }
 
 impl Relation {
-    /// Empty storage for a relation of the given arity.
-    pub fn new(arity: usize) -> Relation {
-        Relation {
-            tuples: Vec::new(),
-            dedup: HashMap::new(),
-            indexes: vec![None; arity],
-        }
+    /// Empty storage for a relation of the given arity. (The arity is
+    /// implied by the inserted tuples; the parameter is kept for call-site
+    /// clarity.)
+    pub fn new(_arity: usize) -> Relation {
+        Relation::default()
     }
 
     /// Number of rows ever inserted (including ones later deleted by states).
@@ -50,10 +78,8 @@ impl Relation {
             return (row, false);
         }
         let row = u32::try_from(self.tuples.len()).expect("relation too large");
-        for (col, idx) in self.indexes.iter_mut().enumerate() {
-            if let Some(map) = idx {
-                map.entry(*t.get(col)).or_default().push(row);
-            }
+        for idx in &mut self.indexes {
+            idx.add(row, &t);
         }
         self.dedup.insert(t.clone(), row);
         self.tuples.push(t);
@@ -91,31 +117,62 @@ impl Relation {
         self.dedup.get(t).copied()
     }
 
-    /// Build the hash index for `col` if absent.
-    pub fn ensure_index(&mut self, col: usize) {
-        if self.indexes[col].is_some() {
-            return;
-        }
-        let mut map: HashMap<Value, Vec<u32>> = HashMap::new();
-        for (row, t) in self.tuples.iter().enumerate() {
-            map.entry(*t.get(col)).or_default().push(row as u32);
-        }
-        self.indexes[col] = Some(map);
-    }
-
-    /// Is the index for `col` built?
-    pub fn has_index(&self, col: usize) -> bool {
-        self.indexes[col].is_some()
-    }
-
-    /// Rows whose column `col` equals `v`, via the index.
+    /// Build (or fetch) the composite index over `cols` and return its id.
     ///
-    /// Returns `None` when the index has not been built — callers fall back
-    /// to a scan (the evaluator builds indexes up front, so this is rare).
+    /// `cols` must be strictly ascending. Idempotent: requesting the same
+    /// column set twice returns the same id.
+    pub fn ensure_composite_index(&mut self, cols: &[usize]) -> IndexId {
+        debug_assert!(
+            cols.windows(2).all(|w| w[0] < w[1]) && !cols.is_empty(),
+            "index columns must be non-empty and strictly ascending"
+        );
+        if let Some(&id) = self.by_cols.get(cols) {
+            return id;
+        }
+        let mut idx = CompositeIndex {
+            cols: cols.into(),
+            map: FxHashMap::default(),
+        };
+        for (row, t) in self.tuples.iter().enumerate() {
+            idx.add(row as u32, t);
+        }
+        let id = u32::try_from(self.indexes.len()).expect("too many indexes");
+        self.by_cols.insert(cols.into(), id);
+        self.indexes.push(idx);
+        id
+    }
+
+    /// Rows whose values at the index's columns equal `key`, ascending.
+    /// Returns the empty slice when no row matches.
+    #[inline]
+    pub fn probe(&self, index: IndexId, key: &[Value]) -> &[u32] {
+        self.indexes[index as usize]
+            .map
+            .get(key)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Build the single-column hash index for `col` if absent. Convenience
+    /// wrapper over [`Relation::ensure_composite_index`] for tools and
+    /// tests; the evaluator's probe plans request composite indexes
+    /// directly.
+    pub fn ensure_index(&mut self, col: usize) {
+        self.ensure_composite_index(&[col]);
+    }
+
+    /// Is an index over exactly `{col}` built?
+    pub fn has_index(&self, col: usize) -> bool {
+        self.by_cols.contains_key(&[col][..])
+    }
+
+    /// Rows whose column `col` equals `v`, via the single-column index;
+    /// `None` when that index has not been built. Single-column
+    /// convenience for ad-hoc queries — the evaluator itself resolves
+    /// plans to index ids once and calls [`Relation::probe`].
     pub fn lookup(&self, col: usize, v: &Value) -> Option<&[u32]> {
-        self.indexes[col]
-            .as_ref()
-            .map(|m| m.get(v).map(Vec::as_slice).unwrap_or(&[]))
+        let &id = self.by_cols.get(&[col][..])?;
+        Some(self.probe(id, std::slice::from_ref(v)))
     }
 
     /// Iterate all rows `(row, tuple)` ever inserted.
@@ -155,6 +212,44 @@ mod tests {
         assert_eq!(r.lookup(0, &Value::Int(2)).unwrap(), &[2]);
         assert_eq!(r.lookup(0, &Value::Int(9)).unwrap(), &[] as &[u32]);
         assert!(r.lookup(1, &Value::Int(10)).is_none()); // not built
+    }
+
+    #[test]
+    fn composite_index_matches_all_key_columns() {
+        let mut r = Relation::new(3);
+        r.insert(t(&[1, 10, 100]));
+        let idx = r.ensure_composite_index(&[0, 2]);
+        r.insert(t(&[1, 20, 100]));
+        r.insert(t(&[1, 30, 999]));
+        r.insert(t(&[2, 40, 100]));
+        assert_eq!(r.probe(idx, &[Value::Int(1), Value::Int(100)]), &[0, 1]);
+        assert_eq!(r.probe(idx, &[Value::Int(2), Value::Int(100)]), &[3]);
+        assert_eq!(r.probe(idx, &[Value::Int(9), Value::Int(9)]), &[] as &[u32]);
+    }
+
+    #[test]
+    fn composite_index_ids_are_stable_and_deduped() {
+        let mut r = Relation::new(2);
+        let a = r.ensure_composite_index(&[0]);
+        let b = r.ensure_composite_index(&[0, 1]);
+        assert_ne!(a, b);
+        assert_eq!(r.ensure_composite_index(&[0]), a);
+        assert_eq!(r.ensure_composite_index(&[0, 1]), b);
+        assert!(r.has_index(0));
+        assert!(!r.has_index(1));
+    }
+
+    #[test]
+    fn probe_rows_stay_ascending_across_inserts() {
+        let mut r = Relation::new(2);
+        let idx = r.ensure_composite_index(&[1]);
+        for i in 0..50 {
+            r.insert(t(&[i, i % 3]));
+        }
+        for k in 0..3 {
+            let rows = r.probe(idx, &[Value::Int(k)]);
+            assert!(rows.windows(2).all(|w| w[0] < w[1]), "ascending: {rows:?}");
+        }
     }
 
     #[test]
