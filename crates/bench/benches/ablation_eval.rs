@@ -7,7 +7,7 @@
 //! the gap; shallow DC-style programs (mas-11, one round) show the
 //! overhead is negligible when there is nothing to save.
 
-use bench::{repairer_for, MasLab};
+use bench::{session_for, MasLab};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use repair_core::end;
 use std::hint::black_box;
@@ -26,12 +26,13 @@ fn bench_eval_ablation(c: &mut Criterion) {
             .iter()
             .find(|w| w.name == name)
             .expect("workload");
-        let (db, repairer) = repairer_for(&lab.data.db, w);
+        let session = session_for(&lab.data.db, w);
+        let (db, ev) = (session.db(), session.evaluator());
         group.bench_function(BenchmarkId::new("semi_naive", name), |b| {
-            b.iter(|| black_box(end::run(&db, repairer.evaluator()).deleted.len()))
+            b.iter(|| black_box(end::run(db, ev).deleted.len()))
         });
         group.bench_function(BenchmarkId::new("naive", name), |b| {
-            b.iter(|| black_box(end::run_naive(&db, repairer.evaluator()).deleted.len()))
+            b.iter(|| black_box(end::run_naive(db, ev).deleted.len()))
         });
     }
     group.finish();

@@ -9,7 +9,7 @@
 //! and processing phases on the mas-12 workload), not synthesized, so the
 //! structure matches what the solver sees in production.
 
-use bench::{repairer_for, MasLab};
+use bench::{session_for, MasLab};
 use criterion::{criterion_group, criterion_main, Criterion};
 use datalog::Mode;
 use provenance::ProvFormula;
@@ -26,12 +26,13 @@ fn cnf_for(lab: &MasLab, name: &str) -> Cnf {
         .iter()
         .find(|w| w.name == name)
         .expect("workload");
-    let (db, repairer) = repairer_for(&lab.data.db, w);
+    let session = session_for(&lab.data.db, w);
+    let db = session.db();
     let state = db.initial_state();
     let mut assignments = Vec::new();
-    repairer
+    session
         .evaluator()
-        .for_each_assignment(&db, &state, Mode::Hypothetical, &mut |a| {
+        .for_each_assignment(db, &state, Mode::Hypothetical, &mut |a| {
             assignments.push(a.clone());
             true
         });
@@ -62,9 +63,9 @@ fn bench_sat_ablation(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(1200));
     for name in ["mas-12", "mas-08"] {
         let cnf = cnf_for(&lab, name);
-        // All configs share the Repairer's default node budget so a
+        // All configs share the session's default node budget so a
         // pathological branch & bound cannot stall the benchmark run.
-        let budget = repair_core::Repairer::DEFAULT_NODE_BUDGET;
+        let budget = repair_core::RepairSession::DEFAULT_NODE_BUDGET;
         let configs: [(&str, MinOnesOptions); 3] = [
             (
                 "full",

@@ -4,7 +4,7 @@
 //! (Proposition 4.2's family, where greedy is provably approximate).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use repair_core::{step, testkit, Repairer};
+use repair_core::{step, testkit, RepairSession};
 use std::hint::black_box;
 use std::time::Duration;
 use storage::{AttrType, Instance, Schema, Value};
@@ -34,15 +34,16 @@ fn bench_step_ablation(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(1200));
 
     // The running example.
-    let mut db = testkit::figure1_instance();
-    let repairer = Repairer::new(&mut db, testkit::figure2_program()).unwrap();
+    let session =
+        RepairSession::new(testkit::figure1_instance(), testkit::figure2_program()).unwrap();
+    let (db, ev) = (session.db(), session.evaluator());
     group.bench_function("figure1/greedy", |b| {
-        b.iter(|| black_box(step::run_greedy(&db, repairer.evaluator()).deleted.len()))
+        b.iter(|| black_box(step::run_greedy(db, ev).deleted.len()))
     });
     group.bench_function("figure1/exact", |b| {
         b.iter(|| {
             black_box(
-                step::optimal(&db, repairer.evaluator(), 1 << 20)
+                step::optimal(db, ev, 1 << 20)
                     .map(|s| s.len())
                     .unwrap_or(usize::MAX),
             )
@@ -50,19 +51,19 @@ fn bench_step_ablation(c: &mut Criterion) {
     });
 
     // A two-triangles vertex-cover instance (VC = 4).
-    let mut vc = vc_db(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
-    let vc_rep = Repairer::new(
-        &mut vc,
+    let vc_session = RepairSession::new(
+        vc_db(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]),
         datalog::parse_program("delta VC(x) :- E(x, y), VC(x), VC(y).").unwrap(),
     )
     .unwrap();
+    let (vc, vc_ev) = (vc_session.db(), vc_session.evaluator());
     group.bench_function("two_triangles/greedy", |b| {
-        b.iter(|| black_box(step::run_greedy(&vc, vc_rep.evaluator()).deleted.len()))
+        b.iter(|| black_box(step::run_greedy(vc, vc_ev).deleted.len()))
     });
     group.bench_function("two_triangles/exact", |b| {
         b.iter(|| {
             black_box(
-                step::optimal(&vc, vc_rep.evaluator(), 1 << 20)
+                step::optimal(vc, vc_ev, 1 << 20)
                     .map(|s| s.len())
                     .unwrap_or(usize::MAX),
             )

@@ -11,7 +11,7 @@
 //!
 //! `repro fig8` prints the per-phase fractions directly.
 
-use bench::{repairer_for, MasLab};
+use bench::{session_for, MasLab};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datalog::Mode;
 use provenance::{ProvFormula, ProvGraph};
@@ -33,15 +33,15 @@ fn bench_breakdown(c: &mut Criterion) {
             .iter()
             .find(|w| w.name == name)
             .expect("workload");
-        let (db, repairer) = repairer_for(&lab.data.db, w);
-        let ev = repairer.evaluator();
+        let session = session_for(&lab.data.db, w);
+        let (db, ev) = (session.db(), session.evaluator());
 
         // Algorithm 1 phase prefixes.
         group.bench_function(BenchmarkId::new("alg1_eval", name), |b| {
             b.iter(|| {
                 let state = db.initial_state();
                 let mut n = 0usize;
-                ev.for_each_assignment(&db, &state, Mode::Hypothetical, &mut |a| {
+                ev.for_each_assignment(db, &state, Mode::Hypothetical, &mut |a| {
                     n += a.body.len();
                     true
                 });
@@ -52,7 +52,7 @@ fn bench_breakdown(c: &mut Criterion) {
             b.iter(|| {
                 let state = db.initial_state();
                 let mut assignments = Vec::new();
-                ev.for_each_assignment(&db, &state, Mode::Hypothetical, &mut |a| {
+                ev.for_each_assignment(db, &state, Mode::Hypothetical, &mut |a| {
                     assignments.push(a.clone());
                     true
                 });
@@ -62,7 +62,7 @@ fn bench_breakdown(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("alg1_full", name), |b| {
             b.iter(|| {
                 black_box(
-                    independent::run(&db, ev, &MinOnesOptions::default())
+                    independent::run(db, ev, &MinOnesOptions::default())
                         .deleted
                         .len(),
                 )
@@ -71,16 +71,16 @@ fn bench_breakdown(c: &mut Criterion) {
 
         // Algorithm 2 phase prefixes.
         group.bench_function(BenchmarkId::new("alg2_eval", name), |b| {
-            b.iter(|| black_box(end::run(&db, ev).assignments.len()))
+            b.iter(|| black_box(end::run(db, ev).assignments.len()))
         });
         group.bench_function(BenchmarkId::new("alg2_eval_process", name), |b| {
             b.iter(|| {
-                let out = end::run(&db, ev);
+                let out = end::run(db, ev);
                 black_box(ProvGraph::build(&out.assignments, &out.layers).num_delta_nodes())
             })
         });
         group.bench_function(BenchmarkId::new("alg2_full", name), |b| {
-            b.iter(|| black_box(step::run_greedy(&db, ev).deleted.len()))
+            b.iter(|| black_box(step::run_greedy(db, ev).deleted.len()))
         });
     }
     group.finish();

@@ -5,7 +5,7 @@
 use cellrepair::{repair, CellRepairConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::{author_table, inject_errors};
-use repair_core::{Repairer, Semantics};
+use repair_core::{RepairSession, Semantics};
 use std::hint::black_box;
 use std::time::Duration;
 use workloads::{author_instance_from_table, dc_delta_program};
@@ -26,11 +26,11 @@ fn bench_vs_errors(c: &mut Criterion) {
     for errors in [50usize, 150, 300] {
         let table = scenario(rows, errors);
         // The four semantics on the DC program.
-        let mut db = author_instance_from_table(&table);
-        let repairer = Repairer::new(&mut db, dc_delta_program()).expect("DC program");
+        let db = author_instance_from_table(&table);
+        let session = RepairSession::new(db, dc_delta_program()).expect("DC program");
         for sem in [Semantics::Independent, Semantics::End] {
             group.bench_with_input(BenchmarkId::new(sem.name(), errors), &sem, |b, &sem| {
-                b.iter(|| black_box(repairer.run(&db, sem).size()))
+                b.iter(|| black_box(session.run(sem).size()))
             });
         }
         // The probabilistic cell repairer.
@@ -61,11 +61,11 @@ fn bench_vs_rows(c: &mut Criterion) {
     let errors = 100;
     for rows in [1000usize, 2000, 4000] {
         let table = scenario(rows, errors);
-        let mut db = author_instance_from_table(&table);
-        let repairer = Repairer::new(&mut db, dc_delta_program()).expect("DC program");
+        let db = author_instance_from_table(&table);
+        let session = RepairSession::new(db, dc_delta_program()).expect("DC program");
         for sem in [Semantics::Independent, Semantics::End] {
             group.bench_with_input(BenchmarkId::new(sem.name(), rows), &sem, |b, &sem| {
-                b.iter(|| black_box(repairer.run(&db, sem).size()))
+                b.iter(|| black_box(session.run(sem).size()))
             });
         }
         group.bench_with_input(BenchmarkId::new("holoclean_sub", rows), &table, |b, t| {

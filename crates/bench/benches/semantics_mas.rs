@@ -4,7 +4,7 @@
 //! mas-02 (DC-like), mas-08 (mixed), mas-11 (single-rule joins), mas-20
 //! (deep cascade). The `repro fig7` binary reports all twenty.
 
-use bench::{repairer_for, MasLab};
+use bench::{session_for, MasLab};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use repair_core::Semantics;
 use std::hint::black_box;
@@ -23,10 +23,10 @@ fn bench_mas(c: &mut Criterion) {
             .iter()
             .find(|w| w.name == name)
             .expect("workload");
-        let (db, repairer) = repairer_for(&lab.data.db, w);
+        let session = session_for(&lab.data.db, w);
         for sem in Semantics::ALL {
             group.bench_with_input(BenchmarkId::new(sem.name(), name), &sem, |b, &sem| {
-                b.iter(|| black_box(repairer.run(&db, sem).size()))
+                b.iter(|| black_box(session.run(sem).size()))
             });
         }
     }

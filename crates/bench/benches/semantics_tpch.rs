@@ -3,7 +3,7 @@
 //! T-2 (pure cascade), T-4 (mixed) and T-5 (same-body pair) cover the three
 //! behaviours; `repro fig9` reports all six.
 
-use bench::{repairer_for, TpchLab};
+use bench::{session_for, TpchLab};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use repair_core::Semantics;
 use std::hint::black_box;
@@ -22,10 +22,10 @@ fn bench_tpch(c: &mut Criterion) {
             .iter()
             .find(|w| w.name == name)
             .expect("workload");
-        let (db, repairer) = repairer_for(&lab.data.db, w);
+        let session = session_for(&lab.data.db, w);
         for sem in Semantics::ALL {
             group.bench_with_input(BenchmarkId::new(sem.name(), name), &sem, |b, &sem| {
-                b.iter(|| black_box(repairer.run(&db, sem).size()))
+                b.iter(|| black_box(session.run(sem).size()))
             });
         }
     }

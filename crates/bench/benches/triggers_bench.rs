@@ -4,7 +4,7 @@
 //! PostgreSQL took 3.3 minutes vs 2.9 for end semantics; here everything
 //! is in-process so only the ratio is meaningful).
 
-use bench::{repairer_for, MasLab};
+use bench::{session_for, MasLab};
 use criterion::{criterion_group, criterion_main, Criterion};
 use repair_core::Semantics;
 use std::hint::black_box;
@@ -18,7 +18,8 @@ fn bench_triggers(c: &mut Criterion) {
         .iter()
         .find(|w| w.name == "mas-20")
         .expect("workload");
-    let (db, repairer) = repairer_for(&lab.data.db, w);
+    let session = session_for(&lab.data.db, w);
+    let (db, ev) = (session.db(), session.evaluator());
     let trigs = triggers_from_program(&w.program);
 
     let mut group = c.benchmark_group("triggers_vs_semantics");
@@ -29,7 +30,7 @@ fn bench_triggers(c: &mut Criterion) {
     group.bench_function("postgresql_alphabetical", |b| {
         b.iter(|| {
             black_box(
-                run_triggers(&db, repairer.evaluator(), &trigs, FiringOrder::Alphabetical)
+                run_triggers(db, ev, &trigs, FiringOrder::Alphabetical)
                     .deleted
                     .len(),
             )
@@ -38,28 +39,23 @@ fn bench_triggers(c: &mut Criterion) {
     group.bench_function("mysql_creation_order", |b| {
         b.iter(|| {
             black_box(
-                run_triggers(
-                    &db,
-                    repairer.evaluator(),
-                    &trigs,
-                    FiringOrder::CreationOrder,
-                )
-                .deleted
-                .len(),
+                run_triggers(db, ev, &trigs, FiringOrder::CreationOrder)
+                    .deleted
+                    .len(),
             )
         })
     });
     group.bench_function("end_semantics", |b| {
-        b.iter(|| black_box(repairer.run(&db, Semantics::End).size()))
+        b.iter(|| black_box(session.run(Semantics::End).size()))
     });
     group.bench_function("stage_semantics", |b| {
-        b.iter(|| black_box(repairer.run(&db, Semantics::Stage).size()))
+        b.iter(|| black_box(session.run(Semantics::Stage).size()))
     });
     group.bench_function("step_semantics", |b| {
-        b.iter(|| black_box(repairer.run(&db, Semantics::Step).size()))
+        b.iter(|| black_box(session.run(Semantics::Step).size()))
     });
     group.bench_function("independent_semantics", |b| {
-        b.iter(|| black_box(repairer.run(&db, Semantics::Independent).size()))
+        b.iter(|| black_box(session.run(Semantics::Independent).size()))
     });
     group.finish();
 }

@@ -25,7 +25,7 @@
 //! (see the `bench` crate docs). Run with `--release`.
 
 use bench::{
-    check, env_usize, fmt_duration, mas_scale, repairer_for, run_four, tpch_scale, MasLab, TpchLab,
+    check, env_usize, fmt_duration, mas_scale, run_four, session_for, tpch_scale, MasLab, TpchLab,
 };
 use cellrepair::{count_violating_tuples, repair as hc_repair, CellRepairConfig};
 use datagen::{author_table, inject_errors};
@@ -104,8 +104,8 @@ fn table3() {
         .map(|w| (&mas.data.db, w))
         .chain(tpch.workloads.iter().map(|w| (&tpch.data.db, w)));
     for (base, w) in all {
-        let (db, repairer) = repairer_for(base, w);
-        let [ind, step, stage, end] = run_four(&db, &repairer);
+        let session = session_for(base, w);
+        let [ind, step, stage, end] = run_four(&session);
         let row = relationships::table3_row(&ind, &step, &stage);
         if let Some(violation) = relationships::check_figure3_invariants(&ind, &step, &stage, &end)
         {
@@ -134,8 +134,8 @@ fn fig6() {
         "program", "independent", "step", "stage", "end"
     );
     for (i, w) in lab.workloads.iter().enumerate() {
-        let (db, repairer) = repairer_for(&lab.data.db, w);
-        let [ind, step, stage, end] = run_four(&db, &repairer);
+        let session = session_for(&lab.data.db, w);
+        let [ind, step, stage, end] = run_four(&session);
         println!(
             "{:<10} {:>12} {:>8} {:>8} {:>8}",
             w.name,
@@ -163,8 +163,8 @@ fn fig7() {
     );
     let mut totals = [0f64; 4];
     for w in &lab.workloads {
-        let (db, repairer) = repairer_for(&lab.data.db, w);
-        let results = run_four(&db, &repairer);
+        let session = session_for(&lab.data.db, w);
+        let results = run_four(&session);
         for (i, r) in results.iter().enumerate() {
             totals[i] += r.breakdown.total().as_secs_f64();
         }
@@ -198,12 +198,12 @@ fn fig8() {
     let lab = MasLab::from_env();
     let mut groups: [[f64; 6]; 2] = [[0.0; 6]; 2]; // [group][alg1 e/p/s, alg2 e/p/s]
     for (i, w) in lab.workloads.iter().enumerate() {
-        let (db, repairer) = repairer_for(&lab.data.db, w);
-        let ind = repairer.run(&db, Semantics::Independent);
-        let step = repairer.run(&db, Semantics::Step);
+        let session = session_for(&lab.data.db, w);
+        let ind = session.run(Semantics::Independent);
+        let step = session.run(Semantics::Step);
         let g = usize::from(i >= 15);
-        let (e1, p1, s1) = ind.breakdown.fractions();
-        let (e2, p2, s2) = step.breakdown.fractions();
+        let (e1, p1, s1) = ind.breakdown().fractions();
+        let (e2, p2, s2) = step.breakdown().fractions();
         for (slot, v) in [e1, p1, s1, e2, p2, s2].into_iter().enumerate() {
             groups[g][slot] += v;
         }
@@ -237,8 +237,8 @@ fn fig9() {
         "program", "independent", "step", "stage", "end", "t(ind)", "t(step)", "t(stage)", "t(end)"
     );
     for w in &lab.workloads {
-        let (db, repairer) = repairer_for(&lab.data.db, w);
-        let [ind, step, stage, end] = run_four(&db, &repairer);
+        let session = session_for(&lab.data.db, w);
+        let [ind, step, stage, end] = run_four(&session);
         println!(
             "{:<8} {:>12} {:>8} {:>8} {:>8} | {:>12} {:>10} {:>10} {:>10}",
             w.name,
@@ -268,8 +268,8 @@ fn trigger_comparison() {
     );
     for idx in [2usize, 3, 4, 7, 19] {
         let w = &lab.workloads[idx];
-        let (db, repairer) = repairer_for(&lab.data.db, w);
-        let trigs = triggers_from_program(repairer.evaluator().program());
+        let session = session_for(&lab.data.db, w);
+        let trigs = triggers_from_program(session.program());
         // Reverse alphabetical names demonstrate the PostgreSQL reordering:
         // name triggers so alphabetical order is the reverse of creation.
         let named: Vec<triggers::Trigger> = trigs
@@ -280,15 +280,20 @@ fn trigger_comparison() {
                 rule: t.rule,
             })
             .collect();
-        let pg = run_triggers(&db, repairer.evaluator(), &named, FiringOrder::Alphabetical);
+        let pg = run_triggers(
+            session.db(),
+            session.evaluator(),
+            &named,
+            FiringOrder::Alphabetical,
+        );
         let my = run_triggers(
-            &db,
-            repairer.evaluator(),
+            session.db(),
+            session.evaluator(),
             &named,
             FiringOrder::CreationOrder,
         );
-        let step = repairer.run(&db, Semantics::Step);
-        let stage = repairer.run(&db, Semantics::Stage);
+        let step = session.run(Semantics::Step);
+        let stage = session.run(Semantics::Stage);
         println!(
             "{:<10} {:>14} {:>14} {:>8} {:>8} | {:>10} {:>10}",
             w.name,
@@ -330,13 +335,13 @@ fn table4_and_5(violations_view: bool) {
         let mut table = author_table(rows, 42);
         let injected = inject_errors(&mut table, errors, 99).len();
         // Deletion semantics.
-        let mut db = author_instance_from_table(&table);
-        let repairer =
-            repair_core::Repairer::new(&mut db, dc_delta_program()).expect("DC program valid");
-        let results = repairer.run_all(&db);
+        let db = author_instance_from_table(&table);
+        let session =
+            repair_core::RepairSession::new(db, dc_delta_program()).expect("DC program valid");
+        let results = session.run_all();
         for r in &results {
             assert!(
-                repairer.verify_stabilizing(&db, &r.deleted),
+                session.verify_stabilizing(r.deleted()),
                 "semantics must always stabilize (Prop. 3.18)"
             );
         }
@@ -369,7 +374,7 @@ fn table4_and_5(violations_view: bool) {
                 before.iter().sum::<usize>(),
             );
         } else {
-            let over = |r: &repair_core::RepairResult| r.size() as i64 - injected as i64;
+            let over = |r: &repair_core::RepairOutcome| r.size() as i64 - injected as i64;
             println!(
                 "{:<8} {:>+8} {:>+8} {:>+8} {:>+8} {:>+12}",
                 injected,
@@ -411,12 +416,12 @@ fn fig10_row(rows: usize, errors: usize) {
     let dcs = paper_dcs();
     let mut table = author_table(rows, 42);
     inject_errors(&mut table, errors, 99);
-    let mut db = author_instance_from_table(&table);
-    let repairer =
-        repair_core::Repairer::new(&mut db, dc_delta_program()).expect("DC program valid");
+    let db = author_instance_from_table(&table);
+    let session =
+        repair_core::RepairSession::new(db, dc_delta_program()).expect("DC program valid");
     let times: Vec<String> = bench::SEM_ORDER
         .iter()
-        .map(|&s| fmt_duration(repairer.run(&db, s).breakdown.total()))
+        .map(|&s| fmt_duration(session.run(s).breakdown().total()))
         .collect();
     let mut hc_table = table.clone();
     let t0 = Instant::now();

@@ -12,7 +12,7 @@
 //!   and error count (defaults 5000 / 700, the paper's settings).
 
 use datagen::{mas, tpch, MasConfig, MasData, TpchConfig, TpchData};
-use repair_core::{RepairResult, Repairer, Semantics};
+use repair_core::{RepairResult, RepairSession, Semantics};
 use storage::Instance;
 use workloads::Workload;
 
@@ -86,21 +86,22 @@ impl TpchLab {
     }
 }
 
-/// Build a repairer for one workload over (a clone of) `db`.
+/// Build a repair session for one workload over (a clone of) `db`.
 ///
-/// The clone is needed because planning builds indexes; experiments share
-/// one generated dataset across many programs.
-pub fn repairer_for(db: &Instance, w: &Workload) -> (Instance, Repairer) {
-    let mut db = db.clone();
-    let repairer = Repairer::new(&mut db, w.program.clone())
-        .unwrap_or_else(|e| panic!("workload {}: {e}", w.name));
-    (db, repairer)
+/// The clone is needed because the session takes ownership and builds its
+/// probe indexes; experiments share one generated dataset across many
+/// programs.
+pub fn session_for(db: &Instance, w: &Workload) -> RepairSession {
+    RepairSession::new(db.clone(), w.program.clone())
+        .unwrap_or_else(|e| panic!("workload {}: {e}", w.name))
 }
 
 /// Run all four semantics for a workload; results in paper order
 /// (independent, step, stage, end).
-pub fn run_four(db: &Instance, repairer: &Repairer) -> [RepairResult; 4] {
-    repairer.run_all(db)
+pub fn run_four(session: &RepairSession) -> [RepairResult; 4] {
+    session
+        .run_all()
+        .map(repair_core::RepairOutcome::into_result)
 }
 
 /// Format a `Duration` in adaptive units.
@@ -170,10 +171,10 @@ pub fn bench_json_records(quick: bool) -> Vec<BenchRecord> {
                 .iter()
                 .find(|w| w.name == *name)
                 .expect("workload present");
-            let (db, repairer) = repairer_for(db, w);
+            let session = session_for(db, w);
             for sem in SEM_ORDER {
                 let (mean_ns, iterations) = measure_mean_ns(warm, meas, iters, || {
-                    std::hint::black_box(repairer.run(&db, sem).size());
+                    std::hint::black_box(session.run(sem).size());
                 });
                 records.push(BenchRecord {
                     bench: format!("{group}/{}/{name}", sem.name()),
@@ -235,7 +236,7 @@ pub fn render_bench_json(mode: &str, records: &[BenchRecord]) -> String {
     let _ = writeln!(out, "  \"hardware\": \"{hardware}\",");
     out.push_str(
         "  \"benches\": [\n   \"semantics_mas (fig7, scale 0.02)\",\n   \"semantics_tpch (fig9, scale 0.01)\"\n  ],\n");
-    out.push_str("  \"unit\": \"mean_ns per repairer.run()\"\n },\n \"runs\": {\n");
+    out.push_str("  \"unit\": \"mean_ns per session.run()\"\n },\n \"runs\": {\n");
     let _ = writeln!(out, "  \"{mode}\": [");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 == records.len() { "" } else { "," };
@@ -265,12 +266,12 @@ mod tests {
     #[test]
     fn run_four_is_ordered_and_stabilizing() {
         let lab = MasLab::at_scale(0.005);
-        let (db, repairer) = repairer_for(&lab.data.db, &lab.workloads[4]); // mas-05
-        let results = run_four(&db, &repairer);
+        let session = session_for(&lab.data.db, &lab.workloads[4]); // mas-05
+        let results = run_four(&session);
         assert_eq!(results[0].semantics, Semantics::Independent);
         assert_eq!(results[3].semantics, Semantics::End);
         for r in &results {
-            assert!(repairer.verify_stabilizing(&db, &r.deleted));
+            assert!(session.verify_stabilizing(&r.deleted));
         }
     }
 

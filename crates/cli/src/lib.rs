@@ -22,9 +22,9 @@
 //! The module is a library so the parsing/reporting logic is unit-testable;
 //! `main.rs` is a thin shell.
 
-use repair_core::{RepairResult, Repairer, Semantics};
+use repair_core::{RepairOutcome, RepairSession, Semantics};
 use std::fmt::Write as _;
-use storage::{tsv, Instance, TupleId};
+use storage::tsv;
 use triggers::FiringOrder;
 
 /// Parsed command line.
@@ -94,13 +94,12 @@ where
             "--db" => db = Some(value_for("--db")?),
             "--program" => program = Some(value_for("--program")?),
             "--semantics" => {
+                // `Semantics::from_str` is the single source of truth for
+                // the names; only the CLI-level `all` pseudo-value lives
+                // here.
                 semantics = match value_for("--semantics")?.as_str() {
-                    "independent" | "ind" => Some(Some(Semantics::Independent)),
-                    "step" => Some(Some(Semantics::Step)),
-                    "stage" => Some(Some(Semantics::Stage)),
-                    "end" => Some(Some(Semantics::End)),
                     "all" => Some(None),
-                    other => return Err(format!("unknown semantics `{other}`")),
+                    other => Some(Some(other.parse::<Semantics>().map_err(|e| e.to_string())?)),
                 }
             }
             "--apply" => apply = Some(value_for("--apply")?),
@@ -132,8 +131,8 @@ where
 
 /// Everything the run produced, ready for printing or inspection.
 pub struct RunOutput {
-    /// Per-semantics results, in the requested order.
-    pub results: Vec<RepairResult>,
+    /// Per-semantics outcomes, in the requested order.
+    pub results: Vec<RepairOutcome>,
     /// The report text.
     pub report: String,
     /// The repaired document, when `--apply` was requested.
@@ -143,20 +142,20 @@ pub struct RunOutput {
 /// Load inputs, repair, and render the report. Pure with respect to the
 /// filesystem: callers hand in file *contents*.
 pub fn run(opts: &Options, db_text: &str, program_text: &str) -> Result<RunOutput, String> {
-    let mut db = tsv::load_document(db_text).map_err(|e| format!("--db: {e}"))?;
+    let db = tsv::load_document(db_text).map_err(|e| format!("--db: {e}"))?;
     let program = datalog::parse_program(program_text).map_err(|e| format!("--program: {e}"))?;
-    let repairer =
-        Repairer::new(&mut db, program.clone()).map_err(|e| format!("--program: {e}"))?;
+    let mut session =
+        RepairSession::new(db, program.clone()).map_err(|e| format!("--program: {e}"))?;
 
     let mut report = String::new();
     let _ = writeln!(
         report,
         "database: {} tuples in {} relations; program: {} rules",
-        db.total_rows(),
-        db.schema().len(),
+        session.db().total_rows(),
+        session.db().schema().len(),
         program.len()
     );
-    if repairer.is_stable(&db) {
+    if session.is_stable() {
         let _ = writeln!(report, "database is already stable: nothing to repair");
     }
     let analysis = datalog::analyze(&program);
@@ -175,24 +174,24 @@ pub fn run(opts: &Options, db_text: &str, program_text: &str) -> Result<RunOutpu
     };
     let mut results = Vec::with_capacity(wanted.len());
     for sem in &wanted {
-        let r = repairer.run(&db, *sem);
+        let r = session.run(*sem);
         let _ = writeln!(
             report,
             "{:<12} |S| = {:<6} eval {:>9.2?}  process {:>9.2?}  solve {:>9.2?}{}",
             sem.to_string(),
             r.size(),
-            r.breakdown.eval,
-            r.breakdown.process,
-            r.breakdown.solve,
-            if r.proven_optimal {
+            r.breakdown().eval,
+            r.breakdown().process,
+            r.breakdown().solve,
+            if r.proven_optimal() {
                 ""
             } else {
                 "  (heuristic)"
             },
         );
         if opts.explain {
-            for &t in &r.deleted {
-                let _ = writeln!(report, "    - {}", db.display_tuple(t));
+            for &t in r.deleted() {
+                let _ = writeln!(report, "    - {}", session.db().display_tuple(t));
             }
         }
         results.push(r);
@@ -200,7 +199,7 @@ pub fn run(opts: &Options, db_text: &str, program_text: &str) -> Result<RunOutpu
 
     if let Some(order) = opts.triggers {
         let trigs = triggers::triggers_from_program(&program);
-        let run = triggers::run_triggers(&db, repairer.evaluator(), &trigs, order);
+        let run = triggers::run_triggers(session.db(), session.evaluator(), &trigs, order);
         let _ = writeln!(
             report,
             "triggers     |S| = {:<6} ({} activations, {:?} order, stable: {})",
@@ -211,20 +210,21 @@ pub fn run(opts: &Options, db_text: &str, program_text: &str) -> Result<RunOutpu
         );
         if opts.explain {
             for &t in &run.deleted {
-                let _ = writeln!(report, "    - {}", db.display_tuple(t));
+                let _ = writeln!(report, "    - {}", session.db().display_tuple(t));
             }
         }
     }
 
     if let Some(name) = &opts.why {
-        let target = db
+        let target = session
+            .db()
             .all_tuple_ids()
-            .find(|&t| db.display_tuple(t) == *name)
+            .find(|&t| session.db().display_tuple(t) == *name)
             .ok_or_else(|| format!("--why: no tuple named `{name}` in the database"))?;
-        match repairer.explain(&db, target) {
+        match session.explain(target) {
             Some(tree) => {
                 let _ = writeln!(report, "derivation of Δ {name}:");
-                report.push_str(&tree.render(&db));
+                report.push_str(&tree.render(session.db()));
             }
             None => {
                 let _ = writeln!(report, "{name} is never deleted under end semantics");
@@ -232,19 +232,26 @@ pub fn run(opts: &Options, db_text: &str, program_text: &str) -> Result<RunOutpu
         }
     }
     if opts.dot {
-        report.push_str(&repairer.provenance_dot(&db));
+        report.push_str(&session.provenance_dot());
     }
 
     let applied = if opts.apply.is_some() {
         let chosen = &results[0];
+        let total = session.db().total_rows();
         let _ = writeln!(
             report,
             "applying {} repair: {} of {} tuples remain",
-            chosen.semantics,
-            db.total_rows() - chosen.size(),
-            db.total_rows()
+            chosen.semantics(),
+            total - chosen.size(),
+            total
         );
-        Some(tsv::to_tsv_typed(&apply_repair(&db, &chosen.deleted)))
+        // Commit through the session: the delete-set leaves the database
+        // durably (indexes maintained incrementally) and the live tuples
+        // are what gets serialized.
+        chosen
+            .apply(&mut session)
+            .map_err(|e| format!("--apply: {e}"))?;
+        Some(tsv::to_tsv_typed(session.db()))
     } else {
         None
     };
@@ -254,17 +261,6 @@ pub fn run(opts: &Options, db_text: &str, program_text: &str) -> Result<RunOutpu
         report,
         applied,
     })
-}
-
-/// A new instance without the deleted tuples.
-pub fn apply_repair(db: &Instance, deleted: &[TupleId]) -> Instance {
-    let mut out = Instance::new(db.schema().clone());
-    for t in db.all_tuple_ids() {
-        if deleted.binary_search(&t).is_err() {
-            out.insert(t.rel, db.tuple(t).clone()).expect("same schema");
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -337,7 +333,7 @@ delta AuthGrant(a, g) :- AuthGrant(a, g), delta Grant(g, n).
         assert_eq!(out.results.len(), 4);
         // Pure cascade: all four agree on {g2, ag2, ag3}.
         for r in &out.results {
-            assert_eq!(r.size(), 3, "{}", r.semantics);
+            assert_eq!(r.size(), 3, "{}", r.semantics());
         }
         assert!(out.report.contains("independent"));
         assert!(out.report.contains("|S| = 3"));

@@ -1,0 +1,148 @@
+//! The single error surface of the repair API.
+//!
+//! Every fallible entry point of [`crate::RepairSession`] (and the facade
+//! around it) returns [`RepairError`], which wraps the layer-specific causes
+//! — [`StorageError`], [`DatalogError`] — with the context of what the
+//! session was doing, plus the session-level failure modes (invalid
+//! requests, stale outcomes, empty undo stack). Callers match one enum; the
+//! original cause stays reachable through [`std::error::Error::source`].
+
+use crate::result::{ParseSemanticsError, Semantics};
+use datalog::DatalogError;
+use std::fmt;
+use storage::StorageError;
+
+/// Any failure of the repair API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RepairError {
+    /// The storage layer rejected a mutation (schema violation, unknown
+    /// relation or tuple).
+    Storage {
+        /// What the session was doing, e.g. `insert into Author`.
+        context: String,
+        /// The underlying cause.
+        source: StorageError,
+    },
+    /// The datalog layer rejected the program (syntax, validation or
+    /// planning).
+    Datalog {
+        /// What the session was doing, e.g. `planning the delta program`.
+        context: String,
+        /// The underlying cause.
+        source: DatalogError,
+    },
+    /// A [`crate::RepairRequest`] carried unusable parameters (the
+    /// conditions that previously surfaced as solver misuse panics).
+    InvalidRequest(String),
+    /// A semantics name failed to parse.
+    UnknownSemantics(ParseSemanticsError),
+    /// [`crate::RepairOutcome::apply`] was handed an outcome computed
+    /// against an earlier revision of the session's database. Recompute the
+    /// repair and apply the fresh outcome.
+    StaleOutcome {
+        /// Which semantics produced the stale outcome.
+        semantics: Semantics,
+        /// Session revision the outcome was computed at.
+        outcome_epoch: u64,
+        /// The session's current revision.
+        session_epoch: u64,
+    },
+    /// [`crate::RepairSession::undo`] was called with no applied repair to
+    /// roll back.
+    NothingToUndo,
+}
+
+impl RepairError {
+    pub(crate) fn storage(context: impl Into<String>, source: StorageError) -> RepairError {
+        RepairError::Storage {
+            context: context.into(),
+            source,
+        }
+    }
+
+    pub(crate) fn datalog(context: impl Into<String>, source: DatalogError) -> RepairError {
+        RepairError::Datalog {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairError::Storage { context, source } => write!(f, "{context}: {source}"),
+            RepairError::Datalog { context, source } => write!(f, "{context}: {source}"),
+            RepairError::InvalidRequest(msg) => write!(f, "invalid repair request: {msg}"),
+            RepairError::UnknownSemantics(e) => write!(f, "{e}"),
+            RepairError::StaleOutcome {
+                semantics,
+                outcome_epoch,
+                session_epoch,
+            } => write!(
+                f,
+                "stale {semantics} outcome: computed at session revision \
+                 {outcome_epoch}, database is now at revision {session_epoch} \
+                 — recompute the repair before applying"
+            ),
+            RepairError::NothingToUndo => write!(f, "no applied repair to undo"),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RepairError::Storage { source, .. } => Some(source),
+            RepairError::Datalog { source, .. } => Some(source),
+            RepairError::UnknownSemantics(source) => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseSemanticsError> for RepairError {
+    fn from(e: ParseSemanticsError) -> RepairError {
+        RepairError::UnknownSemantics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn displays_carry_context_and_sources() {
+        let e = RepairError::storage(
+            "insert into Author",
+            StorageError::UnknownRelation("Author".into()),
+        );
+        assert_eq!(
+            e.to_string(),
+            "insert into Author: unknown relation `Author`"
+        );
+        assert!(e.source().is_some());
+
+        let e = RepairError::datalog(
+            "planning the delta program",
+            DatalogError::UnknownRelation("Nope".into()),
+        );
+        assert!(e.to_string().contains("planning the delta program"));
+        assert!(e.source().unwrap().to_string().contains("Nope"));
+
+        assert!(RepairError::NothingToUndo.source().is_none());
+        let stale = RepairError::StaleOutcome {
+            semantics: Semantics::End,
+            outcome_epoch: 1,
+            session_epoch: 3,
+        };
+        assert!(stale.to_string().contains("revision 1"));
+    }
+
+    #[test]
+    fn semantics_parse_errors_convert() {
+        let err: RepairError = "vibes".parse::<Semantics>().unwrap_err().into();
+        assert!(matches!(err, RepairError::UnknownSemantics(_)));
+    }
+}

@@ -30,6 +30,10 @@ pub struct IndependentOutcome {
     pub breakdown: PhaseBreakdown,
     /// Whether the SAT search proved minimality (no budget cut-off).
     pub optimal: bool,
+    /// Did a wall-clock deadline force the fast first-solution descent
+    /// instead of the exact search? Implies `optimal == false` unless the
+    /// first descent happened to be provably minimum.
+    pub timed_out: bool,
     /// Number of CNF clauses after deduplication.
     pub cnf_clauses: usize,
     /// SAT statistics.
@@ -38,6 +42,20 @@ pub struct IndependentOutcome {
 
 /// Run Algorithm 1 with the given solver options.
 pub fn run(db: &Instance, ev: &Evaluator, opts: &MinOnesOptions) -> IndependentOutcome {
+    run_with_deadline(db, ev, opts, None)
+}
+
+/// [`run`] with a wall-clock deadline. The deadline is checked between the
+/// phases of Algorithm 1 (the solver itself is budgeted in decision nodes,
+/// not time): if Eval + Process Prov already exceeded it, the Solve phase
+/// degrades to the first-solution descent — a stabilizing but possibly
+/// non-minimum answer — and the outcome is marked `timed_out`.
+pub fn run_with_deadline(
+    db: &Instance,
+    ev: &Evaluator,
+    opts: &MinOnesOptions,
+    deadline: Option<std::time::Instant>,
+) -> IndependentOutcome {
     // Phase 1: Eval — provenance of all possible delta tuples, folded into
     // clauses as they stream out of the evaluator (no assignment vector).
     let t0 = Instant::now();
@@ -97,7 +115,16 @@ pub fn run(db: &Instance, ev: &Evaluator, opts: &MinOnesOptions) -> IndependentO
 
     // Phase 3: Solve — Min-Ones SAT.
     let t2 = Instant::now();
-    let outcome = solve_min_ones(&cnf, opts);
+    let timed_out = deadline.is_some_and(|d| Instant::now() >= d);
+    let effective = if timed_out {
+        MinOnesOptions {
+            first_solution_only: true,
+            ..*opts
+        }
+    } else {
+        *opts
+    };
+    let outcome = solve_min_ones(&cnf, &effective);
     let solve = t2.elapsed();
 
     let solution = match outcome {
@@ -127,6 +154,7 @@ pub fn run(db: &Instance, ev: &Evaluator, opts: &MinOnesOptions) -> IndependentO
             solve,
         },
         optimal: solution.optimal,
+        timed_out,
         cnf_clauses: cnf.num_clauses(),
         sat_stats: solution.stats,
     }

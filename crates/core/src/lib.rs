@@ -13,33 +13,48 @@
 //! | [`stability`]   | Def. 3.12/3.14 | stability of a state and verification of stabilizing sets |
 //! | [`relationships`] | Prop. 3.20, Table 3 | containment/size relations between results |
 //!
-//! The one-stop entry point is [`Repairer`]: validate and plan a program once,
-//! then run any semantics over the instance and get a [`RepairResult`] with
-//! the deleted set and the paper's phase breakdown (Figure 8's Eval /
-//! Process Prov / Solve / Traverse).
+//! The one-stop entry point is [`RepairSession`]: it validates and plans a
+//! program once, **owns** the instance and its indexes, and serves any
+//! number of [`RepairRequest`]s. Each [`RepairOutcome`] carries the deleted
+//! set, the paper's phase breakdown (Figure 8's Eval / Process Prov /
+//! Solve / Traverse) and an [`Optimality`] certificate, and can be
+//! previewed, applied to the session and undone.
 //!
 //! ```
-//! use repair_core::{Repairer, Semantics};
+//! use repair_core::{RepairSession, Semantics};
 //! use repair_core::testkit;
 //!
-//! let mut db = testkit::figure1_instance();
-//! let repairer = Repairer::new(&mut db, testkit::figure2_program()).unwrap();
-//! let end = repairer.run(&db, Semantics::End);
-//! let ind = repairer.run(&db, Semantics::Independent);
-//! assert!(ind.deleted.len() <= end.deleted.len());
-//! assert!(repairer.verify_stabilizing(&db, &ind.deleted));
+//! let session =
+//!     RepairSession::new(testkit::figure1_instance(), testkit::figure2_program())?;
+//! let end = session.run(Semantics::End);
+//! let ind = session.run(Semantics::Independent);
+//! assert!(ind.size() <= end.size());
+//! assert!(session.verify_stabilizing(ind.deleted()));
+//! # Ok::<(), repair_core::RepairError>(())
 //! ```
+//!
+//! The pre-session [`Repairer`] (`&mut db` to plan, `&db` on every run,
+//! bare results, three unrelated error types) survives as a deprecated shim
+//! over the same dispatch; see [`repairer`] for the migration table.
 
 pub mod end;
 pub mod engine;
+pub mod error;
 pub mod independent;
 pub mod relationships;
 pub mod repairer;
 pub mod result;
+pub mod session;
 pub mod stability;
 pub mod stage;
 pub mod step;
 pub mod testkit;
 
+pub use error::RepairError;
+#[allow(deprecated)]
 pub use repairer::Repairer;
-pub use result::{PhaseBreakdown, RepairResult, Semantics};
+pub use result::{ParseSemanticsError, PhaseBreakdown, RepairResult, Semantics};
+pub use session::{
+    AppliedRepair, Optimality, OptimalityCertificate, RepairOutcome, RepairPreview,
+    RepairProvenance, RepairRequest, RepairSession,
+};

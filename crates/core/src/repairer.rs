@@ -1,30 +1,45 @@
-//! The unified entry point: validate once, repair under any semantics.
+//! The original one-shot entry point, now a thin shim over the
+//! [`RepairSession`](crate::RepairSession) machinery.
+//!
+//! `Repairer` predates the session API and kept an awkward contract: it
+//! borrowed the instance mutably to build indexes, then required the caller
+//! to hold on to the database and pass it back immutably on every call —
+//! nothing stopped the two from drifting apart. It remains only so existing
+//! code keeps compiling; it runs on the exact same dispatch as
+//! [`RepairSession`](crate::RepairSession), so results are bit-identical.
+//!
+//! Migration:
+//!
+//! ```text
+//! // before                                   // after
+//! let r = Repairer::new(&mut db, prog)?;      let s = RepairSession::new(db, prog)?;
+//! let res = r.run(&db, Semantics::End);       let res = s.run(Semantics::End);
+//! r.verify_stabilizing(&db, &res.deleted);    s.verify_stabilizing(res.deleted());
+//! ```
 
-use crate::result::{PhaseBreakdown, RepairResult, Semantics};
-use crate::{end, independent, stability, stage, step};
+use crate::result::{RepairResult, Semantics};
+use crate::session::run_semantics;
+use crate::{end, stability};
 use datalog::{DatalogError, Evaluator, Program};
 use sat::MinOnesOptions;
-use std::time::Instant;
 use storage::{Instance, TupleId};
 
 /// A validated, planned delta program bound to a schema, ready to run any of
 /// the four semantics.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `RepairSession`, which owns the instance and adds \
+            apply/undo, request budgets and unified errors"
+)]
 pub struct Repairer {
     ev: Evaluator,
     minones: MinOnesOptions,
 }
 
+#[allow(deprecated)]
 impl Repairer {
-    /// Default per-component decision budget for the Min-Ones search used by
-    /// independent semantics. The paper's observation that exact solvers are
-    /// "not polynomial [but] efficient in practice" holds here too: every
-    /// workload of Tables 1 and 2 except the widest DC-style joins proves
-    /// optimality well within this budget, and on the pathological instances
-    /// the greedy-first incumbent (reached within the first few thousand
-    /// nodes) is returned with [`RepairResult::proven_optimal`] = `false`
-    /// instead of searching forever. Use [`Repairer::with_options`] with
-    /// `node_budget: u64::MAX` for a provably exact answer.
-    pub const DEFAULT_NODE_BUDGET: u64 = 200_000;
+    /// See [`crate::RepairSession::DEFAULT_NODE_BUDGET`].
+    pub const DEFAULT_NODE_BUDGET: u64 = crate::RepairSession::DEFAULT_NODE_BUDGET;
 
     /// Validate `program` against `db`'s schema and prepare join plans and
     /// indexes.
@@ -58,52 +73,7 @@ impl Repairer {
 
     /// Run one semantics and return its result with phase timings.
     pub fn run(&self, db: &Instance, semantics: Semantics) -> RepairResult {
-        match semantics {
-            Semantics::End => {
-                let t0 = Instant::now();
-                let out = end::run(db, &self.ev);
-                RepairResult {
-                    semantics,
-                    deleted: out.deleted,
-                    breakdown: PhaseBreakdown {
-                        eval: t0.elapsed(),
-                        ..Default::default()
-                    },
-                    proven_optimal: true,
-                }
-            }
-            Semantics::Stage => {
-                let t0 = Instant::now();
-                let out = stage::run(db, &self.ev);
-                RepairResult {
-                    semantics,
-                    deleted: out.deleted,
-                    breakdown: PhaseBreakdown {
-                        eval: t0.elapsed(),
-                        ..Default::default()
-                    },
-                    proven_optimal: true,
-                }
-            }
-            Semantics::Step => {
-                let out = step::run_greedy(db, &self.ev);
-                RepairResult {
-                    semantics,
-                    deleted: out.deleted,
-                    breakdown: out.breakdown,
-                    proven_optimal: false,
-                }
-            }
-            Semantics::Independent => {
-                let out = independent::run(db, &self.ev, &self.minones);
-                RepairResult {
-                    semantics,
-                    deleted: out.deleted,
-                    breakdown: out.breakdown,
-                    proven_optimal: out.optimal,
-                }
-            }
-        }
+        run_semantics(db, &self.ev, &self.minones, None, semantics, false).0
     }
 
     /// Run all four semantics in the paper's order
@@ -124,10 +94,7 @@ impl Repairer {
     }
 
     /// Why-provenance: the derivation tree explaining why `tuple` is
-    /// deleted under end semantics, or `None` if it never is. Runs the
-    /// end-semantics evaluation to collect the assignment stream; for
-    /// repeated queries over a large instance build a
-    /// [`provenance::Explainer`] over [`end::run`]'s output once instead.
+    /// deleted under end semantics, or `None` if it never is.
     pub fn explain(&self, db: &Instance, tuple: TupleId) -> Option<provenance::DerivationTree> {
         let out = end::run(db, &self.ev);
         provenance::Explainer::new(&out.assignments, &out.layers).explain(tuple)
@@ -142,6 +109,7 @@ impl Repairer {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::relationships;
@@ -205,5 +173,22 @@ mod tests {
         assert!(!r.is_stable(&db));
         let all: Vec<_> = db.all_tuple_ids().collect();
         assert!(r.verify_stabilizing(&db, &all));
+    }
+
+    #[test]
+    fn shim_and_session_share_one_dispatch() {
+        // The shim result carries the session's optimality reasoning too:
+        // step on Figure 1 is heuristic, not hard-coded `false` — a pure
+        // cascade proves optimal through the same path.
+        let (db, r) = setup();
+        assert!(!r.run(&db, Semantics::Step).proven_optimal);
+        let mut cascade = crate::testkit::tiny_instance(&[1], &[1], &[]);
+        let program = datalog::parse_program(
+            "delta R1(x) :- R1(x), x = 1.
+             delta R2(x) :- R2(x), delta R1(x).",
+        )
+        .unwrap();
+        let rc = Repairer::new(&mut cascade, program).unwrap();
+        assert!(rc.run(&cascade, Semantics::Step).proven_optimal);
     }
 }

@@ -43,6 +43,44 @@ impl fmt::Display for Semantics {
     }
 }
 
+/// Error of parsing a [`Semantics`] from a string: the input named no
+/// semantics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseSemanticsError {
+    input: String,
+}
+
+impl fmt::Display for ParseSemanticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown semantics `{}` (expected one of: independent, step, stage, end)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseSemanticsError {}
+
+/// The inverse of [`Semantics::name`] / `Display` — the single source of
+/// truth for the textual names (`"end" | "stage" | "step" | "independent"`,
+/// plus the CLI's historical `"ind"` shorthand).
+impl std::str::FromStr for Semantics {
+    type Err = ParseSemanticsError;
+
+    fn from_str(s: &str) -> Result<Semantics, ParseSemanticsError> {
+        match s {
+            "end" => Ok(Semantics::End),
+            "stage" => Ok(Semantics::Stage),
+            "step" => Ok(Semantics::Step),
+            "independent" | "ind" => Ok(Semantics::Independent),
+            other => Err(ParseSemanticsError {
+                input: other.to_owned(),
+            }),
+        }
+    }
+}
+
 /// Per-phase runtime, following the categories of Figure 8:
 /// * **eval** — rule evaluation and provenance storage,
 /// * **process** — converting provenance into the Boolean formula
@@ -149,5 +187,15 @@ mod tests {
     fn semantics_names() {
         assert_eq!(Semantics::Independent.to_string(), "independent");
         assert_eq!(Semantics::ALL.len(), 4);
+    }
+
+    #[test]
+    fn semantics_from_str_round_trips() {
+        for sem in Semantics::ALL {
+            assert_eq!(sem.to_string().parse::<Semantics>(), Ok(sem));
+        }
+        assert_eq!("ind".parse::<Semantics>(), Ok(Semantics::Independent));
+        let err = "vibes".parse::<Semantics>().unwrap_err();
+        assert!(err.to_string().contains("vibes"));
     }
 }

@@ -1,0 +1,931 @@
+//! [`RepairSession`] — the service-grade entry point of the repair system.
+//!
+//! A session **owns** the [`Instance`] and the prepared [`Evaluator`]: no
+//! `&mut db` at construction followed by `&db` at every run, no way for a
+//! caller to mutate data behind the evaluator's indexes. Mutations flow
+//! through [`RepairSession::insert_batch`] / [`RepairSession::delete_batch`]
+//! (incremental index maintenance, never a re-plan), repairs are described
+//! by a [`RepairRequest`] and come back as a [`RepairOutcome`] that can
+//! [`RepairOutcome::preview`] its effect, [`RepairOutcome::apply`] itself to
+//! the session, and be rolled back with [`RepairSession::undo`].
+//!
+//! ```
+//! use repair_core::{RepairRequest, RepairSession, Semantics};
+//! use repair_core::testkit;
+//!
+//! let mut session =
+//!     RepairSession::new(testkit::figure1_instance(), testkit::figure2_program())?;
+//!
+//! let outcome = session.repair(&RepairRequest::new(Semantics::Independent))?;
+//! assert_eq!(outcome.size(), 3);
+//!
+//! outcome.apply(&mut session)?;          // commit: tuples leave the database
+//! assert!(session.is_stable());
+//! session.undo()?;                       // roll the repair back
+//! assert!(!session.is_stable());
+//! # Ok::<(), repair_core::RepairError>(())
+//! ```
+
+use crate::error::RepairError;
+use crate::result::{PhaseBreakdown, RepairResult, Semantics};
+use crate::{end, independent, stability, stage, step};
+use datalog::{Assignment, Evaluator, PlannedProgram, Program};
+use sat::MinOnesOptions;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+use storage::{Instance, TupleId, Value};
+
+/// Parameters of one repair computation, assembled builder-style.
+///
+/// ```
+/// use repair_core::{RepairRequest, Semantics};
+/// use std::time::Duration;
+///
+/// let req = RepairRequest::new(Semantics::Independent)
+///     .node_budget(50_000)
+///     .time_budget(Duration::from_secs(2))
+///     .capture_provenance(true);
+/// assert_eq!(req.semantics_value(), Semantics::Independent);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RepairRequest {
+    semantics: Semantics,
+    node_budget: u64,
+    time_budget: Option<Duration>,
+    capture_provenance: bool,
+    decompose: bool,
+    first_solution_only: bool,
+}
+
+impl RepairRequest {
+    /// A request for `semantics` with the default budgets:
+    /// [`RepairSession::DEFAULT_NODE_BUDGET`] decision nodes, no time
+    /// budget, no provenance capture.
+    pub fn new(semantics: Semantics) -> RepairRequest {
+        RepairRequest {
+            semantics,
+            node_budget: RepairSession::DEFAULT_NODE_BUDGET,
+            time_budget: None,
+            capture_provenance: false,
+            decompose: true,
+            first_solution_only: false,
+        }
+    }
+
+    /// Change the requested semantics.
+    pub fn semantics(mut self, semantics: Semantics) -> RepairRequest {
+        self.semantics = semantics;
+        self
+    }
+
+    /// Decision-node budget for the Min-Ones search (independent
+    /// semantics). Must be positive; `u64::MAX` means "search to proven
+    /// optimality".
+    pub fn node_budget(mut self, nodes: u64) -> RepairRequest {
+        self.node_budget = nodes;
+        self
+    }
+
+    /// Wall-clock budget. Checked between the phases of Algorithm 1: when
+    /// evaluation and provenance processing already exhausted it, the solve
+    /// phase degrades to a fast first-solution descent (still stabilizing,
+    /// marked [`OptimalityCertificate::TimeBudgetExhausted`]). The PTIME
+    /// semantics ignore it. Must be non-zero.
+    pub fn time_budget(mut self, budget: Duration) -> RepairRequest {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Also capture the end-semantics provenance (assignment stream +
+    /// derivation layers) in the outcome, enabling
+    /// [`RepairOutcome::provenance`]-based explanations without re-running
+    /// evaluation.
+    pub fn capture_provenance(mut self, capture: bool) -> RepairRequest {
+        self.capture_provenance = capture;
+        self
+    }
+
+    /// Disable connected-component decomposition in the Min-Ones search
+    /// (ablation knob; on by default).
+    pub fn decompose(mut self, decompose: bool) -> RepairRequest {
+        self.decompose = decompose;
+        self
+    }
+
+    /// Stop the Min-Ones search at its first solution — a fast stabilizing
+    /// approximation instead of the exact minimum (ablation knob).
+    pub fn first_solution_only(mut self, first_only: bool) -> RepairRequest {
+        self.first_solution_only = first_only;
+        self
+    }
+
+    /// The requested semantics.
+    pub fn semantics_value(&self) -> Semantics {
+        self.semantics
+    }
+
+    fn validate(&self) -> Result<(), RepairError> {
+        if self.node_budget == 0 {
+            return Err(RepairError::InvalidRequest(
+                "node_budget must be positive (use u64::MAX for an exact search)".into(),
+            ));
+        }
+        if self.time_budget == Some(Duration::ZERO) {
+            return Err(RepairError::InvalidRequest(
+                "time_budget must be non-zero (omit it to search without a deadline)".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn minones(&self) -> MinOnesOptions {
+        MinOnesOptions {
+            decompose: self.decompose,
+            node_budget: self.node_budget,
+            first_solution_only: self.first_solution_only,
+        }
+    }
+}
+
+impl Default for RepairRequest {
+    /// Defaults to independent semantics — the paper's headline repair.
+    fn default() -> RepairRequest {
+        RepairRequest::new(Semantics::Independent)
+    }
+}
+
+/// Why (or why not) an outcome's delete-set is known to be minimum for its
+/// semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OptimalityCertificate {
+    /// End/stage semantics: a deterministic fixpoint with a unique result.
+    DeterministicFixpoint,
+    /// The database was already stable; the empty repair is trivially
+    /// minimum.
+    AlreadyStable,
+    /// Independent semantics: the Min-Ones search completed within budget.
+    SearchComplete,
+    /// Step semantics: the provenance graph is interaction-free (a forest
+    /// of pure cascades), so every firing sequence deletes the same set.
+    InteractionFree,
+    /// A heuristic answer with no certificate — stabilizing, possibly
+    /// minimum, not proven so.
+    Heuristic,
+    /// The decision-node budget ran out before the search completed; the
+    /// incumbent was returned.
+    NodeBudgetExhausted,
+    /// The wall-clock budget ran out before the solve phase; the fast
+    /// first-solution descent was returned.
+    TimeBudgetExhausted,
+}
+
+/// Optimality verdict plus the solver statistics behind it.
+#[derive(Clone, Copy, Debug)]
+pub struct Optimality {
+    /// Is the delete-set provably minimum for its semantics?
+    pub proven: bool,
+    /// The reason for the verdict.
+    pub certificate: OptimalityCertificate,
+    /// Decision nodes spent by the Min-Ones search (independent only).
+    pub sat_decisions: u64,
+    /// Connected components solved (independent only).
+    pub sat_components: usize,
+    /// CNF clauses after deduplication (independent only).
+    pub cnf_clauses: usize,
+}
+
+impl Optimality {
+    fn exact(certificate: OptimalityCertificate) -> Optimality {
+        Optimality {
+            proven: true,
+            certificate,
+            sat_decisions: 0,
+            sat_components: 0,
+            cnf_clauses: 0,
+        }
+    }
+}
+
+/// End-semantics provenance captured into an outcome
+/// ([`RepairRequest::capture_provenance`]).
+#[derive(Clone, Debug)]
+pub struct RepairProvenance {
+    /// Every assignment enumerated during end-semantics evaluation, in
+    /// derivation order.
+    pub assignments: Vec<Assignment>,
+    /// 1-based derivation round of each delta tuple.
+    pub layers: HashMap<TupleId, u32>,
+}
+
+impl RepairProvenance {
+    /// The derivation tree explaining why `tuple` is deleted under end
+    /// semantics, or `None` if it never is.
+    pub fn explain(&self, tuple: TupleId) -> Option<provenance::DerivationTree> {
+        provenance::Explainer::new(&self.assignments, &self.layers).explain(tuple)
+    }
+
+    /// Graphviz DOT rendering of the provenance graph (the paper's
+    /// Figure 5).
+    pub fn to_dot(&self, db: &Instance) -> String {
+        provenance::to_dot(db, &self.assignments, &self.layers)
+    }
+}
+
+/// The answer to one [`RepairRequest`]: the delete-set with its phase
+/// breakdown and optimality verdict, ready to be previewed against or
+/// applied to the session that produced it.
+#[derive(Clone, Debug)]
+pub struct RepairOutcome {
+    result: RepairResult,
+    optimality: Optimality,
+    provenance: Option<RepairProvenance>,
+    epoch: u64,
+}
+
+impl RepairOutcome {
+    /// Which semantics produced this outcome.
+    pub fn semantics(&self) -> Semantics {
+        self.result.semantics
+    }
+
+    /// The stabilizing set `S` (sorted, deduplicated tuple ids).
+    pub fn deleted(&self) -> &[TupleId] {
+        &self.result.deleted
+    }
+
+    /// |S| — the headline number of Figures 6 and 9.
+    pub fn size(&self) -> usize {
+        self.result.size()
+    }
+
+    /// Membership test (ids are sorted).
+    pub fn contains(&self, t: TupleId) -> bool {
+        self.result.contains(t)
+    }
+
+    /// Phase timings (Figure 8's Eval / Process Prov / Solve categories).
+    pub fn breakdown(&self) -> &PhaseBreakdown {
+        &self.result.breakdown
+    }
+
+    /// Is the delete-set provably minimum? Shorthand for
+    /// `self.optimality().proven`.
+    pub fn proven_optimal(&self) -> bool {
+        self.optimality.proven
+    }
+
+    /// The optimality verdict with its certificate and solver statistics.
+    pub fn optimality(&self) -> &Optimality {
+        &self.optimality
+    }
+
+    /// Captured end-semantics provenance, when the request asked for it.
+    pub fn provenance(&self) -> Option<&RepairProvenance> {
+        self.provenance.as_ref()
+    }
+
+    /// View as the plain [`RepairResult`] consumed by
+    /// [`crate::relationships`] and reports.
+    pub fn as_result(&self) -> &RepairResult {
+        &self.result
+    }
+
+    /// Extract the plain [`RepairResult`].
+    pub fn into_result(self) -> RepairResult {
+        self.result
+    }
+
+    /// Session revision this outcome was computed at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// What applying this outcome would do, without doing it: per-relation
+    /// deletion counts and rendered tuples, diffed against the session's
+    /// current database. Only tuples still live in the session are counted
+    /// — previewing against a mutated session shows the real remaining
+    /// effect (though `apply` itself will still insist on a fresh outcome).
+    pub fn preview(&self, session: &RepairSession) -> RepairPreview {
+        let db = session.db();
+        let mut per_relation: Vec<(String, usize)> = Vec::new();
+        let mut tuples: Vec<String> = Vec::with_capacity(self.result.deleted.len());
+        for &t in &self.result.deleted {
+            if !db.is_live(t) {
+                continue;
+            }
+            let name = db.schema().rel(t.rel).name.clone();
+            match per_relation.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, c)) => *c += 1,
+                None => per_relation.push((name, 1)),
+            }
+            tuples.push(db.display_tuple(t));
+        }
+        RepairPreview {
+            semantics: self.result.semantics,
+            deleted: tuples.len(),
+            kept: db.total_rows().saturating_sub(tuples.len()),
+            per_relation,
+            tuples,
+        }
+    }
+
+    /// Commit this repair: durably delete its tuples from `session`'s
+    /// database (incremental index maintenance, ids stay stable) and push
+    /// an undo record. Fails with [`RepairError::StaleOutcome`] when the
+    /// session's database changed after this outcome was computed. Returns
+    /// the number of tuples removed.
+    pub fn apply(&self, session: &mut RepairSession) -> Result<usize, RepairError> {
+        session.apply(self)
+    }
+}
+
+/// The human-readable diff produced by [`RepairOutcome::preview`].
+#[derive(Clone, Debug)]
+pub struct RepairPreview {
+    /// Which semantics produced the repair.
+    pub semantics: Semantics,
+    /// Tuples the repair would delete.
+    pub deleted: usize,
+    /// Live tuples that would remain.
+    pub kept: usize,
+    /// Deletions per relation, in first-deletion order.
+    pub per_relation: Vec<(String, usize)>,
+    /// Every deleted tuple rendered as `Rel(v, …)`, in id order.
+    pub tuples: Vec<String>,
+}
+
+impl fmt::Display for RepairPreview {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} repair: -{} tuples, {} remain",
+            self.semantics, self.deleted, self.kept
+        )?;
+        for (rel, n) in &self.per_relation {
+            writeln!(f, "  {rel}: -{n}")?;
+        }
+        for t in &self.tuples {
+            writeln!(f, "    - {t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One committed repair, kept on the session's undo stack.
+#[derive(Clone, Debug)]
+pub struct AppliedRepair {
+    /// Which semantics produced the repair.
+    pub semantics: Semantics,
+    /// The tuple ids that were durably removed.
+    pub deleted: Vec<TupleId>,
+}
+
+/// A long-lived repair service over one database: owns the [`Instance`] and
+/// the prepared [`Evaluator`], serves any number of repair requests,
+/// absorbs batch mutations without re-planning, and can commit and roll
+/// back repairs. See the [module docs](self) for a tour.
+pub struct RepairSession {
+    db: Instance,
+    ev: Evaluator,
+    epoch: u64,
+    history: Vec<AppliedRepair>,
+}
+
+impl fmt::Debug for RepairSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RepairSession")
+            .field("tuples", &self.db.total_rows())
+            .field("rules", &self.ev.num_rules())
+            .field("epoch", &self.epoch)
+            .field("applied", &self.history.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RepairSession {
+    /// Default per-component decision budget for the Min-Ones search used
+    /// by independent semantics. The paper's observation that exact solvers
+    /// are "not polynomial \[but\] efficient in practice" holds here too:
+    /// every workload of Tables 1 and 2 except the widest DC-style joins
+    /// proves optimality well within this budget, and on the pathological
+    /// instances the greedy-first incumbent (reached within the first few
+    /// thousand nodes) is returned with
+    /// [`OptimalityCertificate::NodeBudgetExhausted`] instead of searching
+    /// forever. Request `node_budget(u64::MAX)` for a provably exact
+    /// answer.
+    pub const DEFAULT_NODE_BUDGET: u64 = 200_000;
+
+    /// Validate `program` against `db`'s schema, plan its joins, build the
+    /// probe indexes, and take ownership of the database.
+    pub fn new(mut db: Instance, program: Program) -> Result<RepairSession, RepairError> {
+        let planned = PlannedProgram::plan(db.schema(), program)
+            .map_err(|e| RepairError::datalog("planning the delta program", e))?;
+        let ev = planned.into_evaluator(&mut db);
+        Ok(RepairSession {
+            db,
+            ev,
+            epoch: 0,
+            history: Vec::new(),
+        })
+    }
+
+    /// The owned database.
+    pub fn db(&self) -> &Instance {
+        &self.db
+    }
+
+    /// The prepared evaluator.
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.ev
+    }
+
+    /// The delta program being served.
+    pub fn program(&self) -> &Program {
+        self.ev.program()
+    }
+
+    /// Revision counter: bumped by every durable mutation
+    /// (`insert_batch`, `delete_batch`, `apply`, `undo`). Outcomes remember
+    /// the revision they were computed at so stale applies are rejected.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Repairs committed and not yet undone, oldest first.
+    pub fn history(&self) -> &[AppliedRepair] {
+        &self.history
+    }
+
+    /// Give the database back, consuming the session.
+    pub fn into_db(self) -> Instance {
+        self.db
+    }
+
+    /// Insert a batch of tuples into `relation`. Indexes are maintained
+    /// incrementally; plans are untouched. Returns the id of every row
+    /// (existing ids for duplicates — relations are sets).
+    ///
+    /// A mid-batch schema error stops the batch, but rows inserted before
+    /// it stay inserted — the epoch is bumped either way, so outcomes
+    /// computed before a failed batch are still recognized as stale.
+    pub fn insert_batch<V: Into<Value>, T: IntoIterator<Item = V>>(
+        &mut self,
+        relation: &str,
+        rows: impl IntoIterator<Item = T>,
+    ) -> Result<Vec<TupleId>, RepairError> {
+        let mut ids = Vec::new();
+        for row in rows {
+            match self.db.insert_values(relation, row) {
+                Ok(tid) => ids.push(tid),
+                Err(e) => {
+                    if !ids.is_empty() {
+                        self.epoch += 1;
+                    }
+                    return Err(RepairError::storage(format!("insert into {relation}"), e));
+                }
+            }
+        }
+        self.epoch += 1;
+        Ok(ids)
+    }
+
+    /// Durably delete a batch of tuples by id (tombstoning — ids stay
+    /// stable, indexes update incrementally). Already-deleted ids are
+    /// skipped. The batch is atomic: an unknown id rejects it whole and
+    /// leaves the database (and epoch) untouched. Returns the number
+    /// removed. Ad-hoc deletion does not touch the undo stack; use
+    /// [`RepairOutcome::apply`] for undoable commits.
+    pub fn delete_batch(&mut self, ids: &[TupleId]) -> Result<usize, RepairError> {
+        let removed = self
+            .db
+            .delete_tuples(ids.iter().copied())
+            .map_err(|e| RepairError::storage("delete batch", e))?;
+        self.epoch += 1;
+        Ok(removed)
+    }
+
+    /// Serve one repair request.
+    pub fn repair(&self, request: &RepairRequest) -> Result<RepairOutcome, RepairError> {
+        request.validate()?;
+        let deadline = request.time_budget.map(|b| Instant::now() + b);
+        let minones = request.minones();
+        let (result, optimality, provenance) = run_semantics(
+            &self.db,
+            &self.ev,
+            &minones,
+            deadline,
+            request.semantics,
+            request.capture_provenance,
+        );
+        // End and step semantics already materialized the end-run stream
+        // inside the dispatch; only the other two pay for a dedicated
+        // provenance evaluation.
+        let provenance = provenance.or_else(|| {
+            request.capture_provenance.then(|| {
+                let out = end::run(&self.db, &self.ev);
+                RepairProvenance {
+                    assignments: out.assignments,
+                    layers: out.layers,
+                }
+            })
+        });
+        Ok(RepairOutcome {
+            result,
+            optimality,
+            provenance,
+            epoch: self.epoch,
+        })
+    }
+
+    /// Run one semantics with the default request — the one-liner for
+    /// callers that don't need budgets or provenance.
+    pub fn run(&self, semantics: Semantics) -> RepairOutcome {
+        self.repair(&RepairRequest::new(semantics))
+            .expect("default request parameters are valid")
+    }
+
+    /// Run all four semantics in the paper's order
+    /// (independent, step, stage, end).
+    pub fn run_all(&self) -> [RepairOutcome; 4] {
+        Semantics::ALL.map(|s| self.run(s))
+    }
+
+    /// Is the database currently stable?
+    pub fn is_stable(&self) -> bool {
+        stability::initially_stable(&self.db, &self.ev)
+    }
+
+    /// Does deleting `deleted` stabilize the database? Every
+    /// [`RepairOutcome`] must pass this (Proposition 3.18).
+    pub fn verify_stabilizing(&self, deleted: &[TupleId]) -> bool {
+        stability::is_stabilizing(&self.db, &self.ev, deleted)
+    }
+
+    /// Why-provenance: the derivation tree explaining why `tuple` is
+    /// deleted under end semantics, or `None` if it never is. For repeated
+    /// queries, request an outcome with
+    /// [`RepairRequest::capture_provenance`] and use
+    /// [`RepairProvenance::explain`] instead of re-evaluating per call.
+    pub fn explain(&self, tuple: TupleId) -> Option<provenance::DerivationTree> {
+        let out = end::run(&self.db, &self.ev);
+        provenance::Explainer::new(&out.assignments, &out.layers).explain(tuple)
+    }
+
+    /// Graphviz DOT rendering of the full end-semantics provenance graph
+    /// (the paper's Figure 5).
+    pub fn provenance_dot(&self) -> String {
+        let out = end::run(&self.db, &self.ev);
+        provenance::to_dot(&self.db, &out.assignments, &out.layers)
+    }
+
+    /// Commit `outcome` (see [`RepairOutcome::apply`]).
+    pub fn apply(&mut self, outcome: &RepairOutcome) -> Result<usize, RepairError> {
+        if outcome.epoch != self.epoch {
+            return Err(RepairError::StaleOutcome {
+                semantics: outcome.semantics(),
+                outcome_epoch: outcome.epoch,
+                session_epoch: self.epoch,
+            });
+        }
+        let removed = self
+            .db
+            .delete_tuples(outcome.deleted().iter().copied())
+            .map_err(|e| RepairError::storage("apply repair", e))?;
+        self.history.push(AppliedRepair {
+            semantics: outcome.semantics(),
+            deleted: outcome.deleted().to_vec(),
+        });
+        self.epoch += 1;
+        Ok(removed)
+    }
+
+    /// Roll back the most recently applied repair, restoring its tuples
+    /// (ids, index postings and dedup entries) exactly. Returns the number
+    /// of tuples revived.
+    pub fn undo(&mut self) -> Result<usize, RepairError> {
+        let entry = self.history.pop().ok_or(RepairError::NothingToUndo)?;
+        let restored = self
+            .db
+            .restore_tuples(entry.deleted.iter().copied())
+            .map_err(|e| RepairError::storage("undo repair", e))?;
+        self.epoch += 1;
+        Ok(restored)
+    }
+}
+
+/// Shared per-semantics dispatch: one code path serves [`RepairSession`]
+/// and the deprecated [`crate::Repairer`] shim, so old and new API are
+/// bit-identical by construction.
+pub(crate) fn run_semantics(
+    db: &Instance,
+    ev: &Evaluator,
+    minones: &MinOnesOptions,
+    deadline: Option<Instant>,
+    semantics: Semantics,
+    capture: bool,
+) -> (RepairResult, Optimality, Option<RepairProvenance>) {
+    match semantics {
+        Semantics::End => {
+            let t0 = Instant::now();
+            let out = end::run(db, ev);
+            let certificate = if out.deleted.is_empty() {
+                OptimalityCertificate::AlreadyStable
+            } else {
+                OptimalityCertificate::DeterministicFixpoint
+            };
+            let provenance = capture.then_some(RepairProvenance {
+                assignments: out.assignments,
+                layers: out.layers,
+            });
+            (
+                RepairResult {
+                    semantics,
+                    deleted: out.deleted,
+                    breakdown: PhaseBreakdown {
+                        eval: t0.elapsed(),
+                        ..Default::default()
+                    },
+                    proven_optimal: true,
+                },
+                Optimality::exact(certificate),
+                provenance,
+            )
+        }
+        Semantics::Stage => {
+            let t0 = Instant::now();
+            let out = stage::run(db, ev);
+            let certificate = if out.deleted.is_empty() {
+                OptimalityCertificate::AlreadyStable
+            } else {
+                OptimalityCertificate::DeterministicFixpoint
+            };
+            (
+                RepairResult {
+                    semantics,
+                    deleted: out.deleted,
+                    breakdown: PhaseBreakdown {
+                        eval: t0.elapsed(),
+                        ..Default::default()
+                    },
+                    proven_optimal: true,
+                },
+                Optimality::exact(certificate),
+                None,
+            )
+        }
+        Semantics::Step => {
+            let out = step::run_greedy(db, ev);
+            let certificate = if out.deleted.is_empty() {
+                OptimalityCertificate::AlreadyStable
+            } else if out.optimal {
+                OptimalityCertificate::InteractionFree
+            } else {
+                OptimalityCertificate::Heuristic
+            };
+            // Algorithm 2 consumed the end-run stream to build its graph;
+            // capture reuses it instead of evaluating again.
+            let provenance = capture.then_some(RepairProvenance {
+                assignments: out.assignments,
+                layers: out.layers,
+            });
+            (
+                RepairResult {
+                    semantics,
+                    deleted: out.deleted,
+                    breakdown: out.breakdown,
+                    proven_optimal: out.optimal,
+                },
+                Optimality {
+                    proven: out.optimal,
+                    certificate,
+                    sat_decisions: 0,
+                    sat_components: 0,
+                    cnf_clauses: 0,
+                },
+                provenance,
+            )
+        }
+        Semantics::Independent => {
+            let out = independent::run_with_deadline(db, ev, minones, deadline);
+            let certificate = if out.timed_out {
+                OptimalityCertificate::TimeBudgetExhausted
+            } else if !out.optimal {
+                OptimalityCertificate::NodeBudgetExhausted
+            } else if out.deleted.is_empty() {
+                OptimalityCertificate::AlreadyStable
+            } else {
+                OptimalityCertificate::SearchComplete
+            };
+            (
+                RepairResult {
+                    semantics,
+                    deleted: out.deleted,
+                    breakdown: out.breakdown,
+                    proven_optimal: out.optimal,
+                },
+                Optimality {
+                    proven: out.optimal,
+                    certificate,
+                    sat_decisions: out.sat_stats.decisions,
+                    sat_components: out.sat_stats.components,
+                    cnf_clauses: out.cnf_clauses,
+                },
+                None,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relationships;
+    use crate::testkit::{figure1_instance, figure2_program, names_of, tid_of};
+
+    fn session() -> RepairSession {
+        RepairSession::new(figure1_instance(), figure2_program()).unwrap()
+    }
+
+    #[test]
+    fn example_1_3_all_four_semantics() {
+        let s = session();
+        let end = s.run(Semantics::End);
+        let stage = s.run(Semantics::Stage);
+        let step = s.run(Semantics::Step);
+        let ind = s.run(Semantics::Independent);
+        assert_eq!(end.size(), 8);
+        assert_eq!(stage.size(), 7);
+        assert_eq!(step.size(), 5);
+        assert_eq!(
+            names_of(s.db(), ind.deleted()),
+            vec!["AuthGrant(4, 2)", "AuthGrant(5, 2)", "Grant(2, ERC)"]
+        );
+        for res in [&end, &stage, &step, &ind] {
+            assert!(
+                s.verify_stabilizing(res.deleted()),
+                "{} must stabilize",
+                res.semantics()
+            );
+        }
+        assert!(relationships::check_figure3_invariants(
+            ind.as_result(),
+            step.as_result(),
+            stage.as_result(),
+            end.as_result()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn run_all_returns_paper_order() {
+        let s = session();
+        let all = s.run_all();
+        assert_eq!(all[0].semantics(), Semantics::Independent);
+        assert_eq!(all[3].semantics(), Semantics::End);
+    }
+
+    #[test]
+    fn invalid_programs_surface_as_repair_errors() {
+        let err = RepairSession::new(
+            figure1_instance(),
+            datalog::parse_program("delta Nope(x) :- Nope(x).").unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RepairError::Datalog { .. }));
+        assert!(err.to_string().contains("planning the delta program"));
+    }
+
+    #[test]
+    fn request_validation_rejects_misuse() {
+        let s = session();
+        let err = s
+            .repair(&RepairRequest::new(Semantics::Independent).node_budget(0))
+            .unwrap_err();
+        assert!(matches!(err, RepairError::InvalidRequest(_)));
+        let err = s
+            .repair(&RepairRequest::new(Semantics::Independent).time_budget(Duration::ZERO))
+            .unwrap_err();
+        assert!(matches!(err, RepairError::InvalidRequest(_)));
+    }
+
+    #[test]
+    fn apply_then_undo_round_trips_database() {
+        let mut s = session();
+        let before = s.db().clone();
+        let outcome = s.run(Semantics::Independent);
+        assert_eq!(outcome.apply(&mut s).unwrap(), 3);
+        assert_eq!(s.db().total_rows(), 10);
+        assert!(s.is_stable(), "committed repair stabilizes the database");
+        assert_eq!(s.history().len(), 1);
+        assert_eq!(s.undo().unwrap(), 3);
+        assert_eq!(s.db(), &before, "undo restores the instance exactly");
+        assert!(!s.is_stable());
+        assert!(matches!(s.undo(), Err(RepairError::NothingToUndo)));
+    }
+
+    #[test]
+    fn stale_outcomes_are_rejected() {
+        let mut s = session();
+        let outcome = s.run(Semantics::End);
+        s.insert_batch("Grant", [[Value::Int(9), Value::str("DFG")]])
+            .unwrap();
+        let err = outcome.apply(&mut s).unwrap_err();
+        assert!(matches!(err, RepairError::StaleOutcome { .. }));
+        // A fresh outcome applies.
+        let fresh = s.run(Semantics::End);
+        assert!(fresh.apply(&mut s).is_ok());
+    }
+
+    #[test]
+    fn mutations_feed_evaluation_without_replanning() {
+        let mut s = session();
+        assert_eq!(s.run(Semantics::End).size(), 8);
+        // A second ERC grant cascades to nothing (no AuthGrant rows), but
+        // the seed rule now fires twice: one more deletion.
+        s.insert_batch("Grant", [[Value::Int(9), Value::str("ERC")]])
+            .unwrap();
+        assert_eq!(s.run(Semantics::End).size(), 9);
+        // Deleting the ERC grants durably leaves a stable database.
+        let g2 = tid_of(s.db(), "Grant(2, ERC)");
+        let g9 = tid_of(s.db(), "Grant(9, ERC)");
+        assert_eq!(s.delete_batch(&[g2, g9]).unwrap(), 2);
+        assert!(s.is_stable());
+        assert_eq!(s.run(Semantics::End).size(), 0);
+    }
+
+    #[test]
+    fn preview_diffs_without_mutating() {
+        let s = session();
+        let outcome = s.run(Semantics::Step);
+        let preview = outcome.preview(&s);
+        assert_eq!(preview.deleted, 5);
+        assert_eq!(preview.kept, 8);
+        let text = preview.to_string();
+        assert!(text.contains("step repair: -5 tuples, 8 remain"));
+        assert!(text.contains("Writes: -2"));
+        assert!(text.contains("- Grant(2, ERC)"));
+        assert_eq!(s.db().total_rows(), 13, "preview is read-only");
+    }
+
+    #[test]
+    fn optimality_certificates_match_semantics() {
+        let s = session();
+        assert_eq!(
+            s.run(Semantics::End).optimality().certificate,
+            OptimalityCertificate::DeterministicFixpoint
+        );
+        assert_eq!(
+            s.run(Semantics::Step).optimality().certificate,
+            OptimalityCertificate::Heuristic
+        );
+        let ind = s.run(Semantics::Independent);
+        assert_eq!(
+            ind.optimality().certificate,
+            OptimalityCertificate::SearchComplete
+        );
+        assert!(ind.optimality().cnf_clauses > 0);
+        // Starved node budget: incumbent returned, certificate says so.
+        let starved = s
+            .repair(&RepairRequest::new(Semantics::Independent).node_budget(1))
+            .unwrap();
+        assert!(!starved.proven_optimal());
+        assert_eq!(
+            starved.optimality().certificate,
+            OptimalityCertificate::NodeBudgetExhausted
+        );
+        assert!(s.verify_stabilizing(starved.deleted()));
+    }
+
+    #[test]
+    fn captured_provenance_explains_deletions() {
+        let s = session();
+        let outcome = s
+            .repair(&RepairRequest::new(Semantics::End).capture_provenance(true))
+            .unwrap();
+        let prov = outcome.provenance().expect("capture requested");
+        let cite = tid_of(s.db(), "Cite(7, 6)");
+        let tree = prov.explain(cite).expect("derivable tuple");
+        assert!(tree.depth() >= 2);
+        assert!(prov.to_dot(s.db()).contains("digraph"));
+        // Survivors have no derivation; default requests skip capture.
+        let maggie = tid_of(s.db(), "Author(2, Maggie)");
+        assert!(prov.explain(maggie).is_none());
+        assert!(s.run(Semantics::End).provenance().is_none());
+    }
+
+    #[test]
+    fn undo_stack_is_lifo_across_semantics() {
+        let mut s = session();
+        let ind = s.run(Semantics::Independent);
+        ind.apply(&mut s).unwrap();
+        // Database now stable: an end repair on top deletes nothing.
+        let end = s.run(Semantics::End);
+        assert_eq!(end.size(), 0);
+        end.apply(&mut s).unwrap();
+        assert_eq!(s.history().len(), 2);
+        assert_eq!(s.undo().unwrap(), 0, "empty repair undoes to nothing");
+        assert_eq!(s.undo().unwrap(), 3);
+        assert_eq!(s.db().total_rows(), 13);
+    }
+}

@@ -1,6 +1,6 @@
 //! Stable databases and stabilizing sets (Definitions 3.12 and 3.14).
 //!
-//! Stability is the degenerate fixpoint: one [`engine::DeltaPolicy::Never`]
+//! Stability is the degenerate fixpoint: one [`crate::engine::DeltaPolicy::Never`]
 //! round over the live view, stopping at the first satisfying assignment
 //! (the instability witness).
 

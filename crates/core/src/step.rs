@@ -30,6 +30,18 @@ pub struct StepOutcome {
     /// Eval (end semantics + provenance), Process Prov (graph build),
     /// Traverse (greedy loop) — Figure 8's categories for Algorithm 2.
     pub breakdown: PhaseBreakdown,
+    /// Did the traversal *prove* its answer minimum? `true` when the
+    /// database was already stable, or when the provenance graph is
+    /// interaction-free ([`ProvGraph::is_interaction_free`]: a forest of
+    /// pure cascades, where every firing sequence deletes the same set).
+    /// `false` means heuristic — not necessarily suboptimal, just
+    /// uncertified.
+    pub optimal: bool,
+    /// The end-semantics assignment stream Algorithm 2 consumed (moved
+    /// out rather than recomputed, for callers that also want provenance).
+    pub assignments: Vec<datalog::Assignment>,
+    /// 1-based derivation round of each delta tuple.
+    pub layers: std::collections::HashMap<TupleId, u32>,
 }
 
 /// Run Algorithm 2.
@@ -40,6 +52,9 @@ pub fn run_greedy(db: &Instance, ev: &Evaluator) -> StepOutcome {
 
     let t1 = Instant::now();
     let mut graph = ProvGraph::build(&end_out.assignments, &end_out.layers);
+    // The certificate reads the static edge lists; decide it before the
+    // traversal mutates liveness.
+    let interaction_free = graph.is_interaction_free();
     let process = t1.elapsed();
 
     let t2 = Instant::now();
@@ -66,6 +81,7 @@ pub fn run_greedy(db: &Instance, ev: &Evaluator) -> StepOutcome {
     for &t in &selected {
         state.delete(t);
     }
+    let optimal = selected.is_empty() || interaction_free;
     StepOutcome {
         state,
         deleted: selected,
@@ -74,6 +90,9 @@ pub fn run_greedy(db: &Instance, ev: &Evaluator) -> StepOutcome {
             process,
             solve,
         },
+        optimal,
+        assignments: end_out.assignments,
+        layers: end_out.layers,
     }
 }
 
@@ -196,6 +215,26 @@ mod tests {
         let greedy = run_greedy(&db, &ev);
         let exact = optimal(&db, &ev, 200_000).expect("search completes");
         assert_eq!(greedy.deleted.len(), exact.len());
+        // Figure 2's rules interact (Writes tuples void Pub derivations),
+        // so the answer is right here but carries no certificate.
+        assert!(!greedy.optimal);
+    }
+
+    #[test]
+    fn pure_cascade_is_certified_optimal() {
+        // R1 seeds, R2 cascades: interaction-free, every sequence deletes
+        // the same two tuples, and the certificate reflects that.
+        let mut db = tiny_instance(&[1], &[1], &[]);
+        let program = parse_program(
+            "delta R1(x) :- R1(x), x = 1.
+             delta R2(x) :- R2(x), delta R1(x).",
+        )
+        .unwrap();
+        let ev = Evaluator::new(&mut db, program).unwrap();
+        let out = run_greedy(&db, &ev);
+        assert_eq!(out.deleted.len(), 2);
+        assert!(out.optimal, "cascade forest must be certified");
+        assert_eq!(optimal(&db, &ev, 10_000).unwrap().len(), 2);
     }
 
     #[test]
@@ -265,6 +304,7 @@ mod tests {
         let ev = Evaluator::new(&mut db, program).unwrap();
         let out = run_greedy(&db, &ev);
         assert!(out.deleted.is_empty());
+        assert!(out.optimal, "the empty repair is trivially minimum");
         assert_eq!(optimal(&db, &ev, 100).unwrap(), vec![]);
     }
 }

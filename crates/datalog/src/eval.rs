@@ -153,25 +153,63 @@ impl EvalScratch {
     }
 }
 
-/// A validated, compiled, index-prepared delta program ready for repeated
-/// evaluation.
-pub struct Evaluator {
+/// A validated and compiled delta program whose probe plans have **not**
+/// yet been bound to concrete indexes — the output of the planning phase.
+///
+/// [`Evaluator::new`] fuses the two phases; callers that own the instance
+/// long-term (a repair session) plan first against the schema alone, then
+/// decide when to pay for index construction:
+///
+/// ```
+/// # use datalog::{parse_program, PlannedProgram};
+/// # use storage::{AttrType, Instance, Schema, Value};
+/// # let mut s = Schema::new();
+/// # s.relation("R", &[("x", AttrType::Int)]);
+/// # let mut db = Instance::new(s);
+/// # db.insert_values("R", [Value::Int(1)]).unwrap();
+/// let program = parse_program("delta R(x) :- R(x), x = 1.").unwrap();
+/// let planned = PlannedProgram::plan(db.schema(), program)?; // no db access
+/// let ev = planned.into_evaluator(&mut db); // builds the probe indexes
+/// # assert_eq!(ev.num_rules(), 1);
+/// # Ok::<(), datalog::DatalogError>(())
+/// ```
+pub struct PlannedProgram {
     program: Program,
     compiled: Vec<CompiledRule>,
 }
 
-impl Evaluator {
-    /// Validate `program` against the schema of `db`, compile join plans and
-    /// build every composite hash index the plans will probe.
-    pub fn new(db: &mut Instance, program: Program) -> Result<Evaluator, DatalogError> {
-        validate_program(db.schema(), &program)?;
-        let mut compiled: Vec<CompiledRule> = program
+impl PlannedProgram {
+    /// Validate `program` against `schema` and compile join plans. Pure
+    /// with respect to the data: only the schema is consulted.
+    pub fn plan(
+        schema: &storage::Schema,
+        program: Program,
+    ) -> Result<PlannedProgram, DatalogError> {
+        validate_program(schema, &program)?;
+        let compiled: Vec<CompiledRule> = program
             .rules
             .iter()
-            .map(|r| compile_rule(db.schema(), r))
+            .map(|r| compile_rule(schema, r))
             .collect();
-        // Resolve each probing plan step to a concrete composite index,
-        // building it if absent (compilation itself sees only the schema).
+        Ok(PlannedProgram { program, compiled })
+    }
+
+    /// The planned program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Number of rules.
+    pub fn num_rules(&self) -> usize {
+        self.compiled.len()
+    }
+
+    /// Bind every probing plan step to a concrete composite index on `db`,
+    /// building missing indexes now (the only part of evaluator
+    /// construction that touches the instance). Subsequent inserts and
+    /// deletes maintain those indexes incrementally, so the evaluator never
+    /// needs re-planning while the schema stands.
+    pub fn into_evaluator(mut self, db: &mut Instance) -> Evaluator {
         fn resolve(db: &mut Instance, atoms: &[CompiledAtom], plan: &mut Plan) {
             for k in 0..plan.order.len() {
                 let rel = atoms[plan.order[k]].rel;
@@ -181,7 +219,7 @@ impl Evaluator {
                 }
             }
         }
-        for cr in &mut compiled {
+        for cr in &mut self.compiled {
             let CompiledRule {
                 atoms,
                 general,
@@ -193,7 +231,26 @@ impl Evaluator {
                 resolve(db, atoms, plan);
             }
         }
-        Ok(Evaluator { program, compiled })
+        Evaluator {
+            program: self.program,
+            compiled: self.compiled,
+        }
+    }
+}
+
+/// A validated, compiled, index-prepared delta program ready for repeated
+/// evaluation.
+pub struct Evaluator {
+    program: Program,
+    compiled: Vec<CompiledRule>,
+}
+
+impl Evaluator {
+    /// Validate `program` against the schema of `db`, compile join plans and
+    /// build every composite hash index the plans will probe — the fused
+    /// [`PlannedProgram::plan`] + [`PlannedProgram::into_evaluator`].
+    pub fn new(db: &mut Instance, program: Program) -> Result<Evaluator, DatalogError> {
+        Ok(PlannedProgram::plan(db.schema(), program)?.into_evaluator(db))
     }
 
     /// The program being evaluated.
@@ -796,7 +853,10 @@ fn step(
             visit!(tid.row, false);
         }
     } else {
-        for row in 0..rel.num_rows() as u32 {
+        // Frozen-base / hypothetical full scan: every *live* row of the
+        // instance. Tombstoned rows left the relation durably and must not
+        // resurface in any view.
+        for row in rel.live_rows() {
             visit!(row, false);
         }
     }

@@ -40,6 +40,6 @@ pub use dc::DenialConstraint;
 pub use error::DatalogError;
 #[cfg(feature = "parallel")]
 pub use eval::{eval_threads, ParScope};
-pub use eval::{Assignment, BodyBind, DeltaFrontier, EvalScratch, Evaluator, Mode};
+pub use eval::{Assignment, BodyBind, DeltaFrontier, EvalScratch, Evaluator, Mode, PlannedProgram};
 pub use parser::{parse_body, parse_program};
 pub use seed::{seed_rule, with_interventions};

@@ -3,7 +3,7 @@
 //!
 //! The paper's Algorithm 2 consumes provenance as a graph; users of a
 //! repair system want the inverse view — "*why* was this tuple deleted?".
-//! [`explain`] reconstructs a minimal derivation tree for any delta tuple
+//! [`Explainer::explain`] reconstructs a minimal derivation tree for any delta tuple
 //! from the end-semantics assignment stream: the earliest-round assignment
 //! deriving it, with delta premises expanded recursively (rounds strictly
 //! decrease toward the seeds, so the recursion always terminates).

@@ -209,6 +209,26 @@ impl ProvGraph {
         }
     }
 
+    /// Is the graph free of deletion interactions — no delta node's tuple
+    /// occurs as a *base* tuple of an assignment deriving a different head?
+    ///
+    /// When this holds (pure cascade programs; any forest-shaped graph),
+    /// firing a rule can never void another tuple's derivation: under step
+    /// semantics every end-derivable delta tuple eventually becomes
+    /// derivable and must be fired, so **all** firing sequences delete
+    /// exactly the full node set and the greedy traversal's answer is
+    /// provably minimum. Checked against end-semantics provenance, which is
+    /// a superset of every step-reachable assignment, so the certificate is
+    /// sound (it never claims optimality wrongly; it may miss it).
+    pub fn is_interaction_free(&self) -> bool {
+        self.nodes.iter().enumerate().all(|(n, node)| {
+            self.uses_base.get(&node.tid).is_none_or(|uses| {
+                uses.iter()
+                    .all(|&ai| self.assigns[ai as usize].head == n as u32)
+            })
+        })
+    }
+
     /// Tuples whose delta node is alive, for debugging and tests.
     pub fn alive_tuples(&self) -> Vec<TupleId> {
         self.nodes
@@ -347,6 +367,29 @@ mod tests {
         assert!(!graph.is_alive(y));
         assert!(!graph.is_alive(z));
         assert_eq!(graph.alive_tuples(), Vec::<TupleId>::new());
+    }
+
+    #[test]
+    fn interaction_freedom_detects_pure_cascades() {
+        // Δ(x) :- x ;  Δ(y) :- y, Δ(x): a pure cascade — no head occurs in
+        // another assignment's base body.
+        let x = tid(0, 0);
+        let y = tid(1, 0);
+        let cascade = vec![
+            assignment(x, &[(x, false)]),
+            assignment(y, &[(y, false), (x, true)]),
+        ];
+        let layers: HashMap<TupleId, u32> = [(x, 1), (y, 2)].into_iter().collect();
+        assert!(ProvGraph::build(&cascade, &layers).is_interaction_free());
+
+        // Δ(x) :- x, y ;  Δ(y) :- x, y: each head is a base tuple of the
+        // other's derivation — firing one voids the other.
+        let shared = vec![
+            assignment(x, &[(x, false), (y, false)]),
+            assignment(y, &[(x, false), (y, false)]),
+        ];
+        let layers: HashMap<TupleId, u32> = [(x, 1), (y, 1)].into_iter().collect();
+        assert!(!ProvGraph::build(&shared, &layers).is_interaction_free());
     }
 
     #[test]

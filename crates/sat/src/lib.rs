@@ -2,7 +2,7 @@
 //!
 //! Replaces the Z3 SMT optimizer used by the paper's prototype for
 //! **Algorithm 1** (independent semantics). The *Min-Ones SAT* problem
-//! (Kratsch, Marx, Wahlström — cited as [31] in the paper) asks for a
+//! (Kratsch, Marx, Wahlström — cited as \[31\] in the paper) asks for a
 //! satisfying assignment mapping the minimum number of variables to `True`;
 //! here a `True` variable means "delete this tuple".
 //!

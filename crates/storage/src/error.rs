@@ -24,6 +24,8 @@ pub enum StorageError {
         expected: &'static str,
         got: &'static str,
     },
+    /// A tuple id referenced a row that was never inserted.
+    UnknownTuple { relation: String, row: u32 },
     /// Malformed TSV input.
     Parse(String),
 }
@@ -56,6 +58,9 @@ impl fmt::Display for StorageError {
                 f,
                 "attribute `{relation}.{attribute}` expects {expected}, got {got}"
             ),
+            StorageError::UnknownTuple { relation, row } => {
+                write!(f, "relation `{relation}` has no row {row}")
+            }
             StorageError::Parse(msg) => write!(f, "parse error: {msg}"),
         }
     }

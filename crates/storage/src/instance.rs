@@ -10,11 +10,14 @@ use crate::value::Value;
 /// A database instance: a [`Schema`] plus one [`Relation`] store per declared
 /// relation.
 ///
-/// An `Instance` is the immutable substrate of every repair computation; the
-/// mutable part (presence bits and delta membership) lives in [`State`]. This
-/// split lets the four semantics of the paper evaluate over the same data
-/// without copying tuples.
-#[derive(Clone, Debug)]
+/// An `Instance` is the durable substrate of every repair computation; the
+/// *transient* part (presence bits and delta membership during one
+/// evaluation) lives in [`State`]. This split lets the four semantics of the
+/// paper evaluate over the same data without copying tuples. Durable
+/// mutation — committing a repair, batch ingest — goes through
+/// [`Instance::delete_tuples`] / [`Instance::restore_tuples`] / inserts,
+/// which maintain every composite index incrementally.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Instance {
     schema: Schema,
     relations: Vec<Relation>,
@@ -58,9 +61,77 @@ impl Instance {
         self.insert(rel, t)
     }
 
-    /// The tuple behind `tid`.
+    /// The tuple behind `tid` (live or tombstoned).
     pub fn tuple(&self, tid: TupleId) -> &Tuple {
         self.relations[tid.rel.idx()].tuple(tid.row)
+    }
+
+    /// Is `tid` a live member of the instance (inserted and not deleted)?
+    pub fn is_live(&self, tid: TupleId) -> bool {
+        self.relations
+            .get(tid.rel.idx())
+            .is_some_and(|r| r.is_live(tid.row))
+    }
+
+    /// Batch-delete tuples from the instance, updating every composite
+    /// index incrementally (no rebuild). Tuple ids stay valid — rows are
+    /// tombstoned, never moved — so provenance and repair results keep
+    /// working. Ids already deleted are skipped; an id that was never
+    /// inserted is an error, and the whole batch is validated **before**
+    /// anything is touched, so an error means the instance is unchanged.
+    /// Returns the number of tuples removed.
+    pub fn delete_tuples(
+        &mut self,
+        ids: impl IntoIterator<Item = TupleId> + Clone,
+    ) -> Result<usize, StorageError> {
+        for tid in ids.clone() {
+            self.check_bounds(tid)?;
+        }
+        let mut removed = 0;
+        for tid in ids {
+            if self.relations[tid.rel.idx()].remove_row(tid.row) {
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Batch-revive tombstoned tuples (the undo path of an applied repair),
+    /// re-entering them into the dedup map and every index at their sorted
+    /// position. Ids that are already live, or whose value has since been
+    /// re-inserted under a new row, are skipped. Like
+    /// [`Instance::delete_tuples`], validation happens before any mutation.
+    /// Returns the number revived.
+    pub fn restore_tuples(
+        &mut self,
+        ids: impl IntoIterator<Item = TupleId> + Clone,
+    ) -> Result<usize, StorageError> {
+        for tid in ids.clone() {
+            self.check_bounds(tid)?;
+        }
+        let mut restored = 0;
+        for tid in ids {
+            if self.relations[tid.rel.idx()].restore_row(tid.row) {
+                restored += 1;
+            }
+        }
+        Ok(restored)
+    }
+
+    fn check_bounds(&self, tid: TupleId) -> Result<usize, StorageError> {
+        let idx = tid.rel.idx();
+        match self.relations.get(idx) {
+            Some(r) if (tid.row as usize) < r.num_rows() => Ok(idx),
+            _ => Err(StorageError::UnknownTuple {
+                relation: self
+                    .schema
+                    .iter()
+                    .nth(idx)
+                    .map(|(_, rs)| rs.name.clone())
+                    .unwrap_or_else(|| format!("#{}", tid.rel.0)),
+                row: tid.row,
+            }),
+        }
     }
 
     /// Find the id of `t` in `rel` (whether or not any state deleted it).
@@ -92,14 +163,20 @@ impl Instance {
         }
     }
 
-    /// Total number of rows ever inserted across relations.
+    /// Total number of live tuples across relations.
     pub fn total_rows(&self) -> usize {
-        self.relations.iter().map(Relation::num_rows).sum()
+        self.relations.iter().map(Relation::live_count).sum()
     }
 
-    /// Rows ever inserted into `rel`.
+    /// Rows ever inserted into `rel` (live and tombstoned) — the bound for
+    /// row-indexed structures such as [`State`] bitsets.
     pub fn rows(&self, rel: RelId) -> usize {
         self.relations[rel.idx()].num_rows()
+    }
+
+    /// Live tuples in `rel`.
+    pub fn live_rows(&self, rel: RelId) -> usize {
+        self.relations[rel.idx()].live_count()
     }
 
     /// A fresh [`State`] in which every inserted tuple is present and all
@@ -108,17 +185,19 @@ impl Instance {
         State::initial(self)
     }
 
-    /// Iterate every tuple id of `rel`.
+    /// Iterate every live tuple id of `rel`.
     pub fn tuple_ids(&self, rel: RelId) -> impl Iterator<Item = TupleId> + '_ {
-        (0..self.relations[rel.idx()].num_rows() as u32).map(move |row| TupleId::new(rel, row))
+        self.relations[rel.idx()]
+            .live_rows()
+            .map(move |row| TupleId::new(rel, row))
     }
 
-    /// Iterate every tuple id in the instance. Allocation-free: callers
-    /// like the stability check hit this once per round.
+    /// Iterate every live tuple id in the instance. Allocation-free:
+    /// callers like the stability check hit this once per round.
     pub fn all_tuple_ids(&self) -> impl Iterator<Item = TupleId> + '_ {
         self.relations.iter().enumerate().flat_map(|(i, r)| {
             let rel = RelId(i as u16);
-            (0..r.num_rows() as u32).map(move |row| TupleId::new(rel, row))
+            r.live_rows().map(move |row| TupleId::new(rel, row))
         })
     }
 
@@ -181,5 +260,61 @@ mod tests {
         let rel = db.schema().rel_id("Grant").unwrap();
         assert_eq!(st.present_count(rel), 2);
         assert_eq!(st.delta_count(rel), 0);
+    }
+
+    #[test]
+    fn delete_tuples_batch_and_counts() {
+        let mut db = grant_instance();
+        let rel = db.schema().rel_id("Grant").unwrap();
+        db.ensure_composite_index(rel, &[0]);
+        let erc = TupleId::new(rel, 1);
+        assert_eq!(db.delete_tuples([erc]).unwrap(), 1);
+        assert_eq!(db.delete_tuples([erc]).unwrap(), 0, "already dead");
+        assert_eq!(db.total_rows(), 1);
+        assert_eq!(db.rows(rel), 2, "storage keeps the tombstone");
+        assert!(!db.is_live(erc));
+        assert_eq!(db.all_tuple_ids().count(), 1);
+        assert_eq!(
+            db.relation(rel).lookup(0, &Value::Int(2)).unwrap(),
+            &[] as &[u32]
+        );
+        // Fresh states no longer see the deleted tuple, in any view.
+        let st = db.initial_state();
+        assert!(!st.is_present(erc));
+        assert_eq!(st.present_count(rel), 1);
+    }
+
+    #[test]
+    fn restore_tuples_round_trips_instance_equality() {
+        let mut db = grant_instance();
+        let rel = db.schema().rel_id("Grant").unwrap();
+        db.ensure_composite_index(rel, &[1]);
+        let before = db.clone();
+        let ids = [TupleId::new(rel, 0), TupleId::new(rel, 1)];
+        assert_eq!(db.delete_tuples(ids).unwrap(), 2);
+        assert_ne!(db, before);
+        assert_eq!(db.restore_tuples(ids).unwrap(), 2);
+        assert_eq!(db, before, "tuple ids, indexes and live bits restored");
+    }
+
+    #[test]
+    fn out_of_range_ids_are_errors_and_batches_are_atomic() {
+        let mut db = grant_instance();
+        let rel = db.schema().rel_id("Grant").unwrap();
+        let bogus = TupleId::new(rel, 99);
+        let valid = TupleId::new(rel, 0);
+        let before = db.clone();
+        // A bad id anywhere in the batch rejects the whole batch — the
+        // valid prefix must NOT have been deleted.
+        assert!(matches!(
+            db.delete_tuples([valid, bogus]),
+            Err(StorageError::UnknownTuple { .. })
+        ));
+        assert_eq!(db, before, "failed delete batch leaves no trace");
+        assert!(matches!(
+            db.restore_tuples([valid, bogus]),
+            Err(StorageError::UnknownTuple { .. })
+        ));
+        assert_eq!(db, before, "failed restore batch leaves no trace");
     }
 }

@@ -1,5 +1,12 @@
-//! Append-only, deduplicated tuple storage with composite hash indexes.
+//! Deduplicated tuple storage with composite hash indexes.
+//!
+//! Rows are appended and never moved, so [`crate::TupleId`]s stay stable
+//! forever; deletion marks a row *dead* (a tombstone) and removes it from
+//! the dedup map and every index posting list incrementally — no rebuild.
+//! Dead rows can later be revived by [`Relation::restore_row`] (the undo
+//! path of an applied repair).
 
+use crate::bitset::BitSet;
 use crate::error::StorageError;
 use crate::hash::FxHashMap;
 use crate::schema::RelationSchema;
@@ -9,13 +16,14 @@ use crate::value::Value;
 /// A hash index over one set of columns.
 ///
 /// Keys are the tuple's values at `cols` (ascending column order); the entry
-/// lists every row holding that key, in insertion (= ascending row) order —
-/// the property the evaluator's deterministic enumeration relies on.
-#[derive(Clone, Debug)]
+/// lists every live row holding that key, in ascending row order — the
+/// property the evaluator's deterministic enumeration relies on. Removal and
+/// revival keep the order by binary-searching the posting list.
+#[derive(Clone, Debug, PartialEq, Eq)]
 struct CompositeIndex {
     /// Indexed columns, strictly ascending.
     cols: Box<[usize]>,
-    /// Key (values at `cols`) → rows, ascending.
+    /// Key (values at `cols`) → live rows, ascending.
     map: FxHashMap<Box<[Value]>, Vec<u32>>,
 }
 
@@ -27,6 +35,29 @@ impl CompositeIndex {
     fn add(&mut self, row: u32, t: &Tuple) {
         self.map.entry(self.key_of(t)).or_default().push(row);
     }
+
+    /// Insert `row` into the posting list at its sorted position (revival
+    /// of a tombstoned row; plain `add` covers append-order inserts).
+    fn add_sorted(&mut self, row: u32, t: &Tuple) {
+        let rows = self.map.entry(self.key_of(t)).or_default();
+        if let Err(pos) = rows.binary_search(&row) {
+            rows.insert(pos, row);
+        }
+    }
+
+    /// Remove `row` from the posting list; drops the entry when it empties
+    /// so probing a fully-deleted key costs one lookup, not a scan.
+    fn remove(&mut self, row: u32, t: &Tuple) {
+        let key = self.key_of(t);
+        if let Some(rows) = self.map.get_mut(&key) {
+            if let Ok(pos) = rows.binary_search(&row) {
+                rows.remove(pos);
+            }
+            if rows.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+    }
 }
 
 /// Identifier of a composite index within one [`Relation`], as returned by
@@ -36,18 +67,25 @@ pub type IndexId = u32;
 
 /// Storage for one relation.
 ///
-/// Tuples are appended once and never moved; *presence* is tracked outside
-/// this type by [`crate::State`] bitsets. The store deduplicates (relations
-/// are sets, per Section 2 of the paper) and maintains composite hash
-/// indexes — requested by the evaluator's probe plans, one per distinct set
-/// of bound columns — incrementally on insert.
-#[derive(Clone, Debug, Default)]
+/// Tuples are appended once and never moved; transient *presence* during a
+/// repair evaluation is tracked outside this type by [`crate::State`]
+/// bitsets, while durable membership (rows never deleted from the instance)
+/// lives in the `live` tombstone bitset here. The store deduplicates
+/// (relations are sets, per Section 2 of the paper) and maintains composite
+/// hash indexes — requested by the evaluator's probe plans, one per
+/// distinct set of bound columns — incrementally on insert, delete and
+/// restore.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Relation {
     tuples: Vec<Tuple>,
     dedup: FxHashMap<Tuple, u32>,
     indexes: Vec<CompositeIndex>,
     /// Columns signature → position in `indexes`.
     by_cols: FxHashMap<Box<[usize]>, IndexId>,
+    /// One bit per row ever inserted: is the row still a member?
+    live: BitSet,
+    /// Number of set bits in `live`, maintained incrementally.
+    live_count: usize,
 }
 
 impl Relation {
@@ -58,9 +96,31 @@ impl Relation {
         Relation::default()
     }
 
-    /// Number of rows ever inserted (including ones later deleted by states).
+    /// Number of rows ever inserted (live and tombstoned; the bound for
+    /// row-indexed structures like [`crate::State`] bitsets).
     pub fn num_rows(&self) -> usize {
         self.tuples.len()
+    }
+
+    /// Number of live (non-tombstoned) rows.
+    pub fn live_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Is `row` still a member of the relation?
+    #[inline]
+    pub fn is_live(&self, row: u32) -> bool {
+        self.live.get(row as usize)
+    }
+
+    /// The live/tombstone bitset, one bit per row ever inserted.
+    pub fn live_bits(&self) -> &BitSet {
+        &self.live
+    }
+
+    /// Iterate the live rows, ascending.
+    pub fn live_rows(&self) -> impl Iterator<Item = u32> + '_ {
+        self.live.iter_ones().map(|r| r as u32)
     }
 
     /// The tuple stored at `row`.
@@ -71,7 +131,7 @@ impl Relation {
 
     /// Insert `t`, returning its row and whether it was new.
     ///
-    /// Re-inserting an existing tuple returns the original row (set
+    /// Re-inserting an existing live tuple returns the original row (set
     /// semantics).
     pub fn insert(&mut self, t: Tuple) -> (u32, bool) {
         if let Some(&row) = self.dedup.get(&t) {
@@ -83,7 +143,48 @@ impl Relation {
         }
         self.dedup.insert(t.clone(), row);
         self.tuples.push(t);
+        self.live.set(row as usize);
+        self.live_count += 1;
         (row, true)
+    }
+
+    /// Tombstone `row`: drop it from the dedup map and from every composite
+    /// index posting list (incremental — no index rebuild). The tuple's
+    /// storage and id survive so provenance and repair results referring to
+    /// it stay valid. Returns `false` when the row was already dead.
+    pub fn remove_row(&mut self, row: u32) -> bool {
+        if !self.live.get(row as usize) {
+            return false;
+        }
+        self.live.clear(row as usize);
+        self.live_count -= 1;
+        let t = &self.tuples[row as usize];
+        self.dedup.remove(t);
+        for idx in &mut self.indexes {
+            idx.remove(row, t);
+        }
+        true
+    }
+
+    /// Revive a tombstoned `row`: re-enter it into the dedup map and every
+    /// index at its sorted posting position. Returns `false` when the row is
+    /// already live or when an equal live tuple was inserted in the meantime
+    /// (reviving it would break set semantics).
+    pub fn restore_row(&mut self, row: u32) -> bool {
+        if row as usize >= self.tuples.len() || self.live.get(row as usize) {
+            return false;
+        }
+        let t = self.tuples[row as usize].clone();
+        if self.dedup.contains_key(&t) {
+            return false;
+        }
+        self.live.set(row as usize);
+        self.live_count += 1;
+        self.dedup.insert(t.clone(), row);
+        for idx in &mut self.indexes {
+            idx.add_sorted(row, &t);
+        }
+        true
     }
 
     /// Validate `t` against `schema` and insert it.
@@ -133,8 +234,8 @@ impl Relation {
             cols: cols.into(),
             map: FxHashMap::default(),
         };
-        for (row, t) in self.tuples.iter().enumerate() {
-            idx.add(row as u32, t);
+        for row in self.live.iter_ones() {
+            idx.add(row as u32, &self.tuples[row]);
         }
         let id = u32::try_from(self.indexes.len()).expect("too many indexes");
         self.by_cols.insert(cols.into(), id);
@@ -175,9 +276,14 @@ impl Relation {
         Some(self.probe(id, std::slice::from_ref(v)))
     }
 
-    /// Iterate all rows `(row, tuple)` ever inserted.
+    /// Iterate all rows `(row, tuple)` ever inserted, dead ones included.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &Tuple)> {
         self.tuples.iter().enumerate().map(|(i, t)| (i as u32, t))
+    }
+
+    /// Iterate the live rows `(row, tuple)`, ascending.
+    pub fn iter_live(&self) -> impl Iterator<Item = (u32, &Tuple)> {
+        self.live.iter_ones().map(|r| (r as u32, &self.tuples[r]))
     }
 }
 
@@ -271,5 +377,64 @@ mod tests {
         r.insert(t(&[5]));
         assert_eq!(r.find(&t(&[5])), Some(0));
         assert_eq!(r.find(&t(&[6])), None);
+    }
+
+    #[test]
+    fn remove_row_updates_indexes_incrementally() {
+        let mut r = Relation::new(2);
+        let idx = r.ensure_composite_index(&[0]);
+        for i in 0..4 {
+            r.insert(t(&[1, i]));
+        }
+        assert!(r.remove_row(1));
+        assert!(!r.remove_row(1), "already dead");
+        assert_eq!(r.probe(idx, &[Value::Int(1)]), &[0, 2, 3]);
+        assert_eq!(r.num_rows(), 4, "storage keeps the tombstoned row");
+        assert_eq!(r.live_count(), 3);
+        assert!(!r.is_live(1));
+        assert_eq!(r.find(&t(&[1, 1])), None, "dead rows leave the set");
+        assert_eq!(r.live_rows().collect::<Vec<_>>(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn restore_row_round_trips_exactly() {
+        let mut r = Relation::new(2);
+        let idx = r.ensure_composite_index(&[0]);
+        for i in 0..4 {
+            r.insert(t(&[7, i]));
+        }
+        let before = r.clone();
+        assert!(r.remove_row(2));
+        assert_ne!(r, before);
+        assert!(r.restore_row(2));
+        assert_eq!(r, before, "dedup, indexes and live bits all restored");
+        assert_eq!(r.probe(idx, &[Value::Int(7)]), &[0, 1, 2, 3]);
+        assert!(!r.restore_row(2), "already live");
+        assert!(!r.restore_row(99), "out of range");
+    }
+
+    #[test]
+    fn restore_refuses_when_a_live_duplicate_exists() {
+        let mut r = Relation::new(1);
+        r.insert(t(&[5]));
+        assert!(r.remove_row(0));
+        let (row2, fresh) = r.insert(t(&[5]));
+        assert!(fresh, "dead rows don't block re-insertion");
+        assert_eq!(row2, 1);
+        assert!(!r.restore_row(0), "value now lives at row 1");
+        assert_eq!(r.live_count(), 1);
+    }
+
+    #[test]
+    fn indexes_built_after_removal_skip_dead_rows() {
+        let mut r = Relation::new(2);
+        for i in 0..3 {
+            r.insert(t(&[i, 0]));
+        }
+        r.remove_row(1);
+        let idx = r.ensure_composite_index(&[1]);
+        assert_eq!(r.probe(idx, &[Value::Int(0)]), &[0, 2]);
+        r.restore_row(1);
+        assert_eq!(r.probe(idx, &[Value::Int(0)]), &[0, 1, 2]);
     }
 }

@@ -98,7 +98,7 @@ impl RelationSchema {
 
 /// A database schema: an ordered collection of relation schemas with
 /// name-based lookup.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Schema {
     relations: Vec<RelationSchema>,
     by_name: HashMap<String, RelId>,

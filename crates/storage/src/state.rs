@@ -23,12 +23,18 @@ pub struct State {
 }
 
 impl State {
-    /// State at time 0: all tuples present, all deltas empty.
+    /// State at time 0: all *live* tuples present, all deltas empty.
+    /// Tuples deleted from the instance itself (tombstones) never enter
+    /// evaluation — not even under the frozen-base or hypothetical views.
     pub fn initial(db: &Instance) -> State {
         let present = db
             .schema()
             .iter()
-            .map(|(rid, _)| BitSet::ones(db.rows(rid)))
+            .map(|(rid, _)| {
+                let mut bits = db.relation(rid).live_bits().clone();
+                bits.grow(db.rows(rid));
+                bits
+            })
             .collect();
         let delta = db
             .schema()

@@ -22,7 +22,7 @@ pub fn to_tsv(db: &Instance) -> String {
     let mut out = String::new();
     for (rid, rs) in db.schema().iter() {
         writeln!(out, "# relation {}", rs.name).unwrap();
-        for (_, t) in db.relation(rid).iter() {
+        for (_, t) in db.relation(rid).iter_live() {
             let line: Vec<String> = t.values().iter().map(ToString::to_string).collect();
             writeln!(out, "{}", line.join("\t")).unwrap();
         }
@@ -42,7 +42,7 @@ pub fn to_tsv_typed(db: &Instance) -> String {
             .map(|a| format!("{}: {}", a.name, a.ty.name()))
             .collect();
         writeln!(out, "# relation {}({})", rs.name, cols.join(", ")).unwrap();
-        for (_, t) in db.relation(rid).iter() {
+        for (_, t) in db.relation(rid).iter_live() {
             let line: Vec<String> = t.values().iter().map(ToString::to_string).collect();
             writeln!(out, "{}", line.join("\t")).unwrap();
         }

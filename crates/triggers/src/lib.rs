@@ -190,7 +190,7 @@ mod tests {
     use super::*;
     use datalog::parse_program;
     use repair_core::testkit::{figure1_instance, figure2_program, names_of};
-    use repair_core::{Repairer, Semantics};
+    use repair_core::{RepairSession, Semantics};
 
     #[test]
     fn cascade_on_running_example_matches_stage_like_behaviour() {
@@ -258,17 +258,16 @@ mod tests {
         // The same scenario under step semantics deletes fewer tuples than
         // the eager trigger cascade on Figure 2 (step avoids the Pub/Writes
         // double deletion).
-        let mut db = figure1_instance();
-        let repairer = Repairer::new(&mut db, figure2_program()).unwrap();
-        let step = repairer.run(&db, Semantics::Step);
-        let trigs = triggers_from_program(repairer.evaluator().program());
+        let session = RepairSession::new(figure1_instance(), figure2_program()).unwrap();
+        let step = session.run(Semantics::Step);
+        let trigs = triggers_from_program(session.program());
         let run = run_triggers(
-            &db,
-            repairer.evaluator(),
+            session.db(),
+            session.evaluator(),
             &trigs,
             FiringOrder::CreationOrder,
         );
-        assert!(step.deleted.len() <= run.deleted.len());
+        assert!(step.deleted().len() <= run.deleted.len());
     }
 
     #[test]

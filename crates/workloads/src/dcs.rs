@@ -64,26 +64,26 @@ pub fn author_instance_from_table(table: &Table) -> Instance {
 mod tests {
     use super::*;
     use datagen::{author_table, inject_errors};
-    use repair_core::{Repairer, Semantics};
+    use repair_core::{RepairSession, Semantics};
 
     #[test]
     fn dc_program_validates_against_author_schema() {
         let table = author_table(120, 3);
-        let mut db = author_instance_from_table(&table);
-        Repairer::new(&mut db, dc_delta_program()).unwrap();
+        let db = author_instance_from_table(&table);
+        RepairSession::new(db, dc_delta_program()).unwrap();
     }
 
     #[test]
     fn clean_table_is_stable_dirty_table_is_not() {
         let mut table = author_table(200, 3);
-        let mut db = author_instance_from_table(&table);
-        let r = Repairer::new(&mut db, dc_delta_program()).unwrap();
-        assert!(r.is_stable(&db));
+        let db = author_instance_from_table(&table);
+        let r = RepairSession::new(db, dc_delta_program()).unwrap();
+        assert!(r.is_stable());
 
         inject_errors(&mut table, 10, 5);
-        let mut dirty = author_instance_from_table(&table);
-        let r2 = Repairer::new(&mut dirty, dc_delta_program()).unwrap();
-        assert!(!r2.is_stable(&dirty));
+        let dirty = author_instance_from_table(&table);
+        let r2 = RepairSession::new(dirty, dc_delta_program()).unwrap();
+        assert!(!r2.is_stable());
     }
 
     #[test]
@@ -94,10 +94,10 @@ mod tests {
         let mut table = author_table(200, 3);
         let n_errors = 8;
         inject_errors(&mut table, n_errors, 5);
-        let mut db = author_instance_from_table(&table);
-        let r = Repairer::new(&mut db, dc_delta_program()).unwrap();
-        let ind = r.run(&db, Semantics::Independent);
-        assert!(r.verify_stabilizing(&db, &ind.deleted));
+        let db = author_instance_from_table(&table);
+        let r = RepairSession::new(db, dc_delta_program()).unwrap();
+        let ind = r.run(Semantics::Independent);
+        assert!(r.verify_stabilizing(ind.deleted()));
         // Duplicate rows can collapse or an error can hit a pair, so allow
         // slack — but it must be close to n_errors, not to the table size.
         assert!(
@@ -114,10 +114,10 @@ mod tests {
         // than independent.
         let mut table = author_table(200, 3);
         inject_errors(&mut table, 8, 5);
-        let mut db = author_instance_from_table(&table);
-        let r = Repairer::new(&mut db, dc_delta_program()).unwrap();
-        let ind = r.run(&db, Semantics::Independent);
-        let end = r.run(&db, Semantics::End);
+        let db = author_instance_from_table(&table);
+        let r = RepairSession::new(db, dc_delta_program()).unwrap();
+        let ind = r.run(Semantics::Independent);
+        let end = r.run(Semantics::End);
         assert!(end.size() > ind.size());
     }
 }

@@ -182,7 +182,7 @@ pub fn mas_programs(data: &MasData) -> Vec<Workload> {
 mod tests {
     use super::*;
     use datagen::{mas, MasConfig};
-    use repair_core::Repairer;
+    use repair_core::RepairSession;
 
     fn data() -> MasData {
         mas::generate(&MasConfig {
@@ -201,8 +201,7 @@ mod tests {
         let workloads = mas_programs(&d);
         assert_eq!(workloads.len(), 20);
         for w in &workloads {
-            let mut db = d.db.clone();
-            Repairer::new(&mut db, w.program.clone())
+            RepairSession::new(d.db.clone(), w.program.clone())
                 .unwrap_or_else(|e| panic!("{} invalid: {e}", w.name));
         }
     }

@@ -84,7 +84,7 @@ pub fn tpch_programs(data: &TpchData) -> Vec<Workload> {
 mod tests {
     use super::*;
     use datagen::{tpch, TpchConfig};
-    use repair_core::Repairer;
+    use repair_core::RepairSession;
 
     fn data() -> TpchData {
         tpch::generate(&TpchConfig {
@@ -104,8 +104,7 @@ mod tests {
         let workloads = tpch_programs(&d);
         assert_eq!(workloads.len(), 6);
         for w in &workloads {
-            let mut db = d.db.clone();
-            Repairer::new(&mut db, w.program.clone())
+            RepairSession::new(d.db.clone(), w.program.clone())
                 .unwrap_or_else(|e| panic!("{} invalid: {e}", w.name));
         }
     }

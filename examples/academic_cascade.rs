@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release --example academic_cascade`
 
 use delta_repairs::datagen::{mas, MasConfig};
-use delta_repairs::{parse_program, Repairer, Semantics};
+use delta_repairs::{parse_program, RepairSession, Semantics};
 use std::time::Instant;
 
 fn main() {
@@ -20,10 +20,9 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.05);
     let data = mas::generate(&MasConfig::scaled(scale));
-    let mut db = data.db.clone();
     println!(
         "MAS fragment at scale {scale}: {} tuples; retracting organization {}",
-        db.total_rows(),
+        data.db.total_rows(),
         data.busiest_org
     );
 
@@ -40,23 +39,23 @@ fn main() {
     ))
     .expect("cascade program parses");
 
-    let repairer = Repairer::new(&mut db, program).expect("well-formed");
+    let session = RepairSession::new(data.db.clone(), program).expect("well-formed");
 
     let mut sizes = Vec::new();
     for sem in Semantics::ALL {
         let t0 = Instant::now();
-        let result = repairer.run(&db, sem);
+        let result = session.run(sem);
         let wall = t0.elapsed();
         println!(
             "{:<12} deleted {:>6} tuples in {:>10.2?}  (eval {:.0}%, process {:.0}%, solve {:.0}%)",
             sem.to_string(),
             result.size(),
             wall,
-            result.breakdown.fractions().0 * 100.0,
-            result.breakdown.fractions().1 * 100.0,
-            result.breakdown.fractions().2 * 100.0,
+            result.breakdown().fractions().0 * 100.0,
+            result.breakdown().fractions().1 * 100.0,
+            result.breakdown().fractions().2 * 100.0,
         );
-        assert!(repairer.verify_stabilizing(&db, &result.deleted));
+        assert!(session.verify_stabilizing(result.deleted()));
         sizes.push(result.size());
     }
 
@@ -73,9 +72,10 @@ fn main() {
     );
 
     // Show the per-relation composition of the repair.
-    let result = repairer.run(&db, Semantics::End);
+    let db = session.db();
+    let result = session.run(Semantics::End);
     let mut per_rel: std::collections::BTreeMap<&str, usize> = Default::default();
-    for &t in &result.deleted {
+    for &t in result.deleted() {
         *per_rel
             .entry(db.schema().rel(t.rel).name.as_str())
             .or_default() += 1;

@@ -18,7 +18,7 @@
 use delta_repairs::cellrepair::{count_violating_tuples, repair, CellRepairConfig};
 use delta_repairs::datagen::{author_table, inject_errors};
 use delta_repairs::workloads::{author_instance_from_table, dc_delta_program, paper_dcs};
-use delta_repairs::{Repairer, Semantics};
+use delta_repairs::{RepairSession, Semantics};
 
 fn main() {
     let rows: usize = std::env::var("ROWS")
@@ -48,15 +48,15 @@ fn main() {
     println!("violating tuples before repair (summed over DC1–DC4): {before}\n");
 
     // --- Tuple-deletion repairs under the four semantics ------------------
-    let mut db = author_instance_from_table(&table);
-    let repairer = Repairer::new(&mut db, dc_delta_program()).expect("DC program");
+    let db = author_instance_from_table(&table);
+    let session = RepairSession::new(db, dc_delta_program()).expect("DC program");
     for sem in [
         Semantics::Independent,
         Semantics::Step,
         Semantics::Stage,
         Semantics::End,
     ] {
-        let result = repairer.run(&db, sem);
+        let result = session.run(sem);
         let over = result.size() as i64 - injected.len() as i64;
         // Fewer deletions than injected errors is possible: duplicated rows
         // that collide under set semantics or clustered violations can be
@@ -67,7 +67,7 @@ fn main() {
             result.size(),
             over,
             injected.len(),
-            repairer.verify_stabilizing(&db, &result.deleted),
+            session.verify_stabilizing(result.deleted()),
         );
     }
 

@@ -11,7 +11,7 @@
 //! Run with: `cargo run --example custom_rules`
 
 use delta_repairs::storage::tsv;
-use delta_repairs::{AttrType, Instance, Repairer, Schema, Semantics, Value};
+use delta_repairs::{AttrType, Instance, RepairSession, Schema, Semantics, Value};
 
 fn main() {
     // 1. Declare the schema.
@@ -77,17 +77,22 @@ fn main() {
         delta Customer(ck, cn) :- Orders(ok, ck), Customer(ck, cn), delta LineItem(ok, sk, pk).
     ";
 
-    // 4. Validation happens inside Repairer::new — malformed rules
+    // 4. Validation happens inside RepairSession::new — malformed rules
     //    (unsafe variables, missing head atom in body, arity errors) are
-    //    rejected with a line-precise DatalogError.
+    //    rejected with a single RepairError wrapping the line-precise
+    //    cause. The session owns the database from here.
     let program = delta_repairs::parse_program(program_text).expect("parses");
-    let repairer = Repairer::new(&mut db, program).expect("valid delta program");
+    let mut session = RepairSession::new(db, program).expect("valid delta program");
 
     // 5. Compare policies.
     println!("{:<12} {:>5}  deleted tuples", "semantics", "|S|");
     for sem in Semantics::ALL {
-        let r = repairer.run(&db, sem);
-        let names: Vec<String> = r.deleted.iter().map(|&t| db.display_tuple(t)).collect();
+        let r = session.run(sem);
+        let names: Vec<String> = r
+            .deleted()
+            .iter()
+            .map(|&t| session.db().display_tuple(t))
+            .collect();
         println!(
             "{:<12} {:>5}  {}",
             sem.to_string(),
@@ -96,23 +101,18 @@ fn main() {
         );
     }
 
-    // 6. Apply the policy you want: rebuild a clean instance from the
-    //    surviving tuples and persist it.
-    let chosen = repairer.run(&db, Semantics::Step);
-    assert!(repairer.verify_stabilizing(&db, &chosen.deleted));
-    let mut repaired = Instance::new(db.schema().clone());
-    for tid in db.all_tuple_ids() {
-        if !chosen.contains(tid) {
-            repaired
-                .insert(tid.rel, db.tuple(tid).clone())
-                .expect("re-insert");
-        }
-    }
+    // 6. Apply the policy you want: preview the diff, commit it through
+    //    the session, and persist the surviving tuples.
+    let total = session.db().total_rows();
+    let chosen = session.run(Semantics::Step);
+    assert!(session.verify_stabilizing(chosen.deleted()));
+    print!("\n{}", chosen.preview(&session));
+    chosen.apply(&mut session).expect("fresh outcome applies");
     println!(
         "\nkept {} of {} tuples after step-semantics repair:",
-        repaired.total_rows(),
-        db.total_rows()
+        session.db().total_rows(),
+        total
     );
-    print!("{}", tsv::to_tsv(&repaired));
+    print!("{}", tsv::to_tsv(session.db()));
     let _ = Value::Int(0); // silence the unused-import lint in doc builds
 }

@@ -11,45 +11,74 @@
 //! Ind   = {g2, ag2, ag3}
 //! ```
 //!
+//! then commits the independent repair and rolls it back again.
+//!
 //! Run with: `cargo run --example quickstart`
 
-use delta_repairs::{testkit, Repairer, Semantics};
+use delta_repairs::{testkit, RepairRequest, RepairSession, Semantics};
 
-fn main() {
-    // Figure 1: Grant, AuthGrant, Author, Cite, Writes, Pub.
-    let mut db = testkit::figure1_instance();
-
+fn main() -> Result<(), delta_repairs::RepairError> {
     // Figure 2: rule (0) seeds the deletion of the ERC grant; rules (1)–(4)
     // cascade through grant winners, their papers and citations.
     let program = testkit::figure2_program();
     println!("The delta program (Figure 2):\n{program}");
 
-    // Validate + plan once, run any number of semantics.
-    let repairer = Repairer::new(&mut db, program).expect("program is well-formed");
+    // Validate + plan once; the session owns Figure 1's database from here.
+    let mut session = RepairSession::new(testkit::figure1_instance(), program)?;
 
     for sem in Semantics::ALL {
-        let result = repairer.run(&db, sem);
+        let result = session.run(sem);
         println!(
             "{:<12} |S| = {}  ->  {}",
             sem.to_string(),
             result.size(),
-            testkit::names_of(&db, &result.deleted).join(", ")
+            testkit::names_of(session.db(), result.deleted()).join(", ")
         );
         // Proposition 3.18: every semantics yields a stabilizing set.
         assert!(
-            repairer.verify_stabilizing(&db, &result.deleted),
+            session.verify_stabilizing(result.deleted()),
             "{sem} must stabilize the database"
         );
     }
 
     // The containment/size relationships of Figure 3.
-    let [ind, step, stage, end] = repairer.run_all(&db);
+    let [ind, step, stage, end] = session.run_all();
     assert!(ind.size() <= step.size());
     assert!(ind.size() <= stage.size());
-    assert!(step.deleted.iter().all(|t| end.contains(*t)), "Step ⊆ End");
     assert!(
-        stage.deleted.iter().all(|t| end.contains(*t)),
+        step.deleted().iter().all(|t| end.contains(*t)),
+        "Step ⊆ End"
+    );
+    assert!(
+        stage.deleted().iter().all(|t| end.contains(*t)),
         "Stage ⊆ End"
     );
     println!("\nFigure 3 invariants hold: |Ind| ≤ |Step|,|Stage| and Step,Stage ⊆ End.");
+
+    // Budgets ride on the request builder; the outcome says whether the
+    // answer is provably minimum and why.
+    let exact =
+        session.repair(&RepairRequest::new(Semantics::Independent).node_budget(u64::MAX))?;
+    println!(
+        "\nExact independent repair ({} tuples, proven optimal: {}, {:?}):",
+        exact.size(),
+        exact.proven_optimal(),
+        exact.optimality().certificate
+    );
+
+    // Preview, commit, inspect, roll back.
+    print!("{}", exact.preview(&session));
+    exact.apply(&mut session)?;
+    assert!(
+        session.is_stable(),
+        "committed repair stabilizes the database"
+    );
+    println!(
+        "applied: {} tuples remain, database stable",
+        session.db().total_rows()
+    );
+    session.undo()?;
+    assert_eq!(session.db().total_rows(), 13);
+    println!("undone: all 13 tuples restored");
+    Ok(())
 }

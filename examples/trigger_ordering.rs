@@ -18,7 +18,7 @@
 
 use delta_repairs::datagen::{mas, MasConfig};
 use delta_repairs::triggers::{run_triggers, FiringOrder, Trigger};
-use delta_repairs::{parse_program, Repairer, Semantics};
+use delta_repairs::{parse_program, RepairSession, Semantics};
 
 fn main() {
     let data = mas::generate(&MasConfig::scaled(0.05));
@@ -33,9 +33,8 @@ fn main() {
     ))
     .expect("program 4 parses");
 
-    let mut db = data.db.clone();
-    let repairer = Repairer::new(&mut db, program.clone()).expect("well-formed");
-    let ev = repairer.evaluator();
+    let session = RepairSession::new(data.db.clone(), program.clone()).expect("well-formed");
+    let (db, ev) = (session.db(), session.evaluator());
 
     // PostgreSQL: the DBA named the author trigger so it sorts first.
     let pg_triggers = vec![
@@ -48,7 +47,7 @@ fn main() {
             rule: 1,
         },
     ];
-    let pg = run_triggers(&db, ev, &pg_triggers, FiringOrder::Alphabetical);
+    let pg = run_triggers(db, ev, &pg_triggers, FiringOrder::Alphabetical);
     println!(
         "PostgreSQL (alphabetical): {} deletions, stable: {}",
         pg.deleted.len(),
@@ -56,7 +55,7 @@ fn main() {
     );
 
     // MySQL, authors-trigger created first…
-    let my1 = run_triggers(&db, ev, &pg_triggers, FiringOrder::CreationOrder);
+    let my1 = run_triggers(db, ev, &pg_triggers, FiringOrder::CreationOrder);
     // …and the same schema with the org-trigger created first.
     let my_triggers_rev = vec![
         Trigger {
@@ -68,7 +67,7 @@ fn main() {
             rule: 0,
         },
     ];
-    let my2 = run_triggers(&db, ev, &my_triggers_rev, FiringOrder::CreationOrder);
+    let my2 = run_triggers(db, ev, &my_triggers_rev, FiringOrder::CreationOrder);
     println!(
         "MySQL (creation order):    {} deletions if Author trigger first, {} if Organization first",
         my1.deleted.len(),
@@ -76,9 +75,9 @@ fn main() {
     );
 
     // The four semantics are order-independent by definition.
-    let step = repairer.run(&db, Semantics::Step);
-    let ind = repairer.run(&db, Semantics::Independent);
-    let end = repairer.run(&db, Semantics::End);
+    let step = session.run(Semantics::Step);
+    let ind = session.run(Semantics::Independent);
+    let end = session.run(Semantics::End);
     println!(
         "step semantics:            {} deletion(s) — the minimum firing sequence",
         step.size()

@@ -9,23 +9,27 @@
 //!
 //! Run with: `cargo run --example why_provenance`
 
-use delta_repairs::{testkit, Repairer, Semantics};
+use delta_repairs::{testkit, RepairRequest, RepairSession, Semantics};
 
 fn main() {
-    let mut db = testkit::figure1_instance();
-    let repairer = Repairer::new(&mut db, testkit::figure2_program()).expect("figure 2");
+    let session = RepairSession::new(testkit::figure1_instance(), testkit::figure2_program())
+        .expect("figure 2");
+    let db = session.db();
 
-    // Every tuple deleted by end semantics has a derivation tree.
-    let end = repairer.run(&db, Semantics::End);
+    // Capture the provenance stream once, alongside the repair itself.
+    let end = session
+        .repair(&RepairRequest::new(Semantics::End).capture_provenance(true))
+        .expect("valid request");
+    let prov = end.provenance().expect("capture requested");
     println!(
         "end semantics deletes {} tuples; explanations:\n",
         end.size()
     );
-    for &t in &end.deleted {
-        let tree = repairer
-            .explain(&db, t)
+    for &t in end.deleted() {
+        let tree = prov
+            .explain(t)
             .expect("every deleted tuple has a derivation");
-        print!("{}", tree.render(&db));
+        print!("{}", tree.render(db));
         println!(
             "  ({} derivation step(s), depth {})\n",
             tree.steps(),
@@ -34,11 +38,11 @@ fn main() {
     }
 
     // Tuples that survive have no derivation.
-    let survivor = testkit::tid_of(&db, "Author(2, Maggie)");
-    assert!(repairer.explain(&db, survivor).is_none());
+    let survivor = testkit::tid_of(db, "Author(2, Maggie)");
+    assert!(prov.explain(survivor).is_none());
     println!("Author(2, Maggie) is never deleted — no derivation exists.\n");
 
     // The full provenance graph, ready for `dot -Tsvg`.
     println!("Figure 5 as Graphviz DOT:\n");
-    print!("{}", repairer.provenance_dot(&db));
+    print!("{}", prov.to_dot(db));
 }

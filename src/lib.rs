@@ -25,25 +25,49 @@
 //!
 //! ## Quickstart
 //!
+//! A [`RepairSession`] owns the database and the planned program; requests
+//! go in, outcomes come out, and outcomes can be previewed, applied and
+//! undone:
+//!
 //! ```
-//! use delta_repairs::{Repairer, Semantics, testkit};
+//! use delta_repairs::{RepairRequest, RepairSession, Semantics, testkit};
 //!
 //! // Figure 1's academic database and Figure 2's five delta rules.
-//! let mut db = testkit::figure1_instance();
-//! let repairer = Repairer::new(&mut db, testkit::figure2_program()).unwrap();
+//! let mut session =
+//!     RepairSession::new(testkit::figure1_instance(), testkit::figure2_program())?;
 //!
-//! let end = repairer.run(&db, Semantics::End);          // 8 tuples
-//! let stage = repairer.run(&db, Semantics::Stage);      // 7 tuples
-//! let step = repairer.run(&db, Semantics::Step);        // 5 tuples
-//! let ind = repairer.run(&db, Semantics::Independent);  // 3 tuples
+//! let end = session.run(Semantics::End);          // 8 tuples
+//! let stage = session.run(Semantics::Stage);      // 7 tuples
+//! let step = session.run(Semantics::Step);        // 5 tuples
+//! let ind = session.run(Semantics::Independent);  // 3 tuples
 //!
 //! assert!(ind.size() <= step.size() && step.size() <= stage.size());
 //! assert!(stage.size() <= end.size());
 //! // Every result is a stabilizing set (Prop. 3.18).
 //! for r in [&end, &stage, &step, &ind] {
-//!     assert!(repairer.verify_stabilizing(&db, &r.deleted));
+//!     assert!(session.verify_stabilizing(r.deleted()));
 //! }
+//!
+//! // Budgets and provenance capture ride on the request builder…
+//! let exact = session.repair(
+//!     &RepairRequest::new(Semantics::Independent)
+//!         .node_budget(u64::MAX)
+//!         .capture_provenance(true),
+//! )?;
+//! assert!(exact.proven_optimal());
+//!
+//! // …and committing is first-class: apply, inspect, roll back.
+//! println!("{}", exact.preview(&session));
+//! exact.apply(&mut session)?;
+//! assert!(session.is_stable());
+//! session.undo()?;
+//! assert_eq!(session.db().total_rows(), 13);
+//! # Ok::<(), delta_repairs::RepairError>(())
 //! ```
+//!
+//! The pre-0.2 [`Repairer`] is deprecated; it now shims onto the session's
+//! dispatch and will be removed once downstream callers migrate (see
+//! `repair_core::repairer` for the migration table).
 //!
 //! ## Crate map
 //!
@@ -69,9 +93,14 @@
 //! paper-vs-measured record of every table and figure.
 
 pub use repair_core::{
-    end, engine, independent, relationships, repairer, result, stability, stage, step, testkit,
-    PhaseBreakdown, RepairResult, Repairer, Semantics,
+    end, engine, error, independent, relationships, repairer, result, session, stability, stage,
+    step, testkit, AppliedRepair, Optimality, OptimalityCertificate, ParseSemanticsError,
+    PhaseBreakdown, RepairError, RepairOutcome, RepairPreview, RepairProvenance, RepairRequest,
+    RepairResult, RepairSession, Semantics,
 };
+
+#[allow(deprecated)]
+pub use repair_core::Repairer;
 
 pub use datalog::{
     analyze, parse_program, seed_rule, with_interventions, Analysis, Atom, CmpOp, Comparison,
@@ -129,11 +158,11 @@ mod tests {
 
     #[test]
     fn facade_quickstart_runs() {
-        let mut db = testkit::figure1_instance();
-        let repairer = Repairer::new(&mut db, testkit::figure2_program()).unwrap();
-        let ind = repairer.run(&db, Semantics::Independent);
+        let session =
+            RepairSession::new(testkit::figure1_instance(), testkit::figure2_program()).unwrap();
+        let ind = session.run(Semantics::Independent);
         assert_eq!(ind.size(), 3);
-        assert!(repairer.verify_stabilizing(&db, &ind.deleted));
+        assert!(session.verify_stabilizing(ind.deleted()));
     }
 
     #[test]
@@ -144,8 +173,21 @@ mod tests {
         s.relation("R", &[("x", AttrType::Int)]);
         let mut db = Instance::new(s);
         db.insert_values("R", [Value::Int(1)]).unwrap();
-        let repairer = Repairer::new(&mut db, p).unwrap();
-        let r = repairer.run(&db, Semantics::End);
+        let session = RepairSession::new(db, p).unwrap();
+        let r = session.run(Semantics::End);
         assert_eq!(r.size(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_repairer_still_compiles_and_agrees() {
+        let mut db = testkit::figure1_instance();
+        let repairer = Repairer::new(&mut db, testkit::figure2_program()).unwrap();
+        let session =
+            RepairSession::new(testkit::figure1_instance(), testkit::figure2_program()).unwrap();
+        assert_eq!(
+            repairer.run(&db, Semantics::Step).deleted,
+            session.run(Semantics::Step).deleted()
+        );
     }
 }

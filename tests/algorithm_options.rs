@@ -1,42 +1,29 @@
 //! Degraded-mode guarantees of the two heuristic algorithms: whatever the
-//! solver options, the paper's correctness claim must survive — "any
+//! request budgets, the paper's correctness claim must survive — "any
 //! satisfying assignment would form a stabilizing set" (Algorithm 1), and
 //! the greedy traversal always returns a stabilizing set (Algorithm 2).
 
-use delta_repairs::sat::MinOnesOptions;
-use delta_repairs::{testkit, Repairer, Semantics};
+use delta_repairs::{testkit, RepairRequest, RepairSession, Semantics};
 
-fn degraded_options() -> Vec<(&'static str, MinOnesOptions)> {
+fn session() -> RepairSession {
+    RepairSession::new(testkit::figure1_instance(), testkit::figure2_program()).unwrap()
+}
+
+fn degraded_requests() -> Vec<(&'static str, RepairRequest)> {
+    let ind = || RepairRequest::new(Semantics::Independent);
     vec![
-        (
-            "first_solution_only",
-            MinOnesOptions {
-                first_solution_only: true,
-                ..MinOnesOptions::default()
-            },
-        ),
-        (
-            "tiny_budget",
-            MinOnesOptions {
-                node_budget: 1,
-                ..MinOnesOptions::default()
-            },
-        ),
+        ("first_solution_only", ind().first_solution_only(true)),
+        ("tiny_budget", ind().node_budget(1)),
         (
             "no_decomposition",
-            MinOnesOptions {
-                decompose: false,
-                node_budget: 100_000,
-                ..MinOnesOptions::default()
-            },
+            ind().decompose(false).node_budget(100_000),
         ),
         (
             "everything_off",
-            MinOnesOptions {
-                decompose: false,
-                node_budget: 1,
-                first_solution_only: true,
-            },
+            ind()
+                .decompose(false)
+                .node_budget(1)
+                .first_solution_only(true),
         ),
     ]
 }
@@ -45,12 +32,11 @@ fn degraded_options() -> Vec<(&'static str, MinOnesOptions)> {
 /// running example; only optimality may be lost.
 #[test]
 fn independent_stabilizes_under_all_solver_options() {
-    for (label, opts) in degraded_options() {
-        let mut db = testkit::figure1_instance();
-        let repairer = Repairer::with_options(&mut db, testkit::figure2_program(), opts).unwrap();
-        let r = repairer.run(&db, Semantics::Independent);
+    let s = session();
+    for (label, req) in degraded_requests() {
+        let r = s.repair(&req).unwrap();
         assert!(
-            repairer.verify_stabilizing(&db, &r.deleted),
+            s.verify_stabilizing(r.deleted()),
             "{label}: result must stabilize"
         );
         assert!(
@@ -58,7 +44,7 @@ fn independent_stabilizes_under_all_solver_options() {
             "{label}: below the true minimum is impossible"
         );
         assert!(
-            r.size() <= db.total_rows(),
+            r.size() <= s.db().total_rows(),
             "{label}: the whole database bounds any repair"
         );
     }
@@ -67,53 +53,77 @@ fn independent_stabilizes_under_all_solver_options() {
 /// The exact configuration is optimal and says so.
 #[test]
 fn unbudgeted_solve_proves_optimality() {
-    let mut db = testkit::figure1_instance();
-    let repairer = Repairer::with_options(
-        &mut db,
-        testkit::figure2_program(),
-        MinOnesOptions::default(), // unbounded budget
-    )
-    .unwrap();
-    let r = repairer.run(&db, Semantics::Independent);
-    assert!(r.proven_optimal);
+    let s = session();
+    let r = s
+        .repair(&RepairRequest::new(Semantics::Independent).node_budget(u64::MAX))
+        .unwrap();
+    assert!(r.proven_optimal());
+    assert_eq!(
+        r.optimality().certificate,
+        delta_repairs::OptimalityCertificate::SearchComplete
+    );
     assert_eq!(r.size(), 3);
 }
 
 /// A budget of one node cannot prove optimality and must report that.
 #[test]
 fn tiny_budget_reports_non_optimal_when_cut() {
-    let mut db = testkit::figure1_instance();
-    let repairer = Repairer::with_options(
-        &mut db,
-        testkit::figure2_program(),
-        MinOnesOptions {
-            node_budget: 1,
-            ..MinOnesOptions::default()
-        },
-    )
-    .unwrap();
-    let r = repairer.run(&db, Semantics::Independent);
+    let s = session();
+    let r = s
+        .repair(&RepairRequest::new(Semantics::Independent).node_budget(1))
+        .unwrap();
     // The solver may still finish within one node per component after
     // simplification; if it did not, the flag must be false — and either
     // way the set stabilizes.
     if r.size() > 3 {
-        assert!(!r.proven_optimal);
+        assert!(!r.proven_optimal());
+        assert_eq!(
+            r.optimality().certificate,
+            delta_repairs::OptimalityCertificate::NodeBudgetExhausted
+        );
     }
-    assert!(repairer.verify_stabilizing(&db, &r.deleted));
+    assert!(s.verify_stabilizing(r.deleted()));
+}
+
+/// A vanishing time budget degrades the solve phase to the first-solution
+/// descent — still stabilizing, certified as time-cut.
+#[test]
+fn exhausted_time_budget_degrades_gracefully() {
+    let s = session();
+    let r = s
+        .repair(
+            &RepairRequest::new(Semantics::Independent)
+                .time_budget(std::time::Duration::from_nanos(1)),
+        )
+        .unwrap();
+    assert!(s.verify_stabilizing(r.deleted()));
+    assert!(!r.proven_optimal());
+    assert_eq!(
+        r.optimality().certificate,
+        delta_repairs::OptimalityCertificate::TimeBudgetExhausted
+    );
+    // A generous budget never triggers the degradation on this instance.
+    let relaxed = s
+        .repair(
+            &RepairRequest::new(Semantics::Independent)
+                .time_budget(std::time::Duration::from_secs(3600)),
+        )
+        .unwrap();
+    assert!(relaxed.proven_optimal());
+    assert_eq!(relaxed.size(), 3);
 }
 
 /// Phase breakdowns are internally consistent across semantics.
 #[test]
 fn phase_breakdowns_are_consistent() {
-    let mut db = testkit::figure1_instance();
-    let repairer = Repairer::new(&mut db, testkit::figure2_program()).unwrap();
+    let s = session();
     for sem in Semantics::ALL {
-        let r = repairer.run(&db, sem);
-        let b = r.breakdown;
+        let r = s.run(sem);
+        let b = r.breakdown();
         assert_eq!(b.total(), b.eval + b.process + b.solve, "{sem}");
-        let (e, p, s) = b.fractions();
+        let (e, p, so) = b.fractions();
         if b.total().as_nanos() > 0 {
-            assert!((e + p + s - 1.0).abs() < 1e-9, "{sem}: fractions sum to 1");
+            assert!((e + p + so - 1.0).abs() < 1e-9, "{sem}: fractions sum to 1");
         }
         match sem {
             // The PTIME fixpoints do everything in eval.
@@ -132,10 +142,9 @@ fn phase_breakdowns_are_consistent() {
 /// `run_all` returns the paper's presentation order.
 #[test]
 fn run_all_order_is_stable() {
-    let mut db = testkit::figure1_instance();
-    let repairer = Repairer::new(&mut db, testkit::figure2_program()).unwrap();
-    let results = repairer.run_all(&db);
-    let order: Vec<_> = results.iter().map(|r| r.semantics).collect();
+    let s = session();
+    let results = s.run_all();
+    let order: Vec<_> = results.iter().map(|r| r.semantics()).collect();
     assert_eq!(
         order,
         vec![

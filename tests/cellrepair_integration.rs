@@ -4,7 +4,7 @@
 use delta_repairs::cellrepair::{count_violating_tuples, repair, CellRepairConfig, Table};
 use delta_repairs::datagen::{author_table, inject_errors};
 use delta_repairs::workloads::{author_instance_from_table, dc_delta_program, paper_dcs};
-use delta_repairs::Repairer;
+use delta_repairs::RepairSession;
 
 fn total_violations(table: &Table) -> usize {
     paper_dcs()
@@ -45,14 +45,14 @@ fn injection_is_deterministic() {
 fn semantics_always_fix_all_violations() {
     let mut table = author_table(600, 7);
     inject_errors(&mut table, 60, 11);
-    let mut db = author_instance_from_table(&table);
-    let repairer = Repairer::new(&mut db, dc_delta_program()).unwrap();
-    let [ind, step, stage, end] = repairer.run_all(&db);
+    let db = author_instance_from_table(&table);
+    let session = RepairSession::new(db, dc_delta_program()).unwrap();
+    let [ind, step, stage, end] = session.run_all();
     for r in [&ind, &step, &stage, &end] {
         assert!(
-            repairer.verify_stabilizing(&db, &r.deleted),
+            session.verify_stabilizing(r.deleted()),
             "{} must fix every violation",
-            r.semantics
+            r.semantics()
         );
     }
     assert!(ind.size() <= step.size());

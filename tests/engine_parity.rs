@@ -10,7 +10,7 @@
 //! is judged against.
 
 use delta_repairs::datalog::{Assignment, DeltaFrontier, Evaluator, Mode};
-use delta_repairs::{parse_program, testkit, Instance, Repairer, TupleId};
+use delta_repairs::{parse_program, testkit, Instance, RepairSession, TupleId};
 use std::collections::HashMap;
 
 /// The seed's fixpoint loops, verbatim.
@@ -137,9 +137,9 @@ mod reference {
 }
 
 /// Assert full end/stage/stability parity between engine-backed modules and
-/// the reference loops, for one instance + program.
-fn assert_parity(label: &str, db: &Instance, repairer: &Repairer) {
-    let ev = repairer.evaluator();
+/// the reference loops, for one session.
+fn assert_parity(label: &str, session: &RepairSession) {
+    let (db, ev) = (session.db(), session.evaluator());
 
     let new_end = delta_repairs::end::run(db, ev);
     let ref_end = reference::end_run(db, ev);
@@ -187,9 +187,9 @@ fn assert_parity(label: &str, db: &Instance, repairer: &Repairer) {
 
 #[test]
 fn figure1_parity() {
-    let mut db = testkit::figure1_instance();
-    let repairer = Repairer::new(&mut db, testkit::figure2_program()).unwrap();
-    assert_parity("figure1", &db, &repairer);
+    let session =
+        RepairSession::new(testkit::figure1_instance(), testkit::figure2_program()).unwrap();
+    assert_parity("figure1", &session);
 }
 
 #[test]
@@ -197,9 +197,8 @@ fn mas_workload_parity() {
     let data =
         delta_repairs::datagen::mas::generate(&delta_repairs::datagen::MasConfig::scaled(0.02));
     for w in delta_repairs::workloads::mas_programs(&data) {
-        let mut db = data.db.clone();
-        let repairer = Repairer::new(&mut db, w.program.clone()).unwrap();
-        assert_parity(&w.name, &db, &repairer);
+        let session = RepairSession::new(data.db.clone(), w.program.clone()).unwrap();
+        assert_parity(&w.name, &session);
     }
 }
 
@@ -208,9 +207,8 @@ fn tpch_workload_parity() {
     let data =
         delta_repairs::datagen::tpch::generate(&delta_repairs::datagen::TpchConfig::scaled(0.01));
     for w in delta_repairs::workloads::tpch_programs(&data) {
-        let mut db = data.db.clone();
-        let repairer = Repairer::new(&mut db, w.program.clone()).unwrap();
-        assert_parity(&w.name, &db, &repairer);
+        let session = RepairSession::new(data.db.clone(), w.program.clone()).unwrap();
+        assert_parity(&w.name, &session);
     }
 }
 
@@ -247,8 +245,8 @@ fn recursive_program_parity() {
              delta Node(v) :- Node(v), Edge(u, v), delta Node(u).",
         )
         .unwrap();
-        let repairer = Repairer::new(&mut db, program).unwrap();
-        assert_parity(&format!("chain-{n}"), &db, &repairer);
+        let session = RepairSession::new(db, program).unwrap();
+        assert_parity(&format!("chain-{n}"), &session);
     }
 
     // The mutual recursion of tests/recursion.rs.
@@ -268,13 +266,16 @@ fn recursive_program_parity() {
          delta A(x) :- A(x), delta B(x).",
     )
     .unwrap();
-    let repairer = Repairer::new(&mut db, program).unwrap();
-    assert_parity("mutual-recursion", &db, &repairer);
+    let session = RepairSession::new(db, program).unwrap();
+    assert_parity("mutual-recursion", &session);
 }
 
 #[test]
 fn empty_program_parity() {
-    let mut db = testkit::figure1_instance();
-    let repairer = Repairer::new(&mut db, delta_repairs::Program::default()).unwrap();
-    assert_parity("empty-program", &db, &repairer);
+    let session = RepairSession::new(
+        testkit::figure1_instance(),
+        delta_repairs::Program::default(),
+    )
+    .unwrap();
+    assert_parity("empty-program", &session);
 }

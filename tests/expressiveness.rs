@@ -3,8 +3,8 @@
 //! under each semantics.
 
 use delta_repairs::{
-    testkit, with_interventions, AttrType, DenialConstraint, Instance, Program, Repairer, Schema,
-    Semantics, Value,
+    testkit, with_interventions, AttrType, DenialConstraint, Instance, Program, RepairSession,
+    Schema, Semantics, Value,
 };
 
 fn pub_db() -> Instance {
@@ -40,17 +40,16 @@ fn title_dc() -> DenialConstraint {
 /// remains (here: any 2 of the 3 X-titled pubs).
 #[test]
 fn independent_gives_minimum_dc_repair() {
-    let mut db = pub_db();
-    let repairer = Repairer::new(&mut db, title_dc().to_program_single(0)).unwrap();
-    let ind = repairer.run(&db, Semantics::Independent);
+    let session = RepairSession::new(pub_db(), title_dc().to_program_single(0)).unwrap();
+    let ind = session.run(Semantics::Independent);
     assert_eq!(
         ind.size(),
         2,
         "three mutually-violating pubs need two deletions"
     );
-    assert!(repairer.verify_stabilizing(&db, &ind.deleted));
+    assert!(session.verify_stabilizing(ind.deleted()));
     // The clean publication is never touched.
-    let clean = testkit::tid_of(&db, "Pub(4, Y, A)");
+    let clean = testkit::tid_of(session.db(), "Pub(4, Y, A)");
     assert!(!ind.contains(clean));
 }
 
@@ -58,22 +57,20 @@ fn independent_gives_minimum_dc_repair() {
 /// the same minimum here.
 #[test]
 fn per_atom_translation_lets_step_match_independent() {
-    let mut db = pub_db();
-    let repairer = Repairer::new(&mut db, title_dc().to_program_per_atom()).unwrap();
-    let step = repairer.run(&db, Semantics::Step);
-    let ind = repairer.run(&db, Semantics::Independent);
+    let session = RepairSession::new(pub_db(), title_dc().to_program_per_atom()).unwrap();
+    let step = session.run(Semantics::Step);
+    let ind = session.run(Semantics::Independent);
     assert_eq!(step.size(), 2);
     assert_eq!(ind.size(), 2);
-    assert!(repairer.verify_stabilizing(&db, &step.deleted));
+    assert!(session.verify_stabilizing(step.deleted()));
 }
 
 /// End semantics over the same translation deletes every violating tuple —
 /// the over-deletion the paper contrasts against.
 #[test]
 fn end_deletes_every_violating_tuple() {
-    let mut db = pub_db();
-    let repairer = Repairer::new(&mut db, title_dc().to_program_per_atom()).unwrap();
-    let end = repairer.run(&db, Semantics::End);
+    let session = RepairSession::new(pub_db(), title_dc().to_program_per_atom()).unwrap();
+    let end = session.run(Semantics::End);
     assert_eq!(end.size(), 3, "all three X-titled pubs violate pairwise");
 }
 
@@ -87,10 +84,10 @@ fn multiple_dcs_compile_together() {
     let mut db = pub_db();
     db.insert_values("Pub", [Value::Int(1), Value::str("Z"), Value::str("A")])
         .unwrap();
-    let repairer = Repairer::new(&mut db, program).unwrap();
+    let session = RepairSession::new(db, program).unwrap();
     for sem in Semantics::ALL {
-        let r = repairer.run(&db, sem);
-        assert!(repairer.verify_stabilizing(&db, &r.deleted), "{sem}");
+        let r = session.run(sem);
+        assert!(session.verify_stabilizing(r.deleted()), "{sem}");
     }
 }
 
@@ -98,7 +95,7 @@ fn multiple_dcs_compile_together() {
 /// deletion — the Figure 2 rule-(0) pattern built programmatically.
 #[test]
 fn interventions_seed_the_cascade() {
-    let mut db = testkit::figure1_instance();
+    let db = testkit::figure1_instance();
     // Figure 2 without rule (0): stable on its own.
     let cascade: Program = delta_repairs::parse_program(
         "delta Author(a, n) :- Author(a, n), AuthGrant(a, g), delta Grant(g, gn).
@@ -108,28 +105,28 @@ fn interventions_seed_the_cascade() {
     )
     .unwrap();
     {
-        let repairer = Repairer::new(&mut db, cascade.clone()).unwrap();
-        assert!(repairer.is_stable(&db), "no seed, no deletions");
+        let unseeded = RepairSession::new(db.clone(), cascade.clone()).unwrap();
+        assert!(unseeded.is_stable(), "no seed, no deletions");
     }
     // Intervene on the ERC grant: identical to the full Figure 2 program.
     let erc = testkit::tid_of(&db, "Grant(2, ERC)");
     let seeded = with_interventions(&cascade, &db, &[erc]);
-    let repairer = Repairer::new(&mut db, seeded).unwrap();
-    let end = repairer.run(&db, Semantics::End);
+    let session = RepairSession::new(db.clone(), seeded).unwrap();
+    let end = session.run(Semantics::End);
     assert_eq!(end.size(), 8, "matches the Figure 2 end result");
 
-    let full = Repairer::new(&mut db, testkit::figure2_program()).unwrap();
-    let reference = full.run(&db, Semantics::End);
+    let full = RepairSession::new(db, testkit::figure2_program()).unwrap();
+    let reference = full.run(Semantics::End);
     assert!(delta_repairs::relationships::set_eq(
-        &end.deleted,
-        &reference.deleted
+        end.deleted(),
+        reference.deleted()
     ));
 }
 
 /// Intervening on several tuples at once.
 #[test]
 fn multi_tuple_intervention() {
-    let mut db = testkit::figure1_instance();
+    let db = testkit::figure1_instance();
     let cascade = delta_repairs::parse_program(
         "delta Writes(a, p) :- Writes(a, p), delta Author(a, n), Pub(p, t).",
     )
@@ -139,10 +136,10 @@ fn multi_tuple_intervention() {
         testkit::tid_of(&db, "Author(5, Homer)"),
     ];
     let seeded = with_interventions(&cascade, &db, &targets);
-    let repairer = Repairer::new(&mut db, seeded).unwrap();
-    let end = repairer.run(&db, Semantics::End);
+    let session = RepairSession::new(db, seeded).unwrap();
+    let end = session.run(Semantics::End);
     assert_eq!(
-        testkit::names_of(&db, &end.deleted),
+        testkit::names_of(session.db(), end.deleted()),
         [
             "Author(4, Marge)",
             "Author(5, Homer)",

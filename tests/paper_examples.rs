@@ -1,26 +1,25 @@
 //! The paper's running example, end to end — Figures 1–5 and Examples
 //! 1.1–5.2 as executable assertions.
 
-use delta_repairs::{testkit, Repairer, Semantics};
+use delta_repairs::{testkit, RepairOutcome, RepairSession, Semantics};
 
-fn names(db: &delta_repairs::Instance, r: &delta_repairs::RepairResult) -> Vec<String> {
-    testkit::names_of(db, &r.deleted)
+fn names(session: &RepairSession, r: &RepairOutcome) -> Vec<String> {
+    testkit::names_of(session.db(), r.deleted())
 }
 
-fn setup() -> (delta_repairs::Instance, Repairer) {
-    let mut db = testkit::figure1_instance();
-    let repairer = Repairer::new(&mut db, testkit::figure2_program()).expect("figure 2 program");
-    (db, repairer)
+fn setup() -> RepairSession {
+    RepairSession::new(testkit::figure1_instance(), testkit::figure2_program())
+        .expect("figure 2 program")
 }
 
 /// Example 1.3 / Figure 4: `End(P, D) = {g2, a2, a3, w1, w2, p1, p2, c}`
 /// (gray + green + pink + orange tuples).
 #[test]
 fn end_semantics_deletes_eight_tuples() {
-    let (db, repairer) = setup();
-    let end = repairer.run(&db, Semantics::End);
+    let session = setup();
+    let end = session.run(Semantics::End);
     assert_eq!(
-        names(&db, &end),
+        names(&session, &end),
         [
             "Author(4, Marge)",
             "Author(5, Homer)",
@@ -39,10 +38,10 @@ fn end_semantics_deletes_eight_tuples() {
 /// stage that derives `ΔPub`.
 #[test]
 fn stage_semantics_deletes_seven_tuples() {
-    let (db, repairer) = setup();
-    let stage = repairer.run(&db, Semantics::Stage);
+    let session = setup();
+    let stage = session.run(Semantics::Stage);
     assert_eq!(
-        names(&db, &stage),
+        names(&session, &stage),
         [
             "Author(4, Marge)",
             "Author(5, Homer)",
@@ -60,10 +59,10 @@ fn stage_semantics_deletes_seven_tuples() {
 /// starves rules (2) and (4).
 #[test]
 fn step_semantics_deletes_five_tuples() {
-    let (db, repairer) = setup();
-    let step = repairer.run(&db, Semantics::Step);
+    let session = setup();
+    let step = session.run(Semantics::Step);
     assert_eq!(
-        names(&db, &step),
+        names(&session, &step),
         [
             "Author(4, Marge)",
             "Author(5, Homer)",
@@ -78,36 +77,37 @@ fn step_semantics_deletes_five_tuples() {
 /// instead of cascading — three deletions.
 #[test]
 fn independent_semantics_deletes_three_tuples() {
-    let (db, repairer) = setup();
-    let ind = repairer.run(&db, Semantics::Independent);
+    let session = setup();
+    let ind = session.run(Semantics::Independent);
     assert_eq!(
-        names(&db, &ind),
+        names(&session, &ind),
         ["AuthGrant(4, 2)", "AuthGrant(5, 2)", "Grant(2, ERC)"]
     );
-    assert!(ind.proven_optimal, "tiny instance must be solved exactly");
+    assert!(ind.proven_optimal(), "tiny instance must be solved exactly");
 }
 
 /// Proposition 3.18: every semantics returns a stabilizing set, and the
 /// whole database is trivially stabilizing.
 #[test]
 fn all_results_and_full_db_are_stabilizing() {
-    let (db, repairer) = setup();
+    let session = setup();
     for sem in Semantics::ALL {
-        let r = repairer.run(&db, sem);
+        let r = session.run(sem);
         assert!(
-            repairer.verify_stabilizing(&db, &r.deleted),
+            session.verify_stabilizing(r.deleted()),
             "{sem} result must stabilize"
         );
     }
-    let everything: Vec<_> = db.all_tuple_ids().collect();
-    assert!(repairer.verify_stabilizing(&db, &everything));
+    let everything: Vec<_> = session.db().all_tuple_ids().collect();
+    assert!(session.verify_stabilizing(&everything));
 }
 
 /// Example 1.2's four hand-listed stabilizing sets all check out (each set
 /// implicitly includes the seed tuple g2 deleted by rule 0).
 #[test]
 fn example_1_2_stabilizing_sets() {
-    let (db, repairer) = setup();
+    let session = setup();
+    let db = session.db();
     let sets: [&[&str]; 4] = [
         &[
             "Author(4, Marge)",
@@ -135,11 +135,11 @@ fn example_1_2_stabilizing_sets() {
         &["AuthGrant(4, 2)", "AuthGrant(5, 2)"],
     ];
     for set in sets {
-        let mut tids: Vec<_> = set.iter().map(|n| testkit::tid_of(&db, n)).collect();
-        tids.push(testkit::tid_of(&db, "Grant(2, ERC)"));
+        let mut tids: Vec<_> = set.iter().map(|n| testkit::tid_of(db, n)).collect();
+        tids.push(testkit::tid_of(db, "Grant(2, ERC)"));
         tids.sort_unstable();
         assert!(
-            repairer.verify_stabilizing(&db, &tids),
+            session.verify_stabilizing(&tids),
             "Example 1.2 set {set:?} must stabilize"
         );
     }
@@ -148,38 +148,43 @@ fn example_1_2_stabilizing_sets() {
 /// A proper subset of a minimal stabilizing set must NOT stabilize.
 #[test]
 fn partial_deletions_do_not_stabilize() {
-    let (db, repairer) = setup();
+    let session = setup();
+    let db = session.db();
     // Only the seed: rules (1)+ still fire.
-    let seed = vec![testkit::tid_of(&db, "Grant(2, ERC)")];
-    assert!(!repairer.verify_stabilizing(&db, &seed));
+    let seed = vec![testkit::tid_of(db, "Grant(2, ERC)")];
+    assert!(!session.verify_stabilizing(&seed));
     // The empty set: rule (0) fires.
-    assert!(!repairer.verify_stabilizing(&db, &[]));
+    assert!(!session.verify_stabilizing(&[]));
     // One of the two AuthGrant links is not enough.
     let partial = vec![
-        testkit::tid_of(&db, "Grant(2, ERC)"),
-        testkit::tid_of(&db, "AuthGrant(4, 2)"),
+        testkit::tid_of(db, "Grant(2, ERC)"),
+        testkit::tid_of(db, "AuthGrant(4, 2)"),
     ];
-    assert!(!repairer.verify_stabilizing(&db, &partial));
+    assert!(!session.verify_stabilizing(&partial));
 }
 
 /// Figure 3: sizes and containments among the four results.
 #[test]
 fn figure3_relationships_hold_on_the_running_example() {
-    let (db, repairer) = setup();
-    let [ind, step, stage, end] = repairer.run_all(&db);
+    let session = setup();
+    let [ind, step, stage, end] = session.run_all();
     assert!(ind.size() <= step.size());
     assert!(ind.size() <= stage.size());
     assert!(delta_repairs::relationships::is_subset(
-        &step.deleted,
-        &end.deleted
+        step.deleted(),
+        end.deleted()
     ));
     assert!(delta_repairs::relationships::is_subset(
-        &stage.deleted,
-        &end.deleted
+        stage.deleted(),
+        end.deleted()
     ));
-    assert!(
-        delta_repairs::relationships::check_figure3_invariants(&ind, &step, &stage, &end).is_none()
-    );
+    assert!(delta_repairs::relationships::check_figure3_invariants(
+        ind.as_result(),
+        step.as_result(),
+        stage.as_result(),
+        end.as_result()
+    )
+    .is_none());
 }
 
 /// Example 3.17: a DC-style delta rule (two publications with the same
@@ -208,14 +213,14 @@ fn example_3_17_dc_violation_starts_deletion() {
         "delta Pub(p1, t1, c1) :- Pub(p1, t1, c1), Pub(p2, t2, c2), t1 = t2, c1 != c2.",
     )
     .unwrap();
-    let repairer = Repairer::new(&mut db, program).unwrap();
-    assert!(!repairer.is_stable(&db), "duplicate title ⇒ unstable");
-    let ind = repairer.run(&db, Semantics::Independent);
+    let session = RepairSession::new(db, program).unwrap();
+    assert!(!session.is_stable(), "duplicate title ⇒ unstable");
+    let ind = session.run(Semantics::Independent);
     assert_eq!(ind.size(), 1, "deleting either of the pair suffices");
-    let end = repairer.run(&db, Semantics::End);
+    let end = session.run(Semantics::End);
     assert_eq!(end.size(), 2, "end semantics deletes both");
     // The untouched publication Y survives everywhere.
-    let y = testkit::tid_of(&db, "Pub(3, Y, C1)");
+    let y = testkit::tid_of(session.db(), "Pub(3, Y, C1)");
     assert!(!ind.contains(y) && !end.contains(y));
 }
 
@@ -223,10 +228,11 @@ fn example_3_17_dc_violation_starts_deletion() {
 /// tuples listed in the paper, layer by layer.
 #[test]
 fn example_2_1_derivation_layers() {
-    let (db, repairer) = setup();
-    let out = delta_repairs::end::run(&db, repairer.evaluator());
+    let session = setup();
+    let db = session.db();
+    let out = delta_repairs::end::run(db, session.evaluator());
     // Layers: ΔGrant at round 1; ΔAuthor at 2; ΔWrites/ΔPub at 3; ΔCite at 4.
-    let layer = |name: &str| out.layers[&testkit::tid_of(&db, name)];
+    let layer = |name: &str| out.layers[&testkit::tid_of(db, name)];
     assert_eq!(layer("Grant(2, ERC)"), 1);
     assert_eq!(layer("Author(4, Marge)"), 2);
     assert_eq!(layer("Author(5, Homer)"), 2);

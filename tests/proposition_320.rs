@@ -2,7 +2,7 @@
 //! the paper's appendix, as executable assertions.
 
 use delta_repairs::relationships::{is_subset, set_eq};
-use delta_repairs::{parse_program, testkit, Repairer, Semantics};
+use delta_repairs::{parse_program, testkit, RepairSession, Semantics};
 
 /// Prop. 3.20 item 1's witness: `D = {R1(a1..an), R2(b)}` with the rule
 /// `Δ1(x) :- R1(x), R2(y)` — independent deletes only `R2(b)` (which no rule
@@ -11,18 +11,18 @@ use delta_repairs::{parse_program, testkit, Repairer, Semantics};
 fn prop_320_item1_independent_strictly_smaller() {
     let n = 6;
     let r1: Vec<i64> = (1..=n).collect();
-    let mut db = testkit::tiny_instance(&r1, &[100], &[]);
+    let db = testkit::tiny_instance(&r1, &[100], &[]);
     let program = parse_program("delta R1(x) :- R1(x), R2(y).").unwrap();
-    let repairer = Repairer::new(&mut db, program).unwrap();
-    let [ind, step, stage, end] = repairer.run_all(&db);
+    let session = RepairSession::new(db, program).unwrap();
+    let [ind, step, stage, end] = session.run_all();
     assert_eq!(ind.size(), 1);
-    assert_eq!(testkit::names_of(&db, &ind.deleted), ["R2(100)"]);
+    assert_eq!(testkit::names_of(session.db(), ind.deleted()), ["R2(100)"]);
     for r in [&step, &stage, &end] {
         assert_eq!(
             r.size(),
             n as usize,
             "{} must delete every R1 tuple",
-            r.semantics
+            r.semantics()
         );
     }
     assert!(ind.size() < step.size() && ind.size() < stage.size());
@@ -34,22 +34,22 @@ fn prop_320_item1_independent_strictly_smaller() {
 fn prop_320_items_2_3_stage_and_step_strictly_inside_end() {
     let n = 5;
     let r3: Vec<i64> = (10..10 + n).collect();
-    let mut db = testkit::tiny_instance(&[1], &[1], &r3);
+    let db = testkit::tiny_instance(&[1], &[1], &r3);
     let program = parse_program(
         "delta R1(x) :- R1(x).
          delta R2(x) :- delta R1(x), R2(x).
          delta R3(y) :- R1(x), delta R2(x), R3(y).",
     )
     .unwrap();
-    let repairer = Repairer::new(&mut db, program).unwrap();
-    let [_, step, stage, end] = repairer.run_all(&db);
+    let session = RepairSession::new(db, program).unwrap();
+    let [_, step, stage, end] = session.run_all();
     // End keeps R1 frozen, so rule 3 sees R1(1) and deletes every R3 tuple.
     assert_eq!(end.size(), 2 + n as usize);
     // Stage deletes R1(1) in stage 1; by the time ΔR2 exists, R1 is empty.
     assert_eq!(stage.size(), 2);
-    assert!(is_subset(&stage.deleted, &end.deleted), "Stage ⊆ End");
+    assert!(is_subset(stage.deleted(), end.deleted()), "Stage ⊆ End");
     assert!(stage.size() < end.size(), "strict on this family");
-    assert!(is_subset(&step.deleted, &end.deleted), "Step ⊆ End");
+    assert!(is_subset(step.deleted(), end.deleted()), "Step ⊆ End");
     assert!(step.size() < end.size(), "strict on this family");
 }
 
@@ -59,17 +59,17 @@ fn prop_320_items_2_3_stage_and_step_strictly_inside_end() {
 fn prop_320_item4_step_strictly_inside_stage() {
     let n = 4;
     let r2: Vec<i64> = (20..20 + n).collect();
-    let mut db = testkit::tiny_instance(&[1], &r2, &[]);
+    let db = testkit::tiny_instance(&[1], &r2, &[]);
     let program = parse_program(
         "delta R1(x) :- R1(x), R2(y).
          delta R2(y) :- R1(x), R2(y).",
     )
     .unwrap();
-    let repairer = Repairer::new(&mut db, program).unwrap();
-    let [ind, step, stage, _] = repairer.run_all(&db);
+    let session = RepairSession::new(db, program).unwrap();
+    let [ind, step, stage, _] = session.run_all();
     assert_eq!(stage.size(), 1 + n as usize, "stage deletes D entirely");
     assert_eq!(step.size(), 1, "step deletes only R1(1)");
-    assert!(is_subset(&step.deleted, &stage.deleted));
+    assert!(is_subset(step.deleted(), stage.deleted()));
     assert_eq!(ind.size(), 1);
 }
 
@@ -87,7 +87,7 @@ fn prop_320_item4_step_strictly_inside_stage() {
 fn prop_320_item4_stage_smaller_than_step() {
     let n = 5;
     let r3: Vec<i64> = (30..30 + n).collect();
-    let mut db = testkit::tiny_instance(&[1], &[2], &r3);
+    let db = testkit::tiny_instance(&[1], &[2], &r3);
     let program = parse_program(
         "delta R1(x) :- R1(x), R2(y).
          delta R2(y) :- R1(x), R2(y).
@@ -95,8 +95,8 @@ fn prop_320_item4_stage_smaller_than_step() {
          delta R3(z) :- R3(z), R1(x), delta R2(y).",
     )
     .unwrap();
-    let repairer = Repairer::new(&mut db, program).unwrap();
-    let [_, step, stage, _] = repairer.run_all(&db);
+    let session = RepairSession::new(db, program).unwrap();
+    let [_, step, stage, _] = session.run_all();
     // Stage: round 1 deletes R1(1) and R2(2); rounds 2+ have empty R1/R2,
     // so rules 3 and 4 never produce anything.
     assert_eq!(stage.size(), 2);
@@ -104,30 +104,30 @@ fn prop_320_item4_stage_smaller_than_step() {
     // tuple (R1 or R2) survives — the sets are incomparable.
     assert_eq!(step.size(), 1 + n as usize);
     assert!(stage.size() < step.size());
-    assert!(!is_subset(&step.deleted, &stage.deleted));
-    assert!(!is_subset(&stage.deleted, &step.deleted));
+    assert!(!is_subset(step.deleted(), stage.deleted()));
+    assert!(!is_subset(stage.deleted(), step.deleted()));
     // Both are nonetheless stabilizing (Prop. 3.18).
-    assert!(repairer.verify_stabilizing(&db, &step.deleted));
-    assert!(repairer.verify_stabilizing(&db, &stage.deleted));
+    assert!(session.verify_stabilizing(step.deleted()));
+    assert!(session.verify_stabilizing(stage.deleted()));
 }
 
 /// Prop. 3.19: `{R1(a), R2(b)}` with symmetric rules has two equally
 /// minimal results; whichever is returned, it has size 1 and stabilizes.
 #[test]
 fn prop_319_nondeterministic_minimum() {
-    let mut db = testkit::tiny_instance(&[1], &[2], &[]);
+    let db = testkit::tiny_instance(&[1], &[2], &[]);
     let program = parse_program(
         "delta R1(x) :- R1(x), R2(y).
          delta R2(y) :- R1(x), R2(y).",
     )
     .unwrap();
-    let repairer = Repairer::new(&mut db, program).unwrap();
+    let session = RepairSession::new(db, program).unwrap();
     for sem in [Semantics::Independent, Semantics::Step] {
-        let r = repairer.run(&db, sem);
+        let r = session.run(sem);
         assert_eq!(r.size(), 1, "{sem}");
-        let name = testkit::names_of(&db, &r.deleted);
+        let name = testkit::names_of(session.db(), r.deleted());
         assert!(name == ["R1(1)"] || name == ["R2(2)"], "{sem}: {name:?}");
-        assert!(repairer.verify_stabilizing(&db, &r.deleted));
+        assert!(session.verify_stabilizing(r.deleted()));
     }
 }
 
@@ -138,14 +138,13 @@ fn prop_39_stage_is_rule_order_independent() {
     let base = testkit::figure2_program();
     let mut perm = base.clone();
     perm.rules.reverse();
-    let mut db = testkit::figure1_instance();
-    let a = Repairer::new(&mut db, base)
+    let a = RepairSession::new(testkit::figure1_instance(), base)
         .unwrap()
-        .run(&db, Semantics::Stage);
-    let b = Repairer::new(&mut db, perm)
+        .run(Semantics::Stage);
+    let b = RepairSession::new(testkit::figure1_instance(), perm)
         .unwrap()
-        .run(&db, Semantics::Stage);
-    assert!(set_eq(&a.deleted, &b.deleted));
+        .run(Semantics::Stage);
+    assert!(set_eq(a.deleted(), b.deleted()));
 }
 
 /// End semantics is likewise order-independent (standard datalog).
@@ -154,26 +153,25 @@ fn end_is_rule_order_independent() {
     let base = testkit::figure2_program();
     let mut perm = base.clone();
     perm.rules.rotate_left(2);
-    let mut db = testkit::figure1_instance();
-    let a = Repairer::new(&mut db, base)
+    let a = RepairSession::new(testkit::figure1_instance(), base)
         .unwrap()
-        .run(&db, Semantics::End);
-    let b = Repairer::new(&mut db, perm)
+        .run(Semantics::End);
+    let b = RepairSession::new(testkit::figure1_instance(), perm)
         .unwrap()
-        .run(&db, Semantics::End);
-    assert!(set_eq(&a.deleted, &b.deleted));
+        .run(Semantics::End);
+    assert!(set_eq(a.deleted(), b.deleted()));
 }
 
 /// A stable database needs no repair: every semantics returns ∅.
 #[test]
 fn stable_database_yields_empty_repairs() {
-    let mut db = testkit::tiny_instance(&[1, 2], &[], &[]);
+    let db = testkit::tiny_instance(&[1, 2], &[], &[]);
     // Rule requires an R2 witness; R2 is empty.
     let program = parse_program("delta R1(x) :- R1(x), R2(y).").unwrap();
-    let repairer = Repairer::new(&mut db, program).unwrap();
-    assert!(repairer.is_stable(&db));
+    let session = RepairSession::new(db, program).unwrap();
+    assert!(session.is_stable());
     for sem in Semantics::ALL {
-        assert_eq!(repairer.run(&db, sem).size(), 0, "{sem}");
+        assert_eq!(session.run(sem).size(), 0, "{sem}");
     }
 }
 
@@ -181,16 +179,16 @@ fn stable_database_yields_empty_repairs() {
 /// the unique stabilizing set.
 #[test]
 fn single_tuple_unique_stabilizing_set() {
-    let mut db = testkit::tiny_instance(&[7], &[], &[]);
+    let db = testkit::tiny_instance(&[7], &[], &[]);
     let program = parse_program("delta R1(x) :- R1(x).").unwrap();
-    let repairer = Repairer::new(&mut db, program).unwrap();
-    let results = repairer.run_all(&db);
+    let session = RepairSession::new(db, program).unwrap();
+    let results = session.run_all();
     for r in &results {
         assert_eq!(
-            testkit::names_of(&db, &r.deleted),
+            testkit::names_of(session.db(), r.deleted()),
             ["R1(7)"],
             "{}",
-            r.semantics
+            r.semantics()
         );
     }
 }

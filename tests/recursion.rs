@@ -4,7 +4,7 @@
 //! *size* guarantees weaken, which `datalog::analyze` reports.
 
 use delta_repairs::{
-    analyze, parse_program, AttrType, Instance, Repairer, Schema, Semantics, Value,
+    analyze, parse_program, AttrType, Instance, RepairSession, Schema, Semantics, Value,
 };
 
 /// Transitive deletion over a graph: deleting a node deletes its
@@ -42,10 +42,10 @@ fn analysis_flags_the_recursion() {
 #[test]
 fn all_semantics_terminate_on_the_recursive_chain() {
     let n = 12;
-    let (mut db, program) = reachability_setup(n);
-    let repairer = Repairer::new(&mut db, program).unwrap();
+    let (db, program) = reachability_setup(n);
+    let session = RepairSession::new(db, program).unwrap();
     for sem in Semantics::ALL {
-        let r = repairer.run(&db, sem);
+        let r = session.run(sem);
         match sem {
             // The operational semantics must follow the cascade: every
             // node reachable from the seed is derived and deleted.
@@ -59,7 +59,7 @@ fn all_semantics_terminate_on_the_recursive_chain() {
                 assert_eq!(r.size(), 2, "independent cuts the chain instead")
             }
         }
-        assert!(repairer.verify_stabilizing(&db, &r.deleted), "{sem}");
+        assert!(session.verify_stabilizing(r.deleted()), "{sem}");
     }
 }
 
@@ -68,9 +68,9 @@ fn recursion_depth_is_data_dependent() {
     // The end-semantics round count grows with the chain length — the
     // data-dependent depth that `max_cascade_depth: None` warns about.
     for n in [3usize, 6, 9] {
-        let (mut db, program) = reachability_setup(n);
-        let repairer = Repairer::new(&mut db, program).unwrap();
-        let out = delta_repairs::end::run(&db, repairer.evaluator());
+        let (db, program) = reachability_setup(n);
+        let session = RepairSession::new(db, program).unwrap();
+        let out = delta_repairs::end::run(session.db(), session.evaluator());
         assert_eq!(out.deleted.len(), n);
         assert!(
             out.rounds as usize >= n,
@@ -85,15 +85,16 @@ fn disconnected_nodes_survive_the_recursive_cascade() {
     let (mut db, program) = reachability_setup(5);
     // An island: node 100 with no incoming edge.
     db.insert_values("Node", [Value::Int(100)]).unwrap();
-    let repairer = Repairer::new(&mut db, program).unwrap();
-    let island = db
+    let session = RepairSession::new(db, program).unwrap();
+    let island = session
+        .db()
         .all_tuple_ids()
-        .find(|&t| db.display_tuple(t) == "Node(100)")
+        .find(|&t| session.db().display_tuple(t) == "Node(100)")
         .unwrap();
     for sem in Semantics::ALL {
-        let r = repairer.run(&db, sem);
+        let r = session.run(sem);
         assert!(!r.contains(island), "{sem} must spare the island");
-        assert!(repairer.verify_stabilizing(&db, &r.deleted), "{sem}");
+        assert!(session.verify_stabilizing(r.deleted()), "{sem}");
     }
 }
 
@@ -116,11 +117,11 @@ fn mutual_recursion_terminates() {
     .unwrap();
     let a = analyze(&program);
     assert!(!a.is_nonrecursive());
-    let repairer = Repairer::new(&mut db, program).unwrap();
+    let session = RepairSession::new(db, program).unwrap();
     for sem in Semantics::ALL {
-        let r = repairer.run(&db, sem);
+        let r = session.run(sem);
         // Only x = 0 is reachable: ΔA(0) → ΔB(0) → ΔA(0) (already there).
         assert_eq!(r.size(), 2, "{sem}");
-        assert!(repairer.verify_stabilizing(&db, &r.deleted));
+        assert!(session.verify_stabilizing(r.deleted()));
     }
 }

@@ -98,7 +98,7 @@ fn program_print_parse_round_trip() {
 
 /// Ill-formed delta rules are rejected: syntax errors at parse time,
 /// Definition 3.1 / safety violations when the program is validated
-/// against a schema (`Repairer::new`).
+/// against a schema (`RepairSession::new`).
 #[test]
 fn parser_and_validator_reject_bad_programs() {
     // Purely syntactic failures.
@@ -133,10 +133,12 @@ fn parser_and_validator_reject_bad_programs() {
     ];
     for src in bad {
         let program = parse_program(src).unwrap_or_else(|e| panic!("{src:?}: {e}"));
-        let mut db = Instance::new(s.clone());
+        let err = delta_repairs::RepairSession::new(Instance::new(s.clone()), program)
+            .map(|_| ())
+            .unwrap_err();
         assert!(
-            delta_repairs::Repairer::new(&mut db, program).is_err(),
-            "{src:?} should be rejected by validation"
+            matches!(err, delta_repairs::RepairError::Datalog { .. }),
+            "{src:?} should be rejected by validation, got {err}"
         );
     }
 }

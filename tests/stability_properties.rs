@@ -9,7 +9,7 @@
 //!   exact references never beat independent semantics.
 
 use delta_repairs::{
-    parse_program, AttrType, Instance, Program, Repairer, Schema, Semantics, Value,
+    parse_program, AttrType, Instance, Program, RepairSession, Schema, Semantics, Value,
 };
 use proptest::prelude::*;
 
@@ -92,21 +92,22 @@ proptest! {
     /// Prop. 3.18 + Fig. 3 on arbitrary instances and programs.
     #[test]
     fn every_semantics_stabilizes_and_figure3_holds(
-        mut db in arb_db(),
+        db in arb_db(),
         program in arb_program(),
     ) {
-        let repairer = Repairer::new(&mut db, program).expect("valid");
-        let [ind, step, stage, end] = repairer.run_all(&db);
+        let session = RepairSession::new(db, program).expect("valid");
+        let [ind, step, stage, end] = session.run_all();
         for r in [&ind, &step, &stage, &end] {
             prop_assert!(
-                repairer.verify_stabilizing(&db, &r.deleted),
+                session.verify_stabilizing(r.deleted()),
                 "{} returned a non-stabilizing set {:?}",
-                r.semantics,
-                r.deleted
+                r.semantics(),
+                r.deleted()
             );
         }
         prop_assert!(
-            delta_repairs::relationships::check_figure3_invariants(&ind, &step, &stage, &end)
+            delta_repairs::relationships::check_figure3_invariants(
+                ind.as_result(), step.as_result(), stage.as_result(), end.as_result())
                 .is_none(),
             "figure-3 invariant violated: ind={} step={} stage={} end={}",
             ind.size(), step.size(), stage.size(), end.size()
@@ -117,19 +118,19 @@ proptest! {
     /// on repeated and rule-permuted runs.
     #[test]
     fn stage_and_end_are_deterministic(
-        mut db in arb_db(),
+        db in arb_db(),
         program in arb_program(),
     ) {
         let mut reversed = program.clone();
         reversed.rules.reverse();
-        let a = Repairer::new(&mut db, program).expect("valid");
-        let b = Repairer::new(&mut db, reversed).expect("valid");
+        let a = RepairSession::new(db.clone(), program).expect("valid");
+        let b = RepairSession::new(db, reversed).expect("valid");
         for sem in [Semantics::Stage, Semantics::End] {
-            let r1 = a.run(&db, sem);
-            let r2 = a.run(&db, sem);
-            let r3 = b.run(&db, sem);
-            prop_assert!(delta_repairs::relationships::set_eq(&r1.deleted, &r2.deleted));
-            prop_assert!(delta_repairs::relationships::set_eq(&r1.deleted, &r3.deleted), "{sem} depends on rule order");
+            let r1 = a.run(sem);
+            let r2 = a.run(sem);
+            let r3 = b.run(sem);
+            prop_assert!(delta_repairs::relationships::set_eq(r1.deleted(), r2.deleted()));
+            prop_assert!(delta_repairs::relationships::set_eq(r1.deleted(), r3.deleted()), "{sem} depends on rule order");
         }
     }
 
@@ -137,13 +138,13 @@ proptest! {
     /// instances: it matches the subset-enumeration reference.
     #[test]
     fn independent_matches_exact_reference(
-        mut db in arb_db(),
+        db in arb_db(),
         program in arb_program(),
     ) {
-        let repairer = Repairer::new(&mut db, program).expect("valid");
-        let ind = repairer.run(&db, Semantics::Independent);
+        let session = RepairSession::new(db, program).expect("valid");
+        let ind = session.run(Semantics::Independent);
         if let Some(exact) =
-            delta_repairs::independent::optimal(&db, repairer.evaluator(), 14)
+            delta_repairs::independent::optimal(session.db(), session.evaluator(), 14)
         {
             prop_assert_eq!(
                 ind.size(),
@@ -157,13 +158,13 @@ proptest! {
     /// exact step search never beats independent semantics.
     #[test]
     fn step_greedy_exact_and_independent_are_ordered(
-        mut db in arb_db(),
+        db in arb_db(),
         program in arb_program(),
     ) {
-        let repairer = Repairer::new(&mut db, program).expect("valid");
-        let greedy = repairer.run(&db, Semantics::Step);
-        let ind = repairer.run(&db, Semantics::Independent);
-        if let Some(exact) = delta_repairs::step::optimal(&db, repairer.evaluator(), 200_000) {
+        let session = RepairSession::new(db, program).expect("valid");
+        let greedy = session.run(Semantics::Step);
+        let ind = session.run(Semantics::Independent);
+        if let Some(exact) = delta_repairs::step::optimal(session.db(), session.evaluator(), 200_000) {
             prop_assert!(
                 greedy.size() >= exact.len(),
                 "greedy ({}) below the exact step minimum ({})",
@@ -174,7 +175,7 @@ proptest! {
                 "step minimum ({}) below independent ({})",
                 exact.len(), ind.size()
             );
-            prop_assert!(repairer.verify_stabilizing(&db, &exact));
+            prop_assert!(session.verify_stabilizing(&exact));
         }
     }
 
@@ -182,22 +183,16 @@ proptest! {
     /// (repairs are idempotent on the repaired database).
     #[test]
     fn repairs_are_idempotent(
-        mut db in arb_db(),
+        db in arb_db(),
         program in arb_program(),
     ) {
-        let repairer = Repairer::new(&mut db, program.clone()).expect("valid");
-        let end = repairer.run(&db, Semantics::End);
-        // Rebuild the database without the deleted tuples *and without the
-        // delta record*: the delta relations start empty again, so only
-        // rules whose bodies are delta-free can fire.
-        let mut survivor = Instance::new(db.schema().clone());
-        for t in db.all_tuple_ids() {
-            if !end.contains(t) {
-                survivor.insert(t.rel, db.tuple(t).clone()).unwrap();
-            }
-        }
-        let rep2 = Repairer::new(&mut survivor, program).expect("valid");
-        let again = rep2.run(&survivor, Semantics::End);
+        let mut session = RepairSession::new(db, program).expect("valid");
+        let end = session.run(Semantics::End);
+        // Commit the repair: the deleted tuples leave the database durably
+        // and *without a delta record* — the delta relations start empty on
+        // the next run, so only rules whose bodies are delta-free can fire.
+        end.apply(&mut session).expect("fresh outcome");
+        let again = session.run(Semantics::End);
         // Any further deletions could only come from delta-free rules that
         // the first pass already exhausted, so the result must be empty.
         prop_assert_eq!(again.size(), 0, "end repair must be idempotent");

@@ -3,29 +3,29 @@
 //! order-sensitivity scenarios of programs 3/4/8.
 
 use delta_repairs::triggers::{run_triggers, triggers_from_program, FiringOrder, Trigger};
-use delta_repairs::{parse_program, testkit, Repairer, Semantics};
+use delta_repairs::{parse_program, testkit, RepairSession, Semantics};
 
 /// Program 5-style pure cascade: triggers and all four semantics agree
 /// (the paper: "Both PostgreSQL and MySQL triggers have led to the same
 /// result as the four semantics for program 5").
 #[test]
 fn cascade_triggers_agree_with_semantics() {
-    let mut db = testkit::figure1_instance();
     let program = parse_program(
         "delta Grant(g, n) :- Grant(g, n), n = 'ERC'.
          delta AuthGrant(a, g) :- AuthGrant(a, g), delta Grant(g, n).",
     )
     .unwrap();
-    let repairer = Repairer::new(&mut db, program.clone()).unwrap();
+    let session = RepairSession::new(testkit::figure1_instance(), program.clone()).unwrap();
+    let db = session.db();
     let triggers = triggers_from_program(&program);
     for order in [FiringOrder::Alphabetical, FiringOrder::CreationOrder] {
-        let run = run_triggers(&db, repairer.evaluator(), &triggers, order);
+        let run = run_triggers(db, session.evaluator(), &triggers, order);
         assert!(run.stable, "cascade triggers stabilize");
         for sem in Semantics::ALL {
-            let r = repairer.run(&db, sem);
+            let r = session.run(sem);
             assert_eq!(
-                testkit::names_of(&db, &run.deleted),
-                testkit::names_of(&db, &r.deleted),
+                testkit::names_of(db, &run.deleted),
+                testkit::names_of(db, r.deleted()),
                 "{order:?} vs {sem}"
             );
         }
@@ -39,16 +39,15 @@ fn cascade_triggers_agree_with_semantics() {
 /// ordering.
 #[test]
 fn same_event_triggers_depend_on_ordering() {
-    let mut db = testkit::figure1_instance();
-    // Delete either the Author or her AuthGrant link when both exist for
+    // Delete either the Author or their AuthGrant link when both exist for
     // grant 2.
     let program = parse_program(
         "delta Author(a, n) :- Author(a, n), AuthGrant(a, g), g = 2.
          delta AuthGrant(a, g) :- Author(a, n), AuthGrant(a, g), g = 2.",
     )
     .unwrap();
-    let repairer = Repairer::new(&mut db, program.clone()).unwrap();
-    let ev = repairer.evaluator();
+    let session = RepairSession::new(testkit::figure1_instance(), program.clone()).unwrap();
+    let (db, ev) = (session.db(), session.evaluator());
 
     // PostgreSQL: `a_…` fires before `b_…` regardless of intent.
     let author_first = vec![
@@ -71,24 +70,24 @@ fn same_event_triggers_depend_on_ordering() {
             rule: 0,
         },
     ];
-    let pg1 = run_triggers(&db, ev, &author_first, FiringOrder::Alphabetical);
-    let pg2 = run_triggers(&db, ev, &link_first, FiringOrder::Alphabetical);
+    let pg1 = run_triggers(db, ev, &author_first, FiringOrder::Alphabetical);
+    let pg2 = run_triggers(db, ev, &link_first, FiringOrder::Alphabetical);
     assert!(pg1.stable && pg2.stable);
     // Whichever rule fires first consumes the joint bodies; the result
     // differs by *relation*, not size.
-    let names1 = testkit::names_of(&db, &pg1.deleted);
-    let names2 = testkit::names_of(&db, &pg2.deleted);
+    let names1 = testkit::names_of(db, &pg1.deleted);
+    let names2 = testkit::names_of(db, &pg2.deleted);
     assert_ne!(names1, names2, "naming decided the outcome");
     assert!(names1.iter().all(|n| n.starts_with("Author")));
     assert!(names2.iter().all(|n| n.starts_with("AuthGrant")));
 
     // MySQL: same triggers, creation order decides instead of names.
-    let my1 = run_triggers(&db, ev, &author_first, FiringOrder::CreationOrder);
-    assert_eq!(testkit::names_of(&db, &my1.deleted), names1);
+    let my1 = run_triggers(db, ev, &author_first, FiringOrder::CreationOrder);
+    assert_eq!(testkit::names_of(db, &my1.deleted), names1);
 
     // All four semantics are order-insensitive; step/independent pick 2
     // tuples (one per violating pair), matching the smaller trigger run.
-    let step = repairer.run(&db, Semantics::Step);
+    let step = session.run(Semantics::Step);
     assert_eq!(step.size(), 2);
     assert!(step.size() <= pg1.deleted.len());
     assert!(step.size() <= pg2.deleted.len());
@@ -99,19 +98,18 @@ fn same_event_triggers_depend_on_ordering() {
 /// stabilizing set.
 #[test]
 fn trigger_cascades_stabilize_but_over_delete() {
-    let mut db = testkit::figure1_instance();
     let program = testkit::figure2_program();
-    let repairer = Repairer::new(&mut db, program.clone()).unwrap();
+    let session = RepairSession::new(testkit::figure1_instance(), program.clone()).unwrap();
     let triggers = triggers_from_program(&program);
     let run = run_triggers(
-        &db,
-        repairer.evaluator(),
+        session.db(),
+        session.evaluator(),
         &triggers,
         FiringOrder::CreationOrder,
     );
     assert!(run.stable);
-    assert!(repairer.verify_stabilizing(&db, &run.deleted));
-    let step = repairer.run(&db, Semantics::Step);
+    assert!(session.verify_stabilizing(&run.deleted));
+    let step = session.run(Semantics::Step);
     assert!(
         step.size() <= run.deleted.len(),
         "step ({}) must not exceed the trigger cascade ({})",
@@ -123,16 +121,15 @@ fn trigger_cascades_stabilize_but_over_delete() {
 /// Triggers on a stable database do nothing.
 #[test]
 fn triggers_are_noops_on_stable_databases() {
-    let mut db = testkit::figure1_instance();
     let program = parse_program(
         "delta Grant(g, n) :- Grant(g, n), n = 'SNSF'.", // no such grant
     )
     .unwrap();
-    let repairer = Repairer::new(&mut db, program.clone()).unwrap();
+    let session = RepairSession::new(testkit::figure1_instance(), program.clone()).unwrap();
     let triggers = triggers_from_program(&program);
     let run = run_triggers(
-        &db,
-        repairer.evaluator(),
+        session.db(),
+        session.evaluator(),
         &triggers,
         FiringOrder::Alphabetical,
     );
@@ -145,17 +142,16 @@ fn triggers_are_noops_on_stable_databases() {
 /// once per seed and once per reactive deletion batch.
 #[test]
 fn activation_counting() {
-    let mut db = testkit::figure1_instance();
     let program = parse_program(
         "delta Grant(g, n) :- Grant(g, n), n = 'ERC'.
          delta AuthGrant(a, g) :- AuthGrant(a, g), delta Grant(g, n).",
     )
     .unwrap();
-    let repairer = Repairer::new(&mut db, program.clone()).unwrap();
+    let session = RepairSession::new(testkit::figure1_instance(), program.clone()).unwrap();
     let triggers = triggers_from_program(&program);
     let run = run_triggers(
-        &db,
-        repairer.evaluator(),
+        session.db(),
+        session.evaluator(),
         &triggers,
         FiringOrder::CreationOrder,
     );

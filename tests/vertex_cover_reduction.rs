@@ -3,7 +3,7 @@
 //! check that `|Ind(P, D)|` and `|Step(P, D)|` equal the graphs' true
 //! minimum vertex cover sizes.
 
-use delta_repairs::{parse_program, AttrType, Instance, Repairer, Schema, Semantics, Value};
+use delta_repairs::{parse_program, AttrType, Instance, RepairSession, Schema, Semantics, Value};
 
 /// The reduction's database: `E(u,v), E(v,u)` per edge, `VC(v)` per vertex.
 fn reduction_db(n: usize, edges: &[(i64, i64)]) -> Instance {
@@ -78,9 +78,8 @@ fn graphs() -> Vec<(usize, Vec<(i64, i64)>)> {
 fn independent_result_size_equals_minimum_vertex_cover() {
     for (n, edges) in graphs() {
         let vc = min_vertex_cover(n, &edges);
-        let mut db = reduction_db(n, &edges);
-        let repairer = Repairer::new(&mut db, independent_program()).unwrap();
-        let ind = repairer.run(&db, Semantics::Independent);
+        let session = RepairSession::new(reduction_db(n, &edges), independent_program()).unwrap();
+        let ind = session.run(Semantics::Independent);
         assert_eq!(
             ind.size(),
             vc,
@@ -88,9 +87,9 @@ fn independent_result_size_equals_minimum_vertex_cover() {
         );
         // All deleted tuples are VC tuples (rules 2–3 make E-deletion
         // unprofitable, as the proof argues).
-        let vc_rel = db.schema().rel_id("VC").unwrap();
-        assert!(ind.deleted.iter().all(|t| t.rel == vc_rel));
-        assert!(repairer.verify_stabilizing(&db, &ind.deleted));
+        let vc_rel = session.db().schema().rel_id("VC").unwrap();
+        assert!(ind.deleted().iter().all(|t| t.rel == vc_rel));
+        assert!(session.verify_stabilizing(ind.deleted()));
     }
 }
 
@@ -98,18 +97,17 @@ fn independent_result_size_equals_minimum_vertex_cover() {
 fn exact_step_result_size_equals_minimum_vertex_cover() {
     for (n, edges) in graphs() {
         let vc = min_vertex_cover(n, &edges);
-        let mut db = reduction_db(n, &edges);
-        let repairer = Repairer::new(&mut db, step_program()).unwrap();
+        let session = RepairSession::new(reduction_db(n, &edges), step_program()).unwrap();
         // `Step(P, D)` proper is the minimum over firing sequences — the
         // exact search realizes Definition 3.5.
-        let exact = delta_repairs::step::optimal(&db, repairer.evaluator(), 1 << 22)
+        let exact = delta_repairs::step::optimal(session.db(), session.evaluator(), 1 << 22)
             .expect("reduction instances are small");
         assert_eq!(
             exact.len(),
             vc,
             "graph n={n}, edges={edges:?}: |Step| must equal the VC number"
         );
-        assert!(repairer.verify_stabilizing(&db, &exact));
+        assert!(session.verify_stabilizing(&exact));
     }
 }
 
@@ -122,9 +120,8 @@ fn exact_step_result_size_equals_minimum_vertex_cover() {
 fn greedy_step_bounds_minimum_vertex_cover_from_above() {
     for (n, edges) in graphs() {
         let vc = min_vertex_cover(n, &edges);
-        let mut db = reduction_db(n, &edges);
-        let repairer = Repairer::new(&mut db, step_program()).unwrap();
-        let greedy = repairer.run(&db, Semantics::Step);
+        let session = RepairSession::new(reduction_db(n, &edges), step_program()).unwrap();
+        let greedy = session.run(Semantics::Step);
         assert!(
             greedy.size() >= vc,
             "graph n={n}, edges={edges:?}: greedy below the optimum is impossible"
@@ -133,7 +130,7 @@ fn greedy_step_bounds_minimum_vertex_cover_from_above() {
             greedy.size() <= 2 * vc.max(1),
             "graph n={n}, edges={edges:?}: max-benefit greedy stays within 2x on these graphs"
         );
-        assert!(repairer.verify_stabilizing(&db, &greedy.deleted));
+        assert!(session.verify_stabilizing(greedy.deleted()));
     }
 }
 
@@ -145,17 +142,15 @@ fn exact_references_agree_on_reduction_instances() {
         if n > 4 {
             continue; // keep the exponential searches tiny
         }
-        let mut db = reduction_db(n, &edges);
-        let repairer = Repairer::new(&mut db, step_program()).unwrap();
-        let greedy = repairer.run(&db, Semantics::Step);
-        let exact = delta_repairs::step::optimal(&db, repairer.evaluator(), 1 << 20)
+        let session = RepairSession::new(reduction_db(n, &edges), step_program()).unwrap();
+        let greedy = session.run(Semantics::Step);
+        let exact = delta_repairs::step::optimal(session.db(), session.evaluator(), 1 << 20)
             .expect("small instance");
         assert_eq!(greedy.size(), exact.len(), "n={n}, edges={edges:?}");
 
-        let mut db2 = reduction_db(n, &edges);
-        let rep2 = Repairer::new(&mut db2, independent_program()).unwrap();
-        let ind = rep2.run(&db2, Semantics::Independent);
-        let exact_ind = delta_repairs::independent::optimal(&db2, rep2.evaluator(), 24)
+        let s2 = RepairSession::new(reduction_db(n, &edges), independent_program()).unwrap();
+        let ind = s2.run(Semantics::Independent);
+        let exact_ind = delta_repairs::independent::optimal(s2.db(), s2.evaluator(), 24)
             .expect("small universe");
         assert_eq!(ind.size(), exact_ind.len(), "n={n}, edges={edges:?}");
     }

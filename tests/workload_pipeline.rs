@@ -6,27 +6,28 @@
 use delta_repairs::datagen::{mas, tpch, MasConfig, TpchConfig};
 use delta_repairs::relationships::{check_figure3_invariants, is_subset, set_eq};
 use delta_repairs::workloads::{mas_programs, tpch_programs, ProgramClass, Workload};
-use delta_repairs::{Instance, Repairer};
+use delta_repairs::{Instance, RepairSession};
 
 fn run_workload(
     base: &Instance,
     w: &Workload,
-) -> (Instance, Repairer, [delta_repairs::RepairResult; 4]) {
-    let mut db = base.clone();
-    let repairer = Repairer::new(&mut db, w.program.clone())
+) -> (RepairSession, [delta_repairs::RepairResult; 4]) {
+    let session = RepairSession::new(base.clone(), w.program.clone())
         .unwrap_or_else(|e| panic!("workload {}: {e}", w.name));
-    let results = repairer.run_all(&db);
-    (db, repairer, results)
+    let results = session
+        .run_all()
+        .map(delta_repairs::RepairOutcome::into_result);
+    (session, results)
 }
 
 #[test]
 fn all_mas_workloads_stabilize_and_satisfy_figure3() {
     let data = mas::generate(&MasConfig::scaled(0.02));
     for w in mas_programs(&data) {
-        let (db, repairer, [ind, step, stage, end]) = run_workload(&data.db, &w);
+        let (session, [ind, step, stage, end]) = run_workload(&data.db, &w);
         for r in [&ind, &step, &stage, &end] {
             assert!(
-                repairer.verify_stabilizing(&db, &r.deleted),
+                session.verify_stabilizing(&r.deleted),
                 "{} under {} is not stabilizing",
                 w.name,
                 r.semantics
@@ -48,10 +49,10 @@ fn all_mas_workloads_stabilize_and_satisfy_figure3() {
 fn all_tpch_workloads_stabilize_and_satisfy_figure3() {
     let data = tpch::generate(&TpchConfig::scaled(0.01));
     for w in tpch_programs(&data) {
-        let (db, repairer, [ind, step, stage, end]) = run_workload(&data.db, &w);
+        let (session, [ind, step, stage, end]) = run_workload(&data.db, &w);
         for r in [&ind, &step, &stage, &end] {
             assert!(
-                repairer.verify_stabilizing(&db, &r.deleted),
+                session.verify_stabilizing(&r.deleted),
                 "{} under {} is not stabilizing",
                 w.name,
                 r.semantics
@@ -74,7 +75,7 @@ fn table3_structural_rows() {
 
     // Program 2: the independent result is a single non-derivable Author
     // tuple, so Ind ⊄ Stage and Ind ⊄ Step (the paper's ✗ ✗ row).
-    let (_, _, [ind, step, stage, _]) = run_workload(&data.db, by_name("mas-02"));
+    let (_, [ind, step, stage, _]) = run_workload(&data.db, by_name("mas-02"));
     assert_eq!(ind.size(), 1);
     assert!(
         !is_subset(&ind.deleted, &stage.deleted),
@@ -87,7 +88,7 @@ fn table3_structural_rows() {
 
     // Programs 3: two rules share a body; stage deletes both relations,
     // step deletes one tuple — Step ≠ Stage but Ind ⊆ Step (✗ ✓ ✓ row).
-    let (_, _, [ind3, step3, stage3, _]) = run_workload(&data.db, by_name("mas-03"));
+    let (_, [ind3, step3, stage3, _]) = run_workload(&data.db, by_name("mas-03"));
     assert!(
         !set_eq(&step3.deleted, &stage3.deleted),
         "mas-03: Step ≠ Stage"
@@ -102,7 +103,7 @@ fn table3_structural_rows() {
     // Programs 16–20 are pure cascades: every derivable tuple must go, all
     // three containments hold (the ✓ ✓ ✓ rows) and all four sizes agree.
     for name in ["mas-16", "mas-17", "mas-18", "mas-19", "mas-20"] {
-        let (_, _, [ind, step, stage, end]) = run_workload(&data.db, by_name(name));
+        let (_, [ind, step, stage, end]) = run_workload(&data.db, by_name(name));
         assert!(
             set_eq(&step.deleted, &stage.deleted),
             "{name}: Step = Stage"
@@ -120,7 +121,7 @@ fn table3_structural_rows() {
     // (Figure 6b's shape).
     let sizes: Vec<usize> = ["mas-11", "mas-12", "mas-13", "mas-14", "mas-15"]
         .iter()
-        .map(|n| run_workload(&data.db, by_name(n)).2[0].size())
+        .map(|n| run_workload(&data.db, by_name(n)).1[0].size())
         .collect();
     for w in sizes.windows(2) {
         assert!(w[1] <= w[0], "Ind size must shrink with joins: {sizes:?}");
@@ -129,7 +130,7 @@ fn table3_structural_rows() {
     // across 11–15.
     let end_sizes: Vec<usize> = ["mas-11", "mas-12", "mas-13", "mas-14", "mas-15"]
         .iter()
-        .map(|n| run_workload(&data.db, by_name(n)).2[3].size())
+        .map(|n| run_workload(&data.db, by_name(n)).1[3].size())
         .collect();
     assert!(end_sizes.windows(2).all(|w| w[0] == w[1]), "{end_sizes:?}");
 }
