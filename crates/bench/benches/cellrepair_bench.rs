@@ -5,7 +5,7 @@
 use cellrepair::{repair, CellRepairConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::{author_table, inject_errors};
-use repair_core::{RepairSession, Semantics};
+use repair_core::{RepairRequest, RepairSession, Semantics};
 use std::hint::black_box;
 use std::time::Duration;
 use workloads::{author_instance_from_table, dc_delta_program};
@@ -30,7 +30,10 @@ fn bench_vs_errors(c: &mut Criterion) {
         let session = RepairSession::new(db, dc_delta_program()).expect("DC program");
         for sem in [Semantics::Independent, Semantics::End] {
             group.bench_with_input(BenchmarkId::new(sem.name(), errors), &sem, |b, &sem| {
-                b.iter(|| black_box(session.run(sem).size()))
+                b.iter(|| {
+                    let req = RepairRequest::new(sem).incremental(false);
+                    black_box(session.repair(&req).expect("valid").size())
+                })
             });
         }
         // The probabilistic cell repairer.
@@ -65,7 +68,10 @@ fn bench_vs_rows(c: &mut Criterion) {
         let session = RepairSession::new(db, dc_delta_program()).expect("DC program");
         for sem in [Semantics::Independent, Semantics::End] {
             group.bench_with_input(BenchmarkId::new(sem.name(), rows), &sem, |b, &sem| {
-                b.iter(|| black_box(session.run(sem).size()))
+                b.iter(|| {
+                    let req = RepairRequest::new(sem).incremental(false);
+                    black_box(session.repair(&req).expect("valid").size())
+                })
             });
         }
         group.bench_with_input(BenchmarkId::new("holoclean_sub", rows), &table, |b, t| {

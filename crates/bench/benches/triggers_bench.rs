@@ -6,7 +6,7 @@
 
 use bench::{session_for, MasLab};
 use criterion::{criterion_group, criterion_main, Criterion};
-use repair_core::Semantics;
+use repair_core::{RepairRequest, Semantics};
 use std::hint::black_box;
 use std::time::Duration;
 use triggers::{run_triggers, triggers_from_program, FiringOrder};
@@ -46,16 +46,28 @@ fn bench_triggers(c: &mut Criterion) {
         })
     });
     group.bench_function("end_semantics", |b| {
-        b.iter(|| black_box(session.run(Semantics::End).size()))
+        b.iter(|| {
+            let req = RepairRequest::new(Semantics::End).incremental(false);
+            black_box(session.repair(&req).expect("valid").size())
+        })
     });
     group.bench_function("stage_semantics", |b| {
-        b.iter(|| black_box(session.run(Semantics::Stage).size()))
+        b.iter(|| {
+            let req = RepairRequest::new(Semantics::Stage).incremental(false);
+            black_box(session.repair(&req).expect("valid").size())
+        })
     });
     group.bench_function("step_semantics", |b| {
-        b.iter(|| black_box(session.run(Semantics::Step).size()))
+        b.iter(|| {
+            let req = RepairRequest::new(Semantics::Step).incremental(false);
+            black_box(session.repair(&req).expect("valid").size())
+        })
     });
     group.bench_function("independent_semantics", |b| {
-        b.iter(|| black_box(session.run(Semantics::Independent).size()))
+        b.iter(|| {
+            let req = RepairRequest::new(Semantics::Independent).incremental(false);
+            black_box(session.repair(&req).expect("valid").size())
+        })
     });
     group.finish();
 }

@@ -17,8 +17,11 @@
 //!
 //!   bench-json  emit this repository's BENCH_*.json perf record to stdout
 //!               (not part of `all`). Env: BENCH_JSON_MODE names the run
-//!               key (default "serial"); BENCH_JSON_QUICK=1 shortens the
-//!               measurement for CI smoke — never commit quick numbers.
+//!               key (default "serial"); BENCH_JSON_QUICK=1 (or the
+//!               `--quick` flag) shortens the measurement for CI smoke —
+//!               never commit quick numbers. Includes the
+//!               incremental_rerepair group (mutate → re-repair loop,
+//!               incremental vs full recompute).
 //! ```
 //!
 //! Scales via `REPRO_MAS_SCALE` / `REPRO_TPCH_SCALE` / `REPRO_ROWS`
@@ -36,6 +39,15 @@ use workloads::{author_instance_from_table, dc_delta_program, paper_dcs};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `--quick` shortens bench-json measurement (same as BENCH_JSON_QUICK=1).
+    let quick_flag = args.iter().any(|a| a == "--quick");
+    let args: Vec<String> = args.into_iter().filter(|a| a != "--quick").collect();
+    if quick_flag && args.is_empty() {
+        // A bare `repro --quick` must not silently fall through to the
+        // full-scale everything run.
+        eprintln!("--quick applies to bench-json; run `repro bench-json --quick`");
+        return;
+    }
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "table3", "fig6", "fig7", "fig8", "fig9", "triggers", "table4", "table5", "fig10",
@@ -54,7 +66,7 @@ fn main() {
             "table4" => table4_and_5(false),
             "table5" => table4_and_5(true),
             "fig10" => fig10(),
-            "bench-json" => bench_json(),
+            "bench-json" => bench_json(quick_flag),
             other => eprintln!("unknown experiment `{other}` (see --help text in source)"),
         }
     }
@@ -62,9 +74,9 @@ fn main() {
 
 /// Emit the `BENCH_*.json` perf record for this build to stdout. Progress
 /// goes to stderr so the JSON can be redirected to a file directly.
-fn bench_json() {
+fn bench_json(quick_flag: bool) {
     let mode = std::env::var("BENCH_JSON_MODE").unwrap_or_else(|_| "serial".to_owned());
-    let quick = std::env::var("BENCH_JSON_QUICK").is_ok_and(|v| v == "1");
+    let quick = quick_flag || std::env::var("BENCH_JSON_QUICK").is_ok_and(|v| v == "1");
     eprintln!(
         "bench-json: mode `{mode}`{} — fig7 MAS (0.02) + fig9b TPC-H (0.01)",
         if quick { " (quick)" } else { "" }

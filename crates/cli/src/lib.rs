@@ -22,10 +22,74 @@
 //! The module is a library so the parsing/reporting logic is unit-testable;
 //! `main.rs` is a thin shell.
 
-use repair_core::{RepairOutcome, RepairSession, Semantics};
+use repair_core::{RepairError, RepairOutcome, RepairSession, Semantics};
 use std::fmt::Write as _;
 use storage::tsv;
 use triggers::FiringOrder;
+
+/// Every way a CLI run can fail, mapped to a **distinct process exit
+/// code** (documented in [`USAGE`]): no user input reaches an `unwrap`.
+///
+/// | variant | exit code | meaning |
+/// |---------|-----------|---------|
+/// | [`CliError::Help`]  | 0 | `--help` was requested |
+/// | [`CliError::Usage`] | 2 | bad command line (unknown flag, missing value) |
+/// | [`CliError::Io`]    | 3 | filesystem failure on `--db`/`--program`/`--apply` |
+/// | [`CliError::Input`] | 4 | malformed input content (TSV, rules, `--why` tuple) |
+/// | [`CliError::Repair`]| 5 | the repair engine rejected the run ([`RepairError`]) |
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// `--help`: carries the usage text; exits 0.
+    Help,
+    /// Malformed command line; exits 2.
+    Usage(String),
+    /// Filesystem failure (the path and OS error text); exits 3.
+    Io(String),
+    /// Malformed input content; exits 4.
+    Input(String),
+    /// Engine-level failure, preserved as a typed [`RepairError`]; exits 5.
+    Repair(RepairError),
+}
+
+impl CliError {
+    /// The process exit code this failure maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Help => 0,
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Input(_) => 4,
+            CliError::Repair(_) => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Help => f.write_str(USAGE),
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io(msg) => write!(f, "{msg}"),
+            CliError::Input(msg) => write!(f, "{msg}"),
+            CliError::Repair(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Repair(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RepairError> for CliError {
+    fn from(e: RepairError) -> CliError {
+        CliError::Repair(e)
+    }
+}
 
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -66,10 +130,17 @@ OPTIONS:
     --why TUPLE        print the derivation tree for a tuple, e.g. --why 'Pub(6, x)'
     --dot              print the provenance graph in Graphviz DOT format
     --help             this text
+
+EXIT CODES:
+    0    success (or --help)
+    2    bad command line: unknown flag, missing value or argument
+    3    filesystem failure reading --db/--program or writing --apply
+    4    malformed input: TSV database, delta program, or --why tuple name
+    5    repair engine error (invalid program for this schema, apply failure)
 ";
 
 /// Parse `argv[1..]`-style arguments.
-pub fn parse_args<I, S>(args: I) -> Result<Options, String>
+pub fn parse_args<I, S>(args: I) -> Result<Options, CliError>
 where
     I: IntoIterator<Item = S>,
     S: AsRef<str>,
@@ -88,7 +159,7 @@ where
         let mut value_for = |name: &str| {
             it.next()
                 .map(|v| v.as_ref().to_owned())
-                .ok_or_else(|| format!("{name} needs a value"))
+                .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
         };
         match arg {
             "--db" => db = Some(value_for("--db")?),
@@ -99,7 +170,11 @@ where
                 // here.
                 semantics = match value_for("--semantics")?.as_str() {
                     "all" => Some(None),
-                    other => Some(Some(other.parse::<Semantics>().map_err(|e| e.to_string())?)),
+                    other => Some(Some(
+                        other
+                            .parse::<Semantics>()
+                            .map_err(|e| CliError::Usage(e.to_string()))?,
+                    )),
                 }
             }
             "--apply" => apply = Some(value_for("--apply")?),
@@ -110,16 +185,22 @@ where
                 triggers = Some(match value_for("--triggers")?.as_str() {
                     "alphabetical" | "postgres" | "postgresql" => FiringOrder::Alphabetical,
                     "creation" | "mysql" => FiringOrder::CreationOrder,
-                    other => return Err(format!("unknown firing order `{other}`")),
+                    other => {
+                        return Err(CliError::Usage(format!("unknown firing order `{other}`")))
+                    }
                 })
             }
-            "--help" | "-h" => return Err(USAGE.to_owned()),
-            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+            "--help" | "-h" => return Err(CliError::Help),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown argument `{other}`\n\n{USAGE}"
+                )))
+            }
         }
     }
     Ok(Options {
-        db: db.ok_or("--db is required")?,
-        program: program.ok_or("--program is required")?,
+        db: db.ok_or_else(|| CliError::Usage("--db is required".into()))?,
+        program: program.ok_or_else(|| CliError::Usage("--program is required".into()))?,
         semantics: semantics.unwrap_or(None),
         apply,
         explain,
@@ -130,6 +211,7 @@ where
 }
 
 /// Everything the run produced, ready for printing or inspection.
+#[derive(Debug)]
 pub struct RunOutput {
     /// Per-semantics outcomes, in the requested order.
     pub results: Vec<RepairOutcome>,
@@ -141,11 +223,13 @@ pub struct RunOutput {
 
 /// Load inputs, repair, and render the report. Pure with respect to the
 /// filesystem: callers hand in file *contents*.
-pub fn run(opts: &Options, db_text: &str, program_text: &str) -> Result<RunOutput, String> {
-    let db = tsv::load_document(db_text).map_err(|e| format!("--db: {e}"))?;
-    let program = datalog::parse_program(program_text).map_err(|e| format!("--program: {e}"))?;
-    let mut session =
-        RepairSession::new(db, program.clone()).map_err(|e| format!("--program: {e}"))?;
+pub fn run(opts: &Options, db_text: &str, program_text: &str) -> Result<RunOutput, CliError> {
+    let db = tsv::load_document(db_text).map_err(|e| CliError::Input(format!("--db: {e}")))?;
+    let program = datalog::parse_program(program_text)
+        .map_err(|e| CliError::Input(format!("--program: {e}")))?;
+    // Schema-level rejection of the program is an engine error (exit 5),
+    // preserved as the typed `RepairError` rather than a flattened string.
+    let mut session = RepairSession::new(db, program.clone()).map_err(CliError::Repair)?;
 
     let mut report = String::new();
     let _ = writeln!(
@@ -220,7 +304,9 @@ pub fn run(opts: &Options, db_text: &str, program_text: &str) -> Result<RunOutpu
             .db()
             .all_tuple_ids()
             .find(|&t| session.db().display_tuple(t) == *name)
-            .ok_or_else(|| format!("--why: no tuple named `{name}` in the database"))?;
+            .ok_or_else(|| {
+                CliError::Input(format!("--why: no tuple named `{name}` in the database"))
+            })?;
         match session.explain(target) {
             Some(tree) => {
                 let _ = writeln!(report, "derivation of Δ {name}:");
@@ -236,7 +322,11 @@ pub fn run(opts: &Options, db_text: &str, program_text: &str) -> Result<RunOutpu
     }
 
     let applied = if opts.apply.is_some() {
-        let chosen = &results[0];
+        // `wanted` is never empty, so neither is `results`; keep the access
+        // checked anyway — user input must not be able to reach a panic.
+        let chosen = results
+            .first()
+            .ok_or_else(|| CliError::Usage("--apply needs at least one semantics".into()))?;
         let total = session.db().total_rows();
         let _ = writeln!(
             report,
@@ -248,9 +338,7 @@ pub fn run(opts: &Options, db_text: &str, program_text: &str) -> Result<RunOutpu
         // Commit through the session: the delete-set leaves the database
         // durably (indexes maintained incrementally) and the live tuples
         // are what gets serialized.
-        chosen
-            .apply(&mut session)
-            .map_err(|e| format!("--apply: {e}"))?;
+        chosen.apply(&mut session).map_err(CliError::Repair)?;
         Some(tsv::to_tsv_typed(session.db()))
     } else {
         None
@@ -324,7 +412,57 @@ delta AuthGrant(a, g) :- AuthGrant(a, g), delta Grant(g, n).
         assert!(parse_args(["--db"]).is_err(), "missing value");
         assert!(parse_args(["--semantics", "vibes", "--db", "a", "--program", "b"]).is_err());
         assert!(parse_args(["--frobnicate"]).is_err());
-        assert!(parse_args(["--help"]).is_err(), "help via Err(USAGE)");
+        assert!(parse_args(["--help"]).is_err(), "help via Err(Help)");
+    }
+
+    #[test]
+    fn errors_map_to_distinct_documented_exit_codes() {
+        // Usage errors: exit 2.
+        let usage = parse_args(["--frobnicate"]).unwrap_err();
+        assert!(matches!(usage, CliError::Usage(_)));
+        assert_eq!(usage.exit_code(), 2);
+        // Help: exit 0, rendering the usage text.
+        let help = parse_args(["--help"]).unwrap_err();
+        assert_eq!(help.exit_code(), 0);
+        assert!(help.to_string().contains("EXIT CODES"));
+        // Malformed inputs: exit 4.
+        let bad_db = run(&base_opts(), "not a document", RULES).unwrap_err();
+        assert!(matches!(bad_db, CliError::Input(_)));
+        assert_eq!(bad_db.exit_code(), 4);
+        let bad_rules = run(&base_opts(), DB, "garbage !!").unwrap_err();
+        assert_eq!(bad_rules.exit_code(), 4);
+        let mut opts = base_opts();
+        opts.why = Some("NoSuch(0)".into());
+        let bad_why = run(&opts, DB, RULES).unwrap_err();
+        assert_eq!(bad_why.exit_code(), 4);
+        // Engine rejection (valid syntax, wrong schema): exit 5, with the
+        // typed RepairError preserved as the source.
+        let engine = run(&base_opts(), DB, "delta Nope(x) :- Nope(x).").unwrap_err();
+        assert!(matches!(
+            engine,
+            CliError::Repair(repair_core::RepairError::Datalog { .. })
+        ));
+        assert_eq!(engine.exit_code(), 5);
+        use std::error::Error as _;
+        assert!(engine.source().is_some(), "RepairError kept as source");
+        // Io: exit 3 (constructed directly; main.rs owns the filesystem).
+        assert_eq!(CliError::Io("cannot read x".into()).exit_code(), 3);
+        // Every failure variant maps to its own nonzero code; only Help
+        // shares 0 with success.
+        let mut codes: Vec<u8> = [
+            CliError::Help,
+            CliError::Usage(String::new()),
+            CliError::Io(String::new()),
+            CliError::Input(String::new()),
+            CliError::Repair(repair_core::RepairError::NothingToUndo),
+        ]
+        .iter()
+        .map(CliError::exit_code)
+        .collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 5, "exit codes must stay distinct");
+        assert!(codes.iter().skip(1).all(|&c| c != 0 && c != 1));
     }
 
     #[test]

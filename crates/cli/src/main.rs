@@ -1,46 +1,38 @@
 //! `delta-repair` — shell entry point. All logic lives in the library
 //! (`cli`) so it can be unit-tested; this file only touches the filesystem
-//! and process exit codes.
+//! and maps [`cli::CliError`] to its documented process exit code (see the
+//! EXIT CODES section of `--help`).
 
+use cli::CliError;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let opts = match cli::parse_args(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::from(2);
-        }
-    };
-    let db_text = match std::fs::read_to_string(&opts.db) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read {}: {e}", opts.db);
-            return ExitCode::FAILURE;
-        }
-    };
-    let program_text = match std::fs::read_to_string(&opts.program) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read {}: {e}", opts.program);
-            return ExitCode::FAILURE;
-        }
-    };
-    match cli::run(&opts, &db_text, &program_text) {
-        Ok(out) => {
-            print!("{}", out.report);
-            if let (Some(path), Some(doc)) = (&opts.apply, &out.applied) {
-                if let Err(e) = std::fs::write(path, doc) {
-                    eprintln!("cannot write {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-                println!("wrote repaired database to {path}");
-            }
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Help) => {
+            // Requested help goes to stdout and is a success.
+            print!("{}", cli::USAGE);
             ExitCode::SUCCESS
         }
-        Err(msg) => {
-            eprintln!("{msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(e.exit_code())
         }
     }
+}
+
+fn real_main() -> Result<(), CliError> {
+    let opts = cli::parse_args(std::env::args().skip(1))?;
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))
+    };
+    let db_text = read(&opts.db)?;
+    let program_text = read(&opts.program)?;
+    let out = cli::run(&opts, &db_text, &program_text)?;
+    print!("{}", out.report);
+    if let (Some(path), Some(doc)) = (&opts.apply, &out.applied) {
+        std::fs::write(path, doc).map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+        println!("wrote repaired database to {path}");
+    }
+    Ok(())
 }

@@ -20,6 +20,13 @@
 //! Solve / Traverse) and an [`Optimality`] certificate, and can be
 //! previewed, applied to the session and undone.
 //!
+//! Sessions maintain repair state **incrementally**: mutations flow into
+//! the storage layer's journal, and the next end-semantics repair advances
+//! a cached [`engine::EngineState`] over the net change (DRed-style
+//! deletion handling, change-seeded semi-naive insertion rounds) instead of
+//! recomputing the fixpoint from scratch — bit-identical results at a
+//! fraction of the cost for small deltas.
+//!
 //! ```
 //! use repair_core::{RepairSession, Semantics};
 //! use repair_core::testkit;
@@ -50,6 +57,7 @@ pub mod stage;
 pub mod step;
 pub mod testkit;
 
+pub use engine::{AdvanceStats, DeltaPolicy, EngineState, FixpointDriver, FixpointOutcome};
 pub use error::RepairError;
 #[allow(deprecated)]
 pub use repairer::Repairer;

@@ -25,7 +25,34 @@
 //! assert!(!session.is_stable());
 //! # Ok::<(), repair_core::RepairError>(())
 //! ```
+//!
+//! Long-lived sessions are **incremental**: every durable mutation lands in
+//! the storage journal, and the next end-semantics `repair()` replays only
+//! the affected cone against a cached fixpoint checkpoint instead of
+//! re-deriving the world — same bits, small-delta cost. The mutate →
+//! re-repair → apply loop is the intended service shape:
+//!
+//! ```
+//! use repair_core::{RepairSession, Semantics};
+//! use repair_core::testkit;
+//! use storage::Value;
+//!
+//! let mut session =
+//!     RepairSession::new(testkit::figure1_instance(), testkit::figure2_program())?;
+//! let first = session.run(Semantics::End);       // primes the checkpoint
+//!
+//! // Ingest a batch; the next repair advances incrementally.
+//! session.insert_batch("Grant", [[Value::Int(9), Value::str("ERC")]])?;
+//! let second = session.run(Semantics::End);
+//! assert!(second.served_incrementally());
+//! assert_eq!(second.size(), first.size() + 1);   // the new seed fires once
+//!
+//! second.apply(&mut session)?;                   // commit the re-repair
+//! assert!(session.is_stable());
+//! # Ok::<(), repair_core::RepairError>(())
+//! ```
 
+use crate::engine::{DeltaPolicy, EngineState, FixpointDriver};
 use crate::error::RepairError;
 use crate::result::{PhaseBreakdown, RepairResult, Semantics};
 use crate::{end, independent, stability, stage, step};
@@ -33,6 +60,7 @@ use datalog::{Assignment, Evaluator, PlannedProgram, Program};
 use sat::MinOnesOptions;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use storage::{Instance, TupleId, Value};
 
@@ -56,6 +84,7 @@ pub struct RepairRequest {
     capture_provenance: bool,
     decompose: bool,
     first_solution_only: bool,
+    incremental: bool,
 }
 
 impl RepairRequest {
@@ -70,6 +99,7 @@ impl RepairRequest {
             capture_provenance: false,
             decompose: true,
             first_solution_only: false,
+            incremental: true,
         }
     }
 
@@ -118,6 +148,22 @@ impl RepairRequest {
     pub fn first_solution_only(mut self, first_only: bool) -> RepairRequest {
         self.first_solution_only = first_only;
         self
+    }
+
+    /// Allow the session to serve this request from its incrementally
+    /// maintained fixpoint checkpoint (on by default). The answer is
+    /// bit-identical to a full recompute either way — this is the escape
+    /// hatch for benchmarking the full path and for distrustful callers.
+    /// See [`RepairSession::repair`] for when the engine silently falls
+    /// back to a full recompute anyway.
+    pub fn incremental(mut self, incremental: bool) -> RepairRequest {
+        self.incremental = incremental;
+        self
+    }
+
+    /// Is incremental serving allowed?
+    pub fn incremental_value(&self) -> bool {
+        self.incremental
     }
 
     /// The requested semantics.
@@ -241,6 +287,7 @@ pub struct RepairOutcome {
     optimality: Optimality,
     provenance: Option<RepairProvenance>,
     epoch: u64,
+    incremental: bool,
 }
 
 impl RepairOutcome {
@@ -299,6 +346,14 @@ impl RepairOutcome {
     /// Session revision this outcome was computed at.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Was this outcome served by the incrementally maintained checkpoint
+    /// (delta-driven advance or an up-to-date cache) rather than a full
+    /// fixpoint recompute? Diagnostics only — the delete-set is identical
+    /// either way.
+    pub fn served_incrementally(&self) -> bool {
+        self.incremental
     }
 
     /// What applying this outcome would do, without doing it: per-relation
@@ -390,6 +445,17 @@ pub struct RepairSession {
     ev: Evaluator,
     epoch: u64,
     history: Vec<AppliedRepair>,
+    /// Incrementally maintained end-fixpoint checkpoint, keyed by the
+    /// journal cursor it is synchronized at. `Mutex` (not `RefCell`) so the
+    /// session stays `Sync`; `repair` takes `&self`.
+    end_cache: Mutex<Option<EndCache>>,
+}
+
+/// The session's cached end-semantics checkpoint plus the journal cursor it
+/// is synchronized at.
+struct EndCache {
+    cursor: u64,
+    engine: EngineState,
 }
 
 impl fmt::Debug for RepairSession {
@@ -416,6 +482,10 @@ impl RepairSession {
     /// answer.
     pub const DEFAULT_NODE_BUDGET: u64 = 200_000;
 
+    /// Default tombstone ratio above which [`RepairSession::compact_if_bloated`]
+    /// rebuilds a relation's hash tables.
+    pub const COMPACT_THRESHOLD: f64 = 0.5;
+
     /// Validate `program` against `db`'s schema, plan its joins, build the
     /// probe indexes, and take ownership of the database.
     pub fn new(mut db: Instance, program: Program) -> Result<RepairSession, RepairError> {
@@ -427,6 +497,7 @@ impl RepairSession {
             ev,
             epoch: 0,
             history: Vec::new(),
+            end_cache: Mutex::new(None),
         })
     }
 
@@ -482,11 +553,13 @@ impl RepairSession {
                     if !ids.is_empty() {
                         self.epoch += 1;
                     }
+                    self.trim_journal();
                     return Err(RepairError::storage(format!("insert into {relation}"), e));
                 }
             }
         }
         self.epoch += 1;
+        self.trim_journal();
         Ok(ids)
     }
 
@@ -502,12 +575,83 @@ impl RepairSession {
             .delete_tuples(ids.iter().copied())
             .map_err(|e| RepairError::storage("delete batch", e))?;
         self.epoch += 1;
+        self.trim_journal();
         Ok(removed)
     }
 
+    /// Revive a batch of tombstoned tuples under their original ids (the
+    /// mirror of [`RepairSession::delete_batch`] for callers managing their
+    /// own churn — bulk loads, replays, benches). Ids that are live again
+    /// or whose value was re-inserted elsewhere are skipped; unknown ids
+    /// reject the batch atomically. Returns the number revived.
+    pub fn restore_batch(&mut self, ids: &[TupleId]) -> Result<usize, RepairError> {
+        let restored = self
+            .db
+            .restore_tuples(ids.iter().copied())
+            .map_err(|e| RepairError::storage("restore batch", e))?;
+        self.epoch += 1;
+        self.trim_journal();
+        Ok(restored)
+    }
+
+    /// Drop journal history no consumer will ever drain again. The session
+    /// is the sole owner of the instance, so its incremental checkpoint is
+    /// the only journal consumer: everything before that checkpoint's
+    /// cursor (or everything, when no checkpoint exists) is garbage.
+    fn trim_journal(&mut self) {
+        let keep_from = self
+            .end_cache
+            .lock()
+            .expect("no panics while holding the end-cache lock")
+            .as_ref()
+            .map_or_else(|| self.db.journal().head(), |cache| cache.cursor);
+        self.db.truncate_journal_before(keep_from);
+    }
+
+    /// The fraction of ever-inserted rows that are tombstones, across the
+    /// whole owned instance — the signal for [`RepairSession::compact`].
+    pub fn dead_ratio(&self) -> f64 {
+        self.db.dead_ratio()
+    }
+
+    /// Compact every relation whose tombstone ratio is at least
+    /// `threshold`: dedup maps and composite-index hash tables are rebuilt
+    /// from the live rows, releasing the bloat long mutation histories
+    /// leave behind. Tuple ids, index ids, probe results, the undo stack,
+    /// the epoch and the incremental checkpoint are all unaffected —
+    /// compaction is invisible to everything but the allocator. Returns the
+    /// number of relations compacted.
+    pub fn compact(&mut self, threshold: f64) -> usize {
+        self.db.compact(threshold)
+    }
+
+    /// [`RepairSession::compact`] at the default threshold
+    /// ([`RepairSession::COMPACT_THRESHOLD`]); call it periodically from
+    /// long-lived mutating sessions.
+    pub fn compact_if_bloated(&mut self) -> usize {
+        self.compact(Self::COMPACT_THRESHOLD)
+    }
+
     /// Serve one repair request.
+    ///
+    /// End-semantics requests are served **incrementally** when possible:
+    /// the session checkpoints the delta fixpoint (derived delta relations
+    /// plus the full assignment hypergraph) after each end computation and,
+    /// on the next request, drains the instance's mutation journal and
+    /// replays only the affected cone — DRed-style over-delete/re-derive
+    /// for deletions, change-seeded semi-naive rounds for insertions. The
+    /// delete-set is bit-identical to a full recompute. The engine silently
+    /// falls back to a full fixpoint run when: the request asks for another
+    /// semantics, [`RepairRequest::capture_provenance`] is on (derivation
+    /// *order* and layers are not maintained incrementally), the request
+    /// disabled it via [`RepairRequest::incremental`], no checkpoint exists
+    /// yet, or the journal window no longer covers the checkpoint's cursor.
     pub fn repair(&self, request: &RepairRequest) -> Result<RepairOutcome, RepairError> {
         request.validate()?;
+        if request.semantics == Semantics::End && request.incremental && !request.capture_provenance
+        {
+            return Ok(self.serve_end(request));
+        }
         let deadline = request.time_budget.map(|b| Instant::now() + b);
         let minones = request.minones();
         let (result, optimality, provenance) = run_semantics(
@@ -535,7 +679,64 @@ impl RepairSession {
             optimality,
             provenance,
             epoch: self.epoch,
+            incremental: false,
         })
+    }
+
+    /// Serve an end-semantics request through the incremental checkpoint,
+    /// (re)priming it with a full run when cold or out of sync.
+    fn serve_end(&self, _request: &RepairRequest) -> RepairOutcome {
+        let t0 = Instant::now();
+        let driver = FixpointDriver::new(&self.ev, DeltaPolicy::AtEnd { naive: false });
+        let mut guard = self
+            .end_cache
+            .lock()
+            .expect("no panics while holding the end-cache lock");
+        // No checkpoint, or the journal window no longer reaches back to
+        // its cursor: the batch is unknowable and we rebuild from scratch.
+        let batch = guard
+            .as_ref()
+            .and_then(|cache| self.db.changes_since(cache.cursor));
+        let (deleted, incremental) = match batch {
+            Some(batch) => {
+                let cache = guard.as_mut().expect("batch implies a checkpoint");
+                if !batch.is_empty() {
+                    driver.advance(&self.db, &mut cache.engine, &batch);
+                }
+                cache.cursor = self.db.journal().head();
+                (cache.engine.deleted(), true)
+            }
+            None => {
+                let out = driver.run(&self.db);
+                let deleted = out.deleted.clone();
+                *guard = Some(EndCache {
+                    cursor: self.db.journal().head(),
+                    engine: EngineState::from_outcome(out),
+                });
+                (deleted, false)
+            }
+        };
+        drop(guard);
+        let certificate = if deleted.is_empty() {
+            OptimalityCertificate::AlreadyStable
+        } else {
+            OptimalityCertificate::DeterministicFixpoint
+        };
+        RepairOutcome {
+            result: RepairResult {
+                semantics: Semantics::End,
+                deleted,
+                breakdown: PhaseBreakdown {
+                    eval: t0.elapsed(),
+                    ..Default::default()
+                },
+                proven_optimal: true,
+            },
+            optimality: Optimality::exact(certificate),
+            provenance: None,
+            epoch: self.epoch,
+            incremental,
+        }
     }
 
     /// Run one semantics with the default request — the one-liner for
@@ -597,6 +798,7 @@ impl RepairSession {
             deleted: outcome.deleted().to_vec(),
         });
         self.epoch += 1;
+        self.trim_journal();
         Ok(removed)
     }
 
@@ -610,6 +812,7 @@ impl RepairSession {
             .restore_tuples(entry.deleted.iter().copied())
             .map_err(|e| RepairError::storage("undo repair", e))?;
         self.epoch += 1;
+        self.trim_journal();
         Ok(restored)
     }
 }
@@ -912,6 +1115,112 @@ mod tests {
         let maggie = tid_of(s.db(), "Author(2, Maggie)");
         assert!(prov.explain(maggie).is_none());
         assert!(s.run(Semantics::End).provenance().is_none());
+    }
+
+    #[test]
+    fn end_repairs_are_served_incrementally_after_priming() {
+        let mut s = session();
+        let cold = s.run(Semantics::End);
+        assert!(!cold.served_incrementally(), "first run primes the cache");
+        let warm = s.run(Semantics::End);
+        assert!(warm.served_incrementally(), "no change: cache hit");
+        assert_eq!(warm.deleted(), cold.deleted());
+
+        // Mutations advance the checkpoint instead of invalidating it.
+        s.insert_batch("Grant", [[Value::Int(9), Value::str("ERC")]])
+            .unwrap();
+        let after_insert = s.run(Semantics::End);
+        assert!(after_insert.served_incrementally());
+        assert_eq!(after_insert.size(), 9);
+        let g9 = tid_of(s.db(), "Grant(9, ERC)");
+        s.delete_batch(&[g9]).unwrap();
+        let after_delete = s.run(Semantics::End);
+        assert!(after_delete.served_incrementally());
+        assert_eq!(after_delete.deleted(), cold.deleted());
+
+        // Every incremental answer must equal a fresh session's full run.
+        let fresh = RepairSession::new(s.db().clone(), s.program().clone())
+            .unwrap()
+            .run(Semantics::End);
+        assert_eq!(after_delete.deleted(), fresh.deleted());
+    }
+
+    #[test]
+    fn incremental_escape_hatch_and_fallbacks() {
+        let mut s = session();
+        s.run(Semantics::End);
+        // The escape hatch forces a full recompute, same bits.
+        let full = s
+            .repair(&RepairRequest::new(Semantics::End).incremental(false))
+            .unwrap();
+        assert!(!full.served_incrementally());
+        // Provenance capture needs derivation order: silent fallback.
+        let prov = s
+            .repair(&RepairRequest::new(Semantics::End).capture_provenance(true))
+            .unwrap();
+        assert!(!prov.served_incrementally());
+        assert!(prov.provenance().is_some());
+        // Other semantics never claim incremental serving.
+        assert!(!s.run(Semantics::Stage).served_incrementally());
+        // And mixing them around mutations keeps End exact.
+        s.insert_batch("AuthGrant", [[Value::Int(2), Value::Int(2)]])
+            .unwrap();
+        let inc = s.run(Semantics::End);
+        assert!(inc.served_incrementally());
+        assert_eq!(
+            inc.deleted(),
+            s.repair(&RepairRequest::new(Semantics::End).incremental(false))
+                .unwrap()
+                .deleted()
+        );
+    }
+
+    #[test]
+    fn apply_undo_cycles_flow_through_the_checkpoint() {
+        let mut s = session();
+        let outcome = s.run(Semantics::End);
+        outcome.apply(&mut s).unwrap();
+        let stable = s.run(Semantics::End);
+        assert!(stable.served_incrementally(), "apply journaled its deletes");
+        assert_eq!(stable.size(), 0);
+        s.undo().unwrap();
+        let back = s.run(Semantics::End);
+        assert!(back.served_incrementally(), "undo journaled its restores");
+        assert_eq!(back.deleted(), outcome.deleted());
+    }
+
+    #[test]
+    fn compaction_is_invisible_to_repairs_and_checkpoint() {
+        let mut s = session();
+        let before = s.run(Semantics::End);
+        // Delete enough to cross the threshold, compact, and re-repair.
+        let doomed: Vec<TupleId> = before.deleted().to_vec();
+        s.delete_batch(&doomed).unwrap();
+        assert!(s.dead_ratio() > 0.0);
+        s.compact(0.1);
+        assert!(s.db().indexes_consistent());
+        let after = s.run(Semantics::End);
+        assert!(after.served_incrementally(), "compaction preserved cache");
+        assert_eq!(after.size(), 0, "deleting the end set stabilizes");
+        // Round-trip through undo-less restore: reinsert equal tuples.
+        assert_eq!(s.compact(0.0), 6, "every relation compacts at 0.0");
+    }
+
+    #[test]
+    fn journal_is_trimmed_to_the_checkpoint() {
+        let mut s = session();
+        s.insert_batch("Grant", [[Value::Int(7), Value::str("NIH")]])
+            .unwrap();
+        // No checkpoint yet: mutators trim everything.
+        assert_eq!(s.db().journal().len(), 0);
+        s.run(Semantics::End);
+        s.insert_batch("Grant", [[Value::Int(8), Value::str("NIH")]])
+            .unwrap();
+        assert_eq!(s.db().journal().len(), 1, "retained for the checkpoint");
+        s.run(Semantics::End);
+        s.insert_batch("Grant", [[Value::Int(9), Value::str("NIH")]])
+            .unwrap();
+        assert_eq!(s.db().journal().len(), 1, "old window trimmed");
     }
 
     #[test]

@@ -50,14 +50,21 @@ pub struct CompiledCmp {
     pub rhs: Slot,
 }
 
-/// Restriction applied to one delta atom during semi-naive enumeration.
+/// Restriction applied to one atom relative to a distinguished tuple set.
+///
+/// Two enumerations use this partition: **semi-naive frontier rounds**
+/// (delta atoms split over the previous round's newly derived deltas) and
+/// **change-seeded rounds** (*every* atom split over the tuples a mutation
+/// batch touched). Both rely on the same argument: partitioning assignments
+/// by the first body position that binds a distinguished tuple produces
+/// each assignment exactly once.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum DeltaClass {
-    /// Deltas known before the current round (Δ \ frontier).
+    /// Tuples outside the distinguished set (Δ \ frontier, or unchanged).
     Old,
-    /// Deltas derived in the previous round (the frontier).
+    /// Tuples inside the distinguished set (the frontier / the seed).
     New,
-    /// All current deltas.
+    /// Unrestricted.
     All,
 }
 
@@ -130,6 +137,19 @@ pub struct CompiledRule {
     /// range over old deltas, the focus over the frontier, later ones over
     /// all — the partition that makes each assignment appear exactly once).
     pub focused_classes: Vec<Vec<DeltaClass>>,
+    /// `seeded[p]` is the plan whose first atom is body position `p`, for
+    /// *every* position — the driver of change-seeded enumeration, where
+    /// the pivot ranges over a small set of changed tuples (a mutation
+    /// batch) instead of the whole relation, regardless of whether the
+    /// atom is a delta atom.
+    pub seeded: Vec<Plan>,
+    /// `seeded_classes[p]` is the per-atom partition against the **seed**
+    /// set when position `p` is the pivot: earlier positions exclude seed
+    /// tuples, the pivot ranges over them, later positions are
+    /// unrestricted. Applies to base and delta atoms alike (on top of the
+    /// ordinary view admission), so an assignment touching `k` changed
+    /// tuples is produced exactly once, at its first changed position.
+    pub seeded_classes: Vec<Vec<DeltaClass>>,
     /// True when a constant-only comparison is false: the rule can never
     /// fire.
     pub never_fires: bool,
@@ -329,6 +349,20 @@ pub fn compile_rule(schema: &Schema, rule: &Rule) -> CompiledRule {
                 .collect()
         })
         .collect();
+    let seeded: Vec<Plan> = (0..atoms.len())
+        .map(|p| make_plan(&atoms, &cmps, n_vars, Some(p)))
+        .collect();
+    let seeded_classes: Vec<Vec<DeltaClass>> = (0..atoms.len())
+        .map(|pivot| {
+            (0..atoms.len())
+                .map(|ai| match ai.cmp(&pivot) {
+                    std::cmp::Ordering::Less => DeltaClass::Old,
+                    std::cmp::Ordering::Equal => DeltaClass::New,
+                    std::cmp::Ordering::Greater => DeltaClass::All,
+                })
+                .collect()
+        })
+        .collect();
     CompiledRule {
         n_vars,
         head_witness: head_witness(rule).expect("validated"),
@@ -339,6 +373,8 @@ pub fn compile_rule(schema: &Schema, rule: &Rule) -> CompiledRule {
         focused,
         general_classes,
         focused_classes,
+        seeded,
+        seeded_classes,
         never_fires,
     }
 }
@@ -482,6 +518,22 @@ mod tests {
             assert_eq!(spec.key_cols, vec![0, 1]);
             assert!(spec.same_cols.is_empty());
         }
+    }
+
+    #[test]
+    fn seeded_plans_cover_every_pivot_position() {
+        let r = compile("delta A(x) :- A(x), delta B(x, y), C(y).");
+        assert_eq!(r.seeded.len(), 3);
+        for (p, plan) in r.seeded.iter().enumerate() {
+            assert_eq!(plan.order[0], p, "pivot leads its seeded plan");
+            let mut o = plan.order.clone();
+            o.sort_unstable();
+            assert_eq!(o, vec![0, 1, 2]);
+        }
+        assert_eq!(
+            r.seeded_classes[1],
+            vec![DeltaClass::Old, DeltaClass::New, DeltaClass::All]
+        );
     }
 
     #[test]

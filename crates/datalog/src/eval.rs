@@ -82,6 +82,32 @@ impl DeltaFrontier {
             .iter_ones()
             .map(move |row| TupleId::new(rel, row as u32))
     }
+
+    /// Does the frontier contain any tuple of `rel`? Lets seeded
+    /// enumeration skip pivot positions whose relation saw no change.
+    pub fn touches(&self, rel: RelId) -> bool {
+        !self.sets[rel.idx()].none()
+    }
+}
+
+/// How one enumeration restricts atoms to a distinguished tuple set.
+///
+/// [`Focus::Frontier`] is the classic semi-naive round: the per-atom
+/// [`DeltaClass`]es constrain **delta atoms only**, against the previous
+/// round's newly derived tuples. [`Focus::Seed`] is the change-seeded round
+/// of incremental maintenance: the classes constrain **every** atom against
+/// the seed set (a mutation batch), on top of the ordinary view admission —
+/// the pivot ranges over the seed, earlier positions exclude it, later ones
+/// are unrestricted, so an assignment touching `k` changed tuples is
+/// produced exactly once.
+#[derive(Clone, Copy)]
+enum Focus<'a> {
+    /// No distinguished set; classes are ignored (all `All`).
+    None,
+    /// Semi-naive frontier round over newly derived delta tuples.
+    Frontier(&'a DeltaFrontier),
+    /// Change-seeded round over a set of mutated EDB tuples.
+    Seed(&'a DeltaFrontier),
 }
 
 /// One body-atom binding of an assignment.
@@ -224,10 +250,14 @@ impl PlannedProgram {
                 atoms,
                 general,
                 focused,
+                seeded,
                 ..
             } = cr;
             resolve(db, atoms, general);
             for plan in focused {
+                resolve(db, atoms, plan);
+            }
+            for plan in seeded {
                 resolve(db, atoms, plan);
             }
         }
@@ -327,7 +357,7 @@ impl Evaluator {
             cr,
             &cr.general,
             &cr.general_classes,
-            None,
+            Focus::None,
             scratch,
             f,
         )
@@ -458,7 +488,89 @@ impl Evaluator {
                 cr,
                 &cr.focused[fi],
                 &cr.focused_classes[fi],
-                Some(frontier),
+                Focus::Frontier(frontier),
+                scratch,
+                f,
+            ) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Change-seeded round: enumerate every assignment of every rule that
+    /// binds at least one tuple from `seed` — at **any** body position,
+    /// base and delta atoms alike — under `mode`, each exactly once.
+    ///
+    /// This is the entry point of incremental maintenance: after a mutation
+    /// batch inserts tuples into the EDB, the assignments that become newly
+    /// satisfiable are exactly those touching an inserted tuple, and this
+    /// enumeration finds them in time proportional to the seed's join cone
+    /// instead of the whole database. Assignments are partitioned by the
+    /// first body position holding a seed tuple (earlier positions exclude
+    /// the seed, the pivot ranges over it, later ones are unrestricted).
+    pub fn for_each_seeded_assignment(
+        &self,
+        db: &Instance,
+        state: &State,
+        mode: Mode,
+        seed: &DeltaFrontier,
+        f: &mut dyn FnMut(&Assignment) -> bool,
+    ) -> bool {
+        self.for_each_seeded_assignment_with(db, state, mode, seed, &mut EvalScratch::new(), f)
+    }
+
+    /// [`Evaluator::for_each_seeded_assignment`] with caller scratch.
+    pub fn for_each_seeded_assignment_with(
+        &self,
+        db: &Instance,
+        state: &State,
+        mode: Mode,
+        seed: &DeltaFrontier,
+        scratch: &mut EvalScratch,
+        f: &mut dyn FnMut(&Assignment) -> bool,
+    ) -> bool {
+        for idx in 0..self.compiled.len() {
+            if !self.for_each_rule_seeded_assignment_with(idx, db, state, mode, seed, scratch, f) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Change-seeded round restricted to one rule: every assignment of
+    /// `rule_idx` binding at least one seed tuple, produced exactly once.
+    #[allow(clippy::too_many_arguments)]
+    pub fn for_each_rule_seeded_assignment_with(
+        &self,
+        rule_idx: usize,
+        db: &Instance,
+        state: &State,
+        mode: Mode,
+        seed: &DeltaFrontier,
+        scratch: &mut EvalScratch,
+        f: &mut dyn FnMut(&Assignment) -> bool,
+    ) -> bool {
+        let cr = &self.compiled[rule_idx];
+        if cr.never_fires {
+            return true;
+        }
+        for p in 0..cr.atoms.len() {
+            // A pivot only yields assignments when the seed touches its
+            // relation; skipping it keeps a small batch's round proportional
+            // to the batch, not to the rule width.
+            if !seed.touches(cr.atoms[p].rel) {
+                continue;
+            }
+            if !run_plan(
+                db,
+                state,
+                mode,
+                rule_idx,
+                cr,
+                &cr.seeded[p],
+                &cr.seeded_classes[p],
+                Focus::Seed(seed),
                 scratch,
                 f,
             ) {
@@ -526,6 +638,8 @@ mod par {
         BaseRules,
         /// Semi-naive frontier round.
         Frontier(&'f DeltaFrontier),
+        /// Change-seeded round of incremental maintenance.
+        Seeded(&'f DeltaFrontier),
     }
 
     /// Worker threads the parallel paths use: `DELTA_REPAIRS_THREADS` when
@@ -614,6 +728,11 @@ mod par {
                         idx, db, state, mode, fr, scratch, &mut push,
                     );
                 }
+                Scope::Seeded(seed) => {
+                    self.for_each_rule_seeded_assignment_with(
+                        idx, db, state, mode, seed, scratch, &mut push,
+                    );
+                }
             }
         }
 
@@ -641,20 +760,38 @@ pub use par::{eval_threads, Scope as ParScope};
 fn admitted(
     state: &State,
     mode: Mode,
-    frontier: Option<&DeltaFrontier>,
+    focus: Focus<'_>,
     atom: &CompiledAtom,
     class: DeltaClass,
     tid: TupleId,
 ) -> bool {
+    // Under a seed focus the class partitions *every* atom against the seed
+    // set; the ordinary view admission then applies unrestricted.
+    if let Focus::Seed(seed) = focus {
+        match class {
+            DeltaClass::New => {
+                if !seed.contains(tid) {
+                    return false;
+                }
+            }
+            DeltaClass::Old => {
+                if seed.contains(tid) {
+                    return false;
+                }
+            }
+            DeltaClass::All => {}
+        }
+    }
     if atom.is_delta {
         match mode {
             Mode::Hypothetical => true,
-            Mode::Current | Mode::FrozenBase => match class {
-                DeltaClass::All => state.in_delta(tid),
-                DeltaClass::New => frontier.is_some_and(|fr| fr.contains(tid)),
-                DeltaClass::Old => {
-                    state.in_delta(tid) && !frontier.is_some_and(|fr| fr.contains(tid))
-                }
+            Mode::Current | Mode::FrozenBase => match focus {
+                Focus::Frontier(fr) => match class {
+                    DeltaClass::All => state.in_delta(tid),
+                    DeltaClass::New => fr.contains(tid),
+                    DeltaClass::Old => state.in_delta(tid) && !fr.contains(tid),
+                },
+                Focus::None | Focus::Seed(_) => state.in_delta(tid),
             },
         }
     } else {
@@ -676,7 +813,7 @@ fn run_plan(
     cr: &CompiledRule,
     plan: &Plan,
     classes: &[DeltaClass],
-    frontier: Option<&DeltaFrontier>,
+    focus: Focus<'_>,
     scratch: &mut EvalScratch,
     f: &mut dyn FnMut(&Assignment) -> bool,
 ) -> bool {
@@ -686,7 +823,7 @@ fn run_plan(
     scratch.chosen.resize(cr.atoms.len(), DUMMY_TID);
     scratch.key.clear();
     step(
-        db, state, mode, rule_idx, cr, plan, classes, frontier, 0, scratch, f,
+        db, state, mode, rule_idx, cr, plan, classes, focus, 0, scratch, f,
     )
 }
 
@@ -704,7 +841,7 @@ fn try_row(
     cr: &CompiledRule,
     plan: &Plan,
     classes: &[DeltaClass],
-    frontier: Option<&DeltaFrontier>,
+    focus: Focus<'_>,
     k: usize,
     row: u32,
     key_start: usize,
@@ -715,7 +852,7 @@ fn try_row(
     let ai = plan.order[k];
     let atom = &cr.atoms[ai];
     let tid = TupleId::new(atom.rel, row);
-    if !admitted(state, mode, frontier, atom, classes[ai], tid) {
+    if !admitted(state, mode, focus, atom, classes[ai], tid) {
         return true;
     }
     let tuple = db.relation(atom.rel).tuple(row);
@@ -759,7 +896,7 @@ fn try_row(
         cr,
         plan,
         classes,
-        frontier,
+        focus,
         k + 1,
         scratch,
         f,
@@ -777,7 +914,7 @@ fn step(
     cr: &CompiledRule,
     plan: &Plan,
     classes: &[DeltaClass],
-    frontier: Option<&DeltaFrontier>,
+    focus: Focus<'_>,
     k: usize,
     scratch: &mut EvalScratch,
     f: &mut dyn FnMut(&Assignment) -> bool,
@@ -816,7 +953,7 @@ fn step(
     macro_rules! visit {
         ($row:expr, $check_key:expr) => {
             if !try_row(
-                db, state, mode, rule_idx, cr, plan, classes, frontier, k, $row, key_start,
+                db, state, mode, rule_idx, cr, plan, classes, focus, k, $row, key_start,
                 $check_key, scratch, f,
             ) {
                 scratch.key.truncate(key_start);
@@ -825,15 +962,23 @@ fn step(
         };
     }
 
-    if atom.is_delta && mode != Mode::Hypothetical {
+    let seed_pivot = matches!(focus, Focus::Seed(_)) && class == DeltaClass::New;
+    if seed_pivot {
+        // The pivot of a change-seeded plan generates from the (small) seed
+        // set directly, whatever the atom's flavor; the key becomes a
+        // per-row filter and `admitted` supplies the view membership.
+        if let Focus::Seed(seed) = focus {
+            for tid in seed.rows(atom.rel) {
+                visit!(tid.row, true);
+            }
+        }
+    } else if atom.is_delta && mode != Mode::Hypothetical {
         // Delta sets are usually small: iterate them directly, using the
         // key as a per-row filter.
-        match class {
-            DeltaClass::New => {
-                if let Some(fr) = frontier {
-                    for tid in fr.rows(atom.rel) {
-                        visit!(tid.row, true);
-                    }
+        match (class, focus) {
+            (DeltaClass::New, Focus::Frontier(fr)) => {
+                for tid in fr.rows(atom.rel) {
+                    visit!(tid.row, true);
                 }
             }
             _ => {
@@ -1118,6 +1263,94 @@ mod tests {
             });
             assert_eq!(with_scratch, count_all(&ev, &db, &state, mode));
         }
+    }
+
+    #[test]
+    fn seeded_enumeration_finds_exactly_the_assignments_touching_the_seed() {
+        // Against the running example with the full Δ fixpoint marked, a
+        // seed of one base tuple must yield exactly the FrozenBase
+        // assignments that bind it — each exactly once — and no others.
+        let mut db = figure1_instance();
+        let ev = Evaluator::new(&mut db, figure2_program()).unwrap();
+        let mut state = db.initial_state();
+        let mut all: Vec<Assignment> = Vec::new();
+        // Grow Δ to its end-semantics fixpoint by brute force.
+        loop {
+            let mut new_heads = Vec::new();
+            ev.for_each_assignment(&db, &state, Mode::FrozenBase, &mut |a| {
+                if !state.in_delta(a.head) {
+                    new_heads.push(a.head);
+                }
+                true
+            });
+            if new_heads.is_empty() {
+                break;
+            }
+            for t in new_heads {
+                state.mark_delta(t);
+            }
+        }
+        ev.for_each_assignment(&db, &state, Mode::FrozenBase, &mut |a| {
+            all.push(a.clone());
+            true
+        });
+
+        for target in db.all_tuple_ids() {
+            let mut seed = DeltaFrontier::empty(&db);
+            seed.insert(target);
+            let mut seeded: Vec<Assignment> = Vec::new();
+            ev.for_each_seeded_assignment(&db, &state, Mode::FrozenBase, &seed, &mut |a| {
+                seeded.push(a.clone());
+                true
+            });
+            let expected: Vec<&Assignment> = all
+                .iter()
+                .filter(|a| a.body.iter().any(|b| b.tid == target))
+                .collect();
+            assert_eq!(
+                seeded.len(),
+                expected.len(),
+                "seed {}: wrong count",
+                db.display_tuple(target)
+            );
+            for a in &seeded {
+                assert!(expected.iter().any(|e| **e == *a));
+            }
+            let unique: std::collections::HashSet<_> = seeded.iter().cloned().collect();
+            assert_eq!(unique.len(), seeded.len(), "no duplicates");
+        }
+    }
+
+    #[test]
+    fn seeded_enumeration_counts_multi_seed_assignments_once() {
+        // Both tuples of an assignment in the seed: still produced exactly
+        // once (at its first seed position).
+        let mut s = Schema::new();
+        s.relation("R", &[("a", AttrType::Int)]);
+        s.relation("S", &[("a", AttrType::Int)]);
+        let mut db = Instance::new(s);
+        let r0 = db.insert_values("R", [Value::Int(1)]).unwrap();
+        let s0 = db.insert_values("S", [Value::Int(1)]).unwrap();
+        let p = parse_program("delta R(x) :- R(x), S(x).").unwrap();
+        let ev = Evaluator::new(&mut db, p).unwrap();
+        let state = db.initial_state();
+        let mut seed = DeltaFrontier::empty(&db);
+        seed.insert(r0);
+        seed.insert(s0);
+        let mut n = 0;
+        ev.for_each_seeded_assignment(&db, &state, Mode::FrozenBase, &seed, &mut |_| {
+            n += 1;
+            true
+        });
+        assert_eq!(n, 1);
+        // Empty seed: nothing.
+        let empty = DeltaFrontier::empty(&db);
+        let mut m = 0;
+        ev.for_each_seeded_assignment(&db, &state, Mode::FrozenBase, &empty, &mut |_| {
+            m += 1;
+            true
+        });
+        assert_eq!(m, 0);
     }
 
     #[test]

@@ -16,10 +16,19 @@
 //!   paper's layer structure, per-tuple *benefit* `b_t`, and the cascading
 //!   prune used in the greedy loop.
 
+//!
+//! Incremental re-repair adds a third consumer: [`support::SupportIndex`]
+//! is a *resumable* per-tuple adjacency over the recorded assignment
+//! hyperedges, extended in place as change-seeded rounds discover new
+//! assignments and pruned (entries of untouched tuples reused, not rebuilt)
+//! as deletions invalidate old ones.
+
 pub mod explain;
 pub mod formula;
 pub mod graph;
+pub mod support;
 
 pub use explain::{to_dot, DerivationTree, Explainer, Premise};
 pub use formula::{ProvClause, ProvFormula, ProvFormulaBuilder};
 pub use graph::ProvGraph;
+pub use support::SupportIndex;

@@ -1,6 +1,7 @@
 //! The extensional database instance.
 
 use crate::error::StorageError;
+use crate::journal::{DeltaBatch, MutationJournal, MutationKind};
 use crate::relation::Relation;
 use crate::schema::{RelId, Schema};
 use crate::state::State;
@@ -16,12 +17,28 @@ use crate::value::Value;
 /// paper evaluate over the same data without copying tuples. Durable
 /// mutation — committing a repair, batch ingest — goes through
 /// [`Instance::delete_tuples`] / [`Instance::restore_tuples`] / inserts,
-/// which maintain every composite index incrementally.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// which maintain every composite index incrementally **and** append to the
+/// [`MutationJournal`], so downstream consumers (the incremental repair
+/// engine) can see exactly what changed since any cursor they remember.
+#[derive(Clone, Debug)]
 pub struct Instance {
     schema: Schema,
     relations: Vec<Relation>,
+    journal: MutationJournal,
 }
+
+/// Two instances are equal when they hold the same data: schema, tuples,
+/// liveness, dedup maps and index contents. The mutation journal is
+/// bookkeeping *about* past edits, not part of the database value — an
+/// instance that deleted and restored a tuple equals one that never touched
+/// it.
+impl PartialEq for Instance {
+    fn eq(&self, other: &Instance) -> bool {
+        self.schema == other.schema && self.relations == other.relations
+    }
+}
+
+impl Eq for Instance {}
 
 impl Instance {
     /// Fresh instance for `schema`.
@@ -30,7 +47,11 @@ impl Instance {
             .iter()
             .map(|(_, rs)| Relation::new(rs.arity()))
             .collect();
-        Instance { schema, relations }
+        Instance {
+            schema,
+            relations,
+            journal: MutationJournal::default(),
+        }
     }
 
     /// The schema.
@@ -46,8 +67,12 @@ impl Instance {
     /// Insert a tuple (validated against the schema); returns its id.
     pub fn insert(&mut self, rel: RelId, t: Tuple) -> Result<TupleId, StorageError> {
         let rs = self.schema.rel(rel);
-        let (row, _) = self.relations[rel.idx()].insert_checked(rs, t)?;
-        Ok(TupleId::new(rel, row))
+        let (row, fresh) = self.relations[rel.idx()].insert_checked(rs, t)?;
+        let tid = TupleId::new(rel, row);
+        if fresh {
+            self.journal.record(MutationKind::Insert, tid);
+        }
+        Ok(tid)
     }
 
     /// Insert by relation name with `Into<Value>` items.
@@ -90,6 +115,7 @@ impl Instance {
         let mut removed = 0;
         for tid in ids {
             if self.relations[tid.rel.idx()].remove_row(tid.row) {
+                self.journal.record(MutationKind::Delete, tid);
                 removed += 1;
             }
         }
@@ -112,10 +138,62 @@ impl Instance {
         let mut restored = 0;
         for tid in ids {
             if self.relations[tid.rel.idx()].restore_row(tid.row) {
+                self.journal.record(MutationKind::Restore, tid);
                 restored += 1;
             }
         }
         Ok(restored)
+    }
+
+    /// The mutation journal: cursors for consumers that maintain derived
+    /// state, net [`DeltaBatch`]es between cursors.
+    pub fn journal(&self) -> &MutationJournal {
+        &self.journal
+    }
+
+    /// Convenience for [`MutationJournal::changes_since`].
+    pub fn changes_since(&self, cursor: u64) -> Option<DeltaBatch> {
+        self.journal.changes_since(cursor)
+    }
+
+    /// Drop journal history before `cursor` (every consumer has drained it).
+    pub fn truncate_journal_before(&mut self, cursor: u64) {
+        self.journal.truncate_before(cursor);
+    }
+
+    /// Fraction of ever-inserted rows that are tombstones, across the whole
+    /// instance (`0.0` for an empty instance).
+    pub fn dead_ratio(&self) -> f64 {
+        let total: usize = self.relations.iter().map(Relation::num_rows).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        (total - self.total_rows()) as f64 / total as f64
+    }
+
+    /// Compact every relation whose dead ratio is at least `threshold`
+    /// (see [`Relation::compact`]): dedup maps and index maps are rebuilt
+    /// from the live rows, dropping the hash-table bloat tombstone churn
+    /// leaves behind. Tuple ids, index ids and all probe results are
+    /// unchanged — compaction is invisible to readers and to incremental
+    /// consumers (nothing is journaled). Returns the number of relations
+    /// compacted.
+    pub fn compact(&mut self, threshold: f64) -> usize {
+        let mut compacted = 0;
+        for r in &mut self.relations {
+            if r.num_rows() > 0 && r.dead_ratio() >= threshold {
+                r.compact();
+                compacted += 1;
+            }
+        }
+        compacted
+    }
+
+    /// Are all composite indexes and dedup maps of every relation
+    /// bit-identical to a from-scratch rebuild over the live rows? Test and
+    /// debugging support; `O(total rows × indexes)`.
+    pub fn indexes_consistent(&self) -> bool {
+        self.relations.iter().all(Relation::indexes_consistent)
     }
 
     fn check_bounds(&self, tid: TupleId) -> Result<usize, StorageError> {
@@ -295,6 +373,63 @@ mod tests {
         assert_ne!(db, before);
         assert_eq!(db.restore_tuples(ids).unwrap(), 2);
         assert_eq!(db, before, "tuple ids, indexes and live bits restored");
+    }
+
+    #[test]
+    fn journal_records_net_changes_and_ignores_dedup_hits() {
+        let mut db = grant_instance();
+        let rel = db.schema().rel_id("Grant").unwrap();
+        let cursor = db.journal().head();
+        // Dedup hit: no journal entry.
+        db.insert_values("Grant", [Value::Int(1), Value::str("NSF")])
+            .unwrap();
+        assert!(db.changes_since(cursor).unwrap().is_empty());
+        // Fresh insert + delete + restore cycle nets out to one insert.
+        let tid = db
+            .insert_values("Grant", [Value::Int(3), Value::str("DFG")])
+            .unwrap();
+        let erc = TupleId::new(rel, 1);
+        db.delete_tuples([erc]).unwrap();
+        db.restore_tuples([erc]).unwrap();
+        let batch = db.changes_since(cursor).unwrap();
+        assert_eq!(batch.inserted, vec![tid]);
+        assert!(batch.deleted.is_empty());
+        // Truncation invalidates the old cursor but not the new one.
+        let now = db.journal().head();
+        db.truncate_journal_before(now);
+        assert!(db.changes_since(cursor).is_none());
+        assert!(db.changes_since(now).unwrap().is_empty());
+    }
+
+    #[test]
+    fn journal_is_not_part_of_instance_equality() {
+        let mut a = grant_instance();
+        let b = a.clone();
+        let rel = a.schema().rel_id("Grant").unwrap();
+        let erc = TupleId::new(rel, 1);
+        a.delete_tuples([erc]).unwrap();
+        a.restore_tuples([erc]).unwrap();
+        assert_eq!(a, b, "same data, different journals");
+    }
+
+    #[test]
+    fn compact_preserves_behavior_and_resets_dead_ratio_accounting() {
+        let mut db = grant_instance();
+        let rel = db.schema().rel_id("Grant").unwrap();
+        db.ensure_composite_index(rel, &[0]);
+        db.ensure_composite_index(rel, &[0, 1]);
+        for i in 10..20 {
+            db.insert_values("Grant", [Value::Int(i), Value::str("X")])
+                .unwrap();
+        }
+        let doomed: Vec<TupleId> = (2..12).map(|row| TupleId::new(rel, row)).collect();
+        db.delete_tuples(doomed.iter().copied()).unwrap();
+        assert!(db.dead_ratio() > 0.5);
+        let before = db.clone();
+        assert_eq!(db.compact(0.5), 1);
+        assert_eq!(db, before, "compaction is invisible to readers");
+        assert!(db.indexes_consistent());
+        assert_eq!(db.compact(2.0), 0, "threshold above 1 never triggers");
     }
 
     #[test]

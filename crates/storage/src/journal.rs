@@ -1,0 +1,260 @@
+//! The instance mutation journal: what changed, for whom.
+//!
+//! Every durable mutation of an [`crate::Instance`] — a fresh insert, a
+//! tombstone, a revival — appends one [`JournalEntry`]. Consumers that
+//! maintain state derived from the instance (the incremental repair engine,
+//! caches of provenance formulas) remember the journal *cursor* they last
+//! synchronized at and ask for [`MutationJournal::changes_since`] that
+//! cursor: the answer is a **net** [`DeltaBatch`] — tuples that are live now
+//! but were not at the cursor, and tuples that were live then but are gone
+//! now. Flickers inside the range (insert then delete, delete then restore)
+//! cancel out, so consumers never see work that has no net effect.
+//!
+//! The journal is bounded: entries older than every consumer are dropped by
+//! [`MutationJournal::truncate_before`] (the session does this after each
+//! drain), and a hard cap evicts the oldest entries regardless, so an
+//! instance without consumers cannot leak. A consumer whose cursor falls
+//! behind the retained window gets `None` from `changes_since` and must
+//! rebuild from scratch — the documented fallback of the incremental
+//! engine.
+
+use crate::tuple::TupleId;
+use std::collections::VecDeque;
+
+/// What a journal entry records about one tuple.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MutationKind {
+    /// A fresh row was inserted (it did not exist before).
+    Insert,
+    /// A live row was tombstoned.
+    Delete,
+    /// A tombstoned row was revived.
+    Restore,
+}
+
+/// One recorded mutation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct JournalEntry {
+    /// The tuple that changed.
+    pub tid: TupleId,
+    /// How it changed.
+    pub kind: MutationKind,
+}
+
+/// The net change between two journal cursors.
+///
+/// Both sides are sorted ascending and disjoint; a tuple whose liveness is
+/// the same at both cursors appears in neither.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaBatch {
+    /// Tuples live now that were not live at the cursor (fresh inserts and
+    /// net revivals).
+    pub inserted: Vec<TupleId>,
+    /// Tuples live at the cursor that are tombstoned now.
+    pub deleted: Vec<TupleId>,
+}
+
+impl DeltaBatch {
+    /// No net change?
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.deleted.is_empty()
+    }
+
+    /// Total net changes, both directions.
+    pub fn len(&self) -> usize {
+        self.inserted.len() + self.deleted.len()
+    }
+}
+
+/// Append-only record of instance mutations with a bounded retention
+/// window. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct MutationJournal {
+    /// Total entries ever recorded; the cursor returned to new consumers.
+    head: u64,
+    /// Cursor of the oldest retained entry.
+    tail: u64,
+    events: VecDeque<JournalEntry>,
+    cap: usize,
+}
+
+impl Default for MutationJournal {
+    fn default() -> MutationJournal {
+        MutationJournal::with_capacity(MutationJournal::DEFAULT_CAP)
+    }
+}
+
+impl MutationJournal {
+    /// Default retention cap: enough for any realistic sync gap, small
+    /// enough (a few MB) that an unconsumed journal cannot leak.
+    pub const DEFAULT_CAP: usize = 1 << 18;
+
+    /// Journal retaining at most `cap` entries.
+    pub fn with_capacity(cap: usize) -> MutationJournal {
+        MutationJournal {
+            head: 0,
+            tail: 0,
+            events: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The cursor one past the newest entry. A consumer that synchronizes
+    /// *now* should remember this value.
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// The cursor of the oldest retained entry; `changes_since` answers
+    /// cursors in `tail()..=head()` only.
+    pub fn tail(&self) -> u64 {
+        self.tail
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// No retained entries?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Record one mutation, evicting the oldest entry when the cap is hit.
+    pub fn record(&mut self, kind: MutationKind, tid: TupleId) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.tail += 1;
+        }
+        self.events.push_back(JournalEntry { tid, kind });
+        self.head += 1;
+    }
+
+    /// Drop all entries before `cursor` (no-op when already past it).
+    pub fn truncate_before(&mut self, cursor: u64) {
+        let cursor = cursor.min(self.head);
+        while self.tail < cursor {
+            self.events.pop_front();
+            self.tail += 1;
+        }
+    }
+
+    /// The net change from `cursor` to now, or `None` when `cursor` falls
+    /// outside the retained window (history truncated, or a cursor from
+    /// some other journal) — the consumer must rebuild from scratch.
+    pub fn changes_since(&self, cursor: u64) -> Option<DeltaBatch> {
+        if cursor < self.tail || cursor > self.head {
+            return None;
+        }
+        // Per tuple: was it live at `cursor`, is it live now? The first
+        // entry for a tuple reveals its prior state (you can only delete a
+        // live tuple, only insert an absent one, only restore a dead one);
+        // the last entry gives the current state.
+        let mut net: crate::FxHashMap<TupleId, (bool, bool)> = crate::FxHashMap::default();
+        let start = (cursor - self.tail) as usize;
+        for e in self.events.iter().skip(start) {
+            let live_now = !matches!(e.kind, MutationKind::Delete);
+            net.entry(e.tid)
+                .or_insert((matches!(e.kind, MutationKind::Delete), live_now))
+                .1 = live_now;
+        }
+        let mut batch = DeltaBatch::default();
+        for (tid, (was_live, live_now)) in net {
+            match (was_live, live_now) {
+                (false, true) => batch.inserted.push(tid),
+                (true, false) => batch.deleted.push(tid),
+                _ => {}
+            }
+        }
+        batch.inserted.sort_unstable();
+        batch.deleted.sort_unstable();
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelId;
+
+    fn t(row: u32) -> TupleId {
+        TupleId::new(RelId(0), row)
+    }
+
+    #[test]
+    fn net_changes_coalesce_flickers() {
+        let mut j = MutationJournal::default();
+        let c0 = j.head();
+        j.record(MutationKind::Insert, t(0)); // net insert
+        j.record(MutationKind::Delete, t(1)); // net delete
+        j.record(MutationKind::Insert, t(2)); // insert…
+        j.record(MutationKind::Delete, t(2)); // …then delete: net nothing
+        j.record(MutationKind::Delete, t(3)); // delete…
+        j.record(MutationKind::Restore, t(3)); // …then restore: net nothing
+        let b = j.changes_since(c0).unwrap();
+        assert_eq!(b.inserted, vec![t(0)]);
+        assert_eq!(b.deleted, vec![t(1)]);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn restores_count_as_insertions() {
+        let mut j = MutationJournal::default();
+        let c0 = j.head();
+        j.record(MutationKind::Restore, t(7));
+        let b = j.changes_since(c0).unwrap();
+        assert_eq!(b.inserted, vec![t(7)]);
+        assert!(b.deleted.is_empty());
+    }
+
+    #[test]
+    fn mid_stream_cursors_see_only_later_entries() {
+        let mut j = MutationJournal::default();
+        j.record(MutationKind::Insert, t(0));
+        let mid = j.head();
+        j.record(MutationKind::Insert, t(1));
+        let b = j.changes_since(mid).unwrap();
+        assert_eq!(b.inserted, vec![t(1)]);
+        assert!(j.changes_since(j.head()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncation_invalidates_old_cursors() {
+        let mut j = MutationJournal::default();
+        let c0 = j.head();
+        j.record(MutationKind::Insert, t(0));
+        let c1 = j.head();
+        j.record(MutationKind::Insert, t(1));
+        j.truncate_before(c1);
+        assert!(j.changes_since(c0).is_none(), "history before c1 is gone");
+        assert_eq!(j.changes_since(c1).unwrap().inserted, vec![t(1)]);
+        assert!(j.changes_since(j.head() + 1).is_none(), "future cursor");
+    }
+
+    #[test]
+    fn cap_evicts_oldest() {
+        let mut j = MutationJournal::with_capacity(2);
+        let c0 = j.head();
+        for i in 0..5 {
+            j.record(MutationKind::Insert, t(i));
+        }
+        assert_eq!(j.len(), 2);
+        assert!(j.changes_since(c0).is_none(), "evicted history");
+        assert_eq!(j.changes_since(j.tail()).unwrap().inserted.len(), 2);
+    }
+
+    #[test]
+    fn delete_then_reinsert_of_same_id_nets_out() {
+        // An undo-style cycle seen in one drain: delete then restore the
+        // same id, interleaved with an unrelated insert.
+        let mut j = MutationJournal::default();
+        let c0 = j.head();
+        j.record(MutationKind::Delete, t(4));
+        j.record(MutationKind::Insert, t(9));
+        j.record(MutationKind::Restore, t(4));
+        let b = j.changes_since(c0).unwrap();
+        assert_eq!(b.inserted, vec![t(9)]);
+        assert!(b.deleted.is_empty());
+    }
+}

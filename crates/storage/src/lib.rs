@@ -26,6 +26,7 @@ pub mod error;
 pub mod hash;
 pub mod instance;
 pub mod intern;
+pub mod journal;
 pub mod relation;
 pub mod schema;
 pub mod state;
@@ -38,6 +39,7 @@ pub use error::StorageError;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use instance::Instance;
 pub use intern::Sym;
+pub use journal::{DeltaBatch, JournalEntry, MutationJournal, MutationKind};
 pub use relation::{IndexId, Relation};
 pub use schema::{Attr, AttrType, RelId, RelationSchema, Schema};
 pub use state::State;

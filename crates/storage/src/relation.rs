@@ -276,6 +276,57 @@ impl Relation {
         Some(self.probe(id, std::slice::from_ref(v)))
     }
 
+    /// Fraction of ever-inserted rows that are tombstones (`0.0` when no
+    /// row was ever inserted).
+    pub fn dead_ratio(&self) -> f64 {
+        if self.tuples.is_empty() {
+            return 0.0;
+        }
+        (self.tuples.len() - self.live_count) as f64 / self.tuples.len() as f64
+    }
+
+    /// Rebuild the dedup map and every composite index from the live rows.
+    ///
+    /// Incremental removal keeps postings and dedup entries *correct* under
+    /// tombstones, but the hash tables themselves only ever grow: capacity
+    /// sized for the high-water mark, posting vectors holding freed slack.
+    /// Long-lived sessions that mutate continuously call this once the
+    /// [`Relation::dead_ratio`] crosses a threshold. Row ids, index ids and
+    /// every probe result are unchanged — only the memory layout is rebuilt
+    /// — so the operation is invisible to readers, evaluation states and
+    /// incremental consumers.
+    pub fn compact(&mut self) {
+        let mut dedup = FxHashMap::with_capacity_and_hasher(self.live_count, Default::default());
+        for idx in &mut self.indexes {
+            idx.map = FxHashMap::default();
+        }
+        for row in self.live.iter_ones() {
+            let t = &self.tuples[row];
+            dedup.insert(t.clone(), row as u32);
+            for idx in &mut self.indexes {
+                idx.add(row as u32, t);
+            }
+        }
+        self.dedup = dedup;
+    }
+
+    /// The column sets of the built composite indexes, in index-id order.
+    pub fn index_specs(&self) -> impl Iterator<Item = &[usize]> {
+        self.indexes.iter().map(|i| &*i.cols)
+    }
+
+    /// Are the dedup map and every composite index bit-identical to a
+    /// from-scratch rebuild over the live rows — same keys, same postings,
+    /// same order? Test and debugging support, `O(rows × indexes)`.
+    pub fn indexes_consistent(&self) -> bool {
+        let mut rebuilt = self.clone();
+        rebuilt.compact();
+        // `FxHashMap` equality compares contents, not capacity, so this is
+        // exactly "every key and every posting list matches the live truth"
+        // — including the absence of stale keys.
+        rebuilt == *self
+    }
+
     /// Iterate all rows `(row, tuple)` ever inserted, dead ones included.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &Tuple)> {
         self.tuples.iter().enumerate().map(|(i, t)| (i as u32, t))

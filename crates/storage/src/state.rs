@@ -69,6 +69,13 @@ impl State {
         !self.delta[tid.rel.idx()].set(tid.row_idx())
     }
 
+    /// Remove `tid` from `Δ` (the over-delete phase of incremental
+    /// maintenance retracts derivations whose support is gone). Returns
+    /// whether the tuple was a member.
+    pub fn unmark_delta(&mut self, tid: TupleId) -> bool {
+        self.delta[tid.rel.idx()].clear(tid.row_idx())
+    }
+
     /// Apply `R_i := R_i \ Δ_i` for every relation (the final update of end
     /// semantics).
     pub fn apply_deltas(&mut self) {

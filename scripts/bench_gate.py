@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Bench regression gate.
+
+Compares a freshly measured `repro bench-json` record against a committed
+baseline (`BENCH_pr2.json` by default) and fails when any serial entry
+present in both regressed by more than the tolerance factor. Quick-mode CI
+measurements are noisy, hence the generous default of 2.0x; the gate exists
+to catch order-of-magnitude accidents (a probe plan falling back to scans,
+an index rebuilt per round), not single-digit-percent drift.
+
+Usage:
+    bench_gate.py CURRENT.json [BASELINE.json] [--tolerance 2.0]
+
+Also prints the incremental_rerepair speedup (full / incremental) per
+workload when the current record carries that group, and fails if any
+speedup drops below --min-speedup (default: informational only, 0).
+"""
+
+import argparse
+import json
+import sys
+
+
+def serial_entries(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {r["bench"]: r["mean_ns"] for r in doc["runs"]["serial"]}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("baseline", nargs="?", default="BENCH_pr2.json")
+    ap.add_argument("--tolerance", type=float, default=2.0)
+    ap.add_argument("--min-speedup", type=float, default=0.0)
+    args = ap.parse_args()
+
+    current = serial_entries(args.current)
+    baseline = serial_entries(args.baseline)
+
+    failures = []
+    compared = 0
+    for bench, base_ns in sorted(baseline.items()):
+        cur_ns = current.get(bench)
+        if cur_ns is None:
+            continue
+        compared += 1
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        flag = " <-- REGRESSION" if ratio > args.tolerance else ""
+        print(f"  {bench:<55} {base_ns:>14.1f} -> {cur_ns:>14.1f} ns ({ratio:>5.2f}x){flag}")
+        if ratio > args.tolerance:
+            failures.append((bench, ratio))
+    if compared == 0:
+        print("bench_gate: no overlapping serial entries — wrong files?", file=sys.stderr)
+        return 2
+
+    # Incremental re-repair speedups, when measured.
+    pairs = {}
+    for bench, ns in current.items():
+        parts = bench.split("/")
+        if len(parts) == 3 and parts[0] == "incremental_rerepair":
+            pairs.setdefault(parts[2], {})[parts[1]] = ns
+    for name, modes in sorted(pairs.items()):
+        if "full" in modes and "incremental" in modes:
+            speedup = modes["full"] / modes["incremental"]
+            print(f"  incremental_rerepair/{name:<33} speedup {speedup:>5.2f}x "
+                  f"(full {modes['full']:.0f} ns / incremental {modes['incremental']:.0f} ns)")
+            if args.min_speedup and speedup < args.min_speedup:
+                failures.append((f"incremental_rerepair/{name}", speedup))
+
+    if failures:
+        print(f"bench_gate: {len(failures)} failure(s): {failures}", file=sys.stderr)
+        return 1
+    print(f"bench_gate: OK — {compared} serial entries within {args.tolerance}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,6 +65,28 @@
 //! # Ok::<(), delta_repairs::RepairError>(())
 //! ```
 //!
+//! Long-lived sessions serve the mutate-then-re-repair loop
+//! **incrementally**: mutations land in a storage-level journal, and the
+//! next end-semantics repair advances a cached fixpoint checkpoint over
+//! only the affected cone — bit-identical to a full recompute, an order
+//! of magnitude faster for small deltas:
+//!
+//! ```
+//! use delta_repairs::{RepairSession, Semantics, Value, testkit};
+//!
+//! let mut session =
+//!     RepairSession::new(testkit::figure1_instance(), testkit::figure2_program())?;
+//! let first = session.run(Semantics::End);            // full run, primes the checkpoint
+//!
+//! session.insert_batch("Grant", [[Value::Int(9), Value::str("ERC")]])?;
+//! let second = session.run(Semantics::End);           // replays only the new cone
+//! assert!(second.served_incrementally());
+//! assert_eq!(second.size(), first.size() + 1);
+//! second.apply(&mut session)?;                        // commit the re-repair
+//! assert!(session.is_stable());
+//! # Ok::<(), delta_repairs::RepairError>(())
+//! ```
+//!
 //! The pre-0.2 [`Repairer`] is deprecated; it now shims onto the session's
 //! dispatch and will be removed once downstream callers migrate (see
 //! `repair_core::repairer` for the migration table).

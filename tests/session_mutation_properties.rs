@@ -1,0 +1,177 @@
+//! Mutation-machinery properties of the long-lived `RepairSession`.
+//!
+//! Arbitrary interleavings of `insert_batch` / `delete_batch` / `apply` /
+//! `undo` / `compact` must leave every composite index (and dedup map)
+//! **bit-identical to a from-scratch rebuild** over the live rows — the
+//! invariant `Instance::indexes_consistent` checks — and must keep the
+//! incrementally served end repair bit-identical to a fresh session's full
+//! recompute, whatever the churn history.
+
+use delta_repairs::{
+    parse_program, Instance, Program, RepairRequest, RepairSession, Semantics, TupleId, Value,
+};
+use proptest::prelude::*;
+
+const RULE_POOL: [&str; 6] = [
+    "delta R(x) :- R(x), x = 0.",
+    "delta R(x) :- R(x), S(x, y), T(y).",
+    "delta S(x, y) :- S(x, y), delta R(x).",
+    "delta S(x, y) :- S(x, y), T(y), x != y.",
+    "delta T(y) :- T(y), S(x, y), delta R(x).",
+    "delta T(y) :- T(y), delta S(x, y).",
+];
+
+fn build_db(r: &[i64], s: &[(i64, i64)], t: &[i64]) -> Instance {
+    let mut schema = delta_repairs::Schema::new();
+    schema.relation("R", &[("x", delta_repairs::AttrType::Int)]);
+    schema.relation(
+        "S",
+        &[
+            ("x", delta_repairs::AttrType::Int),
+            ("y", delta_repairs::AttrType::Int),
+        ],
+    );
+    schema.relation("T", &[("y", delta_repairs::AttrType::Int)]);
+    let mut db = Instance::new(schema);
+    for &v in r {
+        db.insert_values("R", [Value::Int(v)]).unwrap();
+    }
+    for &(a, b) in s {
+        db.insert_values("S", [Value::Int(a), Value::Int(b)])
+            .unwrap();
+    }
+    for &v in t {
+        db.insert_values("T", [Value::Int(v)]).unwrap();
+    }
+    db
+}
+
+fn build_program(mask: u8) -> Program {
+    let src: String = RULE_POOL
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| mask & (1 << i) != 0)
+        .map(|(_, r)| format!("{r}\n"))
+        .collect();
+    parse_program(&src).expect("pool rules are well-formed")
+}
+
+prop_compose! {
+    fn arb_db()(
+        r in prop::collection::btree_set(0i64..6, 0..5),
+        s in prop::collection::btree_set((0i64..6, 0i64..6), 0..8),
+        t in prop::collection::btree_set(0i64..6, 0..5),
+    ) -> Instance {
+        build_db(
+            &r.into_iter().collect::<Vec<_>>(),
+            &s.into_iter().collect::<Vec<_>>(),
+            &t.into_iter().collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// One step of the interleaving, decoded from `(op, a, b)`.
+fn apply_op(session: &mut RepairSession, op: u8, a: usize, b: usize) {
+    match op % 5 {
+        0 => {
+            // Insert 1–3 rows; values overlap the 0..6 range half the time
+            // so new rows join (and re-create previously deleted values).
+            let rels = ["R", "S", "T"];
+            let rel = rels[a % 3];
+            let val = |k: usize| Value::Int(((a + k * b) % 12) as i64);
+            for k in 0..1 + b % 3 {
+                let row: Vec<Value> = match rel {
+                    "S" => vec![val(k), val(k + 1)],
+                    _ => vec![val(k)],
+                };
+                session.insert_batch(rel, [row]).expect("typed rows");
+            }
+        }
+        1 => {
+            let live: Vec<TupleId> = session.db().all_tuple_ids().collect();
+            if !live.is_empty() {
+                let ids: Vec<TupleId> =
+                    (0..1 + b % 3).map(|k| live[(a + k) % live.len()]).collect();
+                session.delete_batch(&ids).expect("live ids");
+            }
+        }
+        2 => {
+            let sem = Semantics::ALL[b % 4];
+            let outcome = session.run(sem);
+            outcome.apply(session).expect("fresh outcome");
+        }
+        3 => {
+            // Undo whatever is on the stack, if anything.
+            let _ = session.undo();
+        }
+        _ => {
+            session.compact(b as f64 / 10.0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After every step of an arbitrary interleaving, the composite
+    /// indexes and dedup maps equal a from-scratch rebuild, and at the end
+    /// the incrementally maintained end repair equals a fresh session's
+    /// full recompute.
+    #[test]
+    fn interleavings_keep_indexes_and_checkpoint_exact(
+        db in arb_db(),
+        mask in 1u8..(1 << RULE_POOL.len()),
+        ops in prop::collection::vec((0u8..5, 0usize..64, 0usize..64), 0..24),
+    ) {
+        let mut session = RepairSession::new(db, build_program(mask)).expect("valid");
+        session.run(Semantics::End); // prime the checkpoint
+        for &(op, a, b) in &ops {
+            apply_op(&mut session, op, a, b);
+            prop_assert!(
+                session.db().indexes_consistent(),
+                "op {op} (a={a}, b={b}) desynced an index from the live rows"
+            );
+        }
+        let inc = session.run(Semantics::End);
+        let fresh = RepairSession::new(session.db().clone(), session.program().clone())
+            .expect("valid")
+            .repair(&RepairRequest::new(Semantics::End).incremental(false))
+            .expect("valid request");
+        prop_assert_eq!(
+            inc.deleted(),
+            fresh.deleted(),
+            "churn history leaked into the incremental end answer"
+        );
+        // The other semantics read the same mutated storage through full
+        // paths; they must agree with the fresh session too.
+        for sem in [Semantics::Independent, Semantics::Step, Semantics::Stage] {
+            let a = session.run(sem);
+            let b = RepairSession::new(session.db().clone(), session.program().clone())
+                .expect("valid")
+                .run(sem);
+            prop_assert_eq!(a.deleted(), b.deleted(), "{} diverged", sem);
+        }
+    }
+
+    /// Compaction alone is a no-op on the observable instance: equality,
+    /// index consistency, and every probe result.
+    #[test]
+    fn compact_is_invisible(
+        db in arb_db(),
+        mask in 1u8..(1 << RULE_POOL.len()),
+        kill in prop::collection::btree_set(0usize..16, 0..8),
+    ) {
+        let mut session = RepairSession::new(db, build_program(mask)).expect("valid");
+        let live: Vec<TupleId> = session.db().all_tuple_ids().collect();
+        let ids: Vec<TupleId> = kill.iter().filter_map(|&i| live.get(i).copied()).collect();
+        session.delete_batch(&ids).expect("live ids");
+        let before = session.db().clone();
+        let end_before = session.run(Semantics::End);
+        session.compact(0.0);
+        prop_assert_eq!(session.db(), &before, "compaction changed the instance value");
+        prop_assert!(session.db().indexes_consistent());
+        let end_after = session.run(Semantics::End);
+        prop_assert_eq!(end_before.deleted(), end_after.deleted());
+        prop_assert!(end_after.served_incrementally(), "compaction evicted the checkpoint");
+    }
+}
