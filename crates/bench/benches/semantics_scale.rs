@@ -1,0 +1,63 @@
+//! `semantics_scale` — scaled-up workloads at 1/2/4/8 worker threads.
+//!
+//! The fig7/fig9b benches track the paper's sizes; this group runs the
+//! heaviest tracked workloads at 10× those scales plus the zipf universe
+//! (built so one wide rule dominates — the regime where per-rule fan-out is
+//! useless and intra-rule morsel parallelism has to deliver), overriding
+//! the worker count per measurement via `RepairRequest::threads`. Build
+//! with `--features parallel` to measure real fan-out; on a serial build
+//! every thread count measures the serial path. Scales override via
+//! `REPRO_SCALE_MAS` / `REPRO_SCALE_TPCH` / `REPRO_SCALE_ZIPF` (the 50×
+//! protocol of EXPERIMENTS.md raises `REPRO_SCALE_ZIPF` to 50.0).
+//!
+//! Delete-set sizes are asserted identical across thread counts on every
+//! measurement — the in-bench parity check backing the differential suites.
+
+use bench::{scale_picks, SCALE_THREADS};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repair_core::{RepairRequest, Semantics};
+use std::time::Duration;
+
+fn semantics_scale(c: &mut Criterion) {
+    let quick = std::env::var("BENCH_JSON_QUICK").is_ok_and(|v| v == "1");
+    let picks = scale_picks(quick);
+    let mut g = c.benchmark_group("semantics_scale");
+    g.sample_size(5)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1000));
+    for (name, session) in &picks {
+        for sem in [Semantics::End, Semantics::Independent] {
+            let mut sizes: Vec<usize> = Vec::new();
+            for t in SCALE_THREADS {
+                let request = RepairRequest::new(sem).incremental(false).threads(t);
+                // Sentinel distinguishes "measured" from "skipped by a CLI
+                // filter" (the harness never calls the closure then).
+                let mut size = usize::MAX;
+                g.bench_function(
+                    BenchmarkId::new(format!("{name}/{}", sem.name()), format!("t{t}")),
+                    |b| {
+                        b.iter(|| {
+                            size = session.repair(&request).expect("valid request").size();
+                            size
+                        })
+                    },
+                );
+                if size != usize::MAX {
+                    sizes.push(size);
+                }
+            }
+            // The shim runs benches unconditionally unless filtered; when a
+            // CLI filter skipped some thread counts the vector holds only
+            // the measured ones — parity still must hold among those.
+            assert!(
+                sizes.windows(2).all(|w| w[0] == w[1]),
+                "thread-count parity violated for {name}/{}: {sizes:?}",
+                sem.name()
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, semantics_scale);
+criterion_main!(benches);

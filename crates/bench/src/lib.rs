@@ -11,8 +11,8 @@
 //! * `REPRO_ROWS` / `REPRO_ERRORS` — the HoloClean-comparison table size
 //!   and error count (defaults 5000 / 700, the paper's settings).
 
-use datagen::{mas, tpch, MasConfig, MasData, TpchConfig, TpchData};
-use repair_core::{RepairResult, RepairSession, Semantics};
+use datagen::{mas, scale, tpch, MasConfig, MasData, ScaleConfig, ScaleData, TpchConfig, TpchData};
+use repair_core::{RepairRequest, RepairResult, RepairSession, Semantics};
 use storage::Instance;
 use workloads::Workload;
 
@@ -86,6 +86,23 @@ impl TpchLab {
     }
 }
 
+/// The zipf scaling dataset (`datagen::scale`) with its two workloads.
+pub struct ZipfLab {
+    /// Generated data.
+    pub data: ScaleData,
+    /// `zipf-cascade` and `zipf-join`.
+    pub workloads: Vec<Workload>,
+}
+
+impl ZipfLab {
+    /// Generate at the given scale (1.0 ≈ 122K tuples).
+    pub fn at_scale(scale_factor: f64) -> ZipfLab {
+        let data = scale::generate(&ScaleConfig::scaled(scale_factor));
+        let workloads = workloads::zipf_programs(&data);
+        ZipfLab { data, workloads }
+    }
+}
+
 /// Build a repair session for one workload over (a clone of) `db`.
 ///
 /// The clone is needed because the session takes ownership and builds its
@@ -146,6 +163,11 @@ pub struct BenchRecord {
     pub mean_ns: f64,
     /// Iterations measured.
     pub iterations: u64,
+    /// Delete-set size of the measured repair, when the group records it.
+    /// The `semantics_scale` group carries it so `scripts/bench_gate.py`
+    /// can assert thread-count parity (every `t*` variant of a workload
+    /// must report the same size).
+    pub size: Option<usize>,
 }
 
 /// The criterion shim's measurement loop, re-exported so `BENCH_*.json`
@@ -187,6 +209,7 @@ pub fn bench_json_records(quick: bool) -> Vec<BenchRecord> {
                     bench: format!("{group}/{}/{name}", sem.name()),
                     mean_ns,
                     iterations,
+                    size: None,
                 });
             }
         }
@@ -206,7 +229,95 @@ pub fn bench_json_records(quick: bool) -> Vec<BenchRecord> {
         &["tpch-2", "tpch-4", "tpch-5"],
     );
     incremental_rerepair_records(quick, &mut records);
+    semantics_scale_records(quick, &mut records);
     records
+}
+
+/// The thread counts the `semantics_scale` group measures at.
+pub const SCALE_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The scaled-up workload set of the `semantics_scale` group: the heaviest
+/// tracked MAS and TPC-H workloads at 10× the fig7/fig9b measurement
+/// scales, plus the two zipf-universe programs built for intra-rule
+/// parallelism. Scales override via `REPRO_SCALE_MAS` / `REPRO_SCALE_TPCH`
+/// / `REPRO_SCALE_ZIPF` (e.g. 1.0 / 0.5 / 50.0 for the 50× protocol of
+/// EXPERIMENTS.md); quick mode shrinks everything to CI-smoke size.
+pub fn scale_picks(quick: bool) -> Vec<(String, RepairSession)> {
+    let (mas_s, tpch_s, zipf_s) = if quick {
+        (0.05, 0.02, 0.25)
+    } else {
+        (
+            env_f64("REPRO_SCALE_MAS", 0.2),
+            env_f64("REPRO_SCALE_TPCH", 0.1),
+            env_f64("REPRO_SCALE_ZIPF", 1.0),
+        )
+    };
+    let mut picks: Vec<(String, RepairSession)> = Vec::new();
+    let mas = MasLab::at_scale(mas_s);
+    let tpch = TpchLab::at_scale(tpch_s);
+    let zipf = ZipfLab::at_scale(zipf_s);
+    for (db, workloads, names) in [
+        (&mas.data.db, &mas.workloads, &["mas-08"][..]),
+        (&tpch.data.db, &tpch.workloads, &["tpch-2"][..]),
+        (
+            &zipf.data.db,
+            &zipf.workloads,
+            &["zipf-cascade", "zipf-join"][..],
+        ),
+    ] {
+        for name in names {
+            let w = workloads
+                .iter()
+                .find(|w| w.name == *name)
+                .expect("workload present");
+            picks.push((w.name.clone(), session_for(db, w)));
+        }
+    }
+    picks
+}
+
+/// The `semantics_scale` group: end and independent semantics over the
+/// scaled-up workloads, measured at 1/2/4/8 worker threads inside one
+/// process via [`RepairRequest::threads`]. Each record carries the
+/// delete-set size so the bench gate can assert bit-level parity across
+/// thread counts (the sizes must match; the full differential suites prove
+/// the stronger bit-for-bit property). On a serial (non-`parallel`) build
+/// the thread knob is inert and every `t*` variant measures the serial
+/// path — still a valid parity record, never a speedup one.
+fn semantics_scale_records(quick: bool, records: &mut Vec<BenchRecord>) {
+    use std::time::Duration;
+    let (warm, meas, iters) = if quick {
+        (Duration::from_millis(20), Duration::from_millis(80), 2)
+    } else {
+        (Duration::from_millis(300), Duration::from_millis(1000), 5)
+    };
+    for (name, session) in scale_picks(quick) {
+        for sem in [Semantics::End, Semantics::Independent] {
+            let mut sizes: Vec<usize> = Vec::new();
+            for t in SCALE_THREADS {
+                // Force the full computation (not the incremental
+                // checkpoint) so every thread count measures the same
+                // evaluation work.
+                let request = RepairRequest::new(sem).incremental(false).threads(t);
+                let mut size = 0usize;
+                let (mean_ns, iterations) = measure_mean_ns(warm, meas, iters, || {
+                    size = std::hint::black_box(session.repair(&request).expect("valid").size());
+                });
+                sizes.push(size);
+                records.push(BenchRecord {
+                    bench: format!("semantics_scale/{name}/{}/t{t}", sem.name()),
+                    mean_ns,
+                    iterations,
+                    size: Some(size),
+                });
+            }
+            assert!(
+                sizes.windows(2).all(|w| w[0] == w[1]),
+                "thread-count parity violated for semantics_scale/{name}/{}: {sizes:?}",
+                sem.name()
+            );
+        }
+    }
 }
 
 /// The mutate → re-repair loop a long-lived session serves: delete a ≤1%
@@ -259,6 +370,7 @@ fn incremental_rerepair_records(quick: bool, records: &mut Vec<BenchRecord>) {
                 bench: format!("incremental_rerepair/{mode}/{name}"),
                 mean_ns,
                 iterations,
+                size: None,
             });
         }
     }
@@ -298,14 +410,18 @@ pub fn render_bench_json(mode: &str, records: &[BenchRecord]) -> String {
     let _ = writeln!(out, "  \"date\": \"{y:04}-{m:02}-{d:02}\",");
     let _ = writeln!(out, "  \"hardware\": \"{hardware}\",");
     out.push_str(
-        "  \"benches\": [\n   \"semantics_mas (fig7, scale 0.02)\",\n   \"semantics_tpch (fig9, scale 0.01)\"\n  ],\n");
+        "  \"benches\": [\n   \"semantics_mas (fig7, scale 0.02)\",\n   \"semantics_tpch (fig9, scale 0.01)\",\n   \"semantics_scale (threads 1/2/4/8, 10x scales)\"\n  ],\n");
     out.push_str("  \"unit\": \"mean_ns per session.run()\"\n },\n \"runs\": {\n");
     let _ = writeln!(out, "  \"{mode}\": [");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 == records.len() { "" } else { "," };
+        let size = r
+            .size
+            .map(|s| format!("\n    \"size\": {s},"))
+            .unwrap_or_default();
         let _ = writeln!(
             out,
-            "   {{\n    \"bench\": \"{}\",\n    \"mean_ns\": {:.1},\n    \"iterations\": {}\n   }}{comma}",
+            "   {{\n    \"bench\": \"{}\",{size}\n    \"mean_ns\": {:.1},\n    \"iterations\": {}\n   }}{comma}",
             r.bench, r.mean_ns, r.iterations
         );
     }
@@ -390,11 +506,13 @@ mod tests {
                 bench: "fig7_mas_semantics/end/mas-02".into(),
                 mean_ns: 1234.5,
                 iterations: 100,
+                size: None,
             },
             BenchRecord {
-                bench: "fig9b_tpch_semantics/step/tpch-5".into(),
+                bench: "semantics_scale/zipf-join/end/t4".into(),
                 mean_ns: 9.0,
                 iterations: 3,
+                size: Some(77),
             },
         ];
         let out = render_bench_json("serial", &records);
@@ -404,7 +522,13 @@ mod tests {
         assert!(out.contains("\"bench\": \"fig7_mas_semantics/end/mas-02\""));
         assert!(out.contains("\"mean_ns\": 1234.5"));
         assert!(out.contains("\"iterations\": 3"));
+        assert!(out.contains("\"size\": 77"));
         assert_eq!(out.matches("\"bench\"").count(), 2);
+        assert_eq!(
+            out.matches("\"size\"").count(),
+            1,
+            "size only when recorded"
+        );
     }
 
     #[test]

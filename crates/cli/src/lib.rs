@@ -22,7 +22,7 @@
 //! The module is a library so the parsing/reporting logic is unit-testable;
 //! `main.rs` is a thin shell.
 
-use repair_core::{RepairError, RepairOutcome, RepairSession, Semantics};
+use repair_core::{RepairError, RepairOutcome, RepairRequest, RepairSession, Semantics};
 use std::fmt::Write as _;
 use storage::tsv;
 use triggers::FiringOrder;
@@ -111,6 +111,10 @@ pub struct Options {
     pub why: Option<String>,
     /// Emit the Figure-5 provenance graph as Graphviz DOT.
     pub dot: bool,
+    /// Worker-thread override for every repair computation (`None` = the
+    /// `DELTA_REPAIRS_THREADS` / logical-CPU process default). Validated at
+    /// parse time: `--threads 0` is a usage error (exit 2).
+    pub threads: Option<usize>,
 }
 
 /// Usage string printed on `--help` and argument errors.
@@ -129,6 +133,10 @@ OPTIONS:
     --triggers ORDER   also run SQL-trigger simulation: alphabetical | creation
     --why TUPLE        print the derivation tree for a tuple, e.g. --why 'Pub(6, x)'
     --dot              print the provenance graph in Graphviz DOT format
+    --threads N        worker threads per repair (N ≥ 1; overrides
+                       DELTA_REPAIRS_THREADS; default: that variable, else
+                       all logical CPUs; needs a `parallel`-feature build to
+                       actually fan out — results are identical either way)
     --help             this text
 
 EXIT CODES:
@@ -153,6 +161,7 @@ where
     let mut triggers = None;
     let mut why = None;
     let mut dot = false;
+    let mut threads = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         let arg = arg.as_ref();
@@ -181,6 +190,18 @@ where
             "--explain" => explain = true,
             "--why" => why = Some(value_for("--why")?),
             "--dot" => dot = true,
+            "--threads" => {
+                let raw = value_for("--threads")?;
+                let n: usize = raw.parse().map_err(|_| {
+                    CliError::Usage(format!("--threads needs a positive integer, got `{raw}`"))
+                })?;
+                if n == 0 {
+                    return Err(CliError::Usage(
+                        "--threads must be ≥ 1 (omit it to use the process default)".into(),
+                    ));
+                }
+                threads = Some(n);
+            }
             "--triggers" => {
                 triggers = Some(match value_for("--triggers")?.as_str() {
                     "alphabetical" | "postgres" | "postgresql" => FiringOrder::Alphabetical,
@@ -207,6 +228,7 @@ where
         triggers,
         why,
         dot,
+        threads,
     })
 }
 
@@ -258,7 +280,11 @@ pub fn run(opts: &Options, db_text: &str, program_text: &str) -> Result<RunOutpu
     };
     let mut results = Vec::with_capacity(wanted.len());
     for sem in &wanted {
-        let r = session.run(*sem);
+        let mut request = RepairRequest::new(*sem);
+        if let Some(n) = opts.threads {
+            request = request.threads(n);
+        }
+        let r = session.repair(&request).map_err(CliError::Repair)?;
         let _ = writeln!(
             report,
             "{:<12} |S| = {:<6} eval {:>9.2?}  process {:>9.2?}  solve {:>9.2?}{}",
@@ -380,6 +406,7 @@ delta AuthGrant(a, g) :- AuthGrant(a, g), delta Grant(g, n).
             triggers: None,
             why: None,
             dot: false,
+            threads: None,
         }
     }
 
@@ -403,6 +430,29 @@ delta AuthGrant(a, g) :- AuthGrant(a, g), delta Grant(g, n).
         assert!(opts.explain);
         assert_eq!(opts.apply.as_deref(), Some("out.tsv"));
         assert_eq!(opts.triggers, Some(FiringOrder::CreationOrder));
+    }
+
+    #[test]
+    fn threads_flag_parses_and_validates() {
+        let opts = parse_args(["--db", "d", "--program", "p", "--threads", "4"]).unwrap();
+        assert_eq!(opts.threads, Some(4));
+        // `--threads 0` and garbage are usage errors: exit code 2.
+        let zero = parse_args(["--db", "d", "--program", "p", "--threads", "0"]).unwrap_err();
+        assert!(matches!(zero, CliError::Usage(_)));
+        assert_eq!(zero.exit_code(), 2);
+        let junk = parse_args(["--db", "d", "--program", "p", "--threads", "many"]).unwrap_err();
+        assert_eq!(junk.exit_code(), 2);
+        let missing = parse_args(["--db", "d", "--program", "p", "--threads"]).unwrap_err();
+        assert_eq!(missing.exit_code(), 2);
+        // An explicit thread count flows through the whole run and changes
+        // nothing about the results.
+        let mut opts = base_opts();
+        opts.threads = Some(2);
+        let out = run(&opts, DB, RULES).unwrap();
+        assert_eq!(out.results.len(), 4);
+        for r in &out.results {
+            assert_eq!(r.size(), 3, "{}", r.semantics());
+        }
     }
 
     #[test]

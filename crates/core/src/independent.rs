@@ -57,14 +57,35 @@ pub fn run_with_deadline(
     deadline: Option<std::time::Instant>,
 ) -> IndependentOutcome {
     // Phase 1: Eval — provenance of all possible delta tuples, folded into
-    // clauses as they stream out of the evaluator (no assignment vector).
+    // clauses as they stream out of the evaluator. With a parallel build
+    // and more than one worker allowed, the hypothetical enumeration runs
+    // morsel-parallel and completed morsels stream into the builder in
+    // deterministic task order (no whole-stream materialization); the
+    // serial path streams straight into the builder as before.
     let t0 = Instant::now();
     let state0 = db.initial_state();
     let mut builder = ProvFormulaBuilder::new();
-    ev.for_each_assignment(db, &state0, Mode::Hypothetical, &mut |a| {
-        builder.add(a);
-        true
-    });
+    #[cfg(feature = "parallel")]
+    let streamed_serially = opts.threads <= 1;
+    #[cfg(not(feature = "parallel"))]
+    let streamed_serially = true;
+    if streamed_serially {
+        ev.for_each_assignment(db, &state0, Mode::Hypothetical, &mut |a| {
+            builder.add(a);
+            true
+        });
+    }
+    #[cfg(feature = "parallel")]
+    if !streamed_serially {
+        ev.par_for_each(
+            db,
+            &state0,
+            Mode::Hypothetical,
+            datalog::ParScope::All,
+            opts.threads,
+            &mut |a| builder.add(a),
+        );
+    }
     let eval = t0.elapsed();
 
     // Phase 2: Process Prov — negated formula as CNF over deletion vars.

@@ -73,7 +73,7 @@ impl Repairer {
 
     /// Run one semantics and return its result with phase timings.
     pub fn run(&self, db: &Instance, semantics: Semantics) -> RepairResult {
-        run_semantics(db, &self.ev, &self.minones, None, semantics, false).0
+        run_semantics(db, &self.ev, &self.minones, None, semantics, false, None).0
     }
 
     /// Run all four semantics in the paper's order

@@ -85,6 +85,7 @@ pub struct RepairRequest {
     decompose: bool,
     first_solution_only: bool,
     incremental: bool,
+    threads: Option<usize>,
 }
 
 impl RepairRequest {
@@ -100,6 +101,7 @@ impl RepairRequest {
             decompose: true,
             first_solution_only: false,
             incremental: true,
+            threads: None,
         }
     }
 
@@ -161,6 +163,23 @@ impl RepairRequest {
         self
     }
 
+    /// Worker threads for this request's evaluation rounds and Min-Ones
+    /// component solving (morsel-driven parallelism, `parallel` feature).
+    /// Overrides the process-wide `DELTA_REPAIRS_THREADS` default; `1`
+    /// forces serial execution. Results are bit-identical at every thread
+    /// count. Must be positive — `threads(0)` is rejected as
+    /// [`RepairError::InvalidRequest`]. In serial builds the knob is
+    /// accepted, validated and otherwise ignored.
+    pub fn threads(mut self, threads: usize) -> RepairRequest {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The requested worker-thread override, if any.
+    pub fn threads_value(&self) -> Option<usize> {
+        self.threads
+    }
+
     /// Is incremental serving allowed?
     pub fn incremental_value(&self) -> bool {
         self.incremental
@@ -182,7 +201,26 @@ impl RepairRequest {
                 "time_budget must be non-zero (omit it to search without a deadline)".into(),
             ));
         }
+        if self.threads == Some(0) {
+            return Err(RepairError::InvalidRequest(
+                "threads must be positive (omit it to use the process default)".into(),
+            ));
+        }
         Ok(())
+    }
+
+    /// The worker count this request resolves to: the explicit override, or
+    /// the process default in parallel builds, or 1 in serial builds (where
+    /// evaluation has no parallel path to hand work to).
+    fn effective_threads(&self) -> usize {
+        #[cfg(feature = "parallel")]
+        {
+            self.threads.unwrap_or_else(datalog::eval_threads)
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            1
+        }
     }
 
     fn minones(&self) -> MinOnesOptions {
@@ -190,6 +228,7 @@ impl RepairRequest {
             decompose: self.decompose,
             node_budget: self.node_budget,
             first_solution_only: self.first_solution_only,
+            threads: self.effective_threads(),
         }
     }
 }
@@ -661,13 +700,14 @@ impl RepairSession {
             deadline,
             request.semantics,
             request.capture_provenance,
+            request.threads,
         );
         // End and step semantics already materialized the end-run stream
         // inside the dispatch; only the other two pay for a dedicated
         // provenance evaluation.
         let provenance = provenance.or_else(|| {
             request.capture_provenance.then(|| {
-                let out = end::run(&self.db, &self.ev);
+                let out = end::run_threads(&self.db, &self.ev, request.threads);
                 RepairProvenance {
                     assignments: out.assignments,
                     layers: out.layers,
@@ -685,9 +725,10 @@ impl RepairSession {
 
     /// Serve an end-semantics request through the incremental checkpoint,
     /// (re)priming it with a full run when cold or out of sync.
-    fn serve_end(&self, _request: &RepairRequest) -> RepairOutcome {
+    fn serve_end(&self, request: &RepairRequest) -> RepairOutcome {
         let t0 = Instant::now();
-        let driver = FixpointDriver::new(&self.ev, DeltaPolicy::AtEnd { naive: false });
+        let driver = FixpointDriver::new(&self.ev, DeltaPolicy::AtEnd { naive: false })
+            .threads(request.threads);
         let mut guard = self
             .end_cache
             .lock()
@@ -820,6 +861,7 @@ impl RepairSession {
 /// Shared per-semantics dispatch: one code path serves [`RepairSession`]
 /// and the deprecated [`crate::Repairer`] shim, so old and new API are
 /// bit-identical by construction.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_semantics(
     db: &Instance,
     ev: &Evaluator,
@@ -827,11 +869,12 @@ pub(crate) fn run_semantics(
     deadline: Option<Instant>,
     semantics: Semantics,
     capture: bool,
+    threads: Option<usize>,
 ) -> (RepairResult, Optimality, Option<RepairProvenance>) {
     match semantics {
         Semantics::End => {
             let t0 = Instant::now();
-            let out = end::run(db, ev);
+            let out = end::run_threads(db, ev, threads);
             let certificate = if out.deleted.is_empty() {
                 OptimalityCertificate::AlreadyStable
             } else {
@@ -857,7 +900,7 @@ pub(crate) fn run_semantics(
         }
         Semantics::Stage => {
             let t0 = Instant::now();
-            let out = stage::run(db, ev);
+            let out = stage::run_threads(db, ev, threads);
             let certificate = if out.deleted.is_empty() {
                 OptimalityCertificate::AlreadyStable
             } else {
@@ -878,7 +921,7 @@ pub(crate) fn run_semantics(
             )
         }
         Semantics::Step => {
-            let out = step::run_greedy(db, ev);
+            let out = step::run_greedy_threads(db, ev, threads);
             let certificate = if out.deleted.is_empty() {
                 OptimalityCertificate::AlreadyStable
             } else if out.optimal {
@@ -1010,6 +1053,33 @@ mod tests {
             .repair(&RepairRequest::new(Semantics::Independent).time_budget(Duration::ZERO))
             .unwrap_err();
         assert!(matches!(err, RepairError::InvalidRequest(_)));
+        let err = s
+            .repair(&RepairRequest::new(Semantics::End).threads(0))
+            .unwrap_err();
+        assert!(matches!(err, RepairError::InvalidRequest(_)));
+    }
+
+    #[test]
+    fn explicit_thread_counts_change_no_bits() {
+        // The knob must be inert result-wise in every build: serial builds
+        // ignore it, parallel builds must merge morsels deterministically.
+        let s = session();
+        for sem in Semantics::ALL {
+            let reference = s
+                .repair(&RepairRequest::new(sem).incremental(false).threads(1))
+                .unwrap();
+            for threads in [2usize, 4, 8] {
+                let at = s
+                    .repair(&RepairRequest::new(sem).incremental(false).threads(threads))
+                    .unwrap();
+                assert_eq!(reference.deleted(), at.deleted(), "{sem} at {threads}");
+            }
+            assert_eq!(
+                RepairRequest::new(sem).threads(3).threads_value(),
+                Some(3),
+                "builder exposes the override"
+            );
+        }
     }
 
     #[test]

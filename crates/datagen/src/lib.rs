@@ -13,15 +13,20 @@
 //!   trimmed to the columns the Table 2 programs touch;
 //! * [`errors`] — the duplicated `Author(aid, name, oid, organization)`
 //!   table of the HoloClean comparison, plus seeded cell-error injection
-//!   with ground truth.
+//!   with ground truth;
+//! * [`scale`] — the zipf scaling universe (`Hub`/`Link`/`Mid`/`Leaf` with
+//!   Zipf-skewed foreign keys), built for the 10×–50× parallel-evaluation
+//!   benches where one wide rule dominates.
 //!
 //! Everything is reproducible from a `u64` seed.
 
 pub mod errors;
 pub mod mas;
+pub mod scale;
 pub mod tpch;
 pub mod zipf;
 
 pub use errors::{author_table, inject_errors, InjectedError};
 pub use mas::{MasConfig, MasData};
+pub use scale::{ScaleConfig, ScaleData};
 pub use tpch::{TpchConfig, TpchData};

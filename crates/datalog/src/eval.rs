@@ -609,24 +609,33 @@ impl Evaluator {
     }
 }
 
-/// Parallel per-rule enumeration (the `parallel` feature).
+/// Morsel-driven parallel enumeration (the `parallel` feature).
 ///
-/// Rules are independent during one evaluation round — they read the same
-/// immutable `(Instance, State)` view — so each rule's assignments can be
-/// enumerated on its own OS thread. Results are merged **by rule index**,
-/// and enumeration within one rule is single-threaded depth-first, so the
-/// merged stream is bit-for-bit identical to the serial
-/// `for_each_assignment` order: all semantics stay deterministic.
+/// One evaluation round reads an immutable `(Instance, State)` view, so its
+/// work can be split freely. Per-rule fan-out (the previous design) leaves a
+/// round's wall clock pinned to its heaviest rule; instead, every plan the
+/// round would execute is partitioned into **morsels** — fixed-size slices
+/// of the plan's *driver domain*, the candidate rows its first join step
+/// iterates. Workers pull `(plan, morsel)` tasks from a shared atomic
+/// cursor (work stealing in the morsel-driven-execution sense: no static
+/// assignment, fast workers drain the queue), each owning one pooled
+/// [`EvalScratch`] across all tasks it executes. Results are written into
+/// per-task slots and concatenated in `(rule, plan, morsel)` order — the
+/// exact serial enumeration order, since morsels preserve the ascending row
+/// order of the domain they slice — so the merged stream is bit-for-bit
+/// identical to the serial callbacks at every thread count.
 ///
 /// Implemented with `std::thread::scope` rather than rayon (the build
-/// environment is offline); the shape is the same work-stealing-free
-/// "one task per rule, atomic cursor" loop rayon's `par_iter` would give
-/// for a handful of coarse tasks.
+/// environment is offline); an atomic fetch-add over a precomputed task
+/// list is the same dispatch discipline a morsel-driven scheduler uses.
 #[cfg(feature = "parallel")]
 mod par {
-    use super::{Assignment, DeltaFrontier, EvalScratch, Evaluator, Mode};
+    use super::{
+        run_plan_rows, Assignment, CompiledRule, DeltaClass, DeltaFrontier, EvalScratch, Evaluator,
+        Focus, Mode, Plan, Slot, Value,
+    };
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
+    use std::sync::OnceLock;
     use storage::{Instance, State};
 
     /// Which enumeration a parallel round performs.
@@ -642,119 +651,425 @@ mod par {
         Seeded(&'f DeltaFrontier),
     }
 
-    /// Worker threads the parallel paths use: `DELTA_REPAIRS_THREADS` when
-    /// set to a positive value, otherwise the machine's logical CPUs.
-    /// `DELTA_REPAIRS_THREADS=1` disables parallelism at runtime, which is
-    /// how benches compare serial vs parallel inside one binary.
+    /// Worker threads the parallel paths use by default:
+    /// `DELTA_REPAIRS_THREADS` when set to a positive value, otherwise the
+    /// machine's logical CPUs. `DELTA_REPAIRS_THREADS=1` disables
+    /// parallelism at runtime, which is how benches compare serial vs
+    /// parallel inside one binary. The environment variable and the
+    /// `available_parallelism` syscall are read **once** per process and
+    /// cached; per-request overrides go through
+    /// `FixpointDriver::threads` / `RepairRequest::threads`, not the
+    /// environment.
     pub fn eval_threads() -> usize {
-        match std::env::var("DELTA_REPAIRS_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-        {
-            Some(n) if n > 0 => n,
-            _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        static CACHED: OnceLock<usize> = OnceLock::new();
+        *CACHED.get_or_init(|| {
+            match std::env::var("DELTA_REPAIRS_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+            {
+                Some(n) if n > 0 => n,
+                _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            }
+        })
+    }
+
+    /// Rows per morsel. Small enough that a skewed domain still splits into
+    /// many tasks, large enough that the per-task overhead (one slot write,
+    /// one cursor fetch-add) is noise against the join work. Overridable
+    /// via `DELTA_REPAIRS_MORSEL` for experiments; read once per process.
+    /// The value never affects results — only how work is sliced.
+    pub fn morsel_rows() -> usize {
+        static CACHED: OnceLock<usize> = OnceLock::new();
+        *CACHED.get_or_init(|| {
+            match std::env::var("DELTA_REPAIRS_MORSEL")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+            {
+                Some(n) if n > 0 => n,
+                _ => 1024,
+            }
+        })
+    }
+
+    /// One plan execution of a round: the plan, its delta classes and
+    /// focus, plus the materialized driver domain its first step iterates.
+    struct PlanJob<'e, 'f> {
+        rule_idx: usize,
+        plan: &'e Plan,
+        classes: &'e [DeltaClass],
+        focus: Focus<'f>,
+        /// Candidate rows of step 0, in the serial iteration order. The
+        /// per-row admission/key checks still run inside the join; this is
+        /// the raw iteration source, sliced into morsels.
+        rows: Vec<u32>,
+        /// Does step 0 need the key-as-filter check (delta/seed paths)?
+        check_key: bool,
+    }
+
+    /// One unit of parallel work: a morsel of one plan's driver domain.
+    struct Task {
+        job: u32,
+        start: u32,
+        end: u32,
+    }
+
+    /// Materialize the candidate rows the first step of `plan` iterates —
+    /// the same sources, in the same order, as the serial `step` at `k=0`.
+    /// Admission and residual key checks are *not* applied here; `try_row`
+    /// performs them per visited row exactly as the serial path does.
+    fn step0_domain(
+        db: &Instance,
+        state: &State,
+        mode: Mode,
+        cr: &CompiledRule,
+        plan: &Plan,
+        classes: &[DeltaClass],
+        focus: Focus<'_>,
+    ) -> (Vec<u32>, bool) {
+        let ai = plan.order[0];
+        let atom = &cr.atoms[ai];
+        let class = classes[ai];
+        let spec = &plan.probes[0];
+        let rel = db.relation(atom.rel);
+        if let Focus::Seed(seed) = focus {
+            if class == DeltaClass::New {
+                // Seeded pivot: generate from the seed set directly.
+                return (seed.rows(atom.rel).map(|t| t.row).collect(), true);
+            }
         }
+        if atom.is_delta && mode != Mode::Hypothetical {
+            let rows = match (class, focus) {
+                (DeltaClass::New, Focus::Frontier(fr)) => {
+                    fr.rows(atom.rel).map(|t| t.row).collect()
+                }
+                _ => state.delta_rows(atom.rel).map(|t| t.row).collect(),
+            };
+            return (rows, true);
+        }
+        if spec.is_probe() {
+            // Step-0 probe keys are constants by construction (no variable
+            // is bound before the first step).
+            let key: Vec<Value> = spec
+                .key_slots
+                .iter()
+                .map(|s| match s {
+                    Slot::Const(v) => *v,
+                    Slot::Var(_) => unreachable!("step-0 probe keys are constant-only"),
+                })
+                .collect();
+            return (rel.probe(spec.index, &key).to_vec(), false);
+        }
+        if mode == Mode::Current && !atom.is_delta {
+            return (state.present_rows(atom.rel).map(|t| t.row).collect(), false);
+        }
+        (rel.live_rows().collect(), false)
     }
 
     impl Evaluator {
-        /// Enumerate under `scope` with one task per rule, merging the
-        /// per-rule result vectors in rule order. Each worker thread owns
-        /// one [`EvalScratch`], reused across the rules it picks up.
+        /// Collect the plan executions one round under `scope` performs, in
+        /// serial enumeration order, with their driver domains materialized.
+        fn plan_jobs<'e, 'f>(
+            &'e self,
+            db: &Instance,
+            state: &State,
+            mode: Mode,
+            scope: Scope<'f>,
+        ) -> Vec<PlanJob<'e, 'f>> {
+            let mut jobs: Vec<PlanJob<'e, 'f>> = Vec::new();
+            let push = |rule_idx: usize,
+                        plan: &'e Plan,
+                        classes: &'e [DeltaClass],
+                        focus: Focus<'f>,
+                        jobs: &mut Vec<PlanJob<'e, 'f>>| {
+                let cr = &self.compiled[rule_idx];
+                let (rows, check_key) = step0_domain(db, state, mode, cr, plan, classes, focus);
+                jobs.push(PlanJob {
+                    rule_idx,
+                    plan,
+                    classes,
+                    focus,
+                    rows,
+                    check_key,
+                });
+            };
+            for (idx, cr) in self.compiled.iter().enumerate() {
+                if cr.never_fires {
+                    continue;
+                }
+                match scope {
+                    Scope::All => {
+                        push(
+                            idx,
+                            &cr.general,
+                            &cr.general_classes,
+                            Focus::None,
+                            &mut jobs,
+                        );
+                    }
+                    Scope::BaseRules => {
+                        if cr.delta_positions.is_empty() {
+                            push(
+                                idx,
+                                &cr.general,
+                                &cr.general_classes,
+                                Focus::None,
+                                &mut jobs,
+                            );
+                        }
+                    }
+                    Scope::Frontier(fr) => {
+                        for fi in 0..cr.delta_positions.len() {
+                            push(
+                                idx,
+                                &cr.focused[fi],
+                                &cr.focused_classes[fi],
+                                Focus::Frontier(fr),
+                                &mut jobs,
+                            );
+                        }
+                    }
+                    Scope::Seeded(seed) => {
+                        for p in 0..cr.atoms.len() {
+                            if !seed.touches(cr.atoms[p].rel) {
+                                continue;
+                            }
+                            push(
+                                idx,
+                                &cr.seeded[p],
+                                &cr.seeded_classes[p],
+                                Focus::Seed(seed),
+                                &mut jobs,
+                            );
+                        }
+                    }
+                }
+            }
+            jobs
+        }
+
+        /// Enumerate under `scope` on up to `threads` workers, morsels
+        /// dispatched from a shared atomic cursor, feeding `f` in
+        /// `(rule, plan, morsel)` order — bit-for-bit the serial stream at
+        /// every thread count. Completed morsels flow through a reorder
+        /// buffer consumed by the calling thread as soon as the next
+        /// in-order task lands, so peak memory is proportional to the
+        /// out-of-order backlog, not the round's whole stream — callers
+        /// that fold (the fixpoint driver, Algorithm 1's clause builder)
+        /// never hold all assignments at once.
+        pub fn par_for_each(
+            &self,
+            db: &Instance,
+            state: &State,
+            mode: Mode,
+            scope: Scope<'_>,
+            threads: usize,
+            f: &mut dyn FnMut(&Assignment),
+        ) {
+            if threads <= 1 {
+                self.serial_for_each(db, state, mode, scope, f);
+                return;
+            }
+            let jobs = self.plan_jobs(db, state, mode, scope);
+            let morsel = morsel_rows();
+            let mut tasks: Vec<Task> = Vec::new();
+            for (j, job) in jobs.iter().enumerate() {
+                let mut start = 0usize;
+                while start < job.rows.len() {
+                    let end = (start + morsel).min(job.rows.len());
+                    tasks.push(Task {
+                        job: j as u32,
+                        start: start as u32,
+                        end: end as u32,
+                    });
+                    start = end;
+                }
+            }
+            if tasks.len() <= 1 {
+                // One morsel (or an empty round): the scheduler would only
+                // add overhead. Run it inline.
+                let mut scratch = EvalScratch::new();
+                for job in &jobs {
+                    self.run_job(db, state, mode, job, 0, job.rows.len(), &mut scratch, f);
+                }
+                return;
+            }
+            let workers = threads.min(tasks.len());
+            let cursor = AtomicUsize::new(0);
+            let (cursor, tasks, jobs) = (&cursor, &tasks, &jobs);
+            let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<Assignment>)>();
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    s.spawn(move || {
+                        let mut scratch = EvalScratch::new();
+                        loop {
+                            let t = cursor.fetch_add(1, Ordering::Relaxed);
+                            if t >= tasks.len() {
+                                break;
+                            }
+                            let task = &tasks[t];
+                            let job = &jobs[task.job as usize];
+                            let mut out = Vec::new();
+                            self.run_job(
+                                db,
+                                state,
+                                mode,
+                                job,
+                                task.start as usize,
+                                task.end as usize,
+                                &mut scratch,
+                                &mut |a| out.push(a.clone()),
+                            );
+                            // The receiver outlives the scope; a send only
+                            // fails if the consumer below panicked, and
+                            // then this worker has nothing left to do.
+                            if tx.send((t, out)).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(tx);
+                // Consume in task order: emit each completed morsel as soon
+                // as everything before it has been emitted, dropping its
+                // buffer immediately after.
+                let mut buffered: Vec<Option<Vec<Assignment>>> =
+                    (0..tasks.len()).map(|_| None).collect();
+                let mut next = 0usize;
+                for (t, out) in rx {
+                    buffered[t] = Some(out);
+                    while next < tasks.len() {
+                        let Some(out) = buffered[next].take() else {
+                            break;
+                        };
+                        for a in &out {
+                            f(a);
+                        }
+                        next += 1;
+                    }
+                }
+                debug_assert_eq!(next, tasks.len(), "every task must be consumed");
+            });
+        }
+
+        /// [`Evaluator::par_for_each`] collected into a vector (tests and
+        /// callers that genuinely need the materialized stream).
         pub fn par_collect(
             &self,
             db: &Instance,
             state: &State,
             mode: Mode,
             scope: Scope<'_>,
+            threads: usize,
         ) -> Vec<Assignment> {
-            let n_rules = self.num_rules();
-            let threads = eval_threads().min(n_rules);
-            if threads <= 1 {
-                return self.serial_collect(db, state, mode, scope);
-            }
-            let cursor = AtomicUsize::new(0);
-            let slots: Vec<Mutex<Vec<Assignment>>> =
-                (0..n_rules).map(|_| Mutex::new(Vec::new())).collect();
-            std::thread::scope(|s| {
-                for _ in 0..threads {
-                    s.spawn(|| {
-                        let mut scratch = EvalScratch::new();
-                        loop {
-                            let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                            if idx >= n_rules {
-                                break;
-                            }
-                            let mut out = Vec::new();
-                            self.rule_collect(idx, db, state, mode, scope, &mut scratch, &mut out);
-                            *slots[idx].lock().expect("no panics hold this lock") = out;
-                        }
-                    });
-                }
+            let mut out = Vec::new();
+            self.par_for_each(db, state, mode, scope, threads, &mut |a| {
+                out.push(a.clone())
             });
-            slots
-                .into_iter()
-                .flat_map(|m| m.into_inner().expect("workers joined"))
-                .collect()
+            out
         }
 
+        /// Execute one morsel `[start, end)` of a plan job, feeding every
+        /// assignment to `f`.
         #[allow(clippy::too_many_arguments)]
-        fn rule_collect(
+        fn run_job(
             &self,
-            idx: usize,
+            db: &Instance,
+            state: &State,
+            mode: Mode,
+            job: &PlanJob<'_, '_>,
+            start: usize,
+            end: usize,
+            scratch: &mut EvalScratch,
+            f: &mut dyn FnMut(&Assignment),
+        ) {
+            let cr = &self.compiled[job.rule_idx];
+            run_plan_rows(
+                db,
+                state,
+                mode,
+                job.rule_idx,
+                cr,
+                job.plan,
+                job.classes,
+                job.focus,
+                &job.rows[start..end],
+                job.check_key,
+                scratch,
+                &mut |a| {
+                    f(a);
+                    true
+                },
+            );
+        }
+
+        fn serial_for_each(
+            &self,
             db: &Instance,
             state: &State,
             mode: Mode,
             scope: Scope<'_>,
-            scratch: &mut EvalScratch,
-            out: &mut Vec<Assignment>,
+            f: &mut dyn FnMut(&Assignment),
         ) {
+            let mut scratch = EvalScratch::new();
             let mut push = |a: &Assignment| {
-                out.push(a.clone());
+                f(a);
                 true
             };
-            match scope {
-                Scope::All => {
-                    self.for_each_rule_assignment_with(idx, db, state, mode, scratch, &mut push);
-                }
-                Scope::BaseRules => {
-                    if !self.rule_has_delta_body(idx) {
+            for idx in 0..self.num_rules() {
+                match scope {
+                    Scope::All => {
                         self.for_each_rule_assignment_with(
-                            idx, db, state, mode, scratch, &mut push,
+                            idx,
+                            db,
+                            state,
+                            mode,
+                            &mut scratch,
+                            &mut push,
+                        );
+                    }
+                    Scope::BaseRules => {
+                        if !self.rule_has_delta_body(idx) {
+                            self.for_each_rule_assignment_with(
+                                idx,
+                                db,
+                                state,
+                                mode,
+                                &mut scratch,
+                                &mut push,
+                            );
+                        }
+                    }
+                    Scope::Frontier(fr) => {
+                        self.for_each_rule_frontier_assignment_with(
+                            idx,
+                            db,
+                            state,
+                            mode,
+                            fr,
+                            &mut scratch,
+                            &mut push,
+                        );
+                    }
+                    Scope::Seeded(seed) => {
+                        self.for_each_rule_seeded_assignment_with(
+                            idx,
+                            db,
+                            state,
+                            mode,
+                            seed,
+                            &mut scratch,
+                            &mut push,
                         );
                     }
                 }
-                Scope::Frontier(fr) => {
-                    self.for_each_rule_frontier_assignment_with(
-                        idx, db, state, mode, fr, scratch, &mut push,
-                    );
-                }
-                Scope::Seeded(seed) => {
-                    self.for_each_rule_seeded_assignment_with(
-                        idx, db, state, mode, seed, scratch, &mut push,
-                    );
-                }
             }
-        }
-
-        fn serial_collect(
-            &self,
-            db: &Instance,
-            state: &State,
-            mode: Mode,
-            scope: Scope<'_>,
-        ) -> Vec<Assignment> {
-            let mut out = Vec::new();
-            let mut scratch = EvalScratch::new();
-            for idx in 0..self.num_rules() {
-                self.rule_collect(idx, db, state, mode, scope, &mut scratch, &mut out);
-            }
-            out
         }
     }
 }
 
 #[cfg(feature = "parallel")]
-pub use par::{eval_threads, Scope as ParScope};
+pub use par::{eval_threads, morsel_rows, Scope as ParScope};
 
 #[inline]
 fn admitted(
@@ -825,6 +1140,53 @@ fn run_plan(
     step(
         db, state, mode, rule_idx, cr, plan, classes, focus, 0, scratch, f,
     )
+}
+
+/// [`run_plan`] restricted to an explicit slice of step-0 candidate rows —
+/// the morsel entry point of the parallel scheduler. `rows` is a contiguous
+/// slice of the plan's driver domain (see `par::step0_domain`), in the same
+/// ascending order the serial step-0 iteration would visit; `check_key`
+/// mirrors the serial path's choice of key-as-filter (delta/seed sources)
+/// vs. key-guaranteed-by-index (probe sources). Per-row admission, key,
+/// equality and comparison checks all run inside [`try_row`] exactly as in
+/// the serial join, so concatenating morsel outputs in domain order
+/// reproduces the serial assignment stream bit for bit.
+#[cfg(feature = "parallel")]
+#[allow(clippy::too_many_arguments)]
+fn run_plan_rows(
+    db: &Instance,
+    state: &State,
+    mode: Mode,
+    rule_idx: usize,
+    cr: &CompiledRule,
+    plan: &Plan,
+    classes: &[DeltaClass],
+    focus: Focus<'_>,
+    rows: &[u32],
+    check_key: bool,
+    scratch: &mut EvalScratch,
+    f: &mut dyn FnMut(&Assignment) -> bool,
+) -> bool {
+    scratch.bind.clear();
+    scratch.bind.resize(cr.n_vars, Value::Int(0));
+    scratch.chosen.clear();
+    scratch.chosen.resize(cr.atoms.len(), DUMMY_TID);
+    scratch.key.clear();
+    // Step-0 probe keys are constants (nothing is bound before step 0).
+    for s in &plan.probes[0].key_slots {
+        match s {
+            Slot::Const(v) => scratch.key.push(*v),
+            Slot::Var(_) => unreachable!("step-0 probe keys are constant-only"),
+        }
+    }
+    for &row in rows {
+        if !try_row(
+            db, state, mode, rule_idx, cr, plan, classes, focus, 0, row, 0, check_key, scratch, f,
+        ) {
+            return false;
+        }
+    }
+    true
 }
 
 /// Match `row` against step `k`'s precompiled spec and recurse on success.
@@ -962,6 +1324,11 @@ fn step(
         };
     }
 
+    // KEEP IN SYNC: at k == 0 this source-selection ladder is mirrored by
+    // `par::step0_domain`, which materializes the same rows (same branches,
+    // same order) for the morsel scheduler. Any change to which rows a
+    // first step iterates must be applied to both; the engine-parity and
+    // differential suites pin the equivalence.
     let seed_pivot = matches!(focus, Focus::Seed(_)) && class == DeltaClass::New;
     if seed_pivot {
         // The pivot of a change-seeded plan generates from the (small) seed

@@ -17,11 +17,13 @@
 
 pub mod dcs;
 pub mod mas;
+pub mod scale;
 pub mod tpch;
 
 pub use dcs::{author_instance_from_table, dc_delta_program, paper_dcs};
 pub use mas::mas_programs;
 pub use repair_core::testkit::{figure1_instance, figure2_program};
+pub use scale::zipf_programs;
 pub use tpch::tpch_programs;
 
 use datalog::Program;

@@ -1,19 +1,39 @@
 #!/usr/bin/env python3
-"""Bench regression gate.
+"""Bench regression + parallel-parity gate.
 
 Compares a freshly measured `repro bench-json` record against a committed
-baseline (`BENCH_pr2.json` by default) and fails when any serial entry
-present in both regressed by more than the tolerance factor. Quick-mode CI
-measurements are noisy, hence the generous default of 2.0x; the gate exists
-to catch order-of-magnitude accidents (a probe plan falling back to scans,
-an index rebuilt per round), not single-digit-percent drift.
+baseline and fails when any serial entry present in both regressed by more
+than the tolerance factor. Quick-mode CI measurements are noisy, hence the
+generous default of 2.0x; the committed BENCH_*.json files are full-mode
+and gated tighter (the PR 5 acceptance bar is --tolerance 1.1 against
+BENCH_pr4.json). The gate exists to catch order-of-magnitude accidents (a
+probe plan falling back to scans, an index rebuilt per round), not
+single-digit-percent drift — except where a tight tolerance is requested
+explicitly on full-mode numbers.
+
+Three checks, in order:
+
+1. **Serial regression** — every `runs[--runs-key]` entry shared with the
+   baseline must satisfy current <= baseline * tolerance.
+2. **Parallel parity** — every `semantics_scale/<workload>/<sem>/t<N>`
+   family in the current record must report one identical delete-set
+   `size` across all thread counts. A size mismatch means the morsel
+   scheduler broke determinism: hard failure, no tolerance.
+3. **Parallel speedup** (informational unless --min-parallel-speedup > 0)
+   — prints t1/tN per family; with a threshold set, at least
+   --speedup-workloads families must reach it at --speedup-threads.
+   Meaningless on single-core runners (leave the threshold at 0 there;
+   see EXPERIMENTS.md for the multi-core protocol).
+
+Also prints the incremental_rerepair speedup (full / incremental) per
+workload when the current record carries that group, failing below
+--min-speedup (default: informational only, 0).
 
 Usage:
     bench_gate.py CURRENT.json [BASELINE.json] [--tolerance 2.0]
-
-Also prints the incremental_rerepair speedup (full / incremental) per
-workload when the current record carries that group, and fails if any
-speedup drops below --min-speedup (default: informational only, 0).
+                  [--min-speedup 0] [--min-parallel-speedup 0]
+                  [--speedup-threads 4] [--speedup-workloads 2]
+                  [--runs-key serial]
 """
 
 import argparse
@@ -21,10 +41,27 @@ import json
 import sys
 
 
-def serial_entries(path):
+def load_run(path, key):
     with open(path) as f:
         doc = json.load(f)
-    return {r["bench"]: r["mean_ns"] for r in doc["runs"]["serial"]}
+    runs = doc["runs"]
+    if key not in runs:
+        raise SystemExit(f"bench_gate: {path} has no runs[{key!r}] (keys: {list(runs)})")
+    return runs[key]
+
+
+def mean_ns_by_bench(records):
+    return {r["bench"]: r["mean_ns"] for r in records}
+
+
+def scale_families(records):
+    """semantics_scale entries grouped as (workload, semantics) -> {t<N>: record}."""
+    fams = {}
+    for r in records:
+        parts = r["bench"].split("/")
+        if len(parts) == 4 and parts[0] == "semantics_scale":
+            fams.setdefault((parts[1], parts[2]), {})[parts[3]] = r
+    return fams
 
 
 def main():
@@ -32,13 +69,27 @@ def main():
     ap.add_argument("current")
     ap.add_argument("baseline", nargs="?", default="BENCH_pr2.json")
     ap.add_argument("--tolerance", type=float, default=2.0)
-    ap.add_argument("--min-speedup", type=float, default=0.0)
+    ap.add_argument("--min-speedup", type=float, default=0.0,
+                    help="minimum incremental_rerepair full/incremental ratio")
+    ap.add_argument("--min-parallel-speedup", type=float, default=0.0,
+                    help="minimum t1/t<N> ratio for semantics_scale families")
+    ap.add_argument("--speedup-threads", type=int, default=4,
+                    help="thread count the parallel-speedup check reads")
+    ap.add_argument("--speedup-workloads", type=int, default=2,
+                    help="families that must reach --min-parallel-speedup")
+    ap.add_argument("--runs-key", default="serial",
+                    help="runs object key to compare (default: serial)")
     args = ap.parse_args()
 
-    current = serial_entries(args.current)
-    baseline = serial_entries(args.baseline)
+    current_records = load_run(args.current, args.runs_key)
+    current = mean_ns_by_bench(current_records)
+    baseline = mean_ns_by_bench(load_run(args.baseline, args.runs_key))
 
     failures = []
+
+    # 1. Serial regression against the baseline (overlapping entries only;
+    # semantics_scale families are new in PR 5 and simply don't overlap
+    # with older baselines).
     compared = 0
     for bench, base_ns in sorted(baseline.items()):
         cur_ns = current.get(bench)
@@ -53,6 +104,28 @@ def main():
     if compared == 0:
         print("bench_gate: no overlapping serial entries — wrong files?", file=sys.stderr)
         return 2
+
+    # 2 + 3. Parallel parity and speedup over semantics_scale families.
+    fams = scale_families(current_records)
+    reached = 0
+    for (workload, sem), by_threads in sorted(fams.items()):
+        sizes = {t: r.get("size") for t, r in by_threads.items()}
+        distinct = set(sizes.values())
+        if None in distinct or len(distinct) != 1:
+            print(f"  semantics_scale/{workload}/{sem:<24} PARITY VIOLATION: sizes {sizes}")
+            failures.append((f"parity:{workload}/{sem}", sizes))
+            continue
+        t1 = by_threads.get("t1")
+        tn = by_threads.get(f"t{args.speedup_threads}")
+        if t1 and tn and tn["mean_ns"] > 0:
+            speedup = t1["mean_ns"] / tn["mean_ns"]
+            reached += speedup >= args.min_parallel_speedup > 0
+            print(f"  semantics_scale/{workload}/{sem:<24} size {next(iter(distinct)):>8} "
+                  f"t1/t{args.speedup_threads} speedup {speedup:>5.2f}x")
+    if args.min_parallel_speedup > 0 and fams and reached < args.speedup_workloads:
+        failures.append((
+            f"parallel-speedup(<{args.speedup_workloads} families reached "
+            f"{args.min_parallel_speedup}x at t{args.speedup_threads})", reached))
 
     # Incremental re-repair speedups, when measured.
     pairs = {}
@@ -71,7 +144,8 @@ def main():
     if failures:
         print(f"bench_gate: {len(failures)} failure(s): {failures}", file=sys.stderr)
         return 1
-    print(f"bench_gate: OK — {compared} serial entries within {args.tolerance}x of baseline")
+    parity = f", {len(fams)} scale families parity-checked" if fams else ""
+    print(f"bench_gate: OK — {compared} serial entries within {args.tolerance}x of baseline{parity}")
     return 0
 
 

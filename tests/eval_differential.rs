@@ -400,3 +400,37 @@ proptest! {
         prop_assert_eq!(&runs[1], &runs[3]);
     }
 }
+
+// The morsel-parallel collector must reproduce the serial callback stream
+// — order included — at every thread count, under every mode, on the same
+// randomized programs/instances/states as the serial differential above.
+#[cfg(feature = "parallel")]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    #[test]
+    fn par_collect_matches_serial_stream(
+        program in arb_program(),
+        tuples in arb_tuples(),
+        state_ops in prop::collection::vec(0u64..4, 0..26),
+        threads in 2usize..=8,
+    ) {
+        let mut db = build_instance(&tuples);
+        let ev = Evaluator::new(&mut db, program).expect("valid by construction");
+        let state = build_state(&db, &state_ops);
+        for mode in [Mode::Current, Mode::FrozenBase, Mode::Hypothetical] {
+            let serial = engine_assignments(&ev, &db, &state, mode);
+            let par = ev.par_collect(
+                &db,
+                &state,
+                mode,
+                delta_repairs::datalog::ParScope::All,
+                threads,
+            );
+            prop_assert_eq!(
+                &par, &serial,
+                "parallel stream diverged under {:?} at {} threads", mode, threads
+            );
+        }
+    }
+}

@@ -88,6 +88,19 @@ fn assert_mutated_session_matches_fresh(label: &str, mutated: &RepairSession) {
                 "{label}/end: expected the incremental path, got a fallback"
             );
         }
+        // Thread-count invariance rides along: explicit worker counts must
+        // not change a single bit of any answer (the incremental advance
+        // included — the mutated session serves End from its checkpoint).
+        for threads in [2usize, 4] {
+            let at = mutated
+                .repair(&RepairRequest::new(sem).threads(threads))
+                .unwrap();
+            assert_eq!(
+                at.deleted(),
+                full.deleted(),
+                "{label}/{sem}: diverged at {threads} threads"
+            );
+        }
     }
 }
 

@@ -1,0 +1,177 @@
+//! Thread-count invariance of the morsel-driven parallel evaluator.
+//!
+//! `tests/engine_parity.rs` pins the fixpoint drivers against the seed
+//! loops on fixed workloads (at thread counts 1, 2 and 4); this suite
+//! randomizes the other axes: random thread counts (1..=8) × random
+//! workloads (a pool of program shapes over random instances) × all four
+//! semantics must produce delete-sets bit-identical to the serial
+//! reference (`threads(1)`), and the incremental engine's
+//! [`delta_repairs::engine::FixpointDriver::advance`] must report
+//! bit-identical [`delta_repairs::engine::AdvanceStats`] and fixpoints for
+//! random mutation batches at every thread count.
+//!
+//! The whole binary runs with `DELTA_REPAIRS_MORSEL=5` so even these small
+//! random instances split into many morsels — the merge discipline is
+//! exercised for real, not just the single-task inline path. On serial
+//! builds the thread knob is inert and every property is trivially (but
+//! still usefully — the knob must not *change* anything) satisfied.
+
+use delta_repairs::datalog::Evaluator;
+use delta_repairs::engine::{DeltaPolicy, EngineState, FixpointDriver};
+use delta_repairs::{
+    parse_program, AttrType, Instance, RepairRequest, RepairSession, Schema, Semantics, Value,
+};
+use proptest::prelude::*;
+
+/// Force tiny morsels for this test binary, before any parallel round can
+/// cache the default. Every test calls this first; `Once` makes the write
+/// race-free against the lazy readers in the evaluator.
+fn tiny_morsels() {
+    static INIT: std::sync::Once = std::sync::Once::new();
+    INIT.call_once(|| std::env::set_var("DELTA_REPAIRS_MORSEL", "5"));
+}
+
+/// A pool of program shapes over the fixed 3-relation schema: cascades,
+/// DC-like wide joins, multi-delta rules, recursion, comparisons — the
+/// structural variety the morsel scheduler has to keep deterministic.
+const PROGRAMS: [&str; 6] = [
+    // Pure cascade.
+    "delta R1(x) :- R1(x), x < 3.
+     delta R2(x, y) :- R2(x, y), delta R1(x).
+     delta R3(y) :- R3(y), delta R2(x, y).",
+    // One wide DC-like rule: nothing to fan out per rule.
+    "delta R2(x, y) :- R2(x, y), R1(x), R3(y).",
+    // Mixed: seed + join through the delta.
+    "delta R1(x) :- R1(x), x = 0.
+     delta R3(y) :- R3(y), R2(x, y), delta R1(x).",
+    // Mutual recursion through two delta relations.
+    "delta R1(x) :- R1(x), x = 1.
+     delta R2(x, y) :- R2(x, y), delta R1(x).
+     delta R1(x) :- R1(x), R2(x, y), delta R2(x, y).",
+    // Multiple delta atoms in one body (two frontier foci per round).
+    "delta R1(x) :- R1(x), x < 2.
+     delta R2(x, y) :- R2(x, y), delta R1(x), delta R1(y).",
+    // Comparisons scheduled mid-plan, constants in atoms.
+    "delta R2(x, y) :- R2(x, y), R1(x), x != y, y < 5.
+     delta R3(y) :- R3(y), R2(1, y).",
+];
+
+fn schema() -> Schema {
+    let mut s = Schema::new();
+    s.relation("R1", &[("a", AttrType::Int)]);
+    s.relation("R2", &[("a", AttrType::Int), ("b", AttrType::Int)]);
+    s.relation("R3", &[("b", AttrType::Int)]);
+    s
+}
+
+fn build_db(r1: &[u64], r2: &[(u64, u64)], r3: &[u64]) -> Instance {
+    let mut db = Instance::new(schema());
+    for &a in r1 {
+        db.insert_values("R1", [Value::Int((a % 8) as i64)])
+            .unwrap();
+    }
+    for &(a, b) in r2 {
+        db.insert_values(
+            "R2",
+            [Value::Int((a % 8) as i64), Value::Int((b % 8) as i64)],
+        )
+        .unwrap();
+    }
+    for &b in r3 {
+        db.insert_values("R3", [Value::Int((b % 8) as i64)])
+            .unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random thread counts × random workloads × all four semantics:
+    /// delete-sets (and the optimality verdicts derived from them) are
+    /// bit-identical to the serial `threads(1)` reference.
+    #[test]
+    fn all_semantics_are_thread_count_invariant(
+        program_idx in 0usize..PROGRAMS.len(),
+        r1 in prop::collection::vec(0u64..32, 0..10),
+        r2 in prop::collection::vec((0u64..32, 0u64..32), 0..14),
+        r3 in prop::collection::vec(0u64..32, 0..10),
+        threads in 1usize..=8,
+    ) {
+        tiny_morsels();
+        let db = build_db(&r1, &r2, &r3);
+        let program = parse_program(PROGRAMS[program_idx]).expect("pool programs parse");
+        let session = RepairSession::new(db, program).expect("pool programs validate");
+        for sem in Semantics::ALL {
+            // Force full computation so every request measures the same
+            // path (the incremental checkpoint is exercised separately).
+            let serial = session
+                .repair(&RepairRequest::new(sem).incremental(false).threads(1))
+                .expect("valid request");
+            let parallel = session
+                .repair(&RepairRequest::new(sem).incremental(false).threads(threads))
+                .expect("valid request");
+            prop_assert_eq!(
+                serial.deleted(), parallel.deleted(),
+                "{} delete-set diverged at {} threads (program {})",
+                sem, threads, program_idx
+            );
+            prop_assert_eq!(
+                serial.proven_optimal(), parallel.proven_optimal(),
+                "{} optimality verdict diverged at {} threads", sem, threads
+            );
+        }
+    }
+
+    /// The incremental engine advances to bit-identical fixpoints with
+    /// bit-identical `AdvanceStats` at every thread count, for random
+    /// mutation batches (deletions of live tuples + fresh insertions).
+    #[test]
+    fn advance_stats_are_thread_count_invariant(
+        program_idx in 0usize..PROGRAMS.len(),
+        r1 in prop::collection::vec(0u64..32, 1..8),
+        r2 in prop::collection::vec((0u64..32, 0u64..32), 1..12),
+        r3 in prop::collection::vec(0u64..32, 1..8),
+        delete_picks in prop::collection::vec(0usize..64, 0..4),
+        insert_rows in prop::collection::vec((0u64..32, 0u64..32), 0..3),
+        threads in 2usize..=8,
+    ) {
+        tiny_morsels();
+        let program = parse_program(PROGRAMS[program_idx]).expect("pool programs parse");
+        // Two identical databases, mutated identically: one advanced by the
+        // serial driver, one by the parallel driver.
+        let mut outcomes = Vec::new();
+        for t in [1usize, threads] {
+            let mut db = build_db(&r1, &r2, &r3);
+            let ev = Evaluator::new(&mut db, program.clone()).expect("valid");
+            let driver =
+                FixpointDriver::new(&ev, DeltaPolicy::AtEnd { naive: false }).threads(Some(t));
+            let cursor = db.journal().head();
+            let mut es = EngineState::from_outcome(driver.run(&db));
+            // Random mutation batch: delete distinct live tuples, insert
+            // fresh rows.
+            let live: Vec<_> = db.all_tuple_ids().collect();
+            let mut doomed: Vec<_> = delete_picks
+                .iter()
+                .map(|&i| live[i % live.len()])
+                .collect();
+            doomed.sort_unstable();
+            doomed.dedup();
+            db.delete_tuples(doomed.iter().copied()).expect("live ids");
+            for &(a, b) in &insert_rows {
+                db.insert_values(
+                    "R2",
+                    [Value::Int((a % 8) as i64), Value::Int((b % 8) as i64)],
+                )
+                .unwrap();
+            }
+            let batch = db.changes_since(cursor).expect("journal retained");
+            let stats = driver.advance(&db, &mut es, &batch);
+            outcomes.push((stats, es.deleted(), es.num_assignments()));
+        }
+        let (serial, parallel) = (&outcomes[0], &outcomes[1]);
+        prop_assert_eq!(&serial.0, &parallel.0, "AdvanceStats diverged at {} threads", threads);
+        prop_assert_eq!(&serial.1, &parallel.1, "fixpoint diverged at {} threads", threads);
+        prop_assert_eq!(serial.2, parallel.2, "hyperedge cache diverged at {} threads", threads);
+    }
+}
