@@ -230,7 +230,67 @@ pub fn bench_json_records(quick: bool) -> Vec<BenchRecord> {
     );
     incremental_rerepair_records(quick, &mut records);
     semantics_scale_records(quick, &mut records);
+    durability_cold_open_records(quick, &mut records);
     records
+}
+
+/// The cold-start cost of a durable session: opening the newest snapshot
+/// (binary decode + WAL replay) versus re-ingesting the same database from
+/// its TSV dump — the `durability/{cold_open,tsv_ingest}` pair. Both paths
+/// produce a ready [`Instance`]; everything downstream (session build,
+/// planning) is identical, so the pair isolates exactly what `open_durable`
+/// saves over the pre-durability "reload the TSV" cold start. Measured on
+/// the zipf universe at 10× the `semantics_scale` quick size (override via
+/// `REPRO_DURABILITY_ZIPF`); gated by `scripts/bench_gate.py
+/// --min-cold-open-speedup`.
+fn durability_cold_open_records(quick: bool, records: &mut Vec<BenchRecord>) {
+    use std::path::Path;
+    use std::sync::Arc;
+    use std::time::Duration;
+    use storage::{DiskOptions, DiskStore, FsyncPolicy, MemIo, SessionMeta};
+    let (warm, meas, iters) = if quick {
+        (Duration::from_millis(20), Duration::from_millis(80), 2)
+    } else {
+        (Duration::from_millis(300), Duration::from_millis(1000), 5)
+    };
+    let zipf = ZipfLab::at_scale(if quick {
+        0.25
+    } else {
+        env_f64("REPRO_DURABILITY_ZIPF", 2.5)
+    });
+    let db = &zipf.data.db;
+    let tsv = storage::tsv::to_tsv_typed(db);
+    // An in-memory store keeps the pair an apples-to-apples CPU comparison
+    // (snapshot decode vs text parse), free of device variance.
+    let io: Arc<MemIo> = Arc::new(MemIo::new());
+    let dir = Path::new("/bench-store");
+    let opts = || DiskOptions {
+        fsync: FsyncPolicy::OnCheckpoint,
+        io: io.clone(),
+        checkpoint_every: 0,
+    };
+    DiskStore::create(dir, opts(), db, &SessionMeta::default()).expect("in-memory store");
+    let rows = db.total_rows();
+    let (mean_ns, iterations) = measure_mean_ns(warm, meas, iters, || {
+        let (_, recovered, _, _) = DiskStore::open(dir, opts()).expect("clean store");
+        assert_eq!(std::hint::black_box(recovered).total_rows(), rows);
+    });
+    records.push(BenchRecord {
+        bench: "durability/cold_open/zipf".into(),
+        mean_ns,
+        iterations,
+        size: None,
+    });
+    let (mean_ns, iterations) = measure_mean_ns(warm, meas, iters, || {
+        let ingested = storage::tsv::load_document(&tsv).expect("own dump");
+        assert_eq!(std::hint::black_box(ingested).total_rows(), rows);
+    });
+    records.push(BenchRecord {
+        bench: "durability/tsv_ingest/zipf".into(),
+        mean_ns,
+        iterations,
+        size: None,
+    });
 }
 
 /// The thread counts the `semantics_scale` group measures at.
@@ -410,7 +470,7 @@ pub fn render_bench_json(mode: &str, records: &[BenchRecord]) -> String {
     let _ = writeln!(out, "  \"date\": \"{y:04}-{m:02}-{d:02}\",");
     let _ = writeln!(out, "  \"hardware\": \"{hardware}\",");
     out.push_str(
-        "  \"benches\": [\n   \"semantics_mas (fig7, scale 0.02)\",\n   \"semantics_tpch (fig9, scale 0.01)\",\n   \"semantics_scale (threads 1/2/4/8, 10x scales)\"\n  ],\n");
+        "  \"benches\": [\n   \"semantics_mas (fig7, scale 0.02)\",\n   \"semantics_tpch (fig9, scale 0.01)\",\n   \"semantics_scale (threads 1/2/4/8, 10x scales)\",\n   \"durability (cold_open vs tsv_ingest, zipf)\"\n  ],\n");
     out.push_str("  \"unit\": \"mean_ns per session.run()\"\n },\n \"runs\": {\n");
     let _ = writeln!(out, "  \"{mode}\": [");
     for (i, r) in records.iter().enumerate() {

@@ -24,7 +24,7 @@
 
 use repair_core::{RepairError, RepairOutcome, RepairRequest, RepairSession, Semantics};
 use std::fmt::Write as _;
-use storage::tsv;
+use storage::{tsv, StorageError};
 use triggers::FiringOrder;
 
 /// Every way a CLI run can fail, mapped to a **distinct process exit
@@ -37,6 +37,7 @@ use triggers::FiringOrder;
 /// | [`CliError::Io`]    | 3 | filesystem failure on `--db`/`--program`/`--apply` |
 /// | [`CliError::Input`] | 4 | malformed input content (TSV, rules, `--why` tuple) |
 /// | [`CliError::Repair`]| 5 | the repair engine rejected the run ([`RepairError`]) |
+/// | [`CliError::Corrupt`]| 6 | a durable store failed checksum/recovery validation |
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CliError {
     /// `--help`: carries the usage text; exits 0.
@@ -49,6 +50,10 @@ pub enum CliError {
     Input(String),
     /// Engine-level failure, preserved as a typed [`RepairError`]; exits 5.
     Repair(RepairError),
+    /// A `--data-dir` store is corrupt beyond what the recovery ladder can
+    /// route around, preserved as the typed error; exits 6 so operators
+    /// can distinguish "restore from backup" from ordinary failures.
+    Corrupt(RepairError),
 }
 
 impl CliError {
@@ -60,7 +65,20 @@ impl CliError {
             CliError::Io(_) => 3,
             CliError::Input(_) => 4,
             CliError::Repair(_) => 5,
+            CliError::Corrupt(_) => 6,
         }
+    }
+}
+
+/// Route a [`RepairError`] to its CLI class: unrecoverable store corruption
+/// gets its own exit code, everything else is an engine error.
+fn repair_to_cli(e: RepairError) -> CliError {
+    match &e {
+        RepairError::Storage {
+            source: StorageError::Corrupt { .. },
+            ..
+        } => CliError::Corrupt(e),
+        _ => CliError::Repair(e),
     }
 }
 
@@ -72,6 +90,7 @@ impl std::fmt::Display for CliError {
             CliError::Io(msg) => write!(f, "{msg}"),
             CliError::Input(msg) => write!(f, "{msg}"),
             CliError::Repair(e) => write!(f, "{e}"),
+            CliError::Corrupt(e) => write!(f, "{e}"),
         }
     }
 }
@@ -79,7 +98,7 @@ impl std::fmt::Display for CliError {
 impl std::error::Error for CliError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            CliError::Repair(e) => Some(e),
+            CliError::Repair(e) | CliError::Corrupt(e) => Some(e),
             _ => None,
         }
     }
@@ -87,15 +106,22 @@ impl std::error::Error for CliError {
 
 impl From<RepairError> for CliError {
     fn from(e: RepairError) -> CliError {
-        CliError::Repair(e)
+        repair_to_cli(e)
     }
 }
 
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Options {
-    /// Path of the TSV database document.
-    pub db: String,
+    /// Path of the TSV database document. Optional when `--data-dir`
+    /// points at an existing durable store.
+    pub db: Option<String>,
+    /// Durable store directory: with `--db`, initialize a new store from
+    /// the TSV; alone, open (and crash-recover) the existing store.
+    pub data_dir: Option<String>,
+    /// Run N apply/undo churn cycles against the session before reporting
+    /// (durable write traffic for crash testing).
+    pub churn: Option<u64>,
     /// Path of the delta program.
     pub program: String,
     /// Semantics to run (`None` = all four).
@@ -125,7 +151,13 @@ USAGE:
     delta-repair --db DATA.tsv --program RULES.dl [OPTIONS]
 
 OPTIONS:
-    --db PATH          self-describing TSV document (typed headers)
+    --db PATH          self-describing TSV document (typed headers);
+                       optional when --data-dir holds an existing store
+    --data-dir DIR     durable store: with --db, initialize DIR from the
+                       TSV (checksummed WAL + snapshots); alone, open and
+                       crash-recover the store already in DIR
+    --churn N          run N apply/undo cycles before reporting (durable
+                       write traffic for crash testing; needs --data-dir)
     --program PATH     delta rules (paper syntax; `delta R(x) :- R(x), ….`)
     --semantics NAME   independent | step | stage | end | all   [default: all]
     --apply PATH       write the repaired database (typed TSV) to PATH
@@ -145,6 +177,7 @@ EXIT CODES:
     3    filesystem failure reading --db/--program or writing --apply
     4    malformed input: TSV database, delta program, or --why tuple name
     5    repair engine error (invalid program for this schema, apply failure)
+    6    corrupt --data-dir store (recovery ladder exhausted; restore a backup)
 ";
 
 /// Parse `argv[1..]`-style arguments.
@@ -154,6 +187,8 @@ where
     S: AsRef<str>,
 {
     let mut db = None;
+    let mut data_dir = None;
+    let mut churn = None;
     let mut program = None;
     let mut semantics = None;
     let mut apply = None;
@@ -172,6 +207,13 @@ where
         };
         match arg {
             "--db" => db = Some(value_for("--db")?),
+            "--data-dir" => data_dir = Some(value_for("--data-dir")?),
+            "--churn" => {
+                let raw = value_for("--churn")?;
+                churn = Some(raw.parse::<u64>().map_err(|_| {
+                    CliError::Usage(format!("--churn needs a non-negative integer, got `{raw}`"))
+                })?);
+            }
             "--program" => program = Some(value_for("--program")?),
             "--semantics" => {
                 // `Semantics::from_str` is the single source of truth for
@@ -219,8 +261,18 @@ where
             }
         }
     }
+    if db.is_none() && data_dir.is_none() {
+        return Err(CliError::Usage(
+            "--db is required (or --data-dir to open a durable store)".into(),
+        ));
+    }
+    if churn.is_some() && data_dir.is_none() {
+        return Err(CliError::Usage("--churn needs --data-dir".into()));
+    }
     Ok(Options {
-        db: db.ok_or_else(|| CliError::Usage("--db is required".into()))?,
+        db,
+        data_dir,
+        churn,
         program: program.ok_or_else(|| CliError::Usage("--program is required".into()))?,
         semantics: semantics.unwrap_or(None),
         apply,
@@ -251,9 +303,59 @@ pub fn run(opts: &Options, db_text: &str, program_text: &str) -> Result<RunOutpu
         .map_err(|e| CliError::Input(format!("--program: {e}")))?;
     // Schema-level rejection of the program is an engine error (exit 5),
     // preserved as the typed `RepairError` rather than a flattened string.
-    let mut session = RepairSession::new(db, program.clone()).map_err(CliError::Repair)?;
+    let mut session = RepairSession::new(db, program).map_err(CliError::Repair)?;
+    run_session(opts, &mut session)
+}
 
+/// Build the session for a `--data-dir` run: initialize a fresh durable
+/// store from the TSV when `db_text` is given, otherwise open (and
+/// crash-recover) the store already in the directory. Unrecoverable
+/// corruption maps to [`CliError::Corrupt`] (exit 6).
+pub fn durable_session(
+    opts: &Options,
+    db_text: Option<&str>,
+    program_text: &str,
+) -> Result<RepairSession, CliError> {
+    let dir = opts
+        .data_dir
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("--data-dir is required for a durable run".into()))?;
+    let program = datalog::parse_program(program_text)
+        .map_err(|e| CliError::Input(format!("--program: {e}")))?;
+    match db_text {
+        Some(text) => {
+            let db = tsv::load_document(text).map_err(|e| CliError::Input(format!("--db: {e}")))?;
+            RepairSession::create_durable(db, program, dir).map_err(repair_to_cli)
+        }
+        None => RepairSession::open_durable(dir, program).map_err(repair_to_cli),
+    }
+}
+
+/// Repair and render the report over an existing session (in-memory or
+/// durable). The `--churn` cycles run first, so the reported counts are
+/// post-churn.
+pub fn run_session(opts: &Options, session: &mut RepairSession) -> Result<RunOutput, CliError> {
+    let program = session.program().clone();
     let mut report = String::new();
+    if let Some(r) = session.recovery_report() {
+        if r.degraded() {
+            let _ = writeln!(
+                report,
+                "recovery: {} batches replayed, {} bytes truncated, fallbacks: {}",
+                r.batches_replayed,
+                r.truncated_bytes,
+                r.fallbacks.join("; ")
+            );
+        }
+    }
+    if let Some(cycles) = opts.churn {
+        for _ in 0..cycles {
+            let outcome = session.run(Semantics::End);
+            outcome.apply(session).map_err(repair_to_cli)?;
+            session.undo().map_err(repair_to_cli)?;
+        }
+        let _ = writeln!(report, "churn: {cycles} apply/undo cycles committed");
+    }
     let _ = writeln!(
         report,
         "database: {} tuples in {} relations; program: {} rules",
@@ -364,7 +466,7 @@ pub fn run(opts: &Options, db_text: &str, program_text: &str) -> Result<RunOutpu
         // Commit through the session: the delete-set leaves the database
         // durably (indexes maintained incrementally) and the live tuples
         // are what gets serialized.
-        chosen.apply(&mut session).map_err(CliError::Repair)?;
+        chosen.apply(session).map_err(repair_to_cli)?;
         Some(tsv::to_tsv_typed(session.db()))
     } else {
         None
@@ -398,7 +500,9 @@ delta AuthGrant(a, g) :- AuthGrant(a, g), delta Grant(g, n).
 
     fn base_opts() -> Options {
         Options {
-            db: "db.tsv".into(),
+            db: Some("db.tsv".into()),
+            data_dir: None,
+            churn: None,
             program: "rules.dl".into(),
             semantics: None,
             apply: None,
@@ -505,14 +609,74 @@ delta AuthGrant(a, g) :- AuthGrant(a, g), delta Grant(g, n).
             CliError::Io(String::new()),
             CliError::Input(String::new()),
             CliError::Repair(repair_core::RepairError::NothingToUndo),
+            CliError::Corrupt(repair_core::RepairError::NothingToUndo),
         ]
         .iter()
         .map(CliError::exit_code)
         .collect();
         codes.sort_unstable();
         codes.dedup();
-        assert_eq!(codes.len(), 5, "exit codes must stay distinct");
+        assert_eq!(codes.len(), 6, "exit codes must stay distinct");
         assert!(codes.iter().skip(1).all(|&c| c != 0 && c != 1));
+    }
+
+    #[test]
+    fn corrupt_store_errors_get_their_own_exit_code() {
+        // The From impl routes store corruption to exit 6, every other
+        // engine failure to exit 5.
+        let corrupt = repair_core::RepairError::Storage {
+            context: "open durable store".into(),
+            source: StorageError::Corrupt {
+                path: "/x/snap-0.drs".into(),
+                detail: "checksum mismatch".into(),
+            },
+        };
+        let cli: CliError = corrupt.into();
+        assert!(matches!(cli, CliError::Corrupt(_)));
+        assert_eq!(cli.exit_code(), 6);
+        use std::error::Error as _;
+        assert!(cli.source().is_some(), "typed error preserved");
+        let plain: CliError = repair_core::RepairError::NothingToUndo.into();
+        assert_eq!(plain.exit_code(), 5);
+    }
+
+    #[test]
+    fn data_dir_and_churn_flags_parse_and_validate() {
+        // --data-dir alone is enough: --db becomes optional.
+        let opts = parse_args([
+            "--data-dir",
+            "/var/store",
+            "--program",
+            "p.dl",
+            "--churn",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(opts.db, None);
+        assert_eq!(opts.data_dir.as_deref(), Some("/var/store"));
+        assert_eq!(opts.churn, Some(3));
+        // --db + --data-dir initializes a store from the TSV.
+        let opts = parse_args(["--db", "d.tsv", "--data-dir", "s", "--program", "p"]).unwrap();
+        assert_eq!(opts.db.as_deref(), Some("d.tsv"));
+        // Neither --db nor --data-dir: usage error.
+        let err = parse_args(["--program", "p.dl"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        // --churn without --data-dir, or with garbage: usage errors.
+        assert!(parse_args(["--db", "d", "--program", "p", "--churn", "2"]).is_err());
+        assert!(parse_args(["--data-dir", "s", "--program", "p", "--churn", "x"]).is_err());
+    }
+
+    #[test]
+    fn churn_cycles_leave_the_database_unchanged() {
+        let mut opts = base_opts();
+        opts.churn = Some(2);
+        opts.data_dir = Some("unused-by-run".into());
+        opts.semantics = Some(Semantics::End);
+        // run() serves in-memory sessions; churn works there too.
+        let out = run(&opts, DB, RULES).unwrap();
+        assert!(out.report.contains("churn: 2 apply/undo cycles"));
+        assert!(out.report.contains("5 tuples"), "{}", out.report);
+        assert_eq!(out.results[0].size(), 3, "churn is net-zero");
     }
 
     #[test]

@@ -26,9 +26,20 @@ fn real_main() -> Result<(), CliError> {
     let read = |path: &str| {
         std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))
     };
-    let db_text = read(&opts.db)?;
     let program_text = read(&opts.program)?;
-    let out = cli::run(&opts, &db_text, &program_text)?;
+    let db_text = match &opts.db {
+        Some(path) => Some(read(path)?),
+        None => None,
+    };
+    let out = if opts.data_dir.is_some() {
+        // Durable run: --db initializes a fresh store, its absence opens
+        // (and crash-recovers) the existing one.
+        let mut session = cli::durable_session(&opts, db_text.as_deref(), &program_text)?;
+        cli::run_session(&opts, &mut session)?
+    } else {
+        let db_text = db_text.expect("parse_args requires --db without --data-dir");
+        cli::run(&opts, &db_text, &program_text)?
+    };
     print!("{}", out.report);
     if let (Some(path), Some(doc)) = (&opts.apply, &out.applied) {
         std::fs::write(path, doc).map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;

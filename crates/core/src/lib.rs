@@ -66,3 +66,6 @@ pub use session::{
     AppliedRepair, Optimality, OptimalityCertificate, RepairOutcome, RepairPreview,
     RepairProvenance, RepairRequest, RepairSession,
 };
+// Durable-session vocabulary, re-exported so callers of
+// `RepairSession::open_durable` don't need a direct `storage` dependency.
+pub use storage::{DiskOptions, FsyncPolicy, RecoveryReport};

@@ -60,9 +60,13 @@ use datalog::{Assignment, Evaluator, PlannedProgram, Program};
 use sat::MinOnesOptions;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Mutex;
+use std::path::Path;
+use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
-use storage::{Instance, TupleId, Value};
+use storage::{
+    DiskOptions, DiskStore, HistoryEntry, Instance, MutationKind, RecoveryReport, SessionMeta,
+    StorageError, TupleId, Value, WalRecord,
+};
 
 /// Parameters of one repair computation, assembled builder-style.
 ///
@@ -488,6 +492,48 @@ pub struct RepairSession {
     /// journal cursor it is synchronized at. `Mutex` (not `RefCell`) so the
     /// session stays `Sync`; `repair` takes `&self`.
     end_cache: Mutex<Option<EndCache>>,
+    /// The on-disk store backing this session, when opened durably.
+    durable: Option<DurableState>,
+}
+
+/// The durable backing of a session: the disk store, the journal cursor up
+/// to which mutations have been written to the WAL, and the report of what
+/// the opening recovery did.
+struct DurableState {
+    store: DiskStore,
+    wal_cursor: u64,
+    report: RecoveryReport,
+}
+
+/// The batch-closing WAL mark each mutator persists.
+enum BatchMark {
+    Commit,
+    Apply {
+        semantics: Semantics,
+        deleted: Vec<TupleId>,
+    },
+    Undo,
+}
+
+/// Stable on-disk code of a [`Semantics`] (WAL `Apply` marks and snapshot
+/// history entries).
+fn semantics_code(s: Semantics) -> u8 {
+    match s {
+        Semantics::Independent => 0,
+        Semantics::Step => 1,
+        Semantics::Stage => 2,
+        Semantics::End => 3,
+    }
+}
+
+fn semantics_from_code(code: u8) -> Option<Semantics> {
+    Some(match code {
+        0 => Semantics::Independent,
+        1 => Semantics::Step,
+        2 => Semantics::Stage,
+        3 => Semantics::End,
+        _ => return None,
+    })
 }
 
 /// The session's cached end-semantics checkpoint plus the journal cursor it
@@ -504,6 +550,7 @@ impl fmt::Debug for RepairSession {
             .field("rules", &self.ev.num_rules())
             .field("epoch", &self.epoch)
             .field("applied", &self.history.len())
+            .field("durable", &self.durable.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -537,7 +584,209 @@ impl RepairSession {
             epoch: 0,
             history: Vec::new(),
             end_cache: Mutex::new(None),
+            durable: None,
         })
+    }
+
+    /// [`RepairSession::new`], plus a fresh durable store in `dir`: the
+    /// database is snapshotted as generation 0 and every later mutation is
+    /// written ahead to a checksummed log, so a crash at any point loses at
+    /// most the unacknowledged tail. Refuses a directory that already holds
+    /// a store — [`RepairSession::open_durable`] is for those.
+    pub fn create_durable(
+        db: Instance,
+        program: Program,
+        dir: impl AsRef<Path>,
+    ) -> Result<RepairSession, RepairError> {
+        Self::create_durable_with(db, program, dir, DiskOptions::default())
+    }
+
+    /// [`RepairSession::create_durable`] with explicit [`DiskOptions`]
+    /// (fsync policy, auto-checkpoint interval, injectable IO).
+    pub fn create_durable_with(
+        db: Instance,
+        program: Program,
+        dir: impl AsRef<Path>,
+        opts: DiskOptions,
+    ) -> Result<RepairSession, RepairError> {
+        let mut session = Self::new(db, program)?;
+        let meta = session.durable_meta();
+        let store = DiskStore::create(dir.as_ref(), opts, &session.db, &meta)
+            .map_err(|e| RepairError::storage("create durable store", e))?;
+        session.durable = Some(DurableState {
+            store,
+            wal_cursor: session.db.journal().head(),
+            report: RecoveryReport::default(),
+        });
+        Ok(session)
+    }
+
+    /// Reopen a durable store: load the newest valid snapshot, replay the
+    /// WAL chain up to the last acknowledged batch, truncate any torn
+    /// tail, and serve `program` over the recovered database. The session
+    /// resumes with the persisted epoch and undo history;
+    /// [`RepairSession::recovery_report`] tells what recovery did.
+    ///
+    /// Corruption that the fallback ladder cannot route around surfaces as
+    /// [`StorageError::Corrupt`] (inside [`RepairError::Storage`]) — never
+    /// a panic.
+    pub fn open_durable(
+        dir: impl AsRef<Path>,
+        program: Program,
+    ) -> Result<RepairSession, RepairError> {
+        Self::open_durable_with(dir, program, DiskOptions::default())
+    }
+
+    /// [`RepairSession::open_durable`] with explicit [`DiskOptions`].
+    pub fn open_durable_with(
+        dir: impl AsRef<Path>,
+        program: Program,
+        opts: DiskOptions,
+    ) -> Result<RepairSession, RepairError> {
+        let dir = dir.as_ref();
+        let (store, db, meta, report) = DiskStore::open(dir, opts)
+            .map_err(|e| RepairError::storage("open durable store", e))?;
+        let mut history = Vec::with_capacity(meta.history.len());
+        for entry in &meta.history {
+            let semantics = semantics_from_code(entry.semantics).ok_or_else(|| {
+                RepairError::storage(
+                    "open durable store",
+                    StorageError::Corrupt {
+                        path: dir.display().to_string(),
+                        detail: format!("unknown semantics code {}", entry.semantics),
+                    },
+                )
+            })?;
+            history.push(AppliedRepair {
+                semantics,
+                deleted: entry.deleted.clone(),
+            });
+        }
+        let mut session = Self::new(db, program)?;
+        session.epoch = meta.epoch;
+        session.history = history;
+        session.durable = Some(DurableState {
+            wal_cursor: session.db.journal().head(),
+            store,
+            report,
+        });
+        Ok(session)
+    }
+
+    /// Is this session backed by a durable store?
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// What recovery did when this session was opened with
+    /// [`RepairSession::open_durable`]; `None` for in-memory sessions (and
+    /// empty-by-construction for freshly created stores).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.durable.as_ref().map(|d| &d.report)
+    }
+
+    /// Force a checkpoint: snapshot the full database (temp file + atomic
+    /// rename), start a fresh WAL generation, and drop obsolete files.
+    /// Returns the new generation. Also the recovery path after a WAL
+    /// write failure wedged the store. Fails with
+    /// [`RepairError::InvalidRequest`] on in-memory sessions.
+    pub fn checkpoint(&mut self) -> Result<u64, RepairError> {
+        let meta = self.durable_meta();
+        let head = self.db.journal().head();
+        let Some(durable) = self.durable.as_mut() else {
+            return Err(RepairError::InvalidRequest(
+                "checkpoint requires a durable session (open_durable / create_durable)".into(),
+            ));
+        };
+        let gen = durable
+            .store
+            .checkpoint(&self.db, &meta)
+            .map_err(|e| RepairError::storage("checkpoint", e))?;
+        durable.wal_cursor = head;
+        Ok(gen)
+    }
+
+    /// The session metadata a snapshot persists: epoch + undo history.
+    fn durable_meta(&self) -> SessionMeta {
+        SessionMeta {
+            epoch: self.epoch,
+            history: self
+                .history
+                .iter()
+                .map(|h| HistoryEntry {
+                    semantics: semantics_code(h.semantics),
+                    deleted: h.deleted.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Write everything the journal recorded since the WAL cursor, plus
+    /// the batch's closing mark, to the durable store. No-op for in-memory
+    /// sessions. Called by every mutator *before* [`Self::trim_journal`]
+    /// (trimming drops exactly the entries this still needs). When the
+    /// journal window no longer covers the cursor (capacity overflow), the
+    /// WAL cannot express the delta and a full checkpoint is taken instead.
+    ///
+    /// On an append failure the store wedges (the in-memory instance is
+    /// already past what the WAL holds): the mutation stays applied in
+    /// memory, the error is returned, and every later persist fails until
+    /// [`RepairSession::checkpoint`] re-establishes a full on-disk image.
+    fn persist(&mut self, mark: BatchMark) -> Result<(), RepairError> {
+        if self.durable.is_none() {
+            return Ok(());
+        }
+        // Mutators persist after mutating, so the history already reflects
+        // the batch this mark closes.
+        let meta = self.durable_meta();
+        let head = self.db.journal().head();
+        let durable = self.durable.as_mut().expect("checked above");
+        let mark = match mark {
+            BatchMark::Commit => WalRecord::Commit { epoch: self.epoch },
+            BatchMark::Apply { semantics, deleted } => WalRecord::Apply {
+                epoch: self.epoch,
+                semantics: semantics_code(semantics),
+                deleted,
+            },
+            BatchMark::Undo => WalRecord::Undo { epoch: self.epoch },
+        };
+        match self.db.journal().entries_since(durable.wal_cursor) {
+            Some(entries) => {
+                let db = &self.db;
+                let mut records: Vec<WalRecord> = entries
+                    .map(|e| match e.kind {
+                        MutationKind::Insert => WalRecord::Insert {
+                            rel: e.tid.rel,
+                            values: db.tuple(e.tid).values().to_vec(),
+                        },
+                        MutationKind::Delete => WalRecord::Delete { tid: e.tid },
+                        MutationKind::Restore => WalRecord::Restore { tid: e.tid },
+                    })
+                    .collect();
+                records.push(mark);
+                durable
+                    .store
+                    .append(&records)
+                    .map_err(|e| RepairError::storage("wal append", e))?;
+                durable.wal_cursor = head;
+                if durable.store.wants_auto_checkpoint() {
+                    durable
+                        .store
+                        .checkpoint(&self.db, &meta)
+                        .map_err(|e| RepairError::storage("auto checkpoint", e))?;
+                }
+            }
+            None => {
+                // The journal evicted entries past our cursor; only a full
+                // image can re-synchronize the store.
+                durable
+                    .store
+                    .checkpoint(&self.db, &meta)
+                    .map_err(|e| RepairError::storage("checkpoint (journal overflow)", e))?;
+                durable.wal_cursor = head;
+            }
+        }
+        Ok(())
     }
 
     /// The owned database.
@@ -591,6 +840,10 @@ impl RepairSession {
                 Err(e) => {
                     if !ids.is_empty() {
                         self.epoch += 1;
+                        // Best-effort: the rows before the failure stay
+                        // inserted, so they must reach the WAL too. The
+                        // schema error outranks a persist error here.
+                        let _ = self.persist(BatchMark::Commit);
                     }
                     self.trim_journal();
                     return Err(RepairError::storage(format!("insert into {relation}"), e));
@@ -598,6 +851,7 @@ impl RepairSession {
             }
         }
         self.epoch += 1;
+        self.persist(BatchMark::Commit)?;
         self.trim_journal();
         Ok(ids)
     }
@@ -614,6 +868,7 @@ impl RepairSession {
             .delete_tuples(ids.iter().copied())
             .map_err(|e| RepairError::storage("delete batch", e))?;
         self.epoch += 1;
+        self.persist(BatchMark::Commit)?;
         self.trim_journal();
         Ok(removed)
     }
@@ -629,6 +884,7 @@ impl RepairSession {
             .restore_tuples(ids.iter().copied())
             .map_err(|e| RepairError::storage("restore batch", e))?;
         self.epoch += 1;
+        self.persist(BatchMark::Commit)?;
         self.trim_journal();
         Ok(restored)
     }
@@ -639,12 +895,24 @@ impl RepairSession {
     /// cursor (or everything, when no checkpoint exists) is garbage.
     fn trim_journal(&mut self) {
         let keep_from = self
-            .end_cache
-            .lock()
-            .expect("no panics while holding the end-cache lock")
+            .end_cache_guard()
             .as_ref()
             .map_or_else(|| self.db.journal().head(), |cache| cache.cursor);
         self.db.truncate_journal_before(keep_from);
+    }
+
+    /// Lock the end-semantics checkpoint, surviving poison: a panic while a
+    /// previous holder was mid-update may have left a half-advanced engine
+    /// state behind, so the cache is dropped and the next end repair falls
+    /// back to a full recompute (which re-primes it). The session never
+    /// propagates the poison.
+    fn end_cache_guard(&self) -> MutexGuard<'_, Option<EndCache>> {
+        self.end_cache.lock().unwrap_or_else(|poisoned| {
+            self.end_cache.clear_poison();
+            let mut guard = poisoned.into_inner();
+            *guard = None;
+            guard
+        })
     }
 
     /// The fraction of ever-inserted rows that are tombstones, across the
@@ -729,10 +997,7 @@ impl RepairSession {
         let t0 = Instant::now();
         let driver = FixpointDriver::new(&self.ev, DeltaPolicy::AtEnd { naive: false })
             .threads(request.threads);
-        let mut guard = self
-            .end_cache
-            .lock()
-            .expect("no panics while holding the end-cache lock");
+        let mut guard = self.end_cache_guard();
         // No checkpoint, or the journal window no longer reaches back to
         // its cursor: the batch is unknowable and we rebuild from scratch.
         let batch = guard
@@ -839,6 +1104,10 @@ impl RepairSession {
             deleted: outcome.deleted().to_vec(),
         });
         self.epoch += 1;
+        self.persist(BatchMark::Apply {
+            semantics: outcome.semantics(),
+            deleted: outcome.deleted().to_vec(),
+        })?;
         self.trim_journal();
         Ok(removed)
     }
@@ -853,6 +1122,7 @@ impl RepairSession {
             .restore_tuples(entry.deleted.iter().copied())
             .map_err(|e| RepairError::storage("undo repair", e))?;
         self.epoch += 1;
+        self.persist(BatchMark::Undo)?;
         self.trim_journal();
         Ok(restored)
     }
@@ -1291,6 +1561,221 @@ mod tests {
         s.insert_batch("Grant", [[Value::Int(9), Value::str("NIH")]])
             .unwrap();
         assert_eq!(s.db().journal().len(), 1, "old window trimmed");
+    }
+
+    mod durability {
+        use super::*;
+        use std::path::Path;
+        use std::sync::Arc;
+        use storage::{FsyncPolicy, MemIo, StorageIo};
+
+        fn mem() -> (Arc<MemIo>, DiskOptions) {
+            let io = Arc::new(MemIo::new());
+            let opts = DiskOptions::with_io(io.clone() as Arc<dyn StorageIo>);
+            (io, opts)
+        }
+
+        fn durable_session(opts: DiskOptions) -> RepairSession {
+            RepairSession::create_durable_with(
+                figure1_instance(),
+                figure2_program(),
+                Path::new("/store"),
+                opts,
+            )
+            .unwrap()
+        }
+
+        fn reopen(opts: DiskOptions) -> RepairSession {
+            RepairSession::open_durable_with(Path::new("/store"), figure2_program(), opts).unwrap()
+        }
+
+        #[test]
+        fn mutations_survive_reopen_bit_identically() {
+            let (_io, opts) = mem();
+            let mut s = durable_session(opts.clone());
+            s.insert_batch("Grant", [[Value::Int(9), Value::str("ERC")]])
+                .unwrap();
+            let g2 = tid_of(s.db(), "Grant(2, ERC)");
+            s.delete_batch(&[g2]).unwrap();
+            s.restore_batch(&[g2]).unwrap();
+
+            let r = reopen(opts);
+            assert!(r.is_durable());
+            assert_eq!(r.db(), s.db(), "tuple ids and liveness round-trip");
+            assert_eq!(r.epoch(), s.epoch());
+            assert!(r.db().indexes_consistent());
+            assert!(!r.recovery_report().unwrap().degraded());
+            assert_eq!(
+                r.run(Semantics::End).deleted(),
+                s.run(Semantics::End).deleted()
+            );
+        }
+
+        #[test]
+        fn apply_and_undo_history_survives_reopen() {
+            let (_io, opts) = mem();
+            let mut s = durable_session(opts.clone());
+            let outcome = s.run(Semantics::Independent);
+            outcome.apply(&mut s).unwrap();
+
+            let mut r = reopen(opts.clone());
+            assert_eq!(r.history().len(), 1);
+            assert_eq!(r.history()[0].semantics, Semantics::Independent);
+            assert_eq!(r.history()[0].deleted, outcome.deleted());
+            assert_eq!(r.db(), s.db());
+            // The persisted undo stack is live: roll the repair back, and
+            // the undo itself is durable too.
+            assert_eq!(r.undo().unwrap(), 3);
+            let mut r2 = reopen(opts);
+            assert!(r2.history().is_empty());
+            assert_eq!(r2.db(), r.db());
+            assert!(matches!(r2.undo(), Err(RepairError::NothingToUndo)));
+        }
+
+        #[test]
+        fn explicit_and_auto_checkpoints_roll_generations() {
+            let (_io, mut opts) = mem();
+            opts.checkpoint_every = 2;
+            let mut s = durable_session(opts.clone());
+            assert_eq!(s.checkpoint().unwrap(), 1);
+            // Each insert batch persists two records (insert + commit), so
+            // every batch crosses the threshold and auto-checkpoints.
+            s.insert_batch("Grant", [[Value::Int(9), Value::str("X")]])
+                .unwrap();
+            s.insert_batch("Grant", [[Value::Int(10), Value::str("Y")]])
+                .unwrap();
+            assert_eq!(s.durable.as_ref().unwrap().store.generation(), 3);
+            let r = reopen(opts);
+            assert_eq!(r.db(), s.db());
+            assert_eq!(r.recovery_report().unwrap().snapshot_gen, Some(3));
+        }
+
+        #[test]
+        fn journal_overflow_falls_back_to_a_full_checkpoint() {
+            let (_io, opts) = mem();
+            let mut s = durable_session(opts.clone());
+            // Shrink the journal so it cannot hold a batch: the delta
+            // between the WAL cursor and the head becomes unknowable and
+            // persist must degrade to a full checkpoint, not lose writes.
+            s.db.set_journal_capacity(0);
+            let gen_before = s.durable.as_ref().unwrap().store.generation();
+            s.insert_batch(
+                "Grant",
+                [
+                    [Value::Int(9), Value::str("X")],
+                    [Value::Int(10), Value::str("Y")],
+                ],
+            )
+            .unwrap();
+            assert!(s.durable.as_ref().unwrap().store.generation() > gen_before);
+            let r = reopen(opts);
+            assert_eq!(r.db(), s.db());
+            assert_eq!(r.epoch(), s.epoch());
+        }
+
+        #[test]
+        fn fsync_policies_accept_the_same_traffic() {
+            for fsync in [
+                FsyncPolicy::Always,
+                FsyncPolicy::EveryN(3),
+                FsyncPolicy::OnCheckpoint,
+            ] {
+                let (_io, mut opts) = mem();
+                opts.fsync = fsync;
+                let mut s = durable_session(opts.clone());
+                for i in 0..5 {
+                    s.insert_batch("Grant", [[Value::Int(100 + i), Value::str("Z")]])
+                        .unwrap();
+                }
+                s.checkpoint().unwrap();
+                let r = reopen(opts);
+                assert_eq!(r.db(), s.db(), "{fsync:?}");
+            }
+        }
+
+        #[test]
+        fn in_memory_sessions_reject_checkpoint() {
+            let mut s = session();
+            assert!(matches!(
+                s.checkpoint(),
+                Err(RepairError::InvalidRequest(_))
+            ));
+            assert!(!s.is_durable());
+            assert!(s.recovery_report().is_none());
+        }
+
+        #[test]
+        fn create_refuses_an_existing_store() {
+            let (_io, opts) = mem();
+            durable_session(opts.clone());
+            let err = RepairSession::create_durable_with(
+                figure1_instance(),
+                figure2_program(),
+                Path::new("/store"),
+                opts,
+            )
+            .unwrap_err();
+            assert!(err.to_string().contains("open it instead"), "{err}");
+        }
+
+        #[test]
+        fn corrupt_store_surfaces_as_typed_error_not_panic() {
+            let (io, opts) = mem();
+            let mut s = durable_session(opts.clone());
+            s.insert_batch("Grant", [[Value::Int(9), Value::str("ERC")]])
+                .unwrap();
+            drop(s);
+            // Flip a byte in the only snapshot AND cut the WAL header so
+            // no rung of the ladder can serve the open.
+            let mut snap = io.contents(Path::new("/store/snap-0.drs")).unwrap();
+            snap[12] ^= 0xff;
+            io.corrupt(Path::new("/store/snap-0.drs"), snap);
+            let wal = io.contents(Path::new("/store/wal-0.drw")).unwrap();
+            io.corrupt(Path::new("/store/wal-0.drw"), wal[..4].to_vec());
+            let err =
+                RepairSession::open_durable_with(Path::new("/store"), figure2_program(), opts)
+                    .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    RepairError::Storage {
+                        source: StorageError::Corrupt { .. },
+                        ..
+                    }
+                ),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisoned_end_cache_recovers_by_full_recompute() {
+        let s = session();
+        let cold = s.run(Semantics::End);
+        assert!(s.run(Semantics::End).served_incrementally());
+        // Poison the checkpoint lock: a holder panicked mid-update.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = s.end_cache.lock().unwrap();
+            panic!("simulated panic while holding the end-cache lock");
+        }));
+        assert!(s.end_cache.is_poisoned());
+        // The next repair must neither panic nor trust the torn cache: it
+        // clears the poison, recomputes from scratch, and re-primes.
+        let after = s.run(Semantics::End);
+        assert!(!after.served_incrementally(), "torn cache was dropped");
+        assert_eq!(after.deleted(), cold.deleted());
+        assert!(!s.end_cache.is_poisoned());
+        assert!(s.run(Semantics::End).served_incrementally(), "re-primed");
+        // Mutators (which lock the cache to trim the journal) survive a
+        // poisoned lock too.
+        let mut s = s;
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = s.end_cache.lock().unwrap();
+            panic!("poison again");
+        }));
+        s.insert_batch("Grant", [[Value::Int(9), Value::str("ERC")]])
+            .unwrap();
+        assert_eq!(s.run(Semantics::End).size(), cold.size() + 1);
     }
 
     #[test]

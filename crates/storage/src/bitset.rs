@@ -31,6 +31,21 @@ impl BitSet {
         b
     }
 
+    /// A bitset over exactly `words`, sized for `len` bits. Returns `None`
+    /// when the word count doesn't match `len` or a bit beyond `len` is
+    /// set — the deserialization guard (snapshots store live bitsets as
+    /// raw words; a corrupt file must not smuggle in out-of-range bits).
+    pub fn from_words(words: Vec<u64>, len: usize) -> Option<BitSet> {
+        if words.len() != len.div_ceil(64) {
+            return None;
+        }
+        let tail = len % 64;
+        if tail != 0 && words.last().is_some_and(|w| w >> tail != 0) {
+            return None;
+        }
+        Some(BitSet { words, len })
+    }
+
     fn trim_tail(&mut self) {
         let tail = self.len % 64;
         if tail != 0 {

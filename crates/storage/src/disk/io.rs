@@ -1,0 +1,491 @@
+//! The injectable IO boundary of the durable store.
+//!
+//! Every byte the store reads or writes goes through a [`StorageIo`]
+//! implementation, which is what makes crash recovery *testable*: the
+//! fault-injection harness swaps [`StdIo`] for an in-memory [`MemIo`]
+//! wrapped in a [`FaultIo`] that deterministically fails, short-writes or
+//! bit-flips the Nth operation and then behaves like a dead process. The
+//! recovery property tests crash at every injection point this way and
+//! assert the reopened instance matches a never-crashed reference.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Filesystem primitives the durable store needs, in injectable form.
+///
+/// Implementations must be usable behind an `Arc` from one thread at a time
+/// (the store itself is not concurrent; `Send + Sync` is required so a
+/// durable session stays `Send`).
+pub trait StorageIo: Send + Sync + fmt::Debug {
+    /// Create `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// File names (not paths) directly inside `dir`. A missing directory is
+    /// an empty listing, not an error.
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>>;
+    /// Whole-file read.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Create-or-truncate write of the whole file.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Append to the end of the file (which must exist).
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Shrink the file to `len` bytes (recovery chops torn WAL tails).
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Force file contents to stable storage.
+    fn sync(&self, path: &Path) -> io::Result<()>;
+    /// Atomically replace `to` with `from` (the snapshot commit point).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Delete a file.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The real filesystem.
+#[derive(Debug, Default)]
+pub struct StdIo;
+
+impl StorageIo for StdIo {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let entries = match fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut names = Vec::new();
+        for entry in entries {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        Ok(names)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        fs::write(path, bytes)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = fs::OpenOptions::new().append(true).open(path)?;
+        f.write_all(bytes)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let f = fs::OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)?;
+        // Persist the directory entry too; without this a crash can undo
+        // the rename even though the data blocks survived. Best-effort:
+        // some filesystems refuse to fsync directories.
+        if let Some(parent) = to.parent() {
+            if let Ok(d) = fs::File::open(parent) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+}
+
+/// One in-memory file: contents plus how much of them is "on stable
+/// storage" (survives [`MemIo::lose_unsynced`]).
+#[derive(Clone, Debug, Default)]
+struct MemFile {
+    data: Vec<u8>,
+    synced: usize,
+}
+
+/// A deterministic in-memory filesystem for recovery tests.
+///
+/// Tracks per file how many bytes have been synced; a simulated crash
+/// ([`MemIo::lose_unsynced`]) rolls every file back to its synced prefix,
+/// modelling a kernel that never flushed the page cache. Renames and
+/// removals are treated as immediately durable — a simplification that
+/// matches `StdIo`'s directory-fsync-after-rename behaviour.
+#[derive(Debug, Default)]
+pub struct MemIo {
+    files: Mutex<std::collections::BTreeMap<PathBuf, MemFile>>,
+}
+
+impl MemIo {
+    /// Empty in-memory filesystem.
+    pub fn new() -> MemIo {
+        MemIo::default()
+    }
+
+    /// Simulate a crash: every file loses bytes written since its last
+    /// sync. Files created and never synced disappear entirely.
+    pub fn lose_unsynced(&self) {
+        let mut files = self.files.lock().unwrap();
+        files.retain(|_, f| {
+            f.data.truncate(f.synced);
+            f.synced > 0
+        });
+    }
+
+    /// Raw contents of `path`, if present (test corruption helpers).
+    pub fn contents(&self, path: &Path) -> Option<Vec<u8>> {
+        self.files.lock().unwrap().get(path).map(|f| f.data.clone())
+    }
+
+    /// Overwrite `path` with `bytes`, marking them synced (test corruption
+    /// helpers — this bypasses the op counter of any wrapping `FaultIo`).
+    pub fn corrupt(&self, path: &Path, bytes: Vec<u8>) {
+        let mut files = self.files.lock().unwrap();
+        let synced = bytes.len();
+        files.insert(
+            path.to_path_buf(),
+            MemFile {
+                data: bytes,
+                synced,
+            },
+        );
+    }
+}
+
+impl StorageIo for MemIo {
+    fn create_dir_all(&self, _dir: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let files = self.files.lock().unwrap();
+        Ok(files
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .filter_map(|p| p.file_name())
+            .map(|n| n.to_string_lossy().into_owned())
+            .collect())
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.contents(path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut files = self.files.lock().unwrap();
+        files.insert(
+            path.to_path_buf(),
+            MemFile {
+                data: bytes.to_vec(),
+                synced: 0,
+            },
+        );
+        Ok(())
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut files = self.files.lock().unwrap();
+        let f = files
+            .get_mut(path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))?;
+        f.data.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let mut files = self.files.lock().unwrap();
+        let f = files
+            .get_mut(path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))?;
+        f.data.truncate(len as usize);
+        f.synced = f.synced.min(f.data.len());
+        Ok(())
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        let mut files = self.files.lock().unwrap();
+        let f = files
+            .get_mut(path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))?;
+        f.synced = f.data.len();
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut files = self.files.lock().unwrap();
+        let mut f = files
+            .remove(from)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))?;
+        // Rename is the snapshot commit point: model it (plus StdIo's
+        // directory fsync) as durable, contents included.
+        f.synced = f.data.len();
+        files.insert(to.to_path_buf(), f);
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        let mut files = self.files.lock().unwrap();
+        files
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))
+    }
+}
+
+/// What the Nth operation does instead of succeeding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The operation fails outright; nothing reaches the inner IO.
+    Fail,
+    /// A write/append persists only a prefix, then fails (torn write).
+    /// Non-write operations degrade to [`FaultMode::Fail`].
+    ShortWrite,
+    /// A write/append persists with one bit flipped, then fails (silent
+    /// media corruption discovered at the checksum). Non-write operations
+    /// degrade to [`FaultMode::Fail`].
+    BitFlip,
+}
+
+/// Inject `mode` at the `at_op`-th operation (1-based).
+#[derive(Clone, Copy, Debug)]
+pub struct Fault {
+    /// Which operation (counting every `StorageIo` call) misbehaves.
+    pub at_op: u64,
+    /// How it misbehaves.
+    pub mode: FaultMode,
+}
+
+/// Wraps another [`StorageIo`], counting operations and injecting one
+/// [`Fault`]; after the fault fires every later operation fails, modelling
+/// a process that died at the injection point.
+#[derive(Debug)]
+pub struct FaultIo {
+    inner: Arc<dyn StorageIo>,
+    fault: Option<Fault>,
+    ops: AtomicU64,
+    crashed: Mutex<bool>,
+}
+
+impl FaultIo {
+    /// Wrap `inner`; a `fault` of `None` only counts operations.
+    pub fn new(inner: Arc<dyn StorageIo>, fault: Option<Fault>) -> FaultIo {
+        FaultIo {
+            inner,
+            fault,
+            ops: AtomicU64::new(0),
+            crashed: Mutex::new(false),
+        }
+    }
+
+    /// Operations issued so far (a no-fault dry run measures the injection
+    /// space with this).
+    pub fn ops_used(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// Has the injected fault fired?
+    pub fn has_crashed(&self) -> bool {
+        *self.crashed.lock().unwrap()
+    }
+
+    fn dead() -> io::Error {
+        io::Error::other("injected crash: process is dead")
+    }
+
+    /// Count one operation; `Ok(None)` means proceed normally, `Ok(Some)`
+    /// means this is the faulted op (caller applies `mode`).
+    fn tick(&self) -> io::Result<Option<FaultMode>> {
+        let mut crashed = self.crashed.lock().unwrap();
+        if *crashed {
+            return Err(Self::dead());
+        }
+        let n = self.ops.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(f) = self.fault {
+            if f.at_op == n {
+                *crashed = true;
+                return Ok(Some(f.mode));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Apply a write-shaped fault: persist a mangled version of `bytes`
+    /// through `op`, then report failure.
+    fn faulty_write(
+        &self,
+        mode: FaultMode,
+        bytes: &[u8],
+        op: impl FnOnce(&[u8]) -> io::Result<()>,
+    ) -> io::Result<()> {
+        match mode {
+            FaultMode::Fail => {}
+            FaultMode::ShortWrite => {
+                let _ = op(&bytes[..bytes.len() / 2]);
+            }
+            FaultMode::BitFlip => {
+                let mut mangled = bytes.to_vec();
+                if !mangled.is_empty() {
+                    let mid = mangled.len() / 2;
+                    mangled[mid] ^= 0x10;
+                }
+                let _ = op(&mangled);
+            }
+        }
+        Err(io::Error::other("injected fault"))
+    }
+}
+
+impl StorageIo for FaultIo {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        match self.tick()? {
+            None => self.inner.create_dir_all(dir),
+            Some(_) => Err(io::Error::other("injected fault")),
+        }
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        match self.tick()? {
+            None => self.inner.list(dir),
+            Some(_) => Err(io::Error::other("injected fault")),
+        }
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        match self.tick()? {
+            None => self.inner.read(path),
+            Some(_) => Err(io::Error::other("injected fault")),
+        }
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.tick()? {
+            None => self.inner.write(path, bytes),
+            Some(mode) => self.faulty_write(mode, bytes, |b| self.inner.write(path, b)),
+        }
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.tick()? {
+            None => self.inner.append(path, bytes),
+            Some(mode) => self.faulty_write(mode, bytes, |b| self.inner.append(path, b)),
+        }
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        match self.tick()? {
+            None => self.inner.truncate(path, len),
+            Some(_) => Err(io::Error::other("injected fault")),
+        }
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        match self.tick()? {
+            None => self.inner.sync(path),
+            Some(_) => Err(io::Error::other("injected fault")),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.tick()? {
+            None => self.inner.rename(from, to),
+            Some(_) => Err(io::Error::other("injected fault")),
+        }
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        match self.tick()? {
+            None => self.inner.remove(path),
+            Some(_) => Err(io::Error::other("injected fault")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_io_sync_tracking_survives_crash() {
+        let io = MemIo::new();
+        let p = Path::new("/store/wal-0.drw");
+        io.write(p, b"header").unwrap();
+        io.sync(p).unwrap();
+        io.append(p, b" tail").unwrap();
+        io.lose_unsynced();
+        assert_eq!(io.read(p).unwrap(), b"header");
+
+        // A never-synced file vanishes at the crash.
+        io.write(Path::new("/store/tmp"), b"x").unwrap();
+        io.lose_unsynced();
+        assert!(io.read(Path::new("/store/tmp")).is_err());
+    }
+
+    #[test]
+    fn mem_io_rename_is_durable() {
+        let io = MemIo::new();
+        let tmp = Path::new("/store/snap.tmp");
+        let fin = Path::new("/store/snap-1.drs");
+        io.write(tmp, b"snapshot").unwrap();
+        io.rename(tmp, fin).unwrap();
+        io.lose_unsynced();
+        assert_eq!(io.read(fin).unwrap(), b"snapshot");
+        assert!(io.read(tmp).is_err());
+    }
+
+    #[test]
+    fn fault_io_fires_once_then_everything_fails() {
+        let mem = Arc::new(MemIo::new());
+        let io = FaultIo::new(
+            mem.clone(),
+            Some(Fault {
+                at_op: 2,
+                mode: FaultMode::Fail,
+            }),
+        );
+        let p = Path::new("/s/f");
+        io.write(p, b"a").unwrap(); // op 1: fine
+        assert!(io.append(p, b"b").is_err()); // op 2: the fault
+        assert!(io.has_crashed());
+        assert!(io.read(p).is_err(), "dead process issues no more io");
+        assert_eq!(mem.contents(p).unwrap(), b"a");
+    }
+
+    #[test]
+    fn short_write_persists_a_prefix() {
+        let mem = Arc::new(MemIo::new());
+        let io = FaultIo::new(
+            mem.clone(),
+            Some(Fault {
+                at_op: 1,
+                mode: FaultMode::ShortWrite,
+            }),
+        );
+        assert!(io.write(Path::new("/s/f"), b"abcdef").is_err());
+        assert_eq!(mem.contents(Path::new("/s/f")).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn bit_flip_persists_mangled_bytes() {
+        let mem = Arc::new(MemIo::new());
+        let io = FaultIo::new(
+            mem.clone(),
+            Some(Fault {
+                at_op: 1,
+                mode: FaultMode::BitFlip,
+            }),
+        );
+        assert!(io.write(Path::new("/s/f"), b"abcd").is_err());
+        let got = mem.contents(Path::new("/s/f")).unwrap();
+        assert_ne!(got, b"abcd");
+        assert_eq!(got.len(), 4);
+    }
+}

@@ -1,0 +1,495 @@
+//! Crash-safe durable storage: a checksummed write-ahead log plus atomic
+//! binary snapshots, behind an injectable IO boundary.
+//!
+//! A store directory holds *generations*. Generation `g` is a snapshot
+//! `snap-<g>.drs` (the full instance + session metadata at one instant)
+//! and a WAL `wal-<g>.drw` (every acknowledged mutation batch since). A
+//! checkpoint writes the next snapshot to a temp file, atomically renames
+//! it, starts a fresh WAL, and removes generations older than the previous
+//! one — so at least two generations are on disk at all times. GC keeps
+//! everything from the newest *known-valid* snapshot generation up (see
+//! [`DiskStore`]'s floor), and recovery deletes snapshots that failed
+//! validation, so a known-good base is never collected in favor of a
+//! corrupt newer file. The recovery fallback ladder walks those
+//! generations:
+//!
+//! 1. newest snapshot that validates, plus the WAL **chain** from its
+//!    generation upward (a corrupt newest snapshot costs nothing but the
+//!    fallback note — the previous generation's WAL still covers every
+//!    batch up to the checkpoint, and the newer WAL continues from there);
+//! 2. no snapshot validates: WAL-only replay from generation 0, allowed
+//!    only when `wal-0` records an empty base (`base_rows == 0`);
+//! 3. otherwise [`StorageError::Corrupt`] naming everything that was
+//!    tried. Never a panic, whatever the bytes.
+//!
+//! Within a WAL, records only count once their batch's closing
+//! `Commit`/`Apply`/`Undo` mark is read, so recovery always lands on an
+//! acknowledged batch boundary; a torn final record is truncated, not
+//! fatal. See `DESIGN.md` ("Durability") for the file formats.
+
+pub mod codec;
+pub mod io;
+pub mod recovery;
+pub mod snapshot;
+pub mod wal;
+
+pub use io::{Fault, FaultIo, FaultMode, MemIo, StdIo, StorageIo};
+pub use recovery::RecoveryReport;
+pub use wal::WalRecord;
+
+use crate::error::StorageError;
+use crate::instance::Instance;
+use crate::tuple::TupleId;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// When WAL appends reach stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Fsync after every append: an acknowledged batch survives any crash.
+    Always,
+    /// Fsync every N appends: bounded data loss, amortized cost.
+    EveryN(u32),
+    /// Fsync only at checkpoints: fastest, loses the tail on crash.
+    OnCheckpoint,
+}
+
+/// One applied repair in the session's undo history, in persisted form:
+/// the semantics as a session-level code plus the full delete set.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistoryEntry {
+    /// Session-level semantics code (the session en/decodes it; storage
+    /// stays independent of the semantics enum).
+    pub semantics: u8,
+    /// The repair's delete set — what undo restores.
+    pub deleted: Vec<TupleId>,
+}
+
+/// Session state persisted alongside the instance.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionMeta {
+    /// Mutation epoch (stale-outcome fencing survives restarts).
+    pub epoch: u64,
+    /// Undo stack of applied repairs, oldest first.
+    pub history: Vec<HistoryEntry>,
+}
+
+/// Store configuration: fsync policy, IO implementation, checkpoint cadence.
+#[derive(Clone, Debug)]
+pub struct DiskOptions {
+    /// When appends are fsynced.
+    pub fsync: FsyncPolicy,
+    /// The IO boundary ([`StdIo`] outside tests).
+    pub io: Arc<dyn StorageIo>,
+    /// Auto-checkpoint after this many WAL records (`0` = only explicit
+    /// checkpoints).
+    pub checkpoint_every: u64,
+}
+
+impl Default for DiskOptions {
+    fn default() -> DiskOptions {
+        DiskOptions {
+            fsync: FsyncPolicy::Always,
+            io: Arc::new(StdIo),
+            checkpoint_every: 1 << 16,
+        }
+    }
+}
+
+impl DiskOptions {
+    /// Default options over a specific IO implementation.
+    pub fn with_io(io: Arc<dyn StorageIo>) -> DiskOptions {
+        DiskOptions {
+            io,
+            ..DiskOptions::default()
+        }
+    }
+}
+
+pub(crate) fn snap_name(gen: u64) -> String {
+    format!("snap-{gen}.drs")
+}
+
+pub(crate) fn wal_name(gen: u64) -> String {
+    format!("wal-{gen}.drw")
+}
+
+/// Parse `snap-<g>.drs` / `wal-<g>.drw` names back to generations.
+pub(crate) fn parse_gen(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
+}
+
+fn io_err(op: &'static str, path: &Path, e: std::io::Error) -> StorageError {
+    StorageError::Io {
+        op,
+        path: path.display().to_string(),
+        error: e.to_string(),
+    }
+}
+
+/// An open durable store: the append end of the current WAL plus the
+/// checkpoint machinery. The in-memory [`Instance`] stays the source of
+/// truth; the store only hears about mutations through
+/// [`DiskStore::append`] and about full states through
+/// [`DiskStore::checkpoint`].
+#[derive(Debug)]
+pub struct DiskStore {
+    io: Arc<dyn StorageIo>,
+    dir: PathBuf,
+    fsync: FsyncPolicy,
+    checkpoint_every: u64,
+    gen: u64,
+    /// Newest generation whose snapshot is known valid: written by us, or
+    /// the one recovery actually loaded from. Checkpoint GC never removes
+    /// generations at or above this floor, so a recovery that fell back
+    /// past a corrupt newest snapshot cannot have its only valid base
+    /// retired before a newer checkpointed pair supersedes it.
+    last_valid_snap: u64,
+    appends_since_sync: u32,
+    records_since_checkpoint: u64,
+    wedged: bool,
+}
+
+impl DiskStore {
+    /// Initialize a fresh store in `dir` (created if missing, refused if it
+    /// already holds store files) with `db` + `meta` as generation 0.
+    pub fn create(
+        dir: &Path,
+        opts: DiskOptions,
+        db: &Instance,
+        meta: &SessionMeta,
+    ) -> Result<DiskStore, StorageError> {
+        let io = opts.io.clone();
+        io.create_dir_all(dir)
+            .map_err(|e| io_err("create directory", dir, e))?;
+        let names = io.list(dir).map_err(|e| io_err("list", dir, e))?;
+        if names.iter().any(|n| {
+            parse_gen(n, "snap-", ".drs").is_some() || parse_gen(n, "wal-", ".drw").is_some()
+        }) {
+            return Err(StorageError::Io {
+                op: "create store",
+                path: dir.display().to_string(),
+                error: "directory already contains a store (open it instead)".into(),
+            });
+        }
+        let store = DiskStore {
+            io,
+            dir: dir.to_path_buf(),
+            fsync: opts.fsync,
+            checkpoint_every: opts.checkpoint_every,
+            gen: 0,
+            last_valid_snap: 0,
+            appends_since_sync: 0,
+            records_since_checkpoint: 0,
+            wedged: false,
+        };
+        store.write_snapshot(0, db, meta)?;
+        store.write_wal_header(0, db)?;
+        Ok(store)
+    }
+
+    /// Open an existing store, running the recovery ladder. Returns the
+    /// store positioned at the newest generation, the recovered instance
+    /// and session metadata, and a report of what recovery did.
+    pub fn open(
+        dir: &Path,
+        opts: DiskOptions,
+    ) -> Result<(DiskStore, Instance, SessionMeta, RecoveryReport), StorageError> {
+        recovery::recover(dir, opts)
+    }
+
+    /// Append one acknowledged batch (data records + its closing mark).
+    /// On failure the store *wedges*: the in-memory instance has already
+    /// moved past what the WAL holds, so every later append is refused
+    /// until a [`DiskStore::checkpoint`] re-establishes a full image.
+    pub fn append(&mut self, records: &[wal::WalRecord]) -> Result<(), StorageError> {
+        if self.wedged {
+            return Err(StorageError::Io {
+                op: "wal append",
+                path: self.wal_path().display().to_string(),
+                error: "store is wedged after an earlier write failure; checkpoint to recover"
+                    .into(),
+            });
+        }
+        let path = self.wal_path();
+        let bytes = wal::frame_records(records);
+        if let Err(e) = self.io.append(&path, &bytes) {
+            self.wedged = true;
+            return Err(io_err("wal append", &path, e));
+        }
+        self.records_since_checkpoint += records.len() as u64;
+        let due = match self.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => {
+                self.appends_since_sync += 1;
+                self.appends_since_sync >= n
+            }
+            FsyncPolicy::OnCheckpoint => false,
+        };
+        if due {
+            if let Err(e) = self.io.sync(&path) {
+                self.wedged = true;
+                return Err(io_err("wal fsync", &path, e));
+            }
+            self.appends_since_sync = 0;
+        }
+        Ok(())
+    }
+
+    /// Write the next snapshot generation (temp file + fsync + atomic
+    /// rename), start its fresh WAL, and drop generations older than the
+    /// previous one. Also the recovery path out of a wedged store: a
+    /// successful checkpoint persists the full in-memory image, superseding
+    /// whatever the broken WAL lost.
+    pub fn checkpoint(&mut self, db: &Instance, meta: &SessionMeta) -> Result<u64, StorageError> {
+        if !self.wedged {
+            // The old WAL stays the fallback for the new snapshot; make
+            // sure everything acknowledged is actually in it.
+            let path = self.wal_path();
+            self.io
+                .sync(&path)
+                .map_err(|e| io_err("wal fsync", &path, e))?;
+        }
+        let next = self.gen + 1;
+        self.write_snapshot(next, db, meta)?;
+        self.write_wal_header(next, db)?;
+        // Cleanup is best-effort: at this point the new generation is
+        // durable, and stray old files only cost disk space (recovery
+        // ignores generations below the newest valid snapshot). The floor
+        // keeps the generation recovery loaded from — possibly older than
+        // `next - 1` if newer snapshots were corrupt — until this and a
+        // later checkpoint have written two valid generations above it.
+        let keep_from = self.last_valid_snap.min(next - 1);
+        if let Ok(names) = self.io.list(&self.dir) {
+            for name in names {
+                let stale = parse_gen(&name, "snap-", ".drs")
+                    .or_else(|| parse_gen(&name, "wal-", ".drw"))
+                    .is_some_and(|g| g < keep_from)
+                    || name.ends_with(".tmp");
+                if stale {
+                    let _ = self.io.remove(&self.dir.join(name));
+                }
+            }
+        }
+        self.gen = next;
+        self.last_valid_snap = next;
+        self.records_since_checkpoint = 0;
+        self.appends_since_sync = 0;
+        self.wedged = false;
+        Ok(next)
+    }
+
+    /// Should the session fold in an automatic checkpoint?
+    pub fn wants_auto_checkpoint(&self) -> bool {
+        self.checkpoint_every > 0 && self.records_since_checkpoint >= self.checkpoint_every
+    }
+
+    /// Current generation (the WAL being appended to).
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Has a write failure wedged the store? (See [`DiskStore::append`].)
+    pub fn is_wedged(&self) -> bool {
+        self.wedged
+    }
+
+    /// WAL records appended since the last checkpoint.
+    pub fn records_since_checkpoint(&self) -> u64 {
+        self.records_since_checkpoint
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn wal_path(&self) -> PathBuf {
+        self.dir.join(wal_name(self.gen))
+    }
+
+    fn write_snapshot(
+        &self,
+        gen: u64,
+        db: &Instance,
+        meta: &SessionMeta,
+    ) -> Result<(), StorageError> {
+        let bytes = snapshot::encode(gen, db, meta);
+        let tmp = self.dir.join(format!("snap-{gen}.tmp"));
+        let fin = self.dir.join(snap_name(gen));
+        self.io
+            .write(&tmp, &bytes)
+            .map_err(|e| io_err("snapshot write", &tmp, e))?;
+        self.io
+            .sync(&tmp)
+            .map_err(|e| io_err("snapshot fsync", &tmp, e))?;
+        self.io
+            .rename(&tmp, &fin)
+            .map_err(|e| io_err("snapshot rename", &fin, e))?;
+        Ok(())
+    }
+
+    fn write_wal_header(&self, gen: u64, db: &Instance) -> Result<(), StorageError> {
+        let rows: usize = db
+            .schema()
+            .iter()
+            .map(|(rel, _)| db.relation(rel).num_rows())
+            .sum();
+        let bytes = wal::encode_header(gen, rows as u64, db.schema());
+        let path = self.dir.join(wal_name(gen));
+        self.io
+            .write(&path, &bytes)
+            .map_err(|e| io_err("wal create", &path, e))?;
+        self.io
+            .sync(&path)
+            .map_err(|e| io_err("wal fsync", &path, e))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, Schema};
+    use crate::value::Value;
+
+    fn mem_opts() -> (Arc<MemIo>, DiskOptions) {
+        let mem = Arc::new(MemIo::new());
+        let opts = DiskOptions {
+            fsync: FsyncPolicy::Always,
+            io: mem.clone(),
+            checkpoint_every: 0,
+        };
+        (mem, opts)
+    }
+
+    fn small_db() -> Instance {
+        let mut schema = Schema::new();
+        schema.relation("R", &[("x", AttrType::Int)]);
+        Instance::new(schema)
+    }
+
+    #[test]
+    fn create_append_checkpoint_open_round_trip() {
+        let (_mem, opts) = mem_opts();
+        let dir = Path::new("/store");
+        let mut db = small_db();
+        let mut store = DiskStore::create(dir, opts.clone(), &db, &SessionMeta::default()).unwrap();
+
+        let t = db.insert_values("R", [Value::Int(1)]).unwrap();
+        store
+            .append(&[
+                WalRecord::Insert {
+                    rel: t.rel,
+                    values: vec![Value::Int(1)],
+                },
+                WalRecord::Commit { epoch: 1 },
+            ])
+            .unwrap();
+        assert_eq!(store.records_since_checkpoint(), 2);
+
+        let (reopened, rdb, meta, report) = DiskStore::open(dir, opts.clone()).unwrap();
+        assert_eq!(rdb, db);
+        assert_eq!(meta.epoch, 1);
+        assert_eq!(report.snapshot_gen, Some(0));
+        assert_eq!(report.batches_replayed, 1);
+        assert_eq!(reopened.generation(), 0);
+
+        let gen = store
+            .checkpoint(
+                &db,
+                &SessionMeta {
+                    epoch: 1,
+                    history: vec![],
+                },
+            )
+            .unwrap();
+        assert_eq!(gen, 1);
+        let (_, rdb2, meta2, report2) = DiskStore::open(dir, opts).unwrap();
+        assert_eq!(rdb2, db);
+        assert_eq!(meta2.epoch, 1);
+        assert_eq!(report2.snapshot_gen, Some(1));
+        assert_eq!(report2.batches_replayed, 0);
+    }
+
+    #[test]
+    fn create_refuses_an_existing_store() {
+        let (_mem, opts) = mem_opts();
+        let dir = Path::new("/store");
+        let db = small_db();
+        DiskStore::create(dir, opts.clone(), &db, &SessionMeta::default()).unwrap();
+        let err = DiskStore::create(dir, opts, &db, &SessionMeta::default()).unwrap_err();
+        assert!(matches!(err, StorageError::Io { .. }), "{err}");
+    }
+
+    #[test]
+    fn failed_append_wedges_until_checkpoint() {
+        let mem = Arc::new(MemIo::new());
+        let db = small_db();
+        let faulty = Arc::new(FaultIo::new(
+            mem.clone(),
+            Some(Fault {
+                at_op: 8,
+                mode: FaultMode::Fail,
+            }),
+        ));
+        let dir = Path::new("/store");
+        let mut store = DiskStore::create(
+            dir,
+            DiskOptions {
+                fsync: FsyncPolicy::Always,
+                io: faulty,
+                checkpoint_every: 0,
+            },
+            &db,
+            &SessionMeta::default(),
+        )
+        .unwrap();
+        // create uses 7 ops (create_dir, list, snap write, sync, rename,
+        // wal write, sync); op 8 is the first append. Regardless of the
+        // exact count, keep appending until the fault fires.
+        let mut failed = false;
+        for _ in 0..10 {
+            if store.append(&[WalRecord::Commit { epoch: 0 }]).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed);
+        assert!(store.is_wedged());
+        let err = store.append(&[WalRecord::Commit { epoch: 0 }]).unwrap_err();
+        assert!(err.to_string().contains("wedged"), "{err}");
+        // Checkpointing through a *working* IO clears the wedge. (Swap the
+        // store's IO by rebuilding it against the same MemIo.)
+        let mut store = DiskStore { io: mem, ..store };
+        store.checkpoint(&db, &SessionMeta::default()).unwrap();
+        assert!(!store.is_wedged());
+        store.append(&[WalRecord::Commit { epoch: 0 }]).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_retires_old_generations() {
+        let (mem, opts) = mem_opts();
+        let dir = Path::new("/store");
+        let db = small_db();
+        let mut store = DiskStore::create(dir, opts, &db, &SessionMeta::default()).unwrap();
+        for _ in 0..3 {
+            store.checkpoint(&db, &SessionMeta::default()).unwrap();
+        }
+        assert_eq!(store.generation(), 3);
+        let names = mem.list(dir).unwrap();
+        let mut gens: Vec<_> = names
+            .iter()
+            .filter_map(|n| parse_gen(n, "snap-", ".drs"))
+            .collect();
+        gens.sort_unstable();
+        assert_eq!(
+            gens,
+            vec![2, 3],
+            "two newest generations retained: {names:?}"
+        );
+    }
+}

@@ -11,11 +11,13 @@ pub enum StorageError {
     UnknownRelation(String),
     /// An attribute name was referenced but does not exist on the relation.
     UnknownAttribute { relation: String, attribute: String },
-    /// A tuple had the wrong number of values for its relation.
+    /// A tuple had the wrong number of values for its relation. `line` is
+    /// the 1-based input line when the tuple came from a parsed document.
     ArityMismatch {
         relation: String,
         expected: usize,
         got: usize,
+        line: Option<usize>,
     },
     /// A value did not match the declared attribute type.
     TypeMismatch {
@@ -28,6 +30,17 @@ pub enum StorageError {
     UnknownTuple { relation: String, row: u32 },
     /// Malformed TSV input.
     Parse(String),
+    /// A durable-store file failed validation (bad magic, checksum mismatch,
+    /// impossible replay) and no fallback could recover it.
+    Corrupt { path: String, detail: String },
+    /// An IO operation against the durable store failed. The underlying
+    /// `std::io::Error` is flattened to a string so the error stays
+    /// `Clone + PartialEq`.
+    Io {
+        op: &'static str,
+        path: String,
+        error: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -45,10 +58,16 @@ impl fmt::Display for StorageError {
                 relation,
                 expected,
                 got,
-            } => write!(
-                f,
-                "relation `{relation}` expects {expected} values, got {got}"
-            ),
+                line,
+            } => {
+                if let Some(line) = line {
+                    write!(f, "line {line}: ")?;
+                }
+                write!(
+                    f,
+                    "relation `{relation}` expects {expected} values, got {got}"
+                )
+            }
             StorageError::TypeMismatch {
                 relation,
                 attribute,
@@ -62,6 +81,12 @@ impl fmt::Display for StorageError {
                 write!(f, "relation `{relation}` has no row {row}")
             }
             StorageError::Parse(msg) => write!(f, "parse error: {msg}"),
+            StorageError::Corrupt { path, detail } => {
+                write!(f, "corrupt store file `{path}`: {detail}")
+            }
+            StorageError::Io { op, path, error } => {
+                write!(f, "io error ({op} `{path}`): {error}")
+            }
         }
     }
 }

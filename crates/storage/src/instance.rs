@@ -54,6 +54,27 @@ impl Instance {
         }
     }
 
+    /// Rebuild an instance from persisted parts (snapshot recovery). The
+    /// relations must be in schema order; the journal resumes at
+    /// `journal_head` with an empty retention window.
+    pub(crate) fn from_saved_parts(
+        schema: Schema,
+        relations: Vec<Relation>,
+        journal_head: u64,
+    ) -> Instance {
+        Instance {
+            schema,
+            relations,
+            journal: MutationJournal::resumed_at(journal_head),
+        }
+    }
+
+    /// Cap the mutation journal's retention window (tests and
+    /// memory-constrained embeddings; see [`MutationJournal::set_capacity`]).
+    pub fn set_journal_capacity(&mut self, cap: usize) {
+        self.journal.set_capacity(cap);
+    }
+
     /// The schema.
     pub fn schema(&self) -> &Schema {
         &self.schema

@@ -99,6 +99,27 @@ impl MutationJournal {
         }
     }
 
+    /// Journal resuming at `cursor`: an empty window with `head == tail ==
+    /// cursor`. Recovery uses this so the persisted cursor stays comparable
+    /// to cursors handed out before the restart.
+    pub fn resumed_at(cursor: u64) -> MutationJournal {
+        MutationJournal {
+            head: cursor,
+            tail: cursor,
+            events: VecDeque::new(),
+            cap: MutationJournal::DEFAULT_CAP,
+        }
+    }
+
+    /// Change the retention cap, evicting oldest entries if over it.
+    pub fn set_capacity(&mut self, cap: usize) {
+        self.cap = cap.max(1);
+        while self.events.len() > self.cap {
+            self.events.pop_front();
+            self.tail += 1;
+        }
+    }
+
     /// The cursor one past the newest entry. A consumer that synchronizes
     /// *now* should remember this value.
     pub fn head(&self) -> u64 {
@@ -138,6 +159,19 @@ impl MutationJournal {
             self.events.pop_front();
             self.tail += 1;
         }
+    }
+
+    /// The raw retained entries from `cursor` to now, **in recording
+    /// order** (no flicker coalescing), or `None` when `cursor` falls
+    /// outside the retained window. The write-ahead log drains the journal
+    /// through this: replaying the raw sequence reproduces the exact row
+    /// ids, whereas a net batch would not.
+    pub fn entries_since(&self, cursor: u64) -> Option<impl Iterator<Item = JournalEntry> + '_> {
+        if cursor < self.tail || cursor > self.head {
+            return None;
+        }
+        let start = (cursor - self.tail) as usize;
+        Some(self.events.iter().skip(start).copied())
     }
 
     /// The net change from `cursor` to now, or `None` when `cursor` falls
@@ -242,6 +276,102 @@ mod tests {
         assert_eq!(j.len(), 2);
         assert!(j.changes_since(c0).is_none(), "evicted history");
         assert_eq!(j.changes_since(j.tail()).unwrap().inserted.len(), 2);
+    }
+
+    #[test]
+    fn cursor_beyond_head_is_rejected_not_clamped() {
+        let mut j = MutationJournal::default();
+        j.record(MutationKind::Insert, t(0));
+        for ahead in [1u64, 7, u64::MAX - j.head()] {
+            assert!(j.changes_since(j.head() + ahead).is_none());
+            assert!(j.entries_since(j.head() + ahead).is_none());
+        }
+        // head() itself is the newest valid cursor and yields emptiness.
+        assert!(j.changes_since(j.head()).unwrap().is_empty());
+        assert_eq!(j.entries_since(j.head()).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn cursor_inside_truncated_window_is_rejected() {
+        let mut j = MutationJournal::default();
+        let c0 = j.head();
+        for i in 0..6 {
+            j.record(MutationKind::Insert, t(i));
+        }
+        let mid = c0 + 3; // strictly between old tail and the new tail below
+        j.truncate_before(c0 + 4);
+        assert!(mid < j.tail());
+        assert!(
+            j.changes_since(mid).is_none(),
+            "cursor points at dropped history"
+        );
+        assert!(j.entries_since(mid).is_none());
+        // The surviving window still answers.
+        assert_eq!(
+            j.changes_since(j.tail()).unwrap().inserted,
+            vec![t(4), t(5)]
+        );
+    }
+
+    #[test]
+    fn truncate_before_past_tail_clamps_to_head() {
+        let mut j = MutationJournal::default();
+        j.record(MutationKind::Insert, t(0));
+        j.record(MutationKind::Delete, t(1));
+        let head = j.head();
+        j.truncate_before(head + 100);
+        assert_eq!(j.tail(), head, "clamped to head, not beyond");
+        assert!(j.is_empty());
+        // The journal keeps working: head is still a valid cursor…
+        assert!(j.changes_since(head).unwrap().is_empty());
+        j.record(MutationKind::Restore, t(1));
+        // …and sees entries recorded after the over-eager truncation.
+        assert_eq!(j.changes_since(head).unwrap().inserted, vec![t(1)]);
+    }
+
+    #[test]
+    fn flicker_cancellation_across_truncation_boundary() {
+        // The two halves of a flicker (insert then delete of t(0)) land on
+        // opposite sides of a truncation. The retained half must report the
+        // net change relative to the *cursor* state, inferring prior
+        // liveness from the first retained entry — not resurrect the
+        // cancelled pair.
+        let mut j = MutationJournal::default();
+        j.record(MutationKind::Insert, t(0));
+        let cut = j.head();
+        j.record(MutationKind::Delete, t(0)); // flicker completes after the cut
+        j.record(MutationKind::Insert, t(1));
+        j.truncate_before(cut);
+        let b = j.changes_since(cut).unwrap();
+        // At `cut` t(0) was live, so the retained delete is a net delete.
+        assert_eq!(b.deleted, vec![t(0)]);
+        assert_eq!(b.inserted, vec![t(1)]);
+        // A full flicker inside the retained window still cancels.
+        j.record(MutationKind::Restore, t(0));
+        let b = j.changes_since(cut).unwrap();
+        assert_eq!(b.deleted, Vec::<TupleId>::new());
+        assert_eq!(b.inserted, vec![t(1)]);
+    }
+
+    #[test]
+    fn entries_since_preserves_raw_order_and_flickers() {
+        let mut j = MutationJournal::default();
+        let c0 = j.head();
+        j.record(MutationKind::Insert, t(2));
+        j.record(MutationKind::Delete, t(2));
+        j.record(MutationKind::Restore, t(2));
+        let kinds: Vec<MutationKind> = j.entries_since(c0).unwrap().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                MutationKind::Insert,
+                MutationKind::Delete,
+                MutationKind::Restore
+            ],
+            "raw drain must not coalesce"
+        );
+        let mid = c0 + 1;
+        assert_eq!(j.entries_since(mid).unwrap().count(), 2);
     }
 
     #[test]

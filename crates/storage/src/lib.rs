@@ -22,6 +22,7 @@
 //! tuple ids rather than a second tuple store.
 
 pub mod bitset;
+pub mod disk;
 pub mod error;
 pub mod hash;
 pub mod instance;
@@ -35,6 +36,10 @@ pub mod tuple;
 pub mod value;
 
 pub use bitset::BitSet;
+pub use disk::{
+    DiskOptions, DiskStore, Fault, FaultIo, FaultMode, FsyncPolicy, HistoryEntry, MemIo,
+    RecoveryReport, SessionMeta, StdIo, StorageIo, WalRecord,
+};
 pub use error::StorageError;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use instance::Instance;

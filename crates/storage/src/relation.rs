@@ -65,6 +65,165 @@ impl CompositeIndex {
 /// skip the columns→index resolution entirely.
 pub type IndexId = u32;
 
+/// The relation's dedup set, keyed by row index over the relation's own
+/// tuple storage: linear-probed open addressing where a slot holds `row +
+/// 1` (`0` = empty) and comparisons read `tuples[row]` directly. Replaces
+/// a `Tuple → row` hash map whose owned keys cost one boxed-slice clone
+/// per fresh insert — the dominant cost of rebuilding the set when a
+/// snapshot is decoded (cold open) or a TSV dump is ingested.
+///
+/// Every mutator takes the `tuples` slice it indexes into; the caller
+/// (always [`Relation`]) guarantees slot rows are valid indexes. Removal
+/// uses backward-shift deletion, so there are no tombstones and lookup
+/// chains never rot.
+#[derive(Clone, Debug, Default)]
+struct RowDedup {
+    /// Slot → `row + 1`; `0` is empty. Power-of-two length.
+    slots: Box<[u32]>,
+    /// Occupied slots.
+    len: usize,
+}
+
+impl RowDedup {
+    fn hash(t: &Tuple) -> u64 {
+        use std::hash::BuildHasher;
+        crate::FxBuildHasher::default().hash_one(t)
+    }
+
+    /// Table sized for `n` entries without growing (load ≤ 3/4).
+    fn with_capacity(n: usize) -> RowDedup {
+        let slots = ((n * 4 / 3) + 1).next_power_of_two().max(8);
+        RowDedup {
+            slots: vec![0; slots].into_boxed_slice(),
+            len: 0,
+        }
+    }
+
+    /// Row of the live tuple equal to `t`, if present.
+    fn get(&self, t: &Tuple, tuples: &[Tuple]) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (Self::hash(t) as usize) & mask;
+        loop {
+            match self.slots[i] {
+                0 => return None,
+                s => {
+                    let row = s - 1;
+                    if tuples[row as usize] == *t {
+                        return Some(row);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Insert `row`, whose tuple must not equal any entered row's tuple
+    /// (check with [`RowDedup::get`] first, or use
+    /// [`RowDedup::insert_unique`] for the combined single probe).
+    fn insert(&mut self, row: u32, tuples: &[Tuple]) {
+        let dup = self.insert_unique(row, tuples);
+        debug_assert!(dup.is_none(), "duplicate live tuple for row {row}");
+    }
+
+    /// Insert `row` unless an entered row already holds an equal tuple, in
+    /// which case nothing changes and that row is returned. One probe pass:
+    /// equal tuples share a hash, hence a home slot, so any duplicate sits
+    /// on the probe chain before the first empty slot.
+    fn insert_unique(&mut self, row: u32, tuples: &[Tuple]) -> Option<u32> {
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow(tuples);
+        }
+        let t = &tuples[row as usize];
+        let mask = self.slots.len() - 1;
+        let mut i = (Self::hash(t) as usize) & mask;
+        loop {
+            match self.slots[i] {
+                0 => {
+                    self.slots[i] = row + 1;
+                    self.len += 1;
+                    return None;
+                }
+                s => {
+                    let r = s - 1;
+                    if tuples[r as usize] == *t {
+                        return Some(r);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Remove `row` (no-op if absent). Backward-shift deletion: entries
+    /// displaced past the hole are walked forward and any whose probe chain
+    /// passes through the hole is moved into it, preserving the invariant
+    /// that every entry is reachable from its home slot.
+    fn remove(&mut self, row: u32, tuples: &[Tuple]) {
+        if self.len == 0 {
+            return;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (Self::hash(&tuples[row as usize]) as usize) & mask;
+        loop {
+            match self.slots[i] {
+                0 => return,
+                s if s - 1 == row => break,
+                _ => i = (i + 1) & mask,
+            }
+        }
+        let mut hole = i;
+        let mut j = (i + 1) & mask;
+        loop {
+            let s = self.slots[j];
+            if s == 0 {
+                break;
+            }
+            let home = (Self::hash(&tuples[(s - 1) as usize]) as usize) & mask;
+            // Move j's entry into the hole iff its probe chain (home → j)
+            // passes through the hole, measured cyclically.
+            if hole.wrapping_sub(home) & mask <= j.wrapping_sub(home) & mask {
+                self.slots[hole] = s;
+                hole = j;
+            }
+            j = (j + 1) & mask;
+        }
+        self.slots[hole] = 0;
+        self.len -= 1;
+    }
+
+    fn grow(&mut self, tuples: &[Tuple]) {
+        let new_slots = (self.slots.len() * 2).max(8);
+        let old = std::mem::replace(&mut self.slots, vec![0; new_slots].into_boxed_slice());
+        let mask = new_slots - 1;
+        for s in old.iter().copied().filter(|&s| s != 0) {
+            let mut i = (Self::hash(&tuples[(s - 1) as usize]) as usize) & mask;
+            while self.slots[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = s;
+        }
+    }
+}
+
+/// Content equality (same set of rows), independent of table layout — an
+/// incrementally built set must equal its compacted rebuild, exactly like
+/// the hash map it replaced.
+impl PartialEq for RowDedup {
+    fn eq(&self, other: &RowDedup) -> bool {
+        let rows = |d: &RowDedup| {
+            let mut v: Vec<u32> = d.slots.iter().copied().filter(|&s| s != 0).collect();
+            v.sort_unstable();
+            v
+        };
+        self.len == other.len && rows(self) == rows(other)
+    }
+}
+
+impl Eq for RowDedup {}
+
 /// Storage for one relation.
 ///
 /// Tuples are appended once and never moved; transient *presence* during a
@@ -78,7 +237,7 @@ pub type IndexId = u32;
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Relation {
     tuples: Vec<Tuple>,
-    dedup: FxHashMap<Tuple, u32>,
+    dedup: RowDedup,
     indexes: Vec<CompositeIndex>,
     /// Columns signature → position in `indexes`.
     by_cols: FxHashMap<Box<[usize]>, IndexId>,
@@ -94,6 +253,34 @@ impl Relation {
     /// clarity.)
     pub fn new(_arity: usize) -> Relation {
         Relation::default()
+    }
+
+    /// Rebuild a relation from its persisted parts: every row ever
+    /// inserted (append order, tombstones included — row ids must survive
+    /// the round-trip) plus the live bitset. The dedup map is rebuilt over
+    /// live rows only; indexes start empty and are re-requested by the
+    /// evaluator's probe plans. Errs with a description when the parts
+    /// cannot have come from a real relation (two live duplicate rows).
+    pub(crate) fn from_saved_rows(
+        tuples: Vec<Tuple>,
+        mut live: BitSet,
+    ) -> Result<Relation, String> {
+        live.grow(tuples.len());
+        let live_count = live.count_ones();
+        let mut dedup = RowDedup::with_capacity(live_count);
+        for row in live.iter_ones() {
+            if dedup.insert_unique(row as u32, &tuples).is_some() {
+                return Err(format!("row {row} duplicates another live row"));
+            }
+        }
+        Ok(Relation {
+            tuples,
+            dedup,
+            indexes: Vec::new(),
+            by_cols: FxHashMap::default(),
+            live,
+            live_count,
+        })
     }
 
     /// Number of rows ever inserted (live and tombstoned; the bound for
@@ -134,15 +321,15 @@ impl Relation {
     /// Re-inserting an existing live tuple returns the original row (set
     /// semantics).
     pub fn insert(&mut self, t: Tuple) -> (u32, bool) {
-        if let Some(&row) = self.dedup.get(&t) {
+        if let Some(row) = self.dedup.get(&t, &self.tuples) {
             return (row, false);
         }
         let row = u32::try_from(self.tuples.len()).expect("relation too large");
         for idx in &mut self.indexes {
             idx.add(row, &t);
         }
-        self.dedup.insert(t.clone(), row);
         self.tuples.push(t);
+        self.dedup.insert(row, &self.tuples);
         self.live.set(row as usize);
         self.live_count += 1;
         (row, true)
@@ -158,8 +345,8 @@ impl Relation {
         }
         self.live.clear(row as usize);
         self.live_count -= 1;
+        self.dedup.remove(row, &self.tuples);
         let t = &self.tuples[row as usize];
-        self.dedup.remove(t);
         for idx in &mut self.indexes {
             idx.remove(row, t);
         }
@@ -174,15 +361,19 @@ impl Relation {
         if row as usize >= self.tuples.len() || self.live.get(row as usize) {
             return false;
         }
-        let t = self.tuples[row as usize].clone();
-        if self.dedup.contains_key(&t) {
+        if self
+            .dedup
+            .get(&self.tuples[row as usize], &self.tuples)
+            .is_some()
+        {
             return false;
         }
         self.live.set(row as usize);
         self.live_count += 1;
-        self.dedup.insert(t.clone(), row);
+        self.dedup.insert(row, &self.tuples);
+        let t = &self.tuples[row as usize];
         for idx in &mut self.indexes {
-            idx.add_sorted(row, &t);
+            idx.add_sorted(row, t);
         }
         true
     }
@@ -198,6 +389,7 @@ impl Relation {
                 relation: schema.name.clone(),
                 expected: schema.arity(),
                 got: t.arity(),
+                line: None,
             });
         }
         for (attr, v) in schema.attrs.iter().zip(t.values()) {
@@ -215,7 +407,7 @@ impl Relation {
 
     /// Row of `t`, if stored.
     pub fn find(&self, t: &Tuple) -> Option<u32> {
-        self.dedup.get(t).copied()
+        self.dedup.get(t, &self.tuples)
     }
 
     /// Build (or fetch) the composite index over `cols` and return its id.
@@ -296,15 +488,14 @@ impl Relation {
     /// — so the operation is invisible to readers, evaluation states and
     /// incremental consumers.
     pub fn compact(&mut self) {
-        let mut dedup = FxHashMap::with_capacity_and_hasher(self.live_count, Default::default());
+        let mut dedup = RowDedup::with_capacity(self.live_count);
         for idx in &mut self.indexes {
             idx.map = FxHashMap::default();
         }
         for row in self.live.iter_ones() {
-            let t = &self.tuples[row];
-            dedup.insert(t.clone(), row as u32);
+            dedup.insert(row as u32, &self.tuples);
             for idx in &mut self.indexes {
-                idx.add(row as u32, t);
+                idx.add(row as u32, &self.tuples[row]);
             }
         }
         self.dedup = dedup;
@@ -321,9 +512,10 @@ impl Relation {
     pub fn indexes_consistent(&self) -> bool {
         let mut rebuilt = self.clone();
         rebuilt.compact();
-        // `FxHashMap` equality compares contents, not capacity, so this is
-        // exactly "every key and every posting list matches the live truth"
-        // — including the absence of stale keys.
+        // `RowDedup` and `FxHashMap` equality compare contents, not
+        // capacity or layout, so this is exactly "every entry and every
+        // posting list matches the live truth" — including the absence of
+        // stale entries.
         rebuilt == *self
     }
 
@@ -474,6 +666,66 @@ mod tests {
         assert_eq!(row2, 1);
         assert!(!r.restore_row(0), "value now lives at row 1");
         assert_eq!(r.live_count(), 1);
+    }
+
+    #[test]
+    fn dedup_churn_matches_reference_model() {
+        // Hammer the open-addressed dedup set through the full Relation
+        // surface with a deterministic mutation storm over a small value
+        // domain (high collision + duplicate pressure), checking `find`
+        // against a straightforward model after every step. Catches
+        // backward-shift deletion bugs that single-operation tests miss.
+        let mut r = Relation::new(2);
+        let mut model: std::collections::HashMap<(i64, i64), u32> = Default::default();
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for step in 0..4000 {
+            let a = (rng() % 13) as i64;
+            let b = (rng() % 7) as i64;
+            match rng() % 4 {
+                0 | 1 => {
+                    let (row, fresh) = r.insert(t(&[a, b]));
+                    match model.get(&(a, b)) {
+                        Some(&m) => {
+                            assert!(!fresh, "step {step}");
+                            assert_eq!(row, m, "step {step}");
+                        }
+                        None => {
+                            assert!(fresh, "step {step}");
+                            model.insert((a, b), row);
+                        }
+                    }
+                }
+                2 => {
+                    if let Some(&row) = model.get(&(a, b)) {
+                        assert!(r.remove_row(row), "step {step}");
+                        model.remove(&(a, b));
+                    }
+                }
+                _ => {
+                    let row = (rng() % r.num_rows().max(1) as u64) as u32;
+                    if r.num_rows() > 0 && r.restore_row(row) {
+                        let tup = r.tuple(row).clone();
+                        let key = match (tup.get(0), tup.get(1)) {
+                            (Value::Int(x), Value::Int(y)) => (*x, *y),
+                            _ => unreachable!(),
+                        };
+                        assert!(!model.contains_key(&key), "step {step}");
+                        model.insert(key, row);
+                    }
+                }
+            }
+            assert_eq!(r.live_count(), model.len(), "step {step}");
+            for (&(x, y), &row) in &model {
+                assert_eq!(r.find(&t(&[x, y])), Some(row), "step {step} key ({x},{y})");
+            }
+        }
+        assert!(r.indexes_consistent());
     }
 
     #[test]

@@ -163,6 +163,7 @@ pub fn from_tsv(db: &mut Instance, text: &str) -> Result<usize, StorageError> {
                 relation: rs.name.clone(),
                 expected: rs.arity(),
                 got: fields.len(),
+                line: Some(lineno + 1),
             });
         }
         let mut values = Vec::with_capacity(fields.len());
@@ -235,7 +236,11 @@ mod tests {
     fn wrong_arity_is_an_error() {
         let mut db = Instance::new(schema());
         let err = from_tsv(&mut db, "# relation Grant\n1\n").unwrap_err();
-        assert!(matches!(err, StorageError::ArityMismatch { .. }));
+        assert!(matches!(
+            err,
+            StorageError::ArityMismatch { line: Some(2), .. }
+        ));
+        assert!(err.to_string().starts_with("line 2:"), "{err}");
     }
 
     #[test]

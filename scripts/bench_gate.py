@@ -27,11 +27,14 @@ Three checks, in order:
 
 Also prints the incremental_rerepair speedup (full / incremental) per
 workload when the current record carries that group, failing below
---min-speedup (default: informational only, 0).
+--min-speedup (default: informational only, 0), and the durability
+cold-open speedup (tsv_ingest / cold_open) per dataset, failing below
+--min-cold-open-speedup (default: informational only, 0).
 
 Usage:
     bench_gate.py CURRENT.json [BASELINE.json] [--tolerance 2.0]
-                  [--min-speedup 0] [--min-parallel-speedup 0]
+                  [--min-speedup 0] [--min-cold-open-speedup 0]
+                  [--min-parallel-speedup 0]
                   [--speedup-threads 4] [--speedup-workloads 2]
                   [--runs-key serial]
 """
@@ -71,6 +74,8 @@ def main():
     ap.add_argument("--tolerance", type=float, default=2.0)
     ap.add_argument("--min-speedup", type=float, default=0.0,
                     help="minimum incremental_rerepair full/incremental ratio")
+    ap.add_argument("--min-cold-open-speedup", type=float, default=0.0,
+                    help="minimum durability tsv_ingest/cold_open ratio")
     ap.add_argument("--min-parallel-speedup", type=float, default=0.0,
                     help="minimum t1/t<N> ratio for semantics_scale families")
     ap.add_argument("--speedup-threads", type=int, default=4,
@@ -140,6 +145,21 @@ def main():
                   f"(full {modes['full']:.0f} ns / incremental {modes['incremental']:.0f} ns)")
             if args.min_speedup and speedup < args.min_speedup:
                 failures.append((f"incremental_rerepair/{name}", speedup))
+
+    # Durability cold-open speedups, when measured: opening the newest
+    # snapshot must beat re-ingesting the same database from TSV.
+    pairs = {}
+    for bench, ns in current.items():
+        parts = bench.split("/")
+        if len(parts) == 3 and parts[0] == "durability":
+            pairs.setdefault(parts[2], {})[parts[1]] = ns
+    for name, modes in sorted(pairs.items()):
+        if "tsv_ingest" in modes and "cold_open" in modes:
+            speedup = modes["tsv_ingest"] / modes["cold_open"]
+            print(f"  durability/{name:<44} cold-open speedup {speedup:>5.2f}x "
+                  f"(tsv {modes['tsv_ingest']:.0f} ns / cold_open {modes['cold_open']:.0f} ns)")
+            if args.min_cold_open_speedup and speedup < args.min_cold_open_speedup:
+                failures.append((f"durability/{name}", speedup))
 
     if failures:
         print(f"bench_gate: {len(failures)} failure(s): {failures}", file=sys.stderr)

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Crash-safety soak: repeatedly kill -9 a delta-repair process mid-churn
+# and verify the durable store recovers to an acknowledged state.
+#
+# Each cycle starts `delta-repair --data-dir <store> --churn <N>` (a long
+# run of apply-End / undo batches, net-zero on the database), kills it
+# dead after a short random delay, then reopens the store. Recovery must
+# exit 0 and report one of the two acknowledged tuple counts: 5 (between
+# cycles / after an undo) or 2 (after an apply, before its undo). Any
+# other count, a crash on reopen, or a non-zero exit fails the soak.
+#
+# Usage: scripts/crash_loop.sh [cycles] [path-to-delta-repair]
+#   cycles  kill/recover iterations (default 10)
+#   binary  defaults to target/release/delta-repair (built if missing)
+
+set -u
+
+CYCLES="${1:-10}"
+BIN="${2:-target/release/delta-repair}"
+
+if [ ! -x "$BIN" ]; then
+    echo "crash_loop: building $BIN"
+    cargo build --release -p cli || exit 1
+fi
+
+WORK="$(mktemp -d)"
+STORE="$WORK/store"
+trap 'rm -rf "$WORK"' EXIT
+
+cat > "$WORK/db.tsv" <<'EOF'
+# relation Grant(gid: int, name: string)
+1	NSF
+2	ERC
+# relation AuthGrant(aid: int, gid: int)
+2	1
+4	2
+5	2
+EOF
+
+cat > "$WORK/rules.dl" <<'EOF'
+delta Grant(g, n) :- Grant(g, n), n = 'ERC'.
+delta AuthGrant(a, g) :- AuthGrant(a, g), delta Grant(g, n).
+EOF
+
+echo "crash_loop: initializing durable store"
+"$BIN" --db "$WORK/db.tsv" --data-dir "$STORE" \
+       --program "$WORK/rules.dl" --semantics end > /dev/null || {
+    echo "crash_loop: FAIL — could not create the store"
+    exit 1
+}
+
+for i in $(seq 1 "$CYCLES"); do
+    # A churn count far beyond what fits in the kill window: every apply
+    # and undo is a WAL batch, so the SIGKILL lands mid-write somewhere.
+    "$BIN" --data-dir "$STORE" --program "$WORK/rules.dl" \
+           --semantics end --churn 1000000 > /dev/null 2>&1 &
+    pid=$!
+    # 0.05–0.29s, cycling through the range so kills land at different
+    # journal positions. Zero-pad: "0.%d" would turn 5/100 into 5/10.
+    sleep "$(printf '0.%02d' $(( 5 + (i * 4) % 25 )))"
+    kill -9 "$pid" 2> /dev/null
+    wait "$pid" 2> /dev/null
+
+    out="$("$BIN" --data-dir "$STORE" --program "$WORK/rules.dl" --semantics end 2>&1)"
+    code=$?
+    if [ "$code" -ne 0 ]; then
+        echo "crash_loop: FAIL cycle $i — reopen exited $code"
+        echo "$out"
+        exit 1
+    fi
+    tuples="$(echo "$out" | sed -n 's/^database: \([0-9]*\) tuples.*/\1/p')"
+    case "$tuples" in
+        5|2) ;;
+        *)
+            echo "crash_loop: FAIL cycle $i — recovered to $tuples tuples (want 5 or 2)"
+            echo "$out"
+            exit 1
+            ;;
+    esac
+    recov="$(echo "$out" | grep '^recovery:' || true)"
+    echo "crash_loop: cycle $i OK — $tuples tuples${recov:+ ($recov)}"
+done
+
+echo "crash_loop: PASS — $CYCLES kill -9 cycles, every recovery acknowledged"

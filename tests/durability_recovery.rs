@@ -1,0 +1,536 @@
+//! Fault-injected crash recovery of the durable [`RepairSession`].
+//!
+//! The harness runs a mutation script against a store whose IO layer
+//! injects one fault (outright failure, torn write, or bit flip) at the
+//! Nth operation and then refuses everything — a process that died at that
+//! instant. The store is reopened under two crash models:
+//!
+//! * **power loss** — every byte written since its last fsync vanishes
+//!   (`MemIo::lose_unsynced`);
+//! * **process kill** — all bytes survive, including the torn or
+//!   corrupted tail the dying write left behind.
+//!
+//! Under the `Always` fsync policy the recovered session must be
+//! **bit-identical** (tuple ids, live bitsets, composite indexes, epoch,
+//! undo history) to the state after the last acknowledged mutation; laxer
+//! policies may land on any earlier acknowledged state. Corruption beyond
+//! the fallback ladder's reach must surface as a typed
+//! `StorageError::Corrupt`, never a panic.
+
+use delta_repairs::storage::{
+    DiskOptions, Fault, FaultIo, FaultMode, FsyncPolicy, MemIo, StorageIo,
+};
+use delta_repairs::{
+    parse_program, Instance, Program, RepairError, RepairSession, Semantics, StorageError, TupleId,
+    Value,
+};
+use proptest::prelude::*;
+use std::path::Path;
+use std::sync::Arc;
+
+const DIR: &str = "/store";
+
+fn program() -> Program {
+    parse_program(
+        "delta R(x) :- R(x), x = 0.\n\
+         delta S(x, y) :- S(x, y), delta R(x).\n\
+         delta T(y) :- T(y), S(x, y), delta R(x).\n",
+    )
+    .unwrap()
+}
+
+fn build_db(r: &[i64], s: &[(i64, i64)], t: &[i64]) -> Instance {
+    let mut schema = delta_repairs::Schema::new();
+    schema.relation("R", &[("x", delta_repairs::AttrType::Int)]);
+    schema.relation(
+        "S",
+        &[
+            ("x", delta_repairs::AttrType::Int),
+            ("y", delta_repairs::AttrType::Int),
+        ],
+    );
+    schema.relation("T", &[("y", delta_repairs::AttrType::Int)]);
+    let mut db = Instance::new(schema);
+    for &v in r {
+        db.insert_values("R", [Value::Int(v)]).unwrap();
+    }
+    for &(a, b) in s {
+        db.insert_values("S", [Value::Int(a), Value::Int(b)])
+            .unwrap();
+    }
+    for &v in t {
+        db.insert_values("T", [Value::Int(v)]).unwrap();
+    }
+    db
+}
+
+fn sample_db() -> Instance {
+    build_db(&[0, 1, 2], &[(0, 1), (0, 2), (1, 2), (2, 3)], &[1, 2, 3])
+}
+
+fn opts(io: Arc<dyn StorageIo>, fsync: FsyncPolicy) -> DiskOptions {
+    DiskOptions {
+        fsync,
+        io,
+        checkpoint_every: 0,
+    }
+}
+
+/// Everything recovery must reproduce exactly.
+#[derive(Clone, Debug, PartialEq)]
+struct Observed {
+    db: Instance,
+    epoch: u64,
+    history: Vec<(Semantics, Vec<TupleId>)>,
+}
+
+fn observe(s: &RepairSession) -> Observed {
+    Observed {
+        db: s.db().clone(),
+        epoch: s.epoch(),
+        history: s
+            .history()
+            .iter()
+            .map(|h| (h.semantics, h.deleted.clone()))
+            .collect(),
+    }
+}
+
+/// One deterministic script step. `Ok(true)` = a durable mutation was
+/// acknowledged, `Ok(false)` = no-op for the store, `Err` = the injected
+/// crash surfaced. Logical no-ops (nothing to delete/undo) are skipped
+/// before touching the session so reference and crashed runs stay in
+/// lockstep.
+fn apply_op(
+    session: &mut RepairSession,
+    pool: &mut Vec<TupleId>,
+    op: u8,
+    a: usize,
+    b: usize,
+) -> Result<bool, RepairError> {
+    match op % 6 {
+        0 => {
+            let rels = ["R", "S", "T"];
+            let rel = rels[a % 3];
+            let val = |k: usize| Value::Int(((a + k * b) % 9) as i64);
+            let rows: Vec<Vec<Value>> = (0..1 + b % 3)
+                .map(|k| match rel {
+                    "S" => vec![val(k), val(k + 1)],
+                    _ => vec![val(k)],
+                })
+                .collect();
+            session.insert_batch(rel, rows)?;
+            Ok(true)
+        }
+        1 => {
+            let live: Vec<TupleId> = session.db().all_tuple_ids().collect();
+            if live.is_empty() {
+                return Ok(false);
+            }
+            let ids: Vec<TupleId> = (0..1 + b % 3).map(|k| live[(a + k) % live.len()]).collect();
+            session.delete_batch(&ids)?;
+            pool.extend(ids);
+            Ok(true)
+        }
+        2 => {
+            if pool.is_empty() {
+                return Ok(false);
+            }
+            let ids: Vec<TupleId> = (0..1 + b % 2).map(|k| pool[(a + k) % pool.len()]).collect();
+            session.restore_batch(&ids)?;
+            Ok(true)
+        }
+        3 => {
+            let outcome = session.run(Semantics::End);
+            outcome.apply(session)?;
+            pool.extend(outcome.deleted().iter().copied());
+            Ok(true)
+        }
+        4 => {
+            if session.history().is_empty() {
+                return Ok(false);
+            }
+            session.undo()?;
+            Ok(true)
+        }
+        _ => {
+            // Checkpoint: durable but not a mutation — the expected state
+            // does not advance.
+            session.checkpoint()?;
+            Ok(false)
+        }
+    }
+}
+
+type Script = [(u8, usize, usize)];
+
+/// A fault-free run of the script: the acknowledged state after each
+/// mutation, whether each script op mutates (ops are deterministic and
+/// state-lockstep, so the classification transfers to crashed runs), and
+/// the total IO-operation count (= the injection space).
+struct Reference {
+    states: Vec<Observed>,
+    mutating: Vec<bool>,
+    total_ops: u64,
+}
+
+fn reference_run(db: &Instance, script: &Script) -> Reference {
+    let mem = Arc::new(MemIo::new());
+    let fio = Arc::new(FaultIo::new(mem, None));
+    let mut session = RepairSession::create_durable_with(
+        db.clone(),
+        program(),
+        Path::new(DIR),
+        opts(fio.clone(), FsyncPolicy::Always),
+    )
+    .expect("no fault injected");
+    let mut states = vec![observe(&session)];
+    let mut mutating = Vec::new();
+    let mut pool = Vec::new();
+    for &(op, a, b) in script {
+        let mutated = apply_op(&mut session, &mut pool, op, a, b).expect("no fault injected");
+        mutating.push(mutated);
+        if mutated {
+            states.push(observe(&session));
+        }
+    }
+    Reference {
+        states,
+        mutating,
+        total_ops: fio.ops_used(),
+    }
+}
+
+/// Run the script against a store that dies at IO op `at_op`, then crash
+/// it under the chosen model. Returns the surviving filesystem, how many
+/// mutations were acknowledged, whether the store was even created, and
+/// the script index of the op the crash surfaced in (if any).
+fn crashed_run(
+    db: &Instance,
+    script: &Script,
+    fsync: FsyncPolicy,
+    fault: Fault,
+    keep_unsynced: bool,
+) -> (Arc<MemIo>, usize, bool, Option<usize>) {
+    let mem = Arc::new(MemIo::new());
+    let fio = Arc::new(FaultIo::new(mem.clone(), Some(fault)));
+    let session =
+        RepairSession::create_durable_with(db.clone(), program(), Path::new(DIR), opts(fio, fsync));
+    let created = session.is_ok();
+    let mut acked = 0;
+    let mut errored_at = None;
+    if let Ok(mut session) = session {
+        let mut pool = Vec::new();
+        for (i, &(op, a, b)) in script.iter().enumerate() {
+            match apply_op(&mut session, &mut pool, op, a, b) {
+                Ok(true) => acked += 1,
+                Ok(false) => {}
+                Err(_) => {
+                    errored_at = Some(i);
+                    break;
+                }
+            }
+        }
+    }
+    if !keep_unsynced {
+        mem.lose_unsynced();
+    }
+    (mem, acked, created, errored_at)
+}
+
+fn reopen(mem: Arc<MemIo>) -> Result<RepairSession, RepairError> {
+    RepairSession::open_durable_with(Path::new(DIR), program(), opts(mem, FsyncPolicy::Always))
+}
+
+fn is_corrupt(e: &RepairError) -> bool {
+    matches!(
+        e,
+        RepairError::Storage {
+            source: StorageError::Corrupt { .. },
+            ..
+        }
+    )
+}
+
+/// Which acknowledged states a crashed run may legally recover to: the
+/// last acknowledged one, plus — only when the crash surfaced inside a
+/// *mutating* op — that op's post-state (its WAL record may have hit disk
+/// in full before the acknowledgement fsync failed; durable-but-unacked
+/// is allowed, lost-after-ack is not).
+fn allowed_states(
+    reference: &Reference,
+    acked: usize,
+    errored_at: Option<usize>,
+) -> Vec<&Observed> {
+    let mut allowed = vec![&reference.states[acked]];
+    if errored_at.is_some_and(|i| reference.mutating[i]) {
+        allowed.push(&reference.states[acked + 1]);
+    }
+    allowed
+}
+
+/// The core oracle under `Always` fsync. A crash during store *creation*
+/// may also leave nothing usable, which must surface as the typed
+/// corruption error (creation was never acknowledged).
+fn assert_exact_recovery(
+    db: &Instance,
+    script: &Script,
+    reference: &Reference,
+    fault: Fault,
+    keep_unsynced: bool,
+) {
+    let (mem, acked, created, errored_at) =
+        crashed_run(db, script, FsyncPolicy::Always, fault, keep_unsynced);
+    match reopen(mem) {
+        Ok(recovered) => {
+            assert!(
+                recovered.db().indexes_consistent(),
+                "{fault:?} keep={keep_unsynced}: recovered indexes desynced"
+            );
+            let got = observe(&recovered);
+            assert!(
+                allowed_states(reference, acked, errored_at).contains(&&got),
+                "{fault:?} keep={keep_unsynced}: recovered state is neither the \
+                 last acknowledged one nor the in-flight op's"
+            );
+        }
+        Err(e) => {
+            assert!(
+                !created,
+                "{fault:?} keep={keep_unsynced}: store was created but reopen failed: {e}"
+            );
+            assert!(is_corrupt(&e), "{fault:?}: untyped recovery failure: {e}");
+        }
+    }
+}
+
+/// Exhaustive sweep: every IO operation of a fixed mixed script, every
+/// fault mode, both crash models.
+#[test]
+fn every_injection_point_recovers_the_last_acknowledged_state() {
+    let db = sample_db();
+    // insert, delete, apply, insert, undo, checkpoint, restore, delete,
+    // apply, checkpoint, insert — every WAL record kind and a generation
+    // roll mid-script.
+    let script: Vec<(u8, usize, usize)> = vec![
+        (0, 1, 2),
+        (1, 0, 1),
+        (3, 0, 0),
+        (0, 4, 5),
+        (4, 0, 0),
+        (5, 0, 0),
+        (2, 1, 1),
+        (1, 2, 2),
+        (3, 0, 0),
+        (5, 0, 0),
+        (0, 7, 1),
+    ];
+    let reference = reference_run(&db, &script);
+    assert!(reference.states.len() > 8, "script must actually mutate");
+    for at_op in 1..=reference.total_ops {
+        for mode in [FaultMode::Fail, FaultMode::ShortWrite, FaultMode::BitFlip] {
+            let fault = Fault { at_op, mode };
+            assert_exact_recovery(&db, &script, &reference, fault, false);
+            assert_exact_recovery(&db, &script, &reference, fault, true);
+        }
+    }
+    // No fault at all: the full final state round-trips.
+    let fault = Fault {
+        at_op: reference.total_ops + 1,
+        mode: FaultMode::Fail,
+    };
+    assert_exact_recovery(&db, &script, &reference, fault, true);
+}
+
+/// Laxer fsync policies trade the exact guarantee for bounded loss: the
+/// recovered state must still be *some* acknowledged prefix state — never
+/// a torn or invented one.
+#[test]
+fn lax_fsync_policies_recover_an_acknowledged_prefix() {
+    let db = sample_db();
+    let script: Vec<(u8, usize, usize)> = vec![
+        (0, 1, 2),
+        (1, 0, 1),
+        (3, 0, 0),
+        (0, 4, 5),
+        (4, 0, 0),
+        (0, 2, 2),
+    ];
+    let reference = reference_run(&db, &script);
+    for fsync in [FsyncPolicy::EveryN(3), FsyncPolicy::OnCheckpoint] {
+        for at_op in (1..=reference.total_ops).step_by(3) {
+            for keep in [false, true] {
+                let fault = Fault {
+                    at_op,
+                    mode: FaultMode::ShortWrite,
+                };
+                let (mem, _, created, _) = crashed_run(&db, &script, fsync, fault, keep);
+                match reopen(mem) {
+                    Ok(recovered) => {
+                        assert!(recovered.db().indexes_consistent());
+                        let got = observe(&recovered);
+                        assert!(
+                            reference.states.contains(&got),
+                            "{fsync:?} {fault:?} keep={keep}: recovered a state that \
+                             was never acknowledged"
+                        );
+                    }
+                    Err(e) => {
+                        assert!(!created, "store created but reopen failed: {e}");
+                        assert!(is_corrupt(&e), "untyped failure: {e}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A corrupt newest snapshot degrades to the previous generation (or the
+/// WAL chain), reported as a fallback — and when every rung is poisoned
+/// the error is typed corruption, not a panic.
+#[test]
+fn corrupt_snapshots_degrade_gracefully_then_fail_typed() {
+    let mem = Arc::new(MemIo::new());
+    let mut session = RepairSession::create_durable_with(
+        sample_db(),
+        program(),
+        Path::new(DIR),
+        opts(mem.clone(), FsyncPolicy::Always),
+    )
+    .unwrap();
+    session.insert_batch("R", [[Value::Int(7)]]).unwrap();
+    session.checkpoint().unwrap(); // snap-1 + wal-1
+    session.insert_batch("T", [[Value::Int(8)]]).unwrap();
+    let expected = observe(&session);
+    drop(session);
+
+    // Rung 1 → rung 1': flip one byte of the newest snapshot. Recovery
+    // must fall back to snap-0 and replay the wal-0 → wal-1 chain to the
+    // exact same state.
+    let snap1 = Path::new(DIR).join("snap-1.drs");
+    let clean = mem.contents(&snap1).unwrap();
+    let mut bad = clean.clone();
+    bad[20] ^= 0x40;
+    mem.corrupt(&snap1, bad);
+    let recovered = reopen(mem.clone()).unwrap();
+    assert_eq!(observe(&recovered), expected);
+    let report = recovered.recovery_report().unwrap().clone();
+    assert!(report.degraded(), "fallback must be reported");
+    assert_eq!(report.snapshot_gen, Some(0));
+    assert!(
+        report
+            .fallbacks
+            .iter()
+            .any(|f| f.contains("snapshot gen 1")),
+        "{:?}",
+        report.fallbacks
+    );
+    drop(recovered);
+
+    // Poison every snapshot: the base was non-empty, so a WAL-only replay
+    // is impossible and the ladder must fail with typed corruption.
+    let snap0 = Path::new(DIR).join("snap-0.drs");
+    let mut bad0 = mem.contents(&snap0).unwrap();
+    bad0[20] ^= 0x40;
+    mem.corrupt(&snap0, bad0);
+    let err = reopen(mem).unwrap_err();
+    assert!(is_corrupt(&err), "{err}");
+    assert!(err.to_string().contains("corrupt store file"), "{err}");
+}
+
+/// Garbage appended to the live WAL (a torn tail the crash left behind)
+/// is measured, truncated, and gone for good: the next open is clean.
+#[test]
+fn torn_wal_tails_are_truncated_once() {
+    let mem = Arc::new(MemIo::new());
+    let mut session = RepairSession::create_durable_with(
+        sample_db(),
+        program(),
+        Path::new(DIR),
+        opts(mem.clone(), FsyncPolicy::Always),
+    )
+    .unwrap();
+    session.insert_batch("R", [[Value::Int(7)]]).unwrap();
+    let expected = observe(&session);
+    drop(session);
+
+    let wal0 = Path::new(DIR).join("wal-0.drw");
+    let mut torn = mem.contents(&wal0).unwrap();
+    torn.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 0x01]);
+    mem.corrupt(&wal0, torn);
+
+    let recovered = reopen(mem.clone()).unwrap();
+    assert_eq!(observe(&recovered), expected);
+    assert_eq!(recovered.recovery_report().unwrap().truncated_bytes, 5);
+    drop(recovered);
+
+    let clean = reopen(mem).unwrap();
+    assert_eq!(observe(&clean), expected);
+    assert_eq!(clean.recovery_report().unwrap().truncated_bytes, 0);
+    assert!(!clean.recovery_report().unwrap().degraded());
+}
+
+prop_compose! {
+    fn arb_db()(
+        r in prop::collection::btree_set(0i64..5, 0..4),
+        s in prop::collection::btree_set((0i64..5, 0i64..5), 0..6),
+        t in prop::collection::btree_set(0i64..5, 0..4),
+    ) -> Instance {
+        build_db(
+            &r.into_iter().collect::<Vec<_>>(),
+            &s.into_iter().collect::<Vec<_>>(),
+            &t.into_iter().collect::<Vec<_>>(),
+        )
+    }
+}
+
+fn mode_from(sel: u8) -> FaultMode {
+    match sel % 3 {
+        0 => FaultMode::Fail,
+        1 => FaultMode::ShortWrite,
+        _ => FaultMode::BitFlip,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random databases × random mutation interleavings × a random
+    /// injection point and fault mode, both crash models: recovery is
+    /// exact under `Always` fsync.
+    #[test]
+    fn random_interleavings_recover_exactly(
+        db in arb_db(),
+        script in prop::collection::vec((0u8..6, 0usize..64, 0usize..64), 1..10),
+        at_op in 1u64..120,
+        mode_sel in 0u8..3,
+        keep in any::<bool>(),
+    ) {
+        let reference = reference_run(&db, &script);
+        let fault = Fault { at_op: at_op.min(reference.total_ops + 1), mode: mode_from(mode_sel) };
+        let (mem, acked, created, errored_at) =
+            crashed_run(&db, &script, FsyncPolicy::Always, fault, keep);
+        match reopen(mem) {
+            Ok(recovered) => {
+                prop_assert!(recovered.db().indexes_consistent());
+                let got = observe(&recovered);
+                prop_assert!(
+                    allowed_states(&reference, acked, errored_at).contains(&&got),
+                    "{fault:?} keep={keep}: unacknowledged recovered state"
+                );
+                // And the recovered session still answers repairs exactly
+                // like a fresh in-memory session over the same database.
+                let fresh =
+                    RepairSession::new(got.db.clone(), program()).unwrap();
+                prop_assert_eq!(
+                    recovered.run(Semantics::End).deleted(),
+                    fresh.run(Semantics::End).deleted()
+                );
+            }
+            Err(e) => {
+                prop_assert!(!created, "store created but reopen failed: {e}");
+                prop_assert!(is_corrupt(&e), "untyped failure: {e}");
+            }
+        }
+    }
+}
