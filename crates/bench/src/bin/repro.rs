@@ -29,6 +29,7 @@
 
 use bench::{
     check, env_usize, fmt_duration, mas_scale, run_four, session_for, tpch_scale, MasLab, TpchLab,
+    ZipfLab,
 };
 use cellrepair::{count_violating_tuples, repair as hc_repair, CellRepairConfig};
 use datagen::{author_table, inject_errors};
@@ -67,8 +68,64 @@ fn main() {
             "table5" => table4_and_5(true),
             "fig10" => fig10(),
             "bench-json" => bench_json(quick_flag),
+            "lint-workloads" => lint_workloads(),
             other => eprintln!("unknown experiment `{other}` (see --help text in source)"),
         }
+    }
+}
+
+/// `repro lint-workloads` — run the static analyzer over every built-in
+/// workload program (20 MAS + 6 TPC-H + 2 zipf) against its generated
+/// schema and print one line per program: diagnostic counts plus which
+/// equivalence certificate (if any) the program earns. CI runs this as a
+/// smoke test; any error-level finding exits nonzero. The data scales are
+/// irrelevant to static analysis, so the smallest generators are used.
+fn lint_workloads() {
+    banner("lint — static analysis of the built-in workload programs");
+    let mas = MasLab::at_scale(0.01);
+    let tpch = TpchLab::at_scale(0.01);
+    let zipf = ZipfLab::at_scale(0.01);
+    let all = mas
+        .workloads
+        .iter()
+        .map(|w| (&mas.data.db, w))
+        .chain(tpch.workloads.iter().map(|w| (&tpch.data.db, w)))
+        .chain(zipf.workloads.iter().map(|w| (&zipf.data.db, w)));
+    println!(
+        "{:<14} {:>7} {:>9} {:>6}  certificate",
+        "program", "errors", "warnings", "infos"
+    );
+    let mut total_errors = 0;
+    let mut certified = 0;
+    let mut count = 0;
+    for (db, w) in all {
+        let report = datalog::lint(Some(db.schema()), &w.program);
+        let errors = report.count(datalog::Severity::Error);
+        total_errors += errors;
+        count += 1;
+        if report.certificate.any() {
+            certified += 1;
+        }
+        println!(
+            "{:<14} {:>7} {:>9} {:>6}  {}",
+            w.name,
+            errors,
+            report.count(datalog::Severity::Warning),
+            report.count(datalog::Severity::Info),
+            report.certificate.describe(),
+        );
+        if errors > 0 {
+            for d in &report.diagnostics {
+                if d.severity == datalog::Severity::Error {
+                    println!("    {d}");
+                }
+            }
+        }
+    }
+    println!("{count} programs linted, {certified} with an equivalence certificate");
+    if total_errors > 0 {
+        eprintln!("lint-workloads: {total_errors} error-level finding(s)");
+        std::process::exit(1);
     }
 }
 

@@ -19,6 +19,13 @@
 //!   triggers with `alphabetical` (PostgreSQL) or `creation` (MySQL)
 //!   firing order.
 //!
+//! There is also a `lint` subcommand that runs the static analyzer
+//! (`datalog::lint`) over a program without repairing anything:
+//!
+//! ```text
+//! delta-repair lint --program rules.dl [--db data.tsv] [--json]
+//! ```
+//!
 //! The module is a library so the parsing/reporting logic is unit-testable;
 //! `main.rs` is a thin shell.
 
@@ -38,6 +45,7 @@ use triggers::FiringOrder;
 /// | [`CliError::Input`] | 4 | malformed input content (TSV, rules, `--why` tuple) |
 /// | [`CliError::Repair`]| 5 | the repair engine rejected the run ([`RepairError`]) |
 /// | [`CliError::Corrupt`]| 6 | a durable store failed checksum/recovery validation |
+/// | [`CliError::Lint`]  | 7 | `lint` found error-level diagnostics |
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CliError {
     /// `--help`: carries the usage text; exits 0.
@@ -54,6 +62,11 @@ pub enum CliError {
     /// route around, preserved as the typed error; exits 6 so operators
     /// can distinguish "restore from backup" from ordinary failures.
     Corrupt(RepairError),
+    /// The `lint` subcommand found error-level diagnostics (the count is
+    /// carried for the message); exits 7 so CI can gate on "program has
+    /// static errors" separately from every other failure class. The
+    /// report itself goes to stdout before this is raised.
+    Lint(usize),
 }
 
 impl CliError {
@@ -66,6 +79,7 @@ impl CliError {
             CliError::Input(_) => 4,
             CliError::Repair(_) => 5,
             CliError::Corrupt(_) => 6,
+            CliError::Lint(_) => 7,
         }
     }
 }
@@ -91,6 +105,7 @@ impl std::fmt::Display for CliError {
             CliError::Input(msg) => write!(f, "{msg}"),
             CliError::Repair(e) => write!(f, "{e}"),
             CliError::Corrupt(e) => write!(f, "{e}"),
+            CliError::Lint(n) => write!(f, "lint: {n} error-level finding(s)"),
         }
     }
 }
@@ -149,6 +164,7 @@ delta-repair — declarative database repair under four semantics
 
 USAGE:
     delta-repair --db DATA.tsv --program RULES.dl [OPTIONS]
+    delta-repair lint --program RULES.dl [--db DATA.tsv] [--json]
 
 OPTIONS:
     --db PATH          self-describing TSV document (typed headers);
@@ -171,6 +187,17 @@ OPTIONS:
                        actually fan out — results are identical either way)
     --help             this text
 
+LINT SUBCOMMAND:
+    delta-repair lint --program RULES.dl [--db DATA.tsv] [--json]
+
+    Statically analyze a delta program without repairing anything: unsafe
+    variables, unused relations, dead rules, constant contradictions,
+    cartesian-product joins, duplicate/subsumed rules, recursion cycles,
+    and the semantics-equivalence certificate (which of the four repair
+    semantics provably coincide). With --db, schema-dependent checks
+    (unknown relations, arity, types) run too; --json emits the report as
+    machine-readable JSON. Error-level findings exit 7.
+
 EXIT CODES:
     0    success (or --help)
     2    bad command line: unknown flag, missing value or argument
@@ -178,6 +205,7 @@ EXIT CODES:
     4    malformed input: TSV database, delta program, or --why tuple name
     5    repair engine error (invalid program for this schema, apply failure)
     6    corrupt --data-dir store (recovery ladder exhausted; restore a backup)
+    7    lint found error-level diagnostics (report already on stdout)
 ";
 
 /// Parse `argv[1..]`-style arguments.
@@ -282,6 +310,100 @@ where
         dot,
         threads,
     })
+}
+
+/// Parsed `lint` subcommand line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintOptions {
+    /// Path of the delta program to analyze (required).
+    pub program: String,
+    /// Optional TSV database: its schema enables the schema-dependent
+    /// passes (unknown relations, arity, column types).
+    pub db: Option<String>,
+    /// Emit the report as JSON instead of human-readable lines.
+    pub json: bool,
+}
+
+/// Parse the arguments *after* the `lint` subcommand word.
+pub fn parse_lint_args<I, S>(args: I) -> Result<LintOptions, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut program = None;
+    let mut db = None;
+    let mut json = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let arg = arg.as_ref();
+        let mut value_for = |name: &str| {
+            it.next()
+                .map(|v| v.as_ref().to_owned())
+                .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+        };
+        match arg {
+            "--program" => program = Some(value_for("--program")?),
+            "--db" => db = Some(value_for("--db")?),
+            "--json" => json = true,
+            "--help" | "-h" => return Err(CliError::Help),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown argument `{other}` for lint\n\n{USAGE}"
+                )))
+            }
+        }
+    }
+    Ok(LintOptions {
+        program: program.ok_or_else(|| CliError::Usage("lint: --program is required".into()))?,
+        db,
+        json,
+    })
+}
+
+/// What `lint` produced: the text to print and the structured report.
+#[derive(Debug)]
+pub struct LintOutput {
+    /// Rendered report — human lines, or one JSON object with `--json`.
+    pub rendered: String,
+    /// The structured report, for callers that want the diagnostics.
+    pub report: datalog::LintReport,
+}
+
+impl LintOutput {
+    /// The exit status the subcommand maps to: `Err(CliError::Lint)` when
+    /// any error-level diagnostic was found, `Ok(())` otherwise. The report
+    /// is printed either way.
+    pub fn status(&self) -> Result<(), CliError> {
+        let errors = self.report.count(datalog::Severity::Error);
+        if errors > 0 {
+            Err(CliError::Lint(errors))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Run the static analyzer. Pure with respect to the filesystem: callers
+/// hand in file contents. A program that fails to *parse* is a malformed
+/// input (exit 4, same as the repair path); a program that parses but
+/// trips validation shows up as `E…` diagnostics in the report instead.
+pub fn run_lint(
+    opts: &LintOptions,
+    program_text: &str,
+    db_text: Option<&str>,
+) -> Result<LintOutput, CliError> {
+    let program = datalog::parse_program(program_text)
+        .map_err(|e| CliError::Input(format!("--program: {e}")))?;
+    let db = db_text
+        .map(|text| tsv::load_document(text).map_err(|e| CliError::Input(format!("--db: {e}"))))
+        .transpose()?;
+    let report = datalog::lint(db.as_ref().map(|d| d.schema()), &program);
+    let rendered = if opts.json {
+        report.to_json()
+    } else {
+        report.render()
+    };
+    Ok(LintOutput { rendered, report })
 }
 
 /// Everything the run produced, ready for printing or inspection.
@@ -601,6 +723,8 @@ delta AuthGrant(a, g) :- AuthGrant(a, g), delta Grant(g, n).
         assert!(engine.source().is_some(), "RepairError kept as source");
         // Io: exit 3 (constructed directly; main.rs owns the filesystem).
         assert_eq!(CliError::Io("cannot read x".into()).exit_code(), 3);
+        // Lint findings: exit 7.
+        assert_eq!(CliError::Lint(2).exit_code(), 7);
         // Every failure variant maps to its own nonzero code; only Help
         // shares 0 with success.
         let mut codes: Vec<u8> = [
@@ -610,14 +734,70 @@ delta AuthGrant(a, g) :- AuthGrant(a, g), delta Grant(g, n).
             CliError::Input(String::new()),
             CliError::Repair(repair_core::RepairError::NothingToUndo),
             CliError::Corrupt(repair_core::RepairError::NothingToUndo),
+            CliError::Lint(1),
         ]
         .iter()
         .map(CliError::exit_code)
         .collect();
         codes.sort_unstable();
         codes.dedup();
-        assert_eq!(codes.len(), 6, "exit codes must stay distinct");
+        assert_eq!(codes.len(), 7, "exit codes must stay distinct");
         assert!(codes.iter().skip(1).all(|&c| c != 0 && c != 1));
+    }
+
+    #[test]
+    fn lint_args_parse_and_validate() {
+        let opts = parse_lint_args(["--program", "p.dl", "--db", "d.tsv", "--json"]).unwrap();
+        assert_eq!(opts.program, "p.dl");
+        assert_eq!(opts.db.as_deref(), Some("d.tsv"));
+        assert!(opts.json);
+        // --program is mandatory; unknown flags and missing values are
+        // usage errors; --help works inside the subcommand too.
+        assert!(parse_lint_args(["--db", "d.tsv"]).is_err());
+        assert!(parse_lint_args(["--program"]).is_err());
+        assert!(parse_lint_args(["--program", "p", "--frobnicate"]).is_err());
+        assert!(matches!(
+            parse_lint_args(["--help"]).unwrap_err(),
+            CliError::Help
+        ));
+    }
+
+    #[test]
+    fn lint_clean_program_exits_zero() {
+        let opts = parse_lint_args(["--program", "p.dl", "--db", "d.tsv"]).unwrap();
+        let out = run_lint(&opts, RULES, Some(DB)).unwrap();
+        assert!(out.status().is_ok(), "{}", out.rendered);
+        assert!(out.rendered.contains("certificate:"), "{}", out.rendered);
+        assert!(out.rendered.contains("0 error(s)"), "{}", out.rendered);
+    }
+
+    #[test]
+    fn lint_error_findings_map_to_exit_seven() {
+        // Unknown relation against the schema: an E001 diagnostic, not a
+        // hard failure — the report renders, then status() raises exit 7.
+        let opts = parse_lint_args(["--program", "p.dl", "--db", "d.tsv"]).unwrap();
+        let out = run_lint(&opts, "delta Nope(x) :- Nope(x).", Some(DB)).unwrap();
+        assert!(out.rendered.contains("E001"), "{}", out.rendered);
+        let err = out.status().unwrap_err();
+        assert!(matches!(err, CliError::Lint(_)));
+        assert_eq!(err.exit_code(), 7);
+        // Without --db the schema passes are skipped and the same program
+        // is clean (nothing else is wrong with it).
+        let no_db = parse_lint_args(["--program", "p.dl"]).unwrap();
+        let out = run_lint(&no_db, "delta Nope(x) :- Nope(x).", None).unwrap();
+        assert!(out.status().is_ok(), "{}", out.rendered);
+        // A parse failure is malformed input (exit 4), like the repair path.
+        let bad = run_lint(&no_db, "garbage !!", None).unwrap_err();
+        assert_eq!(bad.exit_code(), 4);
+    }
+
+    #[test]
+    fn lint_json_is_structured() {
+        let opts = parse_lint_args(["--program", "p.dl", "--json"]).unwrap();
+        let out = run_lint(&opts, "delta R(x) :- R(x), S(y).", None).unwrap();
+        assert!(out.rendered.starts_with('{'), "{}", out.rendered);
+        assert!(out.rendered.contains("\"W103\""), "{}", out.rendered);
+        assert!(out.rendered.contains("\"certificate\""), "{}", out.rendered);
     }
 
     #[test]

@@ -22,10 +22,22 @@ fn main() -> ExitCode {
 }
 
 fn real_main() -> Result<(), CliError> {
-    let opts = cli::parse_args(std::env::args().skip(1))?;
+    let mut args = std::env::args().skip(1).peekable();
     let read = |path: &str| {
         std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))
     };
+    if args.peek().map(String::as_str) == Some("lint") {
+        let opts = cli::parse_lint_args(args.skip(1))?;
+        let program_text = read(&opts.program)?;
+        let db_text = match &opts.db {
+            Some(path) => Some(read(path)?),
+            None => None,
+        };
+        let out = cli::run_lint(&opts, &program_text, db_text.as_deref())?;
+        print!("{}", out.rendered);
+        return out.status();
+    }
+    let opts = cli::parse_args(args)?;
     let program_text = read(&opts.program)?;
     let db_text = match &opts.db {
         Some(path) => Some(read(path)?),

@@ -126,7 +126,10 @@ mod tests {
 
         let e = RepairError::datalog(
             "planning the delta program",
-            DatalogError::UnknownRelation("Nope".into()),
+            DatalogError::UnknownRelation {
+                relation: "Nope".into(),
+                span: None,
+            },
         );
         assert!(e.to_string().contains("planning the delta program"));
         assert!(e.source().unwrap().to_string().contains("Nope"));

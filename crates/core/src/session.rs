@@ -56,7 +56,7 @@ use crate::engine::{DeltaPolicy, EngineState, FixpointDriver};
 use crate::error::RepairError;
 use crate::result::{PhaseBreakdown, RepairResult, Semantics};
 use crate::{end, independent, stability, stage, step};
-use datalog::{Assignment, Evaluator, PlannedProgram, Program};
+use datalog::{Assignment, EquivalenceCertificate, Evaluator, PlannedProgram, Program};
 use sat::MinOnesOptions;
 use std::collections::HashMap;
 use std::fmt;
@@ -89,6 +89,7 @@ pub struct RepairRequest {
     decompose: bool,
     first_solution_only: bool,
     incremental: bool,
+    certificates: bool,
     threads: Option<usize>,
 }
 
@@ -105,6 +106,7 @@ impl RepairRequest {
             decompose: true,
             first_solution_only: false,
             incremental: true,
+            certificates: true,
             threads: None,
         }
     }
@@ -165,6 +167,24 @@ impl RepairRequest {
     pub fn incremental(mut self, incremental: bool) -> RepairRequest {
         self.incremental = incremental;
         self
+    }
+
+    /// Allow the session to serve this request through its static
+    /// semantics-equivalence certificate (on by default): when
+    /// `datalog::lint::certify` proves the requested semantics produces the
+    /// same delete-set as the end-semantics fixpoint for this program, the
+    /// cheap fixpoint serves the request and the outcome is marked
+    /// [`RepairOutcome::served_via_certificate`]. The delete-set is
+    /// bit-identical either way — `certificates(false)` is the escape hatch
+    /// for differential testing and distrustful callers.
+    pub fn certificates(mut self, certificates: bool) -> RepairRequest {
+        self.certificates = certificates;
+        self
+    }
+
+    /// Is certificate-driven dispatch allowed?
+    pub fn certificates_value(&self) -> bool {
+        self.certificates
     }
 
     /// Worker threads for this request's evaluation rounds and Min-Ones
@@ -267,6 +287,11 @@ pub enum OptimalityCertificate {
     /// The wall-clock budget ran out before the solve phase; the fast
     /// first-solution descent was returned.
     TimeBudgetExhausted,
+    /// The request was served by the end-semantics fixpoint under a static
+    /// semantics-equivalence certificate (`datalog::lint::certify`): the
+    /// program's syntax proves the requested semantics' delete-set equals
+    /// the end delete-set, which is unique — hence minimum.
+    StaticEquivalence,
 }
 
 /// Optimality verdict plus the solver statistics behind it.
@@ -331,6 +356,7 @@ pub struct RepairOutcome {
     provenance: Option<RepairProvenance>,
     epoch: u64,
     incremental: bool,
+    via_certificate: bool,
 }
 
 impl RepairOutcome {
@@ -397,6 +423,14 @@ impl RepairOutcome {
     /// either way.
     pub fn served_incrementally(&self) -> bool {
         self.incremental
+    }
+
+    /// Was this outcome served by the end-semantics evaluator under a
+    /// static semantics-equivalence certificate
+    /// ([`RepairRequest::certificates`])? Diagnostics only — the delete-set
+    /// is identical to direct evaluation of the requested semantics.
+    pub fn served_via_certificate(&self) -> bool {
+        self.via_certificate
     }
 
     /// What applying this outcome would do, without doing it: per-relation
@@ -488,6 +522,10 @@ pub struct RepairSession {
     ev: Evaluator,
     epoch: u64,
     history: Vec<AppliedRepair>,
+    /// Static semantics-equivalence certificate for the program, computed
+    /// once at construction (`datalog::lint::certify`); drives
+    /// [`RepairSession::repair`]'s cheaper-semantics dispatch.
+    certificate: EquivalenceCertificate,
     /// Incrementally maintained end-fixpoint checkpoint, keyed by the
     /// journal cursor it is synchronized at. `Mutex` (not `RefCell`) so the
     /// session stays `Sync`; `repair` takes `&self`.
@@ -578,11 +616,13 @@ impl RepairSession {
         let planned = PlannedProgram::plan(db.schema(), program)
             .map_err(|e| RepairError::datalog("planning the delta program", e))?;
         let ev = planned.into_evaluator(&mut db);
+        let certificate = datalog::lint::certify(ev.program());
         Ok(RepairSession {
             db,
             ev,
             epoch: 0,
             history: Vec::new(),
+            certificate,
             end_cache: Mutex::new(None),
             durable: None,
         })
@@ -853,6 +893,10 @@ impl RepairSession {
         self.epoch += 1;
         self.persist(BatchMark::Commit)?;
         self.trim_journal();
+        debug_assert!(
+            self.db.indexes_consistent(),
+            "insert_batch left an index inconsistent with the live rows"
+        );
         Ok(ids)
     }
 
@@ -955,9 +999,25 @@ impl RepairSession {
     /// yet, or the journal window no longer covers the checkpoint's cursor.
     pub fn repair(&self, request: &RepairRequest) -> Result<RepairOutcome, RepairError> {
         request.validate()?;
-        if request.semantics == Semantics::End && request.incremental && !request.capture_provenance
-        {
-            return Ok(self.serve_end(request));
+        // Certificate-driven dispatch: when the program's syntax proves the
+        // requested semantics' delete-set equals the end delete-set (see
+        // `datalog::lint::certify`), the cheap end fixpoint — including its
+        // incrementally maintained checkpoint — serves the request, and the
+        // outcome is relabeled to the semantics the caller asked for.
+        let via_certificate = request.certificates
+            && request.semantics != Semantics::End
+            && self.certificate_serves(request.semantics);
+        let effective = if via_certificate {
+            Semantics::End
+        } else {
+            request.semantics
+        };
+        if effective == Semantics::End && request.incremental && !request.capture_provenance {
+            let mut outcome = self.serve_end(request);
+            if via_certificate {
+                relabel_certified(&mut outcome, request.semantics);
+            }
+            return Ok(outcome);
         }
         let deadline = request.time_budget.map(|b| Instant::now() + b);
         let minones = request.minones();
@@ -966,7 +1026,7 @@ impl RepairSession {
             &self.ev,
             &minones,
             deadline,
-            request.semantics,
+            effective,
             request.capture_provenance,
             request.threads,
         );
@@ -982,13 +1042,35 @@ impl RepairSession {
                 }
             })
         });
-        Ok(RepairOutcome {
+        let mut outcome = RepairOutcome {
             result,
             optimality,
             provenance,
             epoch: self.epoch,
             incremental: false,
-        })
+            via_certificate: false,
+        };
+        if via_certificate {
+            relabel_certified(&mut outcome, request.semantics);
+        }
+        Ok(outcome)
+    }
+
+    /// Does the session's static certificate prove `semantics` produces the
+    /// end delete-set for this program?
+    fn certificate_serves(&self, semantics: Semantics) -> bool {
+        let c = &self.certificate;
+        match semantics {
+            Semantics::End => false,
+            Semantics::Stage => c.single_stratum || c.interaction_free,
+            Semantics::Step => c.interaction_free,
+            Semantics::Independent => c.pure_cascade,
+        }
+    }
+
+    /// The program's static semantics-equivalence certificate.
+    pub fn certificate(&self) -> &EquivalenceCertificate {
+        &self.certificate
     }
 
     /// Serve an end-semantics request through the incremental checkpoint,
@@ -1042,6 +1124,7 @@ impl RepairSession {
             provenance: None,
             epoch: self.epoch,
             incremental,
+            via_certificate: false,
         }
     }
 
@@ -1125,6 +1208,22 @@ impl RepairSession {
         self.persist(BatchMark::Undo)?;
         self.trim_journal();
         Ok(restored)
+    }
+}
+
+/// Relabel an end-semantics outcome as the semantics the caller requested,
+/// under a static equivalence certificate. The delete-set is untouched —
+/// the certificate proves it *is* the requested semantics' delete-set. An
+/// empty repair keeps [`OptimalityCertificate::AlreadyStable`] (the more
+/// precise verdict); everything else becomes
+/// [`OptimalityCertificate::StaticEquivalence`].
+fn relabel_certified(outcome: &mut RepairOutcome, requested: Semantics) {
+    outcome.result.semantics = requested;
+    outcome.result.proven_optimal = true;
+    outcome.via_certificate = true;
+    outcome.optimality.proven = true;
+    if outcome.optimality.certificate != OptimalityCertificate::AlreadyStable {
+        outcome.optimality.certificate = OptimalityCertificate::StaticEquivalence;
     }
 }
 

@@ -61,8 +61,12 @@ pub fn run_greedy_threads(db: &Instance, ev: &Evaluator, threads: Option<usize>)
     let t1 = Instant::now();
     let mut graph = ProvGraph::build(&end_out.assignments, &end_out.layers);
     // The certificate reads the static edge lists; decide it before the
-    // traversal mutates liveness.
-    let interaction_free = graph.is_interaction_free();
+    // traversal mutates liveness. The program-level certificate
+    // (`datalog::lint::certify`) implies the runtime one on every database
+    // — OR it in so the verdict never depends on which databases happen to
+    // materialize interactions.
+    let interaction_free =
+        graph.is_interaction_free() || datalog::lint::certify(ev.program()).interaction_free;
     let process = t1.elapsed();
 
     let t2 = Instant::now();

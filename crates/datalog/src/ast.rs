@@ -44,8 +44,27 @@ impl fmt::Display for Term {
     }
 }
 
+/// A 1-based source position (line, column) recorded by the parser.
+///
+/// Spans are *metadata*: two atoms or rules that differ only in spans
+/// compare equal, so programs parsed from different renderings of the same
+/// text (e.g. `p == parse(p.to_string())`) stay equal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
 /// An atom `R(t1, …, tn)` or `ΔR(t1, …, tn)`.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Debug)]
 pub struct Atom {
     /// Relation name (resolved against the schema during validation).
     pub relation: String,
@@ -53,7 +72,20 @@ pub struct Atom {
     pub is_delta: bool,
     /// Argument terms.
     pub terms: Vec<Term>,
+    /// Source position of the atom's first token, when parsed from text.
+    /// Ignored by equality (see [`Span`]).
+    pub span: Option<Span>,
 }
+
+impl PartialEq for Atom {
+    fn eq(&self, other: &Atom) -> bool {
+        self.relation == other.relation
+            && self.is_delta == other.is_delta
+            && self.terms == other.terms
+    }
+}
+
+impl Eq for Atom {}
 
 impl Atom {
     /// Positive (base-relation) atom.
@@ -62,6 +94,7 @@ impl Atom {
             relation: relation.to_owned(),
             is_delta: false,
             terms,
+            span: None,
         }
     }
 
@@ -71,7 +104,14 @@ impl Atom {
             relation: relation.to_owned(),
             is_delta: true,
             terms,
+            span: None,
         }
+    }
+
+    /// The same atom carrying a source span.
+    pub fn with_span(mut self, span: Span) -> Atom {
+        self.span = Some(span);
+        self
     }
 }
 
@@ -153,7 +193,7 @@ impl fmt::Display for Comparison {
 }
 
 /// A delta rule (Definition 3.1).
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Debug)]
 pub struct Rule {
     /// Head delta atom `Δi(X)`.
     pub head: Atom,
@@ -161,7 +201,18 @@ pub struct Rule {
     pub body: Vec<Atom>,
     /// Body comparisons.
     pub comparisons: Vec<Comparison>,
+    /// Source position of the rule's first token, when parsed from text.
+    /// Ignored by equality (see [`Span`]).
+    pub span: Option<Span>,
 }
+
+impl PartialEq for Rule {
+    fn eq(&self, other: &Rule) -> bool {
+        self.head == other.head && self.body == other.body && self.comparisons == other.comparisons
+    }
+}
+
+impl Eq for Rule {}
 
 impl Rule {
     /// Build a rule; well-formedness is checked later by
@@ -171,7 +222,13 @@ impl Rule {
             head,
             body,
             comparisons,
+            span: None,
         }
+    }
+
+    /// The rule's source span: its own, or its head atom's.
+    pub fn span(&self) -> Option<Span> {
+        self.span.or(self.head.span)
     }
 
     /// Indexes of delta atoms within the body.

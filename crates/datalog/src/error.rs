@@ -1,8 +1,13 @@
 //! Errors for parsing, validation and planning.
 
+use crate::ast::Span;
 use std::fmt;
 
 /// Errors raised by the datalog layer.
+///
+/// Validation errors carry the [`Span`] of the offending atom or rule when
+/// the program was parsed from text (programs built programmatically have
+/// no spans, so the field is optional everywhere).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DatalogError {
     /// Lexical or grammatical error with 1-based line/column.
@@ -12,24 +17,66 @@ pub enum DatalogError {
         msg: String,
     },
     /// A rule referenced a relation missing from the schema.
-    UnknownRelation(String),
+    UnknownRelation {
+        relation: String,
+        span: Option<Span>,
+    },
     /// Atom arity does not match the schema.
     Arity {
         relation: String,
         expected: usize,
         got: usize,
+        span: Option<Span>,
     },
     /// Head of a rule must be a delta atom.
-    HeadNotDelta(String),
+    HeadNotDelta {
+        relation: String,
+        span: Option<Span>,
+    },
     /// Definition 3.1: the body must contain the base atom `Ri(X)` with the
     /// head's exact argument vector.
-    MissingHeadWitness(String),
+    MissingHeadWitness {
+        relation: String,
+        span: Option<Span>,
+    },
     /// A head or comparison variable does not occur in any body atom.
-    UnsafeVariable { rule: String, var: String },
+    UnsafeVariable {
+        rule: String,
+        var: String,
+        span: Option<Span>,
+    },
     /// Constant has the wrong type for its column.
-    TypeMismatch { relation: String, column: usize },
+    TypeMismatch {
+        relation: String,
+        column: usize,
+        span: Option<Span>,
+    },
     /// A denial constraint was structurally invalid.
     InvalidConstraint(String),
+}
+
+impl DatalogError {
+    /// The source span the error points at, if the program carried one.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            DatalogError::Syntax { line, col, .. } => Some(Span {
+                line: *line,
+                col: *col,
+            }),
+            DatalogError::UnknownRelation { span, .. }
+            | DatalogError::Arity { span, .. }
+            | DatalogError::HeadNotDelta { span, .. }
+            | DatalogError::MissingHeadWitness { span, .. }
+            | DatalogError::UnsafeVariable { span, .. }
+            | DatalogError::TypeMismatch { span, .. } => *span,
+            DatalogError::InvalidConstraint(_) => None,
+        }
+    }
+}
+
+/// Render ` at line:col` when a span is present.
+fn at(span: &Option<Span>) -> String {
+    span.map(|s| format!(" at {s}")).unwrap_or_default()
 }
 
 impl fmt::Display for DatalogError {
@@ -38,24 +85,48 @@ impl fmt::Display for DatalogError {
             DatalogError::Syntax { line, col, msg } => {
                 write!(f, "syntax error at {line}:{col}: {msg}")
             }
-            DatalogError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            DatalogError::UnknownRelation { relation, span } => {
+                write!(f, "unknown relation `{relation}`{}", at(span))
+            }
             DatalogError::Arity {
                 relation,
                 expected,
                 got,
-            } => write!(f, "atom `{relation}` expects {expected} terms, got {got}"),
-            DatalogError::HeadNotDelta(r) => {
-                write!(f, "rule head `{r}` must be a delta atom (Def. 3.1)")
-            }
-            DatalogError::MissingHeadWitness(r) => write!(
+                span,
+            } => write!(
                 f,
-                "rule for `Δ{r}` must repeat the head arguments in a positive `{r}` body atom (Def. 3.1)"
+                "atom `{relation}`{} expects {expected} terms, got {got}",
+                at(span)
             ),
-            DatalogError::UnsafeVariable { rule, var } => {
-                write!(f, "variable `{var}` in rule `{rule}` is not bound by any body atom")
+            DatalogError::HeadNotDelta { relation, span } => {
+                write!(
+                    f,
+                    "rule head `{relation}`{} must be a delta atom (Def. 3.1)",
+                    at(span)
+                )
             }
-            DatalogError::TypeMismatch { relation, column } => {
-                write!(f, "constant in `{relation}` column {column} has the wrong type")
+            DatalogError::MissingHeadWitness { relation, span } => write!(
+                f,
+                "rule for `Δ{relation}`{} must repeat the head arguments in a positive `{relation}` body atom (Def. 3.1)",
+                at(span)
+            ),
+            DatalogError::UnsafeVariable { rule, var, span } => {
+                write!(
+                    f,
+                    "variable `{var}` in rule `{rule}`{} is not bound by any body atom",
+                    at(span)
+                )
+            }
+            DatalogError::TypeMismatch {
+                relation,
+                column,
+                span,
+            } => {
+                write!(
+                    f,
+                    "constant in `{relation}` column {column}{} has the wrong type",
+                    at(span)
+                )
             }
             DatalogError::InvalidConstraint(msg) => {
                 write!(f, "invalid denial constraint: {msg}")

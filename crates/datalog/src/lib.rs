@@ -30,16 +30,18 @@ pub mod compile;
 pub mod dc;
 pub mod error;
 pub mod eval;
+pub mod lint;
 pub mod parser;
 pub mod seed;
 pub mod validate;
 
 pub use analysis::{analyze, Analysis};
-pub use ast::{Atom, CmpOp, Comparison, Program, Rule, Term};
+pub use ast::{Atom, CmpOp, Comparison, Program, Rule, Span, Term};
 pub use dc::DenialConstraint;
 pub use error::DatalogError;
 #[cfg(feature = "parallel")]
 pub use eval::{eval_threads, ParScope};
 pub use eval::{Assignment, BodyBind, DeltaFrontier, EvalScratch, Evaluator, Mode, PlannedProgram};
+pub use lint::{certify, lint, Diagnostic, EquivalenceCertificate, LintReport, Severity};
 pub use parser::{parse_body, parse_program};
 pub use seed::{seed_rule, with_interventions};

@@ -1,0 +1,864 @@
+//! Multi-pass static analyzer for delta programs.
+//!
+//! [`lint`] runs a fixed pipeline of passes over a parsed [`Program`]
+//! (optionally against a [`Schema`]) and returns a [`LintReport`]: a list of
+//! structured [`Diagnostic`]s plus the [`EquivalenceCertificate`] of the
+//! certificate pass. The passes, in order:
+//!
+//! | pass | codes | severity | needs schema |
+//! |------|-------|----------|--------------|
+//! | validation (Def. 3.1 + safety) | `E001`–`E006` | error | yes |
+//! | dead rules (provably empty body) | `W101` | warning | no |
+//! | constant contradictions | `W102` | warning | no |
+//! | cartesian-product joins | `W103` | warning | no |
+//! | duplicate rules | `W104` | warning | no |
+//! | subsumed rules | `W105` | warning | no |
+//! | unused schema relations | `I201` | info | yes |
+//! | recursion through delta | `I202` | info | no |
+//! | semantics-equivalence certificate | `I203` | info | no |
+//!
+//! # The certificate pass
+//!
+//! The paper's four repair semantics (end / stage / step / independent)
+//! provably coincide on statically recognizable program classes; see
+//! [`certify`] for the classes and the soundness argument. `repair_core`'s
+//! `RepairSession` consumes the certificate to dispatch a request for an
+//! expensive semantics to the cheap end-semantics fixpoint when the two are
+//! statically equivalent.
+//!
+//! Every pass is purely syntactic, deterministic (diagnostics are ordered by
+//! rule index, then pass order), and allocation-light — linting is cheap
+//! enough to run at session construction.
+
+use crate::analysis;
+use crate::ast::{Atom, Program, Rule, Span, Term};
+use crate::error::DatalogError;
+use crate::validate;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use storage::{Schema, Sym, Value};
+
+/// How bad a [`Diagnostic`] is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Informational: a property worth knowing, nothing to fix.
+    Info,
+    /// Suspicious but executable — the engine will do something well-defined
+    /// that is probably not what the author meant.
+    Warning,
+    /// The program is rejected by validation; evaluation would refuse it.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding of one lint pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`E001`…`I203`, see the module table).
+    pub code: &'static str,
+    /// Severity class (derivable from the code's letter, kept explicit).
+    pub severity: Severity,
+    /// 0-based index of the rule the finding is about, when rule-scoped.
+    pub rule: Option<usize>,
+    /// Source position, when the program was parsed from text.
+    pub span: Option<Span>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        if let Some(r) = self.rule {
+            write!(f, " rule {r}")?;
+        }
+        if let Some(s) = self.span {
+            write!(f, " at {s}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Which of the four repair semantics provably produce identical
+/// delete-sets for a program, decided purely from its syntax.
+///
+/// Produced by [`certify`]; the flags are cumulative in strength
+/// (`pure_cascade` implies `interaction_free`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct EquivalenceCertificate {
+    /// No rule has a delta body atom: the program is one stratum of
+    /// DC-style rules, so **end = stage**.
+    pub single_stratum: bool,
+    /// No rule-head relation occurs as a non-witness base atom in any body
+    /// (the static "non-overlapping heads" counterpart of
+    /// `provenance::ProvGraph::is_interaction_free`), so
+    /// **end = stage = step**.
+    pub interaction_free: bool,
+    /// Interaction-free and every base body atom *is* the head witness:
+    /// the Horn constraints force a unique minimal stabilizing set, so
+    /// **all four semantics coincide**.
+    pub pure_cascade: bool,
+}
+
+impl EquivalenceCertificate {
+    /// Does the certificate prove any nontrivial equivalence?
+    pub fn any(&self) -> bool {
+        self.single_stratum || self.interaction_free || self.pure_cascade
+    }
+
+    /// Human-readable statement of what is certified.
+    pub fn describe(&self) -> String {
+        if self.pure_cascade {
+            "pure cascade: independent = step = stage = end (all four delete-sets coincide)"
+                .to_owned()
+        } else if self.interaction_free {
+            let stratum = if self.single_stratum {
+                "single-stratum, "
+            } else {
+                ""
+            };
+            format!("{stratum}interaction-free: step = stage = end delete-sets coincide")
+        } else if self.single_stratum {
+            "single-stratum: stage = end delete-sets coincide".to_owned()
+        } else {
+            "no static equivalence certificate".to_owned()
+        }
+    }
+}
+
+/// The analyzer's output: ordered diagnostics plus the certificate.
+#[derive(Clone, Debug)]
+pub struct LintReport {
+    /// Findings ordered by rule index, then pass order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The semantics-equivalence certificate.
+    pub certificate: EquivalenceCertificate,
+}
+
+impl LintReport {
+    /// Any error-severity findings? (The CLI maps this to exit code 7.)
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Count findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Human-readable rendering: one line per diagnostic, then the
+    /// certificate, then a summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!("certificate: {}\n", self.certificate.describe()));
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} info(s)\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        ));
+        out
+    }
+
+    /// Machine-readable rendering (the CLI's `lint --json`). Hand-rolled —
+    /// the workspace deliberately has no serde dependency.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"code\": \"{}\", ", d.code));
+            out.push_str(&format!("\"severity\": \"{}\", ", d.severity));
+            match d.rule {
+                Some(r) => out.push_str(&format!("\"rule\": {r}, ")),
+                None => out.push_str("\"rule\": null, "),
+            }
+            match d.span {
+                Some(s) => out.push_str(&format!("\"line\": {}, \"col\": {}, ", s.line, s.col)),
+                None => out.push_str("\"line\": null, \"col\": null, "),
+            }
+            out.push_str(&format!("\"message\": \"{}\"}}", json_escape(&d.message)));
+        }
+        out.push_str("\n  ],\n");
+        let c = &self.certificate;
+        out.push_str(&format!(
+            "  \"certificate\": {{\"single_stratum\": {}, \"interaction_free\": {}, \"pure_cascade\": {}, \"describe\": \"{}\"}},\n",
+            c.single_stratum,
+            c.interaction_free,
+            c.pure_cascade,
+            json_escape(&c.describe())
+        ));
+        out.push_str(&format!(
+            "  \"errors\": {}, \"warnings\": {}, \"infos\": {}\n}}\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        ));
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Run every pass over `program`. Passes that need a schema (validation,
+/// unused relations) are skipped when `schema` is `None` — the CLI uses
+/// this to lint a program file without a database.
+pub fn lint(schema: Option<&Schema>, program: &Program) -> LintReport {
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    if let Some(schema) = schema {
+        validation_pass(schema, program, &mut diags);
+        unused_relation_pass(schema, program, &mut diags);
+    }
+    dead_rule_pass(program, &mut diags);
+    contradiction_pass(program, &mut diags);
+    cartesian_pass(program, &mut diags);
+    duplicate_pass(program, &mut diags);
+    recursion_pass(program, &mut diags);
+    let certificate = certify(program);
+    if certificate.any() {
+        diags.push(Diagnostic {
+            code: "I203",
+            severity: Severity::Info,
+            rule: None,
+            span: None,
+            message: certificate.describe(),
+        });
+    }
+    // Deterministic presentation: rule-scoped findings by rule index (stable
+    // within a rule: pass order), program-scoped findings last.
+    diags.sort_by_key(|d| d.rule.map_or(usize::MAX, |r| r));
+    LintReport {
+        diagnostics: diags,
+        certificate,
+    }
+}
+
+/// Statically certify which semantics coincide for `program`.
+///
+/// Soundness (`H` = set of head relations; "witness" = the Def. 3.1 body
+/// atom repeating the head's relation and argument vector):
+///
+/// * **single-stratum** — no delta body atoms. End evaluates every rule once
+///   over the frozen database; stage fires the same matches at stage 1, and
+///   deletion can only *remove* matches of these monotone conjunctive
+///   bodies, so stage 2 finds nothing new: end = stage. (Step may differ:
+///   firing one match can void another's witness.)
+/// * **interaction-free** — no rule has a non-witness base atom over a
+///   relation in `H`. Then every runtime assignment's base tuples are either
+///   the head's own witness tuple or tuples of relations that are never
+///   deleted, i.e. `provenance::ProvGraph::is_interaction_free` holds on
+///   *every* database. Firing a step deletion then never voids another
+///   derivation, so the greedy step run deletes everything end deletes
+///   (step = end), and every end derivation survives stage-by-stage
+///   (stage = end): end = stage = step.
+/// * **pure cascade** — interaction-free and every base body atom is the
+///   witness itself. The independent semantics' constraints become Horn
+///   implications "body deltas ⊆ S ⟹ witness ∈ S" whose unique minimal
+///   model is exactly the end fixpoint, so the Min-Ones optimum is forced:
+///   all four coincide.
+pub fn certify(program: &Program) -> EquivalenceCertificate {
+    let heads: BTreeSet<&str> = program
+        .rules
+        .iter()
+        .map(|r| r.head.relation.as_str())
+        .collect();
+    let single_stratum = program.rules.iter().all(|r| !r.has_delta_body());
+    let is_witness = |r: &Rule, a: &Atom| {
+        !a.is_delta && a.relation == r.head.relation && a.terms == r.head.terms
+    };
+    let interaction_free = program.rules.iter().all(|r| {
+        r.body
+            .iter()
+            .all(|a| a.is_delta || is_witness(r, a) || !heads.contains(a.relation.as_str()))
+    });
+    let pure_cascade = interaction_free
+        && program
+            .rules
+            .iter()
+            .all(|r| r.body.iter().all(|a| a.is_delta || is_witness(r, a)));
+    EquivalenceCertificate {
+        single_stratum,
+        interaction_free,
+        pure_cascade,
+    }
+}
+
+/// `E001`–`E006`: Definition 3.1 well-formedness and safety, surfaced as
+/// diagnostics (one per offending rule) instead of a bare first error.
+fn validation_pass(schema: &Schema, program: &Program, diags: &mut Vec<Diagnostic>) {
+    for (i, rule) in program.rules.iter().enumerate() {
+        if let Err(e) = validate::validate_rule(schema, rule) {
+            let code = match &e {
+                DatalogError::UnknownRelation { .. } => "E001",
+                DatalogError::Arity { .. } => "E002",
+                DatalogError::TypeMismatch { .. } => "E003",
+                DatalogError::HeadNotDelta { .. } => "E004",
+                DatalogError::MissingHeadWitness { .. } => "E005",
+                DatalogError::UnsafeVariable { .. } => "E006",
+                // Validation raises no other variants; keep a stable code
+                // rather than panicking if that ever changes.
+                _ => "E000",
+            };
+            diags.push(Diagnostic {
+                code,
+                severity: Severity::Error,
+                rule: Some(i),
+                span: e.span().or(rule.span()),
+                message: e.to_string(),
+            });
+        }
+    }
+}
+
+/// `I201`: schema relations the program never mentions.
+fn unused_relation_pass(schema: &Schema, program: &Program, diags: &mut Vec<Diagnostic>) {
+    let mut referenced: BTreeSet<&str> = BTreeSet::new();
+    for r in &program.rules {
+        referenced.insert(r.head.relation.as_str());
+        for a in &r.body {
+            referenced.insert(a.relation.as_str());
+        }
+    }
+    for (_, rs) in schema.iter() {
+        if !referenced.contains(rs.name.as_str()) {
+            diags.push(Diagnostic {
+                code: "I201",
+                severity: Severity::Info,
+                rule: None,
+                span: None,
+                message: format!("relation `{}` is not referenced by the program", rs.name),
+            });
+        }
+    }
+}
+
+/// `W101`: rules whose body is provably empty because a delta body atom's
+/// relation is never the head of any rule — nothing can ever derive it.
+fn dead_rule_pass(program: &Program, diags: &mut Vec<Diagnostic>) {
+    let heads: BTreeSet<&str> = program
+        .rules
+        .iter()
+        .map(|r| r.head.relation.as_str())
+        .collect();
+    for (i, rule) in program.rules.iter().enumerate() {
+        for a in &rule.body {
+            if a.is_delta && !heads.contains(a.relation.as_str()) {
+                diags.push(Diagnostic {
+                    code: "W101",
+                    severity: Severity::Warning,
+                    rule: Some(i),
+                    span: a.span.or(rule.span()),
+                    message: format!(
+                        "dead rule: no rule derives `delta {}`, so this body can never hold",
+                        a.relation
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `W102`: comparisons that are false for every assignment — false
+/// constant-constant comparisons, trivially false self-comparisons
+/// (`x < x`, `x != x`), and contradictory `var = const` bindings (directly
+/// or against another comparison on the same variable).
+fn contradiction_pass(program: &Program, diags: &mut Vec<Diagnostic>) {
+    use crate::ast::CmpOp;
+    for (i, rule) in program.rules.iter().enumerate() {
+        let push = |msg: String, span: Option<Span>, diags: &mut Vec<Diagnostic>| {
+            diags.push(Diagnostic {
+                code: "W102",
+                severity: Severity::Warning,
+                rule: Some(i),
+                span,
+                message: msg,
+            });
+        };
+        // Equality bindings var -> const seen so far, in comparison order.
+        let mut bindings: Vec<(Sym, &Value)> = Vec::new();
+        for c in &rule.comparisons {
+            match (&c.lhs, &c.rhs) {
+                (Term::Const(a), Term::Const(b)) if !c.op.eval(a, b) => {
+                    push(
+                        format!("comparison `{c}` is always false"),
+                        rule.span(),
+                        diags,
+                    );
+                }
+                (Term::Var(v), Term::Var(w)) if v == w => {
+                    if matches!(c.op, CmpOp::Ne | CmpOp::Lt | CmpOp::Gt) {
+                        push(
+                            format!("comparison `{c}` is always false"),
+                            rule.span(),
+                            diags,
+                        );
+                    }
+                }
+                (Term::Var(v), Term::Const(k)) | (Term::Const(k), Term::Var(v)) => {
+                    // Orient constant to the right for evaluation.
+                    let (op, val) = if matches!(c.lhs, Term::Var(_)) {
+                        (c.op, k)
+                    } else {
+                        (flip(c.op), k)
+                    };
+                    if let Some((_, bound)) = bindings.iter().find(|(b, _)| b == v) {
+                        if !op.eval(bound, val) {
+                            push(
+                                format!(
+                                    "comparison `{c}` contradicts earlier binding `{v} = {bound}`",
+                                ),
+                                rule.span(),
+                                diags,
+                            );
+                        }
+                    } else if op == CmpOp::Eq {
+                        bindings.push((*v, val));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Mirror a comparison operator so `const op var` reads as `var op' const`.
+fn flip(op: crate::ast::CmpOp) -> crate::ast::CmpOp {
+    use crate::ast::CmpOp::*;
+    match op {
+        Eq => Eq,
+        Ne => Ne,
+        Lt => Gt,
+        Le => Ge,
+        Gt => Lt,
+        Ge => Le,
+    }
+}
+
+/// `W103`: body atoms that share no variable with the rest of the body —
+/// the join degenerates to a cartesian product.
+fn cartesian_pass(program: &Program, diags: &mut Vec<Diagnostic>) {
+    for (i, rule) in program.rules.iter().enumerate() {
+        let n = rule.body.len();
+        if n < 2 {
+            continue;
+        }
+        // Union-find over body atoms, merged on shared variables.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for a in 0..n {
+            for b in a + 1..n {
+                let shares = rule.body[a].terms.iter().any(|t| match t {
+                    Term::Var(v) => rule.body[b]
+                        .terms
+                        .iter()
+                        .any(|u| matches!(u, Term::Var(w) if w == v)),
+                    Term::Const(_) => false,
+                });
+                if shares {
+                    let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                    parent[ra] = rb;
+                }
+            }
+        }
+        let mut roots: Vec<usize> = (0..n).map(|x| find(&mut parent, x)).collect();
+        roots.sort_unstable();
+        roots.dedup();
+        if roots.len() > 1 {
+            diags.push(Diagnostic {
+                code: "W103",
+                severity: Severity::Warning,
+                rule: Some(i),
+                span: rule.span(),
+                message: format!(
+                    "body atoms form {} disconnected join components (cartesian product)",
+                    roots.len()
+                ),
+            });
+        }
+    }
+}
+
+/// `W104` (duplicate) and `W105` (subsumed): pairwise rule comparison via
+/// substitution subsumption. Rule `a` subsumes rule `b` when a variable
+/// substitution θ maps `a`'s head to `b`'s head, every atom of θ(body(a))
+/// into `b`'s body, and every comparison of θ(cmp(a)) into `b`'s
+/// comparisons — then every firing of `b` is matched by a firing of `a`
+/// deriving the same head, so `b` is redundant.
+fn duplicate_pass(program: &Program, diags: &mut Vec<Diagnostic>) {
+    let n = program.rules.len();
+    for j in 0..n {
+        for i in 0..n {
+            if i == j {
+                continue;
+            }
+            let (a, b) = (&program.rules[i], &program.rules[j]);
+            if !subsumes(a, b) {
+                continue;
+            }
+            if i < j && subsumes(b, a) {
+                diags.push(Diagnostic {
+                    code: "W104",
+                    severity: Severity::Warning,
+                    rule: Some(j),
+                    span: b.span(),
+                    message: format!("rule {j} duplicates rule {i}"),
+                });
+            } else if !subsumes(b, a) {
+                diags.push(Diagnostic {
+                    code: "W105",
+                    severity: Severity::Warning,
+                    rule: Some(j),
+                    span: b.span(),
+                    message: format!("rule {j} is subsumed by the more general rule {i}"),
+                });
+            }
+            // Only report each redundant rule once.
+            break;
+        }
+    }
+}
+
+/// Does rule `a` subsume rule `b`? Backtracking search for the
+/// substitution θ (rule bodies are tiny — a handful of atoms).
+fn subsumes(a: &Rule, b: &Rule) -> bool {
+    let mut theta: Vec<(Sym, Term)> = Vec::new();
+    if !match_atom(&a.head, &b.head, &mut theta) {
+        return false;
+    }
+    match_body(a, b, 0, &mut theta)
+}
+
+fn match_body(a: &Rule, b: &Rule, next: usize, theta: &mut Vec<(Sym, Term)>) -> bool {
+    if next == a.body.len() {
+        return match_comparisons(a, b, 0, theta);
+    }
+    let pat = &a.body[next];
+    for cand in &b.body {
+        let mark = theta.len();
+        if match_atom(pat, cand, theta) && match_body(a, b, next + 1, theta) {
+            return true;
+        }
+        theta.truncate(mark);
+    }
+    false
+}
+
+fn match_comparisons(a: &Rule, b: &Rule, next: usize, theta: &mut Vec<(Sym, Term)>) -> bool {
+    if next == a.comparisons.len() {
+        return true;
+    }
+    let pat = &a.comparisons[next];
+    for cand in &b.comparisons {
+        if cand.op != pat.op {
+            continue;
+        }
+        let mark = theta.len();
+        if match_term(&pat.lhs, &cand.lhs, theta)
+            && match_term(&pat.rhs, &cand.rhs, theta)
+            && match_comparisons(a, b, next + 1, theta)
+        {
+            return true;
+        }
+        theta.truncate(mark);
+    }
+    false
+}
+
+fn match_atom(pat: &Atom, target: &Atom, theta: &mut Vec<(Sym, Term)>) -> bool {
+    if pat.relation != target.relation
+        || pat.is_delta != target.is_delta
+        || pat.terms.len() != target.terms.len()
+    {
+        return false;
+    }
+    let mark = theta.len();
+    for (p, t) in pat.terms.iter().zip(target.terms.iter()) {
+        if !match_term(p, t, theta) {
+            theta.truncate(mark);
+            return false;
+        }
+    }
+    true
+}
+
+fn match_term(pat: &Term, target: &Term, theta: &mut Vec<(Sym, Term)>) -> bool {
+    match pat {
+        Term::Const(_) => pat == target,
+        Term::Var(v) => match theta.iter().find(|(b, _)| b == v) {
+            Some((_, bound)) => bound == target,
+            None => {
+                theta.push((*v, *target));
+                true
+            }
+        },
+    }
+}
+
+/// `I202`: recursion through delta relations, with one offending cycle
+/// printed. The engine evaluates recursive programs fine (delta relations
+/// are bounded by their base relations), but the paper restricts attention
+/// to non-recursive programs, so the cycle is worth knowing about.
+fn recursion_pass(program: &Program, diags: &mut Vec<Diagnostic>) {
+    let a = analysis::analyze(program);
+    if a.max_cascade_depth.is_some() {
+        return; // Acyclic.
+    }
+    if let Some(cycle) = find_cycle(program) {
+        diags.push(Diagnostic {
+            code: "I202",
+            severity: Severity::Info,
+            rule: None,
+            span: None,
+            message: format!(
+                "program is recursive through delta relations: {}",
+                cycle.join(" -> ")
+            ),
+        });
+    }
+}
+
+/// One delta-dependency cycle `[A, B, …, A]`, deterministically (relations
+/// and edges visited in sorted order).
+fn find_cycle(program: &Program) -> Option<Vec<String>> {
+    // Edges Δbody -> Δhead, sorted for determinism.
+    let mut edges: BTreeSet<(&str, &str)> = BTreeSet::new();
+    for r in &program.rules {
+        for a in &r.body {
+            if a.is_delta {
+                edges.insert((a.relation.as_str(), r.head.relation.as_str()));
+            }
+        }
+    }
+    let nodes: BTreeSet<&str> = edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+    let succ = |n: &str| -> Vec<&str> {
+        edges
+            .iter()
+            .filter(|&&(a, _)| a == n)
+            .map(|&(_, b)| b)
+            .collect()
+    };
+    // Iterative DFS keeping the gray path to reconstruct the cycle.
+    let mut color: BTreeMap<&str, u8> = BTreeMap::new();
+    for &start in &nodes {
+        if color.get(start).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        let mut path: Vec<&str> = Vec::new();
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next == 0 {
+                color.insert(node, 1);
+                path.push(node);
+            }
+            let succs = succ(node);
+            if *next < succs.len() {
+                let m = succs[*next];
+                *next += 1;
+                match color.get(m).copied().unwrap_or(0) {
+                    1 => {
+                        // Back edge: the cycle is the gray path from m.
+                        let pos = path.iter().position(|&p| p == m).unwrap();
+                        let mut cycle: Vec<String> =
+                            path[pos..].iter().map(|s| s.to_string()).collect();
+                        cycle.push(m.to_string());
+                        return Some(cycle);
+                    }
+                    0 => stack.push((m, 0)),
+                    _ => {}
+                }
+            } else {
+                color.insert(node, 2);
+                path.pop();
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use storage::AttrType;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.relation("Grant", &[("gid", AttrType::Int), ("name", AttrType::Str)]);
+        s.relation("Author", &[("aid", AttrType::Int), ("name", AttrType::Str)]);
+        s.relation(
+            "AuthGrant",
+            &[("aid", AttrType::Int), ("gid", AttrType::Int)],
+        );
+        s
+    }
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        let p = parse_program(src).unwrap();
+        lint(Some(&schema()), &p)
+            .diagnostics
+            .into_iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn clean_cascade_gets_only_certificate_info() {
+        let c = codes(
+            "delta Grant(g, n) :- Grant(g, n), n = 'ERC'.
+             delta AuthGrant(a, g) :- AuthGrant(a, g), delta Grant(g, n).",
+        );
+        assert_eq!(c, vec!["I201", "I203"]); // Author unused + pure cascade.
+    }
+
+    #[test]
+    fn certificate_classes() {
+        // Pure cascade: everything coincides.
+        let p = parse_program(
+            "delta Grant(g, n) :- Grant(g, n), n = 'ERC'.
+             delta AuthGrant(a, g) :- AuthGrant(a, g), delta Grant(g, n).",
+        )
+        .unwrap();
+        let c = certify(&p);
+        assert!(c.interaction_free && c.pure_cascade && !c.single_stratum);
+
+        // Extra base atom over a non-head relation: interaction-free only.
+        let p = parse_program("delta AuthGrant(a, g) :- AuthGrant(a, g), Grant(g, n), n = 'ERC'.")
+            .unwrap();
+        let c = certify(&p);
+        assert!(c.interaction_free && !c.pure_cascade && c.single_stratum);
+
+        // Figure 2's program: Writes-style interaction, nothing certified.
+        let p = parse_program(
+            "delta Grant(g, n) :- Grant(g, n), n = 'ERC'.
+             delta Author(a, n) :- Author(a, n), AuthGrant(a, g), delta Grant(g, gn).
+             delta AuthGrant(a, g) :- AuthGrant(a, g), Author(a, n), delta Grant(g2, gn).",
+        )
+        .unwrap();
+        let c = certify(&p);
+        assert!(!c.interaction_free && !c.pure_cascade && !c.single_stratum);
+    }
+
+    #[test]
+    fn validation_errors_become_diagnostics_with_spans() {
+        let p = parse_program("delta Nope(a) :- Nope(a).").unwrap();
+        let report = lint(Some(&schema()), &p);
+        let d = &report.diagnostics[0];
+        assert_eq!(d.code, "E001");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.rule, Some(0));
+        assert_eq!(d.span, Some(Span { line: 1, col: 1 }));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn dead_rule_detected() {
+        let c = codes("delta Grant(g, n) :- Grant(g, n), delta Author(a, m).");
+        assert!(c.contains(&"W101"));
+    }
+
+    #[test]
+    fn constant_contradictions() {
+        assert!(codes("delta Grant(g, n) :- Grant(g, n), 1 = 2.").contains(&"W102"));
+        assert!(codes("delta Grant(g, n) :- Grant(g, n), g != g.").contains(&"W102"));
+        assert!(codes("delta Grant(g, n) :- Grant(g, n), g = 1, g = 2.").contains(&"W102"));
+        assert!(codes("delta Grant(g, n) :- Grant(g, n), g = 5, g < 3.").contains(&"W102"));
+        assert!(!codes("delta Grant(g, n) :- Grant(g, n), g = 5, g < 9.").contains(&"W102"));
+    }
+
+    #[test]
+    fn cartesian_product_detected() {
+        let c = codes("delta Grant(g, n) :- Grant(g, n), Author(a, m).");
+        assert!(c.contains(&"W103"));
+        let c = codes("delta Grant(g, n) :- Grant(g, n), AuthGrant(a, g).");
+        assert!(!c.contains(&"W103"));
+    }
+
+    #[test]
+    fn duplicates_and_subsumption() {
+        // Variable renaming still counts as a duplicate.
+        let c = codes(
+            "delta Grant(g, n) :- Grant(g, n), n = 'ERC'.
+             delta Grant(x, y) :- Grant(x, y), y = 'ERC'.",
+        );
+        assert!(c.contains(&"W104"));
+        // The rule with an extra atom is subsumed by the general one.
+        let c = codes(
+            "delta Grant(g, n) :- Grant(g, n).
+             delta Grant(g, n) :- Grant(g, n), AuthGrant(a, g).",
+        );
+        assert!(c.contains(&"W105"));
+    }
+
+    #[test]
+    fn recursion_cycle_printed() {
+        let p = parse_program(
+            "delta Grant(g, n) :- Grant(g, n), delta AuthGrant(a, g).
+             delta AuthGrant(a, g) :- AuthGrant(a, g), delta Grant(g, n).",
+        )
+        .unwrap();
+        let report = lint(None, &p);
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "I202")
+            .expect("recursion diagnostic");
+        assert!(
+            d.message.contains("AuthGrant -> Grant -> AuthGrant")
+                || d.message.contains("Grant -> AuthGrant -> Grant"),
+            "cycle printed: {}",
+            d.message
+        );
+    }
+
+    #[test]
+    fn json_and_render_are_well_formed() {
+        let p = parse_program("delta Grant(g, n) :- Grant(g, n), 1 = 2.").unwrap();
+        let report = lint(Some(&schema()), &p);
+        let json = report.to_json();
+        assert!(json.contains("\"code\": \"W102\""));
+        assert!(json.contains("\"certificate\""));
+        let human = report.render();
+        assert!(human.contains("warning[W102]"));
+        assert!(human.contains("certificate:"));
+    }
+}

@@ -15,7 +15,7 @@
 //! * Comparisons use `=`, `!=` (or `<>`), `<`, `<=`, `>`, `>=`.
 //! * Rules end with `.`; `#`, `//` and `%` start line comments.
 
-use crate::ast::{Atom, CmpOp, Comparison, Program, Rule, Term};
+use crate::ast::{Atom, CmpOp, Comparison, Program, Rule, Span, Term};
 use crate::error::DatalogError;
 use storage::Value;
 
@@ -282,8 +282,17 @@ impl Parser {
         Term::var(&format!("__anon{}", self.fresh))
     }
 
+    /// Source position of the token at `pos`, for span recording.
+    fn span_at(&self, pos: usize) -> Option<Span> {
+        self.toks.get(pos).map(|s| Span {
+            line: s.line,
+            col: s.col,
+        })
+    }
+
     /// `delta`? Name `(` terms `)`; the `delta` may also be a `~` sigil.
     fn parse_atom(&mut self) -> Result<Atom, DatalogError> {
+        let span = self.span_at(self.pos);
         let mut is_delta = false;
         match self.peek() {
             Some(Tok::Tilde) => {
@@ -321,6 +330,7 @@ impl Parser {
             relation: name,
             is_delta,
             terms,
+            span,
         })
     }
 
@@ -391,10 +401,13 @@ impl Parser {
     }
 
     fn parse_rule(&mut self) -> Result<Rule, DatalogError> {
+        let span = self.span_at(self.pos);
         let head = self.parse_atom()?;
         self.expect(&Tok::Turnstile, "`:-`")?;
         let (body, comparisons) = self.parse_body_items()?;
-        Ok(Rule::new(head, body, comparisons))
+        let mut rule = Rule::new(head, body, comparisons);
+        rule.span = span;
+        Ok(rule)
     }
 
     fn parse_program(&mut self) -> Result<Program, DatalogError> {

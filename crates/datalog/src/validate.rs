@@ -19,19 +19,26 @@ use storage::{Schema, Sym};
 ///    some body atom.
 pub fn validate_rule(schema: &Schema, rule: &Rule) -> Result<(), DatalogError> {
     if !rule.head.is_delta {
-        return Err(DatalogError::HeadNotDelta(rule.head.relation.clone()));
+        return Err(DatalogError::HeadNotDelta {
+            relation: rule.head.relation.clone(),
+            span: rule.head.span,
+        });
     }
     // Head + body atoms resolve against the schema.
     for atom in std::iter::once(&rule.head).chain(rule.body.iter()) {
         let rel = schema
             .rel_id(&atom.relation)
-            .ok_or_else(|| DatalogError::UnknownRelation(atom.relation.clone()))?;
+            .ok_or_else(|| DatalogError::UnknownRelation {
+                relation: atom.relation.clone(),
+                span: atom.span,
+            })?;
         let rs = schema.rel(rel);
         if atom.terms.len() != rs.arity() {
             return Err(DatalogError::Arity {
                 relation: atom.relation.clone(),
                 expected: rs.arity(),
                 got: atom.terms.len(),
+                span: atom.span,
             });
         }
         for (col, term) in atom.terms.iter().enumerate() {
@@ -40,6 +47,7 @@ pub fn validate_rule(schema: &Schema, rule: &Rule) -> Result<(), DatalogError> {
                     return Err(DatalogError::TypeMismatch {
                         relation: atom.relation.clone(),
                         column: col,
+                        span: atom.span,
                     });
                 }
             }
@@ -47,7 +55,10 @@ pub fn validate_rule(schema: &Schema, rule: &Rule) -> Result<(), DatalogError> {
     }
     // Head witness.
     if head_witness(rule).is_none() {
-        return Err(DatalogError::MissingHeadWitness(rule.head.relation.clone()));
+        return Err(DatalogError::MissingHeadWitness {
+            relation: rule.head.relation.clone(),
+            span: rule.head.span,
+        });
     }
     // Safety.
     let mut bound: HashSet<Sym> = HashSet::new();
@@ -64,6 +75,7 @@ pub fn validate_rule(schema: &Schema, rule: &Rule) -> Result<(), DatalogError> {
                 return Err(DatalogError::UnsafeVariable {
                     rule: rule.to_string(),
                     var: v.to_string(),
+                    span: rule.span(),
                 });
             }
         }
@@ -125,27 +137,27 @@ mod tests {
     #[test]
     fn head_must_be_delta() {
         let err = validate("Author(a, n) :- Author(a, n).").unwrap_err();
-        assert!(matches!(err, DatalogError::HeadNotDelta(_)));
+        assert!(matches!(err, DatalogError::HeadNotDelta { .. }));
     }
 
     #[test]
     fn head_witness_required() {
         // Body has Author(a, m) but the head vector is (a, n): not a witness.
         let err = validate("delta Author(a, n) :- Author(a, m), AuthGrant(a, g).").unwrap_err();
-        assert!(matches!(err, DatalogError::MissingHeadWitness(_)));
+        assert!(matches!(err, DatalogError::MissingHeadWitness { .. }));
     }
 
     #[test]
     fn delta_atom_is_not_a_witness() {
         let err =
             validate("delta Author(a, n) :- delta Author(a, n), AuthGrant(a, g).").unwrap_err();
-        assert!(matches!(err, DatalogError::MissingHeadWitness(_)));
+        assert!(matches!(err, DatalogError::MissingHeadWitness { .. }));
     }
 
     #[test]
     fn unknown_relation() {
         let err = validate("delta Nope(a) :- Nope(a).").unwrap_err();
-        assert!(matches!(err, DatalogError::UnknownRelation(_)));
+        assert!(matches!(err, DatalogError::UnknownRelation { .. }));
     }
 
     #[test]

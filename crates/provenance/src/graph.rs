@@ -220,6 +220,14 @@ impl ProvGraph {
     /// provably minimum. Checked against end-semantics provenance, which is
     /// a superset of every step-reachable assignment, so the certificate is
     /// sound (it never claims optimality wrongly; it may miss it).
+    ///
+    /// The *static* counterpart is `datalog::lint::certify`'s
+    /// `interaction_free` flag: when no rule-head relation occurs as a
+    /// non-witness base atom in any rule body, every assignment's base
+    /// tuples are either the head's own witness tuple or tuples of
+    /// never-deleted relations — so this runtime check holds on **every**
+    /// database of such a program (`tests/certificate_differential.rs`
+    /// spot-checks the implication on the paper's workloads).
     pub fn is_interaction_free(&self) -> bool {
         self.nodes.iter().enumerate().all(|(n, node)| {
             self.uses_base.get(&node.tid).is_none_or(|uses| {

@@ -140,6 +140,10 @@ impl Instance {
                 removed += 1;
             }
         }
+        debug_assert!(
+            self.indexes_consistent(),
+            "delete_tuples left an index inconsistent with the live rows"
+        );
         Ok(removed)
     }
 
@@ -163,6 +167,10 @@ impl Instance {
                 restored += 1;
             }
         }
+        debug_assert!(
+            self.indexes_consistent(),
+            "restore_tuples left an index inconsistent with the live rows"
+        );
         Ok(restored)
     }
 
@@ -207,6 +215,10 @@ impl Instance {
                 compacted += 1;
             }
         }
+        debug_assert!(
+            self.indexes_consistent(),
+            "compact left an index inconsistent with the live rows"
+        );
         compacted
     }
 

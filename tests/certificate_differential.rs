@@ -1,0 +1,264 @@
+//! The static semantics-equivalence certificates, differentially tested
+//! from the outside:
+//!
+//! * **cert-on vs cert-off** — on every Table 1 / Table 2 / zipf workload
+//!   (28 programs) and all four semantics, a request served through the
+//!   certificate must produce a **bit-identical delete-set** (ids *and*
+//!   order) to the same request with `.certificates(false)`, which runs the
+//!   genuine per-semantics algorithm;
+//! * at least one workload per family is demonstrably *served* via the
+//!   certificate for a semantics cheaper than its genuine algorithm
+//!   (that's the whole point of the pass);
+//! * **static ⇒ runtime** — whenever `certify` claims interaction freedom,
+//!   the end-semantics provenance graph built on the actual data must
+//!   satisfy `ProvGraph::is_interaction_free` (the certificate's soundness
+//!   hinges on this implication holding on *every* database);
+//! * a proptest over random databases × random rule subsets: certificate
+//!   dispatch never changes a delete-set, certified or not.
+
+use delta_repairs::datagen::{mas, scale, tpch, MasConfig, ScaleConfig, TpchConfig};
+use delta_repairs::datalog::certify;
+use delta_repairs::provenance::ProvGraph;
+use delta_repairs::workloads::{mas_programs, tpch_programs, zipf_programs, Workload};
+use delta_repairs::{
+    end, parse_program, Instance, OptimalityCertificate, Program, RepairRequest, RepairSession,
+    Semantics,
+};
+use proptest::prelude::*;
+
+/// Exercise one workload: run all four semantics with certificates enabled
+/// (the default) and disabled, compare delete-sets bit for bit, and return
+/// how many of the four requests were actually served via the certificate.
+fn assert_certified_identical(label: &str, db: &Instance, program: &Program) -> usize {
+    let session =
+        RepairSession::new(db.clone(), program.clone()).unwrap_or_else(|e| panic!("{label}: {e}"));
+    let mut served = 0;
+    for sem in Semantics::ALL {
+        let genuine = session
+            .repair(&RepairRequest::new(sem).certificates(false))
+            .unwrap_or_else(|e| panic!("{label}/{sem}: {e}"));
+        let certified = session
+            .repair(&RepairRequest::new(sem))
+            .unwrap_or_else(|e| panic!("{label}/{sem}: {e}"));
+        assert!(
+            !genuine.served_via_certificate(),
+            "{label}/{sem}: .certificates(false) must opt out of dispatch"
+        );
+        assert_eq!(
+            genuine.deleted(),
+            certified.deleted(),
+            "{label}/{sem}: certificate dispatch changed the delete-set"
+        );
+        assert_eq!(
+            certified.semantics(),
+            sem,
+            "{label}/{sem}: outcome must report the *requested* semantics"
+        );
+        if certified.served_via_certificate() {
+            assert_ne!(sem, Semantics::End, "end is never served via certificate");
+            assert!(
+                certified.proven_optimal(),
+                "{label}/{sem}: a certified outcome is proven by construction"
+            );
+            if !certified.deleted().is_empty() {
+                assert_eq!(
+                    certified.optimality().certificate,
+                    OptimalityCertificate::StaticEquivalence,
+                    "{label}/{sem}: nonempty certified outcome carries the marker"
+                );
+            }
+            served += 1;
+        }
+    }
+    // Dispatch must agree with the session's published certificate.
+    let cert = session.certificate();
+    let expected = [
+        cert.pure_cascade,                            // independent
+        cert.interaction_free,                        // step
+        cert.single_stratum || cert.interaction_free, // stage
+    ]
+    .iter()
+    .filter(|&&b| b)
+    .count();
+    assert_eq!(
+        served, expected,
+        "{label}: served {served} semantics but the certificate {cert:?} covers {expected}"
+    );
+    served
+}
+
+/// Static interaction freedom must imply the runtime property on the
+/// workload's actual data — this is the load-bearing implication in the
+/// certificate's soundness argument.
+fn assert_static_implies_runtime(label: &str, db: &Instance, program: &Program) {
+    if !certify(program).interaction_free {
+        return;
+    }
+    let session =
+        RepairSession::new(db.clone(), program.clone()).unwrap_or_else(|e| panic!("{label}: {e}"));
+    let out = end::run(session.db(), session.evaluator());
+    let graph = ProvGraph::build(&out.assignments, &out.layers);
+    assert!(
+        graph.is_interaction_free(),
+        "{label}: statically interaction-free but the runtime graph disagrees"
+    );
+}
+
+fn exercise_family(label: &str, db: &Instance, workloads: &[Workload]) -> usize {
+    let mut served_total = 0;
+    for w in workloads {
+        served_total += assert_certified_identical(&w.name, db, &w.program);
+        assert_static_implies_runtime(&w.name, db, &w.program);
+    }
+    assert!(
+        served_total > 0,
+        "{label}: no workload was served via certificate — the pass is inert"
+    );
+    served_total
+}
+
+#[test]
+fn certificates_are_sound_on_all_mas_workloads() {
+    let data = mas::generate(&MasConfig::scaled(0.02));
+    let workloads = mas_programs(&data);
+    assert_eq!(workloads.len(), 20, "all of Table 1");
+    let served = exercise_family("mas", &data.db, &workloads);
+    // 11 pure cascades (3 semantics each) + 5 interaction-free (2) +
+    // 2 single-stratum-only (1): the classification is part of the golden
+    // surface — a certificate silently weakening would show up here.
+    assert_eq!(served, 45, "MAS certificate coverage changed");
+}
+
+#[test]
+fn certificates_are_sound_on_all_tpch_workloads() {
+    let data = tpch::generate(&TpchConfig::scaled(0.01));
+    let workloads = tpch_programs(&data);
+    assert_eq!(workloads.len(), 6, "all of Table 2");
+    let served = exercise_family("tpch", &data.db, &workloads);
+    // tpch-2 pure cascade (3) + tpch-1/3/4/6 interaction-free (2 each).
+    assert_eq!(served, 11, "TPC-H certificate coverage changed");
+}
+
+#[test]
+fn certificates_are_sound_on_zipf_workloads() {
+    let data = scale::generate(&ScaleConfig::scaled(0.05));
+    let workloads = zipf_programs(&data);
+    assert_eq!(workloads.len(), 2);
+    exercise_family("zipf", &data.db, &workloads);
+}
+
+// ---------------------------------------------------------------------------
+// Property: certificate dispatch never changes a delete-set.
+// ---------------------------------------------------------------------------
+
+/// Same pool as tests/session_api.rs: covers cascades, single-stratum
+/// DC-style rules, shared witnesses (interactions), and multi-delta bodies,
+/// so random subsets land on every certificate class including "none".
+const RULE_POOL: [&str; 6] = [
+    "delta R(x) :- R(x), x = 0.",
+    "delta R(x) :- R(x), S(x, y), T(y).",
+    "delta S(x, y) :- S(x, y), delta R(x).",
+    "delta S(x, y) :- S(x, y), T(y), x != y.",
+    "delta T(y) :- T(y), S(x, y), delta R(x).",
+    "delta T(y) :- T(y), delta S(x, y).",
+];
+
+fn build_db(r: &[i64], s: &[(i64, i64)], t: &[i64]) -> Instance {
+    let mut schema = delta_repairs::Schema::new();
+    schema.relation("R", &[("x", delta_repairs::AttrType::Int)]);
+    schema.relation(
+        "S",
+        &[
+            ("x", delta_repairs::AttrType::Int),
+            ("y", delta_repairs::AttrType::Int),
+        ],
+    );
+    schema.relation("T", &[("y", delta_repairs::AttrType::Int)]);
+    let mut db = Instance::new(schema);
+    for &v in r {
+        db.insert_values("R", [delta_repairs::Value::Int(v)])
+            .unwrap();
+    }
+    for &(a, b) in s {
+        db.insert_values(
+            "S",
+            [delta_repairs::Value::Int(a), delta_repairs::Value::Int(b)],
+        )
+        .unwrap();
+    }
+    for &v in t {
+        db.insert_values("T", [delta_repairs::Value::Int(v)])
+            .unwrap();
+    }
+    db
+}
+
+fn build_program(mask: u8) -> Program {
+    let src: String = RULE_POOL
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| mask & (1 << i) != 0)
+        .map(|(_, r)| format!("{r}\n"))
+        .collect();
+    parse_program(&src).expect("pool rules are well-formed")
+}
+
+prop_compose! {
+    fn arb_db()(
+        r in prop::collection::btree_set(0i64..6, 0..5),
+        s in prop::collection::btree_set((0i64..6, 0i64..6), 0..8),
+        t in prop::collection::btree_set(0i64..6, 0..5),
+    ) -> Instance {
+        build_db(
+            &r.into_iter().collect::<Vec<_>>(),
+            &s.into_iter().collect::<Vec<_>>(),
+            &t.into_iter().collect::<Vec<_>>(),
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// For every random database × rule subset × semantics, the default
+    /// (certificate-enabled) request and the opted-out request produce the
+    /// same delete-set, and dispatch only ever fires when the session's
+    /// certificate covers the semantics.
+    #[test]
+    fn certificate_dispatch_never_changes_a_delete_set(
+        db in arb_db(),
+        mask in 1u8..(1 << RULE_POOL.len()),
+        sem_idx in 0usize..4,
+    ) {
+        let semantics = Semantics::ALL[sem_idx];
+        let session = RepairSession::new(db, build_program(mask)).expect("valid");
+        let genuine = session
+            .repair(&RepairRequest::new(semantics).certificates(false))
+            .expect("genuine run");
+        let certified = session
+            .repair(&RepairRequest::new(semantics))
+            .expect("certified run");
+        prop_assert_eq!(
+            genuine.deleted(),
+            certified.deleted(),
+            "mask {:06b} / {}: dispatch changed the delete-set",
+            mask,
+            semantics
+        );
+        let cert = session.certificate();
+        let covered = match semantics {
+            Semantics::End => false,
+            Semantics::Stage => cert.single_stratum || cert.interaction_free,
+            Semantics::Step => cert.interaction_free,
+            Semantics::Independent => cert.pure_cascade,
+        };
+        prop_assert_eq!(
+            certified.served_via_certificate(),
+            covered,
+            "mask {:06b} / {}: dispatch disagrees with certificate {:?}",
+            mask,
+            semantics,
+            cert
+        );
+    }
+}

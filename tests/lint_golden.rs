@@ -1,0 +1,263 @@
+//! Golden-diagnostic tests for the static analyzer: one fixture per lint,
+//! pinning the exact code, severity, rule index, and source span each pass
+//! reports. These are deliberately brittle — a change to any diagnostic's
+//! code or anchoring is a user-visible change to `delta-repair lint` (and
+//! to everything that parses its `--json` output) and must show up here.
+
+use delta_repairs::datalog::{
+    certify, lint, parse_program, Atom, Program, Rule, Severity, Span, Term,
+};
+use delta_repairs::{AttrType, Schema};
+
+/// The schema the fixtures lint against (a trimmed Figure 1).
+fn schema() -> Schema {
+    let mut s = Schema::new();
+    s.relation("Grant", &[("gid", AttrType::Int), ("name", AttrType::Str)]);
+    s.relation("Author", &[("aid", AttrType::Int), ("name", AttrType::Str)]);
+    s.relation(
+        "AuthGrant",
+        &[("aid", AttrType::Int), ("gid", AttrType::Int)],
+    );
+    s
+}
+
+/// Lint `src` against the fixture schema and return the full report.
+fn report(src: &str) -> delta_repairs::datalog::LintReport {
+    let p = parse_program(src).expect("fixture parses");
+    lint(Some(&schema()), &p)
+}
+
+/// The single diagnostic with `code`, asserting there is exactly one.
+fn only(src: &str, code: &str) -> delta_repairs::datalog::Diagnostic {
+    let r = report(src);
+    let hits: Vec<_> = r.diagnostics.iter().filter(|d| d.code == code).collect();
+    assert_eq!(
+        hits.len(),
+        1,
+        "expected exactly one {code} in:\n{}",
+        r.render()
+    );
+    hits[0].clone()
+}
+
+#[test]
+fn e001_unknown_relation_anchors_to_the_atom() {
+    let d = only("delta Nope(x) :- Nope(x).", "E001");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.rule, Some(0));
+    assert_eq!(d.span, Some(Span { line: 1, col: 1 }));
+    assert!(
+        d.message.contains("unknown relation `Nope`"),
+        "{}",
+        d.message
+    );
+}
+
+#[test]
+fn e002_arity_mismatch() {
+    // Second line, so the span proves the *rule's* position is reported.
+    let d = only(
+        "delta Grant(g, n) :- Grant(g, n).\ndelta Grant(g) :- Grant(g).",
+        "E002",
+    );
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.rule, Some(1));
+    assert_eq!(d.span, Some(Span { line: 2, col: 1 }));
+    assert!(d.message.contains("expects 2"), "{}", d.message);
+}
+
+#[test]
+fn e003_type_mismatch_anchors_to_the_atom() {
+    // `AuthGrant.gid` is an int column; the string constant in column 1 is
+    // a type error, anchored at the offending body atom (column 35).
+    let d = only(
+        "delta Grant(g, n) :- Grant(g, n), AuthGrant(5, 'x').",
+        "E003",
+    );
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.rule, Some(0));
+    assert_eq!(d.span, Some(Span { line: 1, col: 35 }));
+    assert!(d.message.contains("column 1"), "{}", d.message);
+}
+
+#[test]
+fn e004_head_not_delta_via_constructed_ast() {
+    // The concrete syntax cannot express a non-delta head (`delta` is part
+    // of the rule grammar), so build the malformed rule directly.
+    let head = Atom::base("Grant", vec![Term::var("g"), Term::var("n")]);
+    let body = vec![Atom::base("Grant", vec![Term::var("g"), Term::var("n")])];
+    let program = Program::new(vec![Rule::new(head, body, vec![])]);
+    let r = lint(Some(&schema()), &program);
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "E004")
+        .expect("head-not-delta diagnostic");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.rule, Some(0));
+    assert_eq!(d.span, None, "constructed AST carries no source span");
+}
+
+#[test]
+fn e005_missing_head_witness() {
+    let d = only("delta Grant(g, n) :- AuthGrant(a, g).", "E005");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.rule, Some(0));
+    assert_eq!(d.span, Some(Span { line: 1, col: 1 }));
+    assert!(d.message.contains("Def. 3.1"), "{}", d.message);
+}
+
+#[test]
+fn e006_unsafe_variable() {
+    // `m` appears only in the comparison, never in a positive body atom.
+    let d = only("delta Grant(g, n) :- Grant(g, n), m = 1.", "E006");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.rule, Some(0));
+    assert_eq!(d.span, Some(Span { line: 1, col: 1 }));
+    assert!(d.message.contains('m'), "{}", d.message);
+}
+
+#[test]
+fn w101_dead_rule_anchors_to_the_underivable_atom() {
+    let d = only(
+        "delta Grant(g, n) :- Grant(g, n), delta Author(a, m).",
+        "W101",
+    );
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.rule, Some(0));
+    // The span is the `delta Author(...)` body atom, not the rule head.
+    assert_eq!(d.span, Some(Span { line: 1, col: 35 }));
+    assert!(d.message.contains("delta Author"), "{}", d.message);
+}
+
+#[test]
+fn w102_constant_contradiction() {
+    let d = only("delta Grant(g, n) :- Grant(g, n), g = 1, g = 2.", "W102");
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.rule, Some(0));
+    assert_eq!(d.span, Some(Span { line: 1, col: 1 }));
+    assert!(
+        d.message.contains("contradicts earlier binding `g = 1`"),
+        "{}",
+        d.message
+    );
+}
+
+#[test]
+fn w103_cartesian_product_counts_components() {
+    let d = only(
+        "delta Grant(g, n) :- Grant(g, n), Author(a, m), AuthGrant(b, c).",
+        "W103",
+    );
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.rule, Some(0));
+    assert_eq!(d.span, Some(Span { line: 1, col: 1 }));
+    assert!(d.message.contains("3 disconnected"), "{}", d.message);
+}
+
+#[test]
+fn w104_duplicate_reported_on_the_later_rule() {
+    let d = only(
+        "delta Grant(g, n) :- Grant(g, n), n = 'ERC'.\n\
+         delta Grant(x, y) :- Grant(x, y), y = 'ERC'.",
+        "W104",
+    );
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.rule, Some(1), "the later twin is the redundant one");
+    assert_eq!(d.span, Some(Span { line: 2, col: 1 }));
+    assert_eq!(d.message, "rule 1 duplicates rule 0");
+}
+
+#[test]
+fn w105_subsumed_by_more_general_rule() {
+    let d = only(
+        "delta Grant(g, n) :- Grant(g, n).\n\
+         delta Grant(g, n) :- Grant(g, n), AuthGrant(a, g).",
+        "W105",
+    );
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.rule, Some(1));
+    assert_eq!(d.span, Some(Span { line: 2, col: 1 }));
+    assert_eq!(d.message, "rule 1 is subsumed by the more general rule 0");
+}
+
+#[test]
+fn i201_unused_relation_is_program_scoped() {
+    let r = report("delta Grant(g, n) :- Grant(g, n).");
+    let unused: Vec<_> = r.diagnostics.iter().filter(|d| d.code == "I201").collect();
+    // Author and AuthGrant are both untouched; program-scoped findings
+    // carry no rule index or span and sort after rule-scoped ones.
+    assert_eq!(unused.len(), 2, "{}", r.render());
+    for d in &unused {
+        assert_eq!(d.severity, Severity::Info);
+        assert_eq!(d.rule, None);
+        assert_eq!(d.span, None);
+    }
+    assert!(unused[0].message.contains("`Author`"));
+    assert!(unused[1].message.contains("`AuthGrant`"));
+}
+
+#[test]
+fn i202_recursion_cycle_is_printed() {
+    let d = only(
+        "delta Grant(g, n) :- Grant(g, n), delta AuthGrant(a, g).\n\
+         delta AuthGrant(a, g) :- AuthGrant(a, g), delta Grant(g, n).",
+        "I202",
+    );
+    assert_eq!(d.severity, Severity::Info);
+    assert_eq!(d.rule, None);
+    // Deterministic cycle reconstruction: relations visited in sorted
+    // order, so the printed cycle always starts from AuthGrant.
+    assert_eq!(
+        d.message,
+        "program is recursive through delta relations: AuthGrant -> Grant -> AuthGrant"
+    );
+}
+
+#[test]
+fn i203_certificate_matches_certify() {
+    let src = "delta Grant(g, n) :- Grant(g, n), n = 'ERC'.\n\
+               delta AuthGrant(a, g) :- AuthGrant(a, g), delta Grant(g, n).";
+    let r = report(src);
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "I203")
+        .expect("certificate info line");
+    let cert = certify(&parse_program(src).unwrap());
+    assert!(cert.pure_cascade);
+    assert_eq!(d.message, cert.describe());
+    assert_eq!(d.message, r.certificate.describe());
+}
+
+#[test]
+fn uncertified_program_emits_no_i203() {
+    // Figure-2-style interaction: no certificate, no info line.
+    let r = report(
+        "delta Grant(g, n) :- Grant(g, n), n = 'ERC'.\n\
+         delta Author(a, n) :- Author(a, n), AuthGrant(a, g), delta Grant(g, gn).\n\
+         delta AuthGrant(a, g) :- AuthGrant(a, g), Author(a, n), delta Grant(g2, gn).",
+    );
+    assert!(!r.certificate.any());
+    assert!(r.diagnostics.iter().all(|d| d.code != "I203"));
+}
+
+#[test]
+fn diagnostics_are_ordered_by_rule_then_program_scoped() {
+    // Rule 0 is dead (W101: nothing derives Δ AuthGrant), rule 1 is a
+    // cartesian product (W103); Author is untouched (I201) and the program
+    // still earns an interaction-free certificate (I203). Rule-scoped
+    // findings come first in rule order, program-scoped ones last, in pass
+    // order. This must be stable.
+    let r = report(
+        "delta Grant(g, n) :- Grant(g, n), delta AuthGrant(a, g).\n\
+         delta Grant(x, y) :- Grant(x, y), AuthGrant(a, b).",
+    );
+    let codes: Vec<&str> = r.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(
+        codes,
+        vec!["W101", "W103", "I201", "I203"],
+        "{}",
+        r.render()
+    );
+}
