@@ -75,7 +75,7 @@ fn main() {
 }
 
 /// `repro lint-workloads` — run the static analyzer over every built-in
-/// workload program (20 MAS + 6 TPC-H + 2 zipf) against its generated
+/// workload program (20 MAS + 6 TPC-H + 3 zipf) against its generated
 /// schema and print one line per program: diagnostic counts plus which
 /// equivalence certificate (if any) the program earns. CI runs this as a
 /// smoke test; any error-level finding exits nonzero. The data scales are

@@ -86,11 +86,11 @@ impl TpchLab {
     }
 }
 
-/// The zipf scaling dataset (`datagen::scale`) with its two workloads.
+/// The zipf scaling dataset (`datagen::scale`) with its three workloads.
 pub struct ZipfLab {
     /// Generated data.
     pub data: ScaleData,
-    /// `zipf-cascade` and `zipf-join`.
+    /// `zipf-cascade`, `zipf-join` and `zipf-pessimal`.
     pub workloads: Vec<Workload>,
 }
 
@@ -231,7 +231,69 @@ pub fn bench_json_records(quick: bool) -> Vec<BenchRecord> {
     incremental_rerepair_records(quick, &mut records);
     semantics_scale_records(quick, &mut records);
     durability_cold_open_records(quick, &mut records);
+    planner_records(quick, &mut records);
     records
+}
+
+/// The `planner` group: the adversarially ordered `zipf-pessimal` join
+/// enumerated under the static textual-order planner and the cost-based
+/// planner — the `planner/{static,cost}/zipf-pessimal` pair whose ratio is
+/// the headline planning speedup, gated by `scripts/bench_gate.py
+/// --min-plan-speedup`. The workload's body leads with the 60K-row `Leaf`
+/// and buries the `k = 'bad'`-filtered `Hub` last, so textual order drives
+/// the join from the biggest relation while live statistics drive it from
+/// the ~2% selective one. Both evaluators enumerate the same assignment
+/// set; each record carries the assignment count as `size` so the gate can
+/// assert parity. Scale overrides via `REPRO_PLANNER_ZIPF`.
+fn planner_records(quick: bool, records: &mut Vec<BenchRecord>) {
+    use datalog::Evaluator;
+    use std::time::Duration;
+    let (warm, meas, iters) = if quick {
+        (Duration::from_millis(20), Duration::from_millis(80), 2)
+    } else {
+        (Duration::from_millis(300), Duration::from_millis(1000), 5)
+    };
+    let zipf = ZipfLab::at_scale(if quick {
+        0.1
+    } else {
+        env_f64("REPRO_PLANNER_ZIPF", 1.0)
+    });
+    let w = zipf
+        .workloads
+        .iter()
+        .find(|w| w.name == "zipf-pessimal")
+        .expect("workload present");
+    let mut counts: Vec<u64> = Vec::new();
+    for mode in ["static", "cost"] {
+        let mut db = zipf.data.db.clone();
+        let ev = if mode == "cost" {
+            Evaluator::new(&mut db, w.program.clone())
+        } else {
+            Evaluator::new_static(&mut db, w.program.clone())
+        }
+        .expect("zipf program valid");
+        let state0 = db.initial_state();
+        let mut n = 0u64;
+        let (mean_ns, iterations) = measure_mean_ns(warm, meas, iters, || {
+            let mut c = 0u64;
+            ev.for_each_assignment(&db, &state0, datalog::Mode::Hypothetical, &mut |_| {
+                c += 1;
+                true
+            });
+            n = std::hint::black_box(c);
+        });
+        counts.push(n);
+        records.push(BenchRecord {
+            bench: format!("planner/{mode}/zipf-pessimal"),
+            mean_ns,
+            iterations,
+            size: Some(n as usize),
+        });
+    }
+    assert!(
+        counts.windows(2).all(|c| c[0] == c[1]),
+        "planner parity violated on zipf-pessimal: {counts:?}"
+    );
 }
 
 /// The cold-start cost of a durable session: opening the newest snapshot
@@ -470,7 +532,7 @@ pub fn render_bench_json(mode: &str, records: &[BenchRecord]) -> String {
     let _ = writeln!(out, "  \"date\": \"{y:04}-{m:02}-{d:02}\",");
     let _ = writeln!(out, "  \"hardware\": \"{hardware}\",");
     out.push_str(
-        "  \"benches\": [\n   \"semantics_mas (fig7, scale 0.02)\",\n   \"semantics_tpch (fig9, scale 0.01)\",\n   \"semantics_scale (threads 1/2/4/8, 10x scales)\",\n   \"durability (cold_open vs tsv_ingest, zipf)\"\n  ],\n");
+        "  \"benches\": [\n   \"semantics_mas (fig7, scale 0.02)\",\n   \"semantics_tpch (fig9, scale 0.01)\",\n   \"semantics_scale (threads 1/2/4/8, 10x scales)\",\n   \"durability (cold_open vs tsv_ingest, zipf)\",\n   \"planner (static vs cost, zipf-pessimal)\"\n  ],\n");
     out.push_str("  \"unit\": \"mean_ns per session.run()\"\n },\n \"runs\": {\n");
     let _ = writeln!(out, "  \"{mode}\": [");
     for (i, r) in records.iter().enumerate() {

@@ -26,6 +26,14 @@ fn real_main() -> Result<(), CliError> {
     let read = |path: &str| {
         std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))
     };
+    if args.peek().map(String::as_str) == Some("explain") {
+        let opts = cli::parse_explain_args(args.skip(1))?;
+        let program_text = read(&opts.program)?;
+        let db_text = read(&opts.db)?;
+        let out = cli::run_explain(&opts, &program_text, &db_text)?;
+        print!("{}", out.rendered);
+        return Ok(());
+    }
     if args.peek().map(String::as_str) == Some("lint") {
         let opts = cli::parse_lint_args(args.skip(1))?;
         let program_text = read(&opts.program)?;

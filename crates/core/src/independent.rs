@@ -99,7 +99,16 @@ pub fn run_with_deadline(
         .collect();
     let mut cnf = Cnf::new(universe.len());
     let mut lits = Vec::new();
-    for clause in formula.clauses() {
+    // Canonical clause order. The builder yields clauses in first-seen
+    // order, which tracks the evaluator's enumeration order and therefore
+    // the chosen join plans. The Min-Ones search breaks ties between
+    // equal-size minimum models by clause layout (local variable
+    // numbering follows clause order), so sort clauses by content: the
+    // CNF — and hence the returned repair — becomes a pure function of
+    // the clause *set*, identical under any join order.
+    let mut ordered: Vec<&provenance::ProvClause> = formula.clauses().iter().collect();
+    ordered.sort_unstable_by(|a, b| a.pos.cmp(&b.pos).then_with(|| a.neg.cmp(&b.neg)));
+    for clause in ordered {
         lits.clear();
         // ¬(pos present ∧ neg deleted) = ⋁ del(pos) ∨ ⋁ ¬del(neg).
         // Both sides are tuple-sorted and `var_of` is monotone in tuple

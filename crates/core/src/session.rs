@@ -4,7 +4,9 @@
 //! `&mut db` at construction followed by `&db` at every run, no way for a
 //! caller to mutate data behind the evaluator's indexes. Mutations flow
 //! through [`RepairSession::insert_batch`] / [`RepairSession::delete_batch`]
-//! (incremental index maintenance, never a re-plan), repairs are described
+//! (incremental index and statistics maintenance; join plans are re-derived
+//! only when the statistics drift far from their plan-time snapshot),
+//! repairs are described
 //! by a [`RepairRequest`] and come back as a [`RepairOutcome`] that can
 //! [`RepairOutcome::preview`] its effect, [`RepairOutcome::apply`] itself to
 //! the session, and be rolled back with [`RepairSession::undo`].
@@ -532,6 +534,9 @@ pub struct RepairSession {
     end_cache: Mutex<Option<EndCache>>,
     /// The on-disk store backing this session, when opened durably.
     durable: Option<DurableState>,
+    /// Times the session re-derived its cost-based plans after statistics
+    /// drifted past [`RepairSession::REPLAN_DRIFT_THRESHOLD`].
+    replans: u64,
 }
 
 /// The durable backing of a session: the disk store, the journal cursor up
@@ -610,6 +615,12 @@ impl RepairSession {
     /// rebuilds a relation's hash tables.
     pub const COMPACT_THRESHOLD: f64 = 0.5;
 
+    /// Per-relation live-cardinality drift ratio (plan time vs. now,
+    /// add-one smoothed) at which a mutating session considers its
+    /// cost-based join orders stale and re-derives them from the current
+    /// statistics. `2.0` = any relation halved or doubled.
+    pub const REPLAN_DRIFT_THRESHOLD: f64 = 2.0;
+
     /// Validate `program` against `db`'s schema, plan its joins, build the
     /// probe indexes, and take ownership of the database.
     pub fn new(mut db: Instance, program: Program) -> Result<RepairSession, RepairError> {
@@ -625,6 +636,7 @@ impl RepairSession {
             certificate,
             end_cache: Mutex::new(None),
             durable: None,
+            replans: 0,
         })
     }
 
@@ -861,9 +873,11 @@ impl RepairSession {
         self.db
     }
 
-    /// Insert a batch of tuples into `relation`. Indexes are maintained
-    /// incrementally; plans are untouched. Returns the id of every row
-    /// (existing ids for duplicates — relations are sets).
+    /// Insert a batch of tuples into `relation`. Indexes and statistics
+    /// are maintained incrementally; plans are re-derived only when the
+    /// batch drifts the cardinalities past
+    /// [`RepairSession::REPLAN_DRIFT_THRESHOLD`]. Returns the id of every
+    /// row (existing ids for duplicates — relations are sets).
     ///
     /// A mid-batch schema error stops the batch, but rows inserted before
     /// it stay inserted — the epoch is bumped either way, so outcomes
@@ -893,6 +907,7 @@ impl RepairSession {
         self.epoch += 1;
         self.persist(BatchMark::Commit)?;
         self.trim_journal();
+        self.replan_if_drifted();
         debug_assert!(
             self.db.indexes_consistent(),
             "insert_batch left an index inconsistent with the live rows"
@@ -914,6 +929,7 @@ impl RepairSession {
         self.epoch += 1;
         self.persist(BatchMark::Commit)?;
         self.trim_journal();
+        self.replan_if_drifted();
         Ok(removed)
     }
 
@@ -930,7 +946,36 @@ impl RepairSession {
         self.epoch += 1;
         self.persist(BatchMark::Commit)?;
         self.trim_journal();
+        self.replan_if_drifted();
         Ok(restored)
+    }
+
+    /// Times this session re-derived its cost-based plans because the
+    /// journaled mutations drifted the relation cardinalities past
+    /// [`RepairSession::REPLAN_DRIFT_THRESHOLD`].
+    pub fn replan_count(&self) -> u64 {
+        self.replans
+    }
+
+    /// Re-derive the evaluator's cost-based join orders when the live
+    /// cardinalities have drifted past the threshold since plan time.
+    /// Called by every mutator; cheap when nothing drifted (one live-count
+    /// comparison per relation). The incremental end-fixpoint checkpoint
+    /// survives a replan: it records the *set* of valid assignments and
+    /// delta tuples, and every plan order enumerates the same set — only
+    /// enumeration order (which the checkpoint does not depend on)
+    /// changes. Delete-sets are bit-identical under any plan order.
+    fn replan_if_drifted(&mut self) {
+        if self.ev.strategy() != datalog::PlanStrategy::CostBased
+            || self.ev.plan_drift(&self.db) < Self::REPLAN_DRIFT_THRESHOLD
+        {
+            return;
+        }
+        let program = self.ev.program().clone();
+        let planned = PlannedProgram::plan(self.db.schema(), program)
+            .expect("program validated at session construction");
+        self.ev = planned.into_evaluator(&mut self.db);
+        self.replans += 1;
     }
 
     /// Drop journal history no consumer will ever drain again. The session
@@ -1192,6 +1237,7 @@ impl RepairSession {
             deleted: outcome.deleted().to_vec(),
         })?;
         self.trim_journal();
+        self.replan_if_drifted();
         Ok(removed)
     }
 
@@ -1207,6 +1253,7 @@ impl RepairSession {
         self.epoch += 1;
         self.persist(BatchMark::Undo)?;
         self.trim_journal();
+        self.replan_if_drifted();
         Ok(restored)
     }
 }

@@ -126,8 +126,23 @@ pub struct CompiledRule {
     pub head_witness: usize,
     /// Source-order indexes of delta atoms.
     pub delta_positions: Vec<usize>,
-    /// General plan (no frontier focus).
+    /// General plan (no frontier focus), run under [`Mode::Current`] /
+    /// [`Mode::FrozenBase`] — stage semantics and the naive ablation, where
+    /// delta atoms range over the actual (small) delta view.
+    ///
+    /// [`Mode::Current`]: crate::eval::Mode::Current
+    /// [`Mode::FrozenBase`]: crate::eval::Mode::FrozenBase
     pub general: Plan,
+    /// The general plan's sibling for [`Mode::Hypothetical`] — Algorithm
+    /// 1's enumeration, where delta atoms range over the *full* relation.
+    /// Same admission semantics (everything [`DeltaClass::All`], shares
+    /// [`CompiledRule::general_classes`]); only the join order may differ,
+    /// because the cost planner sizes delta atoms at full cardinality here
+    /// and at [`crate::cost::DELTA_FRACTION`] in `general`. The textual
+    /// planner emits the identical order for both.
+    ///
+    /// [`Mode::Hypothetical`]: crate::eval::Mode::Hypothetical
+    pub hypothetical: Plan,
     /// `focused[i]` is the plan whose first atom is `delta_positions[i]`.
     pub focused: Vec<Plan>,
     /// Per-atom delta classes of the general plan: everything `All`.
@@ -266,8 +281,21 @@ fn make_plan(
         used[best] = true;
         bind_atom(&atoms[best], &mut bound);
     }
-    // Schedule comparisons at the earliest step where both sides are bound,
-    // and compute each step's probe spec from the variables bound before it.
+    plan_for_order(atoms, cmps, n_vars, order)
+}
+
+/// Finish a [`Plan`] for an explicit atom `order`: schedule comparisons at
+/// the earliest step where both sides are bound and compute each step's
+/// probe spec from the variables bound before it. Shared by the static
+/// greedy order above and the statistics-driven order of [`crate::cost`].
+pub(crate) fn plan_for_order(
+    atoms: &[CompiledAtom],
+    cmps: &[CompiledCmp],
+    n_vars: usize,
+    order: Vec<usize>,
+) -> Plan {
+    let n = atoms.len();
+    debug_assert_eq!(order.len(), n, "order must permute the body atoms");
     let mut cmps_after = vec![Vec::new(); n.max(1)];
     let mut probes = Vec::with_capacity(n);
     let mut assigned = vec![false; cmps.len()];
@@ -369,6 +397,7 @@ pub fn compile_rule(schema: &Schema, rule: &Rule) -> CompiledRule {
         atoms,
         cmps,
         delta_positions,
+        hypothetical: general.clone(),
         general,
         focused,
         general_classes,

@@ -231,11 +231,24 @@ impl PlannedProgram {
     }
 
     /// Bind every probing plan step to a concrete composite index on `db`,
-    /// building missing indexes now (the only part of evaluator
-    /// construction that touches the instance). Subsequent inserts and
-    /// deletes maintain those indexes incrementally, so the evaluator never
-    /// needs re-planning while the schema stands.
-    pub fn into_evaluator(mut self, db: &mut Instance) -> Evaluator {
+    /// building missing indexes now. Uses the default
+    /// [`PlanStrategy::CostBased`]: join orders are re-derived from the
+    /// instance's live column statistics before index resolution.
+    pub fn into_evaluator(self, db: &mut Instance) -> Evaluator {
+        self.into_evaluator_with(db, PlanStrategy::CostBased)
+    }
+
+    /// [`PlannedProgram::into_evaluator`] with an explicit planning
+    /// strategy. This is the only part of evaluator construction that
+    /// touches the instance: under [`PlanStrategy::CostBased`] every plan's
+    /// atom order is recomputed from live statistics (focus/pivot pins and
+    /// delta-class partitions preserved), then every probing step is bound
+    /// to a concrete composite index, built now if missing. Subsequent
+    /// inserts and deletes maintain both the indexes and the statistics
+    /// incrementally; re-planning is only worthwhile when cardinalities
+    /// drift far from their plan-time snapshot (see
+    /// [`Evaluator::plan_drift`]).
+    pub fn into_evaluator_with(mut self, db: &mut Instance, strategy: PlanStrategy) -> Evaluator {
         fn resolve(db: &mut Instance, atoms: &[CompiledAtom], plan: &mut Plan) {
             for k in 0..plan.order.len() {
                 let rel = atoms[plan.order[k]].rel;
@@ -245,15 +258,27 @@ impl PlannedProgram {
                 }
             }
         }
+        if strategy == PlanStrategy::CostBased {
+            for cr in &mut self.compiled {
+                if !cr.never_fires {
+                    crate::cost::reorder_rule(db, cr);
+                }
+            }
+        }
+        let planned_live: Vec<usize> = (0..db.schema().len())
+            .map(|i| db.live_rows(storage::RelId(i as u16)))
+            .collect();
         for cr in &mut self.compiled {
             let CompiledRule {
                 atoms,
                 general,
+                hypothetical,
                 focused,
                 seeded,
                 ..
             } = cr;
             resolve(db, atoms, general);
+            resolve(db, atoms, hypothetical);
             for plan in focused {
                 resolve(db, atoms, plan);
             }
@@ -264,8 +289,23 @@ impl PlannedProgram {
         Evaluator {
             program: self.program,
             compiled: self.compiled,
+            strategy,
+            planned_live,
         }
     }
+}
+
+/// How [`PlannedProgram::into_evaluator_with`] picks join orders.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PlanStrategy {
+    /// The textual greedy order of [`crate::compile`]: constants and bound
+    /// variables score alike regardless of selectivity. Kept as the
+    /// baseline for benchmarks and plan-parity tests.
+    Static,
+    /// Orders re-derived from live per-column statistics at evaluator
+    /// construction time (see [`crate::cost`]).
+    #[default]
+    CostBased,
 }
 
 /// A validated, compiled, index-prepared delta program ready for repeated
@@ -273,6 +313,11 @@ impl PlannedProgram {
 pub struct Evaluator {
     program: Program,
     compiled: Vec<CompiledRule>,
+    strategy: PlanStrategy,
+    /// Per-relation live cardinality at plan time — the fingerprint
+    /// [`Evaluator::plan_drift`] compares against to decide whether the
+    /// cost-based orders are stale.
+    planned_live: Vec<usize>,
 }
 
 impl Evaluator {
@@ -281,6 +326,44 @@ impl Evaluator {
     /// [`PlannedProgram::plan`] + [`PlannedProgram::into_evaluator`].
     pub fn new(db: &mut Instance, program: Program) -> Result<Evaluator, DatalogError> {
         Ok(PlannedProgram::plan(db.schema(), program)?.into_evaluator(db))
+    }
+
+    /// [`Evaluator::new`] pinned to the static textual planner.
+    pub fn new_static(db: &mut Instance, program: Program) -> Result<Evaluator, DatalogError> {
+        Ok(PlannedProgram::plan(db.schema(), program)?
+            .into_evaluator_with(db, PlanStrategy::Static))
+    }
+
+    /// The strategy the evaluator's plans were derived with.
+    pub fn strategy(&self) -> PlanStrategy {
+        self.strategy
+    }
+
+    /// Largest per-relation drift ratio between the live cardinalities at
+    /// plan time and now. A relation that grew from `a` to `b` live rows
+    /// contributes `max(a+1, b+1) / min(a+1, b+1)` (add-one smoothed so
+    /// empty↔non-empty transitions register). `1.0` means no drift;
+    /// sessions re-plan when this crosses their threshold.
+    pub fn plan_drift(&self, db: &Instance) -> f64 {
+        self.planned_live
+            .iter()
+            .enumerate()
+            .map(|(i, &then)| {
+                let now = db.live_rows(storage::RelId(i as u16));
+                let (lo, hi) = if then <= now {
+                    (then, now)
+                } else {
+                    (now, then)
+                };
+                (hi + 1) as f64 / (lo + 1) as f64
+            })
+            .fold(1.0, f64::max)
+    }
+
+    /// The compiled form of rule `idx` — the chosen plans, estimates'
+    /// inputs and probe specs. Read-only; used by `explain` and the lints.
+    pub fn compiled_rule(&self, idx: usize) -> &CompiledRule {
+        &self.compiled[idx]
     }
 
     /// The program being evaluated.
@@ -349,13 +432,20 @@ impl Evaluator {
         if cr.never_fires {
             return true;
         }
+        // Hypothetical mode ranges delta atoms over the full relation, so
+        // it gets the plan sized for that regime (identical admission
+        // semantics, possibly a different join order).
+        let plan = match mode {
+            Mode::Hypothetical => &cr.hypothetical,
+            Mode::Current | Mode::FrozenBase => &cr.general,
+        };
         run_plan(
             db,
             state,
             mode,
             rule_idx,
             cr,
-            &cr.general,
+            plan,
             &cr.general_classes,
             Focus::None,
             scratch,
@@ -798,13 +888,13 @@ mod par {
                 }
                 match scope {
                     Scope::All => {
-                        push(
-                            idx,
-                            &cr.general,
-                            &cr.general_classes,
-                            Focus::None,
-                            &mut jobs,
-                        );
+                        // Same mode-based plan selection as the serial
+                        // path (for_each_rule_assignment_with).
+                        let plan = match mode {
+                            Mode::Hypothetical => &cr.hypothetical,
+                            Mode::Current | Mode::FrozenBase => &cr.general,
+                        };
+                        push(idx, plan, &cr.general_classes, Focus::None, &mut jobs);
                     }
                     Scope::BaseRules => {
                         if cr.delta_positions.is_empty() {

@@ -27,6 +27,7 @@
 pub mod analysis;
 pub mod ast;
 pub mod compile;
+pub mod cost;
 pub mod dc;
 pub mod error;
 pub mod eval;
@@ -37,11 +38,16 @@ pub mod validate;
 
 pub use analysis::{analyze, Analysis};
 pub use ast::{Atom, CmpOp, Comparison, Program, Rule, Span, Term};
+pub use cost::{OrderEstimate, StepEstimate};
 pub use dc::DenialConstraint;
 pub use error::DatalogError;
 #[cfg(feature = "parallel")]
 pub use eval::{eval_threads, ParScope};
-pub use eval::{Assignment, BodyBind, DeltaFrontier, EvalScratch, Evaluator, Mode, PlannedProgram};
-pub use lint::{certify, lint, Diagnostic, EquivalenceCertificate, LintReport, Severity};
+pub use eval::{
+    Assignment, BodyBind, DeltaFrontier, EvalScratch, Evaluator, Mode, PlanStrategy, PlannedProgram,
+};
+pub use lint::{
+    certify, lint, lint_with_stats, Diagnostic, EquivalenceCertificate, LintReport, Severity,
+};
 pub use parser::{parse_body, parse_program};
 pub use seed::{seed_rule, with_interventions};

@@ -10,7 +10,7 @@
 //! | validation (Def. 3.1 + safety) | `E001`–`E006` | error | yes |
 //! | dead rules (provably empty body) | `W101` | warning | no |
 //! | constant contradictions | `W102` | warning | no |
-//! | cartesian-product joins | `W103` | warning | no |
+//! | cartesian-product joins | `W103` | warning | no (blow-up estimate with db) |
 //! | duplicate rules | `W104` | warning | no |
 //! | subsumed rules | `W105` | warning | no |
 //! | unused schema relations | `I201` | info | yes |
@@ -36,7 +36,7 @@ use crate::error::DatalogError;
 use crate::validate;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use storage::{Schema, Sym, Value};
+use storage::{Instance, Schema, Sym, Value};
 
 /// How bad a [`Diagnostic`] is.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
@@ -237,6 +237,18 @@ fn json_escape(s: &str) -> String {
 /// unused relations) are skipped when `schema` is `None` — the CLI uses
 /// this to lint a program file without a database.
 pub fn lint(schema: Option<&Schema>, program: &Program) -> LintReport {
+    lint_impl(schema, None, program)
+}
+
+/// [`lint`] with a loaded instance: schema passes run against its schema,
+/// and the cartesian pass (`W103`) quantifies each disconnected join with
+/// an estimated blow-up factor from the instance's live column statistics
+/// instead of only flagging the shape.
+pub fn lint_with_stats(db: Option<&Instance>, program: &Program) -> LintReport {
+    lint_impl(db.map(|d| d.schema()), db, program)
+}
+
+fn lint_impl(schema: Option<&Schema>, db: Option<&Instance>, program: &Program) -> LintReport {
     let mut diags: Vec<Diagnostic> = Vec::new();
     if let Some(schema) = schema {
         validation_pass(schema, program, &mut diags);
@@ -244,7 +256,7 @@ pub fn lint(schema: Option<&Schema>, program: &Program) -> LintReport {
     }
     dead_rule_pass(program, &mut diags);
     contradiction_pass(program, &mut diags);
-    cartesian_pass(program, &mut diags);
+    cartesian_pass(program, db, &mut diags);
     duplicate_pass(program, &mut diags);
     recursion_pass(program, &mut diags);
     let certificate = certify(program);
@@ -467,9 +479,36 @@ fn flip(op: crate::ast::CmpOp) -> crate::ast::CmpOp {
     }
 }
 
+/// Estimated live cardinality of one atom: live rows scaled by the exact
+/// frequency of every constant column (from the relation's incrementally
+/// maintained [`storage::ColumnStats`]). `None` when the atom's relation or
+/// arity is unknown to the instance — the caller falls back to the purely
+/// syntactic message.
+fn atom_cardinality(db: &Instance, atom: &Atom) -> Option<f64> {
+    let rel = db.schema().rel_id(&atom.relation)?;
+    if db.schema().rel(rel).arity() != atom.terms.len() {
+        return None;
+    }
+    let r = db.relation(rel);
+    let live = r.live_count() as f64;
+    let mut est = live;
+    for (col, term) in atom.terms.iter().enumerate() {
+        if let Term::Const(v) = term {
+            if live == 0.0 {
+                return Some(0.0);
+            }
+            est *= r.value_count(col, v) as f64 / live;
+        }
+    }
+    Some(est)
+}
+
 /// `W103`: body atoms that share no variable with the rest of the body —
-/// the join degenerates to a cartesian product.
-fn cartesian_pass(program: &Program, diags: &mut Vec<Diagnostic>) {
+/// the join degenerates to a cartesian product. With live statistics the
+/// diagnostic also reports the estimated blow-up: the product of every
+/// component's estimated cardinality except the largest, i.e. the factor by
+/// which the cross product multiplies the biggest component's row count.
+fn cartesian_pass(program: &Program, db: Option<&Instance>, diags: &mut Vec<Diagnostic>) {
     for (i, rule) in program.rules.iter().enumerate() {
         let n = rule.body.len();
         if n < 2 {
@@ -503,13 +542,37 @@ fn cartesian_pass(program: &Program, diags: &mut Vec<Diagnostic>) {
         roots.sort_unstable();
         roots.dedup();
         if roots.len() > 1 {
+            // With an instance, size each component from live statistics:
+            // component cardinality = product of its atoms' estimated rows
+            // (an upper bound that ignores intra-component joins — fine for
+            // a lint). The blow-up is the product of all components except
+            // the largest.
+            let blowup = db.and_then(|db| {
+                let mut parent = parent.clone();
+                let mut sizes: BTreeMap<usize, f64> = BTreeMap::new();
+                for (a, atom) in rule.body.iter().enumerate() {
+                    let est = atom_cardinality(db, atom)?;
+                    let root = find(&mut parent, a);
+                    *sizes.entry(root).or_insert(1.0) *= est;
+                }
+                let product: f64 = sizes.values().product();
+                let max = sizes.values().fold(0.0_f64, |m, &v| m.max(v));
+                Some(if max > 0.0 { product / max } else { 0.0 })
+            });
+            let suffix = match blowup {
+                Some(b) if b >= 100.0 => {
+                    format!("; estimated blow-up ×{b:.0} from live statistics")
+                }
+                Some(b) => format!("; estimated blow-up ×{b:.1} from live statistics"),
+                None => String::new(),
+            };
             diags.push(Diagnostic {
                 code: "W103",
                 severity: Severity::Warning,
                 rule: Some(i),
                 span: rule.span(),
                 message: format!(
-                    "body atoms form {} disconnected join components (cartesian product)",
+                    "body atoms form {} disconnected join components (cartesian product){suffix}",
                     roots.len()
                 ),
             });

@@ -144,6 +144,10 @@ impl Instance {
             self.indexes_consistent(),
             "delete_tuples left an index inconsistent with the live rows"
         );
+        debug_assert!(
+            self.stats_consistent(),
+            "delete_tuples left column statistics inconsistent with the live rows"
+        );
         Ok(removed)
     }
 
@@ -170,6 +174,10 @@ impl Instance {
         debug_assert!(
             self.indexes_consistent(),
             "restore_tuples left an index inconsistent with the live rows"
+        );
+        debug_assert!(
+            self.stats_consistent(),
+            "restore_tuples left column statistics inconsistent with the live rows"
         );
         Ok(restored)
     }
@@ -219,6 +227,10 @@ impl Instance {
             self.indexes_consistent(),
             "compact left an index inconsistent with the live rows"
         );
+        debug_assert!(
+            self.stats_consistent(),
+            "compact left column statistics inconsistent with the live rows"
+        );
         compacted
     }
 
@@ -227,6 +239,14 @@ impl Instance {
     /// debugging support; `O(total rows × indexes)`.
     pub fn indexes_consistent(&self) -> bool {
         self.relations.iter().all(Relation::indexes_consistent)
+    }
+
+    /// Are every relation's per-column statistics bit-identical to a
+    /// from-scratch recount over the live rows? Checked (in debug builds)
+    /// after every mutating batch, exactly like
+    /// [`Instance::indexes_consistent`].
+    pub fn stats_consistent(&self) -> bool {
+        self.relations.iter().all(Relation::stats_consistent)
     }
 
     fn check_bounds(&self, tid: TupleId) -> Result<usize, StorageError> {

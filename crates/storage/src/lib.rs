@@ -31,6 +31,7 @@ pub mod journal;
 pub mod relation;
 pub mod schema;
 pub mod state;
+pub mod stats;
 pub mod tsv;
 pub mod tuple;
 pub mod value;
@@ -48,5 +49,6 @@ pub use journal::{DeltaBatch, JournalEntry, MutationJournal, MutationKind};
 pub use relation::{IndexId, Relation};
 pub use schema::{Attr, AttrType, RelId, RelationSchema, Schema};
 pub use state::State;
+pub use stats::ColumnStats;
 pub use tuple::{Tuple, TupleId};
 pub use value::Value;

@@ -10,6 +10,7 @@ use crate::bitset::BitSet;
 use crate::error::StorageError;
 use crate::hash::FxHashMap;
 use crate::schema::RelationSchema;
+use crate::stats::ColumnStats;
 use crate::tuple::Tuple;
 use crate::value::Value;
 
@@ -234,7 +235,7 @@ impl Eq for RowDedup {}
 /// hash indexes — requested by the evaluator's probe plans, one per
 /// distinct set of bound columns — incrementally on insert, delete and
 /// restore.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct Relation {
     tuples: Vec<Tuple>,
     dedup: RowDedup,
@@ -245,7 +246,29 @@ pub struct Relation {
     live: BitSet,
     /// Number of set bits in `live`, maintained incrementally.
     live_count: usize,
+    /// Exact per-column live-value frequencies, one entry per column,
+    /// sized lazily from the first inserted tuple and maintained alongside
+    /// the indexes on every mutation (see [`crate::stats`]).
+    stats: Vec<ColumnStats>,
 }
+
+/// Logical-content equality: same rows, tombstones, dedup set and column
+/// statistics. *Which* composite indexes have been built is excluded —
+/// indexes are demand-driven caches whose set depends on the plans that
+/// requested them (and, with cost-based planning, on the statistics at
+/// planning time), not on the data. Index *correctness* is checked
+/// separately by [`Relation::indexes_consistent`].
+impl PartialEq for Relation {
+    fn eq(&self, other: &Relation) -> bool {
+        self.tuples == other.tuples
+            && self.live == other.live
+            && self.live_count == other.live_count
+            && self.dedup == other.dedup
+            && self.stats == other.stats
+    }
+}
+
+impl Eq for Relation {}
 
 impl Relation {
     /// Empty storage for a relation of the given arity. (The arity is
@@ -268,9 +291,13 @@ impl Relation {
         live.grow(tuples.len());
         let live_count = live.count_ones();
         let mut dedup = RowDedup::with_capacity(live_count);
+        let mut stats = Self::sized_stats(&tuples);
         for row in live.iter_ones() {
             if dedup.insert_unique(row as u32, &tuples).is_some() {
                 return Err(format!("row {row} duplicates another live row"));
+            }
+            for (s, v) in stats.iter_mut().zip(tuples[row].values()) {
+                s.add(*v);
             }
         }
         Ok(Relation {
@@ -280,7 +307,15 @@ impl Relation {
             by_cols: FxHashMap::default(),
             live,
             live_count,
+            stats,
         })
+    }
+
+    /// One empty [`ColumnStats`] per column, sized from the first row ever
+    /// inserted (all rows share the schema's arity; a relation that never
+    /// held a row has no columns to track).
+    fn sized_stats(tuples: &[Tuple]) -> Vec<ColumnStats> {
+        vec![ColumnStats::default(); tuples.first().map_or(0, Tuple::arity)]
     }
 
     /// Number of rows ever inserted (live and tombstoned; the bound for
@@ -328,6 +363,12 @@ impl Relation {
         for idx in &mut self.indexes {
             idx.add(row, &t);
         }
+        if self.stats.len() < t.arity() {
+            self.stats.resize(t.arity(), ColumnStats::default());
+        }
+        for (s, v) in self.stats.iter_mut().zip(t.values()) {
+            s.add(*v);
+        }
         self.tuples.push(t);
         self.dedup.insert(row, &self.tuples);
         self.live.set(row as usize);
@@ -349,6 +390,9 @@ impl Relation {
         let t = &self.tuples[row as usize];
         for idx in &mut self.indexes {
             idx.remove(row, t);
+        }
+        for (s, v) in self.stats.iter_mut().zip(t.values()) {
+            s.remove(v);
         }
         true
     }
@@ -374,6 +418,9 @@ impl Relation {
         let t = &self.tuples[row as usize];
         for idx in &mut self.indexes {
             idx.add_sorted(row, t);
+        }
+        for (s, v) in self.stats.iter_mut().zip(t.values()) {
+            s.add(*v);
         }
         true
     }
@@ -492,13 +539,22 @@ impl Relation {
         for idx in &mut self.indexes {
             idx.map = FxHashMap::default();
         }
+        // Rebuild the column statistics alongside: their *contents* are
+        // already exact under tombstones (zero-count entries are dropped
+        // eagerly), but a fresh recount sheds the hash-table capacity the
+        // churn accumulated, like the index maps.
+        let mut stats = Self::sized_stats(&self.tuples);
         for row in self.live.iter_ones() {
             dedup.insert(row as u32, &self.tuples);
             for idx in &mut self.indexes {
                 idx.add(row as u32, &self.tuples[row]);
             }
+            for (s, v) in stats.iter_mut().zip(self.tuples[row].values()) {
+                s.add(*v);
+            }
         }
         self.dedup = dedup;
+        self.stats = stats;
     }
 
     /// The column sets of the built composite indexes, in index-id order.
@@ -515,8 +571,41 @@ impl Relation {
         // `RowDedup` and `FxHashMap` equality compare contents, not
         // capacity or layout, so this is exactly "every entry and every
         // posting list matches the live truth" — including the absence of
-        // stale entries.
-        rebuilt == *self
+        // stale entries. The clone shares the index *set*, so comparing
+        // `indexes` here checks postings even though logical equality
+        // excludes them.
+        rebuilt == *self && rebuilt.indexes == self.indexes && rebuilt.by_cols == self.by_cols
+    }
+
+    /// The exact live-value statistics of column `col`, or `None` when the
+    /// relation never held a row (or `col` is out of range).
+    pub fn column_stats(&self, col: usize) -> Option<&ColumnStats> {
+        self.stats.get(col)
+    }
+
+    /// Number of distinct live values in column `col` (0 when the relation
+    /// never held a row).
+    pub fn distinct_count(&self, col: usize) -> usize {
+        self.stats.get(col).map_or(0, ColumnStats::distinct)
+    }
+
+    /// Exact number of live rows whose column `col` holds `v`.
+    pub fn value_count(&self, col: usize, v: &Value) -> usize {
+        self.stats.get(col).map_or(0, |s| s.count_of(v))
+    }
+
+    /// Are the per-column statistics bit-identical to a from-scratch
+    /// recount over the live rows? Test and debugging support, `O(rows ×
+    /// arity)` — checked next to [`Relation::indexes_consistent`] wherever
+    /// the instance mutates.
+    pub fn stats_consistent(&self) -> bool {
+        let mut recount = Self::sized_stats(&self.tuples);
+        for row in self.live.iter_ones() {
+            for (s, v) in recount.iter_mut().zip(self.tuples[row].values()) {
+                s.add(*v);
+            }
+        }
+        recount == self.stats
     }
 
     /// Iterate all rows `(row, tuple)` ever inserted, dead ones included.

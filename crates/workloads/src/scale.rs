@@ -1,6 +1,6 @@
 //! Programs over the zipf scaling universe (`datagen::scale`).
 //!
-//! Two shapes, both chosen so one rule owns almost all the work — the
+//! Three shapes, all chosen so one rule owns almost all the work — the
 //! regime where per-rule fan-out cannot help and intra-rule morsel
 //! parallelism must:
 //!
@@ -9,7 +9,13 @@
 //!   semi-naive round;
 //! * `zipf-join` — a single wide rule (`Leaf ⋈ Link ⋈ Hub` filtered to
 //!   `'bad'`), the purest single-heavy-rule workload: with one rule there
-//!   is nothing to fan out per rule at all.
+//!   is nothing to fan out per rule at all;
+//! * `zipf-pessimal` — the same join written in the *worst* textual order:
+//!   the body leads with the huge unselective `Leaf` and buries the
+//!   `k = 'bad'`-filtered `Hub` last, so a planner that follows source
+//!   order drives the join from 60K leaves while a statistics-driven one
+//!   drives it from the ~2% of hubs that are `'bad'`. The adversarial
+//!   fixture for the cost-based planner's bench gate.
 
 use crate::{ProgramClass, Workload};
 use datagen::ScaleData;
@@ -31,6 +37,11 @@ pub fn zipf_programs(_data: &ScaleData) -> Vec<Workload> {
             "zipf-join",
             ProgramClass::Cascade,
             "delta Leaf(m, l) :- Leaf(m, l), Link(h, m), Hub(h, k), k = 'bad'.",
+        ),
+        Workload::new(
+            "zipf-pessimal",
+            ProgramClass::Cascade,
+            "delta Hub(h, k) :- Leaf(m, l), Mid(m, w), Link(h, m), Hub(h, k), k = 'bad'.",
         ),
     ]
 }

@@ -27,14 +27,18 @@ Three checks, in order:
 
 Also prints the incremental_rerepair speedup (full / incremental) per
 workload when the current record carries that group, failing below
---min-speedup (default: informational only, 0), and the durability
+--min-speedup (default: informational only, 0), the durability
 cold-open speedup (tsv_ingest / cold_open) per dataset, failing below
---min-cold-open-speedup (default: informational only, 0).
+--min-cold-open-speedup (default: informational only, 0), and the
+cost-based planning speedup (planner static / cost) per workload, failing
+below --min-plan-speedup (default: informational only, 0). The planner
+pair also carries the enumerated assignment count as `size`; a mismatch
+between the static and cost records is a hard parity failure.
 
 Usage:
     bench_gate.py CURRENT.json [BASELINE.json] [--tolerance 2.0]
                   [--min-speedup 0] [--min-cold-open-speedup 0]
-                  [--min-parallel-speedup 0]
+                  [--min-plan-speedup 0] [--min-parallel-speedup 0]
                   [--speedup-threads 4] [--speedup-workloads 2]
                   [--runs-key serial]
 """
@@ -76,6 +80,8 @@ def main():
                     help="minimum incremental_rerepair full/incremental ratio")
     ap.add_argument("--min-cold-open-speedup", type=float, default=0.0,
                     help="minimum durability tsv_ingest/cold_open ratio")
+    ap.add_argument("--min-plan-speedup", type=float, default=0.0,
+                    help="minimum planner static/cost ratio")
     ap.add_argument("--min-parallel-speedup", type=float, default=0.0,
                     help="minimum t1/t<N> ratio for semantics_scale families")
     ap.add_argument("--speedup-threads", type=int, default=4,
@@ -160,6 +166,29 @@ def main():
                   f"(tsv {modes['tsv_ingest']:.0f} ns / cold_open {modes['cold_open']:.0f} ns)")
             if args.min_cold_open_speedup and speedup < args.min_cold_open_speedup:
                 failures.append((f"durability/{name}", speedup))
+
+    # Cost-based planning speedups, when measured: the statistics-driven
+    # atom order must beat the adversarial textual order. Both records
+    # carry the enumerated assignment count as `size` — the two planners
+    # must visit the identical assignment set.
+    pairs = {}
+    for r in current_records:
+        parts = r["bench"].split("/")
+        if len(parts) == 3 and parts[0] == "planner":
+            pairs.setdefault(parts[2], {})[parts[1]] = r
+    for name, modes in sorted(pairs.items()):
+        if "static" in modes and "cost" in modes:
+            sizes = {m: r.get("size") for m, r in modes.items()}
+            if None in sizes.values() or len(set(sizes.values())) != 1:
+                print(f"  planner/{name:<45} PARITY VIOLATION: sizes {sizes}")
+                failures.append((f"planner-parity:{name}", sizes))
+                continue
+            speedup = modes["static"]["mean_ns"] / modes["cost"]["mean_ns"]
+            print(f"  planner/{name:<45} plan speedup {speedup:>5.2f}x "
+                  f"(static {modes['static']['mean_ns']:.0f} ns / "
+                  f"cost {modes['cost']['mean_ns']:.0f} ns)")
+            if args.min_plan_speedup and speedup < args.min_plan_speedup:
+                failures.append((f"planner/{name}", speedup))
 
     if failures:
         print(f"bench_gate: {len(failures)} failure(s): {failures}", file=sys.stderr)

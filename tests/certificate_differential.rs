@@ -2,7 +2,7 @@
 //! from the outside:
 //!
 //! * **cert-on vs cert-off** — on every Table 1 / Table 2 / zipf workload
-//!   (28 programs) and all four semantics, a request served through the
+//!   (29 programs) and all four semantics, a request served through the
 //!   certificate must produce a **bit-identical delete-set** (ids *and*
 //!   order) to the same request with `.certificates(false)`, which runs the
 //!   genuine per-semantics algorithm;
@@ -143,7 +143,7 @@ fn certificates_are_sound_on_all_tpch_workloads() {
 fn certificates_are_sound_on_zipf_workloads() {
     let data = scale::generate(&ScaleConfig::scaled(0.05));
     let workloads = zipf_programs(&data);
-    assert_eq!(workloads.len(), 2);
+    assert_eq!(workloads.len(), 3);
     exercise_family("zipf", &data.db, &workloads);
 }
 

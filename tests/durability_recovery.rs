@@ -11,8 +11,11 @@
 //!   corrupted tail the dying write left behind.
 //!
 //! Under the `Always` fsync policy the recovered session must be
-//! **bit-identical** (tuple ids, live bitsets, composite indexes, epoch,
-//! undo history) to the state after the last acknowledged mutation; laxer
+//! **bit-identical** (tuple ids, live bitsets, column statistics, epoch,
+//! undo history) to the state after the last acknowledged mutation —
+//! composite indexes are demand-driven plan caches, verified against the
+//! live rows rather than compared (with cost-based planning their *set*
+//! depends on when plans were derived); laxer
 //! policies may land on any earlier acknowledged state. Corruption beyond
 //! the fallback ladder's reach must surface as a typed
 //! `StorageError::Corrupt`, never a panic.

@@ -18,7 +18,7 @@
 //! reorder or duplicate survivors; enumeration order is ascending row
 //! order at every plan step regardless of access path.
 
-use delta_repairs::datalog::compile::{compile_rule, CompiledRule, Slot};
+use delta_repairs::datalog::compile::{CompiledRule, Slot};
 use delta_repairs::datalog::{parse_program, Assignment, BodyBind, Evaluator, Mode, Program};
 use delta_repairs::{AttrType, Instance, Schema, State, TupleId, Value};
 use proptest::prelude::*;
@@ -222,12 +222,13 @@ fn reference_rule(
         mode: Mode,
         rule_idx: usize,
         cr: &CompiledRule,
+        order: &[usize],
         k: usize,
         env: &mut HashMap<u32, Value>,
         chosen: &mut Vec<Option<TupleId>>,
         out: &mut Vec<Assignment>,
     ) {
-        if k == cr.general.order.len() {
+        if k == order.len() {
             let all_cmps_hold = cr.cmps.iter().all(|c| {
                 let get = |s: &Slot| match s {
                     Slot::Const(v) => *v,
@@ -252,7 +253,7 @@ fn reference_rule(
             }
             return;
         }
-        let ai = cr.general.order[k];
+        let ai = order[k];
         let atom = &cr.atoms[ai];
         let rel = db.relation(atom.rel);
         for row in 0..rel.num_rows() as u32 {
@@ -288,7 +289,18 @@ fn reference_rule(
             }
             if ok {
                 chosen[ai] = Some(tid);
-                rec(db, state, mode, rule_idx, cr, k + 1, env, chosen, out);
+                rec(
+                    db,
+                    state,
+                    mode,
+                    rule_idx,
+                    cr,
+                    order,
+                    k + 1,
+                    env,
+                    chosen,
+                    out,
+                );
                 chosen[ai] = None;
             }
             for x in bound_here {
@@ -297,21 +309,42 @@ fn reference_rule(
         }
     }
 
+    // Mirror the engine's mode-based plan selection: hypothetical mode
+    // runs the rule's hypothetical sibling plan, everything else the
+    // general plan.
+    let order = match mode {
+        Mode::Hypothetical => &cr.hypothetical.order,
+        Mode::Current | Mode::FrozenBase => &cr.general.order,
+    };
     let mut env: HashMap<u32, Value> = HashMap::new();
     let mut chosen: Vec<Option<TupleId>> = vec![None; cr.atoms.len()];
-    rec(db, state, mode, rule_idx, cr, 0, &mut env, &mut chosen, out);
+    rec(
+        db,
+        state,
+        mode,
+        rule_idx,
+        cr,
+        order,
+        0,
+        &mut env,
+        &mut chosen,
+        out,
+    );
 }
 
+/// The reference walks the *evaluator's* compiled rules, so it follows
+/// whatever join order the planning strategy chose (static textual or
+/// cost-based) — by design the two sides share the order and differ only
+/// in access paths.
 fn reference_assignments(
     db: &Instance,
     state: &State,
     mode: Mode,
-    program: &Program,
+    ev: &Evaluator,
 ) -> Vec<Assignment> {
     let mut out = Vec::new();
-    for (ri, rule) in program.rules.iter().enumerate() {
-        let cr = compile_rule(db.schema(), rule);
-        reference_rule(db, state, mode, ri, &cr, &mut out);
+    for ri in 0..ev.num_rules() {
+        reference_rule(db, state, mode, ri, ev.compiled_rule(ri), &mut out);
     }
     out
 }
@@ -351,14 +384,38 @@ proptest! {
             // would itself be a bug worth seeing.
             Err(e) => panic!("generated program rejected: {e}"),
         };
+        // A second evaluator pinned to the static textual planner: the two
+        // strategies order joins differently but must enumerate the same
+        // assignment *set* for every rule under every mode.
+        let ev_static = Evaluator::new_static(&mut db, program)
+            .expect("valid by construction");
         let state = build_state(&db, &state_ops);
         for mode in [Mode::Current, Mode::FrozenBase, Mode::Hypothetical] {
             let fast = engine_assignments(&ev, &db, &state, mode);
-            let slow = reference_assignments(&db, &state, mode, &program);
+            let slow = reference_assignments(&db, &state, mode, &ev);
             TOTAL_ASSIGNMENTS.fetch_add(fast.len(), std::sync::atomic::Ordering::Relaxed);
             prop_assert_eq!(
                 &fast, &slow,
                 "assignment streams diverge under {:?}", mode
+            );
+            let static_ref = reference_assignments(&db, &state, mode, &ev_static);
+            prop_assert_eq!(
+                engine_assignments(&ev_static, &db, &state, mode),
+                static_ref.clone(),
+                "static-plan streams diverge under {:?}", mode
+            );
+            let sorted_set = |v: &[Assignment]| {
+                let mut keys: Vec<(usize, Vec<TupleId>)> = v
+                    .iter()
+                    .map(|a| (a.rule, a.body.iter().map(|b| b.tid).collect()))
+                    .collect();
+                keys.sort();
+                keys
+            };
+            prop_assert_eq!(
+                sorted_set(&fast),
+                sorted_set(&static_ref),
+                "cost-based and static plans enumerate different sets under {:?}", mode
             );
         }
         // Guard against a vacuous generator: across the whole run plenty of

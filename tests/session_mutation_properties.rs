@@ -1,11 +1,14 @@
 //! Mutation-machinery properties of the long-lived `RepairSession`.
 //!
-//! Arbitrary interleavings of `insert_batch` / `delete_batch` / `apply` /
-//! `undo` / `compact` must leave every composite index (and dedup map)
-//! **bit-identical to a from-scratch rebuild** over the live rows — the
-//! invariant `Instance::indexes_consistent` checks — and must keep the
-//! incrementally served end repair bit-identical to a fresh session's full
-//! recompute, whatever the churn history.
+//! Arbitrary interleavings of `insert_batch` / `delete_batch` /
+//! `restore_batch` / `apply` / `undo` / `compact` must leave every
+//! composite index (and dedup map) **bit-identical to a from-scratch
+//! rebuild** over the live rows — the invariant
+//! `Instance::indexes_consistent` checks — and every planner statistic
+//! (live cardinalities, per-column distinct counts, MCV sketches)
+//! bit-identical to a from-scratch recount — `Instance::stats_consistent`
+//! — and must keep the incrementally served end repair bit-identical to a
+//! fresh session's full recompute, whatever the churn history.
 
 use delta_repairs::{
     parse_program, Instance, Program, RepairRequest, RepairSession, Semantics, TupleId, Value,
@@ -72,7 +75,7 @@ prop_compose! {
 
 /// One step of the interleaving, decoded from `(op, a, b)`.
 fn apply_op(session: &mut RepairSession, op: u8, a: usize, b: usize) {
-    match op % 5 {
+    match op % 6 {
         0 => {
             // Insert 1–3 rows; values overlap the 0..6 range half the time
             // so new rows join (and re-create previously deleted values).
@@ -104,8 +107,20 @@ fn apply_op(session: &mut RepairSession, op: u8, a: usize, b: usize) {
             // Undo whatever is on the stack, if anything.
             let _ = session.undo();
         }
-        _ => {
+        4 => {
             session.compact(b as f64 / 10.0);
+        }
+        _ => {
+            // Delete then immediately resurrect: the round-trip must leave
+            // the stats exactly where a recount would (tombstone out, then
+            // back in — not "close", bit-identical).
+            let live: Vec<TupleId> = session.db().all_tuple_ids().collect();
+            if !live.is_empty() {
+                let ids: Vec<TupleId> =
+                    (0..1 + b % 3).map(|k| live[(a + k) % live.len()]).collect();
+                session.delete_batch(&ids).expect("live ids");
+                session.restore_batch(&ids).expect("just deleted");
+            }
         }
     }
 }
@@ -121,7 +136,7 @@ proptest! {
     fn interleavings_keep_indexes_and_checkpoint_exact(
         db in arb_db(),
         mask in 1u8..(1 << RULE_POOL.len()),
-        ops in prop::collection::vec((0u8..5, 0usize..64, 0usize..64), 0..24),
+        ops in prop::collection::vec((0u8..6, 0usize..64, 0usize..64), 0..24),
     ) {
         let mut session = RepairSession::new(db, build_program(mask)).expect("valid");
         session.run(Semantics::End); // prime the checkpoint
@@ -130,6 +145,10 @@ proptest! {
             prop_assert!(
                 session.db().indexes_consistent(),
                 "op {op} (a={a}, b={b}) desynced an index from the live rows"
+            );
+            prop_assert!(
+                session.db().stats_consistent(),
+                "op {op} (a={a}, b={b}) drifted a planner statistic off the recount"
             );
         }
         let inc = session.run(Semantics::End);
@@ -170,6 +189,7 @@ proptest! {
         session.compact(0.0);
         prop_assert_eq!(session.db(), &before, "compaction changed the instance value");
         prop_assert!(session.db().indexes_consistent());
+        prop_assert!(session.db().stats_consistent(), "compaction drifted a statistic");
         let end_after = session.run(Semantics::End);
         prop_assert_eq!(end_before.deleted(), end_after.deleted());
         prop_assert!(end_after.served_incrementally(), "compaction evicted the checkpoint");
